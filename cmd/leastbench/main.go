@@ -1,0 +1,76 @@
+// Command leastbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	leastbench -exp all -scale ci
+//	leastbench -exp fig4-accuracy -scale full -seed 7
+//
+// Experiments (DESIGN.md §3):
+//
+//	fig4-accuracy   F1 / SHD / corr(δ,h) panels of Fig 4 (E1, E2)
+//	fig4-time       runtime panel of Fig 4 (E3)
+//	fig5            LEAST-SP scalability curves (E4, E10)
+//	genes           gene-expression Tables I/III (E5)
+//	booking-cases   Table II incident detection (E6)
+//	booking-pie     Fig 7 root-cause distribution (E7)
+//	movielens-edges Table IV top learned edges (E8)
+//	movielens-graph Fig 8 neighbourhood + degree analysis (E9)
+//	all             everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -help)")
+	scaleStr := flag.String("scale", "ci", "problem scale: ci or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func()) {
+		fmt.Printf("== %s (scale=%s, seed=%d) ==\n", name, *scaleStr, *seed)
+		t0 := time.Now()
+		f()
+		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	all := map[string]func(){
+		"fig4-accuracy":   func() { experiments.Fig4Accuracy(scale, *seed, os.Stdout) },
+		"fig4-time":       func() { experiments.Fig4Time(scale, *seed, os.Stdout) },
+		"fig5":            func() { experiments.Fig5(scale, *seed, os.Stdout) },
+		"genes":           func() { experiments.Genes(scale, *seed, os.Stdout) },
+		"booking-cases":   func() { experiments.BookingCases(scale, *seed, os.Stdout) },
+		"booking-pie":     func() { experiments.BookingPie(scale, *seed, os.Stdout) },
+		"movielens-edges": func() { experiments.MovielensEdges(scale, *seed, os.Stdout) },
+		"movielens-graph": func() { experiments.MovielensGraph(scale, *seed, os.Stdout) },
+	}
+	order := []string{
+		"fig4-accuracy", "fig4-time", "fig5", "genes",
+		"booking-cases", "booking-pie", "movielens-edges", "movielens-graph",
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name, all[name])
+		}
+		return
+	}
+	f, ok := all[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *exp, order)
+		os.Exit(2)
+	}
+	run(*exp, f)
+}

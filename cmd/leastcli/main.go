@@ -1,0 +1,127 @@
+// Command leastcli learns a Bayesian-network structure from a CSV
+// sample matrix and writes the discovered edges.
+//
+// The input CSV has one column per variable and one row per
+// observation; an optional header row names the variables. Output is
+// either an edge list (from,to,weight) or Graphviz DOT.
+//
+// Usage:
+//
+//	leastcli -in data.csv -header -tau 0.3 -format dot > graph.dot
+//	leastcli -in data.csv -sparse -lambda 0.05
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro"
+	"repro/internal/bnet"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV path (required)")
+	header := flag.Bool("header", false, "first CSV row is a header with variable names")
+	tau := flag.Float64("tau", 0.3, "edge threshold |w| > tau")
+	lambda := flag.Float64("lambda", 0.1, "L1 regularization λ")
+	eps := flag.Float64("eps", 1e-4, "acyclicity tolerance ε")
+	sparse := flag.Bool("sparse", false, "use the LEAST-SP sparse learner")
+	format := flag.String("format", "csv", "output format: csv, json or dot")
+	seed := flag.Int64("seed", 1, "random seed")
+	center := flag.Bool("center", true, "subtract column means before learning")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "leastcli: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	x, names, err := readCSV(*in, *header)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leastcli:", err)
+		os.Exit(1)
+	}
+	if *center {
+		least.Center(x)
+	}
+	o := least.Defaults()
+	o.Lambda = *lambda
+	o.Epsilon = *eps
+	o.Sparse = *sparse
+	o.Seed = *seed
+	o.ExactTermination = !*sparse && x.Cols() <= 600
+	res, err := least.Learn(x, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leastcli:", err)
+		os.Exit(1)
+	}
+	var net *bnet.Network
+	if res.Weights != nil {
+		net = bnet.FromDense(res.Weights, *tau, names)
+	} else {
+		net = bnet.FromCSR(res.SparseWeights, *tau, names)
+	}
+	switch *format {
+	case "dot":
+		fmt.Print(net.DOT())
+	case "json":
+		if err := net.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "leastcli:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Println("from,to,weight")
+		for _, e := range net.TopEdges(net.NumEdges()) {
+			fmt.Printf("%s,%s,%.6f\n", net.Name(e.From), net.Name(e.To), e.Weight)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "learned %d edges over %d variables (δ=%.3g, converged=%v)\n",
+		net.NumEdges(), x.Cols(), res.Delta, res.Converged)
+}
+
+func readCSV(path string, header bool) (*least.Matrix, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("%s: empty file", path)
+	}
+	var names []string
+	if header {
+		names = rows[0]
+		rows = rows[1:]
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("%s: no data rows", path)
+	}
+	d := len(rows[0])
+	x := least.NewMatrix(len(rows), d)
+	for i, row := range rows {
+		if len(row) != d {
+			return nil, nil, fmt.Errorf("%s: row %d has %d fields, want %d", path, i+1, len(row), d)
+		}
+		for j, s := range row {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: row %d col %d: %v", path, i+1, j+1, err)
+			}
+			x.Set(i, j, v)
+		}
+	}
+	if names == nil {
+		names = make([]string, d)
+		for j := range names {
+			names[j] = fmt.Sprintf("X%d", j)
+		}
+	}
+	return x, names, nil
+}

@@ -1,0 +1,49 @@
+// Booking-monitor example: the §VI-A production scenario. Simulates
+// the Fliggy flight-booking funnel, injects the Table II incidents one
+// per monitoring period, learns a Bayesian network from each window
+// with LEAST, and prints the root-cause paths the detector reports —
+// the near-real-time anomaly pipeline the paper deploys.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/booking"
+	"repro/internal/randx"
+)
+
+func main() {
+	rng := randx.New(2024)
+	world := booking.DefaultWorld(rng)
+	fmt.Printf("booking world: %d airlines, %d fare sources, %d agents, %d cities, %d intermediaries → %d BN variables\n",
+		len(world.Airlines), len(world.FareSources), len(world.Agents),
+		len(world.Cities), len(world.Intermediaries), world.NumVars())
+
+	// A calm 24h baseline window.
+	prev := booking.GenerateWindow(rng, world, nil, 4000)
+	fmt.Printf("baseline window: %d bookings, step-3 error rate %.2f%%\n\n",
+		len(prev.Records), 100*prev.ErrorRate(booking.StepReserve))
+
+	for _, incident := range booking.TableIIScripts(world) {
+		fmt.Printf("=== period with incident %q (%s, step %d) ===\n",
+			incident.Name, incident.Category, incident.Step+1)
+		alerts, net, cur := booking.MonitorPeriod(
+			rng, world, []*booking.Incident{incident}, prev, 4000,
+			booking.DefaultLearnOptions(), 1e-3)
+		fmt.Printf("learned BN: %d edges; step-%d error rate %.2f%% (was %.2f%%)\n",
+			net.NumEdges(), incident.Step+1,
+			100*cur.ErrorRate(incident.Step), 100*prev.ErrorRate(incident.Step))
+		if len(alerts) == 0 {
+			fmt.Println("no alerts")
+		}
+		for i, a := range alerts {
+			if i >= 3 {
+				break
+			}
+			cat := booking.Classify(world, a, []*booking.Incident{incident})
+			fmt.Printf("  ALERT p=%.2e  %v  (%d/%d errored vs %d/%d last window) → classified: %s\n",
+				a.PValue, a.Path.Names, a.CurCount, a.CurN, a.PrevCount, a.PrevN, cat)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// MovieLens example: the §VI-C explainable-recommendation case study.
+// Generates a synthetic rating matrix over a movie catalog with a
+// planted item-to-item influence DAG, learns the structure with LEAST,
+// and reproduces the paper's analyses: the Table IV top-edge list with
+// relationship remarks, the blockbuster in/out-degree contrast, and
+// the Fig 8 neighbourhood subgraph around Braveheart.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/movielens"
+)
+
+func main() {
+	catalog := movielens.DefaultCatalog(150)
+	fmt.Printf("catalog: %d movies, %d planted influence edges\n",
+		len(catalog.Movies), len(catalog.Edges))
+
+	ratings := movielens.Generate(catalog, movielens.DefaultGenOptions())
+	fmt.Printf("ratings: %d users; most watched: %v\n\n",
+		ratings.X.Rows(), ratings.MostWatched(3))
+
+	net := movielens.Learn(ratings, movielens.DefaultLearnOptions())
+	report := movielens.Evaluate(net, catalog)
+	fmt.Printf("learned %d edges; Table-IV named pairs recovered: %d/10\n\n",
+		report.LearnedEdges, report.NamedFound)
+
+	fmt.Println("top learned edges (Table IV reproduction):")
+	fmt.Printf("%-50s %-50s %8s %s\n", "link from", "link to", "weight", "remark")
+	for _, e := range movielens.TopEdgesAnnotated(net, catalog, 10) {
+		rel := string(e.Relation)
+		if rel == "" {
+			rel = "-"
+		}
+		fmt.Printf("%-50s %-50s %8.3f %s\n", e.From, e.To, e.Weight, rel)
+	}
+
+	blockbuster, niche := movielens.DegreeContrast(net, catalog)
+	fmt.Printf("\nblockbuster avg (in − out) degree: %+.1f   niche avg: %+.1f\n", blockbuster, niche)
+	fmt.Println("(§VI-C: blockbusters accumulate incoming links; niche titles send outgoing links)")
+
+	center := catalog.Index("Braveheart (1995)")
+	sub := net.Neighborhood(center, 2)
+	fmt.Printf("\nFig-8 style neighbourhood around Braveheart: %d nodes, %d edges\n", sub.N(), sub.NumEdges())
+	fmt.Print(sub.DOT())
+}

@@ -1,0 +1,134 @@
+package bnet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+func testNet() *Network {
+	// a → b (0.5), b → c (−0.3), a → c (0.1 below default tau in some
+	// tests), d isolated.
+	w := mat.NewDense(4, 4)
+	w.Set(0, 1, 0.5)
+	w.Set(1, 2, -0.3)
+	w.Set(0, 2, 0.1)
+	return FromDense(w, 0.05, []string{"a", "b", "c", "d"})
+}
+
+func TestFromDenseThreshold(t *testing.T) {
+	w := mat.NewDense(2, 2)
+	w.Set(0, 1, 0.2)
+	w.Set(1, 0, 0.01)
+	n := FromDense(w, 0.05, nil)
+	if n.NumEdges() != 1 || !n.Graph().HasEdge(0, 1) {
+		t.Fatal("threshold")
+	}
+	if n.Name(0) != "X0" {
+		t.Fatal("auto names")
+	}
+}
+
+func TestFromCSRMatchesDense(t *testing.T) {
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 0.4)
+	w.Set(2, 0, -0.2)
+	nd := FromDense(w, 0.1, nil)
+	ns := FromCSR(sparse.FromDense(w, 0), 0.1, nil)
+	if nd.NumEdges() != ns.NumEdges() {
+		t.Fatal("edge count mismatch")
+	}
+	if ns.Weight(0, 1) != 0.4 || ns.Weight(2, 0) != -0.2 {
+		t.Fatal("weights")
+	}
+}
+
+func TestIndexAndWeight(t *testing.T) {
+	n := testNet()
+	if n.Index("c") != 2 || n.Index("zzz") != -1 {
+		t.Fatal("Index")
+	}
+	if n.Weight(0, 1) != 0.5 || n.Weight(1, 0) != 0 {
+		t.Fatal("Weight")
+	}
+	if !n.IsDAG() {
+		t.Fatal("IsDAG")
+	}
+}
+
+func TestTopEdgesOrdering(t *testing.T) {
+	n := testNet()
+	top := n.TopEdges(2)
+	if len(top) != 2 {
+		t.Fatal("len")
+	}
+	if top[0].Weight != 0.5 || top[1].Weight != -0.3 {
+		t.Fatalf("order: %+v", top)
+	}
+	all := n.TopEdges(100)
+	if len(all) != 3 {
+		t.Fatal("cap at edge count")
+	}
+}
+
+func TestDegreeProfiles(t *testing.T) {
+	n := testNet()
+	ps := n.DegreeProfiles()
+	// c has in=2 out=0 → first; a has in=0 out=2 → last.
+	if ps[0].Name != "c" || ps[len(ps)-1].Name != "a" {
+		t.Fatalf("profiles: %+v", ps)
+	}
+}
+
+func TestPathsIntoWeights(t *testing.T) {
+	n := testNet()
+	paths := n.PathsInto(2, 5, 100)
+	if len(paths) != 2 {
+		t.Fatalf("paths: %+v", paths)
+	}
+	// Strongest |weight| first: a→b→c product 0.5·−0.3 = −0.15 vs
+	// a→c 0.1.
+	if paths[0].Weight != -0.15 {
+		t.Fatalf("path weight order: %+v", paths)
+	}
+	if paths[0].Names[0] != "a" || paths[0].Names[2] != "c" {
+		t.Fatalf("path names: %v", paths[0].Names)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	n := testNet()
+	sub := n.Neighborhood(n.Index("b"), 1)
+	// b plus parent a and child c.
+	if sub.N() != 3 {
+		t.Fatalf("neighborhood size %d", sub.N())
+	}
+	if sub.Index("d") != -1 {
+		t.Fatal("isolated node leaked in")
+	}
+	if sub.Weight(sub.Index("a"), sub.Index("b")) != 0.5 {
+		t.Fatal("weights must survive remapping")
+	}
+}
+
+func TestDOTColors(t *testing.T) {
+	n := testNet()
+	dot := n.DOT()
+	if !strings.Contains(dot, `"a" -> "b" [color=green`) {
+		t.Fatalf("positive edge color: %s", dot)
+	}
+	if !strings.Contains(dot, `"b" -> "c" [color=red`) {
+		t.Fatalf("negative edge color: %s", dot)
+	}
+}
+
+func TestNameCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromDense(mat.NewDense(3, 3), 0.1, []string{"only-one"})
+}

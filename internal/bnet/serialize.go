@@ -1,0 +1,59 @@
+package bnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonNetwork is the stable on-disk representation of a learned
+// Bayesian network: node names plus a weighted edge list. It is the
+// interchange format between the CLI tools, the monitoring system's
+// periodic snapshots, and downstream consumers.
+type jsonNetwork struct {
+	Nodes []string   `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// WriteJSON serializes the network.
+func (n *Network) WriteJSON(w io.Writer) error {
+	out := jsonNetwork{Nodes: append([]string(nil), n.names...)}
+	for _, e := range n.g.Edges() {
+		out.Edges = append(out.Edges, jsonEdge{From: e.From, To: e.To, Weight: n.Weight(e.From, e.To)})
+	}
+	sort.Slice(out.Edges, func(a, b int) bool {
+		if out.Edges[a].From != out.Edges[b].From {
+			return out.Edges[a].From < out.Edges[b].From
+		}
+		return out.Edges[a].To < out.Edges[b].To
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a network written by WriteJSON.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var in jsonNetwork
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("bnet: decode: %w", err)
+	}
+	n := newNetwork(len(in.Nodes), in.Nodes)
+	for _, e := range in.Edges {
+		if e.From < 0 || e.From >= len(in.Nodes) || e.To < 0 || e.To >= len(in.Nodes) {
+			return nil, fmt.Errorf("bnet: edge (%d,%d) out of range", e.From, e.To)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("bnet: self-loop at %d", e.From)
+		}
+		n.addEdge(e.From, e.To, e.Weight)
+	}
+	return n, nil
+}

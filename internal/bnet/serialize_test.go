@@ -1,0 +1,42 @@
+package bnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 0.5)
+	w.Set(1, 2, -0.25)
+	n := FromDense(w, 0.1, []string{"x", "y", "z"})
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != 2 || got.Name(2) != "z" {
+		t.Fatal("structure lost")
+	}
+	if got.Weight(0, 1) != 0.5 || got.Weight(1, 2) != -0.25 {
+		t.Fatal("weights lost")
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":["a"],"edges":[{"from":0,"to":5}]}`)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":["a","b"],"edges":[{"from":1,"to":1}]}`)); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,251 @@
+package booking
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestWorldLayout(t *testing.T) {
+	rng := randx.New(1)
+	w := DefaultWorld(rng)
+	if w.NumVars() != w.numEntities()+NumSteps {
+		t.Fatal("variable layout")
+	}
+	names := w.VarNames()
+	if len(names) != w.NumVars() {
+		t.Fatal("name count")
+	}
+	// Blocks must tile the variable space in order.
+	if !strings.HasPrefix(names[w.airlineVar(0)], "Airline:") {
+		t.Fatal("airline block")
+	}
+	if !strings.HasPrefix(names[w.fareVar(0)], "FareSource:") {
+		t.Fatal("fare block")
+	}
+	if !strings.HasPrefix(names[w.ErrorVar(StepReserve)], "Error:Step3") {
+		t.Fatal("error block")
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	rng := randx.New(2)
+	w := DefaultWorld(rng)
+	if !w.sameBlock(w.airlineVar(0), w.airlineVar(3)) {
+		t.Fatal("airlines share a block")
+	}
+	if w.sameBlock(w.airlineVar(0), w.fareVar(0)) {
+		t.Fatal("airline vs fare")
+	}
+	if !w.sameBlock(w.ErrorVar(0), w.ErrorVar(3)) {
+		t.Fatal("errors share a block")
+	}
+}
+
+func TestGenerateWindowIndicators(t *testing.T) {
+	rng := randx.New(3)
+	w := DefaultWorld(rng)
+	win := GenerateWindow(rng, w, nil, 500)
+	if len(win.Records) != 500 || win.X.Rows() != 500 {
+		t.Fatal("window size")
+	}
+	// Each row must have exactly one airline, one fare, one agent, two
+	// cities, one intermediary set.
+	for r := 0; r < 500; r++ {
+		row := win.X.Row(r)
+		count := func(lo, n int) int {
+			c := 0
+			for i := lo; i < lo+n; i++ {
+				if row[i] == 1 {
+					c++
+				}
+			}
+			return c
+		}
+		if count(w.airlineVar(0), len(w.Airlines)) != 1 {
+			t.Fatal("airline one-hot")
+		}
+		if count(w.fareVar(0), len(w.FareSources)) != 1 {
+			t.Fatal("fare one-hot")
+		}
+		if count(w.cityVar(0), len(w.Cities)) != 2 {
+			t.Fatal("two cities (dep+arr)")
+		}
+		if count(w.interVar(0), len(w.Intermediaries)) != 1 {
+			t.Fatal("intermediary one-hot")
+		}
+	}
+}
+
+func TestBaselineErrorRate(t *testing.T) {
+	rng := randx.New(4)
+	w := DefaultWorld(rng)
+	win := GenerateWindow(rng, w, nil, 20000)
+	for s := 0; s < NumSteps; s++ {
+		r := win.ErrorRate(s)
+		if r < 0.003 || r > 0.03 {
+			t.Fatalf("baseline step-%d error rate %.4f, want ≈ %.2f", s, r, w.BaseErrorRate)
+		}
+	}
+}
+
+func TestIncidentRaisesScopedErrors(t *testing.T) {
+	rng := randx.New(5)
+	w := DefaultWorld(rng)
+	scripts := TableIIScripts(w)
+	inc := scripts[3] // WUH lockdown: availability errors for ArrCity=WUH
+	win := GenerateWindow(rng, w, []*Incident{inc}, 20000)
+	inScope, inScopeErr, outScope, outScopeErr := 0, 0, 0, 0
+	for _, rec := range win.Records {
+		if rec.ArrCity == inc.ArrCity {
+			inScope++
+			if rec.Errors[StepAvailability] {
+				inScopeErr++
+			}
+		} else {
+			outScope++
+			if rec.Errors[StepAvailability] {
+				outScopeErr++
+			}
+		}
+	}
+	inRate := float64(inScopeErr) / float64(inScope)
+	outRate := float64(outScopeErr) / float64(outScope)
+	if inRate < 10*outRate {
+		t.Fatalf("incident not scoped: in=%.3f out=%.3f", inRate, outRate)
+	}
+}
+
+func TestIncidentMatchesFilters(t *testing.T) {
+	rng := randx.New(6)
+	w := DefaultWorld(rng)
+	inc := &Incident{Airline: 2, FareSource: -1, Agent: -1, ArrCity: -1, DepCity: -1, Intermediary: -1, Step: 0}
+	if !inc.matches(w, Record{Airline: 2}) {
+		t.Fatal("should match airline 2")
+	}
+	if inc.matches(w, Record{Airline: 3}) {
+		t.Fatal("should not match airline 3")
+	}
+	set := &Incident{Airline: -1, FareSource: -1, FareSourceSet: []int{1, 4}, Agent: -1, ArrCity: -1, DepCity: -1, Intermediary: -1}
+	if !set.matches(w, Record{FareSource: 4}) || set.matches(w, Record{FareSource: 2}) {
+		t.Fatal("fare-source set scope")
+	}
+}
+
+func TestTableIIScriptsWellFormed(t *testing.T) {
+	rng := randx.New(7)
+	w := DefaultWorld(rng)
+	scripts := TableIIScripts(w)
+	if len(scripts) != 7 {
+		t.Fatalf("script count %d", len(scripts))
+	}
+	for _, inc := range scripts {
+		if inc.Boost <= 0 || inc.Step < 0 || inc.Step >= NumSteps {
+			t.Fatalf("malformed incident %+v", inc)
+		}
+		if len(inc.entityVars(w)) == 0 {
+			t.Fatalf("incident %s has no scoped entity", inc.Name)
+		}
+	}
+}
+
+func TestLearnProducesSinkErrorNodes(t *testing.T) {
+	rng := randx.New(8)
+	w := DefaultWorld(rng)
+	inc := TableIIScripts(w)[0]
+	win := GenerateWindow(rng, w, []*Incident{inc}, 3000)
+	net := Learn(win, DefaultLearnOptions())
+	for s := 0; s < NumSteps; s++ {
+		if len(net.Children(w.ErrorVar(s))) != 0 {
+			t.Fatalf("error node %d has outgoing edges", s)
+		}
+	}
+	// Intra-block edges must be filtered.
+	for _, e := range net.TopEdges(net.NumEdges()) {
+		if w.sameBlock(e.From, e.To) {
+			t.Fatalf("intra-block edge %d→%d survived", e.From, e.To)
+		}
+	}
+}
+
+func TestDetectFindsInjectedIncident(t *testing.T) {
+	rng := randx.New(9)
+	w := DefaultWorld(rng)
+	inc := TableIIScripts(w)[3] // WUH lock-down: strong city-scoped signal
+	prev := GenerateWindow(rng, w, nil, 4000)
+	alerts, _, _ := MonitorPeriod(rng, w, []*Incident{inc}, prev, 4000, DefaultLearnOptions(), 1e-3)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts for injected incident")
+	}
+	found := false
+	for _, a := range alerts {
+		if Classify(w, a, []*Incident{inc}) == inc.Category {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("incident not classified correctly")
+	}
+}
+
+func TestDetectQuietOnCalmWindows(t *testing.T) {
+	rng := randx.New(10)
+	w := DefaultWorld(rng)
+	prev := GenerateWindow(rng, w, nil, 4000)
+	alerts, _, _ := MonitorPeriod(rng, w, nil, prev, 4000, DefaultLearnOptions(), 1e-4)
+	if len(alerts) > 1 {
+		t.Fatalf("%d alerts on calm windows (want ≈0)", len(alerts))
+	}
+}
+
+func TestClassifyFallsBackToFalseAlarm(t *testing.T) {
+	rng := randx.New(11)
+	w := DefaultWorld(rng)
+	a := Alert{Step: 0, PathVars: []int{w.airlineVar(1), w.ErrorVar(0)}}
+	if c := Classify(w, a, nil); c != CatFalseAlarm {
+		t.Fatalf("no incidents → %s", c)
+	}
+	inc := &Incident{Airline: 3, FareSource: -1, Agent: -1, ArrCity: -1, DepCity: -1, Intermediary: -1, Step: 2, Category: CatAirline}
+	if c := Classify(w, a, []*Incident{inc}); c != CatFalseAlarm {
+		t.Fatalf("wrong-step incident matched: %s", c)
+	}
+}
+
+func TestPieAndTPR(t *testing.T) {
+	cats := []Category{CatExternal, CatExternal, CatAirline, CatFalseAlarm}
+	slices := Pie(cats)
+	total := 0
+	for _, s := range slices {
+		total += s.Count
+	}
+	if total != 4 {
+		t.Fatal("pie total")
+	}
+	if tpr := TruePositiveRate(slices); tpr != 0.75 {
+		t.Fatalf("TPR = %g", tpr)
+	}
+}
+
+func TestRandomIncidentCategories(t *testing.T) {
+	rng := randx.New(12)
+	w := DefaultWorld(rng)
+	for _, cat := range []Category{CatExternal, CatAirline, CatAgent, CatIntermediary, CatUnpredictable} {
+		inc := RandomIncident(rng, w, cat)
+		if inc.Category != cat {
+			t.Fatalf("category %s → %s", cat, inc.Category)
+		}
+		if len(inc.entityVars(w)) == 0 {
+			t.Fatalf("%s incident has no scope", cat)
+		}
+	}
+}
+
+func TestStepNames(t *testing.T) {
+	if StepName(StepAvailability) != "Step1-Availability" || StepName(StepPayment) != "Step4-Payment" {
+		t.Fatal("step names")
+	}
+	if !strings.Contains(StepName(9), "?") {
+		t.Fatal("unknown step")
+	}
+}

@@ -1,0 +1,222 @@
+package booking
+
+import (
+	"strings"
+
+	"repro/internal/randx"
+)
+
+// Category classifies an incident's root cause, matching the Fig 7
+// slices.
+type Category string
+
+// Fig 7 root-cause categories.
+const (
+	CatExternal      Category = "external systems"
+	CatAirline       Category = "airline"
+	CatAgent         Category = "travel agent"
+	CatIntermediary  Category = "intermediary interfaces"
+	CatUnpredictable Category = "unpredictable events"
+	CatFalseAlarm    Category = "false alarms"
+)
+
+// Incident is an injected failure mode, scoped by entity filters
+// (−1 = any). The scripts below mirror the Table II case studies.
+type Incident struct {
+	Name     string
+	Category Category
+	// Step is the booking step whose error rate the incident raises.
+	Step int
+	// Scope filters: a booking matches when every set filter matches.
+	Airline, FareSource, Agent, ArrCity, DepCity, Intermediary int
+	// FareSourceSet optionally widens FareSource to a set (Table II's
+	// "Fare sources 3,9,16 ← Airline AC" pattern).
+	FareSourceSet []int
+	// Boost is the additional per-booking failure probability.
+	Boost float64
+}
+
+// matches reports whether a booking record falls in the incident's
+// scope.
+func (inc *Incident) matches(w *World, r Record) bool {
+	if inc.Airline >= 0 && r.Airline != inc.Airline {
+		return false
+	}
+	if inc.FareSource >= 0 && r.FareSource != inc.FareSource {
+		return false
+	}
+	if len(inc.FareSourceSet) > 0 {
+		ok := false
+		for _, f := range inc.FareSourceSet {
+			if r.FareSource == f {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if inc.Agent >= 0 && r.Agent != inc.Agent {
+		return false
+	}
+	if inc.ArrCity >= 0 && r.ArrCity != inc.ArrCity {
+		return false
+	}
+	if inc.DepCity >= 0 && r.DepCity != inc.DepCity {
+		return false
+	}
+	if inc.Intermediary >= 0 && r.Intermediary != inc.Intermediary {
+		return false
+	}
+	return true
+}
+
+// anyScope returns an incident with all filters cleared.
+func anyScope() Incident {
+	return Incident{Airline: -1, FareSource: -1, Agent: -1, ArrCity: -1, DepCity: -1, Intermediary: -1}
+}
+
+// newIncident fills in an incident from a template.
+func newIncident(name string, cat Category, step int, boost float64, scope func(*Incident)) *Incident {
+	inc := anyScope()
+	inc.Name = name
+	inc.Category = cat
+	inc.Step = step
+	inc.Boost = boost
+	scope(&inc)
+	return &inc
+}
+
+// TableIIScripts returns incident scripts mirroring the Table II case
+// studies, addressed against the given world.
+func TableIIScripts(w *World) []*Incident {
+	airline := func(code string) int {
+		for i, a := range w.Airlines {
+			if a == code {
+				return i
+			}
+		}
+		return -1
+	}
+	city := func(code string) int {
+		for i, c := range w.Cities {
+			if c == code {
+				return i
+			}
+		}
+		return -1
+	}
+	agent := func(sub string) int {
+		for i, g := range w.Agents {
+			if strings.Contains(g, sub) {
+				return i
+			}
+		}
+		return -1
+	}
+	return []*Incident{
+		// 2019-11-19: Air Canada booking-system maintenance breaking
+		// several fare sources at the reserve step.
+		newIncident("AC-maintenance", CatAirline, StepReserve, 0.45, func(i *Incident) {
+			i.Airline = airline("AC")
+			i.FareSourceSet = []int{3, 6, 9}
+		}),
+		// 2019-12-05: inaccurate Amadeus data for airline SL via agent
+		// office BKK275Q.
+		newIncident("SL-agent-data", CatAgent, StepReserve, 0.5, func(i *Incident) {
+			i.Airline = airline("SL")
+			i.Agent = agent("BKK275Q")
+		}),
+		// 2019-12-09: internal deployment problem surfacing through
+		// fare source 5 (most visible on airline MU, which uses it
+		// heavily — Table II lists both paths).
+		newIncident("MU-deployment", CatExternal, StepReserve, 0.45, func(i *Incident) {
+			i.FareSource = 5
+		}),
+		// 2020-01-23: Wuhan lock-down — availability errors for
+		// arrivals into WUH.
+		newIncident("WUH-lockdown", CatUnpredictable, StepAvailability, 0.6, func(i *Incident) {
+			i.ArrCity = city("WUH")
+		}),
+		// 2020-02-15/20/28: travel-ban transfers through Bangkok.
+		newIncident("BKK-travel-ban", CatUnpredictable, StepAvailability, 0.35, func(i *Incident) {
+			i.ArrCity = city("BKK")
+		}),
+		// 2020-02-24: COVID outbreak in South Korea — departures from
+		// SEL plus airline MU availability errors.
+		newIncident("SEL-outbreak", CatUnpredictable, StepAvailability, 0.5, func(i *Incident) {
+			i.DepCity = city("SEL")
+		}),
+		// Intermediary interface degradation (Fig 7's 3% slice).
+		newIncident("Travelsky-degraded", CatIntermediary, StepPrice, 0.35, func(i *Incident) {
+			for m, name := range w.Intermediaries {
+				if name == "Travelsky" {
+					i.Intermediary = m
+				}
+			}
+		}),
+	}
+}
+
+// entityVars returns the BN variable ids an incident's scope touches —
+// used to decide whether a reported anomaly path explains an incident.
+func (inc *Incident) entityVars(w *World) []int {
+	var vars []int
+	if inc.Airline >= 0 {
+		vars = append(vars, w.airlineVar(inc.Airline))
+	}
+	if inc.FareSource >= 0 {
+		vars = append(vars, w.fareVar(inc.FareSource))
+	}
+	for _, f := range inc.FareSourceSet {
+		vars = append(vars, w.fareVar(f))
+	}
+	if inc.Agent >= 0 {
+		vars = append(vars, w.agentVar(inc.Agent))
+	}
+	if inc.ArrCity >= 0 {
+		vars = append(vars, w.cityVar(inc.ArrCity))
+	}
+	if inc.DepCity >= 0 {
+		vars = append(vars, w.cityVar(inc.DepCity))
+	}
+	if inc.Intermediary >= 0 {
+		vars = append(vars, w.interVar(inc.Intermediary))
+	}
+	return vars
+}
+
+// RandomIncident draws a random incident of the given category — the
+// generator behind the Fig 7 multi-week stream.
+func RandomIncident(rng *randx.RNG, w *World, cat Category) *Incident {
+	step := rng.Intn(NumSteps)
+	boost := rng.Uniform(0.3, 0.6)
+	switch cat {
+	case CatAirline:
+		return newIncident("rand-airline", cat, step, boost, func(i *Incident) {
+			i.Airline = rng.Intn(len(w.Airlines))
+		})
+	case CatAgent:
+		return newIncident("rand-agent", cat, step, boost, func(i *Incident) {
+			i.Agent = rng.Intn(len(w.Agents))
+		})
+	case CatIntermediary:
+		return newIncident("rand-intermediary", cat, step, boost, func(i *Incident) {
+			i.Intermediary = rng.Intn(len(w.Intermediaries))
+		})
+	case CatExternal:
+		// External-system problems surface through fare sources.
+		return newIncident("rand-external", cat, step, boost, func(i *Incident) {
+			i.FareSource = rng.Intn(len(w.FareSources))
+		})
+	default: // unpredictable: city-scoped
+		return newIncident("rand-unpredictable", cat, step, boost, func(i *Incident) {
+			if rng.Intn(2) == 0 {
+				i.ArrCity = rng.Intn(len(w.Cities))
+			} else {
+				i.DepCity = rng.Intn(len(w.Cities))
+			}
+		})
+	}
+}

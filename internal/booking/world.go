@@ -1,0 +1,226 @@
+// Package booking simulates the Fliggy flight-ticket booking pipeline
+// of §VI-A and implements the LEAST-based monitoring system built on
+// it: windowed structure learning over booking-log indicator variables,
+// backward path extraction into the four booking-step error nodes, and
+// the two-window statistical test that separates real incidents from
+// coincidences. The simulator reproduces the moving parts the paper
+// describes — airlines, fare sources, travel agents, intermediary
+// booking systems, departure/arrival cities, and the four-step booking
+// funnel (availability → price → reserve → payment) — plus an incident
+// injection mechanism whose scripts mirror the Table II cases (airline
+// system maintenance, bad agent data, city lock-down, travel ban,
+// outbreak).
+package booking
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+)
+
+// Booking funnel steps (§VI-A): each step can fail independently.
+const (
+	StepAvailability = iota // query and confirm seat availability
+	StepPrice               // query and confirm price
+	StepReserve             // reserve ticket
+	StepPayment             // payment and final confirmation
+	NumSteps
+)
+
+// StepName returns the §VI-A name of a booking step.
+func StepName(step int) string {
+	switch step {
+	case StepAvailability:
+		return "Step1-Availability"
+	case StepPrice:
+		return "Step2-Price"
+	case StepReserve:
+		return "Step3-Reserve"
+	case StepPayment:
+		return "Step4-Payment"
+	default:
+		return fmt.Sprintf("Step?%d", step)
+	}
+}
+
+// World describes the booking ecosystem: its entities and their usage
+// skews. Entity kinds map 1:1 to BN variable blocks.
+type World struct {
+	Airlines       []string
+	FareSources    []string
+	Agents         []string
+	Cities         []string
+	Intermediaries []string
+
+	// airlineFarePref[a] is a per-airline categorical distribution
+	// over fare sources; it is what creates the Airline → FareSource
+	// correlations that surface as BN edges.
+	airlineFarePref [][]float64
+	// BaseErrorRate is the per-step background failure probability.
+	BaseErrorRate float64
+}
+
+// DefaultWorld builds the ecosystem used throughout the experiments:
+// 12 airlines (including the Table II codes AC, SL, MU), 10 fare
+// sources, 8 travel agents, 10 cities (including WUH, BKK, SEL) and 3
+// intermediary systems (Amadeus/Travelsky-like).
+func DefaultWorld(rng *randx.RNG) *World {
+	w := &World{
+		Airlines: []string{
+			"AC", "MU", "SL", "CA", "CZ", "UA", "LH", "AF", "NH", "SQ", "EK", "QF",
+		},
+		FareSources: make([]string, 10),
+		Agents: []string{
+			"AgentBKK275Q", "AgentSHA001", "AgentPEK114", "AgentHKG220",
+			"AgentSIN777", "AgentNRT045", "AgentFRA310", "AgentSYD808",
+		},
+		Cities: []string{
+			"WUH", "BKK", "SEL", "PEK", "SHA", "HKG", "SIN", "NRT", "FRA", "SYD",
+		},
+		Intermediaries: []string{"Amadeus", "Travelsky", "DirectConnect"},
+		BaseErrorRate:  0.01,
+	}
+	for i := range w.FareSources {
+		w.FareSources[i] = fmt.Sprintf("Fare%02d", i)
+	}
+	// Each airline prefers a random sparse subset of fare sources.
+	w.airlineFarePref = make([][]float64, len(w.Airlines))
+	for a := range w.Airlines {
+		pref := make([]float64, len(w.FareSources))
+		var norm float64
+		for f := range pref {
+			v := rng.Float64()
+			if rng.Float64() < 0.6 {
+				v *= 0.05 // rarely-used source for this airline
+			}
+			pref[f] = v
+			norm += v
+		}
+		for f := range pref {
+			pref[f] /= norm
+		}
+		w.airlineFarePref[a] = pref
+	}
+	return w
+}
+
+// Variable-block layout of the BN node space.
+func (w *World) numEntities() int {
+	return len(w.Airlines) + len(w.FareSources) + len(w.Agents) +
+		len(w.Cities) + len(w.Intermediaries)
+}
+
+// NumVars returns the total BN node count: one indicator per entity
+// plus the four error-type nodes.
+func (w *World) NumVars() int { return w.numEntities() + NumSteps }
+
+// Variable index helpers.
+func (w *World) airlineVar(a int) int { return a }
+func (w *World) fareVar(f int) int    { return len(w.Airlines) + f }
+func (w *World) agentVar(g int) int   { return len(w.Airlines) + len(w.FareSources) + g }
+func (w *World) cityVar(c int) int {
+	return len(w.Airlines) + len(w.FareSources) + len(w.Agents) + c
+}
+func (w *World) interVar(m int) int {
+	return len(w.Airlines) + len(w.FareSources) + len(w.Agents) + len(w.Cities) + m
+}
+
+// ErrorVar returns the BN node id of the given booking step's error
+// indicator.
+func (w *World) ErrorVar(step int) int { return w.numEntities() + step }
+
+// block returns the entity-block ordinal of a variable (airlines,
+// fares, agents, cities, intermediaries, errors).
+func (w *World) block(v int) int {
+	switch {
+	case v < w.fareVar(0):
+		return 0
+	case v < w.agentVar(0):
+		return 1
+	case v < w.cityVar(0):
+		return 2
+	case v < w.interVar(0):
+		return 3
+	case v < w.ErrorVar(0):
+		return 4
+	default:
+		return 5
+	}
+}
+
+// sameBlock reports whether two variables belong to the same one-hot
+// entity block (error nodes form their own block).
+func (w *World) sameBlock(a, b int) bool { return w.block(a) == w.block(b) }
+
+// VarNames returns the labels for every BN node, in variable order.
+func (w *World) VarNames() []string {
+	names := make([]string, 0, w.NumVars())
+	for _, a := range w.Airlines {
+		names = append(names, "Airline:"+a)
+	}
+	for _, f := range w.FareSources {
+		names = append(names, "FareSource:"+f)
+	}
+	for _, g := range w.Agents {
+		names = append(names, "Agent:"+g)
+	}
+	for _, c := range w.Cities {
+		names = append(names, "City:"+c)
+	}
+	for _, m := range w.Intermediaries {
+		names = append(names, "Intermediary:"+m)
+	}
+	for s := 0; s < NumSteps; s++ {
+		names = append(names, "Error:"+StepName(s))
+	}
+	return names
+}
+
+// Record is one booking attempt's log line.
+type Record struct {
+	Airline, FareSource, Agent int
+	DepCity, ArrCity           int
+	Intermediary               int
+	// Errors[s] reports whether step s failed.
+	Errors [NumSteps]bool
+}
+
+// sample draws one booking attempt under the active incidents.
+func (w *World) sample(rng *randx.RNG, incidents []*Incident) Record {
+	rec := Record{
+		Airline:      rng.Intn(len(w.Airlines)),
+		Agent:        rng.Intn(len(w.Agents)),
+		DepCity:      rng.Intn(len(w.Cities)),
+		Intermediary: rng.Intn(len(w.Intermediaries)),
+	}
+	rec.ArrCity = rng.Intn(len(w.Cities))
+	for rec.ArrCity == rec.DepCity {
+		rec.ArrCity = rng.Intn(len(w.Cities))
+	}
+	// Fare source follows the airline's preference distribution.
+	u := rng.Float64()
+	pref := w.airlineFarePref[rec.Airline]
+	acc := 0.0
+	rec.FareSource = len(pref) - 1
+	for f, p := range pref {
+		acc += p
+		if u < acc {
+			rec.FareSource = f
+			break
+		}
+	}
+	// Step failures: background rate plus any matching incident boost.
+	for s := 0; s < NumSteps; s++ {
+		p := w.BaseErrorRate
+		for _, inc := range incidents {
+			if inc.Step == s && inc.matches(w, rec) {
+				p += inc.Boost
+			}
+		}
+		if p > 0.95 {
+			p = 0.95
+		}
+		rec.Errors[s] = rng.Float64() < p
+	}
+	return rec
+}

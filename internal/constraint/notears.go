@@ -1,0 +1,69 @@
+package constraint
+
+import "repro/internal/mat"
+
+// NotearsH evaluates the original NOTEARS acyclicity function
+// h(W) = tr(e^{W∘W}) − d (Eq. 2). O(d³) time, O(d²) space — the cost
+// the paper's spectral bound removes.
+func NotearsH(w *mat.Dense) float64 {
+	s := w.Square()
+	return mat.Expm(s).Trace() - float64(w.Rows())
+}
+
+// NotearsHGrad returns h(W) and ∇_W h = (e^{W∘W})ᵀ ∘ 2W.
+func NotearsHGrad(w *mat.Dense) (float64, *mat.Dense) {
+	d := w.Rows()
+	s := w.Square()
+	e := mat.Expm(s)
+	h := e.Trace() - float64(d)
+	et := e.Transpose()
+	grad := mat.NewDense(d, d)
+	for i := 0; i < d; i++ {
+		erow := et.Row(i)
+		wrow := w.Row(i)
+		out := grad.Row(i)
+		for j := range out {
+			out[j] = 2 * erow[j] * wrow[j]
+		}
+	}
+	return h, grad
+}
+
+// PolyG evaluates the DAG-GNN polynomial relaxation
+// g(W) = tr((I + γ·W∘W)^d) − d (Eq. 3 with the customary γ scaling;
+// γ = 1 recovers the paper's statement). Zero iff G(W) is a DAG.
+func PolyG(w *mat.Dense, gamma float64) float64 {
+	d := w.Rows()
+	m := mat.Identity(d)
+	m.AxpyInPlace(gamma, w.Square())
+	return m.Pow(d).Trace() - float64(d)
+}
+
+// PolyGGrad returns g(W) and its gradient
+// ∇_W g = d·γ·((I+γS)^{d−1})ᵀ ∘ 2W.
+func PolyGGrad(w *mat.Dense, gamma float64) (float64, *mat.Dense) {
+	d := w.Rows()
+	m := mat.Identity(d)
+	m.AxpyInPlace(gamma, w.Square())
+	pm1 := m.Pow(d - 1)
+	g := pm1.Mul(m).Trace() - float64(d)
+	pt := pm1.Transpose()
+	grad := mat.NewDense(d, d)
+	for i := 0; i < d; i++ {
+		prow := pt.Row(i)
+		wrow := w.Row(i)
+		out := grad.Row(i)
+		for j := range out {
+			out[j] = 2 * float64(d) * gamma * prow[j] * wrow[j]
+		}
+	}
+	return g, grad
+}
+
+// ExactSpectralRadius returns the spectral radius of S = W∘W — the
+// quantity δ^(k) upper-bounds — via Gelfand's formula, which cannot
+// transiently over-estimate on non-normal matrices the way power
+// iteration can (used by the bound-certification tests).
+func ExactSpectralRadius(w *mat.Dense) float64 {
+	return w.Square().SpectralRadiusGelfand(48)
+}

@@ -1,0 +1,9 @@
+package core
+
+import (
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// sparseFromDense is a test helper converting a dense matrix to CSR.
+func sparseFromDense(w *mat.Dense) *sparse.CSR { return sparse.FromDense(w, 0) }

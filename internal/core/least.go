@@ -1,0 +1,530 @@
+// Package core implements LEAST, the paper's structure-learning
+// algorithm (Fig 3): augmented-Lagrangian minimization of
+//
+//	(1/n)‖X − XW‖²_F + λ‖W‖₁ + ρ/2·δ(W)² + η·δ(W)
+//
+// where δ(W) is the spectral-radius upper bound of §III. Two learners
+// are provided, mirroring the paper's two implementations:
+//
+//   - Dense — the "LEAST-TF" analogue: W is a dense d×d matrix, the
+//     full loss gradient is used, and the support may regrow after
+//     thresholding. Best when d² floats fit in memory comfortably.
+//   - Sparse — the "LEAST-SP" analogue: W lives on a fixed random
+//     candidate support of density ζ (Glorot-initialized), all state is
+//     O(nnz), and every step costs O(B·(d+s) + k·s).
+//
+// Note on Fig 3 line 7: the paper prints the penalty-gradient factor as
+// (ρ + δ(W)); the true gradient of ρ/2·δ² + η·δ is (ρ·δ + η)·∇δ, which
+// is what both learners use (see DESIGN.md §2).
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/gen"
+	"repro/internal/loss"
+	"repro/internal/mat"
+	"repro/internal/opt"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+// Options configures a LEAST run. The zero value is not usable; start
+// from DefaultOptions.
+type Options struct {
+	// K and Alpha parameterize the spectral bound δ^(k) (paper: 5, 0.9).
+	K     int
+	Alpha float64
+	// Lambda is the L1 penalty λ.
+	Lambda float64
+	// Epsilon is the constraint tolerance ε.
+	Epsilon float64
+	// Threshold is the in-loop filtering threshold θ (Fig 3 line 9).
+	Threshold float64
+	// BatchSize is B; 0 or ≥ n uses the full sample matrix.
+	BatchSize int
+	// InitDensity is ζ, the random-initialization density.
+	InitDensity float64
+	// MaxOuter / MaxInner are T_o and T_i.
+	MaxOuter, MaxInner int
+	// InnerTol stops an inner solve when the relative change of ℓ(W)
+	// stays below it for a few consecutive iterations.
+	InnerTol float64
+	// Adam is the inner optimizer configuration.
+	Adam opt.AdamConfig
+	// RhoGrowth enlarges ρ between outer iterations.
+	RhoGrowth float64
+	// LRDecay multiplies the Adam learning rate after every inner
+	// solve (1 disables). Decay lets the iterates settle below the
+	// initial step size: a constant-step Adam oscillates with
+	// amplitude ≈ lr, which floors the reachable δ at ≈ s·lr².
+	LRDecay float64
+	// MinLR floors the decayed learning rate.
+	MinLR float64
+	// Seed drives initialization and batching.
+	Seed int64
+	// CheckH, when set, additionally evaluates the exact NOTEARS
+	// h(W) at the end of every outer iteration and stops when
+	// h ≤ Epsilon — the fairness termination of §V-A. Only sensible
+	// at dense-feasible d (it costs O(d³)).
+	CheckH bool
+	// TrackEvery, when > 0, records (wall-clock, δ, ĥ) trace points
+	// every TrackEvery inner iterations, where ĥ is the Hutchinson
+	// estimate of tr(e^S)−d — this is how the Fig 5 curves are drawn.
+	TrackEvery int
+	// TrackExact replaces the Hutchinson ĥ in trace points with the
+	// exact tr(e^S)−d (O(d³) per point — only for the small-d Fig 4
+	// correlation study). Dense learner only.
+	TrackExact bool
+	// GradClip caps the max-abs entry of the combined gradient
+	// (stability guard; 0 disables).
+	GradClip float64
+	// NoNormalize disables the δ/d normalization of the constraint.
+	// δ^(k) = Σᵢ b[i] is extensive — it grows with total graph mass —
+	// so on larger graphs the raw penalty (ρδ + η)·∇δ dwarfs the loss
+	// gradient from the first outer iteration and the learner
+	// under-fits. Dividing by d keeps the "zero iff DAG" semantics
+	// (Lemma 1 is scale-free) while making the Lagrangian schedule
+	// dimension-independent. Disabled only by the ablation bench.
+	NoNormalize bool
+	// NoSupportRefresh disables the sparse learner's greedy active-set
+	// refresh (see refresh.go). With refresh disabled the learner is
+	// confined to its initial random support — the literal reading of
+	// Fig 3, kept available for the ablation bench.
+	NoSupportRefresh bool
+	// SinkNodes lists variables constrained to have no outgoing edges
+	// (their W rows are pinned to zero). The booking monitor uses it
+	// to encode that error indicators are effects, never causes —
+	// the kind of light domain knowledge §VI-A assumes when it reads
+	// paths *into* the error nodes. Dense learner only.
+	SinkNodes []int
+}
+
+// DefaultOptions returns the paper's parameter settings (§V).
+func DefaultOptions() Options {
+	return Options{
+		K:           constraint.DefaultK,
+		Alpha:       constraint.DefaultAlpha,
+		Lambda:      0.1,
+		Epsilon:     1e-8,
+		Threshold:   0,
+		BatchSize:   0,
+		InitDensity: 1e-4,
+		MaxOuter:    64,
+		MaxInner:    200,
+		InnerTol:    1e-6,
+		Adam:        opt.DefaultAdam(),
+		RhoGrowth:   10,
+		LRDecay:     0.75,
+		MinLR:       1e-5,
+		Seed:        1,
+		GradClip:    1e4,
+	}
+}
+
+// TracePoint is one sample of the constraint trajectory (Fig 5).
+type TracePoint struct {
+	Elapsed time.Duration
+	Delta   float64 // spectral upper bound δ(W)
+	H       float64 // estimate (or exact value) of tr(e^S)−d
+}
+
+// Result is the outcome of a LEAST run.
+type Result struct {
+	// W is the learned weight matrix (dense form; the sparse learner
+	// returns its CSR matrix in WSparse and a dense copy here when
+	// materialization is affordable, else nil).
+	W *mat.Dense
+	// WSparse is set by the sparse learner.
+	WSparse *sparse.CSR
+	// Delta and H are the final constraint values (H only if CheckH).
+	Delta, H float64
+	// OuterIters / InnerIters count work done.
+	OuterIters, InnerIters int
+	// DeltaTrace holds δ(W*) after each outer iteration.
+	DeltaTrace []float64
+	// HTrace holds h(W*) after each outer iteration when CheckH is set.
+	HTrace []float64
+	// Trace holds the fine-grained (time, δ, ĥ) monitoring points
+	// when TrackEvery > 0.
+	Trace []TracePoint
+	// Elapsed is the total wall-clock time.
+	Elapsed time.Duration
+	// Converged reports whether the ε-tolerance was met.
+	Converged bool
+}
+
+// Dense runs LEAST with a dense weight matrix on the sample matrix x
+// (n×d). It is the accuracy/efficiency workhorse used for every Fig-4
+// and gene-data experiment.
+func Dense(x *mat.Dense, o Options) *Result {
+	start := time.Now()
+	d := x.Cols()
+	rng := randx.New(o.Seed)
+	w := gen.DenseGlorotInit(rng, d, initDensity(o, d))
+	sp := constraint.NewSpectral(o.K, o.Alpha)
+	ls := loss.LeastSquares{Lambda: o.Lambda}
+	norm := float64(d)
+	if o.NoNormalize {
+		norm = 1
+	}
+	adam := opt.NewAdam(o.Adam, d*d)
+	pinned := opt.DiagonalIndices(d)
+	for _, s := range o.SinkNodes {
+		if s < 0 || s >= d {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			pinned = append(pinned, s*d+j)
+		}
+	}
+	opt.PinZero(w, pinned)
+	res := &Result{}
+
+	batcher := newBatcher(rng, x, o.BatchSize)
+	lr := lrSchedule(o)
+	inner := func(rho, eta float64) float64 {
+		adam.Reset()
+		adam.SetLR(lr())
+		prevObj := math.Inf(1)
+		calm := 0
+		var delta float64
+		for it := 0; it < o.MaxInner; it++ {
+			res.InnerIters++
+			var gradC *mat.Dense
+			delta, gradC = sp.ValueGrad(w)
+			if norm != 1 {
+				delta /= norm
+				gradC.ScaleInPlace(1 / norm)
+			}
+			xb := batcher.next()
+			lv, gradL := ls.ValueGrad(w, xb)
+			obj := lv + 0.5*rho*delta*delta + eta*delta
+			factor := rho*delta + eta
+			gd, cd := gradL.Data(), gradC.Data()
+			for i := range gd {
+				gd[i] += factor * cd[i]
+			}
+			opt.ClipGrad(gd, o.GradClip)
+			for _, i := range pinned {
+				gd[i] = 0
+			}
+			adam.Step(w.Data(), gd)
+			opt.PinZero(w, pinned)
+			if o.Threshold > 0 {
+				w.Threshold(o.Threshold)
+			}
+			if o.TrackEvery > 0 && res.InnerIters%o.TrackEvery == 0 {
+				h := 0.0
+				if o.TrackExact {
+					h = constraint.NotearsH(w)
+				} else {
+					h = hutchH(sparse.FromDense(w, 0), rng.Split(), 8, 24)
+				}
+				res.Trace = append(res.Trace, TracePoint{
+					Elapsed: time.Since(start),
+					Delta:   delta,
+					H:       h,
+				})
+			}
+			if loss.NaNGuard(obj) {
+				break
+			}
+			rel := math.Abs(prevObj-obj) / math.Max(1, math.Abs(prevObj))
+			if rel < o.InnerTol {
+				calm++
+				if calm >= 3 {
+					break
+				}
+			} else {
+				calm = 0
+			}
+			prevObj = obj
+		}
+		return sp.Value(w) / norm
+	}
+
+	stop := func(delta float64) bool {
+		if !o.CheckH {
+			return false
+		}
+		h := constraint.NotearsH(w)
+		res.HTrace = append(res.HTrace, h)
+		res.H = h
+		return h <= o.Epsilon
+	}
+
+	st := opt.RunAugLag(opt.AugLagConfig{
+		RhoInit: 1, EtaInit: 0, RhoGrowth: o.RhoGrowth,
+		RhoMax: 1e16, Epsilon: o.Epsilon, MaxOuter: o.MaxOuter,
+		ProgressFactor: 0.25,
+	}, inner, stop)
+
+	res.W = w
+	res.Delta = st.Delta
+	res.DeltaTrace = st.DeltaTrace
+	res.OuterIters = st.Outer
+	res.Converged = st.Converged
+	res.Elapsed = time.Since(start)
+	if o.CheckH && res.H == 0 && len(res.HTrace) == 0 {
+		res.H = constraint.NotearsH(w)
+	}
+	return res
+}
+
+// Sparse runs LEAST-SP: the weight matrix lives on a fixed random
+// candidate support of density ζ and every iteration costs
+// O(B·(d+s) + k·s). This is the learner behind the Fig-5 scalability
+// experiments.
+func Sparse(x *mat.Dense, o Options) *Result {
+	return SparseWithSupport(x, o, nil)
+}
+
+// SparseWithSupport is Sparse but guarantees the candidate support
+// contains the given coordinates (application pipelines seed it with
+// domain-suggested edges, e.g. log-entity co-occurrence pairs).
+func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
+	start := time.Now()
+	d := x.Cols()
+	rng := randx.New(o.Seed)
+	var w *sparse.CSR
+	if must == nil {
+		w = gen.SparseInit(rng, d, initDensity(o, d))
+	} else {
+		w = gen.SparseInitWithSupport(rng, d, initDensity(o, d), must)
+	}
+	w.ZeroDiagonal()
+	sp := constraint.NewSpectral(o.K, o.Alpha)
+	ls := loss.LeastSquares{Lambda: o.Lambda}
+	norm := float64(d)
+	if o.NoNormalize {
+		norm = 1
+	}
+	adam := opt.NewAdam(o.Adam, w.NNZ())
+	res := &Result{}
+
+	batcher := newBatcher(rng, x, o.BatchSize)
+	grad := make([]float64, w.NNZ())
+	lr := lrSchedule(o)
+	budget := w.NNZ()
+	firstSolve := true
+	inner := func(rho, eta float64) float64 {
+		if !firstSolve && !o.NoSupportRefresh {
+			w = refreshSupport(w, x, rng, budget)
+			w.ZeroDiagonal()
+			adam = opt.NewAdam(o.Adam, w.NNZ())
+			grad = make([]float64, w.NNZ())
+		}
+		firstSolve = false
+		adam.Reset()
+		adam.SetLR(lr())
+		prevObj := math.Inf(1)
+		calm := 0
+		for it := 0; it < o.MaxInner; it++ {
+			res.InnerIters++
+			delta, gradC := sp.ValueGradSparse(w)
+			if norm != 1 {
+				delta /= norm
+				for p := range gradC {
+					gradC[p] /= norm
+				}
+			}
+			xb := batcher.next()
+			lv, gradL := ls.ValueGradSparse(w, xb)
+			obj := lv + 0.5*rho*delta*delta + eta*delta
+			factor := rho*delta + eta
+			for p := range grad {
+				grad[p] = gradL[p] + factor*gradC[p]
+			}
+			opt.ClipGrad(grad, o.GradClip)
+			adam.Step(w.Val, grad)
+			w.ZeroDiagonal()
+			if o.Threshold > 0 {
+				w.Threshold(o.Threshold)
+			}
+			if o.TrackEvery > 0 && res.InnerIters%o.TrackEvery == 0 {
+				res.Trace = append(res.Trace, TracePoint{
+					Elapsed: time.Since(start),
+					Delta:   delta,
+					H:       hutchH(w, rng.Split(), 8, 24),
+				})
+			}
+			if loss.NaNGuard(obj) {
+				break
+			}
+			rel := math.Abs(prevObj-obj) / math.Max(1, math.Abs(prevObj))
+			if rel < o.InnerTol {
+				calm++
+				if calm >= 3 {
+					break
+				}
+			} else {
+				calm = 0
+			}
+			prevObj = obj
+		}
+		return sp.ValueSparse(w) / norm
+	}
+
+	// For the sparse learner, the §V-A fairness termination on h(W)
+	// uses the Hutchinson estimate — the exact tr(e^S) is unreachable
+	// at LEAST-SP scales.
+	var stop func(float64) bool
+	if o.CheckH {
+		stop = func(float64) bool {
+			h := hutchH(w, rng.Split(), 8, 24)
+			res.HTrace = append(res.HTrace, h)
+			res.H = h
+			return h <= o.Epsilon
+		}
+	}
+
+	st := opt.RunAugLag(opt.AugLagConfig{
+		RhoInit: 1, EtaInit: 0, RhoGrowth: o.RhoGrowth,
+		RhoMax: 1e16, Epsilon: o.Epsilon, MaxOuter: o.MaxOuter,
+		ProgressFactor: 0.25,
+	}, inner, stop)
+
+	res.WSparse = w
+	if d <= 4096 {
+		res.W = w.ToDense()
+	}
+	res.Delta = st.Delta
+	res.DeltaTrace = st.DeltaTrace
+	res.OuterIters = st.Outer
+	res.Converged = st.Converged
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// lrSchedule returns a closure yielding the learning rate for each
+// successive inner solve: lr0·decay^(solve−1), floored at MinLR.
+func lrSchedule(o Options) func() float64 {
+	lr := o.Adam.LR
+	if lr <= 0 {
+		lr = opt.DefaultAdam().LR
+	}
+	decay := o.LRDecay
+	if decay <= 0 || decay > 1 {
+		decay = 1
+	}
+	minLR := o.MinLR
+	if minLR <= 0 {
+		minLR = 1e-6
+	}
+	first := true
+	return func() float64 {
+		if first {
+			first = false
+			return lr
+		}
+		lr *= decay
+		if lr < minLR {
+			lr = minLR
+		}
+		return lr
+	}
+}
+
+func initDensity(o Options, d int) float64 {
+	den := o.InitDensity
+	if den <= 0 {
+		den = 1e-4
+	}
+	// Guarantee a workable number of candidates on small graphs: the
+	// paper's ζ = 10⁻⁴ targets d ≈ 10⁵; at d = 100 it would leave the
+	// dense learner with a single non-zero. Dense runs want full
+	// support anyway, so small-d dense runs bump to full density.
+	if float64(d)*float64(d)*den < float64(4*d) {
+		den = math.Min(1, float64(4*d)/(float64(d)*float64(d)))
+	}
+	return den
+}
+
+// batcher produces mini-batches X_B (Fig 3 line 5). With batch ≤ 0 or
+// ≥ n it returns the full matrix.
+type batcher struct {
+	rng  *randx.RNG
+	x    *mat.Dense
+	size int
+}
+
+func newBatcher(rng *randx.RNG, x *mat.Dense, size int) *batcher {
+	if size <= 0 || size >= x.Rows() {
+		size = 0
+	}
+	return &batcher{rng: rng, x: x, size: size}
+}
+
+func (b *batcher) next() *mat.Dense {
+	if b.size == 0 {
+		return b.x
+	}
+	rows := make([]int, b.size)
+	for i := range rows {
+		rows[i] = b.rng.Intn(b.x.Rows())
+	}
+	return loss.Batch(b.x, rows)
+}
+
+// hutchH estimates h(W) = tr(e^{W∘W}) − d with a Hutchinson trace
+// estimator driven by sparse matrix-vector products:
+// tr(e^S) − d = E_z[zᵀ(e^S − I)z] over Rademacher probes z, with
+// e^S·z evaluated by the Taylor recurrence y_{k} = S·y_{k−1}/k. Cost is
+// O(probes·terms·nnz), which is how the h-curve of Fig 5 can be traced
+// at 10⁴–10⁵ nodes where an exact e^S is impossible.
+func hutchH(w *sparse.CSR, rng *randx.RNG, probes, terms int) float64 {
+	d := w.Rows()
+	if d == 0 {
+		return 0
+	}
+	s := w.Square()
+	var acc float64
+	y := make([]float64, d)
+	z := make([]float64, d)
+	ynext := make([]float64, d)
+	for p := 0; p < probes; p++ {
+		for i := range z {
+			if rng.Float64() < 0.5 {
+				z[i] = 1
+			} else {
+				z[i] = -1
+			}
+			y[i] = z[i]
+		}
+		for k := 1; k <= terms; k++ {
+			// ynext = S·y / k ; using Sᵀ rows: (S·y)[i] = Σ_j S[i,j] y[j].
+			spMulVec(s, y, ynext)
+			inv := 1 / float64(k)
+			var dot, norm float64
+			for i := range ynext {
+				ynext[i] *= inv
+				dot += z[i] * ynext[i]
+				norm += math.Abs(ynext[i])
+			}
+			acc += dot
+			y, ynext = ynext, y
+			if norm < 1e-18 {
+				break
+			}
+		}
+	}
+	h := acc / float64(probes)
+	if h < 0 {
+		h = 0 // estimator noise can dip below zero near convergence
+	}
+	return h
+}
+
+// spMulVec computes out = m·v for CSR m.
+func spMulVec(m *sparse.CSR, v, out []float64) {
+	for i := 0; i < m.Rows(); i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * v[m.ColIdx[p]]
+		}
+		out[i] = s
+	}
+}

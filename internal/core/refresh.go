@@ -1,0 +1,178 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+// Support refresh — the active-set mechanism of the sparse learner.
+//
+// A fixed random candidate support of density ζ (Fig 3, INNER line 1)
+// contains any given true edge only with probability ζ, so a learner
+// confined to it has a TPR ceiling of ζ. The paper does not spell out
+// how LEAST-SP escapes this; we implement the natural greedy active-set
+// strategy from sparse regression: periodically score off-support
+// candidate pairs by the magnitude of the least-squares gradient
+// |x_iᵀ(Xw_j − x_j)| — the edge that would reduce the loss fastest —
+// and swap the strongest candidates in for the stale zero entries
+// (see DESIGN.md §2). For d below refreshExactDim every pair is scored
+// exactly in parallel row blocks; above it a random candidate sample
+// keeps the refresh cost O(sample·B), preserving LEAST-SP scalability.
+
+// refreshExactDim bounds the dimension for exhaustive candidate
+// scoring (d² ≤ 16M pairs).
+const refreshExactDim = 4000
+
+// candidate is a scored off-support pair.
+type candidate struct {
+	row, col int
+	score    float64
+}
+
+// candHeap is a min-heap over scores holding the best-N candidates.
+type candHeap []candidate
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].score < h[j].score }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refreshSupport returns a new CSR weight matrix whose pattern is the
+// union of w's currently non-zero entries and the highest-scoring
+// off-support candidates, capped at budget stored entries. Values of
+// retained entries are preserved; new entries start at zero (their
+// first Adam step moves them in the gradient direction).
+func refreshSupport(w *sparse.CSR, x *mat.Dense, rng *randx.RNG, budget int) *sparse.CSR {
+	d := w.Rows()
+	resid := sparse.DenseMulCSR(x, w) // XW
+	resid.AxpyInPlace(-1, x)          // XW − X
+	onSupport := make(map[[2]int]bool, w.NNZ())
+	var kept []sparse.Coord
+	for i := 0; i < d; i++ {
+		for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
+			onSupport[[2]int{i, w.ColIdx[p]}] = true
+			if w.Val[p] != 0 {
+				kept = append(kept, sparse.Coord{Row: i, Col: w.ColIdx[p], Val: w.Val[p]})
+			}
+		}
+	}
+	addN := budget - len(kept)
+	if addN <= 0 {
+		return sparse.NewCSR(d, d, kept)
+	}
+	var top []candidate
+	if d <= refreshExactDim {
+		top = scoreAllPairs(x, resid, onSupport, addN)
+	} else {
+		top = scoreSampledPairs(x, resid, onSupport, rng, addN)
+	}
+	coords := kept
+	for _, c := range top {
+		coords = append(coords, sparse.Coord{Row: c.row, Col: c.col, Val: 0})
+	}
+	return sparse.NewCSR(d, d, coords)
+}
+
+// scoreAllPairs computes |XᵀR| for every off-support off-diagonal pair
+// in parallel row blocks and returns the addN best.
+func scoreAllPairs(x, resid *mat.Dense, onSupport map[[2]int]bool, addN int) []candidate {
+	d := x.Cols()
+	n := x.Rows()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > d {
+		workers = d
+	}
+	heaps := make([]candHeap, workers)
+	var wg sync.WaitGroup
+	chunk := (d + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo, hi := wkr*chunk, (wkr+1)*chunk
+		if hi > d {
+			hi = d
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			h := &heaps[wkr]
+			grow := make([]float64, d)
+			for i := lo; i < hi; i++ {
+				for j := range grow {
+					grow[j] = 0
+				}
+				// grow = Σ_r X[r,i]·R[r,·]
+				for r := 0; r < n; r++ {
+					xv := x.At(r, i)
+					if xv == 0 {
+						continue
+					}
+					rrow := resid.Row(r)
+					for j, rv := range rrow {
+						grow[j] += xv * rv
+					}
+				}
+				for j, g := range grow {
+					if i == j || onSupport[[2]int{i, j}] {
+						continue
+					}
+					pushCand(h, candidate{i, j, math.Abs(g)}, addN)
+				}
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	merged := candHeap{}
+	for i := range heaps {
+		for _, c := range heaps[i] {
+			pushCand(&merged, c, addN)
+		}
+	}
+	return merged
+}
+
+// scoreSampledPairs scores a random sample of candidate pairs —
+// the O(sample·B) scalable refresh used beyond refreshExactDim.
+func scoreSampledPairs(x, resid *mat.Dense, onSupport map[[2]int]bool, rng *randx.RNG, addN int) []candidate {
+	d := x.Cols()
+	n := x.Rows()
+	sampleN := 32 * addN
+	h := candHeap{}
+	for s := 0; s < sampleN; s++ {
+		i, j := rng.Intn(d), rng.Intn(d)
+		if i == j || onSupport[[2]int{i, j}] {
+			continue
+		}
+		var g float64
+		for r := 0; r < n; r++ {
+			g += x.At(r, i) * resid.At(r, j)
+		}
+		pushCand(&h, candidate{i, j, math.Abs(g)}, addN)
+	}
+	return h
+}
+
+func pushCand(h *candHeap, c candidate, limit int) {
+	if h.Len() < limit {
+		heap.Push(h, c)
+		return
+	}
+	if c.score > (*h)[0].score {
+		(*h)[0] = c
+		heap.Fix(h, 0)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mat"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+func TestRefreshSupportFindsStrongCandidate(t *testing.T) {
+	// Data with a single strong dependency X1 = 2·X0: the refresh must
+	// pull (0,1) into the support even when it starts without it.
+	rng := randx.New(1)
+	n, d := 400, 10
+	x := mat.NewDense(n, d)
+	for r := 0; r < n; r++ {
+		row := x.Row(r)
+		for j := range row {
+			row[j] = rng.Normal(0, 1)
+		}
+		row[1] = 2*row[0] + rng.Normal(0, 0.1)
+	}
+	// Start support: a handful of unrelated entries.
+	w := sparse.NewCSR(d, d, []sparse.Coord{
+		{Row: 2, Col: 3, Val: 0.1}, {Row: 4, Col: 5, Val: -0.1}, {Row: 6, Col: 7, Val: 0.05},
+	})
+	out := refreshSupport(w, x, rng, 8)
+	found := false
+	for i := 0; i < d; i++ {
+		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
+			if i == 0 && out.ColIdx[p] == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("refresh did not add the dominant-gradient pair (0,1)")
+	}
+	if out.NNZ() > 8 {
+		t.Fatalf("budget exceeded: %d", out.NNZ())
+	}
+}
+
+func TestRefreshSupportKeepsNonZeroValues(t *testing.T) {
+	rng := randx.New(2)
+	dag := gen.RandomDAG(rng, gen.ER, 12, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 100, randx.Gaussian)
+	w := sparse.NewCSR(12, 12, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 0.7}, {Row: 2, Col: 3, Val: 0}, // one live, one pruned
+	})
+	out := refreshSupport(w, x, rng, 10)
+	// The live value must survive verbatim.
+	kept := false
+	for i := 0; i < 12; i++ {
+		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
+			if i == 0 && out.ColIdx[p] == 1 && out.Val[p] == 0.7 {
+				kept = true
+			}
+		}
+	}
+	if !kept {
+		t.Fatal("live weight lost during refresh")
+	}
+}
+
+func TestRefreshSupportNeverAddsDiagonal(t *testing.T) {
+	rng := randx.New(3)
+	dag := gen.RandomDAG(rng, gen.ER, 8, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 80, randx.Gaussian)
+	w := sparse.NewCSR(8, 8, []sparse.Coord{{Row: 0, Col: 1, Val: 0.2}})
+	out := refreshSupport(w, x, rng, 20)
+	for i := 0; i < 8; i++ {
+		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
+			if out.ColIdx[p] == i {
+				t.Fatal("diagonal candidate added")
+			}
+		}
+	}
+}
+
+func TestSparseLearnerFixedSupportAblation(t *testing.T) {
+	// With refresh disabled and a tiny random support, recovery must be
+	// poor (the TPR ceiling the refresh exists to lift) — this guards
+	// the ablation's premise.
+	rng := randx.New(4)
+	d := 40
+	dag := gen.RandomDAG(rng, gen.ER, d, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 400, randx.Gaussian)
+	o := DefaultOptions()
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.InitDensity = 0.05 // ~5% of true edges present in support
+	o.MaxOuter = 8
+	o.MaxInner = 120
+	o.NoSupportRefresh = true
+	res := Sparse(x, o)
+	// Count true edges inside the final support.
+	inSupport := 0
+	w := res.WSparse
+	for i := 0; i < d; i++ {
+		for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
+			if dag.G.HasEdge(i, w.ColIdx[p]) {
+				inSupport++
+			}
+		}
+	}
+	if inSupport > dag.G.NumEdges()/2 {
+		t.Fatalf("fixed support unexpectedly contains %d/%d true edges", inSupport, dag.G.NumEdges())
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// The experiment functions are exercised end-to-end at reduced sizes;
+// these tests assert the *shapes* the paper claims, not absolute
+// numbers (see EXPERIMENTS.md).
+
+func TestParseScale(t *testing.T) {
+	if s, err := ParseScale("ci"); err != nil || s != CI {
+		t.Fatal("ci")
+	}
+	if s, err := ParseScale(""); err != nil || s != CI {
+		t.Fatal("default")
+	}
+	if s, err := ParseScale("full"); err != nil || s != Full {
+		t.Fatal("full")
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Fatal("bogus accepted")
+	}
+}
+
+func TestFig4TimeShape(t *testing.T) {
+	// One mid-size cell of the runtime panel (the full sweep lives in
+	// cmd/leastbench): the per-iteration constraint cost of LEAST must
+	// beat NOTEARS at d = 100, which is the paper's headline claim.
+	rows := fig4TimeAt(100, 1)
+	if rows.Speedup < 1 {
+		t.Errorf("no speedup at d=%d: %.2fx (LEAST %v vs NOTEARS %v)",
+			rows.D, rows.Speedup, rows.Least, rows.Notears)
+	}
+}
+
+func TestBookingCasesDetectAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	var sb strings.Builder
+	cases := BookingCases(CI, 1, &sb)
+	if len(cases) != 7 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	detected := 0
+	for _, c := range cases {
+		if c.Detected {
+			detected++
+		}
+	}
+	// The paper reports 97% true positives; at CI scale require a
+	// strong majority of scripted incidents found.
+	if detected < 5 {
+		t.Fatalf("only %d/7 Table-II incidents detected:\n%s", detected, sb.String())
+	}
+}
+
+func TestMovielensEdgesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	top, rep := MovielensEdges(CI, 1, io.Discard)
+	if len(top) != 10 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if rep.NamedFound < 6 {
+		t.Fatalf("named pairs %d/10", rep.NamedFound)
+	}
+	planted := 0
+	for _, e := range top {
+		if e.Planted {
+			planted++
+		}
+	}
+	if planted < 5 {
+		t.Fatalf("top-10 edges contain only %d planted links", planted)
+	}
+}
+
+func TestFig5DatasetsShapes(t *testing.T) {
+	ci := Fig5Datasets(CI)
+	full := Fig5Datasets(Full)
+	if len(ci) != 3 || len(full) != 3 {
+		t.Fatal("dataset count")
+	}
+	if full[0].Nodes != 27278 || full[1].Nodes != 91850 || full[2].Nodes != 159008 {
+		t.Fatalf("full node counts must match the paper: %+v", full)
+	}
+	for i := range ci {
+		if ci[i].Nodes >= full[i].Nodes {
+			t.Fatal("CI must be smaller")
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package gen reproduces the paper's benchmark workload generator
+// (§V-A): random DAG topologies from the Erdős–Rényi (ER) and
+// scale-free / Barabási–Albert (SF) families, NOTEARS-style edge
+// weights drawn uniformly from ±[0.5, 2], and linear-SEM sampling with
+// Gaussian, Exponential or Gumbel additive noise. The paper uses ER
+// with mean degree 2 ("ER-2") and SF with mean degree 4 ("SF-4").
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+// Model names a random-graph family.
+type Model int
+
+const (
+	// ER is the Erdős–Rényi family: each of the d(d−1)/2 possible
+	// (orientation-fixed) edges is present independently.
+	ER Model = iota
+	// SF is the scale-free family grown by preferential attachment.
+	SF
+)
+
+// String returns the paper's abbreviation.
+func (m Model) String() string {
+	if m == ER {
+		return "ER"
+	}
+	return "SF"
+}
+
+// DAG couples a topology with its ground-truth weighted adjacency
+// matrix: W[i,j] ≠ 0 iff edge i→j exists.
+type DAG struct {
+	G *graph.Digraph
+	W *mat.Dense
+}
+
+// RandomDAG generates a d-node DAG of the given family with the target
+// mean (total) degree, assigning each edge a weight from ±U[wLo, wHi].
+// Node labels are randomly permuted so the topological order is hidden
+// from learners.
+func RandomDAG(rng *randx.RNG, model Model, d, meanDegree int, wLo, wHi float64) *DAG {
+	if d <= 0 {
+		panic("gen: need at least one node")
+	}
+	var lower *graph.Digraph // edges only from lower to higher rank
+	switch model {
+	case ER:
+		lower = erLower(rng, d, meanDegree)
+	case SF:
+		lower = sfLower(rng, d, meanDegree)
+	default:
+		panic(fmt.Sprintf("gen: unknown model %d", model))
+	}
+	// Random relabeling: rank r becomes node perm[r].
+	perm := rng.Perm(d)
+	g := graph.New(d)
+	w := mat.NewDense(d, d)
+	for _, e := range lower.Edges() {
+		u, v := perm[e.From], perm[e.To]
+		g.AddEdge(u, v)
+		w.Set(u, v, rng.SignedUniform(wLo, wHi))
+	}
+	return &DAG{G: g, W: w}
+}
+
+// erLower samples an ER DAG in canonical rank order: edge r→s (r < s)
+// appears with probability p chosen so the expected total degree is
+// meanDegree (i.e. expected edge count ≈ d·meanDegree/2).
+func erLower(rng *randx.RNG, d, meanDegree int) *graph.Digraph {
+	g := graph.New(d)
+	if d == 1 {
+		return g
+	}
+	p := float64(meanDegree) / float64(d-1)
+	if p > 1 {
+		p = 1
+	}
+	for r := 0; r < d; r++ {
+		for s := r + 1; s < d; s++ {
+			if rng.Float64() < p {
+				g.AddEdge(r, s)
+			}
+		}
+	}
+	return g
+}
+
+// sfLower grows a Barabási–Albert DAG: node s attaches to
+// m = meanDegree/2 existing nodes chosen with probability proportional
+// to their current degree, with edges oriented old→new so acyclicity is
+// structural. (Mean total degree ≈ 2m = meanDegree, the paper's SF-4
+// convention with m = 2.)
+func sfLower(rng *randx.RNG, d, meanDegree int) *graph.Digraph {
+	g := graph.New(d)
+	m := meanDegree / 2
+	if m < 1 {
+		m = 1
+	}
+	// repeated holds one entry per half-edge, so uniform sampling from
+	// it is degree-proportional sampling.
+	repeated := make([]int, 0, 2*m*d)
+	repeated = append(repeated, 0)
+	for s := 1; s < d; s++ {
+		k := m
+		if k > s {
+			k = s
+		}
+		chosen := make(map[int]bool, k)
+		for len(chosen) < k {
+			var t int
+			if rng.Float64() < 0.1 {
+				// Small uniform mixing keeps early graphs from
+				// degenerating to pure stars.
+				t = rng.Intn(s)
+			} else {
+				t = repeated[rng.Intn(len(repeated))]
+			}
+			if t != s {
+				chosen[t] = true
+			}
+		}
+		targets := make([]int, 0, len(chosen))
+		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Ints(targets) // deterministic order for reproducible growth
+		for _, t := range targets {
+			g.AddEdge(t, s) // old → new keeps ranks increasing
+			repeated = append(repeated, t, s)
+		}
+	}
+	return g
+}
+
+// SampleLSEM draws n i.i.d. samples X ∈ R^{n×d} from the linear SEM
+// X_i = w_iᵀX + noise, following a topological order of the DAG. It
+// panics if the weighted graph is cyclic.
+func SampleLSEM(rng *randx.RNG, dag *DAG, n int, noise randx.Noise) *mat.Dense {
+	order, ok := dag.G.TopoSort()
+	if !ok {
+		panic("gen: SampleLSEM requires a DAG")
+	}
+	d := dag.G.N()
+	x := mat.NewDense(n, d)
+	for r := 0; r < n; r++ {
+		row := x.Row(r)
+		for _, j := range order {
+			v := noise.Sample(rng)
+			for _, p := range dag.G.Parents(j) {
+				v += dag.W.At(p, j) * row[p]
+			}
+			row[j] = v
+		}
+	}
+	return x
+}
+
+// SparseInit builds the random sparse candidate support of Fig 3
+// (INNER line 1): a d×d CSR matrix with ~density·d² off-diagonal
+// entries initialized Glorot-uniform. This is the fixed support the
+// LEAST-SP learner optimizes over.
+func SparseInit(rng *randx.RNG, d int, density float64) *sparse.CSR {
+	if density < 0 || density > 1 {
+		panic("gen: density must be in [0,1]")
+	}
+	target := int(density * float64(d) * float64(d))
+	if target < d {
+		target = d // keep at least a useful handful of candidates
+	}
+	if max := d * (d - 1); target > max {
+		target = max // only d(d−1) off-diagonal cells exist
+	}
+	seen := make(map[[2]int]bool, target)
+	coords := make([]sparse.Coord, 0, target)
+	for len(coords) < target {
+		i, j := rng.Intn(d), rng.Intn(d)
+		if i == j || seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		coords = append(coords, sparse.Coord{Row: i, Col: j, Val: rng.GlorotUniform(d, d)})
+	}
+	return sparse.NewCSR(d, d, coords)
+}
+
+// SparseInitWithSupport builds a Glorot-initialized CSR support that is
+// guaranteed to contain the given candidate edges plus random fill up to
+// the density. Used by the application pipelines where domain knowledge
+// (e.g. co-occurring log entities) suggests candidate edges.
+func SparseInitWithSupport(rng *randx.RNG, d int, density float64, must []sparse.Coord) *sparse.CSR {
+	seen := make(map[[2]int]bool)
+	coords := make([]sparse.Coord, 0, len(must))
+	for _, c := range must {
+		if c.Row == c.Col || seen[[2]int{c.Row, c.Col}] {
+			continue
+		}
+		seen[[2]int{c.Row, c.Col}] = true
+		coords = append(coords, sparse.Coord{Row: c.Row, Col: c.Col, Val: rng.GlorotUniform(d, d)})
+	}
+	target := int(density * float64(d) * float64(d))
+	if max := d * (d - 1); target > max {
+		target = max
+	}
+	for len(coords) < target {
+		i, j := rng.Intn(d), rng.Intn(d)
+		if i == j || seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		coords = append(coords, sparse.Coord{Row: i, Col: j, Val: rng.GlorotUniform(d, d)})
+	}
+	return sparse.NewCSR(d, d, coords)
+}
+
+// DenseGlorotInit returns a dense d×d matrix where a density fraction of
+// off-diagonal entries are Glorot-initialized — the dense-learner
+// analogue of SparseInit.
+func DenseGlorotInit(rng *randx.RNG, d int, density float64) *mat.Dense {
+	w := mat.NewDense(d, d)
+	target := int(density * float64(d) * float64(d))
+	if target < d {
+		target = d
+	}
+	if max := d * (d - 1); target > max {
+		target = max // only d(d−1) off-diagonal cells exist
+	}
+	placed := 0
+	for placed < target {
+		i, j := rng.Intn(d), rng.Intn(d)
+		if i == j || w.At(i, j) != 0 {
+			continue
+		}
+		w.Set(i, j, rng.GlorotUniform(d, d))
+		placed++
+	}
+	return w
+}

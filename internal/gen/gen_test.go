@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+func TestRandomDAGIsAcyclic(t *testing.T) {
+	rng := randx.New(1)
+	for _, model := range []Model{ER, SF} {
+		for trial := 0; trial < 20; trial++ {
+			dag := RandomDAG(rng, model, 30, 4, 0.5, 2)
+			if !dag.G.IsDAG() {
+				t.Fatalf("%s produced a cyclic graph", model)
+			}
+		}
+	}
+}
+
+func TestRandomDAGWeightsMatchEdges(t *testing.T) {
+	rng := randx.New(2)
+	dag := RandomDAG(rng, ER, 25, 2, 0.5, 2)
+	d := dag.G.N()
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			w := dag.W.At(i, j)
+			if dag.G.HasEdge(i, j) {
+				a := math.Abs(w)
+				if a < 0.5 || a > 2 {
+					t.Fatalf("edge weight %g outside ±[0.5,2]", w)
+				}
+			} else if w != 0 {
+				t.Fatalf("non-edge (%d,%d) has weight %g", i, j, w)
+			}
+		}
+	}
+}
+
+func TestERMeanDegree(t *testing.T) {
+	rng := randx.New(3)
+	d := 200
+	total := 0
+	trials := 10
+	for i := 0; i < trials; i++ {
+		dag := RandomDAG(rng, ER, d, 2, 0.5, 2)
+		total += dag.G.NumEdges()
+	}
+	// ER-2: expected edges = d·2/2 = d.
+	mean := float64(total) / float64(trials)
+	if mean < float64(d)*0.8 || mean > float64(d)*1.2 {
+		t.Fatalf("ER-2 mean edges %.1f, want ≈%d", mean, d)
+	}
+}
+
+func TestSFMeanDegreeAndSkew(t *testing.T) {
+	rng := randx.New(4)
+	d := 300
+	dag := RandomDAG(rng, SF, d, 4, 0.5, 2)
+	edges := dag.G.NumEdges()
+	// SF-4 with m=2: ≈ 2(d−1)−2 edges → mean total degree ≈ 4.
+	if edges < int(1.5*float64(d)) || edges > int(2.5*float64(d)) {
+		t.Fatalf("SF-4 edges = %d for d=%d", edges, d)
+	}
+	// Scale-free skew: the max total degree should far exceed the mean.
+	maxDeg := 0
+	for v := 0; v < d; v++ {
+		if deg := dag.G.InDegree(v) + dag.G.OutDegree(v); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	meanDeg := 2 * float64(edges) / float64(d)
+	if float64(maxDeg) < 3*meanDeg {
+		t.Fatalf("no hub: max degree %d vs mean %.1f", maxDeg, meanDeg)
+	}
+}
+
+func TestSampleLSEMShapesAndVariancePropagation(t *testing.T) {
+	rng := randx.New(5)
+	// Chain 0→1 with weight 2: Var(X1) = 4·Var(X0) + 1 = 5.
+	dag := RandomDAG(rng, ER, 2, 0, 0.5, 2) // likely empty; build manually
+	dag.G = chainGraph(2)
+	dag.W.Set(0, 1, 2)
+	x := SampleLSEM(rng, dag, 40000, randx.Gaussian)
+	if x.Rows() != 40000 || x.Cols() != 2 {
+		t.Fatal("shape")
+	}
+	var v0, v1 float64
+	for i := 0; i < x.Rows(); i++ {
+		v0 += x.At(i, 0) * x.At(i, 0)
+		v1 += x.At(i, 1) * x.At(i, 1)
+	}
+	v0 /= float64(x.Rows())
+	v1 /= float64(x.Rows())
+	if math.Abs(v0-1) > 0.05 {
+		t.Fatalf("Var(X0)=%.3f want 1", v0)
+	}
+	if math.Abs(v1-5) > 0.25 {
+		t.Fatalf("Var(X1)=%.3f want 5", v1)
+	}
+}
+
+func chainGraph(n int) *graph.Digraph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestSampleLSEMPanicsOnCycle(t *testing.T) {
+	rng := randx.New(6)
+	dag := RandomDAG(rng, ER, 3, 2, 0.5, 2)
+	dag.G = graph.New(3)
+	dag.G.AddEdge(0, 1)
+	dag.G.AddEdge(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleLSEM(rng, dag, 10, randx.Gaussian)
+}
+
+func TestSparseInitProperties(t *testing.T) {
+	rng := randx.New(7)
+	d := 50
+	w := SparseInit(rng, d, 0.05)
+	if w.Rows() != d || w.Cols() != d {
+		t.Fatal("shape")
+	}
+	want := int(0.05 * float64(d) * float64(d))
+	if w.NNZ() != want {
+		t.Fatalf("nnz=%d want %d", w.NNZ(), want)
+	}
+	dd := w.ToDense()
+	for i := 0; i < d; i++ {
+		if dd.At(i, i) != 0 {
+			t.Fatal("diagonal must be empty")
+		}
+	}
+}
+
+func TestSparseInitFloorsTinyDensity(t *testing.T) {
+	rng := randx.New(8)
+	w := SparseInit(rng, 30, 1e-6)
+	if w.NNZ() < 30 {
+		t.Fatalf("nnz=%d below floor", w.NNZ())
+	}
+}
+
+func TestSparseInitWithSupportIncludesMust(t *testing.T) {
+	rng := randx.New(9)
+	must := []sparse.Coord{{Row: 2, Col: 3}, {Row: 4, Col: 1}}
+	w := SparseInitWithSupport(rng, 20, 0.05, must)
+	d := w.ToDense()
+	if d.At(2, 3) == 0 || d.At(4, 1) == 0 {
+		t.Fatal("must-have coordinates missing")
+	}
+}
+
+func TestDenseGlorotInit(t *testing.T) {
+	rng := randx.New(10)
+	w := DenseGlorotInit(rng, 40, 0.1)
+	nnz := w.NNZ(0)
+	want := int(0.1 * 1600)
+	if nnz != want {
+		t.Fatalf("nnz=%d want %d", nnz, want)
+	}
+	for i := 0; i < 40; i++ {
+		if w.At(i, i) != 0 {
+			t.Fatal("diagonal must stay zero")
+		}
+	}
+}
+
+func TestQuickGeneratedDAGsAlwaysAcyclic(t *testing.T) {
+	f := func(seed int64, dByte, degByte uint8) bool {
+		d := 2 + int(dByte%40)
+		deg := 1 + int(degByte%6)
+		rng := randx.New(seed)
+		model := ER
+		if seed%2 == 0 {
+			model = SF
+		}
+		dag := RandomDAG(rng, model, d, deg, 0.5, 2)
+		return dag.G.IsDAG()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitializersSmallDNoHang(t *testing.T) {
+	// Regression: density → 1 at tiny d must not spin forever trying
+	// to place more off-diagonal entries than exist.
+	rng := randx.New(20)
+	w := DenseGlorotInit(rng, 3, 1)
+	if w.NNZ(0) != 6 {
+		t.Fatalf("d=3 full density nnz=%d want 6", w.NNZ(0))
+	}
+	s := SparseInit(rng, 2, 1)
+	if s.NNZ() != 2 {
+		t.Fatalf("d=2 sparse nnz=%d want 2", s.NNZ())
+	}
+	s2 := SparseInitWithSupport(rng, 2, 1, nil)
+	if s2.NNZ() != 2 {
+		t.Fatalf("d=2 with-support nnz=%d", s2.NNZ())
+	}
+}

@@ -1,0 +1,117 @@
+package gene
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestSachsStructure(t *testing.T) {
+	rng := randx.New(1)
+	ds := Sachs(rng, 500)
+	if ds.Truth.N() != 11 {
+		t.Fatalf("Sachs nodes = %d", ds.Truth.N())
+	}
+	if ds.Truth.NumEdges() != 17 {
+		t.Fatalf("Sachs edges = %d, want 17 (consensus network)", ds.Truth.NumEdges())
+	}
+	if !ds.Truth.IsDAG() {
+		t.Fatal("Sachs consensus network must be a DAG")
+	}
+	if ds.Samples.Rows() != 500 || ds.Samples.Cols() != 11 {
+		t.Fatal("sample shape")
+	}
+	// Spot-check two canonical edges: PKC → PKA and Raf → Mek.
+	idx := func(g string) int {
+		for i, name := range ds.Genes {
+			if name == g {
+				return i
+			}
+		}
+		t.Fatalf("gene %s missing", g)
+		return -1
+	}
+	if !ds.Truth.HasEdge(idx("PKC"), idx("PKA")) {
+		t.Fatal("PKC → PKA missing")
+	}
+	if !ds.Truth.HasEdge(idx("Raf"), idx("Mek")) {
+		t.Fatal("Raf → Mek missing")
+	}
+	if ds.Truth.HasEdge(idx("Mek"), idx("Raf")) {
+		t.Fatal("reversed Raf/Mek")
+	}
+}
+
+func TestSachsDeterministicPerSeed(t *testing.T) {
+	a := Sachs(randx.New(5), 100)
+	b := Sachs(randx.New(5), 100)
+	if !a.Samples.EqualApprox(b.Samples, 0) {
+		t.Fatal("same seed must reproduce samples")
+	}
+}
+
+func TestRegulatoryExactCounts(t *testing.T) {
+	rng := randx.New(2)
+	ds := Regulatory(rng, "test", 200, 455, 200)
+	if ds.Truth.N() != 200 {
+		t.Fatal("nodes")
+	}
+	if ds.Truth.NumEdges() != 455 {
+		t.Fatalf("edges = %d want exactly 455", ds.Truth.NumEdges())
+	}
+	if !ds.Truth.IsDAG() {
+		t.Fatal("regulatory network must be a DAG")
+	}
+	// Weights exist exactly on edges.
+	for _, e := range ds.Truth.Edges() {
+		if ds.TrueW.At(e.From, e.To) == 0 {
+			t.Fatal("edge without weight")
+		}
+	}
+	if ds.Samples.Rows() != 200 {
+		t.Fatal("n = d convention")
+	}
+}
+
+func TestEColiYeastScaledShapes(t *testing.T) {
+	rng := randx.New(3)
+	ec := EColi(rng.Split(), 10)
+	if ec.Truth.N() != 156 || ec.Truth.NumEdges() != 364 {
+		t.Fatalf("E.coli/10: %d nodes %d edges", ec.Truth.N(), ec.Truth.NumEdges())
+	}
+	ye := Yeast(rng.Split(), 20)
+	if ye.Truth.N() != 222 || ye.Truth.NumEdges() != 643 {
+		t.Fatalf("Yeast/20: %d nodes %d edges", ye.Truth.N(), ye.Truth.NumEdges())
+	}
+	if !ec.Truth.IsDAG() || !ye.Truth.IsDAG() {
+		t.Fatal("must be DAGs")
+	}
+}
+
+func TestEColiFullSizeConstantsDocumented(t *testing.T) {
+	// Factor 1 must reproduce the paper's Table III sizes. Building
+	// the full E. coli graph is cheap (only sampling is expensive), so
+	// verify the real constants.
+	rng := randx.New(4)
+	ds := Regulatory(rng, "E.Coli", 1565, 3648, 10) // few samples: fast
+	if ds.Truth.N() != 1565 || ds.Truth.NumEdges() != 3648 {
+		t.Fatalf("full E.coli: %d/%d", ds.Truth.N(), ds.Truth.NumEdges())
+	}
+}
+
+func TestRegulatoryHubSkew(t *testing.T) {
+	rng := randx.New(5)
+	ds := Regulatory(rng, "x", 300, 700, 10)
+	maxDeg, sum := 0, 0
+	for v := 0; v < 300; v++ {
+		deg := ds.Truth.InDegree(v) + ds.Truth.OutDegree(v)
+		sum += deg
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	mean := float64(sum) / 300
+	if float64(maxDeg) < 3*mean {
+		t.Fatalf("no hub structure: max %d mean %.1f", maxDeg, mean)
+	}
+}

@@ -1,0 +1,254 @@
+// Package graph provides the directed-graph substrate shared by the
+// generators, the metrics, and the root-cause analyser: cycle checking
+// (the ground truth the paper's continuous constraints approximate),
+// topological ordering (needed to sample a linear SEM), degree
+// analytics (the "blockbuster" study of §VI-C), backward path
+// enumeration into a sink node (the anomaly paths of §VI-A), and DOT
+// export for the qualitative figures.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digraph is a directed graph on nodes 0..n−1 with adjacency sets.
+type Digraph struct {
+	n   int
+	out []map[int]bool
+	in  []map[int]bool
+}
+
+// New returns an empty digraph on n nodes.
+func New(n int) *Digraph {
+	g := &Digraph{n: n, out: make([]map[int]bool, n), in: make([]map[int]bool, n)}
+	for i := 0; i < n; i++ {
+		g.out[i] = make(map[int]bool)
+		g.in[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// AddEdge inserts the edge u→v. Self-loops and out-of-range nodes
+// panic; duplicate insertion is a no-op.
+func (g *Digraph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	g.out[u][v] = true
+	g.in[v][u] = true
+}
+
+// RemoveEdge deletes u→v if present.
+func (g *Digraph) RemoveEdge(u, v int) {
+	delete(g.out[u], v)
+	delete(g.in[v], u)
+}
+
+// HasEdge reports whether u→v exists.
+func (g *Digraph) HasEdge(u, v int) bool { return g.out[u][v] }
+
+// NumEdges returns the total edge count.
+func (g *Digraph) NumEdges() int {
+	m := 0
+	for _, s := range g.out {
+		m += len(s)
+	}
+	return m
+}
+
+// Children returns the sorted successors of u.
+func (g *Digraph) Children(u int) []int { return sortedKeys(g.out[u]) }
+
+// Parents returns the sorted predecessors of v.
+func (g *Digraph) Parents(v int) []int { return sortedKeys(g.in[v]) }
+
+// OutDegree returns |children(u)|.
+func (g *Digraph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns |parents(v)|.
+func (g *Digraph) InDegree(v int) int { return len(g.in[v]) }
+
+func sortedKeys(m map[int]bool) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Edge is a directed edge.
+type Edge struct{ From, To int }
+
+// Edges returns all edges sorted by (From, To).
+func (g *Digraph) Edges() []Edge {
+	var es []Edge
+	for u := 0; u < g.n; u++ {
+		for v := range g.out[u] {
+			es = append(es, Edge{u, v})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// TopoSort returns a topological order of the nodes, or ok=false when
+// the graph has a cycle (Kahn's algorithm). The order is deterministic
+// — children are visited in sorted order — so samplers that consume
+// randomness along the order stay reproducible.
+func (g *Digraph) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	queue := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order = make([]int, 0, g.n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Children(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order, len(order) == g.n
+}
+
+// IsDAG reports whether the graph is acyclic.
+func (g *Digraph) IsDAG() bool {
+	_, ok := g.TopoSort()
+	return ok
+}
+
+// PathsInto enumerates every simple directed path that ends at sink and
+// starts at a node with no parents, walking incoming edges — the
+// root-cause candidate paths of §VI-A ("we follow the incoming links of
+// X until we reach a node with no parents"). Each returned path is
+// listed source-first, sink-last. maxLen bounds the path node count and
+// maxPaths bounds the result size so pathological graphs cannot blow up.
+func (g *Digraph) PathsInto(sink, maxLen, maxPaths int) [][]int {
+	var paths [][]int
+	onPath := make([]bool, g.n)
+	var walk func(v int, path []int)
+	walk = func(v int, path []int) {
+		if len(paths) >= maxPaths {
+			return
+		}
+		path = append(path, v)
+		onPath[v] = true
+		defer func() { onPath[v] = false }()
+		parents := g.Parents(v)
+		extended := false
+		if len(path) < maxLen {
+			for _, p := range parents {
+				if !onPath[p] {
+					extended = true
+					walk(p, path)
+				}
+			}
+		}
+		if !extended && len(path) > 1 {
+			// Reverse so the root/source comes first.
+			rev := make([]int, len(path))
+			for i, x := range path {
+				rev[len(path)-1-i] = x
+			}
+			paths = append(paths, rev)
+		}
+	}
+	walk(sink, nil)
+	return paths
+}
+
+// Ancestors returns the set of nodes with a directed path into v.
+func (g *Digraph) Ancestors(v int) map[int]bool {
+	seen := make(map[int]bool)
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := range g.in[u] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// Descendants returns the set of nodes reachable from v.
+func (g *Digraph) Descendants(v int) map[int]bool {
+	seen := make(map[int]bool)
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := range g.out[u] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}
+
+// Subgraph returns the induced subgraph on keep (sorted) plus the
+// mapping from new node index to original index.
+func (g *Digraph) Subgraph(keep []int) (*Digraph, []int) {
+	nodes := append([]int(nil), keep...)
+	sort.Ints(nodes)
+	idx := make(map[int]int, len(nodes))
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	sub := New(len(nodes))
+	for _, u := range nodes {
+		for v := range g.out[u] {
+			if j, ok := idx[v]; ok {
+				sub.AddEdge(idx[u], j)
+			}
+		}
+	}
+	return sub, nodes
+}
+
+// DOT renders the graph in Graphviz format. names may be nil (node ids
+// are used) or length-n labels.
+func (g *Digraph) DOT(names []string) string {
+	var b strings.Builder
+	b.WriteString("digraph G {\n")
+	label := func(i int) string {
+		if names != nil && i < len(names) {
+			return fmt.Sprintf("%q", names[i])
+		}
+		return fmt.Sprintf("n%d", i)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s;\n", label(e.From), label(e.To))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

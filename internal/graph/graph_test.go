@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func chain(n int) *Digraph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestAddRemoveHasEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge")
+	}
+	g.AddEdge(0, 1) // idempotent
+	if g.NumEdges() != 1 {
+		t.Fatal("duplicate edge counted")
+	}
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) || g.NumEdges() != 0 {
+		t.Fatal("RemoveEdge")
+	}
+	g.RemoveEdge(0, 1) // removing absent edge is a no-op
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestParentsChildrenDegrees(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	p := g.Parents(2)
+	if len(p) != 2 || p[0] != 0 || p[1] != 1 {
+		t.Fatalf("Parents: %v", p)
+	}
+	if g.InDegree(2) != 2 || g.OutDegree(2) != 1 {
+		t.Fatal("degrees")
+	}
+	c := g.Children(2)
+	if len(c) != 1 || c[0] != 3 {
+		t.Fatalf("Children: %v", c)
+	}
+}
+
+func TestTopoSortDAG(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	order, ok := g.TopoSort()
+	if !ok || len(order) != 5 {
+		t.Fatal("TopoSort on DAG failed")
+	}
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("order violates edge %v", e)
+		}
+	}
+	if !g.IsDAG() {
+		t.Fatal("IsDAG false on DAG")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := chain(4)
+	g.AddEdge(3, 0)
+	if g.IsDAG() {
+		t.Fatal("cycle not detected")
+	}
+	if _, ok := g.TopoSort(); ok {
+		t.Fatal("TopoSort should fail")
+	}
+}
+
+func TestPathsIntoChain(t *testing.T) {
+	g := chain(4) // 0→1→2→3
+	paths := g.PathsInto(3, 10, 100)
+	if len(paths) != 1 {
+		t.Fatalf("paths: %v", paths)
+	}
+	want := []int{0, 1, 2, 3}
+	for i, v := range want {
+		if paths[0][i] != v {
+			t.Fatalf("path order: %v", paths[0])
+		}
+	}
+}
+
+func TestPathsIntoDiamond(t *testing.T) {
+	// 0→1→3, 0→2→3: two source-rooted paths into 3.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	paths := g.PathsInto(3, 10, 100)
+	if len(paths) != 2 {
+		t.Fatalf("want 2 paths, got %v", paths)
+	}
+}
+
+func TestPathsIntoRespectsLimits(t *testing.T) {
+	// Complete bipartite-ish blowup capped by maxPaths.
+	g := New(7)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			g.AddEdge(i, j)
+		}
+		g.AddEdge(i, 6)
+	}
+	for j := 3; j < 6; j++ {
+		g.AddEdge(j, 6)
+	}
+	paths := g.PathsInto(6, 10, 5)
+	if len(paths) > 5 {
+		t.Fatalf("maxPaths violated: %d", len(paths))
+	}
+	short := g.PathsInto(6, 2, 100)
+	for _, p := range short {
+		if len(p) > 2 {
+			t.Fatalf("maxLen violated: %v", p)
+		}
+	}
+}
+
+func TestPathsIntoHandlesCycles(t *testing.T) {
+	// A cycle upstream of the sink must not hang the walker.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	paths := g.PathsInto(3, 10, 100)
+	if len(paths) == 0 {
+		t.Fatal("expected at least one path despite cycle")
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := chain(5)
+	anc := g.Ancestors(3)
+	if len(anc) != 3 || !anc[0] || !anc[1] || !anc[2] {
+		t.Fatalf("Ancestors: %v", anc)
+	}
+	desc := g.Descendants(1)
+	if len(desc) != 3 || !desc[2] || !desc[3] || !desc[4] {
+		t.Fatalf("Descendants: %v", desc)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	sub, nodes := g.Subgraph([]int{1, 2, 3})
+	if sub.N() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("subgraph %d nodes %d edges", sub.N(), sub.NumEdges())
+	}
+	if nodes[0] != 1 || nodes[2] != 3 {
+		t.Fatalf("mapping %v", nodes)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	dot := g.DOT([]string{"a", "b"})
+	if !strings.Contains(dot, `"a" -> "b"`) {
+		t.Fatalf("DOT: %s", dot)
+	}
+	plain := g.DOT(nil)
+	if !strings.Contains(plain, "n0 -> n1") {
+		t.Fatalf("DOT plain: %s", plain)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	es := g.Edges()
+	if es[0].From != 0 || es[0].To != 1 || es[2].From != 2 {
+		t.Fatalf("Edges not sorted: %v", es)
+	}
+}

@@ -1,0 +1,123 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+func TestValueZeroResidual(t *testing.T) {
+	// X with X = X·W exactly: x2 = 2·x1, W[0,1] = 2 and column 0
+	// unpredicted. Residual on column 0 equals X's column 0.
+	x := mat.NewDenseData(2, 2, []float64{1, 2, 3, 6})
+	w := mat.NewDense(2, 2)
+	w.Set(0, 1, 2)
+	ls := LeastSquares{Lambda: 0}
+	// L = (1/n)(‖x₀‖² + 0) = (1+9)/2 = 5.
+	if v := ls.Value(w, x); math.Abs(v-5) > 1e-12 {
+		t.Fatalf("Value = %g want 5", v)
+	}
+}
+
+func TestValueGradFiniteDifference(t *testing.T) {
+	x := mat.NewDenseData(4, 3, []float64{
+		1, 2, 0.5,
+		-1, 0.3, 2,
+		0.7, -1.2, 1,
+		2, 0.1, -0.4,
+	})
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 0.5)
+	w.Set(1, 2, -0.7)
+	w.Set(2, 0, 0.2)
+	ls := LeastSquares{Lambda: 0} // L1 is non-smooth; check smooth part
+	_, grad := ls.ValueGrad(w, x)
+	const h = 1e-6
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			orig := w.At(i, j)
+			w.Set(i, j, orig+h)
+			fp := ls.Value(w, x)
+			w.Set(i, j, orig-h)
+			fm := ls.Value(w, x)
+			w.Set(i, j, orig)
+			fd := (fp - fm) / (2 * h)
+			if math.Abs(fd-grad.At(i, j)) > 1e-5*math.Max(1, math.Abs(fd)) {
+				t.Fatalf("(%d,%d): analytic %g vs fd %g", i, j, grad.At(i, j), fd)
+			}
+		}
+	}
+}
+
+func TestL1SubgradientSigns(t *testing.T) {
+	x := mat.NewDenseData(2, 2, []float64{1, 0, 0, 1})
+	w := mat.NewDense(2, 2)
+	w.Set(0, 1, 0.5)
+	w.Set(1, 0, -0.5)
+	lam := 0.3
+	ls0 := LeastSquares{Lambda: 0}
+	lsL := LeastSquares{Lambda: lam}
+	_, g0 := ls0.ValueGrad(w, x)
+	_, gL := lsL.ValueGrad(w, x)
+	if math.Abs((gL.At(0, 1)-g0.At(0, 1))-lam) > 1e-12 {
+		t.Fatal("positive weight should add +λ")
+	}
+	if math.Abs((gL.At(1, 0)-g0.At(1, 0))+lam) > 1e-12 {
+		t.Fatal("negative weight should add −λ")
+	}
+	if gL.At(0, 0) != g0.At(0, 0) {
+		t.Fatal("zero weight subgradient must be 0")
+	}
+}
+
+func TestSparseMatchesDense(t *testing.T) {
+	x := mat.NewDenseData(3, 3, []float64{1, 2, 3, -1, 0.5, 2, 0.3, -2, 1})
+	wd := mat.NewDense(3, 3)
+	wd.Set(0, 1, 0.4)
+	wd.Set(2, 0, -0.6)
+	wd.Set(1, 2, 0.9)
+	ws := sparse.FromDense(wd, 0)
+	ls := LeastSquares{Lambda: 0.2}
+	vd := ls.Value(wd, x)
+	vs := ls.ValueSparse(ws, x)
+	if math.Abs(vd-vs) > 1e-12 {
+		t.Fatalf("value: dense %g sparse %g", vd, vs)
+	}
+	_, gd := ls.ValueGrad(wd, x)
+	_, gs := ls.ValueGradSparse(ws, x)
+	idx := 0
+	for i := 0; i < 3; i++ {
+		for p := ws.RowPtr[i]; p < ws.RowPtr[i+1]; p++ {
+			j := ws.ColIdx[p]
+			if math.Abs(gs[idx]-gd.At(i, j)) > 1e-12 {
+				t.Fatalf("grad (%d,%d): sparse %g dense %g", i, j, gs[idx], gd.At(i, j))
+			}
+			idx++
+		}
+	}
+}
+
+func TestStandardizeCentersColumns(t *testing.T) {
+	x := mat.NewDenseData(3, 2, []float64{1, 10, 2, 20, 3, 30})
+	Standardize(x)
+	c := x.ColSums()
+	if math.Abs(c[0]) > 1e-12 || math.Abs(c[1]) > 1e-12 {
+		t.Fatalf("columns not centered: %v", c)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	x := mat.NewDenseData(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	b := Batch(x, []int{2, 0})
+	if b.Rows() != 2 || b.At(0, 0) != 5 || b.At(1, 1) != 2 {
+		t.Fatalf("Batch: %v", b)
+	}
+}
+
+func TestNaNGuard(t *testing.T) {
+	if NaNGuard(1) || !NaNGuard(math.NaN()) || !NaNGuard(math.Inf(-1)) {
+		t.Fatal("NaNGuard")
+	}
+}

@@ -1,0 +1,311 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDenseAndAccessors(t *testing.T) {
+	m := NewDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Add failed")
+	}
+	row := m.Row(1)
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must be a view")
+	}
+}
+
+func TestNewDenseDataValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad data length")
+		}
+	}()
+	NewDenseData(2, 2, []float64{1, 2, 3})
+}
+
+func TestIdentityAndTrace(t *testing.T) {
+	id := Identity(4)
+	if id.Trace() != 4 {
+		t.Fatalf("trace(I4) = %g", id.Trace())
+	}
+	if id.At(0, 1) != 0 || id.At(2, 2) != 1 {
+		t.Fatal("identity entries wrong")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	sum := a.AddMat(b)
+	if sum.At(1, 1) != 12 {
+		t.Fatal("AddMat")
+	}
+	diff := b.SubMat(a)
+	if diff.At(0, 0) != 4 {
+		t.Fatal("SubMat")
+	}
+	had := a.Hadamard(b)
+	if had.At(0, 1) != 12 {
+		t.Fatal("Hadamard")
+	}
+	sq := a.Square()
+	if sq.At(1, 0) != 9 {
+		t.Fatal("Square")
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 1) != 8 {
+		t.Fatal("Scale")
+	}
+	c := a.Clone()
+	c.AddInPlace(b)
+	if c.At(0, 0) != 6 || a.At(0, 0) != 1 {
+		t.Fatal("AddInPlace / Clone isolation")
+	}
+	c2 := a.Clone()
+	c2.AxpyInPlace(3, b)
+	if c2.At(0, 0) != 16 {
+		t.Fatal("AxpyInPlace")
+	}
+}
+
+func TestMulCorrectness(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(b)
+	want := NewDenseData(2, 2, []float64{58, 64, 139, 154})
+	if !c.EqualApprox(want, 1e-12) {
+		t.Fatalf("Mul wrong: %v", c)
+	}
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	// Large enough to trip the parallel path; compare against a naive
+	// triple loop.
+	n := 130
+	a := NewDense(n, n)
+	b := NewDense(n, n)
+	s := 1.0
+	for i := range a.data {
+		a.data[i] = math.Sin(s)
+		b.data[i] = math.Cos(s / 2)
+		s += 0.37
+	}
+	got := a.Mul(b)
+	want := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			av := a.At(i, k)
+			for j := 0; j < n; j++ {
+				want.Add(i, j, av*b.At(k, j))
+			}
+		}
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("parallel Mul diverges from naive product")
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 2))
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatal("Transpose wrong")
+	}
+	if !at.Transpose().EqualApprox(a, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, -2, -3, 4})
+	if a.SumAbs() != 10 {
+		t.Fatal("SumAbs")
+	}
+	if !almostEq(a.FrobNorm(), math.Sqrt(30), 1e-12) {
+		t.Fatal("FrobNorm")
+	}
+	if a.Norm1() != 6 { // max col sum of abs: |−2|+4 = 6
+		t.Fatalf("Norm1 = %g", a.Norm1())
+	}
+	if a.NormInf() != 7 { // row 1: 3+4
+		t.Fatalf("NormInf = %g", a.NormInf())
+	}
+	if a.MaxAbs() != 4 {
+		t.Fatal("MaxAbs")
+	}
+}
+
+func TestThresholdAndNNZ(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{0.05, -0.2, 0, 0.5})
+	if a.NNZ(0) != 3 {
+		t.Fatal("NNZ")
+	}
+	cleared := a.Threshold(0.1)
+	if cleared != 1 || a.At(0, 0) != 0 || a.At(0, 1) != -0.2 {
+		t.Fatal("Threshold semantics")
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := a.RowSums()
+	c := a.ColSums()
+	if r[0] != 6 || r[1] != 15 {
+		t.Fatal("RowSums")
+	}
+	if c[0] != 5 || c[1] != 7 || c[2] != 9 {
+		t.Fatal("ColSums")
+	}
+}
+
+func TestZeroDiagonalAndHasNaN(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	a.ZeroDiagonal()
+	if a.At(0, 0) != 0 || a.At(1, 1) != 0 || a.At(0, 1) != 2 {
+		t.Fatal("ZeroDiagonal")
+	}
+	if a.HasNaN() {
+		t.Fatal("false NaN")
+	}
+	a.Set(0, 1, math.NaN())
+	if !a.HasNaN() {
+		t.Fatal("missed NaN")
+	}
+	a.Set(0, 1, math.Inf(1))
+	if !a.HasNaN() {
+		t.Fatal("missed Inf")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := a.MulVec([]float64{1, 1, 1})
+	if v[0] != 6 || v[1] != 15 {
+		t.Fatal("MulVec")
+	}
+}
+
+func TestPow(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 1, 0, 1})
+	p := a.Pow(5)
+	if p.At(0, 1) != 5 || p.At(0, 0) != 1 {
+		t.Fatalf("Pow: %v", p)
+	}
+	if !a.Pow(0).EqualApprox(Identity(2), 0) {
+		t.Fatal("A^0 != I")
+	}
+	if !a.Pow(1).EqualApprox(a, 0) {
+		t.Fatal("A^1 != A")
+	}
+}
+
+func TestSpectralRadiusKnownCases(t *testing.T) {
+	// Diagonalizable: [[2,0],[0,3]] → 3.
+	a := NewDenseData(2, 2, []float64{2, 0, 0, 3})
+	if r := a.SpectralRadius(200, 1e-12); !almostEq(r, 3, 1e-6) {
+		t.Fatalf("radius = %g, want 3", r)
+	}
+	// Nilpotent (strictly upper triangular) → 0.
+	n := NewDenseData(3, 3, []float64{0, 1, 2, 0, 0, 3, 0, 0, 0})
+	if r := n.SpectralRadius(200, 1e-12); r > 1e-9 {
+		t.Fatalf("nilpotent radius = %g", r)
+	}
+	// Symmetric positive: [[2,1],[1,2]] → 3.
+	s := NewDenseData(2, 2, []float64{2, 1, 1, 2})
+	if r := s.SpectralRadius(500, 1e-14); !almostEq(r, 3, 1e-6) {
+		t.Fatalf("radius = %g, want 3", r)
+	}
+}
+
+func TestQuickMulDistributesOverAdd(t *testing.T) {
+	// Property: A(B+C) = AB + AC for small random matrices.
+	f := func(av, bv, cv [9]float64) bool {
+		clean := func(v [9]float64) []float64 {
+			out := make([]float64, 9)
+			for i, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					x = 0
+				}
+				out[i] = math.Mod(x, 100)
+			}
+			return out
+		}
+		a := NewDenseData(3, 3, clean(av))
+		b := NewDenseData(3, 3, clean(bv))
+		c := NewDenseData(3, 3, clean(cv))
+		left := a.Mul(b.AddMat(c))
+		right := a.Mul(b).AddMat(a.Mul(c))
+		return left.EqualApprox(right, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposeOfProduct(t *testing.T) {
+	// Property: (AB)ᵀ = BᵀAᵀ.
+	f := func(av, bv [9]float64) bool {
+		clean := func(v [9]float64) []float64 {
+			out := make([]float64, 9)
+			for i, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					x = 0
+				}
+				out[i] = math.Mod(x, 50)
+			}
+			return out
+		}
+		a := NewDenseData(3, 3, clean(av))
+		b := NewDenseData(3, 3, clean(bv))
+		return a.Mul(b).Transpose().EqualApprox(b.Transpose().Mul(a.Transpose()), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpectralRadiusGelfandKnownCases(t *testing.T) {
+	// Diagonal → max |eigenvalue|.
+	a := NewDenseData(2, 2, []float64{2, 0, 0, 3})
+	if r := a.SpectralRadiusGelfand(40); !almostEq(r, 3, 1e-9) {
+		t.Fatalf("Gelfand diag = %g", r)
+	}
+	// Nilpotent → 0.
+	n := NewDenseData(2, 2, []float64{0, 5, 0, 0})
+	if r := n.SpectralRadiusGelfand(40); r != 0 {
+		t.Fatalf("Gelfand nilpotent = %g", r)
+	}
+	// Non-normal with transient growth: [[1, 1000],[0, 0.5]] → ρ = 1.
+	m := NewDenseData(2, 2, []float64{1, 1000, 0, 0.5})
+	if r := m.SpectralRadiusGelfand(48); !almostEq(r, 1, 1e-6) {
+		t.Fatalf("Gelfand non-normal = %g want 1", r)
+	}
+	// Rotation-like [[0,2],[-2,0]] → eigenvalues ±2i, ρ = 2.
+	rot := NewDenseData(2, 2, []float64{0, 2, -2, 0})
+	if r := rot.SpectralRadiusGelfand(48); !almostEq(r, 2, 1e-6) {
+		t.Fatalf("Gelfand rotation = %g want 2", r)
+	}
+}

@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpmZeroIsIdentity(t *testing.T) {
+	e := Expm(NewDense(4, 4))
+	if !e.EqualApprox(Identity(4), 1e-14) {
+		t.Fatal("expm(0) != I")
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -2)
+	a.Set(2, 2, 0.5)
+	e := Expm(a)
+	want := []float64{math.E, math.Exp(-2), math.Exp(0.5)}
+	for i, v := range want {
+		if !almostEq(e.At(i, i), v, 1e-12*math.Max(1, v)) {
+			t.Fatalf("expm diag[%d] = %g want %g", i, e.At(i, i), v)
+		}
+	}
+	if math.Abs(e.At(0, 1)) > 1e-14 {
+		t.Fatal("off-diagonal should stay zero")
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// N = [[0,1],[0,0]]: e^N = I + N exactly.
+	a := NewDenseData(2, 2, []float64{0, 1, 0, 0})
+	e := Expm(a)
+	want := NewDenseData(2, 2, []float64{1, 1, 0, 1})
+	if !e.EqualApprox(want, 1e-14) {
+		t.Fatalf("expm nilpotent: %v", e)
+	}
+}
+
+func TestExpmKnown2x2(t *testing.T) {
+	// A = [[0,θ],[−θ,0]] → rotation: e^A = [[cosθ, sinθ],[−sinθ, cosθ]].
+	theta := 0.7
+	a := NewDenseData(2, 2, []float64{0, theta, -theta, 0})
+	e := Expm(a)
+	want := NewDenseData(2, 2, []float64{math.Cos(theta), math.Sin(theta), -math.Sin(theta), math.Cos(theta)})
+	if !e.EqualApprox(want, 1e-12) {
+		t.Fatalf("expm rotation: %v", e)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	// Norm > theta13 forces the scaling-and-squaring branch; validate
+	// against the diagonal closed form.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 8)
+	a.Set(1, 1, -8)
+	e := Expm(a)
+	if !almostEq(e.At(0, 0), math.Exp(8), 1e-8*math.Exp(8)) {
+		t.Fatalf("expm scaled diag = %g want %g", e.At(0, 0), math.Exp(8))
+	}
+	if !almostEq(e.At(1, 1), math.Exp(-8), 1e-10) {
+		t.Fatalf("expm scaled diag2 = %g", e.At(1, 1))
+	}
+}
+
+func TestExpmMatchesTaylorOnSmallRandom(t *testing.T) {
+	// For moderate norms the truncated Taylor series is accurate; the
+	// Padé result must agree.
+	a := NewDense(5, 5)
+	s := 0.3
+	for i := range a.data {
+		a.data[i] = math.Sin(s) * 0.4
+		s += 0.61
+	}
+	pade := Expm(a)
+	taylor := taylorExp(a)
+	if !pade.EqualApprox(taylor, 1e-10) {
+		t.Fatal("Padé and Taylor disagree")
+	}
+}
+
+func TestExpmSemigroupProperty(t *testing.T) {
+	// e^(A)·e^(A) = e^(2A) for commuting arguments (A with itself).
+	a := NewDense(4, 4)
+	s := 0.1
+	for i := range a.data {
+		a.data[i] = math.Cos(s) * 0.3
+		s += 0.43
+	}
+	e1 := Expm(a)
+	e2 := Expm(a.Scale(2))
+	if !e1.Mul(e1).EqualApprox(e2, 1e-9) {
+		t.Fatal("semigroup property violated")
+	}
+}
+
+func TestExpmTraceMonotoneInCycleWeight(t *testing.T) {
+	// tr(e^{S}) grows as cycle weight grows — the monotonicity NOTEARS
+	// relies on.
+	prev := 0.0
+	for _, w := range []float64{0, 0.2, 0.5, 1, 2} {
+		a := NewDense(2, 2)
+		a.Set(0, 1, w)
+		a.Set(1, 0, w)
+		tr := Expm(a).Trace()
+		if tr < prev {
+			t.Fatalf("trace not monotone at w=%g", w)
+		}
+		prev = tr
+	}
+}
+
+func TestExpmEmpty(t *testing.T) {
+	e := Expm(NewDense(0, 0))
+	if e.Rows() != 0 || e.Cols() != 0 {
+		t.Fatal("expm(empty) should be empty")
+	}
+}

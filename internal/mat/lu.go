@@ -1,0 +1,121 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when LU factorization meets a pivot that is
+// exactly zero after partial pivoting.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, with L
+// unit lower triangular and U upper triangular stored packed in lu.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factorize computes the LU factorization of the square matrix a with
+// partial (row) pivoting. a is not modified.
+func Factorize(a *Dense) (*LU, error) {
+	a.mustSquare()
+	n := a.rows
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, a.data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		mx := math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.lu[i*n+k]); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := f.lu[k*n : k*n+n]
+			rp := f.lu[p*n : p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := f.lu[i*n : i*n+n]
+			rk := f.lu[k*n : k*n+n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// SolveMat solves A·X = B for X where A is the factorized matrix. B is
+// not modified.
+func (f *LU) SolveMat(b *Dense) *Dense {
+	if b.rows != f.n {
+		panic(fmt.Sprintf("mat: solve dimension mismatch %d vs %d", b.rows, f.n))
+	}
+	n, m := f.n, b.cols
+	x := NewDense(n, m)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), b.Row(f.piv[i]))
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		xi := x.Row(i)
+		for k := 0; k < i; k++ {
+			l := f.lu[i*n+k]
+			if l == 0 {
+				continue
+			}
+			xk := x.Row(k)
+			for j := 0; j < m; j++ {
+				xi[j] -= l * xk[j]
+			}
+		}
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		xi := x.Row(i)
+		for k := i + 1; k < n; k++ {
+			u := f.lu[i*n+k]
+			if u == 0 {
+				continue
+			}
+			xk := x.Row(k)
+			for j := 0; j < m; j++ {
+				xi[j] -= u * xk[j]
+			}
+		}
+		d := f.lu[i*n+i]
+		for j := 0; j < m; j++ {
+			xi[j] /= d
+		}
+	}
+	return x
+}
+
+// Solve solves A·x = b for a single right-hand side.
+func (f *LU) Solve(b []float64) []float64 {
+	bm := NewDenseData(len(b), 1, append([]float64(nil), b...))
+	return f.SolveMat(bm).data
+}

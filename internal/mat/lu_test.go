@@ -1,0 +1,103 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	// [2 1; 1 3] x = [3; 5] → x = [0.8, 1.4].
+	a := NewDenseData(2, 2, []float64{2, 1, 1, 3})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{3, 5})
+	if !almostEq(x[0], 0.8, 1e-12) || !almostEq(x[1], 1.4, 1e-12) {
+		t.Fatalf("solve: %v", x)
+	}
+}
+
+func TestLUSolveRequiresPivoting(t *testing.T) {
+	// Leading zero pivot: only solvable with row swaps.
+	a := NewDenseData(2, 2, []float64{0, 1, 1, 0})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{2, 3})
+	if !almostEq(x[0], 3, 1e-12) || !almostEq(x[1], 2, 1e-12) {
+		t.Fatalf("pivoted solve: %v", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Factorize(a); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLUSolveMatResiduals(t *testing.T) {
+	n := 20
+	a := NewDense(n, n)
+	s := 0.2
+	for i := range a.data {
+		a.data[i] = math.Sin(s)
+		s += 0.57
+	}
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n)) // diagonally dominant → well conditioned
+	}
+	b := NewDense(n, 3)
+	for i := range b.data {
+		b.data[i] = math.Cos(s)
+		s += 0.31
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveMat(b)
+	if !a.Mul(x).EqualApprox(b, 1e-9) {
+		t.Fatal("A·X != B")
+	}
+}
+
+func TestLUQuickResidualProperty(t *testing.T) {
+	f := func(vals [16]float64, rhs [4]float64) bool {
+		a := NewDense(4, 4)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			a.data[i] = math.Mod(v, 10)
+		}
+		for i := 0; i < 4; i++ {
+			a.Add(i, i, 20) // keep well conditioned
+		}
+		b := make([]float64, 4)
+		for i, v := range rhs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			b[i] = math.Mod(v, 10)
+		}
+		lu, err := Factorize(a)
+		if err != nil {
+			return false
+		}
+		x := lu.Solve(b)
+		r := a.MulVec(x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

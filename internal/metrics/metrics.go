@@ -1,0 +1,285 @@
+// Package metrics implements the structure-recovery metrics of the
+// paper's evaluation (§V-A and Table III): FDR, TPR, FPR, SHD, F1 and
+// AUC-ROC under the NOTEARS convention, where a predicted edge counts
+// as an error both when it is absent from the skeleton and when it is
+// reversed; plus the Pearson correlation used for Fig 4 row 3.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+)
+
+// Confusion summarizes a predicted-vs-true directed graph comparison
+// (NOTEARS accounting).
+type Confusion struct {
+	// TP: predicted edges with the correct direction.
+	TP int
+	// Reversed: predicted edges present in the true skeleton but
+	// flipped.
+	Reversed int
+	// FP: predicted edges absent from the true skeleton entirely.
+	FP int
+	// FN: true edges missed entirely (not even reversed).
+	FN int
+	// PredEdges / TrueEdges are the totals.
+	PredEdges, TrueEdges int
+	// Candidates is the number of possible (ordered) non-self edges,
+	// d(d−1); the FPR denominator uses the NOTEARS "condition
+	// negative" set: candidates/2 − trueEdges.
+	Candidates int
+}
+
+// Compare builds a Confusion from true and predicted digraphs on the
+// same node set.
+func Compare(truth, pred *graph.Digraph) Confusion {
+	if truth.N() != pred.N() {
+		panic("metrics: node-count mismatch")
+	}
+	d := truth.N()
+	c := Confusion{
+		PredEdges:  pred.NumEdges(),
+		TrueEdges:  truth.NumEdges(),
+		Candidates: d * (d - 1),
+	}
+	for _, e := range pred.Edges() {
+		switch {
+		case truth.HasEdge(e.From, e.To):
+			c.TP++
+		case truth.HasEdge(e.To, e.From):
+			c.Reversed++
+		default:
+			c.FP++
+		}
+	}
+	for _, e := range truth.Edges() {
+		if !pred.HasEdge(e.From, e.To) && !pred.HasEdge(e.To, e.From) {
+			c.FN++
+		}
+	}
+	return c
+}
+
+// FDR is the false discovery rate (reversed + FP) / predicted.
+func (c Confusion) FDR() float64 {
+	if c.PredEdges == 0 {
+		return 0
+	}
+	return float64(c.Reversed+c.FP) / float64(c.PredEdges)
+}
+
+// TPR is the true positive rate TP / true edges.
+func (c Confusion) TPR() float64 {
+	if c.TrueEdges == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TrueEdges)
+}
+
+// FPR is (reversed + FP) / condition-negatives, with the NOTEARS
+// denominator candidates/2 − trueEdges.
+func (c Confusion) FPR() float64 {
+	neg := c.Candidates/2 - c.TrueEdges
+	if neg <= 0 {
+		return 0
+	}
+	return float64(c.Reversed+c.FP) / float64(neg)
+}
+
+// Precision is TP / predicted edges.
+func (c Confusion) Precision() float64 {
+	if c.PredEdges == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.PredEdges)
+}
+
+// Recall is an alias for TPR.
+func (c Confusion) Recall() float64 { return c.TPR() }
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// SHD computes the structural Hamming distance between truth and pred:
+// the number of edge insertions, deletions, or flips needed to turn
+// pred into truth. A reversed edge counts once.
+func SHD(truth, pred *graph.Digraph) int {
+	if truth.N() != pred.N() {
+		panic("metrics: node-count mismatch")
+	}
+	shd := 0
+	seen := make(map[[2]int]bool)
+	for _, e := range pred.Edges() {
+		key := skel(e.From, e.To)
+		switch {
+		case truth.HasEdge(e.From, e.To):
+			// correct
+		case truth.HasEdge(e.To, e.From):
+			if !seen[key] {
+				shd++ // one flip
+			}
+		default:
+			shd++ // deletion
+		}
+		seen[key] = true
+	}
+	for _, e := range truth.Edges() {
+		if !pred.HasEdge(e.From, e.To) && !pred.HasEdge(e.To, e.From) {
+			shd++ // insertion
+		}
+	}
+	return shd
+}
+
+func skel(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// GraphFromWeights thresholds |W| > tau into a digraph, ignoring the
+// diagonal — the W → G(W′) step of §V-A.
+func GraphFromWeights(w *mat.Dense, tau float64) *graph.Digraph {
+	d := w.Rows()
+	g := graph.New(d)
+	for i := 0; i < d; i++ {
+		row := w.Row(i)
+		for j, v := range row {
+			if i != j && math.Abs(v) > tau {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// AUCROC computes the area under the ROC curve for directed-edge
+// recovery, ranking all ordered pairs (i,j), i≠j, by |W[i,j]| and
+// sweeping the threshold. Positives are the true directed edges.
+func AUCROC(truth *graph.Digraph, w *mat.Dense) float64 {
+	d := truth.N()
+	type scored struct {
+		score float64
+		pos   bool
+	}
+	items := make([]scored, 0, d*(d-1))
+	nPos, nNeg := 0, 0
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			if i == j {
+				continue
+			}
+			pos := truth.HasEdge(i, j)
+			if pos {
+				nPos++
+			} else {
+				nNeg++
+			}
+			items = append(items, scored{math.Abs(w.At(i, j)), pos})
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	// AUC via the rank-sum (Mann–Whitney) formulation with midrank
+	// tie handling.
+	sort.Slice(items, func(a, b int) bool { return items[a].score < items[b].score })
+	var rankSum float64
+	i := 0
+	rank := 1
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			j++
+		}
+		mid := float64(rank+rank+(j-i)-1) / 2
+		for k := i; k < j; k++ {
+			if items[k].pos {
+				rankSum += mid
+			}
+		}
+		rank += j - i
+		i = j
+	}
+	return (rankSum - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal
+// length samples (Fig 4 row 3 correlates δ(W) with h(W) traces).
+// It returns 0 when either sample is constant.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("metrics: Pearson length mismatch")
+	}
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Accuracy bundles the full Table-III metric row for one learner.
+type Accuracy struct {
+	PredEdges, TP int
+	FDR, TPR, FPR float64
+	SHD           int
+	F1, AUC       float64
+}
+
+// Evaluate computes the complete metric row for a weight estimate
+// against a ground-truth digraph at edge threshold tau.
+func Evaluate(truth *graph.Digraph, w *mat.Dense, tau float64) Accuracy {
+	pred := GraphFromWeights(w, tau)
+	c := Compare(truth, pred)
+	return Accuracy{
+		PredEdges: c.PredEdges,
+		TP:        c.TP,
+		FDR:       c.FDR(),
+		TPR:       c.TPR(),
+		FPR:       c.FPR(),
+		SHD:       SHD(truth, pred),
+		F1:        c.F1(),
+		AUC:       AUCROC(truth, w),
+	}
+}
+
+// BestOverThresholds replays the paper's §V-A grid search: it evaluates
+// every tau in taus and returns the row with the highest F1.
+func BestOverThresholds(truth *graph.Digraph, w *mat.Dense, taus []float64) (Accuracy, float64) {
+	best := Accuracy{F1: -1}
+	bestTau := 0.0
+	for _, tau := range taus {
+		acc := Evaluate(truth, w, tau)
+		if acc.F1 > best.F1 {
+			best, bestTau = acc, tau
+		}
+	}
+	return best, bestTau
+}

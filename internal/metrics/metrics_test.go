@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+)
+
+func g(n int, edges ...[2]int) *graph.Digraph {
+	gr := graph.New(n)
+	for _, e := range edges {
+		gr.AddEdge(e[0], e[1])
+	}
+	return gr
+}
+
+func TestComparePerfect(t *testing.T) {
+	truth := g(4, [2]int{0, 1}, [2]int{1, 2})
+	c := Compare(truth, g(4, [2]int{0, 1}, [2]int{1, 2}))
+	if c.TP != 2 || c.FP != 0 || c.FN != 0 || c.Reversed != 0 {
+		t.Fatalf("%+v", c)
+	}
+	if c.F1() != 1 || c.FDR() != 0 || c.TPR() != 1 || c.FPR() != 0 {
+		t.Fatal("perfect prediction metrics")
+	}
+}
+
+func TestCompareReversedEdge(t *testing.T) {
+	truth := g(3, [2]int{0, 1})
+	pred := g(3, [2]int{1, 0})
+	c := Compare(truth, pred)
+	if c.TP != 0 || c.Reversed != 1 || c.FP != 0 {
+		t.Fatalf("%+v", c)
+	}
+	// Reversed counts in FDR (NOTEARS convention).
+	if c.FDR() != 1 {
+		t.Fatalf("FDR = %g", c.FDR())
+	}
+	// FN: the true edge is present as reversed, so not missed entirely.
+	if c.FN != 0 {
+		t.Fatalf("FN = %d", c.FN)
+	}
+}
+
+func TestCompareFalsePositiveAndNegative(t *testing.T) {
+	truth := g(4, [2]int{0, 1}, [2]int{2, 3})
+	pred := g(4, [2]int{0, 1}, [2]int{1, 2})
+	c := Compare(truth, pred)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("%+v", c)
+	}
+	if math.Abs(c.F1()-0.5) > 1e-12 {
+		t.Fatalf("F1 = %g", c.F1())
+	}
+}
+
+func TestSHDCases(t *testing.T) {
+	truth := g(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	if d := SHD(truth, truth); d != 0 {
+		t.Fatalf("SHD(g,g) = %d", d)
+	}
+	// One reversal = 1 (a flip).
+	if d := SHD(truth, g(4, [2]int{1, 0}, [2]int{1, 2}, [2]int{2, 3})); d != 1 {
+		t.Fatalf("flip SHD = %d", d)
+	}
+	// One missing = 1 (insertion).
+	if d := SHD(truth, g(4, [2]int{0, 1}, [2]int{1, 2})); d != 1 {
+		t.Fatalf("missing SHD = %d", d)
+	}
+	// One extra = 1 (deletion).
+	if d := SHD(truth, g(4, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{0, 3})); d != 1 {
+		t.Fatalf("extra SHD = %d", d)
+	}
+	// Empty prediction = |truth|.
+	if d := SHD(truth, g(4)); d != 3 {
+		t.Fatalf("empty SHD = %d", d)
+	}
+}
+
+func TestSHDSymmetricOnSkeletonChanges(t *testing.T) {
+	a := g(3, [2]int{0, 1})
+	b := g(3, [2]int{1, 2})
+	if SHD(a, b) != SHD(b, a) {
+		t.Fatal("SHD should be symmetric for add/remove differences")
+	}
+}
+
+func TestGraphFromWeights(t *testing.T) {
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 0.5)
+	w.Set(1, 2, -0.4)
+	w.Set(2, 0, 0.05)
+	w.Set(1, 1, 9) // diagonal ignored
+	gr := GraphFromWeights(w, 0.1)
+	if !gr.HasEdge(0, 1) || !gr.HasEdge(1, 2) || gr.HasEdge(2, 0) {
+		t.Fatal("thresholding wrong")
+	}
+	if gr.NumEdges() != 2 {
+		t.Fatalf("edges = %d", gr.NumEdges())
+	}
+}
+
+func TestAUCPerfectRanking(t *testing.T) {
+	truth := g(3, [2]int{0, 1}, [2]int{1, 2})
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 0.9)
+	w.Set(1, 2, 0.8)
+	w.Set(0, 2, 0.1)
+	if auc := AUCROC(truth, w); auc != 1 {
+		t.Fatalf("AUC = %g, want 1", auc)
+	}
+}
+
+func TestAUCWorstRanking(t *testing.T) {
+	truth := g(3, [2]int{0, 1})
+	w := mat.NewDense(3, 3)
+	// True edge scored 0, several non-edges scored high.
+	w.Set(1, 0, 0.9)
+	w.Set(0, 2, 0.8)
+	w.Set(2, 1, 0.7)
+	auc := AUCROC(truth, w)
+	if auc > 0.2 {
+		t.Fatalf("AUC = %g, want near 0", auc)
+	}
+}
+
+func TestAUCAllTiedIsHalf(t *testing.T) {
+	truth := g(3, [2]int{0, 1})
+	w := mat.NewDense(3, 3) // all scores 0 → ties → 0.5 by midrank
+	if auc := AUCROC(truth, w); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %g", auc)
+	}
+}
+
+func TestAUCInUnitIntervalProperty(t *testing.T) {
+	f := func(scores [12]float64, edgeBits uint16) bool {
+		truth := graph.New(4)
+		w := mat.NewDense(4, 4)
+		k := 0
+		bit := 0
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if i == j {
+					continue
+				}
+				s := scores[k%12]
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					s = 0
+				}
+				w.Set(i, j, math.Mod(s, 5))
+				if edgeBits&(1<<bit) != 0 {
+					truth.AddEdge(i, j)
+				}
+				k++
+				bit++
+			}
+		}
+		auc := AUCROC(truth, w)
+		return auc >= 0 && auc <= 1 || auc == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if p := Pearson(a, []float64{2, 4, 6, 8}); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("perfect corr = %g", p)
+	}
+	if p := Pearson(a, []float64{8, 6, 4, 2}); math.Abs(p+1) > 1e-12 {
+		t.Fatalf("perfect anticorr = %g", p)
+	}
+	if p := Pearson(a, []float64{5, 5, 5, 5}); p != 0 {
+		t.Fatalf("constant corr = %g", p)
+	}
+	if p := Pearson(nil, nil); p != 0 {
+		t.Fatal("empty corr")
+	}
+}
+
+func TestEvaluateMatchesPieces(t *testing.T) {
+	truth := g(4, [2]int{0, 1}, [2]int{1, 2})
+	w := mat.NewDense(4, 4)
+	w.Set(0, 1, 0.9)
+	w.Set(1, 2, 0.5)
+	w.Set(3, 0, 0.4)
+	acc := Evaluate(truth, w, 0.3)
+	if acc.TP != 2 || acc.PredEdges != 3 {
+		t.Fatalf("%+v", acc)
+	}
+	if acc.SHD != 1 {
+		t.Fatalf("SHD = %d", acc.SHD)
+	}
+}
+
+func TestBestOverThresholds(t *testing.T) {
+	truth := g(3, [2]int{0, 1})
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 0.45)
+	w.Set(1, 2, 0.15) // false edge that a high threshold removes
+	best, tau := BestOverThresholds(truth, w, []float64{0.1, 0.2, 0.3, 0.4})
+	if best.F1 != 1 {
+		t.Fatalf("best F1 = %g at tau=%g", best.F1, tau)
+	}
+	if tau < 0.2 {
+		t.Fatalf("best tau = %g should filter the weak false edge", tau)
+	}
+}
+
+func TestCompareNodeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compare(graph.New(2), graph.New(3))
+}

@@ -1,0 +1,179 @@
+package movielens
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDefaultCatalogStructure(t *testing.T) {
+	c := DefaultCatalog(150)
+	if len(c.Movies) != 150 {
+		t.Fatalf("movies %d", len(c.Movies))
+	}
+	// Every Table IV title must exist.
+	for _, title := range []string{
+		"Shrek 2 (2004)", "Shrek (2001)", "Toy Story (1995)",
+		"Casablanca (1942)", "Star Wars: Episode V (1980)", "The New Land (1972)",
+	} {
+		if c.Index(title) < 0 {
+			t.Fatalf("missing %q", title)
+		}
+	}
+	// Planted edges form a DAG.
+	g := graph.New(len(c.Movies))
+	for _, e := range c.Edges {
+		if !g.HasEdge(e.From, e.To) {
+			g.AddEdge(e.From, e.To)
+		}
+	}
+	if !g.IsDAG() {
+		t.Fatal("planted edges contain a cycle")
+	}
+	// Blockbusters and niche flags set.
+	if !c.Movies[c.Index("Casablanca (1942)")].Blockbuster {
+		t.Fatal("Casablanca must be a blockbuster")
+	}
+	if !c.Movies[c.Index("The New Land (1972)")].Niche {
+		t.Fatal("The New Land must be niche")
+	}
+}
+
+func TestCatalogMinimumSizeFloor(t *testing.T) {
+	c := DefaultCatalog(1)
+	if len(c.Movies) < 64 {
+		t.Fatal("size floor")
+	}
+}
+
+func TestPairedTitlesShareCluster(t *testing.T) {
+	c := DefaultCatalog(150)
+	pairs := [][2]string{
+		{"Shrek 2 (2004)", "Shrek (2001)"},
+		{"Toy Story 2 (1999)", "Toy Story (1995)"},
+		{"Reservoir Dogs (1992)", "Pulp Fiction (1994)"},
+	}
+	for _, p := range pairs {
+		a, b := c.Index(p[0]), c.Index(p[1])
+		if c.cluster[a] != c.cluster[b] {
+			t.Fatalf("%q and %q in different co-watch clusters", p[0], p[1])
+		}
+	}
+}
+
+func TestRelationOf(t *testing.T) {
+	c := DefaultCatalog(150)
+	i, j := c.Index("Shrek 2 (2004)"), c.Index("Shrek (2001)")
+	if c.RelationOf(i, j) != SameSeries || c.RelationOf(j, i) != SameSeries {
+		t.Fatal("RelationOf should work in both directions")
+	}
+	if c.RelationOf(i, c.Index("Casablanca (1942)")) != "" {
+		t.Fatal("unrelated movies")
+	}
+}
+
+func TestGenerateShapesAndCentering(t *testing.T) {
+	c := DefaultCatalog(100)
+	o := DefaultGenOptions()
+	o.Users = 500
+	r := Generate(c, o)
+	if r.X.Rows() != 500 || r.X.Cols() != 100 {
+		t.Fatal("shape")
+	}
+	if r.X.HasNaN() {
+		t.Fatal("NaN ratings")
+	}
+	// Per-user mean of rated (non-zero) entries must be ≈ 0.
+	for u := 0; u < 20; u++ {
+		row := r.X.Row(u)
+		var sum float64
+		n := 0
+		for _, v := range row {
+			if v != 0 {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 && sum/float64(n) > 1e-9 {
+			t.Fatalf("user %d not centered: %g", u, sum/float64(n))
+		}
+	}
+}
+
+func TestBlockbustersMostWatched(t *testing.T) {
+	c := DefaultCatalog(150)
+	o := DefaultGenOptions()
+	o.Users = 2000
+	r := Generate(c, o)
+	top := r.MostWatched(5)
+	// At least 4 of the top-5 watched must be flagged blockbusters.
+	hits := 0
+	for _, title := range top {
+		if c.Movies[c.Index(title)].Blockbuster {
+			hits++
+		}
+	}
+	if hits < 4 {
+		t.Fatalf("blockbusters not dominating watch counts: %v", top)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := DefaultCatalog(80)
+	o := DefaultGenOptions()
+	o.Users = 200
+	a := Generate(c, o)
+	b := Generate(c, o)
+	if !a.X.EqualApprox(b.X, 0) {
+		t.Fatal("same seed must reproduce ratings")
+	}
+}
+
+func TestLearnRecoversPlantedStructure(t *testing.T) {
+	c := DefaultCatalog(150)
+	r := Generate(c, DefaultGenOptions())
+	net := Learn(r, DefaultLearnOptions())
+	rep := Evaluate(net, c)
+	t.Logf("edges=%d planted=%d/%d named=%d/10", rep.LearnedEdges, rep.PlantedFound, rep.PlantedTotal, rep.NamedFound)
+	if rep.NamedFound < 6 {
+		t.Fatalf("only %d/10 Table-IV pairs recovered", rep.NamedFound)
+	}
+	if rep.PlantedFound < 20 {
+		t.Fatalf("only %d planted edges recovered", rep.PlantedFound)
+	}
+}
+
+func TestTopEdgesAnnotatedAndDegreeContrast(t *testing.T) {
+	c := DefaultCatalog(150)
+	r := Generate(c, DefaultGenOptions())
+	net := Learn(r, DefaultLearnOptions())
+	top := TopEdgesAnnotated(net, c, 10)
+	if len(top) != 10 {
+		t.Fatalf("top edges %d", len(top))
+	}
+	planted := 0
+	for _, e := range top {
+		if e.Planted {
+			planted++
+		}
+	}
+	if planted < 5 {
+		t.Fatalf("only %d/10 top edges are planted links", planted)
+	}
+	blockbuster, niche := DegreeContrast(net, c)
+	if blockbuster <= niche {
+		t.Fatalf("§VI-C contrast inverted: blockbuster %.2f vs niche %.2f", blockbuster, niche)
+	}
+	// Fig-8 style neighbourhood extraction must include Braveheart.
+	sub := net.Neighborhood(c.Index("Braveheart (1995)"), 2)
+	found := false
+	for i := 0; i < sub.N(); i++ {
+		if strings.Contains(sub.Name(i), "Braveheart") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Braveheart missing from its own neighbourhood")
+	}
+}

@@ -1,0 +1,82 @@
+package notears
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/randx"
+)
+
+func TestRunRecoversERGraph(t *testing.T) {
+	rng := randx.New(1)
+	d := 15
+	dag := gen.RandomDAG(rng, gen.ER, d, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 10*d, randx.Gaussian)
+	o := DefaultOptions()
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.MaxOuter = 12
+	res := Run(x, o)
+	if res.H > 1e-2 {
+		t.Fatalf("h = %g did not converge", res.H)
+	}
+	acc, _ := metrics.BestOverThresholds(dag.G, res.W, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	if acc.F1 < 0.75 {
+		t.Fatalf("F1 = %.3f", acc.F1)
+	}
+}
+
+func TestPolyVariantWorks(t *testing.T) {
+	rng := randx.New(2)
+	d := 12
+	dag := gen.RandomDAG(rng, gen.ER, d, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 10*d, randx.Gumbel)
+	o := DefaultOptions()
+	o.Variant = Poly
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.MaxOuter = 12
+	res := Run(x, o)
+	acc, _ := metrics.BestOverThresholds(dag.G, res.W, []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+	if acc.F1 < 0.6 {
+		t.Fatalf("poly variant F1 = %.3f", acc.F1)
+	}
+}
+
+func TestHTraceDecreases(t *testing.T) {
+	rng := randx.New(3)
+	dag := gen.RandomDAG(rng, gen.ER, 10, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 100, randx.Exponential)
+	o := DefaultOptions()
+	o.Epsilon = 1e-4
+	o.MaxOuter = 10
+	res := Run(x, o)
+	if len(res.HTrace) == 0 {
+		t.Fatal("no trace")
+	}
+	first, last := res.HTrace[0], res.HTrace[len(res.HTrace)-1]
+	if !(last < first || last <= o.Epsilon) {
+		t.Fatalf("h not decreasing: %v", res.HTrace)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Expm.String() != "NOTEARS" || Poly.String() != "NOTEARS-poly" {
+		t.Fatal("names")
+	}
+}
+
+func TestBatchedRun(t *testing.T) {
+	rng := randx.New(4)
+	dag := gen.RandomDAG(rng, gen.ER, 12, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 300, randx.Gaussian)
+	o := DefaultOptions()
+	o.BatchSize = 64
+	o.Epsilon = 1e-2
+	o.MaxOuter = 8
+	res := Run(x, o)
+	if res.W == nil || res.W.HasNaN() {
+		t.Fatal("batched run produced bad weights")
+	}
+}

@@ -1,0 +1,218 @@
+// Package opt provides the optimization machinery of Fig 3: the Adam
+// first-order optimizer (paper §IV uses Adam for both implementations,
+// chosen because it "does not generate dense matrices during the
+// computation process") in dense and fixed-support sparse forms, and
+// the augmented-Lagrangian outer loop shared by LEAST and the NOTEARS
+// baseline.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// AdamConfig holds the standard Adam hyper-parameters. The paper sets
+// the learning rate to 0.01 (§V "Parameter Settings").
+type AdamConfig struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+}
+
+// DefaultAdam returns the paper's Adam configuration.
+func DefaultAdam() AdamConfig {
+	return AdamConfig{LR: 0.01, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Adam performs bias-corrected Adam updates over a flat parameter
+// vector. Both the dense learner (over the d² matrix entries) and the
+// sparse learner (over the CSR value slice) drive it; the caller owns
+// the parameter storage.
+type Adam struct {
+	cfg  AdamConfig
+	m, v []float64
+	t    int
+}
+
+// NewAdam returns an Adam state for n parameters.
+func NewAdam(cfg AdamConfig, n int) *Adam {
+	if cfg.LR <= 0 {
+		cfg = DefaultAdam()
+	}
+	return &Adam{cfg: cfg, m: make([]float64, n), v: make([]float64, n)}
+}
+
+// Step applies one Adam update: params ← params − lr·m̂/(√v̂+ε).
+// len(grad) must equal len(params) must equal the state size.
+func (a *Adam) Step(params, grad []float64) {
+	if len(params) != len(a.m) || len(grad) != len(a.m) {
+		panic("opt: Adam dimension mismatch")
+	}
+	a.t++
+	b1, b2 := a.cfg.Beta1, a.cfg.Beta2
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	for i, g := range grad {
+		a.m[i] = b1*a.m[i] + (1-b1)*g
+		a.v[i] = b2*a.v[i] + (1-b2)*g*g
+		mhat := a.m[i] / c1
+		vhat := a.v[i] / c2
+		params[i] -= a.cfg.LR * mhat / (math.Sqrt(vhat) + a.cfg.Epsilon)
+	}
+}
+
+// SetLR overrides the learning rate; the learners decay it across
+// outer solves so the iterates can settle below the initial step size
+// (a constant-step Adam oscillates with amplitude ≈ lr, flooring the
+// achievable constraint value).
+func (a *Adam) SetLR(lr float64) { a.cfg.LR = lr }
+
+// LR returns the current learning rate.
+func (a *Adam) LR() float64 { return a.cfg.LR }
+
+// Reset clears the moment estimates (used when the outer loop restarts
+// an inner solve with new ρ, η so stale momentum does not leak across
+// sub-problems).
+func (a *Adam) Reset() {
+	for i := range a.m {
+		a.m[i] = 0
+		a.v[i] = 0
+	}
+	a.t = 0
+}
+
+// ZeroMoments clears the moments at the given indices; the learners
+// call it for entries removed by thresholding so a pruned weight does
+// not keep drifting on stale momentum.
+func (a *Adam) ZeroMoments(idx []int) {
+	for _, i := range idx {
+		a.m[i] = 0
+		a.v[i] = 0
+	}
+}
+
+// AugLagConfig drives the augmented-Lagrangian outer loop of Fig 3.
+type AugLagConfig struct {
+	// RhoInit and EtaInit are the line-1 initial penalty/multiplier.
+	RhoInit, EtaInit float64
+	// RhoGrowth is the "enlarge ρ by a small factor" of line 5.
+	RhoGrowth float64
+	// RhoMax caps the penalty to avoid float overflow on hard instances.
+	RhoMax float64
+	// Epsilon is the constraint tolerance ε of line 6.
+	Epsilon float64
+	// MaxOuter is T_o (the paper uses 1000 but converges far earlier).
+	MaxOuter int
+	// ProgressFactor is the sufficient-decrease test of the standard
+	// NOTEARS dual-ascent schedule: after an inner solve, if the new
+	// constraint value exceeds ProgressFactor × the previous one, the
+	// penalty ρ is enlarged and the sub-problem re-solved (warm-
+	// started) before the multiplier update. 0.25 is the published
+	// NOTEARS value.
+	ProgressFactor float64
+}
+
+// DefaultAugLag returns the paper's outer-loop configuration.
+func DefaultAugLag() AugLagConfig {
+	return AugLagConfig{RhoInit: 1, EtaInit: 0, RhoGrowth: 10, RhoMax: 1e16, Epsilon: 1e-8, MaxOuter: 100, ProgressFactor: 0.25}
+}
+
+// InnerSolver minimizes ℓ(W) = L + ρ/2·δ² + η·δ for fixed (ρ, η) and
+// returns the final constraint value δ(W*).
+type InnerSolver func(rho, eta float64) (delta float64)
+
+// AugLagState reports the trajectory of one augmented-Lagrangian run.
+type AugLagState struct {
+	Outer      int       // outer (multiplier-update) iterations executed
+	Solves     int       // inner solves, counting ρ-escalation re-solves
+	Delta      float64   // final constraint value
+	DeltaTrace []float64 // constraint value after each inner solve
+	Converged  bool      // Delta ≤ Epsilon
+	FinalRho   float64
+	FinalEta   float64
+}
+
+// RunAugLag executes the dual-ascent outer loop shared by LEAST (Fig 3)
+// and the NOTEARS baseline: solve the penalized sub-problem, escalate ρ
+// (re-solving warm-started) until the constraint value drops by the
+// sufficient-decrease factor, then update the multiplier
+// η ← η + ρ·δ. Stops when δ ≤ ε, ρ saturates without progress, or
+// MaxOuter multiplier updates have run. An optional stop callback can
+// terminate early (the §V-A experiments stop on the *exact* h(W) to
+// make LEAST/NOTEARS termination comparable).
+func RunAugLag(cfg AugLagConfig, inner InnerSolver, stop func(delta float64) bool) AugLagState {
+	rho, eta := cfg.RhoInit, cfg.EtaInit
+	pf := cfg.ProgressFactor
+	if pf <= 0 || pf >= 1 {
+		pf = 0.25
+	}
+	st := AugLagState{Delta: math.Inf(1)}
+	prev := math.Inf(1)
+	for st.Outer = 1; st.Outer <= cfg.MaxOuter; st.Outer++ {
+		delta := inner(rho, eta)
+		st.Solves++
+		st.DeltaTrace = append(st.DeltaTrace, delta)
+		// Escalate ρ until sufficient decrease (warm-started re-solves).
+		for delta > pf*prev && rho < cfg.RhoMax {
+			rho *= cfg.RhoGrowth
+			delta = inner(rho, eta)
+			st.Solves++
+			st.DeltaTrace = append(st.DeltaTrace, delta)
+		}
+		st.Delta = delta
+		prev = delta
+		if delta <= cfg.Epsilon || (stop != nil && stop(delta)) {
+			st.Converged = true
+			break
+		}
+		if rho >= cfg.RhoMax {
+			break // saturated: no further progress possible
+		}
+		eta += rho * delta
+	}
+	st.FinalRho, st.FinalEta = rho, eta
+	return st
+}
+
+// ClipGrad rescales grad in place so its max-abs entry is at most clip
+// (a stability guard for the early iterations when ρ·δ·∇δ can spike);
+// it returns the scaling factor applied (1 means untouched).
+func ClipGrad(grad []float64, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	var mx float64
+	for _, g := range grad {
+		if a := math.Abs(g); a > mx {
+			mx = a
+		}
+	}
+	if mx <= clip || mx == 0 {
+		return 1
+	}
+	f := clip / mx
+	for i := range grad {
+		grad[i] *= f
+	}
+	return f
+}
+
+// DiagonalIndices returns the flat indices of the diagonal of a d×d
+// row-major matrix; the dense learner pins these to zero each step.
+func DiagonalIndices(d int) []int {
+	idx := make([]int, d)
+	for i := 0; i < d; i++ {
+		idx[i] = i*d + i
+	}
+	return idx
+}
+
+// PinZero writes zeros at the given flat indices of m's data.
+func PinZero(m *mat.Dense, idx []int) {
+	data := m.Data()
+	for _, i := range idx {
+		data[i] = 0
+	}
+}

@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	// f(x) = Σ (x_i − target_i)², ∇f = 2(x − target).
+	target := []float64{3, -2, 0.5}
+	x := make([]float64, 3)
+	a := NewAdam(AdamConfig{LR: 0.05, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}, 3)
+	grad := make([]float64, 3)
+	for it := 0; it < 2000; it++ {
+		for i := range x {
+			grad[i] = 2 * (x[i] - target[i])
+		}
+		a.Step(x, grad)
+	}
+	for i := range x {
+		if math.Abs(x[i]-target[i]) > 0.01 {
+			t.Fatalf("x[%d] = %g want %g", i, x[i], target[i])
+		}
+	}
+}
+
+func TestAdamFirstStepSize(t *testing.T) {
+	// Bias correction makes the first step ≈ lr regardless of gradient
+	// magnitude.
+	for _, g := range []float64{1e-4, 1, 1e4} {
+		a := NewAdam(DefaultAdam(), 1)
+		x := []float64{0}
+		a.Step(x, []float64{g})
+		if math.Abs(math.Abs(x[0])-a.LR()) > a.LR()*0.01 {
+			t.Fatalf("first step %g for grad %g (lr=%g)", x[0], g, a.LR())
+		}
+	}
+}
+
+func TestAdamResetAndSetLR(t *testing.T) {
+	a := NewAdam(DefaultAdam(), 2)
+	x := []float64{0, 0}
+	a.Step(x, []float64{1, 1})
+	a.Reset()
+	if a.t != 0 || a.m[0] != 0 || a.v[1] != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	a.SetLR(0.5)
+	if a.LR() != 0.5 {
+		t.Fatal("SetLR")
+	}
+}
+
+func TestAdamZeroMoments(t *testing.T) {
+	a := NewAdam(DefaultAdam(), 3)
+	x := []float64{0, 0, 0}
+	a.Step(x, []float64{1, 1, 1})
+	a.ZeroMoments([]int{1})
+	if a.m[1] != 0 || a.v[1] != 0 {
+		t.Fatal("ZeroMoments")
+	}
+	if a.m[0] == 0 {
+		t.Fatal("other moments must survive")
+	}
+}
+
+func TestAdamDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdam(DefaultAdam(), 2).Step([]float64{1}, []float64{1})
+}
+
+func TestRunAugLagConvergesImmediately(t *testing.T) {
+	calls := 0
+	st := RunAugLag(DefaultAugLag(), func(rho, eta float64) float64 {
+		calls++
+		return 0
+	}, nil)
+	if !st.Converged || calls != 1 || st.Outer != 1 {
+		t.Fatalf("%+v calls=%d", st, calls)
+	}
+}
+
+func TestRunAugLagEscalatesRho(t *testing.T) {
+	// Constraint stuck at 1 until rho exceeds 100.
+	var seenRho []float64
+	st := RunAugLag(AugLagConfig{
+		RhoInit: 1, RhoGrowth: 10, RhoMax: 1e6, Epsilon: 1e-8,
+		MaxOuter: 50, ProgressFactor: 0.25,
+	}, func(rho, eta float64) float64 {
+		seenRho = append(seenRho, rho)
+		if rho > 100 {
+			return 0
+		}
+		return 1
+	}, nil)
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	if seenRho[len(seenRho)-1] <= 100 {
+		t.Fatal("rho never escalated past 100")
+	}
+}
+
+func TestRunAugLagMultiplierUpdate(t *testing.T) {
+	// A geometric decrease satisfies sufficient progress: η must grow.
+	v := 1.0
+	st := RunAugLag(AugLagConfig{
+		RhoInit: 1, RhoGrowth: 10, RhoMax: 1e6, Epsilon: 1e-9,
+		MaxOuter: 100, ProgressFactor: 0.5,
+	}, func(rho, eta float64) float64 {
+		v *= 0.3
+		return v
+	}, nil)
+	if !st.Converged {
+		t.Fatalf("%+v", st)
+	}
+	if st.FinalEta <= 0 {
+		t.Fatalf("η = %g never updated", st.FinalEta)
+	}
+}
+
+func TestRunAugLagStopCallback(t *testing.T) {
+	calls := 0
+	st := RunAugLag(AugLagConfig{
+		RhoInit: 1, RhoGrowth: 10, RhoMax: 1e6, Epsilon: 1e-12,
+		MaxOuter: 50, ProgressFactor: 0.25,
+	}, func(rho, eta float64) float64 {
+		calls++
+		return 1e-3 // never below Epsilon
+	}, func(delta float64) bool {
+		return calls >= 2
+	})
+	if !st.Converged {
+		t.Fatal("stop callback should mark convergence")
+	}
+}
+
+func TestRunAugLagSaturationStops(t *testing.T) {
+	st := RunAugLag(AugLagConfig{
+		RhoInit: 1, RhoGrowth: 10, RhoMax: 100, Epsilon: 1e-12,
+		MaxOuter: 1000, ProgressFactor: 0.25,
+	}, func(rho, eta float64) float64 {
+		return 1 // never improves
+	}, nil)
+	if st.Converged {
+		t.Fatal("should not report convergence")
+	}
+	if st.Solves > 10 {
+		t.Fatalf("saturation did not stop the loop: %d solves", st.Solves)
+	}
+}
+
+func TestClipGrad(t *testing.T) {
+	g := []float64{3, -6, 1}
+	f := ClipGrad(g, 2)
+	if math.Abs(g[1]) > 2+1e-12 {
+		t.Fatalf("clip failed: %v", g)
+	}
+	if math.Abs(f-1.0/3) > 1e-12 {
+		t.Fatalf("scale factor %g", f)
+	}
+	g2 := []float64{0.5}
+	if ClipGrad(g2, 2) != 1 || g2[0] != 0.5 {
+		t.Fatal("under-clip should be identity")
+	}
+	if ClipGrad(nil, 0) != 1 {
+		t.Fatal("clip<=0 disabled")
+	}
+}
+
+func TestDiagonalIndicesAndPinZero(t *testing.T) {
+	idx := DiagonalIndices(3)
+	want := []int{0, 4, 8}
+	for i, v := range want {
+		if idx[i] != v {
+			t.Fatalf("idx %v", idx)
+		}
+	}
+	m := mat.NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	PinZero(m, []int{0, 3})
+	if m.At(0, 0) != 0 || m.At(1, 1) != 0 || m.At(0, 1) != 2 {
+		t.Fatal("PinZero")
+	}
+}

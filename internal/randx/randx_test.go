@@ -1,0 +1,167 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(42).Float64() == c.Float64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(1)
+	c1 := r.Split()
+	v1 := c1.Float64()
+	// Same parent state → same child.
+	r2 := New(1)
+	c2 := r2.Split()
+	if c2.Float64() != v1 {
+		t.Fatal("Split must be deterministic")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestSignedUniformAvoidsZeroBand(t *testing.T) {
+	r := New(3)
+	pos, neg := 0, 0
+	for i := 0; i < 2000; i++ {
+		v := r.SignedUniform(0.5, 2)
+		a := math.Abs(v)
+		if a < 0.5 || a >= 2 {
+			t.Fatalf("SignedUniform magnitude %g outside [0.5,2)", a)
+		}
+		if v > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos < 800 || neg < 800 {
+		t.Fatalf("sign imbalance: +%d −%d", pos, neg)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(4)
+	n := 50000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(1, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("Normal mean %g", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("Normal var %g", variance)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(5)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(2) // mean 0.5
+		if v < 0 {
+			t.Fatal("Exponential must be non-negative")
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exponential mean %g want 0.5", mean)
+	}
+}
+
+func TestGumbelMoments(t *testing.T) {
+	// Gumbel(0,1): mean = γ ≈ 0.5772, variance = π²/6 ≈ 1.6449.
+	r := New(6)
+	n := 100000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Gumbel(0, 1)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-0.5772) > 0.02 {
+		t.Fatalf("Gumbel mean %g want ≈0.577", mean)
+	}
+	if math.Abs(variance-math.Pi*math.Pi/6) > 0.06 {
+		t.Fatalf("Gumbel var %g want ≈1.645", variance)
+	}
+}
+
+func TestGumbelPanicsOnBadBeta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Gumbel(0, 0)
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	r := New(7)
+	limit := math.Sqrt(6.0 / 200)
+	for i := 0; i < 1000; i++ {
+		v := r.GlorotUniform(100, 100)
+		if v < -limit || v >= limit {
+			t.Fatalf("Glorot out of bounds: %g (limit %g)", v, limit)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(8).Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestNoiseFamilies(t *testing.T) {
+	r := New(9)
+	for _, n := range AllNoises() {
+		v := n.Sample(r)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s produced %g", n, v)
+		}
+	}
+	if Gaussian.String() != "GS" || Exponential.String() != "EX" || Gumbel.String() != "GB" {
+		t.Fatal("paper abbreviations wrong")
+	}
+}

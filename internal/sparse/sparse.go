@@ -1,0 +1,332 @@
+// Package sparse implements the CSR sparse-matrix kernel behind the
+// paper's LEAST-SP variant (§IV, "Implementation Details"). LEAST-SP
+// keeps the weight matrix W on a fixed sparse candidate support chosen
+// at initialization (density ζ), so every operation the learner needs —
+// row/column sums, diagonal-similarity rescaling for the spectral bound,
+// SpMM against dense sample batches, threshold pruning, and Adam moment
+// tracking — can run in O(nnz) time and space.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// CSR is a compressed-sparse-row matrix. The column indices within each
+// row are strictly increasing; explicit zeros are permitted (they arise
+// from threshold pruning, which zeroes values without re-compacting).
+type CSR struct {
+	rows, cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries (including explicit zeros).
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Coord is one (row, col, value) triple used to assemble a CSR matrix.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR assembles a rows×cols CSR matrix from coordinates. Duplicate
+// (row, col) pairs are summed. The input slice is not modified.
+func NewCSR(rows, cols int, coords []Coord) *CSR {
+	for _, c := range coords {
+		if c.Row < 0 || c.Row >= rows || c.Col < 0 || c.Col >= cols {
+			panic(fmt.Sprintf("sparse: coordinate (%d,%d) out of %dx%d", c.Row, c.Col, rows, cols))
+		}
+	}
+	cs := append([]Coord(nil), coords...)
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Row != cs[j].Row {
+			return cs[i].Row < cs[j].Row
+		}
+		return cs[i].Col < cs[j].Col
+	})
+	m := &CSR{rows: rows, cols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < len(cs); {
+		j := i + 1
+		v := cs[i].Val
+		for j < len(cs) && cs[j].Row == cs[i].Row && cs[j].Col == cs[i].Col {
+			v += cs[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, cs[i].Col)
+		m.Val = append(m.Val, v)
+		m.RowPtr[cs[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// FromDense converts a dense matrix to CSR keeping entries with
+// |v| > tol.
+func FromDense(d *mat.Dense, tol float64) *CSR {
+	var coords []Coord
+	for i := 0; i < d.Rows(); i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if math.Abs(v) > tol {
+				coords = append(coords, Coord{i, j, v})
+			}
+		}
+	}
+	return NewCSR(d.Rows(), d.Cols(), coords)
+}
+
+// ToDense materializes the matrix densely (test/debug helper).
+func (m *CSR) ToDense() *mat.Dense {
+	d := mat.NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			d.Add(i, m.ColIdx[p], m.Val[p])
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	return &CSR{
+		rows: m.rows, cols: m.cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+}
+
+// SamePattern reports whether o shares m's exact sparsity pattern.
+func (m *CSR) SamePattern(o *CSR) bool {
+	if m.rows != o.rows || m.cols != o.cols || len(m.Val) != len(o.Val) {
+		return false
+	}
+	for i, p := range m.RowPtr {
+		if o.RowPtr[i] != p {
+			return false
+		}
+	}
+	for i, c := range m.ColIdx {
+		if o.ColIdx[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// WithValues returns a matrix sharing m's pattern (RowPtr/ColIdx slices
+// are shared, not copied) with the given values. len(vals) must equal
+// m.NNZ().
+func (m *CSR) WithValues(vals []float64) *CSR {
+	if len(vals) != len(m.Val) {
+		panic(fmt.Sprintf("sparse: %d values for %d-nnz pattern", len(vals), len(m.Val)))
+	}
+	return &CSR{rows: m.rows, cols: m.cols, RowPtr: m.RowPtr, ColIdx: m.ColIdx, Val: vals}
+}
+
+// ZeroLike returns a matrix with m's pattern and all-zero values.
+func (m *CSR) ZeroLike() *CSR {
+	return m.WithValues(make([]float64, len(m.Val)))
+}
+
+// Square returns a same-pattern matrix with each value squared
+// (S = W ∘ W).
+func (m *CSR) Square() *CSR {
+	v := make([]float64, len(m.Val))
+	for i, x := range m.Val {
+		v[i] = x * x
+	}
+	return m.WithValues(v)
+}
+
+// RowSums returns the vector of row sums.
+func (m *CSR) RowSums() []float64 {
+	r := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p]
+		}
+		r[i] = s
+	}
+	return r
+}
+
+// ColSums returns the vector of column sums.
+func (m *CSR) ColSums() []float64 {
+	c := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c[m.ColIdx[p]] += m.Val[p]
+		}
+	}
+	return c
+}
+
+// ScaleRowsCols overwrites each entry m[i,j] *= ri[i] * cj[j]. This is
+// the O(nnz) diagonal-similarity step S ← D⁻¹ S D of the paper's
+// Eq. (5) when called with ri = 1/b and cj = b.
+func (m *CSR) ScaleRowsCols(ri, cj []float64) {
+	if len(ri) != m.rows || len(cj) != m.cols {
+		panic("sparse: ScaleRowsCols dimension mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		r := ri[i]
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			m.Val[p] *= r * cj[m.ColIdx[p]]
+		}
+	}
+}
+
+// Threshold zeroes stored values with |v| < theta (pattern unchanged)
+// and reports the number cleared. Keeping the pattern intact is what
+// lets the sparse Adam moments stay aligned across iterations.
+func (m *CSR) Threshold(theta float64) int {
+	n := 0
+	for i, v := range m.Val {
+		if v != 0 && math.Abs(v) < theta {
+			m.Val[i] = 0
+			n++
+		}
+	}
+	return n
+}
+
+// ZeroDiagonal clears stored diagonal entries of a square matrix.
+func (m *CSR) ZeroDiagonal() {
+	if m.rows != m.cols {
+		panic("sparse: ZeroDiagonal on non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if m.ColIdx[p] == i {
+				m.Val[p] = 0
+			}
+		}
+	}
+}
+
+// CountNonZero returns the number of stored values that are not
+// (numerically) zero.
+func (m *CSR) CountNonZero() int {
+	n := 0
+	for _, v := range m.Val {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxAbs returns the largest absolute stored value.
+func (m *CSR) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Val {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// SumAbs returns Σ|v| over stored values (the L1 penalty term).
+func (m *CSR) SumAbs() float64 {
+	var s float64
+	for _, v := range m.Val {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Transpose returns mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{rows: m.cols, cols: m.rows,
+		RowPtr: make([]int, m.cols+1),
+		ColIdx: make([]int, len(m.Val)),
+		Val:    make([]float64, len(m.Val)),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int(nil), t.RowPtr...)
+	for i := 0; i < m.rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c := m.ColIdx[p]
+			q := next[c]
+			next[c]++
+			t.ColIdx[q] = i
+			t.Val[q] = m.Val[p]
+		}
+	}
+	return t
+}
+
+// DenseMulCSR computes X·W for dense X (n×d) and sparse W (d×m),
+// returning a dense n×m matrix in O(n·nnz/d · d) = O(n·nnz) time —
+// the residual computation X·W of the LEAST-SP loss.
+func DenseMulCSR(x *mat.Dense, w *CSR) *mat.Dense {
+	if x.Cols() != w.rows {
+		panic(fmt.Sprintf("sparse: DenseMulCSR %dx%d by %dx%d", x.Rows(), x.Cols(), w.rows, w.cols))
+	}
+	out := mat.NewDense(x.Rows(), w.cols)
+	for i := 0; i < x.Rows(); i++ {
+		xrow := x.Row(i)
+		orow := out.Row(i)
+		for k, xv := range xrow {
+			if xv == 0 {
+				continue
+			}
+			for p := w.RowPtr[k]; p < w.RowPtr[k+1]; p++ {
+				orow[w.ColIdx[p]] += xv * w.Val[p]
+			}
+		}
+	}
+	return out
+}
+
+// SupportGrad computes, for every stored position (i,j) of pattern,
+// g[p] = Σ_r a[r,i]·b[r,j] — i.e. the entries of AᵀB restricted to the
+// pattern. This is the support-restricted loss gradient of LEAST-SP:
+// with A = X_B and B = (X_B·W − X_B) it yields (X_BᵀR)|support in
+// O(nnz·batch) time without ever forming the dense d×d product.
+func SupportGrad(pattern *CSR, a, b *mat.Dense) []float64 {
+	if a.Rows() != b.Rows() {
+		panic("sparse: SupportGrad row mismatch")
+	}
+	if a.Cols() != pattern.rows || b.Cols() != pattern.cols {
+		panic("sparse: SupportGrad shape mismatch with pattern")
+	}
+	g := make([]float64, pattern.NNZ())
+	n := a.Rows()
+	for r := 0; r < n; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i := 0; i < pattern.rows; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			for p := pattern.RowPtr[i]; p < pattern.RowPtr[i+1]; p++ {
+				g[p] += av * brow[pattern.ColIdx[p]]
+			}
+		}
+	}
+	return g
+}

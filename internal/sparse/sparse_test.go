@@ -1,0 +1,202 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func denseFrom(rows, cols int, vals ...float64) *mat.Dense {
+	return mat.NewDenseData(rows, cols, vals)
+}
+
+func TestNewCSRBasics(t *testing.T) {
+	m := NewCSR(3, 3, []Coord{{0, 1, 2}, {2, 0, -1}, {0, 2, 3}})
+	if m.NNZ() != 3 || m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("nnz=%d", m.NNZ())
+	}
+	d := m.ToDense()
+	if d.At(0, 1) != 2 || d.At(2, 0) != -1 || d.At(0, 2) != 3 || d.At(1, 1) != 0 {
+		t.Fatalf("ToDense: %v", d)
+	}
+}
+
+func TestNewCSRSumsDuplicates(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 1, 2}, {0, 1, 3}})
+	if m.NNZ() != 1 || m.ToDense().At(0, 1) != 5 {
+		t.Fatal("duplicates must sum")
+	}
+}
+
+func TestNewCSROutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 2, []Coord{{2, 0, 1}})
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	d := denseFrom(2, 3, 0, 1.5, 0, -2, 0, 0.001)
+	m := FromDense(d, 0.01)
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz=%d want 2 (tol filter)", m.NNZ())
+	}
+	d2 := FromDense(d, 0).ToDense()
+	if !d2.EqualApprox(d, 0) {
+		t.Fatal("roundtrip with tol=0 failed")
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	m := NewCSR(2, 3, []Coord{{0, 0, 1}, {0, 2, 2}, {1, 1, 3}})
+	r := m.RowSums()
+	c := m.ColSums()
+	if r[0] != 3 || r[1] != 3 {
+		t.Fatalf("rows %v", r)
+	}
+	if c[0] != 1 || c[1] != 3 || c[2] != 2 {
+		t.Fatalf("cols %v", c)
+	}
+}
+
+func TestScaleRowsColsMatchesDense(t *testing.T) {
+	m := NewCSR(3, 3, []Coord{{0, 1, 2}, {1, 2, 4}, {2, 0, -3}})
+	ri := []float64{2, 0.5, 1}
+	cj := []float64{1, 3, -1}
+	d := m.ToDense()
+	m.ScaleRowsCols(ri, cj)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := d.At(i, j) * ri[i] * cj[j]
+			if got := m.ToDense().At(i, j); !eq(got, want) {
+				t.Fatalf("(%d,%d) got %g want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func eq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestThresholdKeepsPattern(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 1, 0.05}, {1, 0, 0.5}})
+	n := m.Threshold(0.1)
+	if n != 1 || m.NNZ() != 2 || m.CountNonZero() != 1 {
+		t.Fatal("threshold must zero values, not drop entries")
+	}
+}
+
+func TestZeroDiagonal(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}})
+	m.ZeroDiagonal()
+	d := m.ToDense()
+	if d.At(0, 0) != 0 || d.At(1, 1) != 0 || d.At(0, 1) != 2 {
+		t.Fatal("ZeroDiagonal")
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	m := NewCSR(2, 3, []Coord{{0, 1, 2}, {0, 2, -1}, {1, 0, 4}})
+	tr := m.Transpose()
+	if !tr.ToDense().EqualApprox(m.ToDense().Transpose(), 0) {
+		t.Fatal("Transpose mismatch")
+	}
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatal("Transpose shape")
+	}
+}
+
+func TestDenseMulCSRMatchesDense(t *testing.T) {
+	x := denseFrom(2, 3, 1, 2, 3, 4, 5, 6)
+	w := NewCSR(3, 2, []Coord{{0, 0, 1}, {1, 1, 2}, {2, 0, -1}})
+	got := DenseMulCSR(x, w)
+	want := x.Mul(w.ToDense())
+	if !got.EqualApprox(want, 1e-12) {
+		t.Fatal("DenseMulCSR mismatch")
+	}
+}
+
+func TestSupportGradMatchesDense(t *testing.T) {
+	// SupportGrad(pattern, A, B) must equal (AᵀB) restricted to the
+	// pattern.
+	a := denseFrom(3, 2, 1, 2, 3, 4, 5, 6)
+	b := denseFrom(3, 2, -1, 0.5, 2, 1, 0, -2)
+	pattern := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 1, 1}, {1, 0, 1}})
+	g := SupportGrad(pattern, a, b)
+	full := a.Transpose().Mul(b)
+	idx := 0
+	for i := 0; i < 2; i++ {
+		for p := pattern.RowPtr[i]; p < pattern.RowPtr[i+1]; p++ {
+			j := pattern.ColIdx[p]
+			if !eq(g[idx], full.At(i, j)) {
+				t.Fatalf("entry (%d,%d): got %g want %g", i, j, g[idx], full.At(i, j))
+			}
+			idx++
+		}
+	}
+}
+
+func TestWithValuesAndPattern(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 1, 2}, {1, 0, 3}})
+	v := m.WithValues([]float64{5, 7})
+	if !m.SamePattern(v) {
+		t.Fatal("WithValues should share pattern")
+	}
+	if v.ToDense().At(0, 1) != 5 {
+		t.Fatal("WithValues values")
+	}
+	z := m.ZeroLike()
+	if z.MaxAbs() != 0 {
+		t.Fatal("ZeroLike")
+	}
+	c := m.Clone()
+	c.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Fatal("Clone must deep-copy values")
+	}
+}
+
+func TestSquareSumAbsMaxAbs(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 1, -3}, {1, 0, 2}})
+	sq := m.Square()
+	if sq.ToDense().At(0, 1) != 9 {
+		t.Fatal("Square")
+	}
+	if m.SumAbs() != 5 || m.MaxAbs() != 3 {
+		t.Fatal("SumAbs/MaxAbs")
+	}
+}
+
+func TestQuickCSRDenseEquivalence(t *testing.T) {
+	// Property: for random sparse matrices, CSR row/col sums and
+	// transpose agree with the dense computation.
+	f := func(coords [6]struct {
+		R, C uint8
+		V    float64
+	}) bool {
+		var cs []Coord
+		for _, c := range coords {
+			v := c.V
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 1
+			}
+			cs = append(cs, Coord{int(c.R % 5), int(c.C % 5), math.Mod(v, 10)})
+		}
+		m := NewCSR(5, 5, cs)
+		d := m.ToDense()
+		r1, r2 := m.RowSums(), d.RowSums()
+		c1, c2 := m.ColSums(), d.ColSums()
+		for i := range r1 {
+			if math.Abs(r1[i]-r2[i]) > 1e-9 || math.Abs(c1[i]-c2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return m.Transpose().ToDense().EqualApprox(d.Transpose(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

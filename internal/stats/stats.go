@@ -1,0 +1,180 @@
+// Package stats provides the statistical-testing substrate for the
+// root-cause analyser of §VI-A, which decides whether a candidate
+// anomaly path "is a random coincidence or not" by comparing its
+// occurrence counts in the current and previous log windows and
+// "perform[ing] a statistical test to derive a p-value". Implemented
+// from scratch: the normal CDF (via math.Erf), a two-proportion z-test,
+// Pearson's chi-square test on 2×2 contingency tables, and the
+// regularized incomplete gamma function that powers the chi-square CDF.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalCDF returns P(Z ≤ x) for a standard normal Z.
+func NormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// TwoProportionZ tests H0: p1 = p2 given k1 successes of n1 trials vs
+// k2 of n2. It returns the z statistic and the two-sided p-value.
+// Degenerate inputs (empty windows, pooled rate 0 or 1) return p = 1:
+// no evidence of change.
+func TwoProportionZ(k1, n1, k2, n2 int) (z, p float64) {
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	p1 := float64(k1) / float64(n1)
+	p2 := float64(k2) / float64(n2)
+	pool := float64(k1+k2) / float64(n1+n2)
+	if pool <= 0 || pool >= 1 {
+		return 0, 1
+	}
+	se := math.Sqrt(pool * (1 - pool) * (1/float64(n1) + 1/float64(n2)))
+	z = (p1 - p2) / se
+	p = 2 * (1 - NormalCDF(math.Abs(z)))
+	return z, p
+}
+
+// ChiSquare2x2 runs Pearson's chi-square test (1 dof) on the table
+//
+//	[ a b ]
+//	[ c d ]
+//
+// returning the statistic and p-value. Zero margins return p = 1.
+func ChiSquare2x2(a, b, c, d int) (stat, p float64) {
+	n := float64(a + b + c + d)
+	if n == 0 {
+		return 0, 1
+	}
+	r1, r2 := float64(a+b), float64(c+d)
+	c1, c2 := float64(a+c), float64(b+d)
+	if r1 == 0 || r2 == 0 || c1 == 0 || c2 == 0 {
+		return 0, 1
+	}
+	det := float64(a)*float64(d) - float64(b)*float64(c)
+	stat = n * det * det / (r1 * r2 * c1 * c2)
+	return stat, ChiSquareSF(stat, 1)
+}
+
+// ChiSquareSF returns the survival function P(X > x) for a chi-square
+// variable with k degrees of freedom: Q(k/2, x/2).
+func ChiSquareSF(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - GammaPLower(float64(k)/2, x/2)
+}
+
+// GammaPLower returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x)/Γ(a), a > 0, x ≥ 0, using the series expansion for
+// x < a+1 and the Lentz continued fraction for the complement
+// otherwise (Numerical Recipes §6.2).
+func GammaPLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(v []float64) float64 {
+	n := len(v)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of v by linear
+// interpolation of the sorted sample. v is not modified.
+func Quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{3, 0.99865},
+		{-3, 0.00135},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 2e-4 {
+			t.Fatalf("Φ(%g) = %g want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for x := -5.0; x <= 5; x += 0.1 {
+		v := NormalCDF(x)
+		if v < prev {
+			t.Fatalf("CDF not monotone at %g", x)
+		}
+		prev = v
+	}
+}
+
+func TestTwoProportionZNoDifference(t *testing.T) {
+	z, p := TwoProportionZ(50, 1000, 50, 1000)
+	if z != 0 || p != 1 {
+		t.Fatalf("identical proportions: z=%g p=%g", z, p)
+	}
+}
+
+func TestTwoProportionZBigDifference(t *testing.T) {
+	_, p := TwoProportionZ(300, 1000, 50, 1000)
+	if p > 1e-10 {
+		t.Fatalf("obvious difference p=%g", p)
+	}
+}
+
+func TestTwoProportionZSmallCounts(t *testing.T) {
+	_, p := TwoProportionZ(3, 100, 2, 100)
+	if p < 0.3 {
+		t.Fatalf("insignificant difference flagged: p=%g", p)
+	}
+}
+
+func TestTwoProportionZDegenerate(t *testing.T) {
+	if _, p := TwoProportionZ(0, 0, 5, 10); p != 1 {
+		t.Fatal("empty window must return p=1")
+	}
+	if _, p := TwoProportionZ(0, 100, 0, 100); p != 1 {
+		t.Fatal("zero pooled rate must return p=1")
+	}
+	if _, p := TwoProportionZ(100, 100, 100, 100); p != 1 {
+		t.Fatal("pooled rate 1 must return p=1")
+	}
+}
+
+func TestChiSquare2x2MatchesZSquared(t *testing.T) {
+	// For a 2×2 table, χ² = z² and the p-values agree.
+	k1, n1, k2, n2 := 40, 200, 20, 220
+	z, pz := TwoProportionZ(k1, n1, k2, n2)
+	stat, pc := ChiSquare2x2(k1, n1-k1, k2, n2-k2)
+	if math.Abs(stat-z*z) > 1e-9 {
+		t.Fatalf("χ²=%g z²=%g", stat, z*z)
+	}
+	if math.Abs(pz-pc) > 1e-9 {
+		t.Fatalf("p mismatch: z-test %g vs χ² %g", pz, pc)
+	}
+}
+
+func TestChiSquare2x2ZeroMargins(t *testing.T) {
+	if _, p := ChiSquare2x2(0, 0, 5, 5); p != 1 {
+		t.Fatal("zero row margin")
+	}
+	if _, p := ChiSquare2x2(0, 5, 0, 5); p != 1 {
+		t.Fatal("zero column margin")
+	}
+}
+
+func TestChiSquareSFKnownValues(t *testing.T) {
+	// χ²(1): P(X > 3.841) ≈ 0.05; χ²(2): P(X > 5.991) ≈ 0.05.
+	if p := ChiSquareSF(3.841, 1); math.Abs(p-0.05) > 1e-3 {
+		t.Fatalf("χ²(1) 5%% quantile: %g", p)
+	}
+	if p := ChiSquareSF(5.991, 2); math.Abs(p-0.05) > 1e-3 {
+		t.Fatalf("χ²(2) 5%% quantile: %g", p)
+	}
+	if p := ChiSquareSF(0, 1); p != 1 {
+		t.Fatal("SF(0) must be 1")
+	}
+}
+
+func TestGammaPLowerProperties(t *testing.T) {
+	// P(a, 0) = 0, P(a, ∞) → 1, monotone in x.
+	if GammaPLower(2, 0) != 0 {
+		t.Fatal("P(a,0)")
+	}
+	if p := GammaPLower(2, 100); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("P(2,100) = %g", p)
+	}
+	// P(1, x) = 1 − e^−x exactly.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := GammaPLower(1, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%g) = %g want %g", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(√x).
+	for _, x := range []float64{0.2, 1, 3} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaPLower(0.5, x); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("P(0.5,%g) = %g want %g", x, got, want)
+		}
+	}
+}
+
+func TestGammaPLowerQuickMonotone(t *testing.T) {
+	f := func(a8, x8 uint8) bool {
+		a := 0.5 + float64(a8%40)/4
+		x1 := float64(x8%50) / 5
+		x2 := x1 + 0.5
+		return GammaPLower(a, x1) <= GammaPLower(a, x2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDevQuantile(t *testing.T) {
+	v := []float64{4, 1, 3, 2}
+	if Mean(v) != 2.5 {
+		t.Fatal("Mean")
+	}
+	if math.Abs(StdDev(v)-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("StdDev = %g", StdDev(v))
+	}
+	if Quantile(v, 0) != 1 || Quantile(v, 1) != 4 {
+		t.Fatal("extreme quantiles")
+	}
+	if Quantile(v, 0.5) != 2.5 {
+		t.Fatalf("median = %g", Quantile(v, 0.5))
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}

@@ -1,0 +1,172 @@
+package least
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLearnEndToEnd(t *testing.T) {
+	truth := GenerateDAG(3, ErdosRenyi, 20, 2)
+	x := SampleLSEM(4, truth, 200, GaussianNoise)
+	o := Defaults()
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.ExactTermination = true
+	res, err := Learn(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights == nil {
+		t.Fatal("no weights")
+	}
+	m, tau := EvaluateBest(truth.G, res.Weights, nil)
+	if m.F1 < 0.7 {
+		t.Fatalf("F1 = %.3f", m.F1)
+	}
+	g := res.Graph(tau)
+	if !g.IsDAG() {
+		t.Fatal("result graph has a cycle")
+	}
+}
+
+func TestLearnSparseMode(t *testing.T) {
+	truth := GenerateDAG(5, ErdosRenyi, 40, 2)
+	x := SampleLSEM(6, truth, 400, ExponentialNoise)
+	o := Defaults()
+	o.Sparse = true
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.InitDensity = 0.15
+	o.Threshold = 1e-3
+	o.MaxOuter = 10
+	res, err := Learn(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SparseWeights == nil {
+		t.Fatal("sparse mode must set SparseWeights")
+	}
+	g := res.Graph(0.3)
+	if g.N() != 40 {
+		t.Fatal("graph node count")
+	}
+}
+
+func TestLearnInputValidation(t *testing.T) {
+	if _, err := Learn(nil, Defaults()); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := Learn(NewMatrix(0, 0), Defaults()); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := Learn(NewMatrix(5, 1), Defaults()); err == nil {
+		t.Fatal("single variable accepted")
+	}
+	bad := NewMatrix(2, 2)
+	bad.Set(0, 0, math.NaN())
+	if _, err := Learn(bad, Defaults()); err == nil {
+		t.Fatal("NaN matrix accepted")
+	}
+}
+
+func TestBaselineEndToEnd(t *testing.T) {
+	truth := GenerateDAG(7, ErdosRenyi, 15, 2)
+	x := SampleLSEM(8, truth, 150, GaussianNoise)
+	o := Defaults()
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.MaxOuter = 12
+	res, err := Baseline(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := EvaluateBest(truth.G, res.Weights, nil)
+	if m.F1 < 0.7 {
+		t.Fatalf("baseline F1 = %.3f", m.F1)
+	}
+}
+
+func TestGenerateDAGShapes(t *testing.T) {
+	for _, model := range []GraphModel{ErdosRenyi, ScaleFree} {
+		dag := GenerateDAG(1, model, 30, 4)
+		if dag.G.N() != 30 {
+			t.Fatal("node count")
+		}
+		if !dag.G.IsDAG() {
+			t.Fatal("cyclic")
+		}
+		if dag.W.Rows() != 30 || dag.W.Cols() != 30 {
+			t.Fatal("weight shape")
+		}
+	}
+}
+
+func TestSampleLSEMNoiseKinds(t *testing.T) {
+	dag := GenerateDAG(2, ErdosRenyi, 10, 2)
+	for _, nk := range []NoiseKind{GaussianNoise, ExponentialNoise, GumbelNoise} {
+		x := SampleLSEM(3, dag, 50, nk)
+		if x.Rows() != 50 || x.Cols() != 10 {
+			t.Fatal("sample shape")
+		}
+		if x.HasNaN() {
+			t.Fatal("NaN in samples")
+		}
+	}
+}
+
+func TestEvaluateAgainstKnownAnswer(t *testing.T) {
+	dag := GenerateDAG(9, ErdosRenyi, 12, 2)
+	// Perfect weights: the truth itself.
+	m := Evaluate(dag.G, dag.W, 0.1)
+	if m.F1 != 1 || m.SHD != 0 || m.FDR != 0 {
+		t.Fatalf("self-evaluation: %+v", m)
+	}
+	if m.AUCROC != 1 {
+		t.Fatalf("AUC = %g", m.AUCROC)
+	}
+}
+
+func TestCenterRemovesMeans(t *testing.T) {
+	x := NewMatrixData(2, 2, []float64{1, 10, 3, 30})
+	Center(x)
+	if x.At(0, 0) != -1 || x.At(1, 0) != 1 || x.At(0, 1) != -10 {
+		t.Fatalf("Center: %v", x)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	truth := GenerateDAG(11, ScaleFree, 15, 4)
+	x := SampleLSEM(12, truth, 100, GumbelNoise)
+	o := Defaults()
+	o.Epsilon = 1e-2
+	o.MaxOuter = 4
+	a, err := Learn(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Learn(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Weights.EqualApprox(b.Weights, 0) {
+		t.Fatal("same options+seed must reproduce identical weights")
+	}
+}
+
+func TestSinkNodesRespected(t *testing.T) {
+	truth := GenerateDAG(13, ErdosRenyi, 12, 2)
+	x := SampleLSEM(14, truth, 120, GaussianNoise)
+	o := Defaults()
+	o.Epsilon = 1e-2
+	o.MaxOuter = 6
+	o.SinkNodes = []int{0, 5}
+	res, err := Learn(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 12; j++ {
+		if res.Weights.At(0, j) != 0 || res.Weights.At(5, j) != 0 {
+			t.Fatal("sink node grew an outgoing edge")
+		}
+	}
+}
