@@ -1,0 +1,38 @@
+# Tier-1 verification and developer workflow for the LEAST
+# reproduction. `make ci` is the one-command gate: vet + build + the
+# race-enabled short test suite.
+
+GO ?= go
+
+.PHONY: ci vet build test test-short bench bench-parallel sweep clean
+
+ci: vet build test-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Full suite — includes the long experiment shapes (several minutes).
+test:
+	$(GO) test ./...
+
+# Short suite with the race detector: what CI runs on every change.
+test-short:
+	$(GO) test -race -short ./...
+
+# All paper-artifact and kernel micro-benchmarks.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Just the parallel sparse backend: serial vs parallel kernel timings.
+bench-parallel:
+	$(GO) test -run xxx -bench 'SpectralGradSparse|SparseLossGrad|SparseTranspose' -benchmem .
+
+# Worker-count sweep on this machine (pick Options.Parallelism).
+sweep:
+	$(GO) run ./cmd/leastbench -exp par-sweep
+
+clean:
+	$(GO) clean ./...

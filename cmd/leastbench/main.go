@@ -4,6 +4,7 @@
 //
 //	leastbench -exp all -scale ci
 //	leastbench -exp fig4-accuracy -scale full -seed 7
+//	leastbench -exp par-sweep -workers 1,2,4,8
 //
 // Experiments (DESIGN.md §3):
 //
@@ -15,62 +16,104 @@
 //	booking-pie     Fig 7 root-cause distribution (E7)
 //	movielens-edges Table IV top learned edges (E8)
 //	movielens-graph Fig 8 neighbourhood + degree analysis (E9)
+//	par-sweep       parallel sparse backend: kernel time vs workers
 //	all             everything above in order
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 )
 
-func main() {
-	exp := flag.String("exp", "all", "experiment id (see -help)")
-	scaleStr := flag.String("scale", "ci", "problem scale: ci or full")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run drives one leastbench invocation; split from main so the smoke
+// tests can exercise the flag paths in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leastbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id (see -help)")
+	scaleStr := fs.String("scale", "ci", "problem scale: ci or full")
+	seed := fs.Int64("seed", 1, "random seed")
+	workersStr := fs.String("workers", "", "comma-separated worker counts for par-sweep (default 1,2,4,…,GOMAXPROCS)")
+	sweepD := fs.Int("d", 0, "par-sweep instance size override (0 = scale default)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	scale, err := experiments.ParseScale(*scaleStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	workers, err := parseWorkers(*workersStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastbench:", err)
+		return 2
 	}
 
-	run := func(name string, f func()) {
-		fmt.Printf("== %s (scale=%s, seed=%d) ==\n", name, *scaleStr, *seed)
+	runExp := func(name string, f func()) {
+		fmt.Fprintf(stdout, "== %s (scale=%s, seed=%d) ==\n", name, *scaleStr, *seed)
 		t0 := time.Now()
 		f()
-		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "-- %s done in %v --\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
 	all := map[string]func(){
-		"fig4-accuracy":   func() { experiments.Fig4Accuracy(scale, *seed, os.Stdout) },
-		"fig4-time":       func() { experiments.Fig4Time(scale, *seed, os.Stdout) },
-		"fig5":            func() { experiments.Fig5(scale, *seed, os.Stdout) },
-		"genes":           func() { experiments.Genes(scale, *seed, os.Stdout) },
-		"booking-cases":   func() { experiments.BookingCases(scale, *seed, os.Stdout) },
-		"booking-pie":     func() { experiments.BookingPie(scale, *seed, os.Stdout) },
-		"movielens-edges": func() { experiments.MovielensEdges(scale, *seed, os.Stdout) },
-		"movielens-graph": func() { experiments.MovielensGraph(scale, *seed, os.Stdout) },
+		"fig4-accuracy":   func() { experiments.Fig4Accuracy(scale, *seed, stdout) },
+		"fig4-time":       func() { experiments.Fig4Time(scale, *seed, stdout) },
+		"fig5":            func() { experiments.Fig5(scale, *seed, stdout) },
+		"genes":           func() { experiments.Genes(scale, *seed, stdout) },
+		"booking-cases":   func() { experiments.BookingCases(scale, *seed, stdout) },
+		"booking-pie":     func() { experiments.BookingPie(scale, *seed, stdout) },
+		"movielens-edges": func() { experiments.MovielensEdges(scale, *seed, stdout) },
+		"movielens-graph": func() { experiments.MovielensGraph(scale, *seed, stdout) },
+		"par-sweep":       func() { experiments.ParSweep(scale, *seed, workers, *sweepD, stdout) },
 	}
 	order := []string{
 		"fig4-accuracy", "fig4-time", "fig5", "genes",
 		"booking-cases", "booking-pie", "movielens-edges", "movielens-graph",
+		"par-sweep",
 	}
 
 	if *exp == "all" {
 		for _, name := range order {
-			run(name, all[name])
+			runExp(name, all[name])
 		}
-		return
+		return 0
 	}
 	f, ok := all[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %v\n", *exp, order)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown experiment %q; available: %v\n", *exp, order)
+		return 2
 	}
-	run(*exp, f)
+	runExp(*exp, f)
+	return 0
+}
+
+// parseWorkers turns "1,2,4" into []int{1, 2, 4}; empty means the
+// sweep's default grid.
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

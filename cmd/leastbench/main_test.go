@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func capture(args ...string) (int, string, string) {
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunParSweep(t *testing.T) {
+	// -d shrinks the instance so the smoke test stays fast under -race;
+	// the flag path and output shape are what is being checked here.
+	code, out, errb := capture("-exp", "par-sweep", "-scale", "ci", "-workers", "1,2", "-d", "2000")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"== par-sweep", "instance:", "spectral-grad", "sparse-loss", "workers=1", "workers=2", "speedup=", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	if code, _, errb := capture("-exp", "bogus"); code != 2 || !strings.Contains(errb, "unknown experiment") {
+		t.Errorf("unknown exp: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := capture("-scale", "bogus"); code != 2 {
+		t.Errorf("unknown scale: exit %d, want 2", code)
+	}
+	if code, _, errb := capture("-workers", "0,2"); code != 2 || !strings.Contains(errb, "-workers") {
+		t.Errorf("bad workers: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := capture("-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	got, err := parseWorkers("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseWorkers = %v, %v", got, err)
+	}
+	if ws, err := parseWorkers(""); err != nil || ws != nil {
+		t.Fatalf("empty = %v, %v", ws, err)
+	}
+	for _, bad := range []string{"x", "-1", "1,,2", "0"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q) accepted", bad)
+		}
+	}
+}

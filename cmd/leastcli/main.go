@@ -8,13 +8,14 @@
 // Usage:
 //
 //	leastcli -in data.csv -header -tau 0.3 -format dot > graph.dot
-//	leastcli -in data.csv -sparse -lambda 0.05
+//	leastcli -in data.csv -sparse -lambda 0.05 -workers 4
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -22,27 +23,39 @@ import (
 	"repro/internal/bnet"
 )
 
-func main() {
-	in := flag.String("in", "", "input CSV path (required)")
-	header := flag.Bool("header", false, "first CSV row is a header with variable names")
-	tau := flag.Float64("tau", 0.3, "edge threshold |w| > tau")
-	lambda := flag.Float64("lambda", 0.1, "L1 regularization λ")
-	eps := flag.Float64("eps", 1e-4, "acyclicity tolerance ε")
-	sparse := flag.Bool("sparse", false, "use the LEAST-SP sparse learner")
-	format := flag.String("format", "csv", "output format: csv, json or dot")
-	seed := flag.Int64("seed", 1, "random seed")
-	center := flag.Bool("center", true, "subtract column means before learning")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run drives one leastcli invocation; split from main so the smoke
+// tests can exercise the flag paths in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leastcli", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input CSV path (required)")
+	header := fs.Bool("header", false, "first CSV row is a header with variable names")
+	tau := fs.Float64("tau", 0.3, "edge threshold |w| > tau")
+	lambda := fs.Float64("lambda", 0.1, "L1 regularization λ")
+	eps := fs.Float64("eps", 1e-4, "acyclicity tolerance ε")
+	sparseMode := fs.Bool("sparse", false, "use the LEAST-SP sparse learner")
+	format := fs.String("format", "csv", "output format: csv, json or dot")
+	seed := fs.Int64("seed", 1, "random seed")
+	center := fs.Bool("center", true, "subtract column means before learning")
+	workers := fs.Int("workers", 0, "parallel workers for the sparse backend (0 = all cores, 1 = serial)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "leastcli: -in is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "leastcli: -in is required")
+		fs.Usage()
+		return 2
 	}
 	x, names, err := readCSV(*in, *header)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "leastcli:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "leastcli:", err)
+		return 1
 	}
 	if *center {
 		least.Center(x)
@@ -50,13 +63,14 @@ func main() {
 	o := least.Defaults()
 	o.Lambda = *lambda
 	o.Epsilon = *eps
-	o.Sparse = *sparse
+	o.Sparse = *sparseMode
 	o.Seed = *seed
-	o.ExactTermination = !*sparse && x.Cols() <= 600
+	o.Parallelism = *workers
+	o.ExactTermination = !*sparseMode && x.Cols() <= 600
 	res, err := least.Learn(x, o)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "leastcli:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "leastcli:", err)
+		return 1
 	}
 	var net *bnet.Network
 	if res.Weights != nil {
@@ -66,20 +80,21 @@ func main() {
 	}
 	switch *format {
 	case "dot":
-		fmt.Print(net.DOT())
+		fmt.Fprint(stdout, net.DOT())
 	case "json":
-		if err := net.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "leastcli:", err)
-			os.Exit(1)
+		if err := net.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "leastcli:", err)
+			return 1
 		}
 	default:
-		fmt.Println("from,to,weight")
+		fmt.Fprintln(stdout, "from,to,weight")
 		for _, e := range net.TopEdges(net.NumEdges()) {
-			fmt.Printf("%s,%s,%.6f\n", net.Name(e.From), net.Name(e.To), e.Weight)
+			fmt.Fprintf(stdout, "%s,%s,%.6f\n", net.Name(e.From), net.Name(e.To), e.Weight)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "learned %d edges over %d variables (δ=%.3g, converged=%v)\n",
+	fmt.Fprintf(stderr, "learned %d edges over %d variables (δ=%.3g, converged=%v)\n",
 		net.NumEdges(), x.Cols(), res.Delta, res.Converged)
+	return 0
 }
 
 func readCSV(path string, header bool) (*least.Matrix, []string, error) {

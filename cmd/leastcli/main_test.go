@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeChainCSV writes a tiny 3-variable linear-SEM sample
+// (A → B → C) with deterministic pseudo-noise, returning the path.
+func writeChainCSV(t *testing.T, header bool) string {
+	t.Helper()
+	var sb strings.Builder
+	if header {
+		sb.WriteString("A,B,C\n")
+	}
+	state := uint64(42)
+	noise := func() float64 {
+		// xorshift64 mapped to roughly N(0, 0.1) via sum of uniforms.
+		var s float64
+		for k := 0; k < 4; k++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			s += float64(state%1000)/1000.0 - 0.5
+		}
+		return s * 0.1
+	}
+	for i := 0; i < 150; i++ {
+		a := noise() * 10
+		b := 1.5*a + noise()
+		c := -1.2*b + noise()
+		fmt.Fprintf(&sb, "%.6f,%.6f,%.6f\n", a, b, c)
+	}
+	path := filepath.Join(t.TempDir(), "chain.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs the CLI in-process and returns (exit, stdout, stderr).
+func capture(args ...string) (int, string, string) {
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	in := writeChainCSV(t, true)
+	code, out, errb := capture("-in", in, "-header", "-tau", "0.3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "from,to,weight" {
+		t.Fatalf("missing CSV header, got %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatalf("no edges learned:\n%s\n%s", out, errb)
+	}
+	found := false
+	for _, l := range lines[1:] {
+		parts := strings.Split(l, ",")
+		if len(parts) != 3 {
+			t.Fatalf("unparseable edge line %q", l)
+		}
+		if parts[0] == "A" && parts[1] == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected planted edge A→B in output:\n%s", out)
+	}
+	if !strings.Contains(errb, "learned") {
+		t.Errorf("missing summary on stderr: %q", errb)
+	}
+}
+
+func TestRunDOTAndJSONFormats(t *testing.T) {
+	in := writeChainCSV(t, false)
+	code, out, errb := capture("-in", in, "-format", "dot")
+	if code != 0 {
+		t.Fatalf("dot: exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("dot output missing digraph:\n%s", out)
+	}
+	code, out, errb = capture("-in", in, "-format", "json")
+	if code != 0 {
+		t.Fatalf("json: exit %d, stderr: %s", code, errb)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, out)
+	}
+}
+
+func TestRunSparseModeAndWorkers(t *testing.T) {
+	in := writeChainCSV(t, true)
+	code, _, errb := capture("-in", in, "-header", "-sparse", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("sparse: exit %d, stderr: %s", code, errb)
+	}
+	code, _, errb = capture("-in", in, "-header", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("workers=1: exit %d, stderr: %s", code, errb)
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	if code, _, _ := capture(); code != 2 {
+		t.Errorf("missing -in: exit %d, want 2", code)
+	}
+	if code, _, _ := capture("-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, _ := capture("-in", "/nonexistent/file.csv"); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := capture("-in", empty); code != 1 {
+		t.Errorf("empty file: exit %d, want 1", code)
+	}
+}

@@ -57,6 +57,10 @@ func main() {
 	opts.Lambda = 0.1
 	opts.Epsilon = 1e-3
 	opts.BatchSize = 512
+	// The sparse execution backend fans out across all cores by
+	// default; set Parallelism = 1 for bit-exact serial runs, or sweep
+	// worker counts with `leastbench -exp par-sweep`.
+	opts.Parallelism = 0
 	t0 = time.Now()
 	eres, err := least.Learn(ecoli.Samples, opts)
 	if err != nil {

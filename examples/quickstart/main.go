@@ -29,6 +29,10 @@ func main() {
 	opts.Epsilon = 1e-3
 	opts.ExactTermination = true
 	opts.Seed = seed
+	// Options.Parallelism caps the sparse backend's worker fan-out
+	// (0 = all cores, 1 = serial); at this tiny d everything runs
+	// serially anyway, below the backend's work threshold.
+	opts.Parallelism = 0
 	res, err := least.Learn(x, opts)
 	if err != nil {
 		panic(err)

@@ -151,6 +151,9 @@ func TestTableIIScriptsWellFormed(t *testing.T) {
 }
 
 func TestLearnProducesSinkErrorNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-window structure learning (~10s; minutes under -race)")
+	}
 	rng := randx.New(8)
 	w := DefaultWorld(rng)
 	inc := TableIIScripts(w)[0]
@@ -170,6 +173,9 @@ func TestLearnProducesSinkErrorNodes(t *testing.T) {
 }
 
 func TestDetectFindsInjectedIncident(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-window monitor learn (~13s; minutes under -race)")
+	}
 	rng := randx.New(9)
 	w := DefaultWorld(rng)
 	inc := TableIIScripts(w)[3] // WUH lock-down: strong city-scoped signal
@@ -190,6 +196,9 @@ func TestDetectFindsInjectedIncident(t *testing.T) {
 }
 
 func TestDetectQuietOnCalmWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-window monitor learn (~13s; minutes under -race)")
+	}
 	rng := randx.New(10)
 	w := DefaultWorld(rng)
 	prev := GenerateWindow(rng, w, nil, 4000)

@@ -1,0 +1,118 @@
+package constraint
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+// spectralAt builds an evaluator with the given worker count and the
+// serial-fallback threshold disabled, so tiny adversarial matrices
+// still exercise the parallel code paths.
+func spectralAt(workers int) *Spectral {
+	sp := NewSpectral(DefaultK, DefaultAlpha)
+	sp.Workers = workers
+	sp.MinWork = 1
+	return sp
+}
+
+func spectralCases(t *testing.T) map[string]*sparse.CSR {
+	t.Helper()
+	rng := randx.New(3)
+	cases := map[string]*sparse.CSR{
+		"empty-4x4":  sparse.NewCSR(4, 4, nil),
+		"d=1":        sparse.NewCSR(1, 1, nil),
+		"two-cycle":  sparse.NewCSR(2, 2, []sparse.Coord{{Row: 0, Col: 1, Val: 0.8}, {Row: 1, Col: 0, Val: -0.6}}),
+		"single-row": sparse.NewCSR(8, 8, []sparse.Coord{{Row: 2, Col: 0, Val: 1}, {Row: 2, Col: 4, Val: -1.5}, {Row: 2, Col: 7, Val: 0.25}}),
+	}
+	var coords []sparse.Coord
+	d := 150
+	for i := 0; i < d; i++ {
+		for k := 0; k < 5; k++ {
+			j := rng.Intn(d)
+			if j != i {
+				coords = append(coords, sparse.Coord{Row: i, Col: j, Val: rng.Uniform(-1, 1)})
+			}
+		}
+	}
+	cases["random-150"] = sparse.NewCSR(d, d, coords)
+	return cases
+}
+
+// relDiff is |a−b| scaled by max(1, |a|, |b|).
+func relDiff(a, b float64) float64 {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) / scale
+}
+
+// TestValueGradSparseAcrossWorkerCounts asserts that the parallel
+// spectral forward/backward agrees with the serial evaluator at every
+// worker count in {1, 2, NumCPU, NumCPU+3} on adversarial shapes. The
+// column-sum and z reductions reorder float additions, so agreement is
+// tolerance-bounded rather than bit-for-bit; 1e-9 relative is orders
+// of magnitude tighter than the optimizer's own tolerances.
+func TestValueGradSparseAcrossWorkerCounts(t *testing.T) {
+	const tol = 1e-9
+	for name, w := range spectralCases(t) {
+		t.Run(name, func(t *testing.T) {
+			serial := NewSpectral(DefaultK, DefaultAlpha)
+			serial.Workers = 1
+			wantVal, wantGrad := serial.ValueGradSparse(w)
+			for _, wk := range []int{1, 2, runtime.NumCPU(), runtime.NumCPU() + 3} {
+				sp := spectralAt(wk)
+				val, grad := sp.ValueGradSparse(w)
+				if relDiff(val, wantVal) > tol {
+					t.Errorf("workers=%d: δ = %g, want %g", wk, val, wantVal)
+				}
+				if len(grad) != len(wantGrad) {
+					t.Fatalf("workers=%d: grad length %d, want %d", wk, len(grad), len(wantGrad))
+				}
+				for p := range grad {
+					if relDiff(grad[p], wantGrad[p]) > tol {
+						t.Errorf("workers=%d: grad[%d] = %g, want %g", wk, p, grad[p], wantGrad[p])
+						break
+					}
+				}
+				if v := sp.ValueSparse(w); relDiff(v, wantVal) > tol {
+					t.Errorf("workers=%d: ValueSparse = %g, want %g", wk, v, wantVal)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSparseStillMatchesDense ties the parallel path back to
+// the independently-implemented dense evaluator: for a matrix on a
+// full support, δ and the gradient must agree between dense and
+// parallel-sparse (this is the invariant the existing serial tests
+// rely on, re-checked through the new backend).
+func TestParallelSparseStillMatchesDense(t *testing.T) {
+	rng := randx.New(5)
+	d := 30
+	var coords []sparse.Coord
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			if i != j && rng.Float64() < 0.4 {
+				coords = append(coords, sparse.Coord{Row: i, Col: j, Val: rng.Uniform(-1, 1)})
+			}
+		}
+	}
+	w := sparse.NewCSR(d, d, coords)
+	wd := w.ToDense()
+	dense := NewSpectral(DefaultK, DefaultAlpha)
+	wantVal, wantGrad := dense.ValueGrad(wd)
+	for _, wk := range []int{2, runtime.NumCPU() + 1} {
+		sp := spectralAt(wk)
+		val, grad := sp.ValueGradSparse(w)
+		if relDiff(val, wantVal) > 1e-9 {
+			t.Errorf("workers=%d: δ = %g, dense says %g", wk, val, wantVal)
+		}
+		gs := w.WithValues(grad).ToDense()
+		if !gs.EqualApprox(wantGrad, 1e-9) {
+			t.Errorf("workers=%d: sparse gradient diverges from dense", wk)
+		}
+	}
+}

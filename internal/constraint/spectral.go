@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -82,10 +83,21 @@ func sum(v []float64) float64 {
 type Spectral struct {
 	K     int
 	Alpha float64
+	// Workers bounds the goroutine fan-out of the sparse kernels
+	// (ValueSparse / ValueGradSparse): 0 selects runtime.GOMAXPROCS,
+	// 1 forces the serial path, n > 1 uses at most n workers. Small
+	// problems run serially regardless (see MinWork), and for a fixed
+	// worker count results are deterministic.
+	Workers int
+	// MinWork overrides the serial-fallback threshold in scalar-work
+	// units (0 = parallel.DefaultMinWork). Tests set 1 to force the
+	// parallel path on tiny matrices.
+	MinWork int
 }
 
 // NewSpectral returns a Spectral evaluator with the paper's defaults
-// when k ≤ 0 or alpha is outside [0, 1].
+// when k ≤ 0 or alpha is outside [0, 1]. Workers defaults to 0
+// (automatic fan-out; small inputs still run serially).
 func NewSpectral(k int, alpha float64) *Spectral {
 	if k <= 0 {
 		k = DefaultK
@@ -94,6 +106,11 @@ func NewSpectral(k int, alpha float64) *Spectral {
 		alpha = DefaultAlpha
 	}
 	return &Spectral{K: k, Alpha: alpha}
+}
+
+// runner materializes the configured parallelism.
+func (sp *Spectral) runner() *parallel.Runner {
+	return parallel.NewWithMinWork(sp.Workers, sp.MinWork)
 }
 
 // denseTape is the saved forward state for the dense backward pass.
@@ -250,11 +267,12 @@ func (sp *Spectral) ValueSparse(w *sparse.CSR) float64 {
 }
 
 func (sp *Spectral) forwardSparse(w *sparse.CSR) (float64, *sparseTape) {
+	run := sp.runner()
 	tape := &sparseTape{}
-	s := w.Square() // shares w's pattern
+	s := w.SquareP(run) // shares w's pattern
 	for j := 0; j <= sp.K; j++ {
-		r := s.RowSums()
-		c := s.ColSums()
+		r := s.RowSumsP(run)
+		c := s.ColSumsP(run)
 		b := balanceVec(r, c, sp.Alpha)
 		tape.s = append(tape.s, append([]float64(nil), s.Val...))
 		tape.b = append(tape.b, b)
@@ -269,7 +287,7 @@ func (sp *Spectral) forwardSparse(w *sparse.CSR) (float64, *sparseTape) {
 			}
 			bc[i] = bi
 		}
-		s.ScaleRowsCols(inv, bc)
+		s.ScaleRowsColsP(run, inv, bc)
 	}
 	return sum(tape.b[sp.K]), tape
 }
@@ -278,38 +296,67 @@ func (sp *Spectral) forwardSparse(w *sparse.CSR) (float64, *sparseTape) {
 // pattern, in O(k·nnz) time and space — the complexity claim of
 // §III-C that makes LEAST-SP scale to 10⁵+ nodes.
 func (sp *Spectral) ValueGradSparse(w *sparse.CSR) (float64, []float64) {
+	run := sp.runner()
 	val, tape := sp.forwardSparse(w)
 	d := w.Rows()
 	nnz := w.NNZ()
 	sk := w.WithValues(tape.s[sp.K])
-	xk, yk := xyVec(sk.RowSums(), sk.ColSums(), sp.Alpha)
+	xk, yk := xyVec(sk.RowSumsP(run), sk.ColSumsP(run), sp.Alpha)
 	g := make([]float64, nnz)
-	for i := 0; i < d; i++ {
-		for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
-			if w.Val[p] != 0 {
-				g[p] = xk[i] + yk[w.ColIdx[p]]
+	run.ForWeighted(w.RowPtr, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
+				if w.Val[p] != 0 {
+					g[p] = xk[i] + yk[w.ColIdx[p]]
+				}
 			}
 		}
-	}
+	})
 	for j := sp.K; j >= 1; j-- {
 		sv := tape.s[j-1]
 		b := tape.b[j-1]
 		sPrev := w.WithValues(sv)
-		x, y := xyVec(sPrev.RowSums(), sPrev.ColSums(), sp.Alpha)
+		x, y := xyVec(sPrev.RowSumsP(run), sPrev.ColSumsP(run), sp.Alpha)
 		z := make([]float64, d)
 		rowAcc := make([]float64, d)
-		for i := 0; i < d; i++ {
-			for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
-				t := g[p] * sv[p]
-				if t == 0 {
-					continue
+		// The z accumulation scatters by column, so each worker sums
+		// into its own partial vector and the partials reduce in slot
+		// order (deterministic for a fixed worker count); rowAcc is
+		// row-indexed and row ranges are disjoint, so it is shared.
+		if run.Serial(d, nnz) {
+			for i := 0; i < d; i++ {
+				for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
+					t := g[p] * sv[p]
+					if t == 0 {
+						continue
+					}
+					l := w.ColIdx[p]
+					if b[i] > 0 {
+						z[l] += t / b[i]
+					}
+					rowAcc[i] += t * b[l]
 				}
-				l := w.ColIdx[p]
-				if b[i] > 0 {
-					z[l] += t / b[i]
-				}
-				rowAcc[i] += t * b[l]
 			}
+		} else {
+			partials := make([][]float64, run.Workers())
+			parts := run.ForWeighted(w.RowPtr, func(lo, hi, wk int) {
+				zp := make([]float64, d)
+				for i := lo; i < hi; i++ {
+					for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
+						t := g[p] * sv[p]
+						if t == 0 {
+							continue
+						}
+						l := w.ColIdx[p]
+						if b[i] > 0 {
+							zp[l] += t / b[i]
+						}
+						rowAcc[i] += t * b[l]
+					}
+				}
+				partials[wk] = zp
+			})
+			parallel.SumVecs(z, partials[:parts])
 		}
 		for m := 0; m < d; m++ {
 			if b[m] > 0 {
@@ -317,28 +364,32 @@ func (sp *Spectral) ValueGradSparse(w *sparse.CSR) (float64, []float64) {
 			}
 		}
 		next := make([]float64, nnz)
-		for i := 0; i < d; i++ {
-			var invBi float64
-			if b[i] > 0 {
-				invBi = 1 / b[i]
-			}
-			for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
-				if w.Val[p] == 0 {
-					continue
+		run.ForWeighted(w.RowPtr, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				var invBi float64
+				if b[i] > 0 {
+					invBi = 1 / b[i]
 				}
-				q := w.ColIdx[p]
-				v := x[i]*z[i] + y[q]*z[q]
-				if g[p] != 0 && invBi > 0 {
-					v += g[p] * b[q] * invBi
+				for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
+					if w.Val[p] == 0 {
+						continue
+					}
+					q := w.ColIdx[p]
+					v := x[i]*z[i] + y[q]*z[q]
+					if g[p] != 0 && invBi > 0 {
+						v += g[p] * b[q] * invBi
+					}
+					next[p] = v
 				}
-				next[p] = v
 			}
-		}
+		})
 		g = next
 	}
 	grad := make([]float64, nnz)
-	for p := range grad {
-		grad[p] = 2 * g[p] * w.Val[p]
-	}
+	run.For(nnz, nnz, func(lo, hi, _ int) {
+		for p := lo; p < hi; p++ {
+			grad[p] = 2 * g[p] * w.Val[p]
+		}
+	})
 	return val, grad
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/loss"
 	"repro/internal/mat"
 	"repro/internal/opt"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/sparse"
 )
@@ -94,6 +95,14 @@ type Options struct {
 	// confined to its initial random support — the literal reading of
 	// Fig 3, kept available for the ablation bench.
 	NoSupportRefresh bool
+	// Parallelism bounds the goroutine fan-out of the sparse execution
+	// backend (the CSR spectral-bound kernels, the sparse loss, and the
+	// Hutchinson matvecs): 0 selects runtime.GOMAXPROCS, 1 forces the
+	// serial path, n > 1 uses at most n workers. Problems below the
+	// backend's work threshold run serially regardless, and for a fixed
+	// worker count results are deterministic (run Parallelism = 1 for
+	// bit-exact cross-machine reproducibility).
+	Parallelism int
 	// SinkNodes lists variables constrained to have no outgoing edges
 	// (their W rows are pinned to zero). The booking monitor uses it
 	// to encode that error indicators are effects, never causes —
@@ -165,7 +174,10 @@ func Dense(x *mat.Dense, o Options) *Result {
 	rng := randx.New(o.Seed)
 	w := gen.DenseGlorotInit(rng, d, initDensity(o, d))
 	sp := constraint.NewSpectral(o.K, o.Alpha)
-	ls := loss.LeastSquares{Lambda: o.Lambda}
+	// Parallelism reaches the dense learner only through the Hutchinson
+	// trace estimator (run); the dense spectral evaluator ignores it.
+	run := parallel.New(o.Parallelism)
+	ls := loss.LeastSquares{Lambda: o.Lambda, Workers: o.Parallelism}
 	norm := float64(d)
 	if o.NoNormalize {
 		norm = 1
@@ -221,7 +233,7 @@ func Dense(x *mat.Dense, o Options) *Result {
 				if o.TrackExact {
 					h = constraint.NotearsH(w)
 				} else {
-					h = hutchH(sparse.FromDense(w, 0), rng.Split(), 8, 24)
+					h = hutchH(run, sparse.FromDense(w, 0), rng.Split(), 8, 24)
 				}
 				res.Trace = append(res.Trace, TracePoint{
 					Elapsed: time.Since(start),
@@ -297,7 +309,9 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 	}
 	w.ZeroDiagonal()
 	sp := constraint.NewSpectral(o.K, o.Alpha)
-	ls := loss.LeastSquares{Lambda: o.Lambda}
+	sp.Workers = o.Parallelism
+	run := parallel.New(o.Parallelism)
+	ls := loss.LeastSquares{Lambda: o.Lambda, Workers: o.Parallelism}
 	norm := float64(d)
 	if o.NoNormalize {
 		norm = 1
@@ -312,7 +326,7 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 	firstSolve := true
 	inner := func(rho, eta float64) float64 {
 		if !firstSolve && !o.NoSupportRefresh {
-			w = refreshSupport(w, x, rng, budget)
+			w = refreshSupport(run, w, x, rng, budget)
 			w.ZeroDiagonal()
 			adam = opt.NewAdam(o.Adam, w.NNZ())
 			grad = make([]float64, w.NNZ())
@@ -348,7 +362,7 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 				res.Trace = append(res.Trace, TracePoint{
 					Elapsed: time.Since(start),
 					Delta:   delta,
-					H:       hutchH(w, rng.Split(), 8, 24),
+					H:       hutchH(run, w, rng.Split(), 8, 24),
 				})
 			}
 			if loss.NaNGuard(obj) {
@@ -374,7 +388,7 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 	var stop func(float64) bool
 	if o.CheckH {
 		stop = func(float64) bool {
-			h := hutchH(w, rng.Split(), 8, 24)
+			h := hutchH(run, w, rng.Split(), 8, 24)
 			res.HTrace = append(res.HTrace, h)
 			res.H = h
 			return h <= o.Epsilon
@@ -475,12 +489,12 @@ func (b *batcher) next() *mat.Dense {
 // e^S·z evaluated by the Taylor recurrence y_{k} = S·y_{k−1}/k. Cost is
 // O(probes·terms·nnz), which is how the h-curve of Fig 5 can be traced
 // at 10⁴–10⁵ nodes where an exact e^S is impossible.
-func hutchH(w *sparse.CSR, rng *randx.RNG, probes, terms int) float64 {
+func hutchH(run *parallel.Runner, w *sparse.CSR, rng *randx.RNG, probes, terms int) float64 {
 	d := w.Rows()
 	if d == 0 {
 		return 0
 	}
-	s := w.Square()
+	s := w.SquareP(run)
 	var acc float64
 	y := make([]float64, d)
 	z := make([]float64, d)
@@ -496,7 +510,7 @@ func hutchH(w *sparse.CSR, rng *randx.RNG, probes, terms int) float64 {
 		}
 		for k := 1; k <= terms; k++ {
 			// ynext = S·y / k ; using Sᵀ rows: (S·y)[i] = Σ_j S[i,j] y[j].
-			spMulVec(s, y, ynext)
+			s.MulVecP(run, y, ynext)
 			inv := 1 / float64(k)
 			var dot, norm float64
 			for i := range ynext {
@@ -516,15 +530,4 @@ func hutchH(w *sparse.CSR, rng *randx.RNG, probes, terms int) float64 {
 		h = 0 // estimator noise can dip below zero near convergence
 	}
 	return h
-}
-
-// spMulVec computes out = m·v for CSR m.
-func spMulVec(m *sparse.CSR, v, out []float64) {
-	for i := 0; i < m.Rows(); i++ {
-		var s float64
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			s += m.Val[p] * v[m.ColIdx[p]]
-		}
-		out[i] = s
-	}
 }

@@ -39,6 +39,9 @@ func TestDenseRecoversERGraph(t *testing.T) {
 }
 
 func TestDenseRecoversSFGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-seed ε×τ grid search (~3s; ~1min under -race); ER recovery still runs")
+	}
 	// Mirrors the paper's §V-A protocol: grid-search the tolerance
 	// ε ∈ {1e-1..1e-3} and the edge threshold τ, report the best F1.
 	// SF-4 graphs are dense; the paper itself observes LEAST has
@@ -160,7 +163,7 @@ func TestHutchinsonEstimatorAccuracy(t *testing.T) {
 		w := gen.DenseGlorotInit(rng, d, 0.3)
 		wc := sparseFromDense(w)
 		exact := constraint.NotearsH(w)
-		est := hutchH(wc, rng.Split(), 64, 30)
+		est := hutchH(nil, wc, rng.Split(), 64, 30)
 		if math.Abs(est-exact) > 0.25*math.Max(1, exact) {
 			t.Errorf("trial %d: Hutchinson %g vs exact %g", trial, est, exact)
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/sparse"
 )
@@ -55,10 +56,10 @@ func (h *candHeap) Pop() interface{} {
 // off-support candidates, capped at budget stored entries. Values of
 // retained entries are preserved; new entries start at zero (their
 // first Adam step moves them in the gradient direction).
-func refreshSupport(w *sparse.CSR, x *mat.Dense, rng *randx.RNG, budget int) *sparse.CSR {
+func refreshSupport(run *parallel.Runner, w *sparse.CSR, x *mat.Dense, rng *randx.RNG, budget int) *sparse.CSR {
 	d := w.Rows()
-	resid := sparse.DenseMulCSR(x, w) // XW
-	resid.AxpyInPlace(-1, x)          // XW − X
+	resid := sparse.DenseMulCSRP(run, x, w) // XW
+	resid.AxpyInPlace(-1, x)                // XW − X
 	onSupport := make(map[[2]int]bool, w.NNZ())
 	var kept []sparse.Coord
 	for i := 0; i < d; i++ {

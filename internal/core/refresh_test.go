@@ -26,7 +26,7 @@ func TestRefreshSupportFindsStrongCandidate(t *testing.T) {
 	w := sparse.NewCSR(d, d, []sparse.Coord{
 		{Row: 2, Col: 3, Val: 0.1}, {Row: 4, Col: 5, Val: -0.1}, {Row: 6, Col: 7, Val: 0.05},
 	})
-	out := refreshSupport(w, x, rng, 8)
+	out := refreshSupport(nil, w, x, rng, 8)
 	found := false
 	for i := 0; i < d; i++ {
 		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
@@ -50,7 +50,7 @@ func TestRefreshSupportKeepsNonZeroValues(t *testing.T) {
 	w := sparse.NewCSR(12, 12, []sparse.Coord{
 		{Row: 0, Col: 1, Val: 0.7}, {Row: 2, Col: 3, Val: 0}, // one live, one pruned
 	})
-	out := refreshSupport(w, x, rng, 10)
+	out := refreshSupport(nil, w, x, rng, 10)
 	// The live value must survive verbatim.
 	kept := false
 	for i := 0; i < 12; i++ {
@@ -70,7 +70,7 @@ func TestRefreshSupportNeverAddsDiagonal(t *testing.T) {
 	dag := gen.RandomDAG(rng, gen.ER, 8, 2, 0.5, 2)
 	x := gen.SampleLSEM(rng, dag, 80, randx.Gaussian)
 	w := sparse.NewCSR(8, 8, []sparse.Coord{{Row: 0, Col: 1, Val: 0.2}})
-	out := refreshSupport(w, x, rng, 20)
+	out := refreshSupport(nil, w, x, rng, 20)
 	for i := 0; i < 8; i++ {
 		for p := out.RowPtr[i]; p < out.RowPtr[i+1]; p++ {
 			if out.ColIdx[p] == i {

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/loss"
+	"repro/internal/mat"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+// ParSweepRow is one (kernel, workers) timing from the parallel sparse
+// backend sweep.
+type ParSweepRow struct {
+	Kernel  string
+	Workers int
+	Time    time.Duration
+	// Speedup is relative to the workers=1 row of the same kernel.
+	Speedup float64
+}
+
+// DefaultWorkerCounts returns the sweep grid {1, 2, 4, …} up to and
+// including runtime.GOMAXPROCS.
+func DefaultWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	if max > 1 {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// ParSweepInstance builds a large random CSR weight matrix (about
+// nnzPerRow stored entries per row) and a batch matrix, the shapes one
+// LEAST-SP step touches at Fig-5 scale. Shared by the sweep and the
+// root parallel benchmarks.
+func ParSweepInstance(seed int64, d, nnzPerRow, batch int) (*sparse.CSR, *mat.Dense) {
+	rng := randx.New(seed)
+	coords := make([]sparse.Coord, 0, d*nnzPerRow)
+	for i := 0; i < d; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			j := rng.Intn(d)
+			if j == i {
+				continue
+			}
+			coords = append(coords, sparse.Coord{Row: i, Col: j, Val: rng.Uniform(-1, 1)})
+		}
+	}
+	w := sparse.NewCSR(d, d, coords)
+	x := mat.NewDense(batch, d)
+	for i := 0; i < batch; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.Normal(0, 1)
+		}
+	}
+	return w, x
+}
+
+// ParSweep times the kernels that dominate a LEAST-SP step — the
+// spectral bound's forward+backward (ValueGradSparse) and the sparse
+// loss (X·W plus the support-restricted gradient) — across the given
+// worker counts on one large-nnz instance, reporting per-kernel
+// speedups over the serial run. nil workers uses DefaultWorkerCounts,
+// and a workers=1 baseline is prepended if the grid omits it;
+// dOverride > 0 replaces the scale's default node count (ci 20000,
+// full 100000). This is the harness for choosing Options.Parallelism
+// on a new machine; on a single-core host every count collapses to
+// the serial path and all speedups hover at 1.
+func ParSweep(scale Scale, seed int64, workers []int, dOverride int, out io.Writer) []ParSweepRow {
+	d, batch := 20000, 256
+	if scale == Full {
+		d, batch = 100000, 512
+	}
+	if dOverride > 0 {
+		d = dOverride
+	}
+	if workers == nil {
+		workers = DefaultWorkerCounts()
+	}
+	// Speedups are defined relative to serial, so make sure the grid
+	// carries a workers=1 baseline even if the caller omitted it.
+	hasSerial := false
+	for _, wk := range workers {
+		if wk == 1 {
+			hasSerial = true
+			break
+		}
+	}
+	if !hasSerial {
+		workers = append([]int{1}, workers...)
+	}
+	w, x := ParSweepInstance(seed, d, 8, batch)
+	if out != nil {
+		fmt.Fprintf(out, "instance: d=%d nnz=%d batch=%d cores=%d\n",
+			d, w.NNZ(), batch, runtime.GOMAXPROCS(0))
+	}
+	kernels := []struct {
+		name string
+		run  func(workers int)
+	}{
+		{"spectral-grad", func(wk int) {
+			sp := constraint.NewSpectral(constraint.DefaultK, constraint.DefaultAlpha)
+			sp.Workers = wk
+			sp.ValueGradSparse(w)
+		}},
+		{"sparse-loss", func(wk int) {
+			ls := loss.LeastSquares{Lambda: 0.1, Workers: wk}
+			ls.ValueGradSparse(w, x)
+		}},
+	}
+	var rows []ParSweepRow
+	for _, k := range kernels {
+		// Time the whole grid first, then anchor speedups on the
+		// workers=1 row (first row if the user's grid omits 1), so a
+		// reordered -workers list can't shift the baseline mid-sweep.
+		kr := make([]ParSweepRow, 0, len(workers))
+		for _, wk := range workers {
+			best := time.Duration(0)
+			for rep := 0; rep < 3; rep++ {
+				t0 := time.Now()
+				k.run(wk)
+				if el := time.Since(t0); best == 0 || el < best {
+					best = el
+				}
+			}
+			kr = append(kr, ParSweepRow{Kernel: k.name, Workers: wk, Time: best})
+		}
+		var serial time.Duration
+		for _, row := range kr {
+			if row.Workers == 1 {
+				serial = row.Time
+				break
+			}
+		}
+		for i := range kr {
+			kr[i].Speedup = float64(serial) / float64(kr[i].Time)
+			if out != nil {
+				fmt.Fprintf(out, "%-14s workers=%-3d time=%-12v speedup=%.2fx\n",
+					kr[i].Kernel, kr[i].Workers, kr[i].Time.Round(time.Microsecond), kr[i].Speedup)
+			}
+		}
+		rows = append(rows, kr...)
+	}
+	return rows
+}

@@ -13,13 +13,21 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
 // LeastSquares holds the regularization weight λ.
 type LeastSquares struct {
 	Lambda float64
+	// Workers bounds the goroutine fan-out of the sparse loss kernels
+	// (X·W and the support-restricted gradient): 0 selects
+	// runtime.GOMAXPROCS, 1 forces serial. Both kernels partition by
+	// output rows, so results are bit-identical at every worker count.
+	Workers int
 }
+
+func (ls LeastSquares) runner() *parallel.Runner { return parallel.New(ls.Workers) }
 
 // Value returns L(W, X) for dense W.
 func (ls LeastSquares) Value(w, x *mat.Dense) float64 {
@@ -56,7 +64,7 @@ func (ls LeastSquares) ValueGrad(w, x *mat.Dense) (float64, *mat.Dense) {
 // ValueSparse returns L(W, X) for CSR W.
 func (ls LeastSquares) ValueSparse(w *sparse.CSR, x *mat.Dense) float64 {
 	n := float64(x.Rows())
-	xw := sparse.DenseMulCSR(x, w)
+	xw := sparse.DenseMulCSRP(ls.runner(), x, w)
 	var sq float64
 	xd, wd := x.Data(), xw.Data()
 	for i := range xd {
@@ -70,13 +78,14 @@ func (ls LeastSquares) ValueSparse(w *sparse.CSR, x *mat.Dense) float64 {
 // support, as a value slice aligned with W.Val.
 func (ls LeastSquares) ValueGradSparse(w *sparse.CSR, x *mat.Dense) (float64, []float64) {
 	n := float64(x.Rows())
-	xw := sparse.DenseMulCSR(x, w)
+	run := ls.runner()
+	xw := sparse.DenseMulCSRP(run, x, w)
 	resid := xw.SubMat(x)
 	var sq float64
 	for _, v := range resid.Data() {
 		sq += v * v
 	}
-	grad := sparse.SupportGrad(w, x, resid) // (XᵀR)|support
+	grad := sparse.SupportGradP(run, w, x, resid) // (XᵀR)|support
 	for p := range grad {
 		grad[p] = grad[p]*2/n + ls.Lambda*sign(w.Val[p])
 	}

@@ -131,6 +131,9 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestLearnRecoversPlantedStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog learn (~5s; ~2min under -race)")
+	}
 	c := DefaultCatalog(150)
 	r := Generate(c, DefaultGenOptions())
 	net := Learn(r, DefaultLearnOptions())
@@ -145,6 +148,9 @@ func TestLearnRecoversPlantedStructure(t *testing.T) {
 }
 
 func TestTopEdgesAnnotatedAndDegreeContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog learn (~5s; ~2min under -race)")
+	}
 	c := DefaultCatalog(150)
 	r := Generate(c, DefaultGenOptions())
 	net := Learn(r, DefaultLearnOptions())

@@ -1,0 +1,221 @@
+// Package parallel is the work-partitioning backbone of the sparse
+// execution backend. The paper's complexity claim (§III-C) is that one
+// LEAST-SP step costs O(k·nnz); this package is what lets that O(nnz)
+// spread across cores: a deterministic row-range splitter (optionally
+// weighted by a CSR row-pointer so every worker gets a near-equal nnz
+// share), a fork-join loop sized off runtime.GOMAXPROCS, and a
+// slot-ordered vector reduction so that accumulating kernels stay
+// reproducible for a fixed worker count.
+//
+// Every kernel that uses a Runner falls back to a plain serial loop
+// when the estimated scalar work is below the runner's threshold
+// (mirroring the dense GEMM's gemmParallelThreshold), so small
+// problems never pay goroutine overhead and remain bit-identical to
+// the historical single-threaded implementation.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultMinWork is the scalar-work threshold below which a Runner
+// executes serially. It is sized like the dense kernel's
+// gemmParallelThreshold: roughly the op count where fork-join overhead
+// (a few µs) drops under ~10% of kernel time.
+const DefaultMinWork = 1 << 16
+
+// Runner executes row-partitioned loops across a bounded number of
+// goroutines. The zero value and the nil pointer are both valid and
+// mean "serial". Runners are stateless and safe for concurrent use.
+type Runner struct {
+	workers int
+	minWork int
+}
+
+// New returns a Runner with the given worker bound and the default
+// serial-fallback threshold. workers <= 0 selects runtime.GOMAXPROCS,
+// workers == 1 forces serial execution.
+func New(workers int) *Runner { return NewWithMinWork(workers, 0) }
+
+// NewWithMinWork is New with an explicit serial-fallback threshold in
+// scalar-work units (e.g. nnz touched); minWork <= 0 selects
+// DefaultMinWork. Tests pass minWork = 1 to force the parallel path on
+// tiny inputs.
+func NewWithMinWork(workers, minWork int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if minWork <= 0 {
+		minWork = DefaultMinWork
+	}
+	return &Runner{workers: workers, minWork: minWork}
+}
+
+// Workers returns the worker bound (1 for a nil or zero Runner).
+func (r *Runner) Workers() int {
+	if r == nil || r.workers <= 0 {
+		return 1
+	}
+	return r.workers
+}
+
+// Serial reports whether a loop over n rows costing work scalar ops
+// should run on the calling goroutine. Kernels use it to keep a
+// zero-overhead serial path.
+func (r *Runner) Serial(n, work int) bool {
+	if r == nil || r.workers <= 1 || n < 2 {
+		return true
+	}
+	min := r.minWork
+	if min <= 0 {
+		min = DefaultMinWork
+	}
+	return work < min
+}
+
+// Range is a half-open row interval [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Split partitions [0, n) into at most parts contiguous near-equal
+// ranges. Empty ranges are never returned; the split depends only on
+// (n, parts), which is what makes reductions over it deterministic.
+func Split(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		return []Range{{0, n}}
+	}
+	out := make([]Range, 0, parts)
+	chunk := n / parts
+	rem := n % parts
+	lo := 0
+	for p := 0; p < parts; p++ {
+		hi := lo + chunk
+		if p < rem {
+			hi++
+		}
+		out = append(out, Range{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// SplitByWeight partitions the rows of a CSR-style row pointer
+// (len(rowPtr) == rows+1, rowPtr[i] ≤ rowPtr[i+1]) into at most parts
+// contiguous ranges of near-equal weight, so workers processing skewed
+// matrices (one dense row among thousands of empty ones) still load-
+// balance. Rows with zero weight attach to the range in progress.
+func SplitByWeight(rowPtr []int, parts int) []Range {
+	n := len(rowPtr) - 1
+	if n <= 0 {
+		return nil
+	}
+	total := rowPtr[n] - rowPtr[0]
+	if parts <= 1 || total == 0 {
+		return []Range{{0, n}}
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	lo := 0
+	for p := 0; p < parts && lo < n; p++ {
+		// Aim each remaining part at an equal share of the remaining
+		// weight; always take at least one row.
+		remaining := rowPtr[n] - rowPtr[lo]
+		target := (remaining + (parts - p) - 1) / (parts - p)
+		hi := lo + 1
+		for hi < n && rowPtr[hi]-rowPtr[lo] < target {
+			// Leave at least one row per remaining part.
+			if n-hi <= parts-p-1 {
+				break
+			}
+			hi++
+		}
+		out = append(out, Range{lo, hi})
+		lo = hi
+	}
+	if lo < n { // absorb any tail into the last range
+		out[len(out)-1].Hi = n
+	}
+	return out
+}
+
+// For runs fn over a partition of [0, n) with total scalar work
+// estimated at work. When Serial(n, work) it calls fn(0, n, 0) on the
+// calling goroutine; otherwise it forks one goroutine per range of
+// Split(n, Workers()) and joins. worker is the range's slot index,
+// usable to address per-worker scratch. Returns the number of parts
+// actually run (1 on the serial path).
+func (r *Runner) For(n, work int, fn func(lo, hi, worker int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if r.Serial(n, work) {
+		fn(0, n, 0)
+		return 1
+	}
+	return runRanges(Split(n, r.Workers()), fn)
+}
+
+// ForWeighted is For with the partition balanced by a CSR row pointer:
+// the work estimate is rowPtr[n]−rowPtr[0] and ranges carry near-equal
+// weight rather than near-equal row counts.
+func (r *Runner) ForWeighted(rowPtr []int, fn func(lo, hi, worker int)) int {
+	n := len(rowPtr) - 1
+	if n <= 0 {
+		return 0
+	}
+	work := rowPtr[n] - rowPtr[0]
+	if r.Serial(n, work) {
+		fn(0, n, 0)
+		return 1
+	}
+	return runRanges(SplitByWeight(rowPtr, r.Workers()), fn)
+}
+
+// Run executes fn over an explicit list of ranges, one goroutine per
+// range (on the calling goroutine when there is only one), and returns
+// the number of ranges. Kernels that need the same partition for two
+// phases (e.g. the transpose's count + scatter) call Split/
+// SplitByWeight once and Run twice.
+func Run(ranges []Range, fn func(lo, hi, worker int)) int {
+	return runRanges(ranges, fn)
+}
+
+func runRanges(ranges []Range, fn func(lo, hi, worker int)) int {
+	if len(ranges) == 1 {
+		fn(ranges[0].Lo, ranges[0].Hi, 0)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for w, rg := range ranges {
+		go func(w int, rg Range) {
+			defer wg.Done()
+			fn(rg.Lo, rg.Hi, w)
+		}(w, rg)
+	}
+	wg.Wait()
+	return len(ranges)
+}
+
+// SumVecs accumulates per-worker partial vectors into dst in slot
+// order — the deterministic reduction for scatter-style kernels
+// (column sums, the backward pass's z accumulation). nil partials are
+// skipped, so workers may allocate their slot lazily.
+func SumVecs(dst []float64, partials [][]float64) {
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for i, v := range p {
+			dst[i] += v
+		}
+	}
+}

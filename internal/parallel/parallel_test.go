@@ -1,0 +1,179 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func covers(t *testing.T, ranges []Range, n int) {
+	t.Helper()
+	lo := 0
+	for _, r := range ranges {
+		if r.Lo != lo {
+			t.Fatalf("gap: range starts at %d, want %d (%v)", r.Lo, lo, ranges)
+		}
+		if r.Hi <= r.Lo {
+			t.Fatalf("empty range %v in %v", r, ranges)
+		}
+		lo = r.Hi
+	}
+	if lo != n {
+		t.Fatalf("ranges cover [0,%d), want [0,%d): %v", lo, n, ranges)
+	}
+}
+
+func TestSplitCoversAndBalances(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {3, 1}, {10, 100},
+	} {
+		ranges := Split(tc.n, tc.parts)
+		if tc.n == 0 {
+			if ranges != nil {
+				t.Fatalf("Split(0, %d) = %v", tc.parts, ranges)
+			}
+			continue
+		}
+		covers(t, ranges, tc.n)
+		if len(ranges) > tc.parts && tc.parts > 0 {
+			t.Fatalf("Split(%d, %d) gave %d parts", tc.n, tc.parts, len(ranges))
+		}
+		// Near-equal: sizes differ by at most 1.
+		min, max := tc.n, 0
+		for _, r := range ranges {
+			if s := r.Hi - r.Lo; s < min {
+				min = s
+			} else if s > max {
+				max = s
+			}
+		}
+		if max > 0 && max-min > 1 {
+			t.Fatalf("unbalanced split %v", ranges)
+		}
+	}
+}
+
+func TestSplitByWeightSkewedRows(t *testing.T) {
+	// One dense row among empty rows: every range must still be
+	// non-empty and the union must cover all rows.
+	rowPtr := []int{0, 0, 0, 1000, 1000, 1000, 1000}
+	ranges := SplitByWeight(rowPtr, 3)
+	covers(t, ranges, 6)
+
+	// Uniform weights split near-evenly.
+	uniform := make([]int, 101)
+	for i := range uniform {
+		uniform[i] = i * 10
+	}
+	ranges = SplitByWeight(uniform, 4)
+	covers(t, ranges, 100)
+	for _, r := range ranges {
+		w := uniform[r.Hi] - uniform[r.Lo]
+		if w < 200 || w > 300 {
+			t.Fatalf("weight %d for range %v (want ~250)", w, r)
+		}
+	}
+
+	// All-zero weight collapses to a single range.
+	ranges = SplitByWeight([]int{0, 0, 0, 0}, 4)
+	if len(ranges) != 1 || ranges[0] != (Range{0, 3}) {
+		t.Fatalf("zero-weight split = %v", ranges)
+	}
+
+	// Empty matrix.
+	if got := SplitByWeight([]int{0}, 4); got != nil {
+		t.Fatalf("SplitByWeight(rows=0) = %v", got)
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU() + 2} {
+		r := NewWithMinWork(workers, 1)
+		const n = 1000
+		var visits [n]int32
+		parts := r.For(n, n, func(lo, hi, worker int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		if workers > 1 && parts < 2 {
+			t.Fatalf("workers=%d ran %d parts", workers, parts)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForSerialFallback(t *testing.T) {
+	r := New(8) // default threshold
+	calls := 0
+	parts := r.For(100, 100, func(lo, hi, worker int) {
+		calls++
+		if lo != 0 || hi != 100 || worker != 0 {
+			t.Fatalf("serial call got (%d,%d,%d)", lo, hi, worker)
+		}
+	})
+	if parts != 1 || calls != 1 {
+		t.Fatalf("small work should run serially: parts=%d calls=%d", parts, calls)
+	}
+	if r.For(0, 0, func(lo, hi, worker int) { t.Fatal("called for n=0") }) != 0 {
+		t.Fatal("n=0 should run nothing")
+	}
+}
+
+func TestNilRunnerIsSerial(t *testing.T) {
+	var r *Runner
+	if !r.Serial(1<<30, 1<<30) || r.Workers() != 1 {
+		t.Fatal("nil runner must be serial")
+	}
+	sum := 0
+	r.For(10, 1<<30, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestForWeightedVisitsAllRows(t *testing.T) {
+	rowPtr := []int{0, 5, 5, 5, 200000, 200001}
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		r := NewWithMinWork(workers, 1)
+		var visits [5]int32
+		r.ForWeighted(rowPtr, func(lo, hi, worker int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: row %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestSumVecsDeterministicOrder(t *testing.T) {
+	dst := []float64{1, 2}
+	SumVecs(dst, [][]float64{{10, 20}, nil, {100, 200}})
+	if dst[0] != 111 || dst[1] != 222 {
+		t.Fatalf("dst = %v", dst)
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS", got)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3).Workers() = %d", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d", got)
+	}
+}

@@ -1,0 +1,217 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/randx"
+)
+
+// workerGrid is the issue-mandated sweep: serial, two workers, and the
+// machine's core count (plus an oversubscribed pool, which must also
+// be correct).
+func workerGrid() []int {
+	return []int{1, 2, runtime.NumCPU(), runtime.NumCPU() + 3}
+}
+
+// forced returns a runner whose serial-fallback threshold is disabled,
+// so even tiny adversarial shapes exercise the parallel path.
+func forced(workers int) *parallel.Runner { return parallel.NewWithMinWork(workers, 1) }
+
+// adversarialMatrices builds the shapes the parallel kernels must not
+// get wrong: empty matrices, a single all-dense row among empties,
+// d=1, explicit zeros, rectangular shapes, and a large random matrix
+// that actually spans several ranges.
+func adversarialMatrices(t *testing.T) map[string]*CSR {
+	t.Helper()
+	rng := randx.New(7)
+	ms := map[string]*CSR{
+		"empty-0x0":  NewCSR(0, 0, nil),
+		"empty-5x5":  NewCSR(5, 5, nil),
+		"d=1-zero":   NewCSR(1, 1, nil),
+		"d=1-dense":  NewCSR(1, 1, []Coord{{0, 0, 2.5}}),
+		"single-row": NewCSR(6, 6, []Coord{{3, 0, 1}, {3, 1, -2}, {3, 2, 3}, {3, 3, -4}, {3, 4, 5}, {3, 5, -6}}),
+		"single-col": NewCSR(6, 6, []Coord{{0, 2, 1}, {1, 2, -1}, {2, 2, 2}, {4, 2, -2}, {5, 2, 0.5}}),
+		"rect-2x7":   NewCSR(2, 7, []Coord{{0, 6, 1}, {1, 0, -3}, {1, 3, 2}}),
+		"rect-7x2":   NewCSR(7, 2, []Coord{{6, 0, 1}, {0, 1, -3}, {3, 1, 2}}),
+	}
+	// Explicit zeros (the pattern thresholding leaves behind).
+	wz := NewCSR(4, 4, []Coord{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}})
+	wz.Threshold(2.5)
+	ms["explicit-zeros"] = wz
+	// Large-ish random matrix with a skewed row: enough nnz to split
+	// across many ranges.
+	var coords []Coord
+	d := 200
+	for i := 0; i < d; i++ {
+		for k := 0; k < 6; k++ {
+			j := rng.Intn(d)
+			coords = append(coords, Coord{i, j, rng.Uniform(-2, 2)})
+		}
+	}
+	for j := 0; j < d; j++ { // one dense row
+		coords = append(coords, Coord{17, j, rng.Normal(0, 1)})
+	}
+	ms["random-skewed"] = NewCSR(d, d, coords)
+	return ms
+}
+
+func vecsEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	for name, m := range adversarialMatrices(t) {
+		t.Run(name, func(t *testing.T) {
+			wantSquare := m.Square()
+			wantRows := m.RowSums()
+			wantCols := m.ColSums()
+			wantT := m.Transpose()
+			for _, wk := range workerGrid() {
+				r := forced(wk)
+				tag := fmt.Sprintf("workers=%d", wk)
+				if got := m.SquareP(r); !vecsEqual(got.Val, wantSquare.Val, 0) {
+					t.Errorf("%s: SquareP diverges", tag)
+				}
+				if got := m.RowSumsP(r); !vecsEqual(got, wantRows, 0) {
+					t.Errorf("%s: RowSumsP = %v, want %v", tag, got, wantRows)
+				}
+				// ColSums reduces partials, so allow rounding slack.
+				if got := m.ColSumsP(r); !vecsEqual(got, wantCols, 1e-12) {
+					t.Errorf("%s: ColSumsP = %v, want %v", tag, got, wantCols)
+				}
+				got := m.TransposeP(r)
+				if !vecsEqual(got.Val, wantT.Val, 0) {
+					t.Errorf("%s: TransposeP values diverge", tag)
+				}
+				if !got.SamePattern(wantT) {
+					t.Errorf("%s: TransposeP pattern diverges", tag)
+				}
+			}
+		})
+	}
+}
+
+func TestScaleRowsColsParallelMatchesSerial(t *testing.T) {
+	for name, m := range adversarialMatrices(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := randx.New(11)
+			ri := make([]float64, m.Rows())
+			cj := make([]float64, m.Cols())
+			for i := range ri {
+				ri[i] = rng.Uniform(0.5, 2)
+			}
+			for j := range cj {
+				cj[j] = rng.Uniform(0.5, 2)
+			}
+			want := m.Clone()
+			want.ScaleRowsCols(ri, cj)
+			for _, wk := range workerGrid() {
+				got := m.Clone()
+				got.ScaleRowsColsP(forced(wk), ri, cj)
+				if !vecsEqual(got.Val, want.Val, 0) {
+					t.Errorf("workers=%d: ScaleRowsColsP diverges", wk)
+				}
+			}
+		})
+	}
+}
+
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	for name, m := range adversarialMatrices(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := randx.New(13)
+			v := make([]float64, m.Cols())
+			for i := range v {
+				v[i] = rng.Normal(0, 1)
+			}
+			want := make([]float64, m.Rows())
+			m.MulVec(v, want)
+			for _, wk := range workerGrid() {
+				got := make([]float64, m.Rows())
+				m.MulVecP(forced(wk), v, got)
+				if !vecsEqual(got, want, 0) {
+					t.Errorf("workers=%d: MulVecP diverges", wk)
+				}
+			}
+		})
+	}
+}
+
+func TestDenseMulCSRParallelMatchesSerial(t *testing.T) {
+	rng := randx.New(17)
+	for name, m := range adversarialMatrices(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{1, 3, 32} {
+				x := mat.NewDense(n, m.Rows())
+				for i := 0; i < n; i++ {
+					row := x.Row(i)
+					for j := range row {
+						row[j] = rng.Normal(0, 1)
+					}
+				}
+				want := DenseMulCSR(x, m)
+				for _, wk := range workerGrid() {
+					got := DenseMulCSRP(forced(wk), x, m)
+					if !got.EqualApprox(want, 0) {
+						t.Errorf("workers=%d n=%d: DenseMulCSRP diverges", wk, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSupportGradParallelMatchesSerial(t *testing.T) {
+	rng := randx.New(19)
+	for name, m := range adversarialMatrices(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{1, 4, 16} {
+				a := mat.NewDense(n, m.Rows())
+				b := mat.NewDense(n, m.Cols())
+				for i := 0; i < n; i++ {
+					for j := 0; j < m.Rows(); j++ {
+						a.Set(i, j, rng.Normal(0, 1))
+					}
+					for j := 0; j < m.Cols(); j++ {
+						b.Set(i, j, rng.Normal(0, 1))
+					}
+				}
+				want := SupportGrad(m, a, b)
+				for _, wk := range workerGrid() {
+					got := SupportGradP(forced(wk), m, a, b)
+					// Bit-identical: the r-accumulation order per
+					// stored position is unchanged by row partitioning.
+					if !vecsEqual(got, want, 0) {
+						t.Errorf("workers=%d n=%d: SupportGradP diverges", wk, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransposeParallelRoundTrip checks (Wᵀ)ᵀ = W through the parallel
+// two-phase transpose on a matrix large enough to split.
+func TestTransposeParallelRoundTrip(t *testing.T) {
+	m := adversarialMatrices(t)["random-skewed"]
+	for _, wk := range workerGrid() {
+		r := forced(wk)
+		back := m.TransposeP(r).TransposeP(r)
+		if !back.SamePattern(m) || !vecsEqual(back.Val, m.Val, 0) {
+			t.Fatalf("workers=%d: double transpose is not identity", wk)
+		}
+	}
+}

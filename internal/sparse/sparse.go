@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // CSR is a compressed-sparse-row matrix. The column indices within each
@@ -145,51 +146,92 @@ func (m *CSR) ZeroLike() *CSR {
 
 // Square returns a same-pattern matrix with each value squared
 // (S = W ∘ W).
-func (m *CSR) Square() *CSR {
+func (m *CSR) Square() *CSR { return m.SquareP(nil) }
+
+// SquareP is Square fanned out across a parallel.Runner (nil runs
+// serially). Output is bit-identical to Square for every worker count.
+func (m *CSR) SquareP(r *parallel.Runner) *CSR {
 	v := make([]float64, len(m.Val))
-	for i, x := range m.Val {
-		v[i] = x * x
-	}
+	r.For(len(m.Val), len(m.Val), func(lo, hi, _ int) {
+		for p := lo; p < hi; p++ {
+			x := m.Val[p]
+			v[p] = x * x
+		}
+	})
 	return m.WithValues(v)
 }
 
 // RowSums returns the vector of row sums.
-func (m *CSR) RowSums() []float64 {
+func (m *CSR) RowSums() []float64 { return m.RowSumsP(nil) }
+
+// RowSumsP is RowSums partitioned over row ranges (nnz-balanced).
+// Each output element is written by exactly one worker, so the result
+// is bit-identical to RowSums for every worker count.
+func (m *CSR) RowSumsP(runner *parallel.Runner) []float64 {
 	r := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		var s float64
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			s += m.Val[p]
+	runner.ForWeighted(m.RowPtr, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				s += m.Val[p]
+			}
+			r[i] = s
 		}
-		r[i] = s
-	}
+	})
 	return r
 }
 
 // ColSums returns the vector of column sums.
-func (m *CSR) ColSums() []float64 {
+func (m *CSR) ColSums() []float64 { return m.ColSumsP(nil) }
+
+// ColSumsP is ColSums with per-worker partial vectors reduced in slot
+// order. The reduction is deterministic for a fixed worker count but —
+// unlike the row-partitioned kernels — may differ from the serial
+// result in the last few ulps, since summation order changes.
+func (m *CSR) ColSumsP(runner *parallel.Runner) []float64 {
 	c := make([]float64, m.cols)
-	for i := 0; i < m.rows; i++ {
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			c[m.ColIdx[p]] += m.Val[p]
+	if runner.Serial(m.rows, len(m.Val)) {
+		for i := 0; i < m.rows; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				c[m.ColIdx[p]] += m.Val[p]
+			}
 		}
+		return c
 	}
+	partials := make([][]float64, runner.Workers())
+	parts := runner.ForWeighted(m.RowPtr, func(lo, hi, w int) {
+		buf := make([]float64, m.cols)
+		for i := lo; i < hi; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				buf[m.ColIdx[p]] += m.Val[p]
+			}
+		}
+		partials[w] = buf
+	})
+	parallel.SumVecs(c, partials[:parts])
 	return c
 }
 
 // ScaleRowsCols overwrites each entry m[i,j] *= ri[i] * cj[j]. This is
 // the O(nnz) diagonal-similarity step S ← D⁻¹ S D of the paper's
 // Eq. (5) when called with ri = 1/b and cj = b.
-func (m *CSR) ScaleRowsCols(ri, cj []float64) {
+func (m *CSR) ScaleRowsCols(ri, cj []float64) { m.ScaleRowsColsP(nil, ri, cj) }
+
+// ScaleRowsColsP is ScaleRowsCols partitioned over row ranges; every
+// stored value is written by exactly one worker, so the result is
+// bit-identical to the serial kernel for every worker count.
+func (m *CSR) ScaleRowsColsP(runner *parallel.Runner, ri, cj []float64) {
 	if len(ri) != m.rows || len(cj) != m.cols {
 		panic("sparse: ScaleRowsCols dimension mismatch")
 	}
-	for i := 0; i < m.rows; i++ {
-		r := ri[i]
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			m.Val[p] *= r * cj[m.ColIdx[p]]
+	runner.ForWeighted(m.RowPtr, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			r := ri[i]
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				m.Val[p] *= r * cj[m.ColIdx[p]]
+			}
 		}
-	}
+	})
 }
 
 // Threshold zeroes stored values with |v| < theta (pattern unchanged)
@@ -253,51 +295,125 @@ func (m *CSR) SumAbs() float64 {
 }
 
 // Transpose returns mᵀ as a new CSR matrix.
-func (m *CSR) Transpose() *CSR {
+func (m *CSR) Transpose() *CSR { return m.TransposeP(nil) }
+
+// TransposeP is Transpose parallelized as a two-phase count + scatter:
+// each worker counts column frequencies over its (nnz-balanced) row
+// range, a serial prefix pass turns the per-worker counts into
+// disjoint write cursors, and the scatter phase reuses the same
+// partition so no two workers touch the same output slot. Because the
+// cursors are laid out part-major in source-row order, the output —
+// including the source-row ordering within each transposed row — is
+// bit-identical to the serial Transpose for every worker count.
+func (m *CSR) TransposeP(runner *parallel.Runner) *CSR {
 	t := &CSR{rows: m.cols, cols: m.rows,
 		RowPtr: make([]int, m.cols+1),
 		ColIdx: make([]int, len(m.Val)),
 		Val:    make([]float64, len(m.Val)),
 	}
-	for _, c := range m.ColIdx {
-		t.RowPtr[c+1]++
+	if runner.Serial(m.rows, len(m.Val)) {
+		for _, c := range m.ColIdx {
+			t.RowPtr[c+1]++
+		}
+		for i := 0; i < m.cols; i++ {
+			t.RowPtr[i+1] += t.RowPtr[i]
+		}
+		next := append([]int(nil), t.RowPtr...)
+		for i := 0; i < m.rows; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				c := m.ColIdx[p]
+				q := next[c]
+				next[c]++
+				t.ColIdx[q] = i
+				t.Val[q] = m.Val[p]
+			}
+		}
+		return t
 	}
-	for i := 0; i < m.cols; i++ {
-		t.RowPtr[i+1] += t.RowPtr[i]
-	}
-	next := append([]int(nil), t.RowPtr...)
-	for i := 0; i < m.rows; i++ {
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			c := m.ColIdx[p]
-			q := next[c]
-			next[c]++
-			t.ColIdx[q] = i
-			t.Val[q] = m.Val[p]
+	ranges := parallel.SplitByWeight(m.RowPtr, runner.Workers())
+	counts := make([][]int, len(ranges))
+	parallel.Run(ranges, func(lo, hi, w int) {
+		cnt := make([]int, m.cols)
+		for p := m.RowPtr[lo]; p < m.RowPtr[hi]; p++ {
+			cnt[m.ColIdx[p]]++
+		}
+		counts[w] = cnt
+	})
+	running := 0
+	for c := 0; c < m.cols; c++ {
+		t.RowPtr[c] = running
+		for w := range counts {
+			n := counts[w][c]
+			counts[w][c] = running // becomes part w's write cursor for column c
+			running += n
 		}
 	}
+	t.RowPtr[m.cols] = running
+	parallel.Run(ranges, func(lo, hi, w int) {
+		next := counts[w]
+		for i := lo; i < hi; i++ {
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				c := m.ColIdx[p]
+				q := next[c]
+				next[c]++
+				t.ColIdx[q] = i
+				t.Val[q] = m.Val[p]
+			}
+		}
+	})
 	return t
+}
+
+// MulVec computes out = m·v, the O(nnz) matvec behind the Hutchinson
+// h-estimator's Taylor recurrence. len(v) must equal Cols() and
+// len(out) must equal Rows().
+func (m *CSR) MulVec(v, out []float64) { m.MulVecP(nil, v, out) }
+
+// MulVecP is MulVec partitioned over row ranges; each out[i] is
+// written by exactly one worker (bit-identical for every worker
+// count).
+func (m *CSR) MulVecP(runner *parallel.Runner, v, out []float64) {
+	if len(v) != m.cols || len(out) != m.rows {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	runner.ForWeighted(m.RowPtr, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				s += m.Val[p] * v[m.ColIdx[p]]
+			}
+			out[i] = s
+		}
+	})
 }
 
 // DenseMulCSR computes X·W for dense X (n×d) and sparse W (d×m),
 // returning a dense n×m matrix in O(n·nnz/d · d) = O(n·nnz) time —
 // the residual computation X·W of the LEAST-SP loss.
-func DenseMulCSR(x *mat.Dense, w *CSR) *mat.Dense {
+func DenseMulCSR(x *mat.Dense, w *CSR) *mat.Dense { return DenseMulCSRP(nil, x, w) }
+
+// DenseMulCSRP is DenseMulCSR partitioned over the rows of x; each
+// output row belongs to exactly one worker, so the product is
+// bit-identical to the serial kernel for every worker count.
+func DenseMulCSRP(runner *parallel.Runner, x *mat.Dense, w *CSR) *mat.Dense {
 	if x.Cols() != w.rows {
 		panic(fmt.Sprintf("sparse: DenseMulCSR %dx%d by %dx%d", x.Rows(), x.Cols(), w.rows, w.cols))
 	}
 	out := mat.NewDense(x.Rows(), w.cols)
-	for i := 0; i < x.Rows(); i++ {
-		xrow := x.Row(i)
-		orow := out.Row(i)
-		for k, xv := range xrow {
-			if xv == 0 {
-				continue
-			}
-			for p := w.RowPtr[k]; p < w.RowPtr[k+1]; p++ {
-				orow[w.ColIdx[p]] += xv * w.Val[p]
+	runner.For(x.Rows(), x.Rows()*(w.rows+w.NNZ()), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			xrow := x.Row(i)
+			orow := out.Row(i)
+			for k, xv := range xrow {
+				if xv == 0 {
+					continue
+				}
+				for p := w.RowPtr[k]; p < w.RowPtr[k+1]; p++ {
+					orow[w.ColIdx[p]] += xv * w.Val[p]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -307,6 +423,17 @@ func DenseMulCSR(x *mat.Dense, w *CSR) *mat.Dense {
 // with A = X_B and B = (X_B·W − X_B) it yields (X_BᵀR)|support in
 // O(nnz·batch) time without ever forming the dense d×d product.
 func SupportGrad(pattern *CSR, a, b *mat.Dense) []float64 {
+	return SupportGradP(nil, pattern, a, b)
+}
+
+// SupportGradP is SupportGrad partitioned over the rows of pattern:
+// each worker owns a contiguous slice of stored positions, so no two
+// workers write the same g[p]. For any fixed position the r-summation
+// order is unchanged, making the result bit-identical to the serial
+// kernel for every worker count. (The serial path keeps the sample-
+// row-streaming loop order, which is kinder to the cache when the
+// batch is tall.)
+func SupportGradP(runner *parallel.Runner, pattern *CSR, a, b *mat.Dense) []float64 {
 	if a.Rows() != b.Rows() {
 		panic("sparse: SupportGrad row mismatch")
 	}
@@ -315,18 +442,39 @@ func SupportGrad(pattern *CSR, a, b *mat.Dense) []float64 {
 	}
 	g := make([]float64, pattern.NNZ())
 	n := a.Rows()
-	for r := 0; r < n; r++ {
-		arow := a.Row(r)
-		brow := b.Row(r)
-		for i := 0; i < pattern.rows; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			for p := pattern.RowPtr[i]; p < pattern.RowPtr[i+1]; p++ {
-				g[p] += av * brow[pattern.ColIdx[p]]
+	if runner.Serial(pattern.rows, n*(pattern.rows+pattern.NNZ())) {
+		for r := 0; r < n; r++ {
+			arow := a.Row(r)
+			brow := b.Row(r)
+			for i := 0; i < pattern.rows; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				for p := pattern.RowPtr[i]; p < pattern.RowPtr[i+1]; p++ {
+					g[p] += av * brow[pattern.ColIdx[p]]
+				}
 			}
 		}
+		return g
 	}
+	// Split directly rather than via ForWeighted: the latter would
+	// re-gate on nnz alone and silently drop to serial for tall-batch
+	// shapes whose true work (n-scaled, judged above) merits fan-out.
+	parallel.Run(parallel.SplitByWeight(pattern.RowPtr, runner.Workers()), func(lo, hi, _ int) {
+		for r := 0; r < n; r++ {
+			arow := a.Row(r)
+			brow := b.Row(r)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				for p := pattern.RowPtr[i]; p < pattern.RowPtr[i+1]; p++ {
+					g[p] += av * brow[pattern.ColIdx[p]]
+				}
+			}
+		}
+	})
 	return g
 }

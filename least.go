@@ -88,6 +88,16 @@ type Options struct {
 	// paper's §V-A fairness termination. O(d³) per check in dense
 	// mode (Hutchinson-estimated in sparse mode).
 	ExactTermination bool
+	// Parallelism bounds the worker fan-out of the sparse execution
+	// backend (the CSR spectral-bound kernels, the sparse loss, and
+	// the Hutchinson trace matvecs): 0 picks runtime.GOMAXPROCS, 1
+	// forces single-threaded execution, n > 1 caps the pool at n
+	// workers. Problems below the backend's work threshold run
+	// serially regardless, so small graphs pay no goroutine overhead.
+	// Results are deterministic for a fixed worker count; set 1 for
+	// bit-exact reproducibility across machines with different core
+	// counts.
+	Parallelism int
 	// SinkNodes constrains the listed variables to have no outgoing
 	// edges (pure effects). Dense mode only.
 	SinkNodes []int
@@ -137,6 +147,7 @@ func (o Options) internal() core.Options {
 		c.MaxInner = o.MaxInner
 	}
 	c.CheckH = o.ExactTermination
+	c.Parallelism = o.Parallelism
 	c.SinkNodes = o.SinkNodes
 	if o.Seed != 0 {
 		c.Seed = o.Seed
