@@ -1,18 +1,29 @@
 # Tier-1 verification and developer workflow for the LEAST
-# reproduction. `make ci` is the one-command gate: vet + build + the
-# race-enabled short test suite.
+# reproduction. `make ci` is the one-command gate: vet + build +
+# docs-check + the race-enabled short test suite.
 
 GO ?= go
 
-.PHONY: ci vet build test test-short bench bench-parallel sweep clean
+.PHONY: ci vet build docs-check test test-short bench bench-parallel sweep serve clean
 
-ci: vet build test-short
+ci: vet build docs-check test-short
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Every `DESIGN.md §N` citation in the Go sources must resolve to a
+# `## §N …` section heading in DESIGN.md.
+docs-check:
+	@test -f DESIGN.md || { echo "docs-check: DESIGN.md is cited but missing"; exit 1; }
+	@fail=0; \
+	for sec in $$(grep -rhoE 'DESIGN\.md §[0-9]+' --include='*.go' . | grep -oE '§[0-9]+' | sort -u); do \
+		grep -qE "^#+ $$sec( |$$)" DESIGN.md \
+			|| { echo "docs-check: dangling reference: DESIGN.md $$sec has no matching section"; fail=1; }; \
+	done; \
+	[ $$fail -eq 0 ] && echo "docs-check: all DESIGN.md section references resolve" || exit 1
 
 # Full suite — includes the long experiment shapes (several minutes).
 test:
@@ -33,6 +44,10 @@ bench-parallel:
 # Worker-count sweep on this machine (pick Options.Parallelism).
 sweep:
 	$(GO) run ./cmd/leastbench -exp par-sweep
+
+# Run the serving daemon locally (see README "Serving").
+serve:
+	$(GO) run ./cmd/leastd -addr :8080
 
 clean:
 	$(GO) clean ./...

@@ -12,15 +12,14 @@
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 
 	"repro"
 	"repro/internal/bnet"
+	"repro/internal/csvio"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -103,37 +102,12 @@ func readCSV(path string, header bool) (*least.Matrix, []string, error) {
 		return nil, nil, err
 	}
 	defer f.Close()
-	rows, err := csv.NewReader(f).ReadAll()
+	x, names, err := csvio.ReadMatrix(f, header)
 	if err != nil {
-		return nil, nil, err
-	}
-	if len(rows) == 0 {
-		return nil, nil, fmt.Errorf("%s: empty file", path)
-	}
-	var names []string
-	if header {
-		names = rows[0]
-		rows = rows[1:]
-	}
-	if len(rows) == 0 {
-		return nil, nil, fmt.Errorf("%s: no data rows", path)
-	}
-	d := len(rows[0])
-	x := least.NewMatrix(len(rows), d)
-	for i, row := range rows {
-		if len(row) != d {
-			return nil, nil, fmt.Errorf("%s: row %d has %d fields, want %d", path, i+1, len(row), d)
-		}
-		for j, s := range row {
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s: row %d col %d: %v", path, i+1, j+1, err)
-			}
-			x.Set(i, j, v)
-		}
+		return nil, nil, fmt.Errorf("%s: %v", path, err)
 	}
 	if names == nil {
-		names = make([]string, d)
+		names = make([]string, x.Cols())
 		for j := range names {
 			names[j] = fmt.Sprintf("X%d", j)
 		}

@@ -1,0 +1,114 @@
+// Command leastd serves LEAST structure learning over HTTP — the
+// reproduction of the paper's §VI deployment shape, where thousands of
+// learning tasks a day run as a service behind monitoring and
+// recommendation pipelines. It fronts a bounded concurrent-learn pool
+// (internal/serve) with cancellable jobs, iteration-level progress and
+// an LRU result cache; see DESIGN.md §4 and the README "Serving"
+// walkthrough.
+//
+// Usage:
+//
+//	leastd -addr :8080 -jobs 2 -cache 64
+//
+// API (JSON):
+//
+//	POST   /v1/jobs             submit: {"csv": "...", "header": true}
+//	                            or {"samples": [[...], ...]}, plus
+//	                            {"options": {"sparse": true, ...}}
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + iteration progress
+//	GET    /v1/jobs/{id}/graph  learned network (bnet JSON), ?tau=0.3
+//	DELETE /v1/jobs/{id}        cancel (mid-run cancellation lands
+//	                            within one inner iteration)
+//	GET    /healthz             liveness + cache counters
+//
+// SIGINT/SIGTERM drain gracefully: in-flight HTTP requests and running
+// jobs get a grace period before being cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run drives one leastd invocation; split from main so the smoke tests
+// can exercise the daemon in-process. It serves until ctx is
+// cancelled, then drains.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leastd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	jobs := fs.Int("jobs", 2, "concurrent learn jobs (each job's parallelism is capped at cores/jobs)")
+	queue := fs.Int("queue", 64, "admission queue depth before load shedding")
+	cache := fs.Int("cache", 64, "result-cache capacity in entries (-1 disables)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for running jobs")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *jobs < 1 || *queue < 1 {
+		fmt.Fprintln(stderr, "leastd: -jobs and -queue must be at least 1")
+		return 2
+	}
+
+	mgr := serve.NewManager(serve.Config{
+		MaxConcurrent: *jobs,
+		QueueDepth:    *queue,
+		CacheSize:     *cache,
+	})
+	srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastd:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "leastd listening on %s (jobs=%d queue=%d cache=%d)\n",
+		ln.Addr(), *jobs, *queue, *cache)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stderr, "leastd: shutting down")
+		// Each drain phase gets its own grace budget: a slow in-flight
+		// HTTP request must not eat the running jobs' grace period.
+		httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *grace)
+		defer cancelHTTP()
+		if err := srv.Shutdown(httpCtx); err != nil {
+			fmt.Fprintln(stderr, "leastd: http shutdown:", err)
+		}
+		jobsCtx, cancelJobs := context.WithTimeout(context.Background(), *grace)
+		defer cancelJobs()
+		mgr.Shutdown(jobsCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		return 0
+	case err := <-errc:
+		// Listener failed underneath us; drain with the same grace
+		// budget so a long-running job cannot wedge the exit.
+		fmt.Fprintln(stderr, "leastd:", err)
+		jobsCtx, cancelJobs := context.WithTimeout(context.Background(), *grace)
+		defer cancelJobs()
+		mgr.Shutdown(jobsCtx)
+		return 1
+	}
+}

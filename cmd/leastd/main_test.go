@@ -1,0 +1,213 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a concurrency-safe writer the daemon logs into while
+// the test polls it for the bound address.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	var out, errb syncBuffer
+	if code := run(ctx, []string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run(ctx, []string{"-jobs", "0"}, &out, &errb); code != 2 {
+		t.Errorf("jobs=0: exit %d, want 2", code)
+	}
+	if code := run(ctx, []string{"-addr", "256.256.256.256:1"}, &out, &errb); code != 1 {
+		t.Errorf("unlistenable addr: exit %d, want 1", code)
+	}
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ ]+)`)
+
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-jobs", "1", "-grace", "2s"}, &out, &errb)
+	}()
+
+	// Wait for the daemon to report its bound address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stderr:\n%s", errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	// Submit a tiny job through the real daemon and wait for it.
+	submit := `{"samples": [[1,2],[2,4],[3,5],[0.5,1.2],[1.5,2.9],[2.5,5.2],[0.2,0.3],[1.8,3.7]],
+	            "options": {"lambda": 0.1, "max_outer": 4}}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(submit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+
+	// Graceful shutdown: SIGINT equivalent.
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit %d; stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not shut down; stderr:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "shutting down") {
+		t.Errorf("missing shutdown log; stderr:\n%s", errb.String())
+	}
+	// The drained daemon must refuse new connections.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonEndToEndJobOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full daemon round trip skipped in -short")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-jobs", "1"}, &out, &errb)
+	}()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stderr:\n%s", errb.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	// Chain data A→B→C, CSV form — the curl walkthrough of the README.
+	var sb strings.Builder
+	sb.WriteString("A,B,C\n")
+	state := uint64(7)
+	noise := func() float64 {
+		var s float64
+		for k := 0; k < 4; k++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			s += float64(state%1000)/1000.0 - 0.5
+		}
+		return s * 0.1
+	}
+	for i := 0; i < 150; i++ {
+		a := noise() * 10
+		b := 1.5*a + noise()
+		c := -1.2*b + noise()
+		fmt.Fprintf(&sb, "%.6f,%.6f,%.6f\n", a, b, c)
+	}
+	csvDoc := strings.ReplaceAll(sb.String(), "\n", `\n`)
+	submit := fmt.Sprintf(`{"csv": "%s", "header": true, "center": true, "options": {"epsilon": 0.001}}`, csvDoc)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(submit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	idm := regexp.MustCompile(`"id": "([^"]+)"`).FindStringSubmatch(string(body))
+	if idm == nil {
+		t.Fatalf("no job id in %s", body)
+	}
+	id := idm[1]
+
+	pollDeadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err = http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), `"done"`) {
+			break
+		}
+		if strings.Contains(string(body), `"failed"`) || time.Now().After(pollDeadline) {
+			t.Fatalf("job did not finish: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + id + "/graph?tau=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"nodes"`) {
+		t.Fatalf("graph: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "A") || !strings.Contains(string(body), `"edges"`) {
+		t.Fatalf("graph missing named nodes/edges: %s", body)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit")
+	}
+}

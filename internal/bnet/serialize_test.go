@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/mat"
+	"repro/internal/sparse"
 )
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -26,6 +27,74 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if got.Weight(0, 1) != 0.5 || got.Weight(1, 2) != -0.25 {
 		t.Fatal("weights lost")
+	}
+}
+
+// TestJSONRoundTripCSRAndStability covers the serving-API usage of the
+// interchange format: a network built from sparse weights must survive
+// write → read → write with byte-identical output (the stable edge
+// ordering is what makes cached graph responses reproducible), and
+// every weight — including negative and sub-threshold-magnitude ones —
+// must round-trip exactly.
+func TestJSONRoundTripCSRAndStability(t *testing.T) {
+	d := mat.NewDense(5, 5)
+	d.Set(0, 1, 1.25)
+	d.Set(1, 2, -0.75)
+	d.Set(3, 0, 0.5)
+	d.Set(2, 4, 1e-3) // below tau: must NOT appear
+	w := sparse.FromDense(d, 0)
+	names := []string{"n0", "n1", "n2", "n3", "n4"}
+	n := FromCSR(w, 0.1, names)
+
+	var first bytes.Buffer
+	if err := n.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 5 || got.NumEdges() != 3 {
+		t.Fatalf("round trip: %d nodes, %d edges", got.N(), got.NumEdges())
+	}
+	for _, e := range []struct {
+		from, to int
+		w        float64
+	}{{0, 1, 1.25}, {1, 2, -0.75}, {3, 0, 0.5}} {
+		if got.Weight(e.from, e.to) != e.w {
+			t.Fatalf("edge %d→%d weight %g, want %g", e.from, e.to, got.Weight(e.from, e.to), e.w)
+		}
+	}
+	if got.Weight(2, 4) != 0 {
+		t.Fatal("sub-threshold edge leaked through serialization")
+	}
+	for i, name := range names {
+		if got.Name(i) != name {
+			t.Fatalf("name %d = %q, want %q", i, got.Name(i), name)
+		}
+	}
+
+	var second bytes.Buffer
+	if err := got.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("write → read → write not stable:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+func TestJSONRoundTripEmptyNetwork(t *testing.T) {
+	n := FromDense(mat.NewDense(3, 3), 0.1, nil)
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 3 || got.NumEdges() != 0 {
+		t.Fatalf("empty network round trip: %d nodes, %d edges", got.N(), got.NumEdges())
 	}
 }
 

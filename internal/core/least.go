@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -109,6 +110,24 @@ type Options struct {
 	// the kind of light domain knowledge §VI-A assumes when it reads
 	// paths *into* the error nodes. Dense learner only.
 	SinkNodes []int
+	// Progress, when non-nil, is invoked after every inner iteration
+	// with a snapshot of the optimization state. It is called on the
+	// learner's goroutine, so implementations must be fast and must not
+	// block (the serving layer stores the snapshot behind a mutex).
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time snapshot of a running learn, delivered
+// through Options.Progress — the signal behind the serving layer's
+// GET /v1/jobs/{id} iteration reporting.
+type Progress struct {
+	// Solves counts inner solves started (outer iterations including
+	// ρ-escalation re-solves); Inner counts cumulative inner iterations.
+	Solves, Inner int
+	// Delta is the current (normalized) spectral-bound value.
+	Delta float64
+	// Elapsed is the wall-clock time since the learn started.
+	Elapsed time.Duration
 }
 
 // DefaultOptions returns the paper's parameter settings (§V).
@@ -163,12 +182,25 @@ type Result struct {
 	Elapsed time.Duration
 	// Converged reports whether the ε-tolerance was met.
 	Converged bool
+	// Cancelled reports that the run was stopped early by its context
+	// (Converged is false in that case and W holds the last iterate).
+	Cancelled bool
 }
 
 // Dense runs LEAST with a dense weight matrix on the sample matrix x
 // (n×d). It is the accuracy/efficiency workhorse used for every Fig-4
 // and gene-data experiment.
 func Dense(x *mat.Dense, o Options) *Result {
+	return DenseCtx(context.Background(), x, o)
+}
+
+// DenseCtx is Dense under a context: cancellation is observed at inner-
+// iteration granularity (the result carries the last iterate with
+// Cancelled set) and Options.Progress, if present, is notified after
+// every iteration. This is the entry point of the serving layer, which
+// needs to abort long-running jobs without waiting out the
+// augmented-Lagrangian schedule.
+func DenseCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
 	start := time.Now()
 	d := x.Cols()
 	rng := randx.New(o.Seed)
@@ -197,13 +229,19 @@ func Dense(x *mat.Dense, o Options) *Result {
 
 	batcher := newBatcher(rng, x, o.BatchSize)
 	lr := lrSchedule(o)
+	solves := 0
 	inner := func(rho, eta float64) float64 {
+		solves++
 		adam.Reset()
 		adam.SetLR(lr())
 		prevObj := math.Inf(1)
 		calm := 0
 		var delta float64
 		for it := 0; it < o.MaxInner; it++ {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
 			res.InnerIters++
 			var gradC *mat.Dense
 			delta, gradC = sp.ValueGrad(w)
@@ -241,6 +279,9 @@ func Dense(x *mat.Dense, o Options) *Result {
 					H:       h,
 				})
 			}
+			if o.Progress != nil {
+				o.Progress(Progress{Solves: solves, Inner: res.InnerIters, Delta: delta, Elapsed: time.Since(start)})
+			}
 			if loss.NaNGuard(obj) {
 				break
 			}
@@ -272,7 +313,14 @@ func Dense(x *mat.Dense, o Options) *Result {
 		RhoInit: 1, EtaInit: 0, RhoGrowth: o.RhoGrowth,
 		RhoMax: 1e16, Epsilon: o.Epsilon, MaxOuter: o.MaxOuter,
 		ProgressFactor: 0.25,
+		Cancelled:      func() bool { return ctx.Err() != nil },
 	}, inner, stop)
+	// The outer loop may observe the cancellation between inner
+	// iterations (after the loop's own ctx check); make sure a
+	// truncated run is never reported as a normal completion.
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 
 	res.W = w
 	res.Delta = st.Delta
@@ -280,7 +328,7 @@ func Dense(x *mat.Dense, o Options) *Result {
 	res.OuterIters = st.Outer
 	res.Converged = st.Converged
 	res.Elapsed = time.Since(start)
-	if o.CheckH && res.H == 0 && len(res.HTrace) == 0 {
+	if o.CheckH && res.H == 0 && len(res.HTrace) == 0 && !res.Cancelled {
 		res.H = constraint.NotearsH(w)
 	}
 	return res
@@ -291,13 +339,25 @@ func Dense(x *mat.Dense, o Options) *Result {
 // O(B·(d+s) + k·s). This is the learner behind the Fig-5 scalability
 // experiments.
 func Sparse(x *mat.Dense, o Options) *Result {
-	return SparseWithSupport(x, o, nil)
+	return SparseWithSupportCtx(context.Background(), x, o, nil)
+}
+
+// SparseCtx is Sparse under a context — see DenseCtx for the
+// cancellation and progress contract.
+func SparseCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
+	return SparseWithSupportCtx(ctx, x, o, nil)
 }
 
 // SparseWithSupport is Sparse but guarantees the candidate support
 // contains the given coordinates (application pipelines seed it with
 // domain-suggested edges, e.g. log-entity co-occurrence pairs).
 func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
+	return SparseWithSupportCtx(context.Background(), x, o, must)
+}
+
+// SparseWithSupportCtx is SparseWithSupport under a context — see
+// DenseCtx for the cancellation and progress contract.
+func SparseWithSupportCtx(ctx context.Context, x *mat.Dense, o Options, must []sparse.Coord) *Result {
 	start := time.Now()
 	d := x.Cols()
 	rng := randx.New(o.Seed)
@@ -324,7 +384,16 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 	lr := lrSchedule(o)
 	budget := w.NNZ()
 	firstSolve := true
+	solves := 0
 	inner := func(rho, eta float64) float64 {
+		solves++
+		if ctx.Err() != nil {
+			// Abandoned run: skip even the O(k·nnz) forward pass. The
+			// outer loop breaks on its own cancellation check before
+			// this value can influence convergence accounting.
+			res.Cancelled = true
+			return math.Inf(1)
+		}
 		if !firstSolve && !o.NoSupportRefresh {
 			w = refreshSupport(run, w, x, rng, budget)
 			w.ZeroDiagonal()
@@ -337,6 +406,10 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 		prevObj := math.Inf(1)
 		calm := 0
 		for it := 0; it < o.MaxInner; it++ {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
 			res.InnerIters++
 			delta, gradC := sp.ValueGradSparse(w)
 			if norm != 1 {
@@ -364,6 +437,9 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 					Delta:   delta,
 					H:       hutchH(run, w, rng.Split(), 8, 24),
 				})
+			}
+			if o.Progress != nil {
+				o.Progress(Progress{Solves: solves, Inner: res.InnerIters, Delta: delta, Elapsed: time.Since(start)})
 			}
 			if loss.NaNGuard(obj) {
 				break
@@ -399,7 +475,13 @@ func SparseWithSupport(x *mat.Dense, o Options, must []sparse.Coord) *Result {
 		RhoInit: 1, EtaInit: 0, RhoGrowth: o.RhoGrowth,
 		RhoMax: 1e16, Epsilon: o.Epsilon, MaxOuter: o.MaxOuter,
 		ProgressFactor: 0.25,
+		Cancelled:      func() bool { return ctx.Err() != nil },
 	}, inner, stop)
+	// As in DenseCtx: a cancellation seen only by the outer loop must
+	// still surface as Cancelled, never as a normal completion.
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 
 	res.WSparse = w
 	if d <= 4096 {

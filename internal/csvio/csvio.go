@@ -1,0 +1,52 @@
+// Package csvio reads sample matrices from CSV — the one parser
+// shared by every surface that accepts CSV input (cmd/leastcli, the
+// leastd serving API), so the header/name handling and validation
+// cannot drift between them.
+package csvio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/mat"
+)
+
+// ReadMatrix parses a CSV document with one column per variable and
+// one row per observation. With header set, the first row names the
+// variables and is returned as names; otherwise names is nil and the
+// caller chooses its own labels. Every row must have the same width
+// and every field must parse as a float.
+func ReadMatrix(r io.Reader, header bool) (*mat.Dense, []string, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil, errors.New("empty CSV document")
+	}
+	var names []string
+	if header {
+		names = rows[0]
+		rows = rows[1:]
+	}
+	if len(rows) == 0 {
+		return nil, nil, errors.New("no data rows")
+	}
+	// csv.Reader (default FieldsPerRecord) already rejects ragged rows
+	// in ReadAll, so every row here has the same width.
+	d := len(rows[0])
+	x := mat.NewDense(len(rows), d)
+	for i, row := range rows {
+		for j, s := range row {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d col %d: %v", i+1, j+1, err)
+			}
+			x.Set(i, j, v)
+		}
+	}
+	return x, names, nil
+}

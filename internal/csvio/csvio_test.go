@@ -1,0 +1,49 @@
+package csvio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixWithHeader(t *testing.T) {
+	x, names, err := ReadMatrix(strings.NewReader("a,b\n1,2\n3.5,-4\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if x.Rows() != 2 || x.Cols() != 2 || x.At(1, 0) != 3.5 || x.At(1, 1) != -4 {
+		t.Fatalf("matrix = %v", x)
+	}
+}
+
+func TestReadMatrixNoHeader(t *testing.T) {
+	x, names, err := ReadMatrix(strings.NewReader("1,2\n3,4\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names != nil {
+		t.Fatalf("names should be nil without header, got %v", names)
+	}
+	if x.Rows() != 2 || x.At(0, 1) != 2 {
+		t.Fatalf("matrix = %v", x)
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	cases := []struct {
+		name, doc string
+		header    bool
+	}{
+		{"empty", "", false},
+		{"header only", "a,b\n", true},
+		{"ragged", "1,2\n3\n", false},
+		{"non-numeric", "1,x\n", false},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadMatrix(strings.NewReader(c.doc), c.header); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

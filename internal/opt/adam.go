@@ -112,6 +112,12 @@ type AugLagConfig struct {
 	// started) before the multiplier update. 0.25 is the published
 	// NOTEARS value.
 	ProgressFactor float64
+	// Cancelled, when non-nil, is polled between inner solves; once it
+	// returns true the loop exits immediately without marking the run
+	// converged and without further ρ escalations. The learners wire a
+	// context.Context check here so a serving cancellation never has to
+	// wait out the remaining dual-ascent schedule.
+	Cancelled func() bool
 }
 
 // DefaultAugLag returns the paper's outer-loop configuration.
@@ -150,12 +156,13 @@ func RunAugLag(cfg AugLagConfig, inner InnerSolver, stop func(delta float64) boo
 	}
 	st := AugLagState{Delta: math.Inf(1)}
 	prev := math.Inf(1)
+	cancelled := func() bool { return cfg.Cancelled != nil && cfg.Cancelled() }
 	for st.Outer = 1; st.Outer <= cfg.MaxOuter; st.Outer++ {
 		delta := inner(rho, eta)
 		st.Solves++
 		st.DeltaTrace = append(st.DeltaTrace, delta)
 		// Escalate ρ until sufficient decrease (warm-started re-solves).
-		for delta > pf*prev && rho < cfg.RhoMax {
+		for delta > pf*prev && rho < cfg.RhoMax && !cancelled() {
 			rho *= cfg.RhoGrowth
 			delta = inner(rho, eta)
 			st.Solves++
@@ -163,6 +170,9 @@ func RunAugLag(cfg AugLagConfig, inner InnerSolver, stop func(delta float64) boo
 		}
 		st.Delta = delta
 		prev = delta
+		if cancelled() {
+			break
+		}
 		if delta <= cfg.Epsilon || (stop != nil && stop(delta)) {
 			st.Converged = true
 			break

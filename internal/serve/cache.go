@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"sync"
+
+	"repro"
+)
+
+// resultCache is a fixed-capacity LRU over finished learn results,
+// keyed by CacheKey. The §VI deployment learns the same structure for
+// the same monitoring window many times a day (dashboards re-request,
+// retries resubmit); serving those from memory costs a hash instead of
+// minutes of optimization. Entries are immutable once inserted —
+// readers share the *least.Result pointer and must not mutate it.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses int
+}
+
+type cacheEntry struct {
+	key string
+	res *least.Result
+}
+
+// newResultCache returns a cache holding at most capacity results;
+// capacity <= 0 disables caching (every lookup misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*least.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(key string, res *least.Result) {
+	if c.cap <= 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns (hits, misses, size).
+func (c *resultCache) stats() (int, int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// CacheKey fingerprints a submission: the exact float bits of the
+// sample matrix, its shape, the node names, and every learn option.
+// Two submissions collide only when they would provably produce the
+// same result (learning is deterministic given options + seed), which
+// is what makes result reuse safe.
+func CacheKey(x *least.Matrix, names []string, o least.Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(x.Rows())
+	writeInt(x.Cols())
+	// Encode the float bits through a reused chunk buffer: per-call
+	// hash.Write overhead would otherwise dominate sha256 throughput
+	// on large matrices (this runs on the synchronous Submit path).
+	const chunkFloats = 1024
+	chunk := make([]byte, 0, chunkFloats*8)
+	for _, v := range x.Data() {
+		chunk = binary.LittleEndian.AppendUint64(chunk, math.Float64bits(v))
+		if len(chunk) == cap(chunk) {
+			h.Write(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	h.Write(chunk)
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+	}
+	// least.Options is a flat struct of exported scalars (+ SinkNodes),
+	// so its JSON form is a canonical fingerprint of every knob.
+	ob, _ := json.Marshal(o)
+	h.Write(ob)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/bnet"
+	"repro/internal/csvio"
+)
+
+// API is the JSON/HTTP face of a Manager — the v1 surface served by
+// cmd/leastd:
+//
+//	POST   /v1/jobs             submit (CSV or dense-JSON samples + options)
+//	GET    /v1/jobs             list all known jobs
+//	GET    /v1/jobs/{id}        status + iteration progress
+//	GET    /v1/jobs/{id}/graph  learned network (bnet JSON), ?tau= threshold
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness + pool/cache counters
+type API struct {
+	m *Manager
+}
+
+// NewAPI wraps a manager.
+func NewAPI(m *Manager) *API { return &API{m: m} }
+
+// maxRequestBytes bounds a submission body (samples arrive as JSON, so
+// even large-d problems fit comfortably; the cap exists so a single
+// unauthenticated request cannot buffer unbounded memory).
+const maxRequestBytes = 512 << 20
+
+// Handler returns the routed HTTP handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", a.submit)
+	mux.HandleFunc("GET /v1/jobs", a.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/graph", a.graph)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	mux.HandleFunc("GET /healthz", a.health)
+	return mux
+}
+
+// SubmitRequest is the POST /v1/jobs body. Exactly one of CSV or
+// Samples carries the data; Options fields left at zero fall back to
+// the library defaults (least.Defaults).
+type SubmitRequest struct {
+	// CSV is a complete CSV document: one column per variable, one row
+	// per observation; Header marks a leading name row.
+	CSV    string `json:"csv,omitempty"`
+	Header bool   `json:"header,omitempty"`
+	// Samples is the dense alternative: row-major observations.
+	Samples [][]float64 `json:"samples,omitempty"`
+	// Names labels the variables (optional; explicit Names win over a
+	// CSV header row).
+	Names []string `json:"names,omitempty"`
+	// Center subtracts column means before learning.
+	Center  bool        `json:"center,omitempty"`
+	Options *JobOptions `json:"options,omitempty"`
+}
+
+// JobOptions is the wire form of least.Options (zero = default).
+type JobOptions struct {
+	K                int     `json:"k,omitempty"`
+	Alpha            float64 `json:"alpha,omitempty"`
+	Lambda           float64 `json:"lambda,omitempty"`
+	Epsilon          float64 `json:"epsilon,omitempty"`
+	Threshold        float64 `json:"threshold,omitempty"`
+	BatchSize        int     `json:"batch_size,omitempty"`
+	Sparse           bool    `json:"sparse,omitempty"`
+	InitDensity      float64 `json:"init_density,omitempty"`
+	MaxOuter         int     `json:"max_outer,omitempty"`
+	MaxInner         int     `json:"max_inner,omitempty"`
+	ExactTermination bool    `json:"exact_termination,omitempty"`
+	Parallelism      int     `json:"parallelism,omitempty"`
+	SinkNodes        []int   `json:"sink_nodes,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+}
+
+// toOptions overlays the wire fields on the library defaults.
+func (jo *JobOptions) toOptions() least.Options {
+	o := least.Defaults()
+	if jo == nil {
+		return o
+	}
+	if jo.K > 0 {
+		o.K = jo.K
+	}
+	if jo.Alpha > 0 {
+		o.Alpha = jo.Alpha
+	}
+	if jo.Lambda > 0 {
+		o.Lambda = jo.Lambda
+	}
+	if jo.Epsilon > 0 {
+		o.Epsilon = jo.Epsilon
+	}
+	if jo.Threshold > 0 {
+		o.Threshold = jo.Threshold
+	}
+	if jo.BatchSize > 0 {
+		o.BatchSize = jo.BatchSize
+	}
+	o.Sparse = jo.Sparse
+	if jo.InitDensity > 0 {
+		o.InitDensity = jo.InitDensity
+	}
+	if jo.MaxOuter > 0 {
+		o.MaxOuter = jo.MaxOuter
+	}
+	if jo.MaxInner > 0 {
+		o.MaxInner = jo.MaxInner
+	}
+	o.ExactTermination = jo.ExactTermination
+	o.Parallelism = jo.Parallelism
+	o.SinkNodes = jo.SinkNodes
+	if jo.Seed != 0 {
+		o.Seed = jo.Seed
+	}
+	return o
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	x, names, err := req.matrix()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Center {
+		least.Center(x)
+	}
+	j, err := a.m.Submit(x, names, req.Options.toOptions())
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := j.Status()
+	code := http.StatusAccepted
+	if st.State == Done { // answered from the result cache
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// matrix materializes the request's samples.
+func (req *SubmitRequest) matrix() (*least.Matrix, []string, error) {
+	switch {
+	case req.CSV != "" && req.Samples != nil:
+		return nil, nil, errors.New("provide csv or samples, not both")
+	case req.CSV != "":
+		return parseCSV(req.CSV, req.Header, req.Names)
+	case req.Samples != nil:
+		n := len(req.Samples)
+		if n == 0 || len(req.Samples[0]) == 0 {
+			return nil, nil, errors.New("samples must be a non-empty matrix")
+		}
+		d := len(req.Samples[0])
+		x := least.NewMatrix(n, d)
+		for i, row := range req.Samples {
+			if len(row) != d {
+				return nil, nil, fmt.Errorf("samples row %d has %d values, want %d", i, len(row), d)
+			}
+			copy(x.Row(i), row)
+		}
+		return x, req.Names, nil
+	default:
+		return nil, nil, errors.New("missing samples: provide csv or samples")
+	}
+}
+
+// parseCSV reads the CSV form through the shared reader; explicit
+// request names take precedence over a header row.
+func parseCSV(doc string, header bool, names []string) (*least.Matrix, []string, error) {
+	x, headerNames, err := csvio.ReadMatrix(strings.NewReader(doc), header)
+	if err != nil {
+		return nil, nil, fmt.Errorf("csv: %v", err)
+	}
+	if names == nil {
+		names = headerNames
+	}
+	return x, names, nil
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.List())
+}
+
+func (a *API) status(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (a *API) graph(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	tau := 0.3
+	if s := r.URL.Query().Get("tau"); s != "" {
+		tau, err = strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(tau) || math.IsInf(tau, 0) || tau < 0 {
+			httpError(w, http.StatusBadRequest, "bad tau %q", s)
+			return
+		}
+	}
+	res, names, err := j.Result()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	var net *bnet.Network
+	if res.Weights != nil {
+		net = bnet.FromDense(res.Weights, tau, names)
+	} else {
+		net = bnet.FromCSR(res.SparseWeights, tau, names)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := net.WriteJSON(w); err != nil {
+		// headers are gone; nothing better to do than log-level silence
+		return
+	}
+}
+
+func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
+	st, err := a.m.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrFinished):
+		httpError(w, http.StatusConflict, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func (a *API) health(w http.ResponseWriter, r *http.Request) {
+	hits, misses, entries := a.m.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"jobs":          a.m.Len(),
+		"cache_hits":    hits,
+		"cache_misses":  misses,
+		"cache_entries": entries,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(Config{MaxConcurrent: 1})
+	srv := httptest.NewServer(NewAPI(m).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		shutdown(t, m)
+	})
+	return srv, m
+}
+
+func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(b)
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func decodeStatus(t *testing.T, b []byte) Status {
+	t.Helper()
+	var st Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("status decode: %v\n%s", err, b)
+	}
+	return st
+}
+
+// pollUntil polls GET /v1/jobs/{id} until the job reaches want.
+func pollUntil(t *testing.T, base, id string, want State, timeout time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, b := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s: HTTP %d\n%s", id, code, b)
+		}
+		st := decodeStatus(t, b)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s terminal in %s (err %q), want %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// wireGraph mirrors the bnet JSON interchange document.
+type wireGraph struct {
+	Nodes []string `json:"nodes"`
+	Edges []struct {
+		From   int     `json:"from"`
+		To     int     `json:"to"`
+		Weight float64 `json:"weight"`
+	} `json:"edges"`
+}
+
+// erSubmission builds a dense-JSON submission over a generated ER-2
+// dataset — the acceptance workload of the serving layer.
+func erSubmission(seed int64) SubmitRequest {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 15, 2)
+	x := least.SampleLSEM(seed+1, truth, 150, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = append([]float64(nil), x.Row(i)...)
+	}
+	return SubmitRequest{
+		Samples: rows,
+		Options: &JobOptions{Lambda: 0.2, Epsilon: 1e-3, Seed: 5},
+	}
+}
+
+func TestHTTPSubmitPollGraphCacheCancel(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	// Submit an ER-2 job with dense-JSON samples.
+	code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", erSubmission(31))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	st := decodeStatus(t, b)
+	if st.ID == "" || st.State != Queued || st.Vars != 15 || st.Samples != 150 {
+		t.Fatalf("submit status: %+v", st)
+	}
+
+	// Poll to completion; progress counters must have ticked.
+	fin := pollUntil(t, base, st.ID, Done, 60*time.Second)
+	if fin.InnerIters == 0 || fin.Solves == 0 {
+		t.Fatalf("no progress reported: %+v", fin)
+	}
+
+	// Fetch the learned network in the bnet interchange format.
+	code, b = doJSON(t, http.MethodGet, base+"/v1/jobs/"+st.ID+"/graph?tau=0.3", nil)
+	if code != http.StatusOK {
+		t.Fatalf("graph: HTTP %d\n%s", code, b)
+	}
+	var g wireGraph
+	if err := json.Unmarshal(b, &g); err != nil {
+		t.Fatalf("graph decode: %v\n%s", err, b)
+	}
+	if len(g.Nodes) != 15 {
+		t.Fatalf("graph nodes = %d, want 15", len(g.Nodes))
+	}
+	if len(g.Edges) == 0 {
+		t.Fatal("graph has no edges — learn produced nothing")
+	}
+	for _, e := range g.Edges {
+		if e.Weight == 0 {
+			t.Fatalf("edge %d→%d lost its weight", e.From, e.To)
+		}
+	}
+	firstGraph := append([]byte(nil), b...)
+
+	// Garbage thresholds are rejected, including the NaN/Inf footguns
+	// (every |w| > NaN or > +Inf comparison is false → silently empty
+	// graph).
+	for _, bad := range []string{"NaN", "Inf", "-1", "bogus"} {
+		if code, _ = doJSON(t, http.MethodGet, base+"/v1/jobs/"+st.ID+"/graph?tau="+bad, nil); code != http.StatusBadRequest {
+			t.Fatalf("tau=%s: HTTP %d, want 400", bad, code)
+		}
+	}
+
+	// An identical second submission is served from the result cache.
+	code, b = doJSON(t, http.MethodPost, base+"/v1/jobs", erSubmission(31))
+	if code != http.StatusOK {
+		t.Fatalf("cached submit: HTTP %d\n%s", code, b)
+	}
+	st2 := decodeStatus(t, b)
+	if st2.State != Done || !st2.Cached {
+		t.Fatalf("second submission should be a cache hit: %+v", st2)
+	}
+	code, b2 := doJSON(t, http.MethodGet, base+"/v1/jobs/"+st2.ID+"/graph?tau=0.3", nil)
+	if code != http.StatusOK || !bytes.Equal(firstGraph, b2) {
+		t.Fatalf("cached graph should be byte-identical: HTTP %d\n%s\nvs\n%s", code, firstGraph, b2)
+	}
+
+	// Graph of an unfinished job is a conflict; cancel of a done job too.
+	if code, _ = doJSON(t, http.MethodDelete, base+"/v1/jobs/"+st.ID, nil); code != http.StatusConflict {
+		t.Fatalf("cancel done job: HTTP %d, want 409", code)
+	}
+
+	// Unknown ids 404 on every verb.
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/jobs/nope"},
+		{http.MethodGet, "/v1/jobs/nope/graph"},
+		{http.MethodDelete, "/v1/jobs/nope"},
+	} {
+		if code, _ = doJSON(t, probe.method, base+probe.path, nil); code != http.StatusNotFound {
+			t.Fatalf("%s %s: HTTP %d, want 404", probe.method, probe.path, code)
+		}
+	}
+}
+
+func TestHTTPCancelMidRun(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	// A deliberately long job: unreachable ε on a 100-node problem.
+	truth := least.GenerateDAG(41, least.ErdosRenyi, 100, 2)
+	x := least.SampleLSEM(42, truth, 250, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = append([]float64(nil), x.Row(i)...)
+	}
+	req := SubmitRequest{
+		Samples: rows,
+		Options: &JobOptions{Lambda: 0.01, Epsilon: 1e-12, MaxOuter: 64, MaxInner: 2000},
+	}
+	code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	st := decodeStatus(t, b)
+
+	// Wait for real iterations, then DELETE mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, b = doJSON(t, http.MethodGet, base+"/v1/jobs/"+st.ID, nil)
+		if code != http.StatusOK {
+			t.Fatalf("poll: HTTP %d", code)
+		}
+		if cur := decodeStatus(t, b); cur.State == Running && cur.InnerIters > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started iterating")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, b = doJSON(t, http.MethodDelete, base+"/v1/jobs/"+st.ID, nil); code != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d\n%s", code, b)
+	}
+	fin := pollUntil(t, base, st.ID, Cancelled, 30*time.Second)
+	if fin.Error == "" {
+		t.Fatalf("cancelled job should report its error: %+v", fin)
+	}
+	// The graph of a cancelled job is a conflict.
+	if code, _ = doJSON(t, http.MethodGet, base+"/v1/jobs/"+st.ID+"/graph", nil); code != http.StatusConflict {
+		t.Fatalf("graph of cancelled job: HTTP %d, want 409", code)
+	}
+}
+
+func TestHTTPCSVSubmissionWithNames(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	// A→B→C chain with deterministic pseudo-noise (same construction
+	// as the leastcli smoke test).
+	var sb strings.Builder
+	sb.WriteString("A,B,C\n")
+	state := uint64(42)
+	noise := func() float64 {
+		var s float64
+		for k := 0; k < 4; k++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			s += float64(state%1000)/1000.0 - 0.5
+		}
+		return s * 0.1
+	}
+	for i := 0; i < 150; i++ {
+		a := noise() * 10
+		bv := 1.5*a + noise()
+		c := -1.2*bv + noise()
+		fmt.Fprintf(&sb, "%.6f,%.6f,%.6f\n", a, bv, c)
+	}
+	req := SubmitRequest{
+		CSV:    sb.String(),
+		Header: true,
+		Center: true,
+		Options: &JobOptions{
+			Lambda: 0.1, Epsilon: 1e-3, ExactTermination: true,
+		},
+	}
+	code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	st := decodeStatus(t, b)
+	pollUntil(t, base, st.ID, Done, 60*time.Second)
+	code, b = doJSON(t, http.MethodGet, base+"/v1/jobs/"+st.ID+"/graph?tau=0.3", nil)
+	if code != http.StatusOK {
+		t.Fatalf("graph: HTTP %d\n%s", code, b)
+	}
+	var g wireGraph
+	if err := json.Unmarshal(b, &g); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 3 || g.Nodes[0] != "A" {
+		t.Fatalf("CSV header names lost: %v", g.Nodes)
+	}
+	found := false
+	for _, e := range g.Edges {
+		if g.Nodes[e.From] == "A" && g.Nodes[e.To] == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planted edge A→B missing from %s", b)
+	}
+
+	// Listing knows the job; health reports counters.
+	code, b = doJSON(t, http.MethodGet, base+"/v1/jobs", nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(st.ID)) {
+		t.Fatalf("list: HTTP %d\n%s", code, b)
+	}
+	code, b = doJSON(t, http.MethodGet, base+"/healthz", nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(`"status"`)) {
+		t.Fatalf("healthz: HTTP %d\n%s", code, b)
+	}
+}
+
+func TestHTTPBadSubmissions(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"garbage", "not json"},
+		{"empty", SubmitRequest{}},
+		{"both forms", SubmitRequest{CSV: "1,2\n", Samples: [][]float64{{1, 2}}}},
+		{"ragged samples", SubmitRequest{Samples: [][]float64{{1, 2}, {3}}}},
+		{"single column", SubmitRequest{Samples: [][]float64{{1}, {2}}}},
+		{"bad csv number", SubmitRequest{CSV: "1,x\n2,3\n"}},
+		{"header only", SubmitRequest{CSV: "a,b\n", Header: true}},
+	}
+	for _, c := range cases {
+		code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400\n%s", c.name, code, b)
+		}
+	}
+	// Bad tau on a real job id path shape.
+	if code, _ := doJSON(t, http.MethodGet, base+"/v1/jobs/whatever/graph?tau=bogus", nil); code != http.StatusNotFound {
+		t.Errorf("tau parse happens after id lookup: want 404 first")
+	}
+}

@@ -1,0 +1,519 @@
+// Package serve is the serving layer behind cmd/leastd: a bounded
+// concurrent-learn job pool with cancellable jobs, iteration-level
+// progress reporting, and an LRU result cache. It is the reproduction
+// of the paper's §VI deployment shape — structure learning as a
+// service handling thousands of tasks daily — on top of the library's
+// LearnCtx entry point. See DESIGN.md §4 for the design decisions
+// (pool sizing vs per-job parallelism, cache keying, cancellation
+// granularity).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// State is the lifecycle phase of a Job:
+//
+//	queued → running → done | failed | cancelled
+//
+// with a direct queued → cancelled edge for jobs cancelled before a
+// pool slot picked them up, and a direct submit → done edge for cache
+// hits.
+type State string
+
+// Job states.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Sentinel errors of the manager API.
+var (
+	// ErrUnknownJob is returned for ids the manager has never issued
+	// (or has already evicted from its bounded history).
+	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrFinished is returned by Cancel on a job that already reached
+	// done or failed — there is nothing left to stop.
+	ErrFinished = errors.New("serve: job already finished")
+	// ErrQueueFull is returned by Submit when the admission queue is at
+	// capacity (load shedding — the client should retry later).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrShuttingDown is returned by Submit after Shutdown started.
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrNotDone is returned by Result for a job without a result yet.
+	ErrNotDone = errors.New("serve: job not done")
+)
+
+// Config sizes a Manager. The zero value picks the defaults noted on
+// each field.
+type Config struct {
+	// MaxConcurrent is the learn-pool size: how many jobs optimize at
+	// once (default 2). Each running job's Parallelism is capped at
+	// GOMAXPROCS / MaxConcurrent so a full pool cannot oversubscribe
+	// the machine.
+	MaxConcurrent int
+	// QueueDepth bounds the number of admitted-but-not-started jobs
+	// (default 64); past it Submit sheds load with ErrQueueFull.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries: 0 picks
+	// the default (64), negative disables caching.
+	CacheSize int
+	// MaxHistory bounds the finished-job metadata kept for status
+	// queries (default 1024); the oldest terminal jobs are evicted
+	// first, never queued or running ones.
+	MaxHistory int
+	// Procs overrides the detected core count used for per-job
+	// parallelism capping (tests only; default runtime.GOMAXPROCS).
+	Procs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxHistory <= 0 {
+		c.MaxHistory = 1024
+	}
+	if c.Procs <= 0 {
+		c.Procs = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Job is one structure-learning task owned by the Manager. All fields
+// behind mu; read through Status / Result.
+type Job struct {
+	id    string
+	key   string
+	names []string
+	n, d  int
+
+	mu       sync.Mutex
+	x        *least.Matrix // released once the job reaches a terminal state
+	opts     least.Options
+	state    State
+	cached   bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress least.Progress
+	result   *least.Result
+	err      error
+	cancel   context.CancelFunc
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status is an immutable snapshot of a job, shaped for the JSON API.
+type Status struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Cached   bool      `json:"cached,omitempty"`
+	Vars     int       `json:"vars"`
+	Samples  int       `json:"samples"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Solves / InnerIters / Delta mirror least.Progress and tick while
+	// the job runs — this is the GET /v1/jobs/{id} progress payload.
+	Solves     int     `json:"solves"`
+	InnerIters int     `json:"inner_iters"`
+	Delta      float64 `json:"delta"`
+	ElapsedMS  int64   `json:"elapsed_ms"`
+	Converged  bool    `json:"converged,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:         j.id,
+		State:      j.state,
+		Cached:     j.cached,
+		Vars:       j.d,
+		Samples:    j.n,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
+		Solves:     j.progress.Solves,
+		InnerIters: j.progress.Inner,
+		Delta:      j.progress.Delta,
+		ElapsedMS:  j.progress.Elapsed.Milliseconds(),
+	}
+	if j.result != nil {
+		s.Converged = j.result.Converged
+		s.Delta = j.result.Delta
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// Result returns the learned structure and the node names once the job
+// is done (ErrNotDone otherwise). The result is shared and must be
+// treated as read-only.
+func (j *Job) Result() (*least.Result, []string, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done || j.result == nil {
+		return nil, nil, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
+	}
+	return j.result, j.names, nil
+}
+
+// Manager owns the job table, the admission queue, the worker pool and
+// the result cache. It is safe for concurrent use by HTTP handlers.
+type Manager struct {
+	cfg   Config
+	cache *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled on pending-queue pushes and on drain
+	jobs     map[string]*Job
+	order    []string // submission order, for listing + history eviction
+	pending  []*Job   // FIFO admission queue; Cancel removes in place
+	nextID   int
+	draining bool
+
+	wg sync.WaitGroup // worker goroutines
+}
+
+// NewManager starts a manager with cfg's pool and cache sizes. Call
+// Shutdown to stop it.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit admits a learn task. Validation failures surface immediately;
+// an identical prior submission (same data, names and options) is
+// answered from the result cache with a job born in state done.
+func (m *Manager) Submit(x *least.Matrix, names []string, o least.Options) (*Job, error) {
+	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
+		return nil, errors.New("serve: empty sample matrix")
+	}
+	if x.Cols() < 2 {
+		return nil, fmt.Errorf("serve: need at least 2 variables, got %d", x.Cols())
+	}
+	if x.HasNaN() {
+		return nil, errors.New("serve: sample matrix contains NaN/Inf")
+	}
+	if names != nil && len(names) != x.Cols() {
+		return nil, fmt.Errorf("serve: %d names for %d variables", len(names), x.Cols())
+	}
+	key := CacheKey(x, names, o)
+	now := time.Now()
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	j := &Job{
+		id:      fmt.Sprintf("j%08d", m.nextID),
+		key:     key,
+		names:   names,
+		n:       x.Rows(),
+		d:       x.Cols(),
+		x:       x,
+		opts:    o,
+		state:   Queued,
+		created: now,
+	}
+	if res, ok := m.cache.get(key); ok {
+		j.state = Done
+		j.cached = true
+		j.result = res
+		j.started, j.finished = now, now
+		j.x = nil
+	}
+	if !j.cached && len(m.pending) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.insertLocked(j)
+	if !j.cached {
+		m.pending = append(m.pending, j)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Get looks a job up by id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// List snapshots every known job in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	js := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job transitions to cancelled
+// immediately; a running job has its context cancelled and transitions
+// once the learner observes it (within one inner iteration). Cancel on
+// a done/failed job returns ErrFinished; on an already-cancelled job
+// it is a no-op.
+func (m *Manager) Cancel(id string) (Status, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	j.mu.Lock()
+	switch j.state {
+	case Queued:
+		j.state = Cancelled
+		j.finished = time.Now()
+		j.err = context.Canceled
+		j.x = nil
+		j.mu.Unlock()
+		// Free the admission slot right away so the cancelled job
+		// cannot keep load-shedding new submissions.
+		m.mu.Lock()
+		m.dropPendingLocked(j)
+		m.mu.Unlock()
+		return j.Status(), nil
+	case Running:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	case Done, Failed:
+		j.mu.Unlock()
+		return j.Status(), ErrFinished
+	case Cancelled:
+		// idempotent
+	}
+	j.mu.Unlock()
+	return j.Status(), nil
+}
+
+// Len returns the number of jobs the manager currently knows about
+// (cheap — for liveness counters; List snapshots full statuses).
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// CacheStats returns (hits, misses, entries) of the result cache.
+func (m *Manager) CacheStats() (int, int, int) { return m.cache.stats() }
+
+// Shutdown drains the manager: new submissions are rejected, queued
+// jobs are cancelled, and running jobs are given until ctx expires to
+// finish before being hard-cancelled. It returns once the pool is
+// idle. Safe to call more than once.
+func (m *Manager) Shutdown(ctx context.Context) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.awaitDrain(ctx) // a concurrent caller's deadline still counts
+		return
+	}
+	m.draining = true
+	queued := m.pending
+	m.pending = nil
+	m.cond.Broadcast() // wake every idle worker so it can exit
+	m.mu.Unlock()
+
+	for _, j := range queued {
+		j.mu.Lock()
+		if j.state == Queued {
+			j.state = Cancelled
+			j.finished = time.Now()
+			j.err = ErrShuttingDown
+			j.x = nil
+		}
+		j.mu.Unlock()
+	}
+	m.awaitDrain(ctx)
+}
+
+// awaitDrain waits for the worker pool to go idle, hard-cancelling
+// whatever is still running once ctx expires.
+func (m *Manager) awaitDrain(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		m.baseCancel()
+		<-done
+	}
+	m.baseCancel()
+}
+
+// worker is one pool slot: it pops admitted jobs until shutdown. The
+// queued → running transition happens under m.mu, so it serializes
+// against Shutdown — once draining is set no new job can start.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if m.draining {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		j.mu.Lock()
+		if j.state != Queued { // raced with a cancel
+			j.mu.Unlock()
+			m.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.cancel = cancel
+		j.state = Running
+		j.started = time.Now()
+		x := j.x
+		o := j.opts
+		o.Parallelism = CapParallelism(o.Parallelism, m.cfg.Procs, m.cfg.MaxConcurrent)
+		j.mu.Unlock()
+		m.mu.Unlock()
+
+		m.runJob(j, ctx, cancel, x, o)
+	}
+}
+
+// runJob executes one already-started job under its context,
+// publishing progress snapshots as the learner iterates.
+func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, x *least.Matrix, o least.Options) {
+	defer cancel()
+	res, err := least.LearnCtx(ctx, x, o, func(p least.Progress) {
+		j.mu.Lock()
+		j.progress = p
+		j.mu.Unlock()
+	})
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	j.x = nil // release the samples; only the result is kept
+	switch {
+	case err == nil:
+		j.state = Done
+		j.result = res
+		m.cache.put(j.key, res)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = Cancelled
+		j.err = context.Canceled
+	default:
+		j.state = Failed
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+// dropPendingLocked removes a job from the admission queue (caller
+// holds m.mu; no-op when a worker already popped it).
+func (m *Manager) dropPendingLocked(j *Job) {
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertLocked records a job and evicts the oldest terminal jobs past
+// the history bound. Caller holds m.mu.
+func (m *Manager) insertLocked(j *Job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	if len(m.jobs) <= m.cfg.MaxHistory {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.jobs) - m.cfg.MaxHistory
+	for _, id := range m.order {
+		old := m.jobs[id]
+		if excess > 0 && old.Status().State.Terminal() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// CapParallelism bounds one job's worker fan-out so a full pool of
+// slots concurrent jobs cannot oversubscribe a procs-core machine:
+// each slot gets an equal core share (floored at 1), and an explicit
+// smaller request is honored.
+func CapParallelism(requested, procs, slots int) int {
+	if slots < 1 {
+		slots = 1
+	}
+	share := procs / slots
+	if share < 1 {
+		share = 1
+	}
+	if requested <= 0 || requested > share {
+		return share
+	}
+	return requested
+}

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// fastDataset is a small ER-2 problem a dense learn solves in well
+// under a second.
+func fastDataset(seed int64) (*least.Matrix, least.Options) {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 15, 2)
+	x := least.SampleLSEM(seed+1, truth, 150, least.GaussianNoise)
+	o := least.Defaults()
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	return x, o
+}
+
+// slowDataset is a problem sized so the augmented-Lagrangian loop runs
+// for many seconds (ε is unreachably tight), giving cancellation tests
+// a wide window.
+func slowDataset(seed int64) (*least.Matrix, least.Options) {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 100, 2)
+	x := least.SampleLSEM(seed+1, truth, 250, least.GaussianNoise)
+	o := least.Defaults()
+	o.Lambda = 0.01
+	o.Epsilon = 1e-12
+	o.MaxOuter = 64
+	o.MaxInner = 2000
+	return x, o
+}
+
+func waitState(t *testing.T, j *Job, want State, timeout time.Duration) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := j.Status()
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached terminal state %s (err %q), want %s", j.ID(), st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s after %v, want %s", j.ID(), st.State, timeout, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func shutdown(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	m.Shutdown(ctx)
+}
+
+func TestCapParallelism(t *testing.T) {
+	cases := []struct{ req, procs, slots, want int }{
+		{0, 8, 2, 4},  // default request: equal share
+		{0, 8, 1, 8},  // single slot gets the machine
+		{2, 8, 2, 2},  // smaller explicit request honored
+		{16, 8, 2, 4}, // oversized request capped
+		{0, 2, 4, 1},  // more slots than cores: floor at 1
+		{0, 8, 0, 8},  // degenerate slot count normalized
+	}
+	for _, c := range cases {
+		if got := CapParallelism(c.req, c.procs, c.slots); got != c.want {
+			t.Errorf("CapParallelism(%d, %d, %d) = %d, want %d", c.req, c.procs, c.slots, got, c.want)
+		}
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r1, r2, r3 := &least.Result{}, &least.Result{}, &least.Result{}
+	c.put("a", r1)
+	c.put("b", r2)
+	if got, ok := c.get("a"); !ok || got != r1 {
+		t.Fatal("a should be cached")
+	}
+	c.put("c", r3) // evicts b (least recently used after the get of a)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be cached")
+	}
+	hits, misses, entries := c.stats()
+	if entries != 2 || hits != 3 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses, %d entries)", hits, misses, entries)
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	x, o := fastDataset(1)
+	base := CacheKey(x, nil, o)
+	if CacheKey(x, nil, o) != base {
+		t.Fatal("key not deterministic")
+	}
+	x2 := x.Clone()
+	x2.Set(0, 0, x2.At(0, 0)+1e-9)
+	if CacheKey(x2, nil, o) == base {
+		t.Fatal("data perturbation must change the key")
+	}
+	o2 := o
+	o2.Lambda += 0.01
+	if CacheKey(x, nil, o2) == base {
+		t.Fatal("option change must change the key")
+	}
+	names := make([]string, x.Cols())
+	for i := range names {
+		names[i] = "v"
+	}
+	if CacheKey(x, names, o) == base {
+		t.Fatal("names must be part of the key")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer shutdown(t, m)
+	if _, err := m.Submit(nil, nil, least.Defaults()); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := m.Submit(least.NewMatrix(3, 1), nil, least.Defaults()); err == nil {
+		t.Error("single variable accepted")
+	}
+	bad := least.NewMatrix(2, 2)
+	bad.Set(0, 0, 1)
+	bad.Set(1, 1, 2)
+	bad.Set(0, 1, 1/bad.At(1, 0)) // +Inf: 1/0
+	if _, err := m.Submit(bad, nil, least.Defaults()); err == nil {
+		t.Error("Inf matrix accepted")
+	}
+	good := least.NewMatrix(2, 2)
+	if _, err := m.Submit(good, []string{"only-one"}, least.Defaults()); err == nil {
+		t.Error("name/column mismatch accepted")
+	}
+}
+
+func TestJobRunsAndSecondSubmissionHitsCache(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer shutdown(t, m)
+	x, o := fastDataset(3)
+	j, err := m.Submit(x, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, j, Done, 60*time.Second)
+	if st.Cached {
+		t.Fatal("first run cannot be a cache hit")
+	}
+	if st.InnerIters == 0 || st.Solves == 0 {
+		t.Fatalf("progress never reported: %+v", st)
+	}
+	res, _, err := j.Result()
+	if err != nil || res.Weights == nil {
+		t.Fatalf("Result: %v", err)
+	}
+
+	// Identical resubmission: answered from cache, born done.
+	x2, o2 := fastDataset(3)
+	j2, err := m.Submit(x2, nil, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := j2.Status()
+	if st2.State != Done || !st2.Cached {
+		t.Fatalf("resubmission not served from cache: %+v", st2)
+	}
+	res2, _, err := j2.Result()
+	if err != nil || res2 != res {
+		t.Fatalf("cached job must share the result pointer, got %v", err)
+	}
+
+	// Different seed misses the cache.
+	x3, o3 := fastDataset(4)
+	j3, err := m.Submit(x3, nil, o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Status().Cached {
+		t.Fatal("different dataset must miss the cache")
+	}
+	waitState(t, j3, Done, 60*time.Second)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer shutdown(t, m)
+	xs, os := slowDataset(5)
+	blocker, err := m.Submit(xs, nil, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running, 10*time.Second)
+
+	xq, oq := fastDataset(6)
+	queued, err := m.Submit(xq, nil, oq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.Status(); st.State != Queued {
+		t.Fatalf("second job should wait behind the pool, got %s", st.State)
+	}
+	st, err := m.Cancel(queued.ID())
+	if err != nil || st.State != Cancelled {
+		t.Fatalf("cancel queued: %v, state %s", err, st.State)
+	}
+	if _, err := m.Cancel(blocker.ID()); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	waitState(t, blocker, Cancelled, 30*time.Second)
+}
+
+func TestCancelRunningJobMidIteration(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer shutdown(t, m)
+	x, o := slowDataset(7)
+	j, err := m.Submit(x, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for real optimization progress, then cancel mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Status().InnerIters == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no progress after 30s: %+v", j.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancelAt := time.Now()
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, j, Cancelled, 30*time.Second)
+	if lat := time.Since(cancelAt); lat > 15*time.Second {
+		t.Fatalf("cancellation latency %v — not within iteration granularity", lat)
+	}
+	if st.Error == "" {
+		t.Fatal("cancelled status should carry the cancellation error")
+	}
+	// Cancel is idempotent on an already-cancelled job…
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatalf("re-cancel: %v", err)
+	}
+	// …and rejected on finished ones.
+	xf, of := fastDataset(8)
+	fin, err := m.Submit(xf, nil, of)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, fin, Done, 60*time.Second)
+	if _, err := m.Cancel(fin.ID()); !errors.Is(err, ErrFinished) {
+		t.Fatalf("cancel done job: %v, want ErrFinished", err)
+	}
+}
+
+func TestQueueFullShedsLoad(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, QueueDepth: 1})
+	defer shutdown(t, m)
+	xs, os := slowDataset(9)
+	blocker, err := m.Submit(xs, nil, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running, 10*time.Second)
+	x1, o1 := fastDataset(10)
+	queued, err := m.Submit(x1, nil, o1)
+	if err != nil {
+		t.Fatalf("queue slot should be free: %v", err)
+	}
+	x2, o2 := fastDataset(11)
+	if _, err := m.Submit(x2, nil, o2); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull queue: %v, want ErrQueueFull", err)
+	}
+	// Cancelling the queued job frees its admission slot immediately —
+	// a cancelled job must not keep shedding load.
+	if _, err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	x3, o3 := fastDataset(11)
+	if _, err := m.Submit(x3, nil, o3); err != nil {
+		t.Fatalf("slot not freed by cancel: %v", err)
+	}
+}
+
+func TestShutdownCancelsRunningAndRejectsNew(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	x, o := slowDataset(12)
+	j, err := m.Submit(x, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, Running, 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	m.Shutdown(ctx) // deadline passes → hard-cancel
+	if st := j.Status(); st.State != Cancelled {
+		t.Fatalf("running job after shutdown: %s, want cancelled", st.State)
+	}
+	xf, of := fastDataset(13)
+	if _, err := m.Submit(xf, nil, of); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after shutdown: %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, MaxHistory: 2, CacheSize: -1})
+	defer shutdown(t, m)
+	var last *Job
+	for i := 0; i < 3; i++ {
+		x, o := fastDataset(int64(20 + i))
+		j, err := m.Submit(x, nil, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, j, Done, 60*time.Second)
+		if i == 0 {
+			last = j
+		}
+	}
+	if len(m.List()) != 2 {
+		t.Fatalf("history size %d, want 2", len(m.List()))
+	}
+	if _, err := m.Get(last.ID()); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job should be evicted, got %v", err)
+	}
+}

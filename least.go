@@ -20,17 +20,27 @@
 //	if err != nil { ... }
 //	g := res.Graph(0.3)             // threshold |W| > 0.3 into a DAG
 //
+// Three runnable examples cover the common entry points: the package
+// example Example (quickstart) for the generate → learn → threshold
+// loop, ExampleLearn (sparse) for the LEAST-SP large-d mode, and
+// ExampleEvaluateBest for the paper's §V-A threshold-grid scoring
+// protocol.
+//
 // The package also ships the NOTEARS baseline (Baseline), random
 // DAG/LSEM workload generators (GenerateDAG, SampleLSEM), and the full
 // recovery-metric suite (Evaluate) used to reproduce the paper's
 // benchmark tables; the application pipelines of §VI (production
 // monitoring, gene networks, recommendations) live under examples/ and
-// cmd/leastbench.
+// cmd/leastbench. Long-running learns can be supervised — cancelled
+// mid-run and observed iteration by iteration — through LearnCtx,
+// which is what the cmd/leastd serving daemon builds on.
 package least
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -198,6 +208,32 @@ func (r *Result) Graph(tau float64) *Graph {
 // Learn runs LEAST on the n×d sample matrix x. Each column is one
 // variable; each row one i.i.d. observation.
 func Learn(x *Matrix, o Options) (*Result, error) {
+	return LearnCtx(context.Background(), x, o, nil)
+}
+
+// Progress is a point-in-time snapshot of a running LearnCtx call,
+// delivered to the progress callback after every inner iteration.
+type Progress struct {
+	// Solves counts inner solves started (outer iterations including
+	// the augmented-Lagrangian ρ-escalation re-solves); Inner counts
+	// cumulative inner iterations across all solves.
+	Solves, Inner int
+	// Delta is the current normalized spectral-bound value δ(W)/d.
+	Delta float64
+	// Elapsed is the wall-clock time since the learn started.
+	Elapsed time.Duration
+}
+
+// LearnCtx is Learn under a context with optional progress reporting —
+// the serving entry point (cmd/leastd). Cancellation is observed
+// within one inner iteration: when ctx is cancelled mid-run LearnCtx
+// abandons the optimization and returns (nil, ctx.Err()). progress,
+// when non-nil, is invoked on the learner's goroutine after every
+// inner iteration and must be fast and non-blocking.
+func LearnCtx(ctx context.Context, x *Matrix, o Options, progress func(Progress)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
 		return nil, errors.New("least: empty sample matrix")
 	}
@@ -208,11 +244,19 @@ func Learn(x *Matrix, o Options) (*Result, error) {
 		return nil, fmt.Errorf("least: need at least 2 variables, got %d", x.Cols())
 	}
 	co := o.internal()
+	if progress != nil {
+		co.Progress = func(p core.Progress) {
+			progress(Progress{Solves: p.Solves, Inner: p.Inner, Delta: p.Delta, Elapsed: p.Elapsed})
+		}
+	}
 	var res *core.Result
 	if o.Sparse {
-		res = core.Sparse(x, co)
+		res = core.SparseCtx(ctx, x, co)
 	} else {
-		res = core.Dense(x, co)
+		res = core.DenseCtx(ctx, x, co)
+	}
+	if res.Cancelled {
+		return nil, ctx.Err()
 	}
 	return &Result{
 		Weights:       res.W,
@@ -231,6 +275,9 @@ func Learn(x *Matrix, o Options) (*Result, error) {
 func Baseline(x *Matrix, o Options) (*Result, error) {
 	if x == nil || x.Rows() == 0 || x.Cols() < 2 {
 		return nil, errors.New("least: invalid sample matrix")
+	}
+	if x.HasNaN() {
+		return nil, errors.New("least: sample matrix contains NaN/Inf")
 	}
 	no := notears.DefaultOptions()
 	if o.Lambda > 0 {

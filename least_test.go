@@ -1,6 +1,9 @@
 package least
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 )
@@ -52,6 +55,78 @@ func TestLearnSparseMode(t *testing.T) {
 	}
 }
 
+func TestLearnCtxCancelMidRunAndProgress(t *testing.T) {
+	truth := GenerateDAG(21, ErdosRenyi, 40, 2)
+	x := SampleLSEM(22, truth, 300, GaussianNoise)
+	o := Defaults()
+	o.Epsilon = 1e-12 // unreachable: without cancellation this runs for a long time
+	o.MaxInner = 2000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ticks int
+	res, err := LearnCtx(ctx, x, o, func(p Progress) {
+		ticks++
+		if p.Inner != ticks || p.Solves == 0 {
+			t.Errorf("progress out of order: %+v at tick %d", p, ticks)
+		}
+		if ticks == 5 {
+			cancel() // cancel from inside the run, mid-inner-solve
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled learn must not return a result")
+	}
+	if ticks > 6 {
+		t.Fatalf("learner kept iterating %d ticks after cancellation", ticks)
+	}
+
+	// Sparse learner honours the same contract.
+	o.Sparse = true
+	o.InitDensity = 0.1
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	ticks = 0
+	_, err = LearnCtx(ctx2, x, o, func(Progress) {
+		ticks++
+		if ticks == 3 {
+			cancel2()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sparse err = %v, want context.Canceled", err)
+	}
+
+	// A context cancelled before the call never reports a completion.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := LearnCtx(pre, x, o, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// A never-cancelled context changes nothing about the result path
+	// (small problem: this runs two full learns).
+	truth2 := GenerateDAG(23, ErdosRenyi, 15, 2)
+	x2 := SampleLSEM(24, truth2, 100, GaussianNoise)
+	o2 := Defaults()
+	o2.Epsilon = 1e-2
+	o2.MaxOuter = 4
+	a, err := LearnCtx(context.Background(), x2, o2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Learn(x2, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Weights.EqualApprox(b.Weights, 0) {
+		t.Fatal("LearnCtx and Learn must agree bit-for-bit")
+	}
+}
+
 func TestLearnInputValidation(t *testing.T) {
 	if _, err := Learn(nil, Defaults()); err == nil {
 		t.Fatal("nil matrix accepted")
@@ -66,6 +141,23 @@ func TestLearnInputValidation(t *testing.T) {
 	bad.Set(0, 0, math.NaN())
 	if _, err := Learn(bad, Defaults()); err == nil {
 		t.Fatal("NaN matrix accepted")
+	}
+}
+
+func TestBaselineInputValidation(t *testing.T) {
+	// Baseline historically accepted NaN/Inf matrices that Learn
+	// rejects; both entry points now share the same validation.
+	bad := NewMatrix(2, 2)
+	bad.Set(0, 0, math.NaN())
+	if _, err := Baseline(bad, Defaults()); err == nil {
+		t.Fatal("NaN matrix accepted by Baseline")
+	}
+	bad.Set(0, 0, math.Inf(-1))
+	if _, err := Baseline(bad, Defaults()); err == nil {
+		t.Fatal("Inf matrix accepted by Baseline")
+	}
+	if _, err := Baseline(nil, Defaults()); err == nil {
+		t.Fatal("nil matrix accepted by Baseline")
 	}
 }
 
@@ -169,4 +261,62 @@ func TestSinkNodesRespected(t *testing.T) {
 			t.Fatal("sink node grew an outgoing edge")
 		}
 	}
+}
+
+// --- Runnable examples (linked from the package comment) ---
+
+// Example_quickstart is the generate → learn → threshold loop of the
+// package comment: sample an ER-2 ground truth, learn it back, and
+// read the result off as a DAG.
+func Example_quickstart() {
+	truth := GenerateDAG(3, ErdosRenyi, 20, 2)
+	x := SampleLSEM(4, truth, 200, GaussianNoise)
+
+	o := Defaults()
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	res, err := Learn(x, o)
+	if err != nil {
+		panic(err)
+	}
+
+	g := res.Graph(0.3) // threshold |W| > 0.3 into a directed graph
+	fmt.Println("nodes:", g.N(), "acyclic:", g.IsDAG())
+	// Output: nodes: 20 acyclic: true
+}
+
+// ExampleLearn_sparse selects the LEAST-SP learner: the weight matrix
+// lives on a sparse candidate support and every step costs O(nnz)
+// rather than O(d²) — the mode that scales to 10⁵ variables.
+func ExampleLearn_sparse() {
+	truth := GenerateDAG(5, ErdosRenyi, 40, 2)
+	x := SampleLSEM(6, truth, 400, GaussianNoise)
+
+	o := Defaults()
+	o.Sparse = true      // LEAST-SP
+	o.InitDensity = 0.15 // candidate-support density ζ
+	o.Threshold = 1e-3
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.MaxOuter = 8
+	res, err := Learn(x, o)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("sparse weights:", res.SparseWeights != nil,
+		"nodes:", res.Graph(0.3).N())
+	// Output: sparse weights: true nodes: 40
+}
+
+// ExampleEvaluateBest replays the paper's §V-A protocol: score a
+// weight matrix against the ground truth at every threshold in the
+// grid and keep the best-F1 row. Evaluating the truth against itself
+// is the sanity ceiling: a perfect score.
+func ExampleEvaluateBest() {
+	truth := GenerateDAG(9, ErdosRenyi, 12, 2)
+
+	m, _ := EvaluateBest(truth.G, truth.W, nil) // nil = paper grid {0.1..0.5}
+	fmt.Printf("F1=%.2f SHD=%d FDR=%.2f\n", m.F1, m.SHD, m.FDR)
+	// Output: F1=1.00 SHD=0 FDR=0.00
 }
