@@ -1,15 +1,26 @@
 # Tier-1 verification and developer workflow for the LEAST
-# reproduction. `make ci` is the one-command gate: vet + build +
-# docs-check + the race-enabled short test suite.
+# reproduction. `make ci` is the one-command gate: api-check (vet +
+# public-surface guard) + build + docs-check + the race-enabled short
+# test suite.
 
 GO ?= go
 
-.PHONY: ci vet build docs-check test test-short bench bench-parallel sweep serve clean
+.PHONY: ci vet build api-check api-baseline docs-check test test-short bench bench-parallel sweep serve clean
 
-ci: vet build docs-check test-short
+ci: api-check build docs-check test-short
 
 vet:
 	$(GO) vet ./...
+
+# Guard the public API of package least: go vet plus cmd/apidiff,
+# which fails when an exported identifier disappears from the package
+# without having carried a `Deprecated:` marker in the baseline.
+api-check: vet
+	$(GO) run ./cmd/apidiff -dir . -baseline api/least.txt
+
+# Refresh the API baseline after intentionally extending the surface.
+api-baseline:
+	$(GO) run ./cmd/apidiff -dir . -baseline api/least.txt -write
 
 build:
 	$(GO) build ./...

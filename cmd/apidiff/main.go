@@ -1,0 +1,232 @@
+// Command apidiff guards the public surface of package least against
+// accidental breakage: it lists every exported identifier (types,
+// funcs, methods, consts, vars) of the package in -dir, together with
+// its deprecation status, and compares the list against a checked-in
+// baseline. An identifier present in the baseline but missing from the
+// sources fails the check — unless the baseline recorded it as
+// deprecated, which is the sanctioned removal path: mark it
+// "Deprecated:" in one release, delete it in a later one. New
+// identifiers never fail; refresh the baseline with -write so they
+// become guarded too.
+//
+// Usage:
+//
+//	apidiff -dir . -baseline api/least.txt          # check (CI)
+//	apidiff -dir . -baseline api/least.txt -write   # refresh baseline
+//
+// Wired into `make api-check`, which `make ci` runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("apidiff", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory holding the package sources")
+	baseline := fs.String("baseline", "api/least.txt", "baseline file to compare against (or write)")
+	write := fs.Bool("write", false, "rewrite the baseline from the current sources")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	current, err := exportedIdents(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		return 1
+	}
+
+	if *write {
+		if err := writeBaseline(*baseline, current); err != nil {
+			fmt.Fprintln(os.Stderr, "apidiff:", err)
+			return 1
+		}
+		fmt.Printf("apidiff: wrote %d identifiers to %s\n", len(current), *baseline)
+		return 0
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidiff:", err)
+		fmt.Fprintln(os.Stderr, "apidiff: regenerate with -write (make api-baseline)")
+		return 1
+	}
+
+	fail := 0
+	var names []string
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := current[name]; ok {
+			continue
+		}
+		if base[name] { // was deprecated: removal is sanctioned
+			fmt.Printf("apidiff: note: deprecated identifier removed: %s (refresh the baseline)\n", name)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "apidiff: FAIL: exported identifier disappeared without a Deprecated: marker: %s\n", name)
+		fail++
+	}
+	added := 0
+	for name := range current {
+		if _, ok := base[name]; !ok {
+			added++
+		}
+	}
+	if added > 0 {
+		fmt.Printf("apidiff: note: %d new exported identifier(s) not yet in the baseline (run make api-baseline to guard them)\n", added)
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "apidiff: %d breaking removal(s); deprecate first, remove later\n", fail)
+		return 1
+	}
+	fmt.Printf("apidiff: OK — %d guarded identifiers all present\n", len(base))
+	return 0
+}
+
+// exportedIdents parses the non-test Go files of dir and returns
+// exported identifier → deprecated?, with methods listed as
+// "Type.Method".
+func exportedIdents(dir string) (map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	out := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		collectFile(f, out)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no exported identifiers found in %s — wrong -dir?", dir)
+	}
+	return out, nil
+}
+
+func collectFile(f *ast.File, out map[string]bool) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				recv := receiverName(d.Recv.List[0].Type)
+				if recv == "" || !ast.IsExported(recv) {
+					continue
+				}
+				name = recv + "." + name
+			}
+			out[name] = isDeprecated(d.Doc)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() {
+						out[s.Name.Name] = isDeprecated(d.Doc) || isDeprecated(s.Doc)
+					}
+				case *ast.ValueSpec:
+					for _, id := range s.Names {
+						if id.IsExported() {
+							out[id.Name] = isDeprecated(d.Doc) || isDeprecated(s.Doc)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverName unwraps *T / T / generic T[P] receivers to T.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func isDeprecated(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(doc.Text(), "Deprecated:")
+}
+
+// The baseline format: one identifier per line, sorted, with a
+// "deprecated" marker column when applicable. Lines starting with #
+// are comments.
+func writeBaseline(path string, idents map[string]bool) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(idents))
+	for name := range idents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("# Exported identifiers of package least, guarded by cmd/apidiff.\n")
+	sb.WriteString("# Regenerate with: make api-baseline\n")
+	for _, name := range names {
+		sb.WriteString(name)
+		if idents[name] {
+			sb.WriteString(" deprecated")
+		}
+		sb.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func readBaseline(path string) (map[string]bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for ln, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 1:
+			out[fields[0]] = false
+		case len(fields) == 2 && fields[1] == "deprecated":
+			out[fields[0]] = true
+		default:
+			return nil, fmt.Errorf("%s:%d: malformed baseline line %q", path, ln+1, line)
+		}
+	}
+	return out, nil
+}

@@ -8,6 +8,11 @@
 //
 // Experiments (DESIGN.md §3):
 //
+// The experiment drivers exercise the same three learners the public
+// API registers as least.MethodLEAST / MethodLEASTSP / MethodNOTEARS
+// (they call the internal engines directly to reach bench-only knobs
+// like trace recording; see DESIGN.md §5 for the method registry).
+//
 //	fig4-accuracy   F1 / SHD / corr(δ,h) panels of Fig 4 (E1, E2)
 //	fig4-time       runtime panel of Fig 4 (E3)
 //	fig5            LEAST-SP scalability curves (E4, E10)

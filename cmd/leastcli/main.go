@@ -3,15 +3,20 @@
 //
 // The input CSV has one column per variable and one row per
 // observation; an optional header row names the variables. Output is
-// either an edge list (from,to,weight) or Graphviz DOT.
+// either an edge list (from,to,weight) or Graphviz DOT. The -method
+// flag selects the learner: least (dense, default), least-sp (the
+// O(nnz) sparse mode for large d) or notears (the O(d³) baseline —
+// small d only).
 //
 // Usage:
 //
 //	leastcli -in data.csv -header -tau 0.3 -format dot > graph.dot
-//	leastcli -in data.csv -sparse -lambda 0.05 -workers 4
+//	leastcli -in data.csv -method least-sp -lambda 0.05 -workers 4
+//	leastcli -in data.csv -method notears -seed 7
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,11 +39,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tau := fs.Float64("tau", 0.3, "edge threshold |w| > tau")
 	lambda := fs.Float64("lambda", 0.1, "L1 regularization λ")
 	eps := fs.Float64("eps", 1e-4, "acyclicity tolerance ε")
-	sparseMode := fs.Bool("sparse", false, "use the LEAST-SP sparse learner")
+	methodName := fs.String("method", "", "learning method: least (default), least-sp or notears")
+	sparseMode := fs.Bool("sparse", false, "use the LEAST-SP sparse learner (alias for -method least-sp)")
 	format := fs.String("format", "csv", "output format: csv, json or dot")
 	seed := fs.Int64("seed", 1, "random seed")
 	center := fs.Bool("center", true, "subtract column means before learning")
-	workers := fs.Int("workers", 0, "parallel workers for the sparse backend (0 = all cores, 1 = serial)")
+	workers := fs.Int("workers", 0, "parallel workers for the execution backend (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -51,6 +57,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	method, err := least.ParseMethod(*methodName)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastcli:", err)
+		return 2
+	}
+	if *sparseMode {
+		if *methodName != "" && method != least.MethodLEASTSP {
+			fmt.Fprintf(stderr, "leastcli: -sparse conflicts with -method %s\n", method)
+			return 2
+		}
+		method = least.MethodLEASTSP
+	}
 	x, names, err := readCSV(*in, *header)
 	if err != nil {
 		fmt.Fprintln(stderr, "leastcli:", err)
@@ -59,14 +77,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *center {
 		least.Center(x)
 	}
-	o := least.Defaults()
-	o.Lambda = *lambda
-	o.Epsilon = *eps
-	o.Sparse = *sparseMode
-	o.Seed = *seed
-	o.Parallelism = *workers
-	o.ExactTermination = !*sparseMode && x.Cols() <= 600
-	res, err := least.Learn(x, o)
+	opts := []least.Option{
+		least.WithMethod(method),
+		least.WithLambda(*lambda),
+		least.WithEpsilon(*eps),
+		least.WithSeed(*seed),
+		least.WithParallelism(*workers),
+	}
+	if method == least.MethodLEAST && x.Cols() <= 600 {
+		// The paper's §V-A fairness termination: affordable at CLI
+		// scales, and it stops as soon as the exact h(W) is met.
+		opts = append(opts, least.WithExactTermination(true))
+	}
+	spec, err := least.New(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastcli:", err)
+		return 2
+	}
+	res, err := spec.Learn(context.Background(), x)
 	if err != nil {
 		fmt.Fprintln(stderr, "leastcli:", err)
 		return 1

@@ -129,3 +129,28 @@ func TestRunErrorPaths(t *testing.T) {
 		t.Errorf("empty file: exit %d, want 1", code)
 	}
 }
+
+func TestRunMethodFlag(t *testing.T) {
+	in := writeChainCSV(t, true)
+	// Every registered method learns the chain through the same flag.
+	for _, method := range []string{"least", "least-sp", "notears"} {
+		code, out, errb := capture("-in", in, "-header", "-method", method)
+		if code != 0 {
+			t.Fatalf("-method %s: exit %d, stderr: %s", method, code, errb)
+		}
+		if !strings.Contains(out, "from,to,weight") {
+			t.Fatalf("-method %s: no edge list:\n%s", method, out)
+		}
+	}
+	// -sparse stays as an alias; combining it with a different method
+	// is a usage error, as is an unknown method.
+	if code, _, errb := capture("-in", in, "-header", "-sparse", "-method", "least-sp"); code != 0 {
+		t.Fatalf("-sparse with matching -method: exit %d, stderr: %s", code, errb)
+	}
+	if code, _, _ := capture("-in", in, "-header", "-sparse", "-method", "notears"); code != 2 {
+		t.Fatal("-sparse conflicting with -method must be a usage error")
+	}
+	if code, _, errb := capture("-in", in, "-header", "-method", "dagma"); code != 2 || !strings.Contains(errb, "unknown method") {
+		t.Fatalf("unknown method: exit %d, stderr: %s", code, errb)
+	}
+}

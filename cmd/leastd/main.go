@@ -10,16 +10,26 @@
 //
 //	leastd -addr :8080 -jobs 2 -cache 64
 //
-// API (JSON):
+// API (JSON). The v2 surface speaks the least.Spec wire form — a
+// "method" field selecting least / least-sp / notears, validated
+// knobs, unset ≠ zero — and streams live progress over SSE; the v1
+// surface keeps the legacy zero-means-default options and answers
+// byte-compatibly forever (see DESIGN.md §5 for the mapping):
 //
-//	POST   /v1/jobs             submit: {"csv": "...", "header": true}
-//	                            or {"samples": [[...], ...]}, plus
-//	                            {"options": {"sparse": true, ...}}
+//	POST   /v2/jobs             submit: {"csv": "..."} or {"samples": ...},
+//	                            plus {"spec": {"method": "notears", ...}}
+//	GET    /v2/jobs             list jobs (statuses carry "method")
+//	GET    /v2/jobs/{id}        status + iteration progress + method
+//	GET    /v2/jobs/{id}/graph  learned network (bnet JSON), ?tau=0.3
+//	GET    /v2/jobs/{id}/events per-iteration progress over SSE
+//	DELETE /v2/jobs/{id}        cancel (mid-run cancellation lands
+//	                            within one inner iteration)
+//
+//	POST   /v1/jobs             submit with {"options": {"sparse": true, ...}}
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        status + iteration progress
-//	GET    /v1/jobs/{id}/graph  learned network (bnet JSON), ?tau=0.3
-//	DELETE /v1/jobs/{id}        cancel (mid-run cancellation lands
-//	                            within one inner iteration)
+//	GET    /v1/jobs/{id}/graph  learned network
+//	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness + cache counters
 //
 // SIGINT/SIGTERM drain gracefully: in-flight HTTP requests and running
@@ -90,16 +100,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(stderr, "leastd: shutting down")
-		// Each drain phase gets its own grace budget: a slow in-flight
-		// HTTP request must not eat the running jobs' grace period.
+		// Drain the job pool first, then the HTTP server, each under
+		// its own grace budget. The order matters: a v2 SSE stream
+		// (GET /v2/jobs/{id}/events) only ends when its job reaches a
+		// terminal state, which is the manager drain's doing — shutting
+		// the server down first would park the whole drain behind open
+		// event streams for the full grace period. New submissions are
+		// refused (503) from the moment the manager starts draining.
+		jobsCtx, cancelJobs := context.WithTimeout(context.Background(), *grace)
+		defer cancelJobs()
+		mgr.Shutdown(jobsCtx)
 		httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *grace)
 		defer cancelHTTP()
 		if err := srv.Shutdown(httpCtx); err != nil {
 			fmt.Fprintln(stderr, "leastd: http shutdown:", err)
 		}
-		jobsCtx, cancelJobs := context.WithTimeout(context.Background(), *grace)
-		defer cancelJobs()
-		mgr.Shutdown(jobsCtx)
 		<-errc // Serve has returned http.ErrServerClosed
 		return 0
 	case err := <-errc:

@@ -211,3 +211,94 @@ func TestDaemonEndToEndJobOverHTTP(t *testing.T) {
 		t.Fatal("daemon did not exit")
 	}
 }
+
+// TestDaemonDrainsWithOpenEventStream pins the shutdown ordering: the
+// job drain must overlap the HTTP drain, because a v2 SSE stream only
+// ends when its job goes terminal. With the drains sequenced the other
+// way, SIGTERM burns the whole grace period blocked on the open stream
+// and srv.Shutdown reports a deadline error.
+func TestDaemonDrainsWithOpenEventStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-jobs", "1", "-grace", "3s"}, &out, &errb)
+	}()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stderr:\n%s", errb.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	// A job the pool cannot finish (tight ε), with an SSE watcher on it.
+	var rows strings.Builder
+	rows.WriteString(`{"samples": [`)
+	state := uint64(3)
+	val := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%2000)/1000.0 - 1
+	}
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			rows.WriteString(",")
+		}
+		fmt.Fprintf(&rows, "[%f,%f,%f,%f,%f,%f,%f,%f]", val(), val(), val(), val(), val(), val(), val(), val())
+	}
+	rows.WriteString(`], "spec": {"epsilon": 1e-12, "max_inner": 2000, "max_outer": 64}}`)
+	resp, err := http.Post(base+"/v2/jobs", "application/json", strings.NewReader(rows.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	idm := regexp.MustCompile(`"id": "([^"]+)"`).FindStringSubmatch(string(body))
+	if idm == nil {
+		t.Fatalf("no job id in %s", body)
+	}
+
+	events, err := http.Get(base + "/v2/jobs/" + idm[1] + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	streamed := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(events.Body) // returns when the daemon drains
+		streamed <- string(b)
+	}()
+
+	time.Sleep(300 * time.Millisecond) // let the stream attach
+	cancel()                           // SIGTERM equivalent
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit %d; stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon wedged behind the open event stream; stderr:\n%s", errb.String())
+	}
+	if strings.Contains(errb.String(), "http shutdown") {
+		t.Fatalf("HTTP drain timed out behind the event stream; stderr:\n%s", errb.String())
+	}
+	select {
+	case s := <-streamed:
+		if !strings.Contains(s, "event: cancelled") {
+			t.Fatalf("stream ended without a terminal frame:\n%s", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event stream never closed")
+	}
+}

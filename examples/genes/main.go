@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := randx.New(11)
 
 	// --- Sachs (11 nodes, 17 consensus edges, n = 1000) -------------
@@ -23,12 +25,27 @@ func main() {
 	fmt.Printf("Sachs: %d genes, %d true edges, %d samples\n",
 		sachs.Truth.N(), sachs.Truth.NumEdges(), sachs.Samples.Rows())
 
-	opts := least.Defaults()
-	opts.Lambda = 0.1
-	opts.Epsilon = 1e-3
-	opts.ExactTermination = true
+	// One Spec per method, sharing the tuned knobs: the unified API
+	// makes "same problem, different algorithm" a one-option change.
+	lspec, err := least.New(
+		least.WithLambda(0.1),
+		least.WithEpsilon(1e-3),
+		least.WithExactTermination(true),
+	)
+	if err != nil {
+		panic(err)
+	}
+	nspec, err := least.New(
+		least.WithMethod(least.MethodNOTEARS),
+		least.WithLambda(0.1),
+		least.WithEpsilon(1e-3),
+	)
+	if err != nil {
+		panic(err)
+	}
+
 	t0 := time.Now()
-	lres, err := least.Learn(sachs.Samples, opts)
+	lres, err := lspec.Learn(ctx, sachs.Samples)
 	if err != nil {
 		panic(err)
 	}
@@ -36,7 +53,7 @@ func main() {
 	lAcc, _ := metrics.BestOverThresholds(sachs.Truth, lres.Weights, nil2grid())
 
 	t0 = time.Now()
-	nres, err := least.Baseline(sachs.Samples, opts)
+	nres, err := nspec.Learn(ctx, sachs.Samples)
 	if err != nil {
 		panic(err)
 	}
@@ -53,16 +70,20 @@ func main() {
 	ecoli := gene.EColi(rng.Split(), 10)
 	fmt.Printf("E.coli-scale network: %d genes, %d true edges, %d samples\n",
 		ecoli.Truth.N(), ecoli.Truth.NumEdges(), ecoli.Samples.Rows())
-	opts = least.Defaults()
-	opts.Lambda = 0.1
-	opts.Epsilon = 1e-3
-	opts.BatchSize = 512
-	// The sparse execution backend fans out across all cores by
-	// default; set Parallelism = 1 for bit-exact serial runs, or sweep
-	// worker counts with `leastbench -exp par-sweep`.
-	opts.Parallelism = 0
+	// The execution backend fans out across all cores by default; use
+	// WithParallelism(1) for bit-exact serial runs, or sweep worker
+	// counts with `leastbench -exp par-sweep`.
+	espec, err := least.New(
+		least.WithLambda(0.1),
+		least.WithEpsilon(1e-3),
+		least.WithBatchSize(512),
+		least.WithParallelism(0),
+	)
+	if err != nil {
+		panic(err)
+	}
 	t0 = time.Now()
-	eres, err := least.Learn(ecoli.Samples, opts)
+	eres, err := espec.Learn(ctx, ecoli.Samples)
 	if err != nil {
 		panic(err)
 	}

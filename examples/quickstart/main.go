@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -22,18 +23,26 @@ func main() {
 	// 2. Observations: n i.i.d. samples of the linear SEM.
 	x := least.SampleLSEM(seed+1, truth, n, least.GaussianNoise)
 
-	// 3. Learn. ExactTermination reproduces the paper's §V-A stopping
-	//    rule (check the exact NOTEARS h(W) each outer round).
-	opts := least.Defaults()
-	opts.Lambda = 0.2
-	opts.Epsilon = 1e-3
-	opts.ExactTermination = true
-	opts.Seed = seed
-	// Options.Parallelism caps the sparse backend's worker fan-out
-	// (0 = all cores, 1 = serial); at this tiny d everything runs
-	// serially anyway, below the backend's work threshold.
-	opts.Parallelism = 0
-	res, err := least.Learn(x, opts)
+	// 3. Learn through the unified Spec API: unset knobs resolve to the
+	//    paper defaults; New validates everything up front.
+	//    WithExactTermination reproduces the paper's §V-A stopping rule
+	//    (check the exact NOTEARS h(W) each outer round), and
+	//    WithParallelism caps the backend's worker fan-out (0 = all
+	//    cores, 1 = serial); at this tiny d everything runs serially
+	//    anyway, below the backend's work threshold. Swap
+	//    WithMethod(least.MethodLEASTSP) in for the O(nnz) large-d
+	//    mode, or MethodNOTEARS for the baseline.
+	spec, err := least.New(
+		least.WithLambda(0.2),
+		least.WithEpsilon(1e-3),
+		least.WithExactTermination(true),
+		least.WithSeed(seed),
+		least.WithParallelism(0),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := spec.Learn(context.Background(), x)
 	if err != nil {
 		panic(err)
 	}

@@ -20,10 +20,11 @@ import (
 // LeastSquares holds the regularization weight λ.
 type LeastSquares struct {
 	Lambda float64
-	// Workers bounds the goroutine fan-out of the sparse loss kernels
-	// (X·W and the support-restricted gradient): 0 selects
-	// runtime.GOMAXPROCS, 1 forces serial. Both kernels partition by
-	// output rows, so results are bit-identical at every worker count.
+	// Workers bounds the goroutine fan-out of the loss kernels — the
+	// dense GEMMs of ValueGrad as well as the sparse X·W and the
+	// support-restricted gradient: 0 selects runtime.GOMAXPROCS, 1
+	// forces serial. All kernels partition by output rows, so results
+	// are bit-identical at every worker count.
 	Workers int
 }
 
@@ -32,7 +33,7 @@ func (ls LeastSquares) runner() *parallel.Runner { return parallel.New(ls.Worker
 // Value returns L(W, X) for dense W.
 func (ls LeastSquares) Value(w, x *mat.Dense) float64 {
 	n := float64(x.Rows())
-	xw := x.Mul(w)
+	xw := x.MulWorkers(w, ls.Workers)
 	var sq float64
 	xd, wd := x.Data(), xw.Data()
 	for i := range xd {
@@ -46,13 +47,13 @@ func (ls LeastSquares) Value(w, x *mat.Dense) float64 {
 // for dense W. The L1 subgradient at 0 is taken as 0.
 func (ls LeastSquares) ValueGrad(w, x *mat.Dense) (float64, *mat.Dense) {
 	n := float64(x.Rows())
-	xw := x.Mul(w)
+	xw := x.MulWorkers(w, ls.Workers)
 	resid := xw.SubMat(x) // XW − X
 	var sq float64
 	for _, v := range resid.Data() {
 		sq += v * v
 	}
-	grad := x.Transpose().Mul(resid)
+	grad := x.Transpose().MulWorkers(resid, ls.Workers)
 	grad.ScaleInPlace(2 / n)
 	gd, wd := grad.Data(), w.Data()
 	for i := range gd {

@@ -362,7 +362,14 @@ const gemmParallelThreshold = 1 << 20
 // Mul returns m·o. Large products are computed with one goroutine per
 // row stripe; the i-k-j loop order keeps the inner loop streaming over
 // contiguous rows of o.
-func (m *Dense) Mul(o *Dense) *Dense {
+func (m *Dense) Mul(o *Dense) *Dense { return m.MulWorkers(o, 0) }
+
+// MulWorkers is Mul with a bounded goroutine fan-out: maxWorkers <= 0
+// selects runtime.GOMAXPROCS, 1 forces the serial path, n > 1 caps the
+// stripe count at n. Stripes partition output rows, and every output
+// element is accumulated by exactly one worker in the serial loop
+// order, so the product is bit-identical at every worker bound.
+func (m *Dense) MulWorkers(o *Dense, maxWorkers int) *Dense {
 	if m.cols != o.rows {
 		panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
 	}
@@ -371,6 +378,9 @@ func (m *Dense) Mul(o *Dense) *Dense {
 	workers := 1
 	if flops > gemmParallelThreshold {
 		workers = runtime.GOMAXPROCS(0)
+		if maxWorkers > 0 && workers > maxWorkers {
+			workers = maxWorkers
+		}
 		if workers > m.rows {
 			workers = m.rows
 		}

@@ -309,3 +309,27 @@ func TestSpectralRadiusGelfandKnownCases(t *testing.T) {
 		t.Fatalf("Gelfand rotation = %g want 2", r)
 	}
 }
+
+func TestMulWorkersBitIdentical(t *testing.T) {
+	// Above the GEMM parallel threshold so the worker bound is live;
+	// every bound must be bit-identical (stripes partition output rows).
+	n := 130
+	a := NewDense(n, n)
+	b := NewDense(n, n)
+	s := 1.0
+	for i := range a.data {
+		a.data[i] = math.Sin(s)
+		b.data[i] = math.Cos(s / 2)
+		s += 0.41
+	}
+	serial := a.MulWorkers(b, 1)
+	for _, workers := range []int{0, 2, 3, 7} {
+		got := a.MulWorkers(b, workers)
+		if !serial.EqualApprox(got, 0) {
+			t.Fatalf("MulWorkers(%d) differs from serial", workers)
+		}
+	}
+	if !serial.EqualApprox(a.Mul(b), 0) {
+		t.Fatal("Mul must equal the bounded variant")
+	}
+}

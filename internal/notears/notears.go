@@ -7,9 +7,16 @@
 // is shared with LEAST via internal/opt; only the constraint function
 // and its O(d³) gradient differ. The package also exposes the DAG-GNN
 // polynomial variant tr((I+γS)^d) − d as a second baseline.
+//
+// RunCtx gives the baseline the same serving contract as the LEAST
+// learners (internal/core): cancellation observed within one inner
+// iteration, per-iteration Progress callbacks, and a bounded loss-
+// kernel fan-out — which is what lets the public Spec API treat all
+// three methods uniformly (DESIGN.md §5).
 package notears
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -53,6 +60,30 @@ type Options struct {
 	RhoGrowth          float64
 	Seed               int64
 	GradClip           float64
+	// Parallelism bounds the goroutine fan-out of the loss kernels
+	// (the X·W and Xᵀ·R GEMMs): 0 selects runtime.GOMAXPROCS, 1 forces
+	// serial. The O(d³) constraint gradient itself is single-threaded,
+	// so this caps — not eliminates — the baseline's core usage. Row-
+	// partitioned GEMM stripes keep results bit-identical at every
+	// worker bound.
+	Parallelism int
+	// Progress, when non-nil, is invoked after every inner iteration
+	// on the learner's goroutine — same contract as core.Options
+	// .Progress: implementations must be fast and must not block.
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time snapshot of a running baseline learn,
+// mirroring core.Progress with the exact constraint h in place of the
+// spectral bound δ.
+type Progress struct {
+	// Solves counts inner solves started (outer iterations including
+	// ρ-escalation re-solves); Inner counts cumulative inner iterations.
+	Solves, Inner int
+	// H is the current exact acyclicity constraint value h(W).
+	H float64
+	// Elapsed is the wall-clock time since the learn started.
+	Elapsed time.Duration
 }
 
 // DefaultOptions mirrors core.DefaultOptions for a fair comparison.
@@ -80,10 +111,25 @@ type Result struct {
 	HTrace     []float64
 	Elapsed    time.Duration
 	Converged  bool
+	// Cancelled reports that the run was stopped early by its context
+	// (Converged is false in that case and W holds the last iterate).
+	Cancelled bool
 }
 
 // Run learns a structure from the n×d sample matrix x.
 func Run(x *mat.Dense, o Options) *Result {
+	return RunCtx(context.Background(), x, o)
+}
+
+// RunCtx is Run under a context: cancellation is observed at inner-
+// iteration granularity (the result carries the last iterate with
+// Cancelled set) and Options.Progress, if present, is notified after
+// every iteration — the same contract as core.DenseCtx, so the serving
+// layer can supervise baseline jobs exactly like LEAST ones.
+func RunCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	d := x.Cols()
 	rng := randx.New(o.Seed)
@@ -91,7 +137,7 @@ func Run(x *mat.Dense, o Options) *Result {
 	// noise breaks ties without changing behaviour measurably.
 	w := gen.DenseGlorotInit(rng, d, math.Min(1, 4/float64(d)))
 	w.ScaleInPlace(0.01)
-	ls := loss.LeastSquares{Lambda: o.Lambda}
+	ls := loss.LeastSquares{Lambda: o.Lambda, Workers: o.Parallelism}
 	adam := opt.NewAdam(o.Adam, d*d)
 	diag := opt.DiagonalIndices(d)
 	res := &Result{}
@@ -127,16 +173,27 @@ func Run(x *mat.Dense, o Options) *Result {
 	}
 	solve := 0
 	inner := func(rho, eta float64) float64 {
+		solve++
+		if ctx.Err() != nil {
+			// Abandoned run: skip even the O(d³) forward pass. The outer
+			// loop breaks on its own cancellation check before this value
+			// can influence convergence accounting.
+			res.Cancelled = true
+			return math.Inf(1)
+		}
 		adam.Reset()
-		lr := lr0 * math.Pow(0.75, float64(solve))
+		lr := lr0 * math.Pow(0.75, float64(solve-1))
 		if lr < 1e-5 {
 			lr = 1e-5
 		}
 		adam.SetLR(lr)
-		solve++
 		prevObj := math.Inf(1)
 		calm := 0
 		for it := 0; it < o.MaxInner; it++ {
+			if ctx.Err() != nil {
+				res.Cancelled = true
+				break
+			}
 			res.InnerIters++
 			h, gradC := hGrad(w)
 			xb := batchRows()
@@ -155,6 +212,9 @@ func Run(x *mat.Dense, o Options) *Result {
 			opt.PinZero(w, diag)
 			if o.Threshold > 0 {
 				w.Threshold(o.Threshold)
+			}
+			if o.Progress != nil {
+				o.Progress(Progress{Solves: solve, Inner: res.InnerIters, H: h, Elapsed: time.Since(start)})
 			}
 			if loss.NaNGuard(obj) {
 				break
@@ -177,7 +237,13 @@ func Run(x *mat.Dense, o Options) *Result {
 		RhoInit: 1, EtaInit: 0, RhoGrowth: o.RhoGrowth,
 		RhoMax: 1e16, Epsilon: o.Epsilon, MaxOuter: o.MaxOuter,
 		ProgressFactor: 0.25,
+		Cancelled:      func() bool { return ctx.Err() != nil },
 	}, inner, nil)
+	// A cancellation seen only by the outer loop must still surface as
+	// Cancelled, never as a normal completion.
+	if ctx.Err() != nil {
+		res.Cancelled = true
+	}
 
 	res.W = w
 	res.H = st.Delta

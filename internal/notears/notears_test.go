@@ -1,6 +1,7 @@
 package notears
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -78,5 +79,67 @@ func TestBatchedRun(t *testing.T) {
 	res := Run(x, o)
 	if res.W == nil || res.W.HasNaN() {
 		t.Fatal("batched run produced bad weights")
+	}
+}
+
+// TestRunCtxCancelMidRun pins the serving contract RunCtx adds to the
+// baseline: cancellation observed within one inner iteration, the run
+// reported as Cancelled (never Converged), and the last iterate kept.
+func TestRunCtxCancelMidRun(t *testing.T) {
+	rng := randx.New(7)
+	dag := gen.RandomDAG(rng, gen.ER, 25, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 200, randx.Gaussian)
+	o := DefaultOptions()
+	o.Epsilon = 1e-15 // unreachable
+	o.MaxInner = 5000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ticks int
+	o.Progress = func(p Progress) {
+		ticks++
+		if p.Inner != ticks || p.Solves == 0 || p.Elapsed < 0 {
+			t.Errorf("progress out of order: %+v at tick %d", p, ticks)
+		}
+		if ticks == 4 {
+			cancel()
+		}
+	}
+	res := RunCtx(ctx, x, o)
+	if !res.Cancelled || res.Converged {
+		t.Fatalf("cancelled run reported as Cancelled=%v Converged=%v", res.Cancelled, res.Converged)
+	}
+	if ticks > 5 {
+		t.Fatalf("kept iterating %d ticks after cancellation", ticks)
+	}
+	if res.W == nil {
+		t.Fatal("cancelled run must keep the last iterate")
+	}
+
+	// Pre-cancelled context: no iterations at all.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	o.Progress = func(Progress) { t.Error("pre-cancelled run iterated") }
+	if res := RunCtx(pre, x, o); !res.Cancelled {
+		t.Fatal("pre-cancelled run not reported as Cancelled")
+	}
+}
+
+// TestRunParallelismBitIdentical: the loss GEMM stripes partition
+// output rows, so bounding the fan-out never changes the result.
+func TestRunParallelismBitIdentical(t *testing.T) {
+	rng := randx.New(9)
+	dag := gen.RandomDAG(rng, gen.ER, 15, 2, 0.5, 2)
+	x := gen.SampleLSEM(rng, dag, 150, randx.Gaussian)
+	o := DefaultOptions()
+	o.Epsilon = 1e-2
+	o.MaxOuter = 4
+
+	o.Parallelism = 1
+	serial := Run(x, o)
+	o.Parallelism = 8
+	parallel := Run(x, o)
+	if !serial.W.EqualApprox(parallel.W, 0) {
+		t.Fatal("results differ across worker bounds")
 	}
 }

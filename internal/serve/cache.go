@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"math"
 	"sync"
 
@@ -77,12 +78,29 @@ func (c *resultCache) stats() (int, int, int) {
 	return c.hits, c.misses, c.ll.Len()
 }
 
-// CacheKey fingerprints a submission: the exact float bits of the
-// sample matrix, its shape, the node names, and every learn option.
-// Two submissions collide only when they would provably produce the
-// same result (learning is deterministic given options + seed), which
-// is what makes result reuse safe.
+// CacheKey fingerprints a legacy-Options submission.
+//
+// Deprecated: use CacheKeySpec. CacheKey converts through
+// least.Options.Spec, so a v1 submission and its Spec equivalent land
+// on the same cache entry.
 func CacheKey(x *least.Matrix, names []string, o least.Options) string {
+	key, err := CacheKeySpec(x, names, o.Spec())
+	if err != nil {
+		// A legacy-converted Spec always marshals; keep the historical
+		// non-erroring signature.
+		panic(err)
+	}
+	return key
+}
+
+// CacheKeySpec fingerprints a submission: the exact float bits of the
+// sample matrix, its shape, the node names, and the canonical JSON of
+// the Spec (one key per explicitly-set field — progress callbacks and
+// other runtime state never reach the key). Two submissions collide
+// only when they would provably produce the same result (learning is
+// deterministic given spec + seed), which is what makes result reuse
+// safe.
+func CacheKeySpec(x *least.Matrix, names []string, spec *least.Spec) (string, error) {
 	h := sha256.New()
 	var buf [8]byte
 	writeInt := func(v int) {
@@ -108,9 +126,15 @@ func CacheKey(x *least.Matrix, names []string, o least.Options) string {
 		h.Write([]byte(name))
 		h.Write([]byte{0})
 	}
-	// least.Options is a flat struct of exported scalars (+ SinkNodes),
-	// so its JSON form is a canonical fingerprint of every knob.
-	ob, _ := json.Marshal(o)
-	h.Write(ob)
-	return hex.EncodeToString(h.Sum(nil))
+	// Fingerprint the defaults-resolved canonical form, not the raw
+	// set-marker form: {"lambda": 0.1} and {} configure the same learn
+	// (λ's default is 0.1) and must land on the same entry, as must a
+	// partial v2 spec and the fully-specified spec a v1 submission
+	// maps to.
+	sb, err := json.Marshal(spec.Canonical())
+	if err != nil {
+		return "", fmt.Errorf("serve: spec fingerprint: %w", err)
+	}
+	h.Write(sb)
+	return hex.EncodeToString(h.Sum(nil)), nil
 }

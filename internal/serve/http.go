@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -14,8 +15,11 @@ import (
 	"repro/internal/csvio"
 )
 
-// API is the JSON/HTTP face of a Manager — the v1 surface served by
-// cmd/leastd:
+// API is the JSON/HTTP face of a Manager, served by cmd/leastd. The
+// frozen v1 surface (options in the legacy zero-means-default wire
+// form; answers stay byte-compatible, except that out-of-range option
+// values — previously fed to the learner unvalidated — now draw the
+// shared Spec validation's 400, see DESIGN.md §5):
 //
 //	POST   /v1/jobs             submit (CSV or dense-JSON samples + options)
 //	GET    /v1/jobs             list all known jobs
@@ -23,6 +27,16 @@ import (
 //	GET    /v1/jobs/{id}/graph  learned network (bnet JSON), ?tau= threshold
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness + pool/cache counters
+//
+// and the v2 surface over the Spec wire form (see DESIGN.md §5 for the
+// v1→v2 field mapping and the SSE event schema):
+//
+//	POST   /v2/jobs             submit with "spec" ({"method": "notears", ...})
+//	GET    /v2/jobs             list (statuses carry "method")
+//	GET    /v2/jobs/{id}        status + iteration progress + method
+//	GET    /v2/jobs/{id}/graph  learned network (same as v1)
+//	GET    /v2/jobs/{id}/events live per-iteration progress over SSE
+//	DELETE /v2/jobs/{id}        cancel
 type API struct {
 	m *Manager
 }
@@ -43,6 +57,12 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/graph", a.graph)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.cancel)
+	mux.HandleFunc("POST /v2/jobs", a.submitV2)
+	mux.HandleFunc("GET /v2/jobs", a.listV2)
+	mux.HandleFunc("GET /v2/jobs/{id}", a.statusV2)
+	mux.HandleFunc("GET /v2/jobs/{id}/graph", a.graph)
+	mux.HandleFunc("GET /v2/jobs/{id}/events", a.events)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", a.cancelV2)
 	mux.HandleFunc("GET /healthz", a.health)
 	return mux
 }
@@ -65,7 +85,10 @@ type SubmitRequest struct {
 	Options *JobOptions `json:"options,omitempty"`
 }
 
-// JobOptions is the wire form of least.Options (zero = default).
+// JobOptions is the frozen v1 wire form of the legacy least.Options
+// (zero = default; "sparse" selects LEAST-SP). The v2 surface replaces
+// it with the least.Spec wire form, whose "method" field and
+// set-vs-unset distinction this shape cannot express.
 type JobOptions struct {
 	K                int     `json:"k,omitempty"`
 	Alpha            float64 `json:"alpha,omitempty"`
@@ -83,11 +106,12 @@ type JobOptions struct {
 	Seed             int64   `json:"seed,omitempty"`
 }
 
-// toOptions overlays the wire fields on the library defaults.
-func (jo *JobOptions) toOptions() least.Options {
+// toSpec resolves the v1 wire fields to a Spec under the legacy
+// zero-means-default rules (least.Options.Spec does the mapping).
+func (jo *JobOptions) toSpec() *least.Spec {
 	o := least.Defaults()
 	if jo == nil {
-		return o
+		return o.Spec()
 	}
 	if jo.K > 0 {
 		o.K = jo.K
@@ -123,7 +147,34 @@ func (jo *JobOptions) toOptions() least.Options {
 	if jo.Seed != 0 {
 		o.Seed = jo.Seed
 	}
-	return o
+	return o.Spec()
+}
+
+// submitSpec runs the shared admission flow and writes the response
+// through render (v1 writes the bare Status; v2 wraps it with method).
+// Code and body derive from one snapshot, so 200 always means the body
+// says done — a fast job finishing mid-handler cannot produce the
+// 202-with-done-body combination the v1 surface never emitted.
+func (a *API) submitSpec(w http.ResponseWriter, x *least.Matrix, names []string, spec *least.Spec, center bool, render func(*Job, Status) any) {
+	if center {
+		least.Center(x)
+	}
+	j, err := a.m.SubmitSpec(x, names, spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := j.Status()
+	code := http.StatusAccepted
+	if st.State == Done { // answered from the result cache
+		code = http.StatusOK
+	}
+	writeJSON(w, code, render(j, st))
 }
 
 func (a *API) submit(w http.ResponseWriter, r *http.Request) {
@@ -137,51 +188,36 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Center {
-		least.Center(x)
-	}
-	j, err := a.m.Submit(x, names, req.Options.toOptions())
-	switch {
-	case err == nil:
-	case errors.Is(err, ErrQueueFull):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrShuttingDown):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	default:
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	st := j.Status()
-	code := http.StatusAccepted
-	if st.State == Done { // answered from the result cache
-		code = http.StatusOK
-	}
-	writeJSON(w, code, st)
+	a.submitSpec(w, x, names, req.Options.toSpec(), req.Center, func(_ *Job, st Status) any { return st })
 }
 
 // matrix materializes the request's samples.
 func (req *SubmitRequest) matrix() (*least.Matrix, []string, error) {
+	return buildMatrix(req.CSV, req.Header, req.Samples, req.Names)
+}
+
+// buildMatrix materializes a submission's samples from whichever data
+// envelope was provided — shared by the v1 and v2 submit handlers.
+func buildMatrix(csv string, header bool, samples [][]float64, names []string) (*least.Matrix, []string, error) {
 	switch {
-	case req.CSV != "" && req.Samples != nil:
+	case csv != "" && samples != nil:
 		return nil, nil, errors.New("provide csv or samples, not both")
-	case req.CSV != "":
-		return parseCSV(req.CSV, req.Header, req.Names)
-	case req.Samples != nil:
-		n := len(req.Samples)
-		if n == 0 || len(req.Samples[0]) == 0 {
+	case csv != "":
+		return parseCSV(csv, header, names)
+	case samples != nil:
+		n := len(samples)
+		if n == 0 || len(samples[0]) == 0 {
 			return nil, nil, errors.New("samples must be a non-empty matrix")
 		}
-		d := len(req.Samples[0])
+		d := len(samples[0])
 		x := least.NewMatrix(n, d)
-		for i, row := range req.Samples {
+		for i, row := range samples {
 			if len(row) != d {
 				return nil, nil, fmt.Errorf("samples row %d has %d values, want %d", i, len(row), d)
 			}
 			copy(x.Row(i), row)
 		}
-		return x, req.Names, nil
+		return x, names, nil
 	default:
 		return nil, nil, errors.New("missing samples: provide csv or samples")
 	}
@@ -200,8 +236,128 @@ func parseCSV(doc string, header bool, names []string) (*least.Matrix, []string,
 	return x, names, nil
 }
 
+// SubmitRequestV2 is the POST /v2/jobs body: the same data envelope as
+// v1 (CSV or dense samples, names, centering) with the learn
+// configuration as a least.Spec wire object — unknown spec fields are
+// rejected, set fields are range-validated, and "method" selects
+// least / least-sp / notears.
+type SubmitRequestV2 struct {
+	CSV     string      `json:"csv,omitempty"`
+	Header  bool        `json:"header,omitempty"`
+	Samples [][]float64 `json:"samples,omitempty"`
+	Names   []string    `json:"names,omitempty"`
+	Center  bool        `json:"center,omitempty"`
+	Spec    *least.Spec `json:"spec,omitempty"`
+}
+
+// StatusV2 is the v2 status payload: the v1 Status plus the resolved
+// learning method (v1 responses stay byte-identical by never carrying
+// the extra key).
+type StatusV2 struct {
+	Status
+	Method least.Method `json:"method"`
+}
+
+func statusV2Of(j *Job) StatusV2 { return StatusV2{Status: j.Status(), Method: j.Method()} }
+
+func (a *API) submitV2(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequestV2
+	// Strict at the top level too: a legacy "options" envelope or a
+	// misspelled "spec" must be a 400, not an all-defaults learn (v1
+	// keeps its historical tolerance of unknown keys).
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	x, names, err := buildMatrix(req.CSV, req.Header, req.Samples, req.Names)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a.submitSpec(w, x, names, req.Spec, req.Center, func(j *Job, st Status) any {
+		return StatusV2{Status: st, Method: j.Method()}
+	})
+}
+
 func (a *API) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.m.List())
+}
+
+func (a *API) listV2(w http.ResponseWriter, r *http.Request) {
+	jobs := a.m.Jobs()
+	out := make([]StatusV2, len(jobs))
+	for i, j := range jobs {
+		out[i] = statusV2Of(j)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) statusV2(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusV2Of(j))
+}
+
+// events streams the job's life over Server-Sent Events: one
+// "progress" event per observable change (coalescing to the latest
+// snapshot under load), then a single terminal event named after the
+// final state ("done" / "failed" / "cancelled") and EOF. Data payloads
+// are the v2 status JSON; event ids are the job's change sequence
+// numbers. A dashboard can watch δ(W) converge live:
+//
+//	curl -N localhost:8080/v2/jobs/j00000001/events
+func (a *API) events(w http.ResponseWriter, r *http.Request) {
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by transport")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // keep reverse proxies from spooling the stream
+	w.WriteHeader(http.StatusOK)
+
+	ctx := r.Context()
+	seen := -1 // deliver the current snapshot first, even for queued jobs
+	for {
+		st, seq, terminal := j.Watch(ctx, seen)
+		if ctx.Err() != nil {
+			return // client went away
+		}
+		name := "progress"
+		if terminal {
+			name = string(st.State)
+		}
+		if err := writeSSE(w, name, seq, StatusV2{Status: st, Method: j.Method()}); err != nil {
+			return
+		}
+		fl.Flush()
+		if terminal {
+			return
+		}
+		seen = seq
+	}
+}
+
+// writeSSE emits one event in the text/event-stream framing.
+func writeSSE(w io.Writer, event string, id int, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, b)
+	return err
 }
 
 func (a *API) status(w http.ResponseWriter, r *http.Request) {
@@ -255,6 +411,28 @@ func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "%v", err)
 	default:
 		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func (a *API) cancelV2(w http.ResponseWriter, r *http.Request) {
+	// Resolve the job before cancelling: a successful Cancel makes the
+	// job terminal and thus eligible for concurrent history eviction,
+	// after which a re-fetch would 404 a cancel that in fact landed.
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st, err := a.m.Cancel(j.ID())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, StatusV2{Status: st, Method: j.Method()})
+	case errors.Is(err, ErrFinished):
+		httpError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrUnknownJob): // evicted between Get and Cancel
+		httpError(w, http.StatusNotFound, "%v", err)
+	default:
+		httpError(w, http.StatusConflict, "%v", err)
 	}
 }
 

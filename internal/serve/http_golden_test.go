@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The golden tests pin the v1 HTTP JSON shapes — key set, key order,
+// indentation, status codes — against the Spec-backed handlers, so the
+// redesign (and every future change) provably keeps the frozen v1
+// surface byte-compatible. Volatile values (timestamps, iteration
+// counters, learned weights) are normalized to placeholders before
+// comparison; everything else must match byte-for-byte.
+
+var (
+	goldenTimeRE   = regexp.MustCompile(`"(created|started|finished)": "[^"]+"`)
+	goldenVolRE    = regexp.MustCompile(`"(solves|inner_iters|delta|elapsed_ms)": [-+0-9.eE]+`)
+	goldenWeightRE = regexp.MustCompile(`"weight": [-+0-9.eE]+`)
+)
+
+func normalizeGolden(b []byte) string {
+	s := goldenTimeRE.ReplaceAllString(string(b), `"$1": "<time>"`)
+	s = goldenVolRE.ReplaceAllString(s, `"$1": <n>`)
+	s = goldenWeightRE.ReplaceAllString(s, `"weight": <n>`)
+	return s
+}
+
+// chainCSV builds the deterministic A→B→C chain used across the smoke
+// tests (xorshift pseudo-noise, so the learned weights are identical
+// on every platform).
+func chainCSV() string {
+	var sb strings.Builder
+	sb.WriteString("A,B,C\n")
+	state := uint64(42)
+	noise := func() float64 {
+		var s float64
+		for k := 0; k < 4; k++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			s += float64(state%1000)/1000.0 - 0.5
+		}
+		return s * 0.1
+	}
+	for i := 0; i < 150; i++ {
+		a := noise() * 10
+		bv := 1.5*a + noise()
+		c := -1.2*bv + noise()
+		fmt.Fprintf(&sb, "%.6f,%.6f,%.6f\n", a, bv, c)
+	}
+	return sb.String()
+}
+
+const goldenSubmitQueued = `{
+  "id": "j00000002",
+  "state": "queued",
+  "vars": 3,
+  "samples": 150,
+  "created": "<time>",
+  "solves": <n>,
+  "inner_iters": <n>,
+  "delta": <n>,
+  "elapsed_ms": <n>
+}
+`
+
+const goldenStatusDone = `{
+  "id": "j00000002",
+  "state": "done",
+  "vars": 3,
+  "samples": 150,
+  "created": "<time>",
+  "started": "<time>",
+  "finished": "<time>",
+  "solves": <n>,
+  "inner_iters": <n>,
+  "delta": <n>,
+  "elapsed_ms": <n>,
+  "converged": true
+}
+`
+
+const goldenResubmitCached = `{
+  "id": "j00000003",
+  "state": "done",
+  "cached": true,
+  "vars": 3,
+  "samples": 150,
+  "created": "<time>",
+  "started": "<time>",
+  "finished": "<time>",
+  "solves": <n>,
+  "inner_iters": <n>,
+  "delta": <n>,
+  "elapsed_ms": <n>,
+  "converged": true
+}
+`
+
+const goldenGraph = `{
+  "nodes": [
+    "A",
+    "B",
+    "C"
+  ],
+  "edges": [
+    {
+      "from": 0,
+      "to": 1,
+      "weight": <n>
+    },
+    {
+      "from": 1,
+      "to": 2,
+      "weight": <n>
+    }
+  ]
+}
+`
+
+const goldenCancelDoneConflict = `{
+  "error": "serve: job already finished"
+}
+`
+
+const goldenUnknownJob = `{
+  "error": "serve: unknown job"
+}
+`
+
+const goldenMissingSamples = `{
+  "error": "missing samples: provide csv or samples"
+}
+`
+
+// The deliberate v1 tightening (DESIGN.md §5): out-of-range option
+// values that the pre-Spec handlers fed to the learner unvalidated
+// now draw the shared Spec validation's 400.
+const goldenOutOfRangeOption = `{
+  "error": "least: invalid spec: alpha must be in [0, 1], got 1.5"
+}
+`
+
+const goldenHealth = `{
+  "cache_entries": 1,
+  "cache_hits": 1,
+  "cache_misses": 2,
+  "jobs": 3,
+  "status": "ok"
+}
+`
+
+func TestHTTPV1GoldenShapes(t *testing.T) {
+	srv, m := newTestServer(t)
+	base := srv.URL
+
+	// Block the single pool slot so the golden submission is
+	// deterministically queued when its response is written.
+	xs, os := slowDataset(91)
+	blocker, err := m.Submit(xs, nil, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running, 10*time.Second)
+
+	// The golden job: deterministic chain data, serial execution.
+	submit := map[string]any{
+		"csv": chainCSV(), "header": true, "center": true,
+		"options": map[string]any{"lambda": 0.1, "epsilon": 0.001, "parallelism": 1},
+	}
+	code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", submit)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	if got := normalizeGolden(b); got != goldenSubmitQueued {
+		t.Errorf("submit response drifted from the v1 golden:\n got: %s\nwant: %s", got, goldenSubmitQueued)
+	}
+
+	// Unblock the pool and let the golden job finish.
+	if _, err := m.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+	st := pollUntil(t, base, "j00000002", Done, 60*time.Second)
+	if !st.Converged {
+		t.Fatalf("golden job must converge for a stable shape: %+v", st)
+	}
+	code, b = doJSON(t, http.MethodGet, base+"/v1/jobs/j00000002", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	if got := normalizeGolden(b); got != goldenStatusDone {
+		t.Errorf("done status drifted from the v1 golden:\n got: %s\nwant: %s", got, goldenStatusDone)
+	}
+
+	// Identical resubmission: 200, born done, cached marker present.
+	code, b = doJSON(t, http.MethodPost, base+"/v1/jobs", submit)
+	if code != http.StatusOK {
+		t.Fatalf("cached resubmit: HTTP %d\n%s", code, b)
+	}
+	if got := normalizeGolden(b); got != goldenResubmitCached {
+		t.Errorf("cached response drifted from the v1 golden:\n got: %s\nwant: %s", got, goldenResubmitCached)
+	}
+
+	// The learned network: fixed node names, the planted chain edges,
+	// weights normalized.
+	code, b = doJSON(t, http.MethodGet, base+"/v1/jobs/j00000002/graph?tau=0.3", nil)
+	if code != http.StatusOK {
+		t.Fatalf("graph: HTTP %d\n%s", code, b)
+	}
+	if got := normalizeGolden(b); got != goldenGraph {
+		t.Errorf("graph drifted from the v1 golden:\n got: %s\nwant: %s", got, goldenGraph)
+	}
+
+	// Error shapes.
+	code, b = doJSON(t, http.MethodDelete, base+"/v1/jobs/j00000002", nil)
+	if code != http.StatusConflict || string(b) != goldenCancelDoneConflict {
+		t.Errorf("cancel-done shape: HTTP %d\n got: %swant: %s", code, b, goldenCancelDoneConflict)
+	}
+	code, b = doJSON(t, http.MethodGet, base+"/v1/jobs/nope", nil)
+	if code != http.StatusNotFound || string(b) != goldenUnknownJob {
+		t.Errorf("unknown-job shape: HTTP %d\n got: %swant: %s", code, b, goldenUnknownJob)
+	}
+	code, b = doJSON(t, http.MethodPost, base+"/v1/jobs", map[string]any{})
+	if code != http.StatusBadRequest || string(b) != goldenMissingSamples {
+		t.Errorf("empty-submit shape: HTTP %d\n got: %swant: %s", code, b, goldenMissingSamples)
+	}
+	badOpts := map[string]any{
+		"csv": chainCSV(), "header": true,
+		"options": map[string]any{"alpha": 1.5},
+	}
+	code, b = doJSON(t, http.MethodPost, base+"/v1/jobs", badOpts)
+	if code != http.StatusBadRequest || string(b) != goldenOutOfRangeOption {
+		t.Errorf("out-of-range option shape: HTTP %d\n got: %swant: %s", code, b, goldenOutOfRangeOption)
+	}
+
+	// Liveness counters: fully deterministic at this point in the
+	// lifecycle (three submissions, one cache hit, one stored result).
+	code, b = doJSON(t, http.MethodGet, base+"/healthz", nil)
+	if code != http.StatusOK || string(b) != goldenHealth {
+		t.Errorf("healthz shape: HTTP %d\n got: %swant: %s", code, b, goldenHealth)
+	}
+}

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// erSubmissionV2 mirrors erSubmission over the v2 wire form.
+func erSubmissionV2(seed int64, specJSON string) map[string]any {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 15, 2)
+	x := least.SampleLSEM(seed+1, truth, 150, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = append([]float64(nil), x.Row(i)...)
+	}
+	req := map[string]any{"samples": rows}
+	if specJSON != "" {
+		req["spec"] = json.RawMessage(specJSON)
+	}
+	return req
+}
+
+func TestHTTPV2SubmitWithMethod(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	// notears via the v2 method field on a small problem.
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs",
+		erSubmissionV2(61, `{"method": "notears", "lambda": 0.2, "epsilon": 0.01, "max_outer": 6, "seed": 5}`))
+	if code != http.StatusAccepted {
+		t.Fatalf("v2 submit: HTTP %d\n%s", code, b)
+	}
+	var st StatusV2
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("v2 status decode: %v\n%s", err, b)
+	}
+	if st.Method != least.MethodNOTEARS {
+		t.Fatalf("v2 status method = %q, want notears", st.Method)
+	}
+	fin := pollUntil(t, base, st.ID, Done, 60*time.Second)
+	if fin.InnerIters == 0 {
+		t.Fatalf("baseline job reported no progress: %+v", fin)
+	}
+
+	// The v2 status view carries the method; the graph endpoint works
+	// for the baseline's dense weights.
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+st.ID, nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(`"method": "notears"`)) {
+		t.Fatalf("v2 status: HTTP %d\n%s", code, b)
+	}
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+st.ID+"/graph?tau=0.3", nil)
+	if code != http.StatusOK {
+		t.Fatalf("v2 graph: HTTP %d\n%s", code, b)
+	}
+	var g wireGraph
+	if err := json.Unmarshal(b, &g); err != nil || len(g.Nodes) != 15 {
+		t.Fatalf("v2 graph decode: %v\n%s", err, b)
+	}
+
+	// v2 list carries methods too.
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs", nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(`"method"`)) {
+		t.Fatalf("v2 list: HTTP %d\n%s", code, b)
+	}
+}
+
+func TestHTTPV2SpecValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+	cases := []struct {
+		name string
+		spec string
+		frag string
+	}{
+		{"unknown method", `{"method": "dagma"}`, "unknown method"},
+		{"negative lambda", `{"lambda": -1}`, "lambda"},
+		{"alpha out of range", `{"alpha": 1.5}`, "alpha"},
+		{"density out of range", `{"init_density": 0}`, "init_density"},
+		{"unknown field", `{"sparse": true}`, "sparse"},
+		{"inapplicable knob", `{"method": "notears", "k": 5}`, "does not apply"},
+		{"sink index beyond d", `{"sink_nodes": [99]}`, "out of range for 15 variables"},
+	}
+	for _, c := range cases {
+		code, b := doJSON(t, http.MethodPost, base+"/v2/jobs", erSubmissionV2(62, c.spec))
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400\n%s", c.name, code, b)
+			continue
+		}
+		if !bytes.Contains(b, []byte(c.frag)) {
+			t.Errorf("%s: error %s does not mention %q", c.name, b, c.frag)
+		}
+	}
+
+	// Unknown keys at the request's top level are rejected too: a v1
+	// client posting its legacy "options" envelope to /v2/jobs must
+	// get a 400, not an accidental all-defaults learn.
+	req := erSubmissionV2(62, "")
+	req["options"] = json.RawMessage(`{"lambda": 0.5}`)
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs", req)
+	if code != http.StatusBadRequest || !bytes.Contains(b, []byte("options")) {
+		t.Errorf("legacy options envelope on v2: HTTP %d, want 400 naming the field\n%s", code, b)
+	}
+}
+
+func TestHTTPV2CacheSharedWithV1(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	// v1 submission…
+	code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", erSubmission(63))
+	if code != http.StatusAccepted {
+		t.Fatalf("v1 submit: HTTP %d\n%s", code, b)
+	}
+	st := decodeStatus(t, b)
+	pollUntil(t, base, st.ID, Done, 60*time.Second)
+
+	// …answered from the cache when resubmitted through v2 with a
+	// *partial* spec that merely resolves to the same configuration:
+	// the cache fingerprints the defaults-resolved canonical form, so
+	// the v2 client does not have to spell out every default.
+	v2 := erSubmissionV2(63, `{"lambda": 0.2, "epsilon": 0.001, "seed": 5}`)
+	code, b = doJSON(t, http.MethodPost, base+"/v2/jobs", v2)
+	if code != http.StatusOK {
+		t.Fatalf("v2 resubmit: HTTP %d, want 200 (cache hit)\n%s", code, b)
+	}
+	var st2 StatusV2
+	if err := json.Unmarshal(b, &st2); err != nil || !st2.Cached {
+		t.Fatalf("v2 resubmission should be a cache hit: %v\n%s", err, b)
+	}
+}
+
+// sseEvent is one parsed text/event-stream frame.
+type sseEvent struct {
+	name string
+	id   string
+	data string
+}
+
+// readSSE parses frames until the stream closes or limit is reached.
+func readSSE(t *testing.T, r *bufio.Reader, limit int) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	cur := sseEvent{}
+	for len(events) < limit {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return events
+}
+
+// TestHTTPV2EventsStreamsProgress is the acceptance test of the SSE
+// surface: at least one progress event arrives before the terminal
+// event, each data payload is a v2 status, and the stream closes after
+// the terminal frame. The subscriber attaches while the job is still
+// queued behind a blocked pool, so it deterministically observes the
+// whole queued → running → done life even for a fast learn.
+func TestHTTPV2EventsStreamsProgress(t *testing.T) {
+	srv, m := newTestServer(t)
+	base := srv.URL
+
+	xs, os := slowDataset(71)
+	blocker, err := m.Submit(xs, nil, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running, 10*time.Second)
+
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs",
+		erSubmissionV2(72, `{"lambda": 0.2, "epsilon": 0.001, "parallelism": 1, "seed": 5}`))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	var st StatusV2
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(base + "/v2/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+
+	// The first frame is the immediate snapshot of the queued job.
+	first := readSSE(t, r, 1)
+	if len(first) != 1 || first[0].name != "progress" {
+		t.Fatalf("first frame: %+v", first)
+	}
+
+	// Unblock the pool; the subscriber rides the job to completion.
+	if _, err := m.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+	events := append(first, readSSE(t, r, 10_000)...)
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want at least a progress and a terminal one:\n%+v", len(events), events)
+	}
+	last := events[len(events)-1]
+	if last.name != string(Done) {
+		t.Fatalf("terminal event = %q, want %q (events: %d)", last.name, Done, len(events))
+	}
+	running := 0
+	for _, ev := range events[:len(events)-1] {
+		if ev.name != "progress" {
+			t.Fatalf("non-terminal event named %q", ev.name)
+		}
+		var payload StatusV2
+		if err := json.Unmarshal([]byte(ev.data), &payload); err != nil {
+			t.Fatalf("event payload: %v\n%s", err, ev.data)
+		}
+		if payload.ID != st.ID || payload.Method != least.MethodLEAST {
+			t.Fatalf("payload mismatch: %+v", payload)
+		}
+		if payload.State == Running && payload.InnerIters > 0 {
+			running++
+		}
+	}
+	if running < 1 {
+		t.Fatal("no iterating progress event before completion")
+	}
+	var final StatusV2
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Done || final.InnerIters == 0 {
+		t.Fatalf("terminal payload: %+v", final)
+	}
+
+	// A fresh subscriber on the finished job gets exactly the terminal
+	// snapshot and EOF.
+	resp2, err := http.Get(base + "/v2/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	events2 := readSSE(t, bufio.NewReader(resp2.Body), 10)
+	if len(events2) != 1 || events2[0].name != string(Done) {
+		t.Fatalf("late subscriber events: %+v", events2)
+	}
+
+	// Unknown job: 404.
+	if code, _ := doJSON(t, http.MethodGet, base+"/v2/jobs/nope/events", nil); code != http.StatusNotFound {
+		t.Fatalf("events of unknown job: HTTP %d, want 404", code)
+	}
+}
+
+// TestHTTPV2EventsObservesCancellation: a subscriber watching a job
+// that gets cancelled receives the cancelled terminal event.
+func TestHTTPV2EventsObservesCancellation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	truth := least.GenerateDAG(81, least.ErdosRenyi, 100, 2)
+	x := least.SampleLSEM(82, truth, 250, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = append([]float64(nil), x.Row(i)...)
+	}
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"samples": rows,
+		"spec":    json.RawMessage(`{"lambda": 0.01, "epsilon": 1e-12, "max_outer": 64, "max_inner": 2000}`),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	var st StatusV2
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(base + "/v2/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+
+	// Wait until the job iterates, then cancel through the v2 route.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+st.ID, nil)
+		if code != http.StatusOK {
+			t.Fatalf("poll: HTTP %d", code)
+		}
+		var cur StatusV2
+		if err := json.Unmarshal(b, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == Running && cur.InnerIters > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started iterating")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, b = doJSON(t, http.MethodDelete, base+"/v2/jobs/"+st.ID, nil); code != http.StatusOK {
+		t.Fatalf("v2 cancel: HTTP %d\n%s", code, b)
+	}
+
+	events := readSSE(t, r, 10_000)
+	if len(events) == 0 {
+		t.Fatal("no events before cancellation")
+	}
+	last := events[len(events)-1]
+	if last.name != string(Cancelled) {
+		t.Fatalf("terminal event = %q, want %q", last.name, Cancelled)
+	}
+	var final StatusV2
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Cancelled || final.Error == "" {
+		t.Fatalf("terminal payload: %+v", final)
+	}
+}

@@ -108,8 +108,10 @@ type Job struct {
 	n, d  int
 
 	mu       sync.Mutex
+	cond     *sync.Cond    // broadcast on every seq bump (progress/state)
+	seq      int           // change counter driving the v2 SSE stream
 	x        *least.Matrix // released once the job reaches a terminal state
-	opts     least.Options
+	spec     *least.Spec
 	state    State
 	cached   bool
 	created  time.Time
@@ -123,6 +125,37 @@ type Job struct {
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// Method returns the learning method the job's Spec selects.
+func (j *Job) Method() least.Method { return j.spec.Method() }
+
+// notifyLocked records an observable change (progress tick or state
+// transition) and wakes every Watch waiter. Caller holds j.mu.
+func (j *Job) notifyLocked() {
+	j.seq++
+	j.cond.Broadcast()
+}
+
+// Watch blocks until the job's observable state advances past seen (a
+// sequence number from a previous Watch; pass -1 to read the current
+// snapshot immediately), the job is terminal, or ctx ends. It returns
+// the fresh snapshot, its sequence number and whether it is terminal —
+// the primitive behind GET /v2/jobs/{id}/events. Intermediate updates
+// between two Watch calls coalesce into the latest snapshot.
+func (j *Job) Watch(ctx context.Context, seen int) (Status, int, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.seq == seen && !j.state.Terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	return j.statusLocked(), j.seq, j.state.Terminal()
+}
 
 // Status is an immutable snapshot of a job, shaped for the JSON API.
 type Status struct {
@@ -148,6 +181,11 @@ type Status struct {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked snapshots the job; caller holds j.mu.
+func (j *Job) statusLocked() Status {
 	s := Status{
 		ID:         j.id,
 		State:      j.state,
@@ -224,10 +262,26 @@ func NewManager(cfg Config) *Manager {
 	return m
 }
 
-// Submit admits a learn task. Validation failures surface immediately;
-// an identical prior submission (same data, names and options) is
-// answered from the result cache with a job born in state done.
+// Submit admits a learn task configured by legacy least.Options.
+//
+// Deprecated: use SubmitSpec. Submit converts through
+// least.Options.Spec, preserving the legacy zero-means-default
+// reading, and exists so pre-Spec callers keep working unchanged.
 func (m *Manager) Submit(x *least.Matrix, names []string, o least.Options) (*Job, error) {
+	return m.SubmitSpec(x, names, o.Spec())
+}
+
+// SubmitSpec admits a learn task. Spec and input validation failures
+// surface immediately; an identical prior submission (same data, names
+// and spec) is answered from the result cache with a job born in state
+// done. A nil spec means MethodLEAST with all defaults.
+func (m *Manager) SubmitSpec(x *least.Matrix, names []string, spec *least.Spec) (*Job, error) {
+	if spec == nil {
+		spec = &least.Spec{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
 		return nil, errors.New("serve: empty sample matrix")
 	}
@@ -240,7 +294,13 @@ func (m *Manager) Submit(x *least.Matrix, names []string, o least.Options) (*Job
 	if names != nil && len(names) != x.Cols() {
 		return nil, fmt.Errorf("serve: %d names for %d variables", len(names), x.Cols())
 	}
-	key := CacheKey(x, names, o)
+	if err := spec.ValidateFor(x.Cols()); err != nil {
+		return nil, err // doomed submission: reject now, not as a failed job
+	}
+	key, err := CacheKeySpec(x, names, spec)
+	if err != nil {
+		return nil, err
+	}
 	now := time.Now()
 
 	m.mu.Lock()
@@ -256,10 +316,11 @@ func (m *Manager) Submit(x *least.Matrix, names []string, o least.Options) (*Job
 		n:       x.Rows(),
 		d:       x.Cols(),
 		x:       x,
-		opts:    o,
+		spec:    spec,
 		state:   Queued,
 		created: now,
 	}
+	j.cond = sync.NewCond(&j.mu)
 	if res, ok := m.cache.get(key); ok {
 		j.state = Done
 		j.cached = true
@@ -293,17 +354,24 @@ func (m *Manager) Get(id string) (*Job, error) {
 
 // List snapshots every known job in submission order.
 func (m *Manager) List() []Status {
-	m.mu.Lock()
-	js := make([]*Job, 0, len(m.order))
-	for _, id := range m.order {
-		js = append(js, m.jobs[id])
-	}
-	m.mu.Unlock()
+	js := m.Jobs()
 	out := make([]Status, len(js))
 	for i, j := range js {
 		out[i] = j.Status()
 	}
 	return out
+}
+
+// Jobs returns every known job in submission order (the v2 listing
+// reads per-job metadata — method — that a bare Status drops).
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	return js
 }
 
 // Cancel stops a job: a queued job transitions to cancelled
@@ -323,6 +391,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.finished = time.Now()
 		j.err = context.Canceled
 		j.x = nil
+		j.notifyLocked()
 		j.mu.Unlock()
 		// Free the admission slot right away so the cancelled job
 		// cannot keep load-shedding new submissions.
@@ -379,6 +448,7 @@ func (m *Manager) Shutdown(ctx context.Context) {
 			j.finished = time.Now()
 			j.err = ErrShuttingDown
 			j.x = nil
+			j.notifyLocked()
 		}
 		j.mu.Unlock()
 	}
@@ -428,25 +498,34 @@ func (m *Manager) worker() {
 		j.cancel = cancel
 		j.state = Running
 		j.started = time.Now()
+		j.notifyLocked()
 		x := j.x
-		o := j.opts
-		o.Parallelism = CapParallelism(o.Parallelism, m.cfg.Procs, m.cfg.MaxConcurrent)
+		spec := j.spec
 		j.mu.Unlock()
 		m.mu.Unlock()
 
-		m.runJob(j, ctx, cancel, x, o)
+		m.runJob(j, ctx, cancel, x, spec)
 	}
 }
 
 // runJob executes one already-started job under its context,
 // publishing progress snapshots as the learner iterates.
-func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, x *least.Matrix, o least.Options) {
+func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, x *least.Matrix, spec *least.Spec) {
 	defer cancel()
-	res, err := least.LearnCtx(ctx, x, o, func(p least.Progress) {
-		j.mu.Lock()
-		j.progress = p
-		j.mu.Unlock()
-	})
+	capped := CapParallelism(spec.Parallelism(), m.cfg.Procs, m.cfg.MaxConcurrent)
+	runSpec, err := spec.With(
+		least.WithParallelism(capped),
+		least.WithProgress(func(p least.Progress) {
+			j.mu.Lock()
+			j.progress = p
+			j.notifyLocked()
+			j.mu.Unlock()
+		}),
+	)
+	var res *least.Result
+	if err == nil { // validated at submit; re-validation cannot fail
+		res, err = runSpec.Learn(ctx, x)
+	}
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -464,6 +543,7 @@ func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc,
 		j.state = Failed
 		j.err = err
 	}
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 

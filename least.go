@@ -16,30 +16,39 @@
 // # Quick start
 //
 //	X := ...                        // *least.Matrix, n samples × d variables
-//	res, err := least.Learn(X, least.Defaults())
+//	spec, err := least.New()        // MethodLEAST with the paper defaults
+//	if err != nil { ... }
+//	res, err := spec.Learn(ctx, X)
 //	if err != nil { ... }
 //	g := res.Graph(0.3)             // threshold |W| > 0.3 into a DAG
 //
+// Spec is the single entry point: least.New(...) builds an explicit,
+// validated configuration (unset fields mean "paper default"; explicit
+// zeros are honored) and Spec.Learn runs any of the three registered
+// methods — MethodLEAST, MethodLEASTSP (the O(nnz) large-d mode) and
+// MethodNOTEARS (the baseline) — with uniform input validation,
+// context cancellation and per-iteration progress callbacks. See
+// DESIGN.md §5 for the API rationale.
+//
 // Three runnable examples cover the common entry points: the package
 // example Example (quickstart) for the generate → learn → threshold
-// loop, ExampleLearn (sparse) for the LEAST-SP large-d mode, and
+// loop, ExampleSpec_Learn_sparse for the LEAST-SP large-d mode, and
 // ExampleEvaluateBest for the paper's §V-A threshold-grid scoring
 // protocol.
 //
-// The package also ships the NOTEARS baseline (Baseline), random
-// DAG/LSEM workload generators (GenerateDAG, SampleLSEM), and the full
-// recovery-metric suite (Evaluate) used to reproduce the paper's
-// benchmark tables; the application pipelines of §VI (production
-// monitoring, gene networks, recommendations) live under examples/ and
-// cmd/leastbench. Long-running learns can be supervised — cancelled
-// mid-run and observed iteration by iteration — through LearnCtx,
-// which is what the cmd/leastd serving daemon builds on.
+// The package also ships random DAG/LSEM workload generators
+// (GenerateDAG, SampleLSEM) and the full recovery-metric suite
+// (Evaluate) used to reproduce the paper's benchmark tables; the
+// application pipelines of §VI (production monitoring, gene networks,
+// recommendations) live under examples/ and cmd/leastbench. The
+// cmd/leastd serving daemon builds on Spec.Learn's cancellation and
+// progress contract. The pre-Spec entry points — Learn, LearnCtx,
+// Baseline and the Options struct — remain as deprecated wrappers and
+// keep behaving exactly as before.
 package least
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -47,7 +56,6 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mat"
 	"repro/internal/metrics"
-	"repro/internal/notears"
 	"repro/internal/randx"
 	"repro/internal/sparse"
 )
@@ -71,6 +79,14 @@ type Graph = graph.Digraph
 
 // Options configures a Learn call. Zero-valued fields fall back to the
 // paper's defaults; start from Defaults().
+//
+// Deprecated: Options is the legacy configuration shim. Because the
+// zero value of every field means "paper default", an explicit
+// Lambda=0, Alpha=0 or Seed=0 is inexpressible and out-of-range values
+// pass through unchecked. New code should build a Spec with New(...)
+// and functional options, which distinguishes unset from zero and
+// validates. Options.Spec / Options.BaselineSpec convert existing
+// values losslessly (preserving the zero-means-default reading).
 type Options struct {
 	// K is the number of similarity-scaling rounds in the spectral
 	// bound δ^(k) (paper default 5).
@@ -115,7 +131,8 @@ type Options struct {
 	Seed int64
 }
 
-// Defaults returns the paper's parameter settings (§V).
+// Defaults returns the paper's parameter settings (§V) — the same
+// values an all-unset Spec resolves to.
 func Defaults() Options {
 	o := core.DefaultOptions()
 	return Options{
@@ -207,6 +224,12 @@ func (r *Result) Graph(tau float64) *Graph {
 
 // Learn runs LEAST on the n×d sample matrix x. Each column is one
 // variable; each row one i.i.d. observation.
+//
+// Deprecated: use New(...) and Spec.Learn, which serve all three
+// methods through one validated entry point. Learn remains a thin
+// wrapper over o.Spec() and behaves exactly as it always has, except
+// that out-of-range option values the legacy API silently accepted
+// (e.g. Alpha > 1) are now rejected with an error.
 func Learn(x *Matrix, o Options) (*Result, error) {
 	return LearnCtx(context.Background(), x, o, nil)
 }
@@ -224,88 +247,35 @@ type Progress struct {
 	Elapsed time.Duration
 }
 
-// LearnCtx is Learn under a context with optional progress reporting —
-// the serving entry point (cmd/leastd). Cancellation is observed
-// within one inner iteration: when ctx is cancelled mid-run LearnCtx
-// abandons the optimization and returns (nil, ctx.Err()). progress,
-// when non-nil, is invoked on the learner's goroutine after every
-// inner iteration and must be fast and non-blocking.
+// LearnCtx is Learn under a context with optional progress reporting.
+// Cancellation is observed within one inner iteration: when ctx is
+// cancelled mid-run LearnCtx abandons the optimization and returns
+// (nil, ctx.Err()). progress, when non-nil, is invoked on the
+// learner's goroutine after every inner iteration and must be fast and
+// non-blocking.
+//
+// Deprecated: use Spec.Learn with WithProgress, which carries the same
+// contract for all three methods. LearnCtx remains a thin wrapper over
+// o.Spec().
 func LearnCtx(ctx context.Context, x *Matrix, o Options, progress func(Progress)) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
-		return nil, errors.New("least: empty sample matrix")
-	}
-	if x.HasNaN() {
-		return nil, errors.New("least: sample matrix contains NaN/Inf")
-	}
-	if x.Cols() < 2 {
-		return nil, fmt.Errorf("least: need at least 2 variables, got %d", x.Cols())
-	}
-	co := o.internal()
+	s := o.Spec()
 	if progress != nil {
-		co.Progress = func(p core.Progress) {
-			progress(Progress{Solves: p.Solves, Inner: p.Inner, Delta: p.Delta, Elapsed: p.Elapsed})
-		}
+		s.progress = progress
 	}
-	var res *core.Result
-	if o.Sparse {
-		res = core.SparseCtx(ctx, x, co)
-	} else {
-		res = core.DenseCtx(ctx, x, co)
-	}
-	if res.Cancelled {
-		return nil, ctx.Err()
-	}
-	return &Result{
-		Weights:       res.W,
-		SparseWeights: res.WSparse,
-		Delta:         res.Delta,
-		H:             res.H,
-		Converged:     res.Converged,
-		OuterIters:    res.OuterIters,
-		InnerIters:    res.InnerIters,
-	}, nil
+	return s.Learn(ctx, x)
 }
 
 // Baseline runs the NOTEARS comparison algorithm (Zheng et al. 2018)
 // with the same loss and outer loop as Learn but the O(d³)
-// matrix-exponential constraint.
+// matrix-exponential constraint. Only the options the baseline shares
+// with Learn are honored (λ, ε, θ, B, iteration bounds, Seed,
+// Parallelism); Seed = 0 means the default seed, as in Learn.
+//
+// Deprecated: use Spec.Learn with WithMethod(MethodNOTEARS), which
+// adds cancellation and progress reporting the legacy entry point
+// never had. Baseline remains a thin wrapper over o.BaselineSpec().
 func Baseline(x *Matrix, o Options) (*Result, error) {
-	if x == nil || x.Rows() == 0 || x.Cols() < 2 {
-		return nil, errors.New("least: invalid sample matrix")
-	}
-	if x.HasNaN() {
-		return nil, errors.New("least: sample matrix contains NaN/Inf")
-	}
-	no := notears.DefaultOptions()
-	if o.Lambda > 0 {
-		no.Lambda = o.Lambda
-	}
-	if o.Epsilon > 0 {
-		no.Epsilon = o.Epsilon
-	}
-	if o.MaxOuter > 0 {
-		no.MaxOuter = o.MaxOuter
-	}
-	if o.MaxInner > 0 {
-		no.MaxInner = o.MaxInner
-	}
-	no.BatchSize = o.BatchSize
-	no.Threshold = o.Threshold
-	if o.Seed != 0 {
-		no.Seed = o.Seed
-	}
-	res := notears.Run(x, no)
-	return &Result{
-		Weights:    res.W,
-		Delta:      res.H,
-		H:          res.H,
-		Converged:  res.Converged,
-		OuterIters: res.OuterIters,
-		InnerIters: res.InnerIters,
-	}, nil
+	return o.BaselineSpec().Learn(context.Background(), x)
 }
 
 // GraphModel selects a random-graph family for GenerateDAG.

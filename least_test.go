@@ -266,16 +266,20 @@ func TestSinkNodesRespected(t *testing.T) {
 // --- Runnable examples (linked from the package comment) ---
 
 // Example_quickstart is the generate → learn → threshold loop of the
-// package comment: sample an ER-2 ground truth, learn it back, and
-// read the result off as a DAG.
+// package comment: sample an ER-2 ground truth, learn it back through
+// the Spec entry point, and read the result off as a DAG.
 func Example_quickstart() {
 	truth := GenerateDAG(3, ErdosRenyi, 20, 2)
 	x := SampleLSEM(4, truth, 200, GaussianNoise)
 
-	o := Defaults()
-	o.Lambda = 0.2
-	o.Epsilon = 1e-3
-	res, err := Learn(x, o)
+	spec, err := New(
+		WithLambda(0.2),
+		WithEpsilon(1e-3),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := spec.Learn(context.Background(), x)
 	if err != nil {
 		panic(err)
 	}
@@ -285,21 +289,25 @@ func Example_quickstart() {
 	// Output: nodes: 20 acyclic: true
 }
 
-// ExampleLearn_sparse selects the LEAST-SP learner: the weight matrix
+// ExampleSpec_Learn_sparse selects MethodLEASTSP: the weight matrix
 // lives on a sparse candidate support and every step costs O(nnz)
 // rather than O(d²) — the mode that scales to 10⁵ variables.
-func ExampleLearn_sparse() {
+func ExampleSpec_Learn_sparse() {
 	truth := GenerateDAG(5, ErdosRenyi, 40, 2)
 	x := SampleLSEM(6, truth, 400, GaussianNoise)
 
-	o := Defaults()
-	o.Sparse = true      // LEAST-SP
-	o.InitDensity = 0.15 // candidate-support density ζ
-	o.Threshold = 1e-3
-	o.Lambda = 0.2
-	o.Epsilon = 1e-3
-	o.MaxOuter = 8
-	res, err := Learn(x, o)
+	spec, err := New(
+		WithMethod(MethodLEASTSP),
+		WithInitDensity(0.15), // candidate-support density ζ
+		WithThreshold(1e-3),
+		WithLambda(0.2),
+		WithEpsilon(1e-3),
+		WithMaxOuter(8),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := spec.Learn(context.Background(), x)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,727 @@
+package least
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/notears"
+)
+
+// Method identifies a structure-learning algorithm behind the unified
+// Spec.Learn entry point. The string values double as the wire form of
+// the v2 serving API's "method" field (see DESIGN.md §5).
+type Method string
+
+// The method registry. All three methods share the same loss,
+// augmented-Lagrangian outer loop and Adam inner solver; they differ
+// in the acyclicity constraint and the weight representation.
+const (
+	// MethodLEAST is the paper's dense learner ("LEAST-TF" analogue):
+	// spectral-bound constraint, dense d×d weights.
+	MethodLEAST Method = "least"
+	// MethodLEASTSP is the sparse learner ("LEAST-SP"): spectral-bound
+	// constraint with W confined to an O(nnz) candidate support — the
+	// mode that scales to 10⁵ variables.
+	MethodLEASTSP Method = "least-sp"
+	// MethodNOTEARS is the comparison baseline (Zheng et al. 2018):
+	// exact matrix-exponential constraint, O(d³) per gradient.
+	MethodNOTEARS Method = "notears"
+)
+
+// Methods enumerates the registered methods in documentation order.
+func Methods() []Method { return []Method{MethodLEAST, MethodLEASTSP, MethodNOTEARS} }
+
+// String returns the wire name.
+func (m Method) String() string { return string(m) }
+
+func (m Method) known() bool {
+	switch m {
+	case MethodLEAST, MethodLEASTSP, MethodNOTEARS:
+		return true
+	}
+	return false
+}
+
+// ParseMethod resolves a user-facing method name (CLI flags, config
+// files). It accepts the canonical wire names plus the obvious
+// spellings "leastsp"/"sp" for MethodLEASTSP; the empty string is
+// MethodLEAST, matching Spec's default.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "", string(MethodLEAST):
+		return MethodLEAST, nil
+	case string(MethodLEASTSP), "leastsp", "sp":
+		return MethodLEASTSP, nil
+	case string(MethodNOTEARS):
+		return MethodNOTEARS, nil
+	}
+	return "", fmt.Errorf("least: unknown method %q (want %q, %q or %q)",
+		s, MethodLEAST, MethodLEASTSP, MethodNOTEARS)
+}
+
+// Spec is the explicit, validatable configuration of one structure
+// learn — the single entry point serving all three methods. Unlike the
+// legacy Options struct, a Spec distinguishes *unset* from *explicit
+// zero*: a field never touched by an option resolves to the paper
+// default (the same values Defaults() documents), while WithLambda(0)
+// or WithAlpha(0) means literally zero. Build one with New, derive
+// variants with With, and run it with Learn:
+//
+//	spec, err := least.New(
+//		least.WithMethod(least.MethodLEASTSP),
+//		least.WithLambda(0.05),
+//		least.WithSeed(7),
+//	)
+//	if err != nil { ... }
+//	res, err := spec.Learn(ctx, x)
+//
+// The zero Spec is valid and runs MethodLEAST with all defaults.
+// Spec marshals to/from JSON with one key per explicitly-set field
+// (the v2 serving wire form); see DESIGN.md §5 for the schema and the
+// v1→v2 field mapping.
+type Spec struct {
+	method Method
+
+	k, batchSize, maxOuter, maxInner, parallelism  *int
+	alpha, lambda, epsilon, threshold, initDensity *float64
+	exactTermination                               *bool
+	sinkNodes                                      []int
+	seed                                           *int64
+
+	// progress is runtime state, not configuration: it is excluded
+	// from the JSON form and therefore from serving cache keys.
+	progress func(Progress)
+}
+
+// Option mutates a Spec under construction (New) or derivation (With).
+type Option func(*Spec)
+
+// WithMethod selects the learning algorithm (default MethodLEAST).
+func WithMethod(m Method) Option { return func(s *Spec) { s.method = m } }
+
+// WithK sets the number of similarity-scaling rounds k of the spectral
+// bound δ^(k) (default 5). LEAST methods only.
+func WithK(k int) Option { return func(s *Spec) { s.k = &k } }
+
+// WithAlpha sets the row/column balance α ∈ [0, 1] of the spectral
+// bound (default 0.9). LEAST methods only.
+func WithAlpha(a float64) Option { return func(s *Spec) { s.alpha = &a } }
+
+// WithLambda sets the L1 regularization weight λ ≥ 0 (default 0.1).
+// An explicit 0 disables regularization — inexpressible with the
+// legacy Options struct.
+func WithLambda(l float64) Option { return func(s *Spec) { s.lambda = &l } }
+
+// WithEpsilon sets the acyclicity tolerance ε > 0 (default 1e-4).
+func WithEpsilon(e float64) Option { return func(s *Spec) { s.epsilon = &e } }
+
+// WithThreshold sets the in-loop weight filter θ ≥ 0 (default 0: no
+// filtering).
+func WithThreshold(t float64) Option { return func(s *Spec) { s.threshold = &t } }
+
+// WithBatchSize sets the mini-batch size B (default 0: full batch).
+func WithBatchSize(b int) Option { return func(s *Spec) { s.batchSize = &b } }
+
+// WithInitDensity sets ζ ∈ (0, 1], the candidate-support density of
+// MethodLEASTSP (default 1e-4, the paper's 10⁵-variable setting).
+func WithInitDensity(z float64) Option { return func(s *Spec) { s.initDensity = &z } }
+
+// WithMaxOuter bounds the augmented-Lagrangian outer iterations
+// (default 32).
+func WithMaxOuter(n int) Option { return func(s *Spec) { s.maxOuter = &n } }
+
+// WithMaxInner bounds the inner Adam iterations per solve
+// (default 200).
+func WithMaxInner(n int) Option { return func(s *Spec) { s.maxInner = &n } }
+
+// WithExactTermination additionally checks the exact NOTEARS h(W)
+// after each outer iteration and stops at h ≤ ε — the paper's §V-A
+// fairness termination. LEAST methods only (the baseline already
+// terminates on the exact h).
+func WithExactTermination(on bool) Option { return func(s *Spec) { s.exactTermination = &on } }
+
+// WithParallelism bounds the worker fan-out of the execution backend
+// (0 = all cores, 1 = serial, n > 1 caps the pool; default 0). Applies
+// to every method: the CSR kernels of MethodLEASTSP, the Hutchinson
+// matvecs of MethodLEAST, and the dense loss GEMMs of all three.
+func WithParallelism(n int) Option { return func(s *Spec) { s.parallelism = &n } }
+
+// WithSinkNodes constrains the listed variables to have no outgoing
+// edges (pure effects). MethodLEAST only.
+func WithSinkNodes(nodes []int) Option {
+	return func(s *Spec) { s.sinkNodes = append([]int(nil), nodes...) }
+}
+
+// WithSeed fixes the random seed (default 1). Unlike the legacy
+// Options, an explicit 0 is honored as the literal seed.
+func WithSeed(seed int64) Option { return func(s *Spec) { s.seed = &seed } }
+
+// WithProgress registers a per-iteration callback, invoked on the
+// learner's goroutine after every inner iteration for every method
+// (for MethodNOTEARS, Progress.Delta carries the exact constraint h).
+// It must be fast and non-blocking. The callback is runtime state: it
+// does not survive JSON round trips and does not affect serving cache
+// keys.
+func WithProgress(fn func(Progress)) Option { return func(s *Spec) { s.progress = fn } }
+
+// New builds a Spec from options and validates it, rejecting
+// out-of-range values with actionable errors instead of silently
+// substituting defaults (the legacy Options footgun).
+func New(opts ...Option) (*Spec, error) {
+	s := &Spec{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// With derives a new Spec: a copy of s with opts applied, validated.
+// The receiver is never mutated.
+func (s *Spec) With(opts ...Option) (*Spec, error) {
+	c := s.clone()
+	for _, opt := range opts {
+		opt(c)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// clonePtr copies a set-marker pointer so derived Specs share nothing.
+func clonePtr[T any](p *T) *T {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}
+
+func (s *Spec) clone() *Spec {
+	c := *s
+	c.k = clonePtr(s.k)
+	c.batchSize = clonePtr(s.batchSize)
+	c.maxOuter = clonePtr(s.maxOuter)
+	c.maxInner = clonePtr(s.maxInner)
+	c.parallelism = clonePtr(s.parallelism)
+	c.alpha = clonePtr(s.alpha)
+	c.lambda = clonePtr(s.lambda)
+	c.epsilon = clonePtr(s.epsilon)
+	c.threshold = clonePtr(s.threshold)
+	c.initDensity = clonePtr(s.initDensity)
+	c.exactTermination = clonePtr(s.exactTermination)
+	c.seed = clonePtr(s.seed)
+	c.sinkNodes = append([]int(nil), s.sinkNodes...)
+	return &c
+}
+
+// Method returns the resolved method (the zero value resolves to
+// MethodLEAST).
+func (s *Spec) Method() Method {
+	if s == nil || s.method == "" {
+		return MethodLEAST
+	}
+	return s.method
+}
+
+// Parallelism returns the requested worker bound (0 when unset,
+// meaning all cores) — the knob the serving layer caps per pool slot.
+func (s *Spec) Parallelism() int {
+	if s == nil || s.parallelism == nil {
+		return 0
+	}
+	return *s.parallelism
+}
+
+// Validate checks every explicitly-set field against its documented
+// range and the selected method, returning an actionable error (named
+// by the JSON wire field) for the first violation. Unset fields are
+// always valid — they resolve to defaults.
+func (s *Spec) Validate() error {
+	m := s.Method()
+	if !m.known() {
+		return fmt.Errorf("least: unknown method %q (want %q, %q or %q)",
+			string(s.method), MethodLEAST, MethodLEASTSP, MethodNOTEARS)
+	}
+	bad := func(field string, format string, args ...any) error {
+		return fmt.Errorf("least: invalid spec: %s %s", field, fmt.Sprintf(format, args...))
+	}
+	finite := func(field string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return bad(field, "must be finite, got %v", v)
+		}
+		return nil
+	}
+	if s.lambda != nil {
+		if err := finite("lambda", *s.lambda); err != nil {
+			return err
+		}
+		if *s.lambda < 0 {
+			return bad("lambda", "must be >= 0, got %g", *s.lambda)
+		}
+	}
+	if s.alpha != nil {
+		if err := finite("alpha", *s.alpha); err != nil {
+			return err
+		}
+		if *s.alpha < 0 || *s.alpha > 1 {
+			return bad("alpha", "must be in [0, 1], got %g", *s.alpha)
+		}
+	}
+	if s.epsilon != nil {
+		if err := finite("epsilon", *s.epsilon); err != nil {
+			return err
+		}
+		if *s.epsilon <= 0 {
+			return bad("epsilon", "must be > 0, got %g", *s.epsilon)
+		}
+	}
+	if s.threshold != nil {
+		if err := finite("threshold", *s.threshold); err != nil {
+			return err
+		}
+		if *s.threshold < 0 {
+			return bad("threshold", "must be >= 0, got %g", *s.threshold)
+		}
+	}
+	if s.initDensity != nil {
+		if err := finite("init_density", *s.initDensity); err != nil {
+			return err
+		}
+		if *s.initDensity <= 0 || *s.initDensity > 1 {
+			return bad("init_density", "must be in (0, 1], got %g", *s.initDensity)
+		}
+	}
+	if s.k != nil && *s.k < 1 {
+		return bad("k", "must be >= 1, got %d", *s.k)
+	}
+	if s.batchSize != nil && *s.batchSize < 0 {
+		return bad("batch_size", "must be >= 0 (0 = full batch), got %d", *s.batchSize)
+	}
+	if s.maxOuter != nil && *s.maxOuter < 1 {
+		return bad("max_outer", "must be >= 1, got %d", *s.maxOuter)
+	}
+	if s.maxInner != nil && *s.maxInner < 1 {
+		return bad("max_inner", "must be >= 1, got %d", *s.maxInner)
+	}
+	if s.parallelism != nil && *s.parallelism < 0 {
+		return bad("parallelism", "must be >= 0 (0 = all cores), got %d", *s.parallelism)
+	}
+	// Method applicability: setting a knob the selected method cannot
+	// honor is an error, not a silent no-op.
+	notFor := func(field string) error {
+		return fmt.Errorf("least: %s does not apply to method %q", field, m)
+	}
+	if m == MethodNOTEARS {
+		switch {
+		case s.k != nil:
+			return notFor("k")
+		case s.alpha != nil:
+			return notFor("alpha")
+		case s.initDensity != nil:
+			return notFor("init_density")
+		case s.exactTermination != nil:
+			return fmt.Errorf("least: exact_termination does not apply to method %q (the baseline always terminates on the exact h)", m)
+		}
+	}
+	if s.sinkNodes != nil && m != MethodLEAST {
+		return notFor("sink_nodes")
+	}
+	for _, n := range s.sinkNodes {
+		if n < 0 {
+			return bad("sink_nodes", "index must be >= 0, got %d", n)
+		}
+	}
+	return nil
+}
+
+// ValidateFor is Validate plus the checks that need the data's width d
+// (one column per variable): sink indices must fall in [0, d). Learn
+// applies it automatically; the serving layer calls it at admission so
+// a doomed submission is a 400, not a queued job that fails later.
+func (s *Spec) ValidateFor(d int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, n := range s.sinkNodes {
+		if n >= d {
+			return fmt.Errorf("least: invalid spec: sink_nodes index %d out of range for %d variables", n, d)
+		}
+	}
+	return nil
+}
+
+// specWire is the JSON form of a Spec: one key per explicitly-set
+// field, so unset ≠ zero survives the round trip. Field names are the
+// v2 serving wire names (DESIGN.md §5).
+type specWire struct {
+	Method           Method   `json:"method,omitempty"`
+	K                *int     `json:"k,omitempty"`
+	Alpha            *float64 `json:"alpha,omitempty"`
+	Lambda           *float64 `json:"lambda,omitempty"`
+	Epsilon          *float64 `json:"epsilon,omitempty"`
+	Threshold        *float64 `json:"threshold,omitempty"`
+	BatchSize        *int     `json:"batch_size,omitempty"`
+	InitDensity      *float64 `json:"init_density,omitempty"`
+	MaxOuter         *int     `json:"max_outer,omitempty"`
+	MaxInner         *int     `json:"max_inner,omitempty"`
+	ExactTermination *bool    `json:"exact_termination,omitempty"`
+	Parallelism      *int     `json:"parallelism,omitempty"`
+	SinkNodes        []int    `json:"sink_nodes,omitempty"`
+	Seed             *int64   `json:"seed,omitempty"`
+}
+
+// MarshalJSON emits one key per explicitly-set field. The output is
+// canonical (fixed key order, no volatile state), which is what makes
+// it usable as a serving cache fingerprint.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(specWire{
+		Method:           s.method,
+		K:                s.k,
+		Alpha:            s.alpha,
+		Lambda:           s.lambda,
+		Epsilon:          s.epsilon,
+		Threshold:        s.threshold,
+		BatchSize:        s.batchSize,
+		InitDensity:      s.initDensity,
+		MaxOuter:         s.maxOuter,
+		MaxInner:         s.maxInner,
+		ExactTermination: s.exactTermination,
+		Parallelism:      s.parallelism,
+		SinkNodes:        s.sinkNodes,
+		Seed:             s.seed,
+	})
+}
+
+// UnmarshalJSON parses the wire form, rejecting unknown fields (a
+// misspelled knob must not silently become a default). It does not
+// validate ranges — call Validate (Learn does so automatically).
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var w specWire
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("least: spec: %w", err)
+	}
+	*s = Spec{
+		method:           w.Method,
+		k:                w.K,
+		alpha:            w.Alpha,
+		lambda:           w.Lambda,
+		epsilon:          w.Epsilon,
+		threshold:        w.Threshold,
+		batchSize:        w.BatchSize,
+		initDensity:      w.InitDensity,
+		maxOuter:         w.MaxOuter,
+		maxInner:         w.MaxInner,
+		exactTermination: w.ExactTermination,
+		parallelism:      w.Parallelism,
+		sinkNodes:        w.SinkNodes,
+		seed:             w.Seed,
+	}
+	return nil
+}
+
+// Canonical returns the fully-resolved equivalent of the Spec: the
+// method made explicit and every knob the method honors pinned to the
+// value Learn would actually use (unset fields filled with their
+// defaults, knobs the method ignores dropped, runtime state like the
+// progress callback excluded). Two Specs with equal canonical forms
+// provably configure the same learn, whichever mix of set and unset
+// fields produced them — the serving cache fingerprints this form, so
+// a partial v2 spec and its fully-spelled v1 twin share cache entries.
+// Parallelism stays in the form: the sparse backend's reductions are
+// deterministic only for a fixed worker count, so different bounds do
+// not provably produce the same bits.
+func (s *Spec) Canonical() *Spec {
+	m := s.Method()
+	if m == MethodNOTEARS {
+		n := s.notearsOptions()
+		return &Spec{
+			method:      m,
+			lambda:      &n.Lambda,
+			epsilon:     &n.Epsilon,
+			threshold:   &n.Threshold,
+			batchSize:   &n.BatchSize,
+			maxOuter:    &n.MaxOuter,
+			maxInner:    &n.MaxInner,
+			parallelism: &n.Parallelism,
+			seed:        &n.Seed,
+		}
+	}
+	c := s.coreOptions()
+	out := &Spec{
+		method:           m,
+		k:                &c.K,
+		alpha:            &c.Alpha,
+		lambda:           &c.Lambda,
+		epsilon:          &c.Epsilon,
+		threshold:        &c.Threshold,
+		batchSize:        &c.BatchSize,
+		initDensity:      &c.InitDensity,
+		maxOuter:         &c.MaxOuter,
+		maxInner:         &c.MaxInner,
+		exactTermination: &c.CheckH,
+		parallelism:      &c.Parallelism,
+		seed:             &c.Seed,
+	}
+	if m == MethodLEAST && len(c.SinkNodes) > 0 {
+		out.sinkNodes = append([]int(nil), c.SinkNodes...)
+	}
+	return out
+}
+
+// coreOptions resolves the Spec against the paper defaults for the
+// LEAST learners. Unset fields take the Defaults() values; set fields
+// win, including explicit zeros.
+func (s *Spec) coreOptions() core.Options {
+	c := core.DefaultOptions()
+	// The public defaults (Defaults()) soften two internal settings:
+	// ε = 1e-4 and 32 outer rounds are where recovery quality plateaus
+	// on the paper's benchmarks.
+	c.Epsilon = 1e-4
+	c.MaxOuter = 32
+	if s.k != nil {
+		c.K = *s.k
+	}
+	if s.alpha != nil {
+		c.Alpha = *s.alpha
+	}
+	if s.lambda != nil {
+		c.Lambda = *s.lambda
+	}
+	if s.epsilon != nil {
+		c.Epsilon = *s.epsilon
+	}
+	if s.threshold != nil {
+		c.Threshold = *s.threshold
+	}
+	if s.batchSize != nil {
+		c.BatchSize = *s.batchSize
+	}
+	if s.initDensity != nil {
+		c.InitDensity = *s.initDensity
+	}
+	if s.maxOuter != nil {
+		c.MaxOuter = *s.maxOuter
+	}
+	if s.maxInner != nil {
+		c.MaxInner = *s.maxInner
+	}
+	if s.exactTermination != nil {
+		c.CheckH = *s.exactTermination
+	}
+	if s.parallelism != nil {
+		c.Parallelism = *s.parallelism
+	}
+	if s.seed != nil {
+		c.Seed = *s.seed
+	}
+	c.SinkNodes = append([]int(nil), s.sinkNodes...)
+	return c
+}
+
+// notearsOptions resolves the Spec for the baseline, with the same
+// public defaults where the knobs are shared.
+func (s *Spec) notearsOptions() notears.Options {
+	n := notears.DefaultOptions()
+	n.Epsilon = 1e-4
+	n.MaxOuter = 32
+	if s.lambda != nil {
+		n.Lambda = *s.lambda
+	}
+	if s.epsilon != nil {
+		n.Epsilon = *s.epsilon
+	}
+	if s.threshold != nil {
+		n.Threshold = *s.threshold
+	}
+	if s.batchSize != nil {
+		n.BatchSize = *s.batchSize
+	}
+	if s.maxOuter != nil {
+		n.MaxOuter = *s.maxOuter
+	}
+	if s.maxInner != nil {
+		n.MaxInner = *s.maxInner
+	}
+	if s.parallelism != nil {
+		n.Parallelism = *s.parallelism
+	}
+	if s.seed != nil {
+		n.Seed = *s.seed
+	}
+	return n
+}
+
+// Learn runs the configured method on the n×d sample matrix x (one
+// column per variable, one row per i.i.d. observation) — the unified
+// entry point behind Learn, Baseline, the CLI and the serving daemon.
+// All methods share the same input validation, observe ctx within one
+// inner iteration (returning ctx.Err() when cancelled), and deliver
+// WithProgress callbacks after every inner iteration.
+func (s *Spec) Learn(ctx context.Context, x *Matrix) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
+		return nil, errors.New("least: empty sample matrix")
+	}
+	if x.HasNaN() {
+		return nil, errors.New("least: sample matrix contains NaN/Inf")
+	}
+	if x.Cols() < 2 {
+		return nil, fmt.Errorf("least: need at least 2 variables, got %d", x.Cols())
+	}
+	if err := s.ValidateFor(x.Cols()); err != nil {
+		return nil, err
+	}
+
+	if s.Method() == MethodNOTEARS {
+		no := s.notearsOptions()
+		if s.progress != nil {
+			cb := s.progress
+			no.Progress = func(p notears.Progress) {
+				cb(Progress{Solves: p.Solves, Inner: p.Inner, Delta: p.H, Elapsed: p.Elapsed})
+			}
+		}
+		res := notears.RunCtx(ctx, x, no)
+		if res.Cancelled {
+			return nil, ctx.Err()
+		}
+		return &Result{
+			Weights:    res.W,
+			Delta:      res.H,
+			H:          res.H,
+			Converged:  res.Converged,
+			OuterIters: res.OuterIters,
+			InnerIters: res.InnerIters,
+		}, nil
+	}
+
+	co := s.coreOptions()
+	if s.progress != nil {
+		cb := s.progress
+		co.Progress = func(p core.Progress) {
+			cb(Progress{Solves: p.Solves, Inner: p.Inner, Delta: p.Delta, Elapsed: p.Elapsed})
+		}
+	}
+	var res *core.Result
+	if s.Method() == MethodLEASTSP {
+		res = core.SparseCtx(ctx, x, co)
+	} else {
+		res = core.DenseCtx(ctx, x, co)
+	}
+	if res.Cancelled {
+		return nil, ctx.Err()
+	}
+	return &Result{
+		Weights:       res.W,
+		SparseWeights: res.WSparse,
+		Delta:         res.Delta,
+		H:             res.H,
+		Converged:     res.Converged,
+		OuterIters:    res.OuterIters,
+		InnerIters:    res.InnerIters,
+	}, nil
+}
+
+// Spec converts legacy Options to the equivalent fully-specified Spec
+// under the legacy zero-means-default rules (every field resolves to
+// exactly the value a Learn call would have used, so Spec.Learn
+// reproduces Learn bit-for-bit). The method is MethodLEAST, or
+// MethodLEASTSP when o.Sparse is set — use BaselineSpec for the
+// NOTEARS mapping. This is the migration bridge for code still holding
+// an Options value.
+func (o Options) Spec() *Spec {
+	c := o.internal()
+	if c.Parallelism < 0 {
+		c.Parallelism = 0
+	}
+	if c.BatchSize < 0 {
+		c.BatchSize = 0
+	}
+	if c.Threshold < 0 {
+		c.Threshold = 0
+	}
+	s := &Spec{
+		method:           MethodLEAST,
+		k:                &c.K,
+		alpha:            &c.Alpha,
+		lambda:           &c.Lambda,
+		epsilon:          &c.Epsilon,
+		threshold:        &c.Threshold,
+		batchSize:        &c.BatchSize,
+		initDensity:      &c.InitDensity,
+		maxOuter:         &c.MaxOuter,
+		maxInner:         &c.MaxInner,
+		exactTermination: &c.CheckH,
+		parallelism:      &c.Parallelism,
+		seed:             &c.Seed,
+	}
+	if o.Sparse {
+		s.method = MethodLEASTSP
+		// The sparse learner has always ignored SinkNodes; dropping
+		// them here preserves that silence instead of tripping the
+		// method-applicability validation.
+	} else if len(c.SinkNodes) > 0 {
+		s.sinkNodes = append([]int(nil), c.SinkNodes...)
+	}
+	return s
+}
+
+// BaselineSpec converts legacy Options to the MethodNOTEARS Spec a
+// Baseline call would have used: the subset of fields the baseline
+// honors (λ, ε, θ, B, iteration bounds, seed, parallelism) under the
+// legacy zero-means-default rules; everything else — K, Alpha,
+// InitDensity, Sparse, SinkNodes, ExactTermination — is dropped, as
+// Baseline has always ignored it.
+func (o Options) BaselineSpec() *Spec {
+	n := notears.DefaultOptions()
+	if o.Lambda > 0 {
+		n.Lambda = o.Lambda
+	}
+	if o.Epsilon > 0 {
+		n.Epsilon = o.Epsilon
+	}
+	if o.MaxOuter > 0 {
+		n.MaxOuter = o.MaxOuter
+	}
+	if o.MaxInner > 0 {
+		n.MaxInner = o.MaxInner
+	}
+	if o.BatchSize > 0 {
+		n.BatchSize = o.BatchSize
+	}
+	if o.Threshold > 0 {
+		n.Threshold = o.Threshold
+	}
+	if o.Seed != 0 {
+		n.Seed = o.Seed
+	}
+	if o.Parallelism > 0 { // <= 0 already means "all cores", like Learn
+		n.Parallelism = o.Parallelism
+	}
+	return &Spec{
+		method:      MethodNOTEARS,
+		lambda:      &n.Lambda,
+		epsilon:     &n.Epsilon,
+		threshold:   &n.Threshold,
+		batchSize:   &n.BatchSize,
+		maxOuter:    &n.MaxOuter,
+		maxInner:    &n.MaxInner,
+		seed:        &n.Seed,
+		parallelism: &n.Parallelism,
+	}
+}

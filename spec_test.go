@@ -1,0 +1,447 @@
+package least
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Method
+		ok   bool
+	}{
+		{"", MethodLEAST, true},
+		{"least", MethodLEAST, true},
+		{"least-sp", MethodLEASTSP, true},
+		{"leastsp", MethodLEASTSP, true},
+		{"sp", MethodLEASTSP, true},
+		{"notears", MethodNOTEARS, true},
+		{"NOTEARS", "", false},
+		{"bogus", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParseMethod(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseMethod(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseMethod(%q) accepted", c.in)
+		}
+	}
+	if len(Methods()) != 3 {
+		t.Fatalf("method registry = %v", Methods())
+	}
+}
+
+func TestSpecValidateRejectsOutOfRange(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		frag string // must appear in the error
+	}{
+		{"negative lambda", []Option{WithLambda(-0.5)}, "lambda"},
+		{"NaN lambda", []Option{WithLambda(math.NaN())}, "lambda"},
+		{"alpha above 1", []Option{WithAlpha(1.5)}, "alpha"},
+		{"alpha below 0", []Option{WithAlpha(-0.1)}, "alpha"},
+		{"zero epsilon", []Option{WithEpsilon(0)}, "epsilon"},
+		{"negative threshold", []Option{WithThreshold(-1)}, "threshold"},
+		{"zero init density", []Option{WithInitDensity(0)}, "init_density"},
+		{"init density above 1", []Option{WithInitDensity(1.5)}, "init_density"},
+		{"zero k", []Option{WithK(0)}, "k"},
+		{"negative batch", []Option{WithBatchSize(-1)}, "batch_size"},
+		{"zero max outer", []Option{WithMaxOuter(0)}, "max_outer"},
+		{"zero max inner", []Option{WithMaxInner(0)}, "max_inner"},
+		{"negative parallelism", []Option{WithParallelism(-2)}, "parallelism"},
+		{"unknown method", []Option{WithMethod("magic")}, "unknown method"},
+		{"k with notears", []Option{WithMethod(MethodNOTEARS), WithK(5)}, "does not apply"},
+		{"alpha with notears", []Option{WithMethod(MethodNOTEARS), WithAlpha(0.9)}, "does not apply"},
+		{"density with notears", []Option{WithMethod(MethodNOTEARS), WithInitDensity(0.1)}, "does not apply"},
+		{"exact term with notears", []Option{WithMethod(MethodNOTEARS), WithExactTermination(true)}, "exact_termination"},
+		{"sinks with notears", []Option{WithMethod(MethodNOTEARS), WithSinkNodes([]int{0})}, "sink_nodes"},
+		{"sinks with least-sp", []Option{WithMethod(MethodLEASTSP), WithSinkNodes([]int{0})}, "sink_nodes"},
+		{"negative sink index", []Option{WithSinkNodes([]int{2, -1})}, "sink_nodes"},
+	}
+	for _, c := range cases {
+		if _, err := New(c.opts...); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestSpecExplicitZerosAreHonored(t *testing.T) {
+	// The legacy footgun: Options.Lambda = 0 silently meant "paper
+	// default 0.1". Spec must pass the explicit zero through.
+	s, err := New(WithLambda(0), WithAlpha(0), WithSeed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := s.coreOptions()
+	if co.Lambda != 0 || co.Alpha != 0 || co.Seed != 0 {
+		t.Fatalf("explicit zeros lost: λ=%g α=%g seed=%d", co.Lambda, co.Alpha, co.Seed)
+	}
+	// Unset fields still resolve to the paper defaults.
+	d := Defaults()
+	s2, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2 := s2.coreOptions()
+	if co2.Lambda != d.Lambda || co2.K != d.K || co2.Epsilon != d.Epsilon ||
+		co2.MaxOuter != d.MaxOuter || co2.Seed != d.Seed {
+		t.Fatalf("unset fields must resolve to Defaults(): %+v vs %+v", co2, d)
+	}
+}
+
+func TestSpecWithDerivesWithoutMutating(t *testing.T) {
+	base, err := New(WithLambda(0.3), WithSinkNodes([]int{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := base.With(WithLambda(0.7), WithMethod(MethodLEASTSP), WithSinkNodes(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *base.lambda != 0.3 || base.Method() != MethodLEAST {
+		t.Fatalf("With mutated its receiver: %+v", base)
+	}
+	if *derived.lambda != 0.7 || derived.Method() != MethodLEASTSP {
+		t.Fatalf("derived spec wrong: %+v", derived)
+	}
+	if _, err := base.With(WithAlpha(2)); err == nil {
+		t.Fatal("With must validate")
+	}
+}
+
+// randomSpec draws a Spec with every field independently set or unset
+// — the property-test generator for the JSON round trip.
+func randomSpec(rng *rand.Rand) *Spec {
+	s := &Spec{}
+	maybe := func(f func()) {
+		if rng.Intn(2) == 0 {
+			f()
+		}
+	}
+	methods := []Method{"", MethodLEAST, MethodLEASTSP, MethodNOTEARS}
+	s.method = methods[rng.Intn(len(methods))]
+	maybe(func() { WithK(1 + rng.Intn(9))(s) })
+	maybe(func() { WithAlpha(rng.Float64())(s) })
+	maybe(func() { WithLambda(rng.Float64())(s) })
+	maybe(func() { WithEpsilon(math.Pow(10, -1-rng.Float64()*7))(s) })
+	maybe(func() { WithThreshold(rng.Float64())(s) })
+	maybe(func() { WithBatchSize(rng.Intn(1024))(s) })
+	maybe(func() { WithInitDensity(math.Nextafter(0, 1) + rng.Float64())(s) })
+	maybe(func() { WithMaxOuter(1 + rng.Intn(64))(s) })
+	maybe(func() { WithMaxInner(1 + rng.Intn(500))(s) })
+	maybe(func() { WithExactTermination(rng.Intn(2) == 0)(s) })
+	maybe(func() { WithParallelism(rng.Intn(16))(s) })
+	maybe(func() { WithSinkNodes([]int{rng.Intn(10), rng.Intn(10)})(s) })
+	maybe(func() { WithSeed(rng.Int63())(s) })
+	return s
+}
+
+func TestSpecJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		s := randomSpec(rng)
+		b1, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("iter %d: marshal: %v", i, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatalf("iter %d: unmarshal: %v\n%s", i, err, b1)
+		}
+		b2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("iter %d: re-marshal: %v", i, err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("iter %d: round trip not canonical:\n%s\nvs\n%s", i, b1, b2)
+		}
+	}
+	// The set/unset distinction must survive: an empty spec marshals to
+	// {} and an explicit zero keeps its key.
+	empty, _ := json.Marshal(&Spec{})
+	if string(empty) != "{}" {
+		t.Fatalf("empty spec = %s", empty)
+	}
+	zeroed, err := New(WithLambda(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, _ := json.Marshal(zeroed)
+	if string(zb) != `{"lambda":0}` {
+		t.Fatalf("explicit zero lost its key: %s", zb)
+	}
+}
+
+// TestSpecCanonical: set-vs-unset must vanish under canonicalization —
+// an explicit default and an unset field fingerprint identically, a
+// partial spec matches its fully-specified legacy twin, and knobs the
+// method ignores are dropped.
+func TestSpecCanonical(t *testing.T) {
+	canon := func(s *Spec) string {
+		b, err := json.Marshal(s.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	empty, _ := New()
+	explicitDefault, _ := New(WithLambda(0.1)) // λ's default, spelled out
+	if canon(empty) != canon(explicitDefault) {
+		t.Fatalf("explicit default must canonicalize like unset:\n%s\nvs\n%s",
+			canon(empty), canon(explicitDefault))
+	}
+	partial, _ := New(WithLambda(0.2), WithEpsilon(1e-3), WithSeed(5))
+	o := Defaults()
+	o.Lambda = 0.2
+	o.Epsilon = 1e-3
+	o.Seed = 5
+	if canon(partial) != canon(o.Spec()) {
+		t.Fatalf("partial spec must canonicalize like its legacy twin:\n%s\nvs\n%s",
+			canon(partial), canon(o.Spec()))
+	}
+	if canon(partial) == canon(empty) {
+		t.Fatal("different lambdas must not collide")
+	}
+	// The baseline's canonical form carries only the knobs it honors.
+	nt, _ := New(WithMethod(MethodNOTEARS), WithLambda(0.2))
+	if c := canon(nt); strings.Contains(c, "\"k\"") || strings.Contains(c, "init_density") {
+		t.Fatalf("notears canonical form leaked inapplicable knobs: %s", c)
+	}
+}
+
+func TestSpecJSONRejectsUnknownFields(t *testing.T) {
+	var s Spec
+	if err := json.Unmarshal([]byte(`{"sparse": true}`), &s); err == nil {
+		t.Fatal("v1-only field accepted by the Spec wire form")
+	}
+	if err := json.Unmarshal([]byte(`{"lamda": 0.1}`), &s); err == nil {
+		t.Fatal("misspelled field accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"method": "dagma"}`), &s); err != nil {
+		t.Fatalf("unmarshal must not range-check (Validate does): %v", err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("unknown method survived Validate")
+	}
+}
+
+// TestSpecLearnEquivalence pins the redesign's compatibility promise:
+// Spec.Learn reproduces the deprecated entry points bit-for-bit on a
+// seeded d=20 problem, for all three methods.
+func TestSpecLearnEquivalence(t *testing.T) {
+	ctx := context.Background()
+	truth := GenerateDAG(3, ErdosRenyi, 20, 2)
+	x := SampleLSEM(4, truth, 200, GaussianNoise)
+
+	t.Run("least", func(t *testing.T) {
+		o := Defaults()
+		o.Lambda = 0.2
+		o.Epsilon = 1e-3
+		o.Parallelism = 1
+		legacy, err := Learn(x, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := New(WithLambda(0.2), WithEpsilon(1e-3), WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := spec.Learn(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Weights.EqualApprox(legacy.Weights, 0) {
+			t.Fatal("Spec.Learn(MethodLEAST) differs from Learn")
+		}
+		if got.Delta != legacy.Delta || got.InnerIters != legacy.InnerIters {
+			t.Fatalf("trajectory differs: %+v vs %+v", got, legacy)
+		}
+	})
+
+	t.Run("least-sp", func(t *testing.T) {
+		o := Defaults()
+		o.Sparse = true
+		o.Lambda = 0.2
+		o.Epsilon = 1e-3
+		o.InitDensity = 0.2
+		o.MaxOuter = 6
+		o.Parallelism = 1
+		legacy, err := Learn(x, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := New(WithMethod(MethodLEASTSP), WithLambda(0.2), WithEpsilon(1e-3),
+			WithInitDensity(0.2), WithMaxOuter(6), WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := spec.Learn(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Weights.EqualApprox(legacy.Weights, 0) {
+			t.Fatal("Spec.Learn(MethodLEASTSP) differs from sparse Learn")
+		}
+	})
+
+	t.Run("notears", func(t *testing.T) {
+		o := Defaults()
+		o.Lambda = 0.2
+		o.Epsilon = 1e-3
+		o.MaxOuter = 8
+		legacy, err := Baseline(x, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := New(WithMethod(MethodNOTEARS), WithLambda(0.2), WithEpsilon(1e-3), WithMaxOuter(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := spec.Learn(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Weights.EqualApprox(legacy.Weights, 0) {
+			t.Fatal("Spec.Learn(MethodNOTEARS) differs from Baseline")
+		}
+		if got.H != legacy.H || got.InnerIters != legacy.InnerIters {
+			t.Fatalf("trajectory differs: %+v vs %+v", got, legacy)
+		}
+	})
+}
+
+// TestSpecNOTEARSCancelAndProgress covers the capability the redesign
+// adds to the baseline: ctx cancellation within one inner iteration
+// and per-iteration progress, uniform with the LEAST methods.
+func TestSpecNOTEARSCancelAndProgress(t *testing.T) {
+	truth := GenerateDAG(21, ErdosRenyi, 30, 2)
+	x := SampleLSEM(22, truth, 200, GaussianNoise)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ticks int
+	spec, err := New(
+		WithMethod(MethodNOTEARS),
+		WithEpsilon(1e-12), // unreachable: must run until cancelled
+		WithMaxInner(2000),
+		WithProgress(func(p Progress) {
+			ticks++
+			if p.Inner != ticks || p.Solves == 0 {
+				t.Errorf("progress out of order: %+v at tick %d", p, ticks)
+			}
+			if ticks == 5 {
+				cancel()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Learn(ctx, x)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled learn must not return a result")
+	}
+	if ticks > 6 {
+		t.Fatalf("baseline kept iterating %d ticks after cancellation", ticks)
+	}
+
+	// A pre-cancelled context never reports a completion.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	spec2, err := New(WithMethod(MethodNOTEARS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec2.Learn(pre, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSpecUniformValidation: all three methods share the Learn input
+// checks, including the NaN/Inf rejection Baseline once lacked.
+func TestSpecUniformValidation(t *testing.T) {
+	bad := NewMatrix(2, 2)
+	bad.Set(0, 0, math.Inf(1))
+	for _, m := range Methods() {
+		spec, err := New(WithMethod(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := spec.Learn(context.Background(), nil); err == nil {
+			t.Errorf("%s: nil matrix accepted", m)
+		}
+		if _, err := spec.Learn(context.Background(), NewMatrix(5, 1)); err == nil {
+			t.Errorf("%s: single variable accepted", m)
+		}
+		if _, err := spec.Learn(context.Background(), bad); err == nil {
+			t.Errorf("%s: Inf matrix accepted", m)
+		}
+	}
+
+	// Sink indices beyond the data's width are caught at Learn time
+	// (Validate cannot know d) instead of being silently skipped.
+	spec, err := New(WithSinkNodes([]int{5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewMatrix(10, 3)
+	if _, err := spec.Learn(context.Background(), x); err == nil ||
+		!strings.Contains(err.Error(), "sink_nodes index 5 out of range") {
+		t.Fatalf("oversized sink index: err = %v", err)
+	}
+}
+
+// TestBaselineHonorsParallelismAndSeedZero pins the Baseline parity
+// fixes: Parallelism is threaded through (bit-identical results at any
+// worker bound — GEMM stripes partition rows) and Seed = 0 means the
+// default seed, exactly like Learn.
+func TestBaselineHonorsParallelismAndSeedZero(t *testing.T) {
+	truth := GenerateDAG(31, ErdosRenyi, 15, 2)
+	x := SampleLSEM(32, truth, 150, GaussianNoise)
+	o := Defaults()
+	o.Epsilon = 1e-2
+	o.MaxOuter = 4
+
+	o.Parallelism = 1
+	serial, err := Baseline(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallelism = 4
+	parallel, err := Baseline(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Weights.EqualApprox(parallel.Weights, 0) {
+		t.Fatal("Baseline results must be bit-identical across worker bounds")
+	}
+
+	o.Parallelism = 0
+	o.Seed = 0 // zero means default (1), as in Learn
+	zeroSeed, err := Baseline(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Seed = 1
+	oneSeed, err := Baseline(x, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zeroSeed.Weights.EqualApprox(oneSeed.Weights, 0) {
+		t.Fatal("Seed=0 must mean the default seed")
+	}
+}
