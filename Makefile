@@ -5,12 +5,20 @@
 
 GO ?= go
 
-.PHONY: ci vet build api-check api-baseline docs-check test test-short bench bench-parallel sweep serve clean
+.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short bench bench-parallel bench-json sweep serve clean
 
-ci: api-check build docs-check test-short
+ci: api-check fmt-check build docs-check test-short
 
 vet:
 	$(GO) vet ./...
+
+# Every checked-in Go file must be gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "fmt-check: gofmt needed on:"; echo "$$out"; exit 1; \
+	fi; \
+	echo "fmt-check: all files gofmt-clean"
 
 # Guard the public API of package least: go vet plus cmd/apidiff,
 # which fails when an exported identifier disappears from the package
@@ -51,6 +59,15 @@ bench:
 # Just the parallel sparse backend: serial vs parallel kernel timings.
 bench-parallel:
 	$(GO) test -run xxx -bench 'SpectralGradSparse|SparseLossGrad|SparseTranspose' -benchmem .
+
+# The PR-4 dataset benchmarks — streaming-ingest throughput and the
+# Gram-vs-dense per-iteration loss cost — as machine-readable JSON:
+# the start of the repo's perf trajectory (one BENCH_PR<N>.json per
+# perf-relevant PR; compare them across checkouts).
+bench-json:
+	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
 
 # Worker-count sweep on this machine (pick Options.Parallelism).
 sweep:

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.00GHz
+BenchmarkLossDenseRows/n=2048-8         	    5000	    240913 ns/op	   8192 B/op	       2 allocs/op
+BenchmarkDatasetIngestCSV/workers=1-8   	      12	  90210042 ns/op	  61.20 MB/s	 1048576 B/op	    4096 allocs/op
+PASS
+ok  	repro	4.2s
+`
+
+func TestRunParsesBenchStream(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(strings.NewReader(sample), &out, &errb, nil); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output does not parse: %v\n%s", err, out.String())
+	}
+	if rep.GOOS != "linux" || rep.Pkg != "repro" || rep.CPU == "" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkLossDenseRows/n=2048-8" || b0.Iterations != 5000 ||
+		b0.NsPerOp != 240913 || b0.BytesPerOp != 8192 || b0.AllocsPerOp != 2 {
+		t.Fatalf("bench 0: %+v", b0)
+	}
+	if b1 := rep.Benchmarks[1]; b1.MBPerSec != 61.20 {
+		t.Fatalf("bench 1 MB/s: %+v", b1)
+	}
+	// The human-readable stream is teed through.
+	if !strings.Contains(errb.String(), "BenchmarkLossDenseRows") {
+		t.Fatal("stdin not teed to stderr")
+	}
+}
+
+func TestRunRejectsEmptyStream(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(strings.NewReader("no benchmarks here\n"), &out, &errb, nil); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,18 +1,23 @@
-// Command leastcli learns a Bayesian-network structure from a CSV
-// sample matrix and writes the discovered edges.
+// Command leastcli learns a Bayesian-network structure from CSV or
+// JSONL sample files and writes the discovered edges.
 //
-// The input CSV has one column per variable and one row per
-// observation; an optional header row names the variables. Output is
-// either an edge list (from,to,weight) or Graphviz DOT. The -method
-// flag selects the learner: least (dense, default), least-sp (the
-// O(nnz) sparse mode for large d) or notears (the O(d³) baseline —
-// small d only).
+// Input is one file or a comma-separated shard list forming one
+// logical dataset: CSV has one column per variable and one row per
+// observation (optional header row names the variables); files ending
+// in .jsonl/.ndjson hold one JSON array of numbers per line. Ingest
+// streams: the rows are folded into sufficient statistics in one
+// bounded-memory pass (never materialized), so the dense methods learn
+// from datasets far larger than RAM-resident n×d. Output is either an
+// edge list (from,to,weight) or Graphviz DOT. The -method flag selects
+// the learner: least (dense, default), least-sp (the O(nnz) sparse
+// mode for large d — this one loads the rows) or notears (the O(d³)
+// baseline — small d only).
 //
 // Usage:
 //
 //	leastcli -in data.csv -header -tau 0.3 -format dot > graph.dot
-//	leastcli -in data.csv -method least-sp -lambda 0.05 -workers 4
-//	leastcli -in data.csv -method notears -seed 7
+//	leastcli -in part1.csv,part2.csv -header -lambda 0.05 -workers 4
+//	leastcli -in data.jsonl -method notears -seed 7
 package main
 
 import (
@@ -21,10 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/bnet"
-	"repro/internal/csvio"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -34,7 +40,7 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("leastcli", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	in := fs.String("in", "", "input CSV path (required)")
+	in := fs.String("in", "", "input sample file(s): CSV or JSONL, comma-separated shards (required)")
 	header := fs.Bool("header", false, "first CSV row is a header with variable names")
 	tau := fs.Float64("tau", 0.3, "edge threshold |w| > tau")
 	lambda := fs.Float64("lambda", 0.1, "L1 regularization λ")
@@ -44,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "csv", "output format: csv, json or dot")
 	seed := fs.Int64("seed", 1, "random seed")
 	center := fs.Bool("center", true, "subtract column means before learning")
-	workers := fs.Int("workers", 0, "parallel workers for the execution backend (0 = all cores, 1 = serial)")
+	workers := fs.Int("workers", 0, "parallel workers for ingest and the execution backend (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -69,14 +75,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		method = least.MethodLEASTSP
 	}
-	x, names, err := readCSV(*in, *header)
+
+	// Ingest: one streaming pass over the shards into sufficient
+	// statistics (dense methods never see the rows; least-sp re-reads
+	// them when the learner starts). Timed separately from the learn so
+	// the two scaling axes — n for ingest, d for optimization — stay
+	// visible.
+	ingestStart := time.Now()
+	ds, err := least.OpenShards(strings.Split(*in, ","), least.DatasetOptions{
+		Header:  *header,
+		Workers: *workers,
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "leastcli:", err)
 		return 1
 	}
-	if *center {
-		least.Center(x)
+	ingest := time.Since(ingestStart)
+	n, d := ds.Dims()
+	names := ds.Names()
+	if names == nil {
+		names = make([]string, d)
+		for j := range names {
+			names[j] = fmt.Sprintf("X%d", j)
+		}
 	}
+	fmt.Fprintf(stderr, "ingested %d rows x %d variables in %v (fingerprint %.12s)\n",
+		n, d, ingest.Round(time.Millisecond), ds.Fingerprint())
+	if *center {
+		ds = least.Centered(ds)
+	}
+
 	opts := []least.Option{
 		least.WithMethod(method),
 		least.WithLambda(*lambda),
@@ -84,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		least.WithSeed(*seed),
 		least.WithParallelism(*workers),
 	}
-	if method == least.MethodLEAST && x.Cols() <= 600 {
+	if method == least.MethodLEAST && d <= 600 {
 		// The paper's §V-A fairness termination: affordable at CLI
 		// scales, and it stops as soon as the exact h(W) is met.
 		opts = append(opts, least.WithExactTermination(true))
@@ -94,11 +122,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "leastcli:", err)
 		return 2
 	}
-	res, err := spec.Learn(context.Background(), x)
+	learnStart := time.Now()
+	res, err := spec.LearnDataset(context.Background(), ds)
 	if err != nil {
 		fmt.Fprintln(stderr, "leastcli:", err)
 		return 1
 	}
+	learn := time.Since(learnStart)
 	var net *bnet.Network
 	if res.Weights != nil {
 		net = bnet.FromDense(res.Weights, *tau, names)
@@ -119,26 +149,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s,%s,%.6f\n", net.Name(e.From), net.Name(e.To), e.Weight)
 		}
 	}
-	fmt.Fprintf(stderr, "learned %d edges over %d variables (δ=%.3g, converged=%v)\n",
-		net.NumEdges(), x.Cols(), res.Delta, res.Converged)
+	fmt.Fprintf(stderr, "learned %d edges over %d variables (δ=%.3g, converged=%v; ingest %v, learn %v)\n",
+		net.NumEdges(), d, res.Delta, res.Converged,
+		ingest.Round(time.Millisecond), learn.Round(time.Millisecond))
 	return 0
-}
-
-func readCSV(path string, header bool) (*least.Matrix, []string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	x, names, err := csvio.ReadMatrix(f, header)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %v", path, err)
-	}
-	if names == nil {
-		names = make([]string, x.Cols())
-		for j := range names {
-			names[j] = fmt.Sprintf("X%d", j)
-		}
-	}
-	return x, names, nil
 }

@@ -16,14 +16,22 @@
 // surface keeps the legacy zero-means-default options and answers
 // byte-compatibly forever (see DESIGN.md §5 for the mapping):
 //
-//	POST   /v2/jobs             submit: {"csv": "..."} or {"samples": ...},
-//	                            plus {"spec": {"method": "notears", ...}}
-//	GET    /v2/jobs             list jobs (statuses carry "method")
+//	POST   /v2/jobs             submit: {"csv": "..."} or {"samples": ...}
+//	                            or {"dataset_ref": "d00000001"}, plus
+//	                            {"spec": {"method": "notears", ...}}
+//	GET    /v2/jobs             list jobs (statuses carry "method", shape
+//	                            and the dataset fingerprint)
 //	GET    /v2/jobs/{id}        status + iteration progress + method
 //	GET    /v2/jobs/{id}/graph  learned network (bnet JSON), ?tau=0.3
 //	GET    /v2/jobs/{id}/events per-iteration progress over SSE
 //	DELETE /v2/jobs/{id}        cancel (mid-run cancellation lands
 //	                            within one inner iteration)
+//	POST   /v2/datasets         register samples once, learn many times:
+//	                            jobs then submit by dataset_ref and the
+//	                            result cache keys on the fingerprint
+//	GET    /v2/datasets         list registered datasets
+//	GET    /v2/datasets/{id}    dataset metadata (n, d, fingerprint)
+//	DELETE /v2/datasets/{id}    unregister
 //
 //	POST   /v1/jobs             submit with {"options": {"sparse": true, ...}}
 //	GET    /v1/jobs             list jobs
@@ -67,6 +75,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", 2, "concurrent learn jobs (each job's parallelism is capped at cores/jobs)")
 	queue := fs.Int("queue", 64, "admission queue depth before load shedding")
 	cache := fs.Int("cache", 64, "result-cache capacity in entries (-1 disables)")
+	datasets := fs.Int("datasets", 32, "registered-dataset store capacity in entries (-1 disables)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for running jobs")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -80,9 +89,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	mgr := serve.NewManager(serve.Config{
-		MaxConcurrent: *jobs,
-		QueueDepth:    *queue,
-		CacheSize:     *cache,
+		MaxConcurrent:   *jobs,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		DatasetCapacity: *datasets,
 	})
 	srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
 

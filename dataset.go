@@ -1,0 +1,453 @@
+package least
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/csvio"
+	"repro/internal/loss"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// SuffStats are the sufficient statistics of the least-squares loss —
+// the Gram matrix G = XᵀX plus the row count and per-column sums (an
+// alias of the internal kernel type, so no copying happens at the
+// boundary). Once a Dataset has been reduced to its SuffStats, every
+// loss evaluation of the dense learners costs O(d³) independent of n;
+// see DESIGN.md §6 for the algebra.
+type SuffStats = loss.SuffStats
+
+// Dataset is the canonical data input of Spec.LearnDataset: a source
+// of n observations over d named variables, identified by a content
+// fingerprint and reducible to the sufficient statistics the dense
+// learners run on. Implementations in this package cover in-memory
+// dense (FromMatrix), in-memory sparse (FromCSR), precomputed
+// statistics (FromStats) and streaming CSV/JSONL shard files
+// (OpenDataset, OpenShards); the serving daemon registers Datasets so
+// jobs can reference data by fingerprint instead of re-uploading it.
+//
+// Stats must be memoized: the learners and the serving layer call it
+// freely and rely on repeat calls being cheap and bit-identical.
+type Dataset interface {
+	// Dims returns the number of observations n and variables d.
+	Dims() (n, d int)
+	// Names returns the column names, or nil when the source carries
+	// none. Callers must not mutate the returned slice.
+	Names() []string
+	// Fingerprint identifies the content: two Datasets with equal
+	// fingerprints hold the same shape, the same float bits in the same
+	// order, and the same names, however they were loaded. The serving
+	// result cache keys on it (DESIGN.md §6).
+	Fingerprint() string
+	// Stats returns the sufficient statistics, computing them on first
+	// use. The caller must treat the result as immutable.
+	Stats(ctx context.Context) (*SuffStats, error)
+}
+
+// RowSource is implemented by Datasets that can materialize the full
+// n×d sample matrix. Spec.LearnDataset needs it for the execution
+// modes that touch individual rows — MethodLEASTSP and mini-batching —
+// while the dense full-batch methods run off Stats alone. The result
+// must be treated as read-only.
+type RowSource interface {
+	Dataset
+	Matrix(ctx context.Context) (*Matrix, error)
+}
+
+// rowPreferred marks datasets whose row path is authoritative even for
+// methods that could run off statistics. The in-memory matrix adapter
+// sets it so the deprecated Spec.Learn(ctx, x) keeps its historical
+// bit-for-bit behavior; everything else prefers the statistics path.
+type rowPreferred interface {
+	preferRows() bool
+}
+
+// statsWorkers caps how many goroutines an on-demand Stats computation
+// of the in-memory adapters fans out to (0 = all cores).
+const statsWorkers = 0
+
+// matrixDataset adapts an in-memory dense matrix. It is the thin
+// legacy adapter: learns route through the exact historical row path.
+type matrixDataset struct {
+	x     *Matrix
+	names []string
+
+	fpOnce sync.Once
+	fp     string
+
+	stOnce sync.Once
+	st     *SuffStats
+}
+
+// FromMatrix wraps an in-memory sample matrix (one row per
+// observation, one column per variable) as a Dataset. names may be nil;
+// when set it must have one entry per column. The matrix is borrowed,
+// not copied — callers must not mutate it afterwards. Learns from this
+// adapter take the exact row path Spec.Learn has always used, so
+// results are bit-for-bit those of the deprecated matrix entry points.
+func FromMatrix(x *Matrix, names []string) Dataset {
+	if x == nil {
+		x = NewMatrix(0, 0)
+	}
+	return &matrixDataset{x: x, names: names}
+}
+
+func (m *matrixDataset) Dims() (int, int) { return m.x.Rows(), m.x.Cols() }
+func (m *matrixDataset) Names() []string  { return m.names }
+func (m *matrixDataset) preferRows() bool { return true }
+func (m *matrixDataset) Fingerprint() string {
+	m.fpOnce.Do(func() { m.fp = csvio.FingerprintMatrix(m.x, m.names) })
+	return m.fp
+}
+
+func (m *matrixDataset) Stats(context.Context) (*SuffStats, error) {
+	m.stOnce.Do(func() { m.st = loss.StatsOf(m.x, statsWorkers) })
+	return m.st, nil
+}
+
+func (m *matrixDataset) Matrix(context.Context) (*Matrix, error) { return m.x, nil }
+
+// csrDataset adapts a sparse (CSR) sample matrix — the natural form of
+// the large behavioral datasets the paper serves, where most entries
+// of an observation are zero.
+type csrDataset struct {
+	x     *sparse.CSR
+	names []string
+
+	fpOnce sync.Once
+	fp     string
+
+	stOnce sync.Once
+	st     *SuffStats
+}
+
+// FromCSR wraps a sparse sample matrix (rows = observations, columns =
+// variables) as a Dataset. Dense-method learns run off the sufficient
+// statistics, computed straight from the sparse form in O(Σ nnz(row)²);
+// MethodLEASTSP materializes the dense matrix on demand. The matrix is
+// borrowed and must not be mutated afterwards.
+func FromCSR(x *sparse.CSR, names []string) Dataset {
+	return &csrDataset{x: x, names: names}
+}
+
+func (c *csrDataset) Dims() (int, int) { return c.x.Rows(), c.x.Cols() }
+func (c *csrDataset) Names() []string  { return c.names }
+
+func (c *csrDataset) Fingerprint() string {
+	c.fpOnce.Do(func() {
+		f := csvio.NewFingerprinter()
+		row := make([]float64, c.x.Cols())
+		for i := 0; i < c.x.Rows(); i++ {
+			for j := range row {
+				row[j] = 0
+			}
+			for p := c.x.RowPtr[i]; p < c.x.RowPtr[i+1]; p++ {
+				row[c.x.ColIdx[p]] = c.x.Val[p]
+			}
+			f.Row(row)
+		}
+		c.fp = f.Sum(c.x.Rows(), c.x.Cols(), c.names)
+	})
+	return c.fp
+}
+
+func (c *csrDataset) Stats(context.Context) (*SuffStats, error) {
+	c.stOnce.Do(func() {
+		g, sums := sparse.Gram(parallel.New(statsWorkers), c.x)
+		c.st = &SuffStats{N: c.x.Rows(), Gram: g, ColSums: sums}
+	})
+	return c.st, nil
+}
+
+func (c *csrDataset) Matrix(context.Context) (*Matrix, error) { return c.x.ToDense(), nil }
+
+// statsDataset carries precomputed statistics with no row access.
+type statsDataset struct {
+	st    *SuffStats
+	names []string
+
+	fpOnce sync.Once
+	fp     string
+}
+
+// FromStats wraps already-reduced sufficient statistics as a Dataset.
+// Only the statistics-backed execution modes can run on it —
+// MethodLEASTSP and mini-batching, which need rows, are rejected by
+// Spec.LearnDataset. The fingerprint is derived from the statistics
+// themselves (a distinct namespace from row-level fingerprints, since
+// the rows are unknown).
+func FromStats(st *SuffStats, names []string) Dataset {
+	return &statsDataset{st: st, names: names}
+}
+
+func (s *statsDataset) Dims() (int, int) { return s.st.N, s.st.D() }
+func (s *statsDataset) Names() []string  { return s.names }
+
+func (s *statsDataset) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		f := csvio.NewFingerprinter()
+		g := s.st.Gram
+		for i := 0; i < g.Rows(); i++ {
+			f.Row(g.Row(i))
+		}
+		f.Row(s.st.ColSums)
+		s.fp = "stats:" + f.Sum(s.st.N, s.st.D(), s.names)
+	})
+	return s.fp
+}
+
+func (s *statsDataset) Stats(context.Context) (*SuffStats, error) { return s.st, nil }
+
+// DataFormat selects the on-disk encoding of a shard file.
+type DataFormat int
+
+const (
+	// FormatAuto infers the format from the file extension: .jsonl and
+	// .ndjson are JSONL, everything else is CSV.
+	FormatAuto DataFormat = iota
+	// FormatCSV is comma-separated values, optionally with a header
+	// row (DatasetOptions.Header).
+	FormatCSV
+	// FormatJSONL is one JSON array of numbers per line.
+	FormatJSONL
+)
+
+func (f DataFormat) forPath(path string) DataFormat {
+	if f != FormatAuto {
+		return f
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson":
+		return FormatJSONL
+	}
+	return FormatCSV
+}
+
+// DatasetOptions configures OpenDataset / OpenShards.
+type DatasetOptions struct {
+	// Header marks CSV shards as starting with a column-name row. The
+	// first shard's header is authoritative; later shards must repeat
+	// it verbatim.
+	Header bool
+	// Names overrides the column names (wins over a CSV header). Must
+	// have one entry per column when set.
+	Names []string
+	// Format forces the shard encoding; FormatAuto (the default)
+	// infers it per file from the extension.
+	Format DataFormat
+	// Workers bounds the goroutine fan-out of the ingest's Gram
+	// accumulation: 0 selects all cores, 1 forces serial. As with the
+	// other parallel kernels, statistics are bit-deterministic for a
+	// fixed worker count.
+	Workers int
+}
+
+// fileDataset is the streaming reader: Open* runs one bounded-memory
+// pass over the shard files, keeping only the sufficient statistics,
+// the shape, the names and the fingerprint — never the rows. Row
+// access (MethodLEASTSP, mini-batching) re-reads the files on demand.
+type fileDataset struct {
+	paths []string
+	opts  DatasetOptions
+	names []string
+	st    *SuffStats
+	fp    string
+}
+
+// OpenDataset opens one CSV or JSONL sample file as a streaming
+// Dataset: the rows are read once, in bounded memory, into sufficient
+// statistics plus a content fingerprint. A learn over the result with
+// a dense full-batch method (MethodLEAST, MethodNOTEARS) never
+// materializes the n×d matrix, so n is limited by disk, not RAM.
+func OpenDataset(path string, o DatasetOptions) (Dataset, error) {
+	return OpenShards([]string{path}, o)
+}
+
+// OpenShards is OpenDataset over a sharded file set: the shards are
+// concatenated in the given order into one logical dataset (the same
+// rows in one file or many fingerprint identically). Every shard must
+// agree on the column count — and, for headered CSV, on the header.
+func OpenShards(paths []string, o DatasetOptions) (Dataset, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("least: no dataset shards")
+	}
+	ingest := csvio.NewStatsIngest(o.Workers)
+	if err := eachShard(paths, func(path string) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if o.Format.forPath(path) == FormatJSONL {
+			err = ingest.JSONL(f)
+		} else {
+			err = ingest.CSV(f, o.Header)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		return nil
+	}); err != nil {
+		ingest.Abort() // join the accumulator pool; no goroutine outlives the error
+		return nil, err
+	}
+	st, headerNames, err := ingest.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("least: %s: %v", paths[0], err)
+	}
+	names := o.Names
+	if names == nil {
+		names = headerNames
+	}
+	if names != nil && len(names) != st.D() {
+		return nil, fmt.Errorf("least: %d names for %d variables", len(names), st.D())
+	}
+	return &fileDataset{
+		paths: append([]string(nil), paths...),
+		opts:  o,
+		names: names,
+		st:    st,
+		fp:    ingest.Fingerprint(names),
+	}, nil
+}
+
+func eachShard(paths []string, do func(path string) error) error {
+	for _, p := range paths {
+		if err := do(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fileDataset) Dims() (int, int)                          { return f.st.N, f.st.D() }
+func (f *fileDataset) Names() []string                           { return f.names }
+func (f *fileDataset) Fingerprint() string                       { return f.fp }
+func (f *fileDataset) Stats(context.Context) (*SuffStats, error) { return f.st, nil }
+
+// Matrix materializes the rows by re-reading the shard files — the
+// O(n·d) memory the streaming pass avoided, paid only when a row-level
+// execution mode (MethodLEASTSP, mini-batching) asks for it. The
+// re-read is verified against the open-time fingerprint, so a shard
+// that changed on disk is an error, not silently different data.
+func (f *fileDataset) Matrix(context.Context) (*Matrix, error) {
+	n, d := f.Dims()
+	data := make([]float64, 0, n*d)
+	rs := csvio.NewRowStream()
+	fp := csvio.NewFingerprinter()
+	if err := eachShard(f.paths, func(path string) error {
+		file, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		emit := func(row []float64) error {
+			fp.Row(row)
+			data = append(data, row...)
+			return nil
+		}
+		if f.opts.Format.forPath(path) == FormatJSONL {
+			err = rs.JSONL(file, emit)
+		} else {
+			err = rs.CSV(file, f.opts.Header, emit)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if rs.Rows() != n || rs.D() != d || fp.Sum(n, d, f.names) != f.fp {
+		return nil, fmt.Errorf("least: %s: dataset changed on disk since it was opened", f.paths[0])
+	}
+	return NewMatrixData(n, d, data), nil
+}
+
+// centeredDataset wraps a base Dataset with column centering, applied
+// to whichever representation a learn consumes: statistics get the
+// rank-one Gram correction G − s·sᵀ/n (no rows needed), row
+// materialization clones and centers the matrix. Its fingerprint
+// derives from the base's, so raw and centered learns of the same data
+// never share a serving cache entry.
+type centeredDataset struct {
+	base Dataset
+
+	// Successes are memoized under mu; errors are not, so a transient
+	// failure of the base (e.g. a momentary I/O error re-reading a
+	// shard) does not poison the wrapper for good.
+	mu sync.Mutex
+	st *SuffStats
+	x  *Matrix
+}
+
+// Centered derives a Dataset whose columns are shifted to zero mean —
+// the recommended preprocessing for real data (see Center). The base
+// dataset is not modified; for statistics-backed learns the centering
+// is an O(d²) adjustment of the Gram matrix, so no row access is
+// needed. The wrapper mirrors the base's capabilities: it implements
+// RowSource exactly when the base does, so a stats-only dataset under
+// a row-needing spec still draws LearnDataset's error naming the
+// offending knob.
+func Centered(ds Dataset) Dataset {
+	c := &centeredDataset{base: ds}
+	if _, ok := ds.(RowSource); ok {
+		return &centeredRowDataset{c}
+	}
+	return c
+}
+
+// centeredRowDataset adds the RowSource capability to a centered
+// wrapper whose base has it.
+type centeredRowDataset struct {
+	*centeredDataset
+}
+
+func (c *centeredRowDataset) Matrix(ctx context.Context) (*Matrix, error) {
+	return c.centeredDataset.matrix(ctx)
+}
+
+func (c *centeredDataset) Dims() (int, int)    { return c.base.Dims() }
+func (c *centeredDataset) Names() []string     { return c.base.Names() }
+func (c *centeredDataset) Fingerprint() string { return c.base.Fingerprint() + "+centered" }
+
+func (c *centeredDataset) preferRows() bool {
+	rp, ok := c.base.(rowPreferred)
+	return ok && rp.preferRows()
+}
+
+func (c *centeredDataset) Stats(ctx context.Context) (*SuffStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.st == nil {
+		st, err := c.base.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		c.st = st.Centered()
+	}
+	return c.st, nil
+}
+
+func (c *centeredDataset) matrix(ctx context.Context) (*Matrix, error) {
+	rs, ok := c.base.(RowSource)
+	if !ok {
+		return nil, errors.New("least: dataset provides sufficient statistics only (no row access)")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.x == nil {
+		x, err := rs.Matrix(ctx)
+		if err != nil {
+			return nil, err
+		}
+		c.x = Center(x.Clone())
+	}
+	return c.x, nil
+}

@@ -1,0 +1,98 @@
+package least
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/csvio"
+	"repro/internal/loss"
+)
+
+// The PR-4 benchmark pair behind `make bench-json`: streaming ingest
+// throughput (the one-pass CSV → sufficient-statistics pipeline) and
+// the Gram-vs-dense per-iteration loss cost, which is the tentpole's
+// perf claim — after ingest, iteration cost must not grow with n.
+
+func benchCSV(n, d int) string {
+	var sb strings.Builder
+	truth := GenerateDAG(1, ErdosRenyi, d, 2)
+	const batch = 4096
+	for off := 0; off < n; off += batch {
+		rows := min(batch, n-off)
+		x := SampleLSEM(int64(off+2), truth, rows, GaussianNoise)
+		for i := 0; i < rows; i++ {
+			row := x.Row(i)
+			for j, v := range row {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// BenchmarkDatasetIngestCSV measures the bounded-memory streaming pass
+// (parse + fingerprint + parallel Gram accumulation) in bytes/sec.
+func BenchmarkDatasetIngestCSV(b *testing.B) {
+	doc := benchCSV(20_000, 16)
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				in := csvio.NewStatsIngest(workers)
+				if err := in.CSV(strings.NewReader(doc), false); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := in.Finish(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLossDenseRows is the legacy row-backed loss evaluation: one
+// X·W plus one Xᵀ·R, O(n·d²) per iteration — the cost that used to
+// grow with every sample ingested.
+func BenchmarkLossDenseRows(b *testing.B) {
+	for _, n := range []int{2_048, 16_384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			truth := GenerateDAG(1, ErdosRenyi, 32, 2)
+			x := SampleLSEM(2, truth, n, GaussianNoise)
+			w := truth.W.Clone()
+			ls := loss.LeastSquares{Lambda: 0.1, Workers: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ls.ValueGrad(w, x)
+			}
+		})
+	}
+}
+
+// BenchmarkLossGram is the sufficient-statistics evaluation of the
+// same loss: O(d³) however many rows were ingested, so the n=2k and
+// n=16k series should time identically.
+func BenchmarkLossGram(b *testing.B) {
+	for _, n := range []int{2_048, 16_384} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			truth := GenerateDAG(1, ErdosRenyi, 32, 2)
+			x := SampleLSEM(2, truth, n, GaussianNoise)
+			w := truth.W.Clone()
+			ls := loss.LeastSquares{Lambda: 0.1, Workers: 1}
+			st, err := FromMatrix(x, nil).Stats(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ls.ValueGradGram(w, st)
+			}
+		})
+	}
+}

@@ -42,7 +42,10 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := spec.Learn(context.Background(), x)
+	//    Data enters as a Dataset; FromMatrix adapts the in-memory
+	//    samples (streamed CSV/JSONL sources come in through
+	//    least.OpenDataset and never materialize their rows).
+	res, err := spec.LearnDataset(context.Background(), least.FromMatrix(x, nil))
 	if err != nil {
 		panic(err)
 	}

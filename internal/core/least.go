@@ -201,8 +201,48 @@ func Dense(x *mat.Dense, o Options) *Result {
 // needs to abort long-running jobs without waiting out the
 // augmented-Lagrangian schedule.
 func DenseCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
+	return denseRunCtx(ctx, x.Cols(), o, func(rng *randx.RNG, ls loss.LeastSquares) denseEval {
+		batcher := newBatcher(rng, x, o.BatchSize)
+		return func(w *mat.Dense) (float64, *mat.Dense) {
+			return ls.ValueGrad(w, batcher.next())
+		}
+	})
+}
+
+// DenseStats runs the dense learner off sufficient statistics (G =
+// XᵀX): every loss evaluation is (2/n)(G·W − G) instead of a pass over
+// the rows, so the per-iteration cost is O(d³) however large n was —
+// the execution mode behind streamed datasets (DESIGN.md §6). Aside
+// from floating-point summation order the optimization is the one
+// Dense runs on the same data. Mini-batching does not apply (the
+// statistics are a full-batch summary); BatchSize is ignored.
+func DenseStats(st *loss.SuffStats, o Options) *Result {
+	return DenseStatsCtx(context.Background(), st, o)
+}
+
+// DenseStatsCtx is DenseStats under a context — see DenseCtx for the
+// cancellation and progress contract.
+func DenseStatsCtx(ctx context.Context, st *loss.SuffStats, o Options) *Result {
+	return denseRunCtx(ctx, st.D(), o, func(_ *randx.RNG, ls loss.LeastSquares) denseEval {
+		return func(w *mat.Dense) (float64, *mat.Dense) {
+			return ls.ValueGradGram(w, st)
+		}
+	})
+}
+
+// denseEval evaluates the data-fitting term at W, however the data is
+// represented.
+type denseEval func(w *mat.Dense) (float64, *mat.Dense)
+
+// denseRunCtx is the shared dense-learner body: everything except the
+// loss evaluation — initialization, the spectral constraint, the
+// augmented-Lagrangian schedule, termination — depends only on d, so
+// the row-backed and statistics-backed modes differ in exactly the
+// closure mkEval builds. mkEval runs after W is initialized and must
+// not consume rng draws (keeping the two modes on the same random
+// stream).
+func denseRunCtx(ctx context.Context, d int, o Options, mkEval func(*randx.RNG, loss.LeastSquares) denseEval) *Result {
 	start := time.Now()
-	d := x.Cols()
 	rng := randx.New(o.Seed)
 	w := gen.DenseGlorotInit(rng, d, initDensity(o, d))
 	sp := constraint.NewSpectral(o.K, o.Alpha)
@@ -227,7 +267,7 @@ func DenseCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
 	opt.PinZero(w, pinned)
 	res := &Result{}
 
-	batcher := newBatcher(rng, x, o.BatchSize)
+	eval := mkEval(rng, ls)
 	lr := lrSchedule(o)
 	solves := 0
 	inner := func(rho, eta float64) float64 {
@@ -249,8 +289,7 @@ func DenseCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
 				delta /= norm
 				gradC.ScaleInPlace(1 / norm)
 			}
-			xb := batcher.next()
-			lv, gradL := ls.ValueGrad(w, xb)
+			lv, gradL := eval(w)
 			obj := lv + 0.5*rho*delta*delta + eta*delta
 			factor := rho*delta + eta
 			gd, cd := gradL.Data(), gradC.Data()

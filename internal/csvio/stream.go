@@ -1,0 +1,285 @@
+package csvio
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/loss"
+	"repro/internal/mat"
+)
+
+// RowStream parses CSV or JSONL shards into a single logical row
+// sequence without retaining the rows: each data row is handed to a
+// callback through a transient slice that the caller must copy if it
+// wants to keep it. Shape and names are enforced across shards — every
+// shard must carry the same width, and (for CSV with a header) the
+// same header — so a sharded dataset cannot silently mix schemas.
+type RowStream struct {
+	d     int // -1 until the first row fixes the width
+	names []string
+	rows  int
+}
+
+// NewRowStream returns an empty stream ready to consume shards.
+func NewRowStream() *RowStream { return &RowStream{d: -1} }
+
+// D returns the row width (-1 before the first row).
+func (s *RowStream) D() int { return s.d }
+
+// Names returns the CSV header names, or nil when no shard carried a
+// header.
+func (s *RowStream) Names() []string { return s.names }
+
+// Rows returns the number of data rows emitted so far.
+func (s *RowStream) Rows() int { return s.rows }
+
+func (s *RowStream) emitWidth(n int) error {
+	if s.d < 0 {
+		s.d = n
+		return nil
+	}
+	if n != s.d {
+		return fmt.Errorf("row has %d values, want %d", n, s.d)
+	}
+	return nil
+}
+
+// CSV consumes one CSV shard. With header set, the shard's first
+// record names the columns; the first shard's header is authoritative
+// and later shards must repeat it verbatim. Blank lines (including a
+// trailing one) are skipped and CRLF line endings are handled by the
+// CSV reader; ragged rows are rejected.
+func (s *RowStream) CSV(r io.Reader, header bool, emit func(row []float64) error) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first := true
+	var buf []float64
+	rowInShard := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if first && header {
+			first = false
+			if s.names == nil && s.rows == 0 {
+				s.names = make([]string, len(rec))
+				copy(s.names, rec)
+			} else if s.names != nil {
+				if len(rec) != len(s.names) {
+					return fmt.Errorf("shard header has %d columns, want %d", len(rec), len(s.names))
+				}
+				for j, name := range rec {
+					if name != s.names[j] {
+						return fmt.Errorf("shard header column %d is %q, want %q", j+1, name, s.names[j])
+					}
+				}
+			}
+			continue
+		}
+		first = false
+		rowInShard++
+		if err := s.emitWidth(len(rec)); err != nil {
+			return fmt.Errorf("row %d: %v", rowInShard, err)
+		}
+		if cap(buf) < len(rec) {
+			buf = make([]float64, len(rec))
+		}
+		buf = buf[:len(rec)]
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return fmt.Errorf("row %d col %d: %v", rowInShard, j+1, err)
+			}
+			buf[j] = v
+		}
+		s.rows++
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+}
+
+// maxJSONLLine bounds one JSONL record (16 MiB ≈ 600k float fields —
+// far past any dense-feasible width).
+const maxJSONLLine = 16 << 20
+
+// JSONL consumes one JSONL shard: each non-blank line is a JSON array
+// of numbers forming one row. Blank lines (and a trailing newline, CR
+// or not) are skipped; a line of the wrong width or non-numeric JSON
+// is rejected.
+func (s *RowStream) JSONL(r io.Reader, emit func(row []float64) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxJSONLLine)
+	rowInShard := 0
+	var buf []float64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rowInShard++
+		buf = buf[:0]
+		if err := json.Unmarshal([]byte(line), &buf); err != nil {
+			return fmt.Errorf("row %d: %v", rowInShard, err)
+		}
+		if err := s.emitWidth(len(buf)); err != nil {
+			return fmt.Errorf("row %d: %v", rowInShard, err)
+		}
+		s.rows++
+		if err := emit(buf); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Fingerprinter computes the content fingerprint of a dataset
+// incrementally, row by row, so a streaming ingest can fingerprint
+// data it never materializes. The digest covers the exact float bits
+// of every row in order, the shape, and the column names — the same
+// identity the serving result cache used to hash from an in-memory
+// matrix — so a matrix and a stream of the same values fingerprint
+// identically however they arrived (DESIGN.md §6).
+type Fingerprinter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+// NewFingerprinter starts a fingerprint.
+func NewFingerprinter() *Fingerprinter {
+	f := &Fingerprinter{h: sha256.New(), buf: make([]byte, 0, 1024*8)}
+	f.h.Write([]byte("least/dataset/v1\x00"))
+	return f
+}
+
+// Row folds one row's float bits into the digest.
+func (f *Fingerprinter) Row(row []float64) {
+	for _, v := range row {
+		f.buf = binary.LittleEndian.AppendUint64(f.buf, math.Float64bits(v))
+		if len(f.buf) == cap(f.buf) {
+			f.h.Write(f.buf)
+			f.buf = f.buf[:0]
+		}
+	}
+}
+
+// Sum finalizes the digest over the shape and names and returns the
+// hex fingerprint.
+func (f *Fingerprinter) Sum(n, d int, names []string) string {
+	f.h.Write(f.buf)
+	f.buf = f.buf[:0]
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(n))
+	f.h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(d))
+	f.h.Write(b[:])
+	for _, name := range names {
+		f.h.Write([]byte(name))
+		f.h.Write([]byte{0})
+	}
+	return hex.EncodeToString(f.h.Sum(nil))
+}
+
+// FingerprintMatrix fingerprints an in-memory matrix — the value a
+// StatsIngest over the same rows and names would produce.
+func FingerprintMatrix(x *mat.Dense, names []string) string {
+	f := NewFingerprinter()
+	for i := 0; i < x.Rows(); i++ {
+		f.Row(x.Row(i))
+	}
+	return f.Sum(x.Rows(), x.Cols(), names)
+}
+
+// StatsIngest is the one-pass bounded-memory dataset reader: rows from
+// any mix of CSV and JSONL shards are fingerprinted in order and folded
+// into a parallel Gram accumulator (loss.GramAccumulator), chunked at
+// loss.GramChunkRows. Nothing proportional to n is ever held — this is
+// what lets Spec.LearnDataset run a million-row CSV in O(d²) memory.
+type StatsIngest struct {
+	rs      *RowStream
+	fp      *Fingerprinter
+	workers int
+	acc     *loss.GramAccumulator
+	chunk   *mat.Dense
+	fill    int
+}
+
+// NewStatsIngest returns an ingest whose Gram accumulation fans out
+// across at most workers goroutines (<= 0: all cores).
+func NewStatsIngest(workers int) *StatsIngest {
+	return &StatsIngest{rs: NewRowStream(), fp: NewFingerprinter(), workers: workers}
+}
+
+func (in *StatsIngest) emit(row []float64) error {
+	in.fp.Row(row)
+	if in.acc == nil {
+		in.acc = loss.NewGramAccumulator(len(row), in.workers)
+	}
+	if in.chunk == nil {
+		in.chunk = mat.NewDense(loss.GramChunkRows, len(row))
+		in.fill = 0
+	}
+	copy(in.chunk.Row(in.fill), row)
+	in.fill++
+	if in.fill == in.chunk.Rows() {
+		in.acc.Add(in.chunk)
+		in.chunk = nil
+	}
+	return nil
+}
+
+// CSV folds one CSV shard into the ingest.
+func (in *StatsIngest) CSV(r io.Reader, header bool) error {
+	return in.rs.CSV(r, header, in.emit)
+}
+
+// JSONL folds one JSONL shard into the ingest.
+func (in *StatsIngest) JSONL(r io.Reader) error {
+	return in.rs.JSONL(r, in.emit)
+}
+
+// Finish reduces the pass into sufficient statistics and returns them
+// with the header names (nil without a header). Call Fingerprint
+// afterwards, once the effective names are decided.
+func (in *StatsIngest) Finish() (*loss.SuffStats, []string, error) {
+	if in.rs.Rows() == 0 {
+		return nil, nil, errors.New("no data rows")
+	}
+	if in.chunk != nil {
+		in.acc.Add(in.chunk.Slice(0, in.fill))
+		in.chunk = nil
+	}
+	return in.acc.Finish(), in.rs.Names(), nil
+}
+
+// Fingerprint finalizes the content fingerprint under the given
+// effective column names (callers may override the header). It must be
+// called exactly once, after Finish.
+func (in *StatsIngest) Fingerprint(names []string) string {
+	return in.fp.Sum(in.rs.Rows(), in.rs.D(), names)
+}
+
+// Abort tears the pipeline down without a result — callers must
+// invoke it when a shard fails mid-ingest, or the accumulator's worker
+// goroutines leak. Safe to call at any point, including before the
+// first row and after Finish.
+func (in *StatsIngest) Abort() {
+	if in.acc != nil {
+		in.acc.Abort()
+	}
+}

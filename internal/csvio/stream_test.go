@@ -1,0 +1,234 @@
+package csvio
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/loss"
+	"repro/internal/mat"
+)
+
+func ingestAll(t *testing.T, workers int, shards []string, jsonl, header bool) (*loss.SuffStats, []string, string) {
+	t.Helper()
+	in := NewStatsIngest(workers)
+	for _, doc := range shards {
+		var err error
+		if jsonl {
+			err = in.JSONL(strings.NewReader(doc))
+		} else {
+			err = in.CSV(strings.NewReader(doc), header)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, names, err := in.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, names, in.Fingerprint(names)
+}
+
+// fmtF round-trips a float exactly through its decimal form.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// chainDoc builds a deterministic CSV body plus the equivalent matrix.
+func chainDoc(n int, header bool) (string, *mat.Dense, []string) {
+	var sb strings.Builder
+	if header {
+		sb.WriteString("a,b,c\n")
+	}
+	x := mat.NewDense(n, 3)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		row[0] = float64(i)*0.25 - 11
+		row[1] = float64(i%7) - 3.5
+		row[2] = float64((i*i)%13) * 0.125
+		sb.WriteString(fmtF(row[0]) + "," + fmtF(row[1]) + "," + fmtF(row[2]) + "\n")
+	}
+	return sb.String(), x, []string{"a", "b", "c"}
+}
+
+// TestStreamMatchesMatrix: the streaming ingest of a CSV document
+// produces bit-identical statistics and the same fingerprint as the
+// in-memory matrix holding the same rows (for a fixed worker count) —
+// the property that lets inline and streamed submissions of the same
+// data share a serving cache entry.
+func TestStreamMatchesMatrix(t *testing.T) {
+	doc, x, names := chainDoc(700, true)
+	for _, workers := range []int{1, 3} {
+		st, gotNames, fp := ingestAll(t, workers, []string{doc}, false, true)
+		if len(gotNames) != 3 || gotNames[0] != "a" || gotNames[2] != "c" {
+			t.Fatalf("names = %v", gotNames)
+		}
+		want := loss.StatsOf(x, workers)
+		if st.N != want.N || st.D() != want.D() {
+			t.Fatalf("shape (%d,%d), want (%d,%d)", st.N, st.D(), want.N, want.D())
+		}
+		for i, v := range st.Gram.Data() {
+			if v != want.Gram.Data()[i] {
+				t.Fatalf("workers=%d: gram[%d] = %g, want %g (bit-exact)", workers, i, v, want.Gram.Data()[i])
+			}
+		}
+		for j, v := range st.ColSums {
+			if v != want.ColSums[j] {
+				t.Fatalf("workers=%d: colsum[%d] = %g, want %g", workers, j, v, want.ColSums[j])
+			}
+		}
+		if wantFP := FingerprintMatrix(x, names); fp != wantFP {
+			t.Fatalf("stream fingerprint %s != matrix fingerprint %s", fp, wantFP)
+		}
+	}
+}
+
+// TestStreamShardsEqualWhole: splitting a document into shards (each
+// repeating the header) ingests identically to the whole.
+func TestStreamShardsEqualWhole(t *testing.T) {
+	doc, _, _ := chainDoc(530, true)
+	lines := strings.SplitAfter(doc, "\n")
+	head := lines[0]
+	body := lines[1 : len(lines)-1] // last element is the empty tail
+	cut1, cut2 := 100, 400
+	shards := []string{
+		head + strings.Join(body[:cut1], ""),
+		head + strings.Join(body[cut1:cut2], ""),
+		head + strings.Join(body[cut2:], ""),
+	}
+	stWhole, _, fpWhole := ingestAll(t, 2, []string{doc}, false, true)
+	stShards, names, fpShards := ingestAll(t, 2, shards, false, true)
+	if fpWhole != fpShards {
+		t.Fatalf("shard fingerprint %s != whole fingerprint %s", fpShards, fpWhole)
+	}
+	if stWhole.N != stShards.N || len(names) != 3 {
+		t.Fatalf("n=%d names=%v", stShards.N, names)
+	}
+	for i, v := range stWhole.Gram.Data() {
+		if v != stShards.Gram.Data()[i] {
+			t.Fatalf("gram[%d] differs between whole and shards", i)
+		}
+	}
+
+	// A shard whose header disagrees is rejected.
+	in := NewStatsIngest(1)
+	if err := in.CSV(strings.NewReader(head+body[0]), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.CSV(strings.NewReader("a,b,zzz\n1,2,3\n"), true); err == nil ||
+		!strings.Contains(err.Error(), "header") {
+		t.Fatalf("mismatched shard header: err = %v", err)
+	}
+}
+
+// TestStreamCRLFAndBlankLines: CRLF endings and blank (including
+// trailing) lines parse as if absent, and do not change the
+// fingerprint.
+func TestStreamCRLFAndBlankLines(t *testing.T) {
+	plain := "a,b\n1,2\n3,4\n"
+	crlf := "a,b\r\n1,2\r\n3,4\r\n\r\n\r\n"
+	stPlain, _, fpPlain := ingestAll(t, 1, []string{plain}, false, true)
+	stCRLF, _, fpCRLF := ingestAll(t, 1, []string{crlf}, false, true)
+	if fpPlain != fpCRLF {
+		t.Fatal("CRLF/blank-line document fingerprints differently")
+	}
+	if stPlain.N != 2 || stCRLF.N != 2 {
+		t.Fatalf("n = %d / %d, want 2", stPlain.N, stCRLF.N)
+	}
+
+	jl := "[1, 2]\r\n[3, 4]\r\n\r\n   \r\n"
+	stJL, _, _ := ingestAll(t, 1, []string{jl}, true, false)
+	if stJL.N != 2 || stJL.Gram.At(0, 0) != stPlain.Gram.At(0, 0) {
+		t.Fatalf("JSONL CRLF parse: n=%d gram00=%g", stJL.N, stJL.Gram.At(0, 0))
+	}
+}
+
+// TestStreamJSONLMatchesCSV: the same rows ingested from JSONL and
+// headerless CSV produce identical statistics and fingerprints.
+func TestStreamJSONLMatchesCSV(t *testing.T) {
+	doc, x, _ := chainDoc(300, false)
+	var jl strings.Builder
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		jl.WriteString("[" + fmtF(row[0]) + "," + fmtF(row[1]) + "," + fmtF(row[2]) + "]\n")
+	}
+	stCSV, _, fpCSV := ingestAll(t, 2, []string{doc}, false, false)
+	stJL, names, fpJL := ingestAll(t, 2, []string{jl.String()}, true, false)
+	if names != nil {
+		t.Fatalf("JSONL names = %v, want nil", names)
+	}
+	if fpCSV != fpJL {
+		t.Fatal("JSONL fingerprint differs from CSV of the same rows")
+	}
+	for i, v := range stCSV.Gram.Data() {
+		if v != stJL.Gram.Data()[i] {
+			t.Fatalf("gram[%d] differs between CSV and JSONL", i)
+		}
+	}
+}
+
+// TestStreamRejects: ragged rows, non-numeric fields, malformed JSONL
+// and empty inputs all fail loudly.
+func TestStreamRejects(t *testing.T) {
+	cases := []struct {
+		name, doc string
+		jsonl     bool
+		header    bool
+		frag      string
+	}{
+		{"ragged csv", "1,2\n3\n", false, false, "record"},
+		{"ragged csv header", "a,b\n1,2\n3,4,5\n", false, true, "record"},
+		{"non-numeric", "1,x\n", false, false, "col 2"},
+		{"ragged jsonl", "[1,2]\n[3]\n", true, false, "want 2"},
+		{"non-numeric jsonl", "[1,\"x\"]\n", true, false, "row 1"},
+		{"jsonl object", "{\"a\": 1}\n", true, false, "row 1"},
+	}
+	for _, c := range cases {
+		in := NewStatsIngest(1)
+		var err error
+		if c.jsonl {
+			err = in.JSONL(strings.NewReader(c.doc))
+		} else {
+			err = in.CSV(strings.NewReader(c.doc), c.header)
+		}
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+
+	// No data rows at all → Finish fails.
+	for _, doc := range []string{"", "a,b\n"} {
+		in := NewStatsIngest(1)
+		if err := in.CSV(strings.NewReader(doc), true); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := in.Finish(); err == nil {
+			t.Errorf("empty document %q: Finish did not fail", doc)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: shape, values, order and names all feed
+// the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := FingerprintMatrix(mat.NewDenseData(2, 2, []float64{1, 2, 3, 4}), []string{"a", "b"})
+	cases := map[string]string{
+		"value":   FingerprintMatrix(mat.NewDenseData(2, 2, []float64{1, 2, 3, 5}), []string{"a", "b"}),
+		"order":   FingerprintMatrix(mat.NewDenseData(2, 2, []float64{3, 4, 1, 2}), []string{"a", "b"}),
+		"shape":   FingerprintMatrix(mat.NewDenseData(4, 1, []float64{1, 2, 3, 4}), []string{"a"}),
+		"names":   FingerprintMatrix(mat.NewDenseData(2, 2, []float64{1, 2, 3, 4}), []string{"a", "c"}),
+		"noNames": FingerprintMatrix(mat.NewDenseData(2, 2, []float64{1, 2, 3, 4}), nil),
+	}
+	for what, fp := range cases {
+		if fp == base {
+			t.Errorf("fingerprint insensitive to %s", what)
+		}
+	}
+	again := FingerprintMatrix(mat.NewDenseData(2, 2, []float64{1, 2, 3, 4}), []string{"a", "b"})
+	if again != base {
+		t.Error("fingerprint not deterministic")
+	}
+}

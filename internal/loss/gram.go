@@ -1,0 +1,252 @@
+package loss
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// SuffStats are the sufficient statistics of the least-squares loss:
+// everything L(W, X) and ∇L depend on besides W itself. Expanding the
+// Frobenius term with G = XᵀX,
+//
+//	‖X − XW‖²_F = tr(G) − 2·⟨W, G⟩ + ⟨W, G·W⟩,
+//	∇_W ‖X − XW‖²_F = 2·(G·W − G),
+//
+// so once G (d×d) is accumulated in a single pass over the rows, every
+// loss evaluation costs O(d³) — independent of n. That is what lets
+// the learners run off a streamed dataset whose rows were never
+// materialized (DESIGN.md §6).
+type SuffStats struct {
+	// N is the number of rows the statistics were accumulated over.
+	N int
+	// Gram is G = XᵀX (d×d, symmetric).
+	Gram *mat.Dense
+	// ColSums holds the per-column sums Σ_i X[i,j]; with N it gives the
+	// column means, which is all centering needs (see Centered).
+	ColSums []float64
+}
+
+// D returns the number of variables.
+func (s *SuffStats) D() int { return s.Gram.Cols() }
+
+// HasNaN reports whether the statistics contain NaN/Inf — any NaN or
+// overflow in the underlying rows necessarily poisons the Gram
+// diagonal, so this is the stats-path analogue of Matrix.HasNaN.
+func (s *SuffStats) HasNaN() bool {
+	if s.Gram.HasNaN() {
+		return true
+	}
+	for _, v := range s.ColSums {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Centered returns the statistics of the column-centered data without
+// touching any rows: with s = ColSums and μ = s/n, the centered Gram is
+//
+//	(X − 1μᵀ)ᵀ(X − 1μᵀ) = G − s·sᵀ/n,
+//
+// and the centered column sums are zero. The receiver is not modified.
+func (s *SuffStats) Centered() *SuffStats {
+	d := s.D()
+	g := s.Gram.Clone()
+	if s.N > 0 {
+		inv := 1 / float64(s.N)
+		for i := 0; i < d; i++ {
+			row := g.Row(i)
+			si := s.ColSums[i]
+			for j := range row {
+				row[j] -= si * s.ColSums[j] * inv
+			}
+		}
+	}
+	return &SuffStats{N: s.N, Gram: g, ColSums: make([]float64, d)}
+}
+
+// ValueGram returns L(W, X) evaluated from sufficient statistics.
+// Matches Value up to floating-point summation order (see ValueGradGram).
+func (ls LeastSquares) ValueGram(w *mat.Dense, st *SuffStats) float64 {
+	v, _ := ls.gram(w, st, false)
+	return v
+}
+
+// ValueGradGram returns L(W, X) and ∇_W L evaluated from sufficient
+// statistics: (2/n)(G·W − G) + λ·sign(W), with the value from the
+// expanded quadratic form. In exact arithmetic this equals ValueGrad on
+// the same data; in floats it differs by summation order (the dense
+// path sums n·d residual products, this one contracts against a
+// pre-summed G), which is why the equivalence tests compare to a tight
+// tolerance instead of bit-for-bit.
+func (ls LeastSquares) ValueGradGram(w *mat.Dense, st *SuffStats) (float64, *mat.Dense) {
+	return ls.gram(w, st, true)
+}
+
+func (ls LeastSquares) gram(w *mat.Dense, st *SuffStats, wantGrad bool) (float64, *mat.Dense) {
+	n := float64(st.N)
+	g := st.Gram
+	m := g.MulWorkers(w, ls.Workers) // G·W
+	sq := g.Trace() - 2*w.Dot(g) + w.Dot(m)
+	if sq < 0 {
+		// The expanded form can cancel slightly below zero when the
+		// residual is tiny relative to tr(G); a squared norm never is.
+		sq = 0
+	}
+	val := sq/n + ls.Lambda*w.SumAbs()
+	if !wantGrad {
+		return val, nil
+	}
+	grad := m
+	grad.AxpyInPlace(-1, g)
+	grad.ScaleInPlace(2 / n)
+	gd, wd := grad.Data(), w.Data()
+	for i := range gd {
+		gd[i] += ls.Lambda * sign(wd[i])
+	}
+	return val, grad
+}
+
+// GramChunkRows is the row-chunk granularity of the sufficient-
+// statistics accumulators. Matrix-backed and stream-backed ingest both
+// chunk at this size, so for a fixed worker count they accumulate the
+// same partial sums in the same order and produce bit-identical stats.
+const GramChunkRows = 256
+
+// GramAccumulator builds SuffStats from row chunks in one bounded-
+// memory pass: chunks are dispatched round-robin to a fixed worker
+// pool, each worker folds its chunks into a private d×d accumulator in
+// arrival order, and Finish reduces the partials in slot order — the
+// same deterministic-for-a-fixed-worker-count contract as the CSR
+// kernels (internal/parallel). Memory is O(workers·d²) plus the chunks
+// in flight, never O(n·d).
+type GramAccumulator struct {
+	d, workers int
+	in         []chan *mat.Dense
+	wg         sync.WaitGroup
+	grams      []*mat.Dense
+	sums       [][]float64
+	next       int
+	n          int
+}
+
+// NewGramAccumulator returns an accumulator for d-column rows.
+// workers <= 0 selects runtime.GOMAXPROCS; 1 accumulates on the
+// calling goroutine.
+func NewGramAccumulator(d, workers int) *GramAccumulator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := &GramAccumulator{
+		d:       d,
+		workers: workers,
+		grams:   make([]*mat.Dense, workers),
+		sums:    make([][]float64, workers),
+	}
+	for w := 0; w < workers; w++ {
+		a.grams[w] = mat.NewDense(d, d)
+		a.sums[w] = make([]float64, d)
+	}
+	if workers > 1 {
+		a.in = make([]chan *mat.Dense, workers)
+		for w := 0; w < workers; w++ {
+			a.in[w] = make(chan *mat.Dense, 2)
+			a.wg.Add(1)
+			go func(w int) {
+				defer a.wg.Done()
+				for chunk := range a.in[w] {
+					accumRows(a.grams[w], a.sums[w], chunk)
+				}
+			}(w)
+		}
+	}
+	return a
+}
+
+// Add folds a chunk of rows into the statistics. The accumulator
+// borrows the chunk until Finish returns: callers must not mutate it
+// (hand over a fresh buffer or an immutable view). Add is not safe for
+// concurrent use — it is the single producer of the pipeline.
+func (a *GramAccumulator) Add(chunk *mat.Dense) {
+	if chunk.Rows() == 0 {
+		return
+	}
+	a.n += chunk.Rows()
+	if a.in == nil {
+		accumRows(a.grams[0], a.sums[0], chunk)
+		return
+	}
+	a.in[a.next] <- chunk
+	a.next = (a.next + 1) % a.workers
+}
+
+// drain closes the worker channels and joins the pool.
+func (a *GramAccumulator) drain() {
+	if a.in != nil {
+		for _, c := range a.in {
+			close(c)
+		}
+		a.wg.Wait()
+		a.in = nil
+	}
+}
+
+// Abort stops the pipeline without reducing a result — the mandatory
+// cleanup when an ingest fails mid-stream, so the worker goroutines
+// (each pinning a d×d partial) do not outlive the error. Idempotent;
+// calling it after Finish is a no-op.
+func (a *GramAccumulator) Abort() { a.drain() }
+
+// Finish drains the pipeline and returns the reduced statistics. The
+// accumulator must not be reused afterwards.
+func (a *GramAccumulator) Finish() *SuffStats {
+	a.drain()
+	g := a.grams[0]
+	sums := a.sums[0]
+	for w := 1; w < a.workers; w++ {
+		g.AddInPlace(a.grams[w])
+		for j, v := range a.sums[w] {
+			sums[j] += v
+		}
+	}
+	return &SuffStats{N: a.n, Gram: g, ColSums: sums}
+}
+
+// accumRows folds chunk into (g, sums): g += chunkᵀ·chunk as a running
+// sum of row outer products (cache-friendly: both g and chunk are
+// walked row-major), sums += per-column totals.
+func accumRows(g *mat.Dense, sums []float64, chunk *mat.Dense) {
+	for i := 0; i < chunk.Rows(); i++ {
+		row := chunk.Row(i)
+		for j, v := range row {
+			sums[j] += v
+			if v == 0 {
+				continue
+			}
+			grow := g.Row(j)
+			for k, u := range row {
+				grow[k] += v * u
+			}
+		}
+	}
+}
+
+// StatsOf accumulates SuffStats over an in-memory matrix, chunking at
+// GramChunkRows so the result is bit-identical to streaming the same
+// rows through a GramAccumulator with the same worker count.
+func StatsOf(x *mat.Dense, workers int) *SuffStats {
+	a := NewGramAccumulator(x.Cols(), workers)
+	n := x.Rows()
+	for lo := 0; lo < n; lo += GramChunkRows {
+		hi := lo + GramChunkRows
+		if hi > n {
+			hi = n
+		}
+		a.Add(x.Slice(lo, hi))
+	}
+	return a.Finish()
+}

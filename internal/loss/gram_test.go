@@ -1,0 +1,152 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+func randMat(rng *randx.RNG, rows, cols int) *mat.Dense {
+	m := mat.NewDense(rows, cols)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.Normal(0, 1)
+	}
+	return m
+}
+
+// relClose compares with a tolerance scaled to the magnitudes involved
+// — the Gram and dense paths differ only in floating-point summation
+// order, so agreement should be near machine precision relative to the
+// accumulated terms.
+func relClose(a, b, scale, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Max(math.Abs(b), scale)))
+}
+
+// TestValueGradGramMatchesDense: on random (W, X) across shapes and
+// worker counts, the sufficient-statistics loss and gradient agree
+// with the row-backed evaluation to ~1e-10 relative.
+func TestValueGradGramMatchesDense(t *testing.T) {
+	shapes := []struct{ n, d int }{{5, 3}, {40, 7}, {300, 12}, {129, 20}, {1000, 5}}
+	for _, sh := range shapes {
+		for _, workers := range []int{1, 3} {
+			rng := randx.New(int64(7*sh.n + sh.d + workers))
+			x := randMat(rng, sh.n, sh.d)
+			w := randMat(rng, sh.d, sh.d)
+			w.ZeroDiagonal()
+			ls := LeastSquares{Lambda: 0.1, Workers: workers}
+			st := StatsOf(x, workers)
+			if st.N != sh.n || st.D() != sh.d {
+				t.Fatalf("stats shape (%d,%d), want (%d,%d)", st.N, st.D(), sh.n, sh.d)
+			}
+
+			v1, g1 := ls.ValueGrad(w, x)
+			v2, g2 := ls.ValueGradGram(w, st)
+			scale := st.Gram.Trace() / float64(sh.n)
+			if !relClose(v1, v2, scale, 1e-10) {
+				t.Errorf("n=%d d=%d workers=%d: value %g vs gram %g", sh.n, sh.d, workers, v1, v2)
+			}
+			for i, v := range g1.Data() {
+				if !relClose(v, g2.Data()[i], scale, 1e-9) {
+					t.Fatalf("n=%d d=%d workers=%d: grad[%d] %g vs %g", sh.n, sh.d, workers, i, v, g2.Data()[i])
+				}
+			}
+			if v := ls.ValueGram(w, st); v != v2 {
+				t.Errorf("ValueGram %g != ValueGradGram value %g", v, v2)
+			}
+		}
+	}
+}
+
+// TestStatsCentered: the rank-one Gram correction equals recomputing
+// the statistics over explicitly centered rows.
+func TestStatsCentered(t *testing.T) {
+	rng := randx.New(3)
+	x := randMat(rng, 120, 9)
+	// Shift columns away from zero mean so centering actually moves G.
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] += float64(j + 1)
+		}
+	}
+	centered := StatsOf(x, 1).Centered()
+	direct := StatsOf(Standardize(x.Clone()), 1)
+	scale := direct.Gram.Trace()
+	for i, v := range centered.Gram.Data() {
+		if !relClose(v, direct.Gram.Data()[i], scale, 1e-10) {
+			t.Fatalf("centered gram[%d] = %g, want %g", i, v, direct.Gram.Data()[i])
+		}
+	}
+	for j, v := range centered.ColSums {
+		if v != 0 {
+			t.Fatalf("centered colsum[%d] = %g, want 0", j, v)
+		}
+	}
+}
+
+// TestGramAccumulatorMatchesStatsOf: streaming arbitrary chunkings
+// through an accumulator with the same worker count reproduces StatsOf
+// bit-for-bit (chunk-size GramChunkRows) or to summation-order
+// tolerance (other chunkings).
+func TestGramAccumulatorMatchesStatsOf(t *testing.T) {
+	rng := randx.New(11)
+	x := randMat(rng, 777, 6)
+	for _, workers := range []int{1, 2, 5} {
+		want := StatsOf(x, workers)
+
+		// Same chunk size, fed as views: bit-identical.
+		acc := NewGramAccumulator(x.Cols(), workers)
+		for lo := 0; lo < x.Rows(); lo += GramChunkRows {
+			hi := min(lo+GramChunkRows, x.Rows())
+			acc.Add(x.Slice(lo, hi))
+		}
+		got := acc.Finish()
+		if got.N != want.N {
+			t.Fatalf("workers=%d: n=%d, want %d", workers, got.N, want.N)
+		}
+		for i, v := range got.Gram.Data() {
+			if v != want.Gram.Data()[i] {
+				t.Fatalf("workers=%d: gram[%d] = %g, want %g (bit-exact)", workers, i, v, want.Gram.Data()[i])
+			}
+		}
+		for j, v := range got.ColSums {
+			if v != want.ColSums[j] {
+				t.Fatalf("workers=%d: colsum[%d] = %g, want %g", workers, j, v, want.ColSums[j])
+			}
+		}
+
+		// Ragged chunking: equal up to summation order.
+		acc = NewGramAccumulator(x.Cols(), workers)
+		for lo, step := 0, 1; lo < x.Rows(); step++ {
+			hi := min(lo+step*7%97+1, x.Rows())
+			acc.Add(x.Slice(lo, hi))
+			lo = hi
+		}
+		got = acc.Finish()
+		scale := want.Gram.Trace()
+		for i, v := range got.Gram.Data() {
+			if !relClose(v, want.Gram.Data()[i], scale, 1e-12) {
+				t.Fatalf("workers=%d ragged: gram[%d] = %g, want %g", workers, i, v, want.Gram.Data()[i])
+			}
+		}
+	}
+}
+
+// TestSuffStatsHasNaN: NaN rows poison the statistics detectably.
+func TestSuffStatsHasNaN(t *testing.T) {
+	x := randMat(randx.New(5), 10, 3)
+	if StatsOf(x, 1).HasNaN() {
+		t.Fatal("clean stats report NaN")
+	}
+	x.Set(4, 1, math.NaN())
+	if !StatsOf(x, 1).HasNaN() {
+		t.Fatal("NaN in rows not visible in stats")
+	}
+	x.Set(4, 1, math.Inf(1))
+	if !StatsOf(x, 1).HasNaN() {
+		t.Fatal("Inf in rows not visible in stats")
+	}
+}

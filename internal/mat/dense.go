@@ -70,6 +70,16 @@ func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
 // Row returns a view of row i (mutations are visible in m).
 func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
 
+// Slice returns a view of rows [lo, hi) sharing m's backing array
+// (mutations are visible both ways). It is how the sufficient-
+// statistics accumulator walks a matrix in chunks without copying.
+func (m *Dense) Slice(lo, hi int) *Dense {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("mat: slice [%d,%d) out of %d rows", lo, hi, m.rows))
+	}
+	return &Dense{rows: hi - lo, cols: m.cols, data: m.data[lo*m.cols : hi*m.cols]}
+}
+
 // Clone returns a deep copy of m.
 func (m *Dense) Clone() *Dense {
 	c := NewDense(m.rows, m.cols)
@@ -166,6 +176,17 @@ func (m *Dense) Square() *Dense {
 		r.data[i] = v * v
 	}
 	return r
+}
+
+// Dot returns the entrywise inner product Σ m[i,j]·o[i,j] — the
+// ⟨G, W⟩ terms of the sufficient-statistics loss form.
+func (m *Dense) Dot(o *Dense) float64 {
+	m.mustSameShape(o)
+	var s float64
+	for i, v := range m.data {
+		s += v * o.data[i]
+	}
+	return s
 }
 
 // Transpose returns mᵀ as a new matrix.

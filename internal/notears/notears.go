@@ -127,11 +127,54 @@ func Run(x *mat.Dense, o Options) *Result {
 // every iteration — the same contract as core.DenseCtx, so the serving
 // layer can supervise baseline jobs exactly like LEAST ones.
 func RunCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
+	return runCtx(ctx, x.Cols(), o, func(rng *randx.RNG, ls loss.LeastSquares) lossEval {
+		batchRows := func() *mat.Dense {
+			if o.BatchSize <= 0 || o.BatchSize >= x.Rows() {
+				return x
+			}
+			rows := make([]int, o.BatchSize)
+			for i := range rows {
+				rows[i] = rng.Intn(x.Rows())
+			}
+			return loss.Batch(x, rows)
+		}
+		return func(w *mat.Dense) (float64, *mat.Dense) {
+			return ls.ValueGrad(w, batchRows())
+		}
+	})
+}
+
+// RunStats runs the baseline off sufficient statistics (G = XᵀX):
+// loss evaluations cost O(d³) independent of n — the same execution
+// mode core.DenseStats gives LEAST, so streamed datasets can drive
+// either learner (DESIGN.md §6). Mini-batching does not apply;
+// BatchSize is ignored.
+func RunStats(st *loss.SuffStats, o Options) *Result {
+	return RunStatsCtx(context.Background(), st, o)
+}
+
+// RunStatsCtx is RunStats under a context — same contract as RunCtx.
+func RunStatsCtx(ctx context.Context, st *loss.SuffStats, o Options) *Result {
+	return runCtx(ctx, st.D(), o, func(_ *randx.RNG, ls loss.LeastSquares) lossEval {
+		return func(w *mat.Dense) (float64, *mat.Dense) {
+			return ls.ValueGradGram(w, st)
+		}
+	})
+}
+
+// lossEval evaluates the data-fitting term at W, however the data is
+// represented.
+type lossEval func(w *mat.Dense) (float64, *mat.Dense)
+
+// runCtx is the shared baseline body; mkEval supplies the loss
+// evaluation (rows with optional mini-batching, or precomputed
+// statistics) and runs after W is initialized without consuming rng
+// draws, so both modes see the same random stream.
+func runCtx(ctx context.Context, d int, o Options, mkEval func(*randx.RNG, loss.LeastSquares) lossEval) *Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
-	d := x.Cols()
 	rng := randx.New(o.Seed)
 	// NOTEARS conventionally starts from W = 0; a whisper of Glorot
 	// noise breaks ties without changing behaviour measurably.
@@ -156,16 +199,7 @@ func RunCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
 		return constraint.NotearsH(w)
 	}
 
-	batchRows := func() *mat.Dense {
-		if o.BatchSize <= 0 || o.BatchSize >= x.Rows() {
-			return x
-		}
-		rows := make([]int, o.BatchSize)
-		for i := range rows {
-			rows[i] = rng.Intn(x.Rows())
-		}
-		return loss.Batch(x, rows)
-	}
+	eval := mkEval(rng, ls)
 
 	lr0 := o.Adam.LR
 	if lr0 <= 0 {
@@ -196,8 +230,7 @@ func RunCtx(ctx context.Context, x *mat.Dense, o Options) *Result {
 			}
 			res.InnerIters++
 			h, gradC := hGrad(w)
-			xb := batchRows()
-			lv, gradL := ls.ValueGrad(w, xb)
+			lv, gradL := eval(w)
 			obj := lv + 0.5*rho*h*h + eta*h
 			factor := rho*h + eta
 			gd, cd := gradL.Data(), gradC.Data()

@@ -3,11 +3,9 @@ package serve
 import (
 	"container/list"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math"
 	"sync"
 
 	"repro"
@@ -93,39 +91,37 @@ func CacheKey(x *least.Matrix, names []string, o least.Options) string {
 	return key
 }
 
-// CacheKeySpec fingerprints a submission: the exact float bits of the
-// sample matrix, its shape, the node names, and the canonical JSON of
-// the Spec (one key per explicitly-set field — progress callbacks and
-// other runtime state never reach the key). Two submissions collide
-// only when they would provably produce the same result (learning is
-// deterministic given spec + seed), which is what makes result reuse
-// safe.
+// CacheKeySpec fingerprints an uncentered inline submission — a thin
+// wrapper over CacheKeyDataset(FromMatrix(x, names), false, spec).
 func CacheKeySpec(x *least.Matrix, names []string, spec *least.Spec) (string, error) {
+	return CacheKeyDataset(least.FromMatrix(x, names), false, spec)
+}
+
+// CacheKeyDataset fingerprints a submission: the dataset's content
+// fingerprint (shape, exact float bits, names — identical however the
+// data arrived, inline or by reference), the centering flag, the
+// execution path the spec takes over this dataset (row-backed and
+// statistics-backed learns agree only to floating-point tolerance, so
+// they must not share entries), and the canonical JSON of the Spec
+// (one key per explicitly-set field — progress callbacks and other
+// runtime state never reach the key). Two submissions collide only
+// when they would provably produce the same result (learning is
+// deterministic given data + spec + seed + path), which is what makes
+// result reuse safe — and keying on the dataset fingerprint instead
+// of re-hashing raw sample bits is what lets a v1 inline, a v2 inline
+// and a dataset_ref submission of the same data share one entry: all
+// three are matrix-backed and take the row path (DESIGN.md §6).
+func CacheKeyDataset(ds least.Dataset, center bool, spec *least.Spec) (string, error) {
 	h := sha256.New()
-	var buf [8]byte
-	writeInt := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
+	h.Write([]byte(ds.Fingerprint()))
+	flags := []byte{0, 0}
+	if center {
+		flags[1] |= 1
 	}
-	writeInt(x.Rows())
-	writeInt(x.Cols())
-	// Encode the float bits through a reused chunk buffer: per-call
-	// hash.Write overhead would otherwise dominate sha256 throughput
-	// on large matrices (this runs on the synchronous Submit path).
-	const chunkFloats = 1024
-	chunk := make([]byte, 0, chunkFloats*8)
-	for _, v := range x.Data() {
-		chunk = binary.LittleEndian.AppendUint64(chunk, math.Float64bits(v))
-		if len(chunk) == cap(chunk) {
-			h.Write(chunk)
-			chunk = chunk[:0]
-		}
+	if spec.LearnsFromRows(ds) {
+		flags[1] |= 2
 	}
-	h.Write(chunk)
-	for _, name := range names {
-		h.Write([]byte(name))
-		h.Write([]byte{0})
-	}
+	h.Write(flags)
 	// Fingerprint the defaults-resolved canonical form, not the raw
 	// set-marker form: {"lambda": 0.1} and {} configure the same learn
 	// (λ's default is 0.1) and must land on the same entry, as must a

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// ErrUnknownDataset is returned for dataset ids the store has never
+// issued or has already evicted; ErrDatasetsDisabled when the store
+// was configured away.
+var (
+	ErrUnknownDataset   = errors.New("serve: unknown dataset")
+	ErrDatasetsDisabled = errors.New("serve: dataset store disabled")
+)
+
+// DatasetInfo is the client-visible metadata of a registered dataset —
+// everything POST /v2/datasets returns and job submissions by
+// dataset_ref need.
+type DatasetInfo struct {
+	ID          string    `json:"id"`
+	Fingerprint string    `json:"fingerprint"`
+	N           int       `json:"n"`
+	D           int       `json:"d"`
+	Names       []string  `json:"names,omitempty"`
+	Created     time.Time `json:"created"`
+}
+
+// datasetStore is a fixed-capacity LRU of registered datasets, keyed
+// by id and deduplicated by content fingerprint: re-registering bytes
+// the store already holds returns the existing id instead of a second
+// copy — the §VI deployment's daily pipelines re-upload the same
+// window many times. Jobs hold their own Dataset reference, so
+// evicting an entry only invalidates the *id*, never a running learn.
+type datasetStore struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	byID   map[string]*list.Element
+	byFP   map[string]string // fingerprint → id
+	nextID int
+}
+
+type datasetEntry struct {
+	info DatasetInfo
+	ds   least.Dataset
+}
+
+func newDatasetStore(capacity int) *datasetStore {
+	if capacity <= 0 {
+		return nil // disabled
+	}
+	return &datasetStore{
+		cap:  capacity,
+		ll:   list.New(),
+		byID: make(map[string]*list.Element),
+		byFP: make(map[string]string),
+	}
+}
+
+// register stores a dataset (or dedups onto the existing entry with
+// the same fingerprint) and returns its metadata plus whether a new
+// entry was created.
+func (s *datasetStore) register(ds least.Dataset) (DatasetInfo, bool, error) {
+	if s == nil {
+		return DatasetInfo{}, false, ErrDatasetsDisabled
+	}
+	fp := ds.Fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.byFP[fp]; ok {
+		el := s.byID[id]
+		s.ll.MoveToFront(el)
+		return el.Value.(*datasetEntry).info, false, nil
+	}
+	n, d := ds.Dims()
+	s.nextID++
+	info := DatasetInfo{
+		ID:          fmt.Sprintf("d%08d", s.nextID),
+		Fingerprint: fp,
+		N:           n,
+		D:           d,
+		Names:       ds.Names(),
+		Created:     time.Now(),
+	}
+	s.byID[info.ID] = s.ll.PushFront(&datasetEntry{info: info, ds: ds})
+	s.byFP[fp] = info.ID
+	for s.ll.Len() > s.cap {
+		s.evictLocked(s.ll.Back())
+	}
+	return info, true, nil
+}
+
+func (s *datasetStore) evictLocked(el *list.Element) {
+	e := el.Value.(*datasetEntry)
+	s.ll.Remove(el)
+	delete(s.byID, e.info.ID)
+	delete(s.byFP, e.info.Fingerprint)
+}
+
+// get resolves an id, marking the entry recently used (a job keeps its
+// dataset warm).
+func (s *datasetStore) get(id string) (least.Dataset, DatasetInfo, error) {
+	if s == nil {
+		return nil, DatasetInfo{}, ErrDatasetsDisabled
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return nil, DatasetInfo{}, ErrUnknownDataset
+	}
+	s.ll.MoveToFront(el)
+	e := el.Value.(*datasetEntry)
+	return e.ds, e.info, nil
+}
+
+func (s *datasetStore) delete(id string) error {
+	if s == nil {
+		return ErrDatasetsDisabled
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return ErrUnknownDataset
+	}
+	s.evictLocked(el)
+	return nil
+}
+
+// list snapshots the store, most recently used first.
+func (s *datasetStore) list() []DatasetInfo {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DatasetInfo, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*datasetEntry).info)
+	}
+	return out
+}
+
+// RegisterDataset stores a dataset for by-reference job submission
+// (POST /v2/datasets). Registration is idempotent on content: a
+// dataset whose fingerprint is already stored returns the existing
+// metadata with created=false.
+func (m *Manager) RegisterDataset(ds least.Dataset) (DatasetInfo, bool, error) {
+	return m.datasets.register(ds)
+}
+
+// Dataset resolves a registered dataset id.
+func (m *Manager) Dataset(id string) (least.Dataset, DatasetInfo, error) {
+	return m.datasets.get(id)
+}
+
+// DeleteDataset removes a registered dataset. Jobs already submitted
+// against it are unaffected — they hold their own reference.
+func (m *Manager) DeleteDataset(id string) error { return m.datasets.delete(id) }
+
+// Datasets lists the registered datasets, most recently used first.
+func (m *Manager) Datasets() []DatasetInfo { return m.datasets.list() }

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// erData builds the deterministic sample rows used across the dataset
+// tests.
+func erData(seed int64) ([][]float64, []string) {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 15, 2)
+	x := least.SampleLSEM(seed+1, truth, 150, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = append([]float64(nil), x.Row(i)...)
+	}
+	names := make([]string, x.Cols())
+	for j := range names {
+		names[j] = fmt.Sprintf("v%d", j)
+	}
+	return rows, names
+}
+
+func decodeDatasetInfo(t *testing.T, b []byte) DatasetInfo {
+	t.Helper()
+	var info DatasetInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatalf("dataset info decode: %v\n%s", err, b)
+	}
+	return info
+}
+
+// TestDatasetRegistry drives the full by-reference lifecycle over
+// HTTP: register → dedupe → list/get → submit by ref → cache shared
+// with inline → delete → 404.
+func TestDatasetRegistry(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+	rows, names := erData(101)
+
+	// Register.
+	code, b := doJSON(t, http.MethodPost, base+"/v2/datasets", map[string]any{
+		"samples": rows, "names": names,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: HTTP %d\n%s", code, b)
+	}
+	info := decodeDatasetInfo(t, b)
+	if info.ID == "" || info.Fingerprint == "" || info.N != 150 || info.D != 15 {
+		t.Fatalf("register info: %+v", info)
+	}
+
+	// Re-registering the same bytes dedupes onto the same id (200, not
+	// 201).
+	code, b = doJSON(t, http.MethodPost, base+"/v2/datasets", map[string]any{
+		"samples": rows, "names": names,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("re-register: HTTP %d\n%s", code, b)
+	}
+	if dup := decodeDatasetInfo(t, b); dup.ID != info.ID || dup.Fingerprint != info.Fingerprint {
+		t.Fatalf("re-register info: %+v, want id %s", dup, info.ID)
+	}
+
+	// List and get.
+	code, b = doJSON(t, http.MethodGet, base+"/v2/datasets", nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(info.ID)) {
+		t.Fatalf("list: HTTP %d\n%s", code, b)
+	}
+	code, b = doJSON(t, http.MethodGet, base+"/v2/datasets/"+info.ID, nil)
+	if code != http.StatusOK || decodeDatasetInfo(t, b).Fingerprint != info.Fingerprint {
+		t.Fatalf("get: HTTP %d\n%s", code, b)
+	}
+
+	// Submit by reference.
+	spec := `{"lambda": 0.2, "epsilon": 0.001, "seed": 5}`
+	code, b = doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"dataset_ref": info.ID,
+		"spec":        json.RawMessage(spec),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit by ref: HTTP %d\n%s", code, b)
+	}
+	var st StatusV2
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 150 || st.D != 15 || st.DatasetFingerprint != info.Fingerprint {
+		t.Fatalf("by-ref status lacks dataset identity: %+v", st)
+	}
+	fin := pollUntil(t, base, st.ID, Done, 60*time.Second)
+	if fin.InnerIters == 0 {
+		t.Fatalf("by-ref job reported no progress: %+v", fin)
+	}
+	// The graph carries the registered names.
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+st.ID+"/graph?tau=0.3", nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(`"v0"`)) {
+		t.Fatalf("by-ref graph: HTTP %d\n%s", code, b)
+	}
+
+	// The same data submitted INLINE with the same spec is answered
+	// from the cache — the acceptance property of fingerprint keying.
+	code, b = doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"samples": rows, "names": names,
+		"spec": json.RawMessage(spec),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("inline resubmit: HTTP %d, want 200 (cache hit)\n%s", code, b)
+	}
+	var st2 StatusV2
+	if err := json.Unmarshal(b, &st2); err != nil || !st2.Cached {
+		t.Fatalf("inline resubmission should hit the by-ref job's cache entry: %v\n%s", err, b)
+	}
+	if st2.DatasetFingerprint != info.Fingerprint {
+		t.Fatalf("inline fingerprint %s != registered %s", st2.DatasetFingerprint, info.Fingerprint)
+	}
+
+	// And a second by-ref submission is a cache hit too.
+	code, b = doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"dataset_ref": info.ID, "spec": json.RawMessage(spec),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("by-ref resubmit: HTTP %d, want 200\n%s", code, b)
+	}
+
+	// Delete; the id stops resolving for new submissions, finished
+	// jobs are untouched.
+	req, err := http.NewRequest(http.MethodDelete, base+"/v2/datasets/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: HTTP %d", resp.StatusCode)
+	}
+	if code, _ = doJSON(t, http.MethodGet, base+"/v2/datasets/"+info.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("get after delete: HTTP %d, want 404", code)
+	}
+	code, b = doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"dataset_ref": info.ID, "spec": json.RawMessage(spec),
+	})
+	if code != http.StatusNotFound {
+		t.Fatalf("submit against deleted dataset: HTTP %d, want 404\n%s", code, b)
+	}
+	if code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+st.ID, nil); code != http.StatusOK {
+		t.Fatalf("finished job after dataset delete: HTTP %d\n%s", code, b)
+	}
+}
+
+// TestDatasetRegistryValidation: malformed registrations and
+// conflicting submissions are 4xx.
+func TestDatasetRegistryValidation(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+	rows, names := erData(103)
+
+	cases := []struct {
+		name string
+		body map[string]any
+		frag string
+	}{
+		{"empty", map[string]any{}, "missing samples"},
+		{"one variable", map[string]any{"samples": [][]float64{{1}, {2}}}, "2 variables"},
+		{"NaN", map[string]any{"csv": "a,b\n1,NaN\n", "header": true}, "NaN"},
+		{"name mismatch", map[string]any{"samples": rows, "names": []string{"just-one"}}, "names"},
+		{"unknown field", map[string]any{"samples": rows, "spec": map[string]any{}}, "spec"},
+	}
+	for _, c := range cases {
+		code, b := doJSON(t, http.MethodPost, base+"/v2/datasets", c.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400\n%s", c.name, code, b)
+			continue
+		}
+		if !bytes.Contains(b, []byte(c.frag)) {
+			t.Errorf("%s: error %s does not mention %q", c.name, b, c.frag)
+		}
+	}
+
+	// dataset_ref conflicts with inline data.
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"dataset_ref": "d00000001", "samples": rows, "names": names,
+	})
+	if code != http.StatusBadRequest || !bytes.Contains(b, []byte("not both")) {
+		t.Errorf("ref+inline: HTTP %d\n%s", code, b)
+	}
+	// Unknown ref is 404.
+	if code, _ = doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{"dataset_ref": "d99999999"}); code != http.StatusNotFound {
+		t.Errorf("unknown ref: HTTP %d, want 404", code)
+	}
+}
+
+// TestDatasetStoreLRU: capacity bounds the store, eviction is
+// least-recently-used, and fingerprint dedup survives touches.
+func TestDatasetStoreLRU(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, DatasetCapacity: 2})
+	defer shutdown(t, m)
+
+	mk := func(seed int64) least.Dataset {
+		truth := least.GenerateDAG(seed, least.ErdosRenyi, 4, 2)
+		return least.FromMatrix(least.SampleLSEM(seed, truth, 20, least.GaussianNoise), nil)
+	}
+	a, createdA, err := m.RegisterDataset(mk(1))
+	if err != nil || !createdA {
+		t.Fatalf("register a: %v created=%v", err, createdA)
+	}
+	b, _, err := m.RegisterDataset(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b is the LRU entry, then push a third dataset in.
+	if _, _, err := m.Dataset(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := m.RegisterDataset(mk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Dataset(b.ID); err == nil {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if _, _, err := m.Dataset(id); err != nil {
+			t.Fatalf("entry %s evicted unexpectedly: %v", id, err)
+		}
+	}
+	// b's fingerprint is re-registrable after eviction.
+	b2, created, err := m.RegisterDataset(mk(2))
+	if err != nil || !created {
+		t.Fatalf("re-register evicted: %v created=%v", err, created)
+	}
+	if b2.Fingerprint != b.Fingerprint {
+		t.Fatal("fingerprint changed across re-registration")
+	}
+
+	// Disabled store: everything errors cleanly.
+	md := NewManager(Config{MaxConcurrent: 1, DatasetCapacity: -1})
+	defer shutdown(t, md)
+	if _, _, err := md.RegisterDataset(mk(1)); err == nil {
+		t.Fatal("disabled store accepted a registration")
+	}
+	if got := md.Datasets(); got != nil {
+		t.Fatalf("disabled store lists %v", got)
+	}
+}
+
+// TestSubmitDatasetCenterSharing: centered inline and centered by-ref
+// submissions of the same raw data share one cache entry, and centered
+// vs raw never collide.
+func TestSubmitDatasetCenterSharing(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer shutdown(t, m)
+
+	truth := least.GenerateDAG(7, least.ErdosRenyi, 6, 2)
+	x := least.SampleLSEM(8, truth, 80, least.GaussianNoise)
+	spec, err := least.New(least.WithLambda(0.2), least.WithEpsilon(1e-3), least.WithMaxOuter(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := least.FromMatrix(x, nil)
+	info, _, err := m.RegisterDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, err := m.SubmitDataset(ds, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, Done, 60*time.Second)
+
+	// Inline centered submission of the same raw bytes: cache hit.
+	stored, _, err := m.Dataset(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.SubmitDataset(stored, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j2.Status(); st.State != Done || !st.Cached {
+		t.Fatalf("centered resubmission not cached: %+v", st)
+	}
+
+	// Raw (uncentered) submission must not reuse the centered result.
+	j3, err := m.SubmitDataset(ds, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j3.Status(); st.Cached {
+		t.Fatalf("raw submission hit the centered cache entry: %+v", st)
+	}
+	waitState(t, j3, Done, 60*time.Second)
+}
+
+// TestStatusV2CarriesDatasetIdentity: every v2 status view — submit
+// response, status, list, SSE terminal frame — carries n, d and the
+// dataset fingerprint, while the v1 views never do.
+func TestStatusV2CarriesDatasetIdentity(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+	rows, names := erData(105)
+
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"samples": rows, "names": names,
+		"spec": json.RawMessage(`{"lambda": 0.2, "epsilon": 0.001, "seed": 5}`),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	var st StatusV2
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 150 || st.D != 15 || len(st.DatasetFingerprint) < 32 {
+		t.Fatalf("v2 submit response lacks dataset identity: %+v", st)
+	}
+	pollUntil(t, base, st.ID, Done, 60*time.Second)
+
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+st.ID, nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(`"dataset_fingerprint"`)) {
+		t.Fatalf("v2 status: HTTP %d\n%s", code, b)
+	}
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs", nil)
+	if code != http.StatusOK || !bytes.Contains(b, []byte(`"dataset_fingerprint"`)) {
+		t.Fatalf("v2 list: HTTP %d\n%s", code, b)
+	}
+
+	// v1 responses never carry the new keys.
+	code, b = doJSON(t, http.MethodGet, base+"/v1/jobs/"+st.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("v1 status: HTTP %d", code)
+	}
+	for _, key := range []string{`"dataset_fingerprint"`, `"method"`, `"n":`, `"d":`} {
+		if strings.Contains(string(b), key) {
+			t.Fatalf("v1 status leaked v2 key %s:\n%s", key, b)
+		}
+	}
+}

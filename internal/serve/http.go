@@ -29,14 +29,21 @@ import (
 //	GET    /healthz             liveness + pool/cache counters
 //
 // and the v2 surface over the Spec wire form (see DESIGN.md §5 for the
-// v1→v2 field mapping and the SSE event schema):
+// v1→v2 field mapping and the SSE event schema, §6 for the dataset
+// registry and by-reference submission):
 //
-//	POST   /v2/jobs             submit with "spec" ({"method": "notears", ...})
-//	GET    /v2/jobs             list (statuses carry "method")
+//	POST   /v2/jobs             submit with "spec" ({"method": "notears", ...});
+//	                            data inline (csv / samples) or "dataset_ref"
+//	GET    /v2/jobs             list (statuses carry "method", n, d and
+//	                            "dataset_fingerprint")
 //	GET    /v2/jobs/{id}        status + iteration progress + method
 //	GET    /v2/jobs/{id}/graph  learned network (same as v1)
 //	GET    /v2/jobs/{id}/events live per-iteration progress over SSE
 //	DELETE /v2/jobs/{id}        cancel
+//	POST   /v2/datasets         register a dataset for by-reference jobs
+//	GET    /v2/datasets         list registered datasets (MRU first)
+//	GET    /v2/datasets/{id}    dataset metadata
+//	DELETE /v2/datasets/{id}    unregister
 type API struct {
 	m *Manager
 }
@@ -63,6 +70,10 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}/graph", a.graph)
 	mux.HandleFunc("GET /v2/jobs/{id}/events", a.events)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", a.cancelV2)
+	mux.HandleFunc("POST /v2/datasets", a.datasetCreate)
+	mux.HandleFunc("GET /v2/datasets", a.datasetList)
+	mux.HandleFunc("GET /v2/datasets/{id}", a.datasetGet)
+	mux.HandleFunc("DELETE /v2/datasets/{id}", a.datasetDelete)
 	mux.HandleFunc("GET /healthz", a.health)
 	return mux
 }
@@ -150,16 +161,22 @@ func (jo *JobOptions) toSpec() *least.Spec {
 	return o.Spec()
 }
 
-// submitSpec runs the shared admission flow and writes the response
-// through render (v1 writes the bare Status; v2 wraps it with method).
-// Code and body derive from one snapshot, so 200 always means the body
-// says done — a fast job finishing mid-handler cannot produce the
-// 202-with-done-body combination the v1 surface never emitted.
+// submitSpec runs the shared inline admission flow and writes the
+// response through render (v1 writes the bare Status; v2 wraps it with
+// method + dataset identity). Code and body derive from one snapshot,
+// so 200 always means the body says done — a fast job finishing
+// mid-handler cannot produce the 202-with-done-body combination the v1
+// surface never emitted. Centering travels with the job (it is part of
+// the cache key, applied when the learn runs), so a centered inline
+// submission and a centered dataset_ref of the same raw data share one
+// cache entry.
 func (a *API) submitSpec(w http.ResponseWriter, x *least.Matrix, names []string, spec *least.Spec, center bool, render func(*Job, Status) any) {
-	if center {
-		least.Center(x)
-	}
-	j, err := a.m.SubmitSpec(x, names, spec)
+	j, err := a.m.submitMatrix(x, names, spec, center)
+	a.finishSubmit(w, j, err, render)
+}
+
+// finishSubmit maps an admission outcome onto the HTTP response.
+func (a *API) finishSubmit(w http.ResponseWriter, j *Job, err error, render func(*Job, Status) any) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
@@ -236,29 +253,50 @@ func parseCSV(doc string, header bool, names []string) (*least.Matrix, []string,
 	return x, names, nil
 }
 
-// SubmitRequestV2 is the POST /v2/jobs body: the same data envelope as
-// v1 (CSV or dense samples, names, centering) with the learn
-// configuration as a least.Spec wire object — unknown spec fields are
-// rejected, set fields are range-validated, and "method" selects
-// least / least-sp / notears.
+// SubmitRequestV2 is the POST /v2/jobs body: either the inline data
+// envelope of v1 (CSV or dense samples, names) or a dataset_ref naming
+// a dataset registered through POST /v2/datasets, plus centering and
+// the learn configuration as a least.Spec wire object — unknown spec
+// fields are rejected, set fields are range-validated, and "method"
+// selects least / least-sp / notears.
 type SubmitRequestV2 struct {
 	CSV     string      `json:"csv,omitempty"`
 	Header  bool        `json:"header,omitempty"`
 	Samples [][]float64 `json:"samples,omitempty"`
 	Names   []string    `json:"names,omitempty"`
-	Center  bool        `json:"center,omitempty"`
-	Spec    *least.Spec `json:"spec,omitempty"`
+	// DatasetRef submits by reference: the job reads a registered
+	// dataset instead of carrying sample bits, so resubmitting against
+	// large data costs bytes proportional to this id, not to n·d.
+	DatasetRef string      `json:"dataset_ref,omitempty"`
+	Center     bool        `json:"center,omitempty"`
+	Spec       *least.Spec `json:"spec,omitempty"`
 }
 
 // StatusV2 is the v2 status payload: the v1 Status plus the resolved
-// learning method (v1 responses stay byte-identical by never carrying
-// the extra key).
+// learning method and the input identity — shape (n, d) and the
+// dataset fingerprint the result cache keys on (v1 responses stay
+// byte-identical by never carrying the extra keys).
 type StatusV2 struct {
 	Status
-	Method least.Method `json:"method"`
+	Method             least.Method `json:"method"`
+	N                  int          `json:"n"`
+	D                  int          `json:"d"`
+	DatasetFingerprint string       `json:"dataset_fingerprint,omitempty"`
 }
 
-func statusV2Of(j *Job) StatusV2 { return StatusV2{Status: j.Status(), Method: j.Method()} }
+func statusV2Of(j *Job) StatusV2 { return v2Status(j, j.Status()) }
+
+// v2Status decorates a point-in-time v1 snapshot with the immutable
+// v2-only job metadata.
+func v2Status(j *Job, st Status) StatusV2 {
+	return StatusV2{
+		Status:             st,
+		Method:             j.Method(),
+		N:                  j.n,
+		D:                  j.d,
+		DatasetFingerprint: j.fp,
+	}
+}
 
 func (a *API) submitV2(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequestV2
@@ -271,14 +309,107 @@ func (a *API) submitV2(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	render := func(j *Job, st Status) any { return v2Status(j, st) }
+	if req.DatasetRef != "" {
+		if req.CSV != "" || req.Samples != nil || req.Names != nil || req.Header {
+			httpError(w, http.StatusBadRequest, "provide dataset_ref or inline samples, not both")
+			return
+		}
+		ds, _, err := a.m.Dataset(req.DatasetRef)
+		if err != nil {
+			code := http.StatusNotFound
+			if errors.Is(err, ErrDatasetsDisabled) {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, "%v", err)
+			return
+		}
+		j, err := a.m.SubmitDataset(ds, req.Spec, req.Center)
+		a.finishSubmit(w, j, err, render)
+		return
+	}
 	x, names, err := buildMatrix(req.CSV, req.Header, req.Samples, req.Names)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	a.submitSpec(w, x, names, req.Spec, req.Center, func(j *Job, st Status) any {
-		return StatusV2{Status: st, Method: j.Method()}
-	})
+	a.submitSpec(w, x, names, req.Spec, req.Center, render)
+}
+
+// DatasetRequest is the POST /v2/datasets body: the inline data
+// envelope alone (no spec, no centering — those belong to jobs).
+// Registration materializes the samples in the daemon's dataset store
+// so subsequent jobs can reference them by id, upload-once
+// learn-many-times.
+type DatasetRequest struct {
+	CSV     string      `json:"csv,omitempty"`
+	Header  bool        `json:"header,omitempty"`
+	Samples [][]float64 `json:"samples,omitempty"`
+	Names   []string    `json:"names,omitempty"`
+}
+
+func (a *API) datasetCreate(w http.ResponseWriter, r *http.Request) {
+	var req DatasetRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	x, names, err := buildMatrix(req.CSV, req.Header, req.Samples, req.Names)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Reject at registration what every learn would reject at
+	// submission: a by-reference job must fail on its spec, never on
+	// data that could not possibly learn.
+	if err := validateSamples(x, names); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, created, err := a.m.RegisterDataset(least.FromMatrix(x, names))
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	code := http.StatusOK // deduplicated onto an existing registration
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, info)
+}
+
+func (a *API) datasetList(w http.ResponseWriter, r *http.Request) {
+	infos := a.m.Datasets()
+	if infos == nil {
+		infos = []DatasetInfo{}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (a *API) datasetGet(w http.ResponseWriter, r *http.Request) {
+	_, info, err := a.m.Dataset(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusNotFound
+		if errors.Is(err, ErrDatasetsDisabled) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (a *API) datasetDelete(w http.ResponseWriter, r *http.Request) {
+	switch err := a.m.DeleteDataset(r.PathValue("id")); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, ErrDatasetsDisabled):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusNotFound, "%v", err)
+	}
 }
 
 func (a *API) list(w http.ResponseWriter, r *http.Request) {
@@ -339,7 +470,7 @@ func (a *API) events(w http.ResponseWriter, r *http.Request) {
 		if terminal {
 			name = string(st.State)
 		}
-		if err := writeSSE(w, name, seq, StatusV2{Status: st, Method: j.Method()}); err != nil {
+		if err := writeSSE(w, name, seq, v2Status(j, st)); err != nil {
 			return
 		}
 		fl.Flush()
@@ -426,7 +557,7 @@ func (a *API) cancelV2(w http.ResponseWriter, r *http.Request) {
 	st, err := a.m.Cancel(j.ID())
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, StatusV2{Status: st, Method: j.Method()})
+		writeJSON(w, http.StatusOK, v2Status(j, st))
 	case errors.Is(err, ErrFinished):
 		httpError(w, http.StatusConflict, "%v", err)
 	case errors.Is(err, ErrUnknownJob): // evicted between Get and Cancel

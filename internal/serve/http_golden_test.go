@@ -20,12 +20,14 @@ var (
 	goldenTimeRE   = regexp.MustCompile(`"(created|started|finished)": "[^"]+"`)
 	goldenVolRE    = regexp.MustCompile(`"(solves|inner_iters|delta|elapsed_ms)": [-+0-9.eE]+`)
 	goldenWeightRE = regexp.MustCompile(`"weight": [-+0-9.eE]+`)
+	goldenFPRE     = regexp.MustCompile(`"(fingerprint|dataset_fingerprint)": "[0-9a-f]{64}"`)
 )
 
 func normalizeGolden(b []byte) string {
 	s := goldenTimeRE.ReplaceAllString(string(b), `"$1": "<time>"`)
 	s = goldenVolRE.ReplaceAllString(s, `"$1": <n>`)
 	s = goldenWeightRE.ReplaceAllString(s, `"weight": <n>`)
+	s = goldenFPRE.ReplaceAllString(s, `"$1": "<fp>"`)
 	return s
 }
 
@@ -153,6 +155,75 @@ const goldenHealth = `{
   "status": "ok"
 }
 `
+
+// The v2 goldens pin the additive dataset-identity surface introduced
+// with by-reference serving: the registration response and the v2
+// status keys (method, n, d, dataset_fingerprint). v1 shapes above
+// stay untouched — that is the point.
+const goldenDatasetCreated = `{
+  "id": "d00000001",
+  "fingerprint": "<fp>",
+  "n": 150,
+  "d": 3,
+  "names": [
+    "A",
+    "B",
+    "C"
+  ],
+  "created": "<time>"
+}
+`
+
+const goldenSubmitByRefDone = `{
+  "id": "j00000001",
+  "state": "done",
+  "vars": 3,
+  "samples": 150,
+  "created": "<time>",
+  "started": "<time>",
+  "finished": "<time>",
+  "solves": <n>,
+  "inner_iters": <n>,
+  "delta": <n>,
+  "elapsed_ms": <n>,
+  "converged": true,
+  "method": "least",
+  "n": 150,
+  "d": 3,
+  "dataset_fingerprint": "<fp>"
+}
+`
+
+func TestHTTPV2GoldenShapes(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	code, b := doJSON(t, http.MethodPost, base+"/v2/datasets", map[string]any{
+		"csv": chainCSV(), "header": true,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: HTTP %d\n%s", code, b)
+	}
+	if got := normalizeGolden(b); got != goldenDatasetCreated {
+		t.Errorf("dataset registration drifted from the v2 golden:\n got: %s\nwant: %s", got, goldenDatasetCreated)
+	}
+
+	code, b = doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"dataset_ref": "d00000001",
+		"spec":        map[string]any{"lambda": 0.1, "epsilon": 0.001, "parallelism": 1},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit by ref: HTTP %d\n%s", code, b)
+	}
+	pollUntil(t, base, "j00000001", Done, 60*time.Second)
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/j00000001", nil)
+	if code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	if got := normalizeGolden(b); got != goldenSubmitByRefDone {
+		t.Errorf("v2 done status drifted from the golden:\n got: %s\nwant: %s", got, goldenSubmitByRefDone)
+	}
+}
 
 func TestHTTPV1GoldenShapes(t *testing.T) {
 	srv, m := newTestServer(t)

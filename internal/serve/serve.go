@@ -3,9 +3,10 @@
 // progress reporting, and an LRU result cache. It is the reproduction
 // of the paper's §VI deployment shape — structure learning as a
 // service handling thousands of tasks daily — on top of the library's
-// LearnCtx entry point. See DESIGN.md §4 for the design decisions
-// (pool sizing vs per-job parallelism, cache keying, cancellation
-// granularity).
+// Spec.LearnDataset entry point. See DESIGN.md §4 for the design
+// decisions (pool sizing vs per-job parallelism, cache keying,
+// cancellation granularity) and §6 for the dataset registry and
+// fingerprint-keyed result sharing.
 package serve
 
 import (
@@ -75,6 +76,10 @@ type Config struct {
 	// queries (default 1024); the oldest terminal jobs are evicted
 	// first, never queued or running ones.
 	MaxHistory int
+	// DatasetCapacity bounds the registered-dataset LRU backing
+	// by-reference submissions (POST /v2/datasets): 0 picks the default
+	// (32), negative disables the store.
+	DatasetCapacity int
 	// Procs overrides the detected core count used for per-job
 	// parallelism capping (tests only; default runtime.GOMAXPROCS).
 	Procs int
@@ -93,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxHistory <= 0 {
 		c.MaxHistory = 1024
 	}
+	if c.DatasetCapacity == 0 {
+		c.DatasetCapacity = 32
+	}
 	if c.Procs <= 0 {
 		c.Procs = runtime.GOMAXPROCS(0)
 	}
@@ -102,15 +110,17 @@ func (c Config) withDefaults() Config {
 // Job is one structure-learning task owned by the Manager. All fields
 // behind mu; read through Status / Result.
 type Job struct {
-	id    string
-	key   string
-	names []string
-	n, d  int
+	id     string
+	key    string
+	names  []string
+	n, d   int
+	fp     string // dataset fingerprint (content identity of the input)
+	center bool   // column-center the data before learning
 
 	mu       sync.Mutex
 	cond     *sync.Cond    // broadcast on every seq bump (progress/state)
 	seq      int           // change counter driving the v2 SSE stream
-	x        *least.Matrix // released once the job reaches a terminal state
+	data     least.Dataset // released once the job reaches a terminal state
 	spec     *least.Spec
 	state    State
 	cached   bool
@@ -128,6 +138,11 @@ func (j *Job) ID() string { return j.id }
 
 // Method returns the learning method the job's Spec selects.
 func (j *Job) Method() least.Method { return j.spec.Method() }
+
+// Fingerprint returns the content fingerprint of the job's input
+// dataset — the identity the result cache keys on, shared between
+// inline and by-reference submissions of the same data.
+func (j *Job) Fingerprint() string { return j.fp }
 
 // notifyLocked records an observable change (progress tick or state
 // transition) and wakes every Watch waiter. Caller holds j.mu.
@@ -225,8 +240,9 @@ func (j *Job) Result() (*least.Result, []string, error) {
 // Manager owns the job table, the admission queue, the worker pool and
 // the result cache. It is safe for concurrent use by HTTP handlers.
 type Manager struct {
-	cfg   Config
-	cache *resultCache
+	cfg      Config
+	cache    *resultCache
+	datasets *datasetStore
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -254,6 +270,7 @@ func NewManager(cfg Config) *Manager {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 	}
+	m.datasets = newDatasetStore(cfg.DatasetCapacity)
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
@@ -271,33 +288,83 @@ func (m *Manager) Submit(x *least.Matrix, names []string, o least.Options) (*Job
 	return m.SubmitSpec(x, names, o.Spec())
 }
 
-// SubmitSpec admits a learn task. Spec and input validation failures
+// SubmitSpec admits a learn task over an in-memory sample matrix. It
+// is a thin wrapper over SubmitDataset: the matrix is wrapped in the
+// legacy-exact adapter (least.FromMatrix), so the learn takes the
+// historical row path bit-for-bit. Spec and input validation failures
 // surface immediately; an identical prior submission (same data, names
 // and spec) is answered from the result cache with a job born in state
 // done. A nil spec means MethodLEAST with all defaults.
 func (m *Manager) SubmitSpec(x *least.Matrix, names []string, spec *least.Spec) (*Job, error) {
+	return m.submitMatrix(x, names, spec, false)
+}
+
+// validateSamples applies the matrix-level admission checks (the
+// historical v1 error strings) — the one copy shared by inline job
+// submission and dataset registration.
+func validateSamples(x *least.Matrix, names []string) error {
+	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
+		return errors.New("serve: empty sample matrix")
+	}
+	if x.Cols() < 2 {
+		return fmt.Errorf("serve: need at least 2 variables, got %d", x.Cols())
+	}
+	if x.HasNaN() {
+		return errors.New("serve: sample matrix contains NaN/Inf")
+	}
+	if names != nil && len(names) != x.Cols() {
+		return fmt.Errorf("serve: %d names for %d variables", len(names), x.Cols())
+	}
+	return nil
+}
+
+// submitMatrix applies the matrix-specific validations (notably the
+// NaN scan, which SubmitDataset cannot do on an opaque Dataset) before
+// handing off to the dataset admission flow.
+func (m *Manager) submitMatrix(x *least.Matrix, names []string, spec *least.Spec, center bool) (*Job, error) {
 	if spec == nil {
 		spec = &least.Spec{}
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
+	if err := validateSamples(x, names); err != nil {
+		return nil, err
+	}
+	return m.SubmitDataset(least.FromMatrix(x, names), spec, center)
+}
+
+// SubmitDataset admits a learn task over any Dataset — the admission
+// path shared by inline (v1/v2) and by-reference (dataset_ref)
+// submissions. With center set the data is column-centered before
+// learning (an O(d²) Gram adjustment on statistics-backed datasets, a
+// clone-and-center on row-backed ones). The result cache keys on
+// (dataset fingerprint, center, canonical spec), so the same data
+// submitted inline and by reference lands on the same entry.
+func (m *Manager) SubmitDataset(ds least.Dataset, spec *least.Spec, center bool) (*Job, error) {
+	if spec == nil {
+		spec = &least.Spec{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if ds == nil {
+		return nil, errors.New("serve: nil dataset")
+	}
+	n, d := ds.Dims()
+	if n == 0 || d == 0 {
 		return nil, errors.New("serve: empty sample matrix")
 	}
-	if x.Cols() < 2 {
-		return nil, fmt.Errorf("serve: need at least 2 variables, got %d", x.Cols())
+	if d < 2 {
+		return nil, fmt.Errorf("serve: need at least 2 variables, got %d", d)
 	}
-	if x.HasNaN() {
-		return nil, errors.New("serve: sample matrix contains NaN/Inf")
+	if names := ds.Names(); names != nil && len(names) != d {
+		return nil, fmt.Errorf("serve: %d names for %d variables", len(names), d)
 	}
-	if names != nil && len(names) != x.Cols() {
-		return nil, fmt.Errorf("serve: %d names for %d variables", len(names), x.Cols())
-	}
-	if err := spec.ValidateFor(x.Cols()); err != nil {
+	if err := spec.ValidateFor(d); err != nil {
 		return nil, err // doomed submission: reject now, not as a failed job
 	}
-	key, err := CacheKeySpec(x, names, spec)
+	key, err := CacheKeyDataset(ds, center, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -312,10 +379,12 @@ func (m *Manager) SubmitSpec(x *least.Matrix, names []string, spec *least.Spec) 
 	j := &Job{
 		id:      fmt.Sprintf("j%08d", m.nextID),
 		key:     key,
-		names:   names,
-		n:       x.Rows(),
-		d:       x.Cols(),
-		x:       x,
+		names:   ds.Names(),
+		n:       n,
+		d:       d,
+		fp:      ds.Fingerprint(),
+		center:  center,
+		data:    ds,
 		spec:    spec,
 		state:   Queued,
 		created: now,
@@ -326,7 +395,7 @@ func (m *Manager) SubmitSpec(x *least.Matrix, names []string, spec *least.Spec) 
 		j.cached = true
 		j.result = res
 		j.started, j.finished = now, now
-		j.x = nil
+		j.data = nil
 	}
 	if !j.cached && len(m.pending) >= m.cfg.QueueDepth {
 		m.mu.Unlock()
@@ -390,7 +459,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.state = Cancelled
 		j.finished = time.Now()
 		j.err = context.Canceled
-		j.x = nil
+		j.data = nil
 		j.notifyLocked()
 		j.mu.Unlock()
 		// Free the admission slot right away so the cancelled job
@@ -447,7 +516,7 @@ func (m *Manager) Shutdown(ctx context.Context) {
 			j.state = Cancelled
 			j.finished = time.Now()
 			j.err = ErrShuttingDown
-			j.x = nil
+			j.data = nil
 			j.notifyLocked()
 		}
 		j.mu.Unlock()
@@ -499,18 +568,18 @@ func (m *Manager) worker() {
 		j.state = Running
 		j.started = time.Now()
 		j.notifyLocked()
-		x := j.x
+		data := j.data
 		spec := j.spec
 		j.mu.Unlock()
 		m.mu.Unlock()
 
-		m.runJob(j, ctx, cancel, x, spec)
+		m.runJob(j, ctx, cancel, data, spec)
 	}
 }
 
 // runJob executes one already-started job under its context,
 // publishing progress snapshots as the learner iterates.
-func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, x *least.Matrix, spec *least.Spec) {
+func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, data least.Dataset, spec *least.Spec) {
 	defer cancel()
 	capped := CapParallelism(spec.Parallelism(), m.cfg.Procs, m.cfg.MaxConcurrent)
 	runSpec, err := spec.With(
@@ -522,15 +591,18 @@ func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc,
 			j.mu.Unlock()
 		}),
 	)
+	if j.center {
+		data = least.Centered(data)
+	}
 	var res *least.Result
 	if err == nil { // validated at submit; re-validation cannot fail
-		res, err = runSpec.Learn(ctx, x)
+		res, err = runSpec.LearnDataset(ctx, data)
 	}
 
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.cancel = nil
-	j.x = nil // release the samples; only the result is kept
+	j.data = nil // release the samples; only the result is kept
 	switch {
 	case err == nil:
 		j.state = Done

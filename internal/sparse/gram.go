@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Gram computes G = XᵀX for a CSR sample matrix X (rows =
+// observations, cols = variables) together with the per-column sums —
+// the sufficient statistics of the least-squares loss, straight from
+// the sparse form: row i contributes v_j·v_k to G[j,k] for every pair
+// of its stored entries, so the cost is Σ_i nnz(row_i)², never n·d².
+//
+// The row ranges are nnz-balanced (SplitByWeight) and each worker
+// accumulates into a private dense d×d partial that is reduced in slot
+// order, so for a fixed worker count the result is deterministic. The
+// per-worker partials make the transient memory O(workers·d²): callers
+// only reach for the dense-Gram path at dense-feasible d, so that is
+// the same order as the Gram itself.
+func Gram(runner *parallel.Runner, x *CSR) (*mat.Dense, []float64) {
+	d := x.Cols()
+	n := x.Rows()
+	nnz := x.NNZ()
+	if runner.Serial(n, nnz*8) {
+		g := mat.NewDense(d, d)
+		sums := make([]float64, d)
+		gramRows(g, sums, x, 0, n)
+		return g, sums
+	}
+	ranges := parallel.SplitByWeight(x.RowPtr, runner.Workers())
+	grams := make([]*mat.Dense, len(ranges))
+	partial := make([][]float64, len(ranges))
+	parallel.Run(ranges, func(lo, hi, w int) {
+		g := mat.NewDense(d, d)
+		sums := make([]float64, d)
+		gramRows(g, sums, x, lo, hi)
+		grams[w] = g
+		partial[w] = sums
+	})
+	g := grams[0]
+	for w := 1; w < len(grams); w++ {
+		g.AddInPlace(grams[w])
+	}
+	sums := make([]float64, d)
+	parallel.SumVecs(sums, partial)
+	return g, sums
+}
+
+func gramRows(g *mat.Dense, sums []float64, x *CSR, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := x.RowPtr[i], x.RowPtr[i+1]
+		for p := start; p < end; p++ {
+			j, v := x.ColIdx[p], x.Val[p]
+			sums[j] += v
+			if v == 0 {
+				continue
+			}
+			grow := g.Row(j)
+			for q := start; q < end; q++ {
+				grow[x.ColIdx[q]] += v * x.Val[q]
+			}
+		}
+	}
+}

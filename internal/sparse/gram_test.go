@@ -1,0 +1,48 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/randx"
+)
+
+// TestGramMatchesDense: the CSR sufficient-statistics kernel agrees
+// with the dense XᵀX on random sparse sample matrices, serial and
+// parallel.
+func TestGramMatchesDense(t *testing.T) {
+	shapes := []struct {
+		n, d    int
+		density float64
+	}{{30, 8, 0.3}, {200, 15, 0.1}, {50, 5, 1.0}, {64, 10, 0.02}}
+	for _, sh := range shapes {
+		rng := randx.New(int64(sh.n + sh.d))
+		var coords []Coord
+		for i := 0; i < sh.n; i++ {
+			for j := 0; j < sh.d; j++ {
+				if rng.Float64() < sh.density {
+					coords = append(coords, Coord{Row: i, Col: j, Val: rng.Normal(0, 1)})
+				}
+			}
+		}
+		x := NewCSR(sh.n, sh.d, coords)
+		want := x.ToDense().Transpose().Mul(x.ToDense())
+		wantSums := x.ColSums()
+		for _, workers := range []int{1, 4} {
+			// minWork 1 forces the parallel path even on tiny inputs.
+			run := parallel.NewWithMinWork(workers, 1)
+			g, sums := Gram(run, x)
+			for i, v := range g.Data() {
+				if math.Abs(v-want.Data()[i]) > 1e-12*math.Max(1, math.Abs(want.Data()[i])) {
+					t.Fatalf("n=%d d=%d workers=%d: gram[%d] = %g, want %g", sh.n, sh.d, workers, i, v, want.Data()[i])
+				}
+			}
+			for j, v := range sums {
+				if math.Abs(v-wantSums[j]) > 1e-12 {
+					t.Fatalf("n=%d d=%d workers=%d: colsum[%d] = %g, want %g", sh.n, sh.d, workers, j, v, wantSums[j])
+				}
+			}
+		}
+	}
+}

@@ -18,17 +18,25 @@
 //	X := ...                        // *least.Matrix, n samples × d variables
 //	spec, err := least.New()        // MethodLEAST with the paper defaults
 //	if err != nil { ... }
-//	res, err := spec.Learn(ctx, X)
+//	res, err := spec.LearnDataset(ctx, least.FromMatrix(X, nil))
 //	if err != nil { ... }
 //	g := res.Graph(0.3)             // threshold |W| > 0.3 into a DAG
 //
 // Spec is the single entry point: least.New(...) builds an explicit,
 // validated configuration (unset fields mean "paper default"; explicit
-// zeros are honored) and Spec.Learn runs any of the three registered
-// methods — MethodLEAST, MethodLEASTSP (the O(nnz) large-d mode) and
-// MethodNOTEARS (the baseline) — with uniform input validation,
-// context cancellation and per-iteration progress callbacks. See
-// DESIGN.md §5 for the API rationale.
+// zeros are honored) and Spec.LearnDataset runs any of the three
+// registered methods — MethodLEAST, MethodLEASTSP (the O(nnz) large-d
+// mode) and MethodNOTEARS (the baseline) — with uniform input
+// validation, context cancellation and per-iteration progress
+// callbacks. See DESIGN.md §5 for the API rationale.
+//
+// Data enters through the Dataset interface: FromMatrix, FromCSR and
+// FromStats adapt in-memory sources, while OpenDataset/OpenShards
+// stream CSV/JSONL files into sufficient statistics in one
+// bounded-memory pass — the dense methods then learn in per-iteration
+// time independent of the number of rows, and the rows are never
+// materialized (DESIGN.md §6). Spec.Learn(ctx, x) remains as a
+// deprecated matrix shorthand with its historical behavior.
 //
 // Three runnable examples cover the common entry points: the package
 // example Example (quickstart) for the generate → learn → threshold

@@ -563,18 +563,164 @@ func (s *Spec) notearsOptions() notears.Options {
 }
 
 // Learn runs the configured method on the n×d sample matrix x (one
-// column per variable, one row per i.i.d. observation) — the unified
+// column per variable, one row per i.i.d. observation). All methods
+// share the same input validation, observe ctx within one inner
+// iteration (returning ctx.Err() when cancelled), and deliver
+// WithProgress callbacks after every inner iteration.
+//
+// Deprecated: use LearnDataset, which accepts any Dataset — including
+// streamed sources whose rows are never materialized. Learn remains a
+// thin wrapper over LearnDataset(ctx, FromMatrix(x, nil)) and behaves
+// exactly as it always has: the in-memory matrix adapter routes
+// through the historical row path, bit-for-bit.
+func (s *Spec) Learn(ctx context.Context, x *Matrix) (*Result, error) {
+	return s.LearnDataset(ctx, FromMatrix(x, nil))
+}
+
+// LearnDataset runs the configured method on a Dataset — the canonical
 // entry point behind Learn, Baseline, the CLI and the serving daemon.
+// The execution mode follows the method and the dataset's
+// capabilities:
+//
+//   - MethodLEAST and MethodNOTEARS at full batch run off the
+//     dataset's sufficient statistics (DESIGN.md §6): after one ingest
+//     pass, every iteration costs O(d³) however large n is, and a
+//     streamed Dataset (OpenDataset) is never materialized.
+//   - MethodLEASTSP and mini-batched learns touch individual rows, so
+//     the dataset must implement RowSource (every implementation here
+//     except FromStats does).
+//   - The FromMatrix adapter always takes the exact historical row
+//     path, keeping the deprecated matrix entry points bit-for-bit
+//     stable.
+//
 // All methods share the same input validation, observe ctx within one
 // inner iteration (returning ctx.Err() when cancelled), and deliver
 // WithProgress callbacks after every inner iteration.
-func (s *Spec) Learn(ctx context.Context, x *Matrix) (*Result, error) {
+func (s *Spec) LearnDataset(ctx context.Context, ds Dataset) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if ds == nil {
+		return nil, errors.New("least: nil dataset")
+	}
+	n, d := ds.Dims()
+	if n == 0 || d == 0 {
+		return nil, errors.New("least: empty sample matrix")
+	}
+	if names := ds.Names(); names != nil && len(names) != d {
+		return nil, fmt.Errorf("least: %d names for %d variables", len(names), d)
+	}
+	// Spec-level rejections come before any data access: a doomed
+	// configuration must not cost a file-backed dataset its O(n·d)
+	// row materialization.
+	if d < 2 {
+		return nil, fmt.Errorf("least: need at least 2 variables, got %d", d)
+	}
+	if err := s.ValidateFor(d); err != nil {
+		return nil, err
+	}
+	if s.LearnsFromRows(ds) {
+		rs, ok := ds.(RowSource)
+		if !ok {
+			return nil, fmt.Errorf("least: %s needs row access, but the dataset provides sufficient statistics only", s.rowsWhy())
+		}
+		x, err := rs.Matrix(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return s.learnMatrix(ctx, x)
+	}
+	st, err := ds.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if st.HasNaN() {
+		return nil, errors.New("least: sample matrix contains NaN/Inf")
+	}
+	return s.learnStats(ctx, st)
+}
+
+// needsRows reports whether the configured execution mode touches
+// individual rows: the sparse learner keeps the samples dense in
+// memory, and mini-batching re-samples row subsets every iteration —
+// neither is expressible over a Gram summary.
+func (s *Spec) needsRows() bool {
+	return s.Method() == MethodLEASTSP || (s.batchSize != nil && *s.batchSize > 0)
+}
+
+// LearnsFromRows reports which execution path LearnDataset takes for
+// ds under this spec: true for the row-backed path (the method or
+// batching needs rows, or the dataset is the legacy-exact in-memory
+// matrix adapter), false for the sufficient-statistics path. The two
+// paths agree only to floating-point tolerance, so anything that
+// caches learn results — the serving layer does — must key on the
+// path as well as on the data and the spec.
+func (s *Spec) LearnsFromRows(ds Dataset) bool {
+	if s.needsRows() {
+		return true
+	}
+	rp, ok := ds.(rowPreferred)
+	return ok && rp.preferRows()
+}
+
+func (s *Spec) rowsWhy() string {
+	if s.Method() == MethodLEASTSP {
+		return "method \"least-sp\""
+	}
+	return "batch_size"
+}
+
+// learnStats is the sufficient-statistics execution path shared by the
+// dense full-batch methods.
+func (s *Spec) learnStats(ctx context.Context, st *SuffStats) (*Result, error) {
+	if s.Method() == MethodNOTEARS {
+		no := s.notearsOptions()
+		if s.progress != nil {
+			cb := s.progress
+			no.Progress = func(p notears.Progress) {
+				cb(Progress{Solves: p.Solves, Inner: p.Inner, Delta: p.H, Elapsed: p.Elapsed})
+			}
+		}
+		res := notears.RunStatsCtx(ctx, st, no)
+		if res.Cancelled {
+			return nil, ctx.Err()
+		}
+		return &Result{
+			Weights:    res.W,
+			Delta:      res.H,
+			H:          res.H,
+			Converged:  res.Converged,
+			OuterIters: res.OuterIters,
+			InnerIters: res.InnerIters,
+		}, nil
+	}
+	co := s.coreOptions()
+	if s.progress != nil {
+		cb := s.progress
+		co.Progress = func(p core.Progress) {
+			cb(Progress{Solves: p.Solves, Inner: p.Inner, Delta: p.Delta, Elapsed: p.Elapsed})
+		}
+	}
+	res := core.DenseStatsCtx(ctx, st, co)
+	if res.Cancelled {
+		return nil, ctx.Err()
+	}
+	return &Result{
+		Weights:       res.W,
+		SparseWeights: res.WSparse,
+		Delta:         res.Delta,
+		H:             res.H,
+		Converged:     res.Converged,
+		OuterIters:    res.OuterIters,
+		InnerIters:    res.InnerIters,
+	}, nil
+}
+
+// learnMatrix is the historical row-backed execution path.
+func (s *Spec) learnMatrix(ctx context.Context, x *Matrix) (*Result, error) {
 	if x == nil || x.Rows() == 0 || x.Cols() == 0 {
 		return nil, errors.New("least: empty sample matrix")
 	}
