@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short bench bench-parallel bench-json sweep serve clean
+.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short bench bench-parallel bench-json bench-check sweep serve clean
 
 ci: api-check fmt-check build docs-check test-short
 
@@ -68,6 +68,14 @@ bench-json:
 	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json
 	@echo "wrote BENCH_PR4.json"
+
+# Nightly perf gate: re-run the Gram-loss benchmarks and fail on a >2x
+# ns/op regression against the committed BENCH_PR4.json trajectory
+# point. Deliberately not part of `ci` — shared-runner timing noise
+# would flake the PR gate, so the nightly workflow owns this check.
+bench-check:
+	$(GO) test -run xxx -bench 'LossGram' -benchmem . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -filter 'LossGram' -max-ratio 2
 
 # Worker-count sweep on this machine (pick Options.Parallelism).
 sweep:

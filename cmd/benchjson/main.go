@@ -4,9 +4,18 @@
 // the benchmark stream on stdin, passes it through to stderr so the
 // run stays watchable, and writes one JSON object to -out (or stdout).
 //
+// With -baseline it additionally becomes the nightly regression gate
+// (`make bench-check`): every fresh result whose name matches -filter
+// and appears in the baseline document is compared on ns/op, and the
+// run fails when any exceeds -max-ratio times its committed timing.
+// Benchmarks absent from the baseline are reported but never fail the
+// gate — new benchmarks must be able to land before their baseline.
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem . | benchjson -out BENCH.json
+//	go test -run xxx -bench LossGram -benchmem . | \
+//	    benchjson -baseline BENCH_PR4.json -filter LossGram -max-ratio 2
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -44,11 +54,19 @@ func main() { os.Exit(run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:])) }
 func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	out := fs.String("out", "", "output path (default: stdout)")
+	out := fs.String("out", "", "output path (default: stdout unless -baseline is set)")
+	baseline := fs.String("baseline", "", "compare against this committed bench JSON instead of emitting a document")
+	filterStr := fs.String("filter", "", "regexp restricting which benchmarks the -baseline comparison covers (default: all)")
+	maxRatio := fs.Float64("max-ratio", 2, "fail when fresh ns/op exceeds this multiple of the baseline")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
+		return 2
+	}
+	filter, err := regexp.Compile(*filterStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson: bad -filter:", err)
 		return 2
 	}
 
@@ -82,6 +100,10 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 1
 	}
 
+	if *baseline != "" {
+		return check(rep, *baseline, filter, *maxRatio, stderr)
+	}
+
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
@@ -99,6 +121,81 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	}
 	return 0
 }
+
+// check compares the fresh results against a committed baseline
+// document, failing on any filtered benchmark slower than ratio × its
+// baseline ns/op. Comparing zero benchmarks is itself a failure — a
+// gate whose filter matches nothing protects nothing.
+func check(rep Report, baselinePath string, filter *regexp.Regexp, ratio float64, stderr io.Writer) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	// Index the baseline under both the raw and the normalized name;
+	// look the fresh result up raw-first. Raw-to-raw matches exactly;
+	// the normalized key bridges runs whose GOMAXPROCS suffix differs
+	// (1-core recording vs N-core runner) without letting the strip
+	// eat a legitimate "-2" sub-benchmark suffix when both sides carry
+	// their raw names.
+	baseNs := make(map[string]float64, 2*len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if k := benchKey(b.Name); k != b.Name {
+			if _, dup := baseNs[k]; !dup {
+				baseNs[k] = b.NsPerOp
+			}
+		}
+	}
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp // raw names win over normalized ones
+	}
+	compared, failed := 0, 0
+	for _, b := range rep.Benchmarks {
+		if !filter.MatchString(b.Name) {
+			continue
+		}
+		was, ok := baseNs[b.Name]
+		if !ok {
+			was, ok = baseNs[benchKey(b.Name)]
+		}
+		if !ok || was <= 0 {
+			fmt.Fprintf(stderr, "benchjson: %s: no baseline in %s (skipped)\n", b.Name, baselinePath)
+			continue
+		}
+		compared++
+		r := b.NsPerOp / was
+		verdict := "ok"
+		if r > ratio {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(stderr, "benchjson: %-40s %12.0f ns/op vs %12.0f baseline (%.2fx, limit %.2gx) %s\n",
+			b.Name, b.NsPerOp, was, r, ratio, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintf(stderr, "benchjson: no benchmarks matched both -filter %q and the baseline\n", filter)
+		return 1
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d of %d benchmarks regressed past %.2gx\n", failed, compared, ratio)
+		return 1
+	}
+	fmt.Fprintf(stderr, "benchjson: %d benchmarks within %.2gx of %s\n", compared, ratio, baselinePath)
+	return 0
+}
+
+// benchKey strips the trailing "-<GOMAXPROCS>" suffix the testing
+// package appends on multi-core runs, so a baseline recorded on a
+// 1-core box (no suffix) still matches a fresh run on an N-core CI
+// runner ("BenchmarkLossGram/n=2048-4") and vice versa.
+var procSuffixRE = regexp.MustCompile(`-\d+$`)
+
+func benchKey(name string) string { return procSuffixRE.ReplaceAllString(name, "") }
 
 // parseBench parses one result line, e.g.
 //

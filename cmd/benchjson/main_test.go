@@ -2,6 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -49,5 +52,79 @@ func TestRunRejectsEmptyStream(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run(strings.NewReader("no benchmarks here\n"), &out, &errb, nil); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+// baselineDoc is a committed-trajectory stand-in for the -baseline
+// comparison tests. The first entry deliberately lacks the
+// "-<GOMAXPROCS>" suffix (a 1-core recording) while the fresh stream
+// carries "-8": comparison must match on the normalized name.
+const baselineDoc = `{
+  "benchmarks": [
+    {"name": "BenchmarkLossGram/n=2048", "iterations": 5000, "ns_per_op": 100000},
+    {"name": "BenchmarkLossGram/n=16384-8", "iterations": 5000, "ns_per_op": 120000}
+  ]
+}`
+
+// freshStream renders a bench stream with the given ns/op for the two
+// Gram benchmarks plus an unrelated benchmark the filter must skip.
+func freshStream(ns1, ns2 int) string {
+	return "goos: linux\n" +
+		"BenchmarkLossGram/n=2048-8 \t 5000 \t " + strconv.Itoa(ns1) + " ns/op\n" +
+		"BenchmarkLossGram/n=16384-8 \t 5000 \t " + strconv.Itoa(ns2) + " ns/op\n" +
+		"BenchmarkUnrelated-8 \t 1000 \t 999999999 ns/op\n" +
+		"PASS\n"
+}
+
+func checkAgainst(t *testing.T, stream string, extra ...string) (int, string) {
+	t.Helper()
+	base := filepath.Join(t.TempDir(), "BENCH_BASE.json")
+	if err := os.WriteFile(base, []byte(baselineDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	args := append([]string{"-baseline", base, "-filter", "LossGram", "-max-ratio", "2"}, extra...)
+	code := run(strings.NewReader(stream), &out, &errb, args)
+	return code, errb.String()
+}
+
+func TestCheckPassesWithinRatio(t *testing.T) {
+	code, msg := checkAgainst(t, freshStream(150000, 120000)) // 1.5x and 1.0x
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, msg)
+	}
+	if !strings.Contains(msg, "2 benchmarks within") {
+		t.Errorf("summary missing: %s", msg)
+	}
+	// The raw stream is teed through; only comparison lines (prefixed
+	// "benchjson:") must respect the filter.
+	if strings.Contains(msg, "benchjson: BenchmarkUnrelated") {
+		t.Errorf("filter leaked: %s", msg)
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	code, msg := checkAgainst(t, freshStream(250000, 120000)) // 2.5x regression
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, msg)
+	}
+	if !strings.Contains(msg, "REGRESSION") || !strings.Contains(msg, "n=2048") {
+		t.Errorf("regression not named: %s", msg)
+	}
+}
+
+func TestCheckFailsWhenNothingCompared(t *testing.T) {
+	// A benchmark missing from the baseline is reported but skipped; a
+	// filter matching nothing at all fails the gate outright.
+	stream := "BenchmarkLossGram/new-shape-8 \t 10 \t 5 ns/op\nPASS\n"
+	if code, msg := checkAgainst(t, stream); code != 1 || !strings.Contains(msg, "no benchmarks matched") {
+		t.Fatalf("exit %d:\n%s", code, msg)
+	}
+	if code, _ := checkAgainst(t, freshStream(1, 1), "-filter", "NothingMatches"); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var out, errb strings.Builder
+	if code := run(strings.NewReader(freshStream(1, 1)), &out, &errb, []string{"-filter", "("}); code != 2 {
+		t.Fatalf("bad -filter regexp: exit %d, want 2", code)
 	}
 }

@@ -22,6 +22,7 @@
 //	movielens-edges Table IV top learned edges (E8)
 //	movielens-graph Fig 8 neighbourhood + degree analysis (E9)
 //	par-sweep       parallel sparse backend: kernel time vs workers
+//	fleet-sweep     batch fleet learning: networks/sec vs batch size × workers
 //	all             everything above in order
 package main
 
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/fleet"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -47,8 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exp := fs.String("exp", "all", "experiment id (see -help)")
 	scaleStr := fs.String("scale", "ci", "problem scale: ci or full")
 	seed := fs.Int64("seed", 1, "random seed")
-	workersStr := fs.String("workers", "", "comma-separated worker counts for par-sweep (default 1,2,4,…,GOMAXPROCS)")
+	workersStr := fs.String("workers", "", "comma-separated worker counts for par-sweep and fleet-sweep (default 1,2,4,…,GOMAXPROCS)")
 	sweepD := fs.Int("d", 0, "par-sweep instance size override (0 = scale default)")
+	batchesStr := fs.String("batch-sizes", "", "comma-separated fleet-sweep batch sizes (default by -scale: ci 8,32; full 64,256,1024)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -61,7 +64,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	workers, err := parseWorkers(*workersStr)
+	workers, err := parseCounts("-workers", *workersStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastbench:", err)
+		return 2
+	}
+	batchSizes, err := parseCounts("-batch-sizes", *batchesStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "leastbench:", err)
 		return 2
@@ -84,11 +92,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"movielens-edges": func() { experiments.MovielensEdges(scale, *seed, stdout) },
 		"movielens-graph": func() { experiments.MovielensGraph(scale, *seed, stdout) },
 		"par-sweep":       func() { experiments.ParSweep(scale, *seed, workers, *sweepD, stdout) },
+		"fleet-sweep":     func() { fleet.Sweep(scale, *seed, workers, batchSizes, stdout) },
 	}
 	order := []string{
 		"fig4-accuracy", "fig4-time", "fig5", "genes",
 		"booking-cases", "booking-pie", "movielens-edges", "movielens-graph",
-		"par-sweep",
+		"par-sweep", "fleet-sweep",
 	}
 
 	if *exp == "all" {
@@ -106,9 +115,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseWorkers turns "1,2,4" into []int{1, 2, 4}; empty means the
+// parseCounts turns "1,2,4" into []int{1, 2, 4}; empty means the
 // sweep's default grid.
-func parseWorkers(s string) ([]int, error) {
+func parseCounts(flag, s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}
@@ -116,7 +125,7 @@ func parseWorkers(s string) ([]int, error) {
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad -workers entry %q (want positive integers)", part)
+			return nil, fmt.Errorf("bad %s entry %q (want positive integers)", flag, part)
 		}
 		out = append(out, n)
 	}

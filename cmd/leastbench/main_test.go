@@ -40,17 +40,34 @@ func TestRunErrorPaths(t *testing.T) {
 	}
 }
 
-func TestParseWorkers(t *testing.T) {
-	got, err := parseWorkers("1, 2,8")
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("-workers", "1, 2,8")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
-		t.Fatalf("parseWorkers = %v, %v", got, err)
+		t.Fatalf("parseCounts = %v, %v", got, err)
 	}
-	if ws, err := parseWorkers(""); err != nil || ws != nil {
+	if ws, err := parseCounts("-workers", ""); err != nil || ws != nil {
 		t.Fatalf("empty = %v, %v", ws, err)
 	}
 	for _, bad := range []string{"x", "-1", "1,,2", "0"} {
-		if _, err := parseWorkers(bad); err == nil {
-			t.Errorf("parseWorkers(%q) accepted", bad)
+		if _, err := parseCounts("-workers", bad); err == nil {
+			t.Errorf("parseCounts(%q) accepted", bad)
 		}
+	}
+}
+
+func TestRunFleetSweep(t *testing.T) {
+	// A 2-task fleet on one worker: the flag path and table shape, not
+	// the throughput numbers, are what this smoke test pins.
+	code, out, errb := capture("-exp", "fleet-sweep", "-workers", "1", "-batch-sizes", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"== fleet-sweep", "instance:", "networks/s", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if code, _, errb := capture("-exp", "fleet-sweep", "-batch-sizes", "0"); code != 2 || !strings.Contains(errb, "-batch-sizes") {
+		t.Errorf("bad -batch-sizes: exit %d, stderr %q", code, errb)
 	}
 }

@@ -13,24 +13,43 @@
 // mode for large d — this one loads the rows) or notears (the O(d³)
 // baseline — small d only).
 //
+// Batch mode learns a whole fleet from one JSONL manifest — one task
+// per line naming local files ("in": [...]) or inline data plus an
+// optional per-task "spec" — over a bounded local worker pool with the
+// same fair scheduling, deduplication and partial-failure semantics as
+// the leastd /v2/batches surface (DESIGN.md §7). The per-task verdict
+// table is written to stdout as CSV; learned networks go to -outdir as
+// bnet JSON, one file per task label. Learn configuration lives per
+// task in the manifest, so the single-mode flags (-lambda, -method,
+// -eps, -seed, -sparse, -header, -center, -format) are rejected
+// alongside -batch rather than silently ignored.
+//
 // Usage:
 //
 //	leastcli -in data.csv -header -tau 0.3 -format dot > graph.dot
 //	leastcli -in part1.csv,part2.csv -header -lambda 0.05 -workers 4
 //	leastcli -in data.jsonl -method notears -seed 7
+//	leastcli -batch manifest.jsonl -jobs 4 -outdir results/
 package main
 
 import (
 	"context"
+	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/bnet"
+	"repro/internal/serve"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -40,7 +59,10 @@ func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("leastcli", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	in := fs.String("in", "", "input sample file(s): CSV or JSONL, comma-separated shards (required)")
+	in := fs.String("in", "", "input sample file(s): CSV or JSONL, comma-separated shards")
+	batch := fs.String("batch", "", "fleet manifest (JSONL, one task per line); mutually exclusive with -in")
+	jobs := fs.Int("jobs", 0, "batch mode: concurrent learns (0 = half the cores, min 1)")
+	outdir := fs.String("outdir", "", "batch mode: write per-task networks here as bnet JSON")
 	header := fs.Bool("header", false, "first CSV row is a header with variable names")
 	tau := fs.Float64("tau", 0.3, "edge threshold |w| > tau")
 	lambda := fs.Float64("lambda", 0.1, "L1 regularization λ")
@@ -58,9 +80,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *in == "" {
-		fmt.Fprintln(stderr, "leastcli: -in is required")
+	switch {
+	case *in == "" && *batch == "":
+		fmt.Fprintln(stderr, "leastcli: one of -in or -batch is required")
 		fs.Usage()
+		return 2
+	case *in != "" && *batch != "":
+		fmt.Fprintln(stderr, "leastcli: -in and -batch are mutually exclusive")
+		return 2
+	case *batch != "":
+		// Learn configuration lives per task in the manifest; silently
+		// ignoring an explicit single-mode flag would learn plausible
+		// networks with the wrong knobs.
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "header", "lambda", "eps", "method", "sparse", "format", "seed", "center":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(conflicts) > 0 {
+			fmt.Fprintf(stderr, "leastcli: %s cannot apply in -batch mode; set them per task in the manifest\n",
+				strings.Join(conflicts, ", "))
+			return 2
+		}
+		return runBatch(*batch, *outdir, *jobs, *workers, *tau, stdout, stderr)
+	}
+	// The symmetric guard: the batch-only flags mean nothing in
+	// single-file mode and must not be silently dropped.
+	var batchOnly []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "outdir", "jobs":
+			batchOnly = append(batchOnly, "-"+f.Name)
+		}
+	})
+	if len(batchOnly) > 0 {
+		fmt.Fprintf(stderr, "leastcli: %s only applies with -batch\n", strings.Join(batchOnly, ", "))
 		return 2
 	}
 	method, err := least.ParseMethod(*methodName)
@@ -153,4 +209,207 @@ func run(args []string, stdout, stderr io.Writer) int {
 		net.NumEdges(), d, res.Delta, res.Converged,
 		ingest.Round(time.Millisecond), learn.Round(time.Millisecond))
 	return 0
+}
+
+// runBatch drives an offline fleet: it reads the JSONL manifest,
+// opens every task's local data, and submits the lot as one batch to
+// an in-process serving manager — the same admission, fair-scheduling,
+// dedup and partial-failure machinery behind leastd's /v2/batches,
+// minus the HTTP. Broken tasks become rows in the verdict table (code
+// "validation"), never a refused manifest. Exit status is 0 only when
+// every task learned.
+func runBatch(path, outdir string, jobs, workers int, tau float64, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastcli:", err)
+		return 1
+	}
+	tasks, err := least.ReadManifest(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "leastcli:", err)
+		return 1
+	}
+	if outdir != "" {
+		if err := os.MkdirAll(outdir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "leastcli:", err)
+			return 1
+		}
+	}
+
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0) / 2
+		if jobs < 1 {
+			jobs = 1
+		}
+	}
+
+	// Resolve every data source up front (ingest streams shard files
+	// into sufficient statistics; inline tasks materialize), over a
+	// bounded worker pool: a big file-backed manifest would otherwise
+	// serialize its whole ingest phase on one goroutine before the
+	// learn pool sees the first task.
+	specs := make([]serve.BatchTaskSpec, len(tasks))
+	resolvers := min(jobs, len(tasks))
+	// Each resolver's streaming ingest is itself parallel; divide the
+	// machine between them the same way the learn pool divides it
+	// between slots, instead of resolvers × all-cores oversubscription.
+	ingestWorkers := serve.CapParallelism(workers, runtime.GOMAXPROCS(0), resolvers)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < resolvers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t := tasks[i]
+				label := t.ID
+				if label == "" {
+					label = fmt.Sprintf("task%05d", i)
+				}
+				ts := serve.BatchTaskSpec{Label: label, Center: t.Center, Spec: t.Spec}
+				if t.DatasetRef != "" {
+					ts.Err = errors.New("dataset_ref tasks need a leastd daemon; offline manifests use in/csv/samples")
+				} else if ds, err := t.Data(least.DatasetOptions{Workers: ingestWorkers}); err != nil {
+					ts.Err = err
+				} else {
+					ts.Dataset = ds
+				}
+				specs[i] = ts
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	m := serve.NewManager(serve.Config{
+		MaxConcurrent: jobs,
+		MaxHistory:    len(specs) + 64, // every job must survive until its graph is written
+		BatchBacklog:  len(specs) + 64,
+		CacheSize:     len(specs) + 64,
+	})
+	start := time.Now()
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastcli:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "fleet %s: %d tasks over %d workers\n", b.ID(), len(specs), jobs)
+
+	// Ride the batch to completion; progress lines are coalesced (the
+	// Watch sequence skips to the latest snapshot) and rate-limited.
+	seen := -1
+	var st serve.BatchStatus
+	var lastLine time.Time
+	for {
+		var terminal bool
+		st, seen, terminal = b.Watch(context.Background(), seen)
+		if terminal {
+			break
+		}
+		if time.Since(lastLine) >= time.Second {
+			fmt.Fprintf(stderr, "fleet %s: %d/%d done (%d running, %d queued, %d failed)\n",
+				b.ID(), st.Done, st.Total, st.Running, st.Queued, st.Failed)
+			lastLine = time.Now()
+		}
+	}
+	elapsed := time.Since(start)
+
+	// The verdict table, paged like the HTTP surface would. A real CSV
+	// writer, because labels and error strings may contain commas or
+	// quotes.
+	table := csv.NewWriter(stdout)
+	_ = table.Write([]string{"label", "state", "job", "cached", "deduped", "code", "error"})
+	bad := 0
+	stems := map[string]bool{}
+	const page = 512
+	for off := 0; ; off += page {
+		rows, total := b.Tasks(off, page, "")
+		for _, ts := range rows {
+			_ = table.Write([]string{
+				ts.Label, string(ts.State), ts.Job,
+				strconv.FormatBool(ts.Cached), strconv.FormatBool(ts.Deduped),
+				string(ts.Code), ts.Error,
+			})
+			if ts.State != serve.Done {
+				bad++
+				continue
+			}
+			if outdir != "" {
+				// Duplicate labels (or distinct labels that sanitize to
+				// the same stem) must not silently overwrite each
+				// other's networks; the task index disambiguates.
+				stem := sanitizeLabel(ts.Label)
+				if stems[stem] {
+					stem = fmt.Sprintf("%s-%d", stem, ts.Index)
+				}
+				for stems[stem] {
+					stem += "x"
+				}
+				stems[stem] = true
+				if err := writeTaskGraph(m, outdir, ts, tau, stem); err != nil {
+					fmt.Fprintf(stderr, "leastcli: %s: %v\n", ts.Label, err)
+					bad++
+				}
+			}
+		}
+		if len(rows) == 0 || off+len(rows) >= total {
+			break
+		}
+	}
+	table.Flush()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	m.Shutdown(sctx)
+	cancel()
+	fmt.Fprintf(stderr, "fleet done: %d/%d learned (%d cached, %d deduped), %d failed, %d cancelled in %v (%.1f networks/s)\n",
+		st.Done, st.Total, st.Cached, st.Deduped, st.Failed, st.Cancelled,
+		elapsed.Round(time.Millisecond), float64(st.Done)/elapsed.Seconds())
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeTaskGraph thresholds one finished task's weights and writes the
+// bnet JSON next to its fleet siblings, under the (already
+// deduplicated) file stem.
+func writeTaskGraph(m *serve.Manager, outdir string, ts serve.TaskStatus, tau float64, stem string) error {
+	j, err := m.Get(ts.Job)
+	if err != nil {
+		return err
+	}
+	res, names, err := j.Result()
+	if err != nil {
+		return err
+	}
+	var net *bnet.Network
+	if res.Weights != nil {
+		net = bnet.FromDense(res.Weights, tau, names)
+	} else {
+		net = bnet.FromCSR(res.SparseWeights, tau, names)
+	}
+	out, err := os.Create(filepath.Join(outdir, stem+".json"))
+	if err != nil {
+		return err
+	}
+	if err := net.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// sanitizeLabel maps a task label onto a safe file stem.
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, s)
 }

@@ -154,3 +154,134 @@ func TestRunMethodFlag(t *testing.T) {
 		t.Fatalf("unknown method: exit %d, stderr: %s", code, errb)
 	}
 }
+
+// writeManifest writes a JSONL fleet manifest into dir.
+func writeManifest(t *testing.T, dir, doc string) string {
+	t.Helper()
+	path := filepath.Join(dir, "manifest.jsonl")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBatchFleet(t *testing.T) {
+	dir := t.TempDir()
+	in := writeChainCSV(t, true)
+	outdir := filepath.Join(dir, "results")
+	spec := `{"lambda": 0.2, "epsilon": 0.001, "max_outer": 2, "max_inner": 20, "parallelism": 1}`
+	manifest := writeManifest(t, dir, fmt.Sprintf(`
+{"id": "chain-file", "in": [%q], "header": true, "center": true, "spec": %s}
+{"id": "inline", "samples": [[1,2],[2,4.1],[3,5.9],[4,8.2],[5,9.8],[6,12.1]], "spec": %s}
+{"id": "inline-twin", "samples": [[1,2],[2,4.1],[3,5.9],[4,8.2],[5,9.8],[6,12.1]], "spec": %s}
+`, in, spec, spec, spec))
+
+	code, out, errb := capture("-batch", manifest, "-jobs", "2", "-outdir", outdir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "label,state,job,cached,deduped,code,error" {
+		t.Fatalf("verdict header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("want 3 verdict rows:\n%s", out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, ",done,") {
+			t.Errorf("task did not complete: %q", l)
+		}
+	}
+	// The identical twin deduped onto one job.
+	if !strings.Contains(lines[3], "true") {
+		t.Errorf("twin not deduplicated: %q", lines[3])
+	}
+	if !strings.Contains(errb, "fleet done:") || !strings.Contains(errb, "networks/s") {
+		t.Errorf("missing fleet summary: %q", errb)
+	}
+	// One bnet JSON per task label.
+	for _, name := range []string{"chain-file.json", "inline.json", "inline-twin.json"} {
+		raw, err := os.ReadFile(filepath.Join(outdir, name))
+		if err != nil {
+			t.Fatalf("missing graph: %v", err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+}
+
+func TestRunBatchPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir, `
+{"id": "good", "samples": [[1,2],[2,4.1],[3,5.9],[4,8.2]], "spec": {"max_outer": 1, "max_inner": 5, "parallelism": 1}}
+{"id": "broken", "in": ["/nonexistent/shard.csv"]}
+`)
+	code, out, errb := capture("-batch", manifest)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (a task failed)\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "good,done,") {
+		t.Errorf("good task did not complete:\n%s", out)
+	}
+	if !strings.Contains(out, "broken,failed,") || !strings.Contains(out, "validation") {
+		t.Errorf("broken task missing typed validation error:\n%s", out)
+	}
+}
+
+func TestRunBatchDuplicateLabelsKeepBothGraphs(t *testing.T) {
+	dir := t.TempDir()
+	outdir := filepath.Join(dir, "out")
+	manifest := writeManifest(t, dir, `
+{"id": "exp/1", "samples": [[1,2],[2,4.1],[3,5.9],[4,8.2]], "spec": {"max_outer": 1, "max_inner": 5, "parallelism": 1}}
+{"id": "exp-1", "samples": [[1,1],[2,2.2],[3,2.9],[4,4.1]], "spec": {"max_outer": 1, "max_inner": 5, "parallelism": 1}}
+`)
+	code, out, errb := capture("-batch", manifest, "-outdir", outdir)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s\n%s", code, out, errb)
+	}
+	// Both labels sanitize to "exp-1"; the second graph must not
+	// silently overwrite the first.
+	entries, err := os.ReadDir(outdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("colliding labels produced %d graph files (%v), want 2", len(entries), names)
+	}
+}
+
+func TestRunBatchFlagConflicts(t *testing.T) {
+	if code, _, _ := capture("-in", "x.csv", "-batch", "m.jsonl"); code != 2 {
+		t.Errorf("-in with -batch: exit %d, want 2", code)
+	}
+	// Single-mode learn flags cannot silently apply to a fleet.
+	if code, _, errb := capture("-batch", "m.jsonl", "-lambda", "0.5"); code != 2 || !strings.Contains(errb, "-lambda") {
+		t.Errorf("-lambda with -batch: exit %d, stderr %q", code, errb)
+	}
+	if code, _, errb := capture("-batch", "m.jsonl", "-method", "notears"); code != 2 || !strings.Contains(errb, "-method") {
+		t.Errorf("-method with -batch: exit %d, stderr %q", code, errb)
+	}
+	// …and the batch-only flags cannot silently vanish in single mode.
+	if code, _, errb := capture("-in", "x.csv", "-outdir", "out"); code != 2 || !strings.Contains(errb, "-outdir") {
+		t.Errorf("-outdir without -batch: exit %d, stderr %q", code, errb)
+	}
+	if code, _, errb := capture("-in", "x.csv", "-jobs", "2"); code != 2 || !strings.Contains(errb, "-jobs") {
+		t.Errorf("-jobs without -batch: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := capture("-batch", "/nonexistent/m.jsonl"); code != 1 {
+		t.Errorf("missing manifest: exit %d, want 1", code)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, []byte("\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := capture("-batch", empty); code != 1 {
+		t.Errorf("empty manifest: exit %d, want 1", code)
+	}
+}

@@ -33,6 +33,19 @@
 //	GET    /v2/datasets/{id}    dataset metadata (n, d, fingerprint)
 //	DELETE /v2/datasets/{id}    unregister
 //
+//	POST   /v2/batches          submit a fleet manifest: {"tasks": [...]},
+//	                            each task inline data or dataset_ref plus
+//	                            a spec; identical tasks dedupe onto one
+//	                            solve, bad tasks land in the per-task
+//	                            error table (code: validation | shed |
+//	                            cancelled | internal), and concurrent
+//	                            batches share the pool fairly
+//	GET    /v2/batches          list batch progress counters
+//	GET    /v2/batches/{id}     one batch's counters
+//	GET    /v2/batches/{id}/tasks   page per-task results, ?offset=&limit=
+//	GET    /v2/batches/{id}/events  batch progress counters over SSE
+//	DELETE /v2/batches/{id}     cancel every queued + running task
+//
 //	POST   /v1/jobs             submit with {"options": {"sparse": true, ...}}
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        status + iteration progress
@@ -76,6 +89,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	queue := fs.Int("queue", 64, "admission queue depth before load shedding")
 	cache := fs.Int("cache", 64, "result-cache capacity in entries (-1 disables)")
 	datasets := fs.Int("datasets", 32, "registered-dataset store capacity in entries (-1 disables)")
+	backlog := fs.Int("batch-backlog", 16384, "queued-task bound across all batches before per-task shedding")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for running jobs")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -93,6 +107,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		DatasetCapacity: *datasets,
+		BatchBacklog:    *backlog,
 	})
 	srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
 

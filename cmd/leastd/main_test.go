@@ -238,7 +238,12 @@ func TestDaemonDrainsWithOpenEventStream(t *testing.T) {
 	}
 	base := "http://" + addr
 
-	// A job the pool cannot finish (tight ε), with an SSE watcher on it.
+	// A job the pool cannot finish within the grace period, with an SSE
+	// watcher on it. Independent low-dimensional noise converges in
+	// under a second on a slow machine, so use a wide, strongly
+	// chain-correlated instance with an unreachable ε — the same shape
+	// the serve cancellation tests rely on for a long-running learn.
+	const dVars, nRows = 60, 250
 	var rows strings.Builder
 	rows.WriteString(`{"samples": [`)
 	state := uint64(3)
@@ -248,13 +253,23 @@ func TestDaemonDrainsWithOpenEventStream(t *testing.T) {
 		state ^= state << 17
 		return float64(state%2000)/1000.0 - 1
 	}
-	for i := 0; i < 200; i++ {
+	for i := 0; i < nRows; i++ {
 		if i > 0 {
 			rows.WriteString(",")
 		}
-		fmt.Fprintf(&rows, "[%f,%f,%f,%f,%f,%f,%f,%f]", val(), val(), val(), val(), val(), val(), val(), val())
+		rows.WriteString("[")
+		prev := 0.0
+		for j := 0; j < dVars; j++ {
+			x := 1.1*prev + 0.4*val()
+			if j > 0 {
+				rows.WriteString(",")
+			}
+			fmt.Fprintf(&rows, "%f", x)
+			prev = x
+		}
+		rows.WriteString("]")
 	}
-	rows.WriteString(`], "spec": {"epsilon": 1e-12, "max_inner": 2000, "max_outer": 64}}`)
+	rows.WriteString(`], "spec": {"lambda": 0.01, "epsilon": 1e-12, "max_inner": 2000, "max_outer": 64}}`)
 	resp, err := http.Post(base+"/v2/jobs", "application/json", strings.NewReader(rows.String()))
 	if err != nil {
 		t.Fatal(err)

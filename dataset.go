@@ -1,9 +1,12 @@
 package least
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -450,4 +453,107 @@ func (c *centeredDataset) matrix(ctx context.Context) (*Matrix, error) {
 		c.x = Center(x.Clone())
 	}
 	return c.x, nil
+}
+
+// ReadManifest parses a JSONL fleet manifest: one ManifestTask per
+// line, blank lines and '#' comment lines skipped, unknown keys
+// rejected with the offending line number. Per-task semantic
+// validation is deliberately left to the consumer (leastcli -batch or
+// the serving batch admission), so one malformed task becomes one row
+// in a batch error table rather than a rejected manifest.
+func ReadManifest(r io.Reader) ([]ManifestTask, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	var tasks []ManifestTask
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var t ManifestTask
+		if err := dec.Decode(&t); err != nil {
+			return nil, fmt.Errorf("least: manifest line %d: %v", line, err)
+		}
+		// One task per line, exactly: trailing content (a second
+		// object, say, from a botched array→JSONL conversion) must not
+		// silently drop a network from the fleet.
+		if dec.More() {
+			return nil, fmt.Errorf("least: manifest line %d: trailing data after the task object", line)
+		}
+		tasks = append(tasks, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("least: manifest: %v", err)
+	}
+	if len(tasks) == 0 {
+		return nil, errors.New("least: manifest: no tasks")
+	}
+	return tasks, nil
+}
+
+// Data opens the task's local data source: the In shard list
+// (streaming ingest, exactly like leastcli -in) or the inline
+// CSV/Samples envelope. DatasetRef tasks have no local data — they
+// resolve against a serving daemon's dataset store — and error here.
+// o supplies ingest knobs (Workers); the task's own Header field wins
+// for its files. NaN/Inf in the data is rejected here, whatever the
+// source, so batch admission classifies it uniformly as a validation
+// failure rather than a learner ("internal") one.
+func (t *ManifestTask) Data(o DatasetOptions) (Dataset, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case len(t.In) > 0:
+		o.Header = t.Header
+		if t.Names != nil {
+			o.Names = t.Names
+		}
+		ds, err := OpenShards(t.In, o)
+		if err != nil {
+			return nil, err
+		}
+		// Ingest already reduced the shards to sufficient statistics;
+		// the O(d²) scan is free compared to the pass that built them.
+		if st, err := ds.Stats(context.Background()); err == nil && st.HasNaN() {
+			return nil, errors.New("least: manifest task: data contains NaN/Inf")
+		}
+		return ds, nil
+	case t.CSV != "":
+		x, headerNames, err := csvio.ReadMatrix(strings.NewReader(t.CSV), t.Header)
+		if err != nil {
+			return nil, fmt.Errorf("least: manifest task: csv: %v", err)
+		}
+		names := t.Names
+		if names == nil {
+			names = headerNames
+		}
+		if x.HasNaN() {
+			return nil, errors.New("least: manifest task: data contains NaN/Inf")
+		}
+		return FromMatrix(x, names), nil
+	case t.Samples != nil:
+		n := len(t.Samples)
+		if n == 0 || len(t.Samples[0]) == 0 {
+			return nil, errors.New("least: manifest task: samples must be a non-empty matrix")
+		}
+		d := len(t.Samples[0])
+		x := NewMatrix(n, d)
+		for i, row := range t.Samples {
+			if len(row) != d {
+				return nil, fmt.Errorf("least: manifest task: samples row %d has %d values, want %d", i, len(row), d)
+			}
+			copy(x.Row(i), row)
+		}
+		if x.HasNaN() {
+			return nil, errors.New("least: manifest task: data contains NaN/Inf")
+		}
+		return FromMatrix(x, t.Names), nil
+	default: // DatasetRef
+		return nil, errors.New("least: manifest task: dataset_ref resolves on a serving daemon, not locally")
+	}
 }

@@ -1,0 +1,140 @@
+// Package fleet measures batch fleet-learning throughput — the
+// paper's §VI deployment claim (tens of thousands of scenario learns
+// per day) reframed as a benchmark: how many networks per second a
+// bounded worker pool sustains as batch size and pool concurrency
+// scale. It lives beside internal/experiments (leastbench -exp
+// fleet-sweep) but in its own package: it drives the public batch API
+// through internal/serve, which the experiments package cannot import
+// without cycling through the root package's bench suite. See
+// DESIGN.md §7 for the batch model this exercises.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+// SweepRow is one (batch size, workers) cell of the throughput grid.
+type SweepRow struct {
+	Batch      int
+	Workers    int
+	Done       int
+	Failed     int
+	Elapsed    time.Duration
+	NetsPerSec float64
+}
+
+// DefaultBatchSizes returns the sweep's batch-size grid for a scale.
+func DefaultBatchSizes(scale experiments.Scale) []int {
+	if scale == experiments.Full {
+		return []int{64, 256, 1024}
+	}
+	return []int{8, 32}
+}
+
+// Sweep runs the batch-size × worker-count grid: for every cell it
+// builds batchSize unique small problems (unique seeds, so neither the
+// result cache nor in-flight dedup can hide solves — the cache is
+// disabled outright), submits them as one batch to a fresh pool of
+// `workers` slots, and times submission → batch-terminal. Per-task
+// parallelism is pinned to 1: fleet throughput comes from running many
+// independent solves, not from splitting one solve across cores (the
+// paper's §VI shape). nil grids pick scale defaults.
+func Sweep(scale experiments.Scale, seed int64, workers, batchSizes []int, out io.Writer) []SweepRow {
+	if batchSizes == nil {
+		batchSizes = DefaultBatchSizes(scale)
+	}
+	if workers == nil {
+		workers = experiments.DefaultWorkerCounts()
+	}
+	d, n := 12, 120
+	if scale == experiments.Full {
+		d, n = 20, 200
+	}
+	if out != nil {
+		fmt.Fprintf(out, "instance: d=%d n=%d per task, cores=%d\n", d, n, runtime.GOMAXPROCS(0))
+		fmt.Fprintf(out, "%-8s %-8s %-8s %-8s %10s %14s\n", "batch", "workers", "done", "failed", "elapsed", "networks/s")
+	}
+	var rows []SweepRow
+	for _, bsize := range batchSizes {
+		specs := makeTasks(seed, bsize, d, n)
+		for _, w := range workers {
+			r := runCell(specs, w)
+			rows = append(rows, r)
+			if out != nil {
+				fmt.Fprintf(out, "%-8d %-8d %-8d %-8d %10v %14.1f\n",
+					r.Batch, r.Workers, r.Done, r.Failed, r.Elapsed.Round(time.Millisecond), r.NetsPerSec)
+			}
+		}
+	}
+	return rows
+}
+
+// makeTasks builds batchSize unique learn tasks (one dataset and spec
+// each, distinct seeds) sized to solve in tens of milliseconds.
+func makeTasks(seed int64, batchSize, d, n int) []serve.BatchTaskSpec {
+	specs := make([]serve.BatchTaskSpec, batchSize)
+	for i := range specs {
+		s := seed + int64(i)
+		truth := least.GenerateDAG(s, least.ErdosRenyi, d, 2)
+		x := least.SampleLSEM(s+1, truth, n, least.GaussianNoise)
+		sp, err := least.New(
+			least.WithLambda(0.2),
+			least.WithEpsilon(1e-3),
+			least.WithSeed(s),
+			least.WithParallelism(1),
+		)
+		specs[i] = serve.BatchTaskSpec{
+			Label:   fmt.Sprintf("task%05d", i),
+			Dataset: least.FromMatrix(x, nil),
+			Spec:    sp,
+			Err:     err, // New cannot fail here; plumbed for honesty
+		}
+	}
+	return specs
+}
+
+// runCell times one batch over a fresh pool.
+func runCell(specs []serve.BatchTaskSpec, workers int) SweepRow {
+	m := serve.NewManager(serve.Config{
+		MaxConcurrent: workers,
+		CacheSize:     -1, // every task must cost a real solve
+		MaxHistory:    len(specs) + 16,
+		BatchBacklog:  len(specs) + 16,
+	})
+	start := time.Now()
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		// Admission can only fail wholesale on shutdown, which cannot
+		// happen here; surface it as an all-failed row.
+		return SweepRow{Batch: len(specs), Workers: workers, Failed: len(specs)}
+	}
+	seen := -1
+	var st serve.BatchStatus
+	for {
+		var terminal bool
+		st, seen, terminal = b.Watch(context.Background(), seen)
+		if terminal {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	m.Shutdown(ctx)
+	cancel()
+	return SweepRow{
+		Batch:      st.Total,
+		Workers:    workers,
+		Done:       st.Done,
+		Failed:     st.Failed,
+		Elapsed:    elapsed,
+		NetsPerSec: float64(st.Done) / elapsed.Seconds(),
+	}
+}

@@ -1,0 +1,613 @@
+package serve
+
+// Batch fleet learning: the paper's headline deployment number is not
+// one network but tens of thousands of scenario learns per day (§VI).
+// A Batch is a manifest of (dataset, spec) tasks admitted as one unit:
+// tasks fan out over the shared worker pool on a per-batch scheduler
+// lane (round-robin across lanes, so concurrent batches and
+// interactive jobs make proportional progress), identical tasks are
+// deduplicated through the in-flight table and the result cache, and
+// the batch completes with a per-task error table — partial failure,
+// never all-or-nothing. See DESIGN.md §7 for the model, the fairness
+// policy and the wire contract.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Sentinel errors of the batch API.
+var (
+	// ErrUnknownBatch is returned for batch ids the manager has never
+	// issued (or has already evicted from its bounded history).
+	ErrUnknownBatch = errors.New("serve: unknown batch")
+	// ErrBatchFinished is returned by Cancel on a batch that already
+	// completed — there is nothing left to stop.
+	ErrBatchFinished = errors.New("serve: batch already finished")
+	// ErrEmptyBatch is returned by Submit for a manifest with no tasks.
+	ErrEmptyBatch = errors.New("serve: empty batch manifest")
+)
+
+// BatchState is the lifecycle phase of a Batch: running → done |
+// cancelled. A batch is "done" as soon as every task is terminal,
+// regardless of how many failed — per-task verdicts live in the task
+// table, and only an explicit cancel-batch produces "cancelled".
+type BatchState string
+
+// Batch states.
+const (
+	BatchRunning   BatchState = "running"
+	BatchDone      BatchState = "done"
+	BatchCancelled BatchState = "cancelled"
+)
+
+// Terminal reports whether a batch state is final.
+func (s BatchState) Terminal() bool { return s == BatchDone || s == BatchCancelled }
+
+// TaskCode classifies a batch task's failure in the JSON error table,
+// so clients can tell a malformed task ("validation") from load
+// shedding ("shed"), a cancellation ("cancelled") and a learner error
+// ("internal") — distinctions the single-job API makes with HTTP
+// status codes (400 / 503 / DELETE / 500) that a per-task table
+// cannot.
+type TaskCode string
+
+// Task error codes.
+const (
+	TaskCodeValidation TaskCode = "validation"
+	TaskCodeShed       TaskCode = "shed"
+	TaskCodeCancelled  TaskCode = "cancelled"
+	TaskCodeInternal   TaskCode = "internal"
+)
+
+// BatchTaskSpec is one resolved manifest entry handed to
+// BatchManager.Submit: the data, the learn configuration, and
+// optionally a resolution error from the transport layer.
+type BatchTaskSpec struct {
+	// Label is the client's name for the task (the manifest "id"
+	// field), echoed in the task table.
+	Label string
+	// Dataset is the task's input data.
+	Dataset least.Dataset
+	// Center column-centers the data before learning.
+	Center bool
+	// Spec configures the learn; nil means MethodLEAST with defaults.
+	Spec *least.Spec
+	// Err carries a pre-admission resolution failure (bad CSV, unknown
+	// dataset_ref, unsupported source). The task lands in the error
+	// table with code "validation" and the rest of the batch proceeds.
+	Err error
+}
+
+// TaskStatus is one row of the batch task table (GET
+// /v2/batches/{id}/tasks), shaped for the JSON API.
+type TaskStatus struct {
+	Index int    `json:"index"`
+	Label string `json:"label,omitempty"`
+	State State  `json:"state"`
+	// Cached marks a task answered from the result cache; Deduped one
+	// that joined an identical in-flight task instead of solving again.
+	Cached  bool `json:"cached,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Job names the underlying job (shared between deduplicated
+	// tasks); fetch the learned network at GET /v2/jobs/{job}/graph.
+	Job   string   `json:"job,omitempty"`
+	Code  TaskCode `json:"code,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// BatchStatus is an immutable snapshot of a batch's progress counters,
+// shaped for the JSON API and the SSE event stream.
+type BatchStatus struct {
+	ID    string     `json:"id"`
+	State BatchState `json:"state"`
+	Total int        `json:"total"`
+	// Per-state task counts; Queued+Running+Done+Failed+Cancelled ==
+	// Total at every instant.
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Cached / Deduped count tasks that cost no solve.
+	Cached   int       `json:"cached"`
+	Deduped  int       `json:"deduped"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// batchTask is one manifest entry's live state. All fields behind the
+// owning Batch's mu. Tasks carry the job *id*, not the job: live
+// tracking goes through Batch.refs, which is dropped when the batch
+// finishes so a terminal batch does not pin thousands of results in
+// memory past the Manager's history bounds.
+type batchTask struct {
+	label   string
+	state   State
+	cached  bool
+	deduped bool
+	jobID   string // "" for tasks resolved at admission (validation/shed)
+	code    TaskCode
+	err     string
+}
+
+// Batch aggregates a manifest of tasks. Tasks sharing a deduplicated
+// job update together through one job observer; batch-level progress
+// is a fold over the task table.
+type Batch struct {
+	id      string
+	created time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on every seq bump
+	seq      int        // change counter driving the batch SSE stream
+	state    BatchState
+	finished time.Time
+	tasks    []*batchTask
+	open     int            // tasks not yet terminal
+	refs     map[*Job][]int // job → indices of the tasks riding it
+
+	// Progress counters, maintained incrementally at every task
+	// transition: a 5,000-task batch must not fold over its whole
+	// table under mu for every Status/Watch/SSE frame.
+	nQueued, nRunning, nDone, nFailed, nCancelled int
+	nCached, nDeduped                             int
+}
+
+// counterLocked returns the tally for a task state. Caller holds b.mu.
+func (b *Batch) counterLocked(s State) *int {
+	switch s {
+	case Queued:
+		return &b.nQueued
+	case Running:
+		return &b.nRunning
+	case Done:
+		return &b.nDone
+	case Failed:
+		return &b.nFailed
+	default:
+		return &b.nCancelled
+	}
+}
+
+// moveLocked transitions a task's state, keeping the counters in
+// sync. Caller holds b.mu.
+func (b *Batch) moveLocked(t *batchTask, s State) {
+	(*b.counterLocked(t.state))--
+	(*b.counterLocked(s))++
+	t.state = s
+}
+
+// admitTaskLocked tallies a freshly built task row (Submit only).
+func (b *Batch) admitTaskLocked(t *batchTask) {
+	(*b.counterLocked(t.state))++
+	if t.cached {
+		b.nCached++
+	}
+	if t.deduped {
+		b.nDeduped++
+	}
+}
+
+// ID returns the batch identifier.
+func (b *Batch) ID() string { return b.id }
+
+// Status snapshots the batch's progress counters.
+func (b *Batch) Status() BatchStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.statusLocked()
+}
+
+func (b *Batch) statusLocked() BatchStatus {
+	return BatchStatus{
+		ID:        b.id,
+		State:     b.state,
+		Total:     len(b.tasks),
+		Queued:    b.nQueued,
+		Running:   b.nRunning,
+		Done:      b.nDone,
+		Failed:    b.nFailed,
+		Cancelled: b.nCancelled,
+		Cached:    b.nCached,
+		Deduped:   b.nDeduped,
+		Created:   b.created,
+		Finished:  b.finished,
+	}
+}
+
+// Tasks returns one page of the per-task table plus the total row
+// count after the optional state filter (state "" matches all).
+// Offsets past the end yield an empty page, never an error — the
+// stable answer for a client paging a batch that is still shrinking
+// its queued count.
+func (b *Batch) Tasks(offset, limit int, state State) ([]TaskStatus, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rows := []TaskStatus{}
+	matched := 0
+	for i, t := range b.tasks {
+		if state != "" && t.state != state {
+			continue
+		}
+		if matched >= offset && (limit <= 0 || len(rows) < limit) {
+			rows = append(rows, b.taskStatusLocked(i))
+		}
+		matched++
+	}
+	return rows, matched
+}
+
+func (b *Batch) taskStatusLocked(i int) TaskStatus {
+	t := b.tasks[i]
+	return TaskStatus{
+		Index:   i,
+		Label:   t.label,
+		State:   t.state,
+		Cached:  t.cached,
+		Deduped: t.deduped,
+		Job:     t.jobID,
+		Code:    t.code,
+		Error:   t.err,
+	}
+}
+
+// Watch blocks until the batch's observable state advances past seen
+// (pass -1 for an immediate snapshot), the batch is terminal, or ctx
+// ends — the coalescing primitive behind GET /v2/batches/{id}/events,
+// same contract as Job.Watch.
+func (b *Batch) Watch(ctx context.Context, seen int) (BatchStatus, int, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	defer stop()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.seq == seen && !b.state.Terminal() && ctx.Err() == nil {
+		b.cond.Wait()
+	}
+	return b.statusLocked(), b.seq, b.state.Terminal()
+}
+
+// bumpLocked records an observable change. Caller holds b.mu.
+func (b *Batch) bumpLocked() {
+	b.seq++
+	b.cond.Broadcast()
+}
+
+// finishLocked seals the batch in state s and releases its job holds.
+// Caller holds b.mu.
+func (b *Batch) finishLocked(s BatchState) {
+	b.state = s
+	b.finished = time.Now()
+	// Release every hold exactly once: the jobs become eligible for
+	// normal history eviction, and dropping refs lets the garbage
+	// collector reclaim the results the Manager has already evicted —
+	// a terminal batch keeps only ids and verdicts, never weights.
+	for j := range b.refs {
+		j.mu.Lock()
+		j.waiters--
+		j.mu.Unlock()
+	}
+	b.refs = nil
+}
+
+// stateRank orders job states along the lifecycle so observer
+// deliveries can be made monotonic: queued < running < terminal.
+func stateRank(s State) int {
+	switch s {
+	case Queued:
+		return 0
+	case Running:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// onJob folds one underlying job transition into every task riding
+// that job. Updates are monotonic: observer deliveries can race (the
+// immediate snapshot from observe versus a concurrent transition), so
+// a delivery that does not advance the task's lifecycle rank is
+// ignored — a task never regresses running → queued, and a terminal
+// task ignores everything.
+func (b *Batch) onJob(j *Job, st Status) {
+	b.mu.Lock()
+	changed := false
+	for _, i := range b.refs[j] {
+		t := b.tasks[i]
+		if t.state.Terminal() || stateRank(st.State) <= stateRank(t.state) {
+			continue
+		}
+		b.moveLocked(t, st.State)
+		switch st.State {
+		case Done:
+			if st.Cached && !t.cached {
+				t.cached = true
+				b.nCached++
+			}
+		case Failed:
+			t.code = TaskCodeInternal
+			t.err = st.Error
+		case Cancelled:
+			t.code = TaskCodeCancelled
+			t.err = st.Error
+		}
+		if st.State.Terminal() {
+			b.open--
+		}
+		changed = true
+	}
+	if changed {
+		if b.open == 0 && !b.state.Terminal() {
+			b.finishLocked(BatchDone)
+		}
+		b.bumpLocked()
+	}
+	b.mu.Unlock()
+}
+
+// BatchManager owns the batch table on top of a Manager's worker pool,
+// result cache and in-flight dedup table. It is safe for concurrent
+// use by HTTP handlers.
+type BatchManager struct {
+	m *Manager
+
+	mu      sync.Mutex
+	batches map[string]*Batch
+	order   []string // submission order, for listing + history eviction
+	nextID  int
+}
+
+func newBatchManager(m *Manager) *BatchManager {
+	return &BatchManager{m: m, batches: make(map[string]*Batch)}
+}
+
+// Submit admits a manifest of resolved tasks as one batch. Admission
+// is atomic with respect to shutdown (all tasks or ErrShuttingDown),
+// but never all-or-nothing across tasks: a task that fails validation
+// or is shed past the batch backlog lands in the error table with its
+// typed code while the rest of the manifest proceeds. Identical
+// (fingerprint, center, spec) tasks — within this manifest or shared
+// with a concurrently running batch — join one in-flight job, and
+// tasks whose answer the result cache already holds complete
+// immediately, so a manifest with 1,000 repeats costs roughly its
+// unique-task count in solves.
+func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
+	if len(specs) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	// Resolve and validate outside any lock: computing a cache key
+	// fingerprints the task's data.
+	type plan struct {
+		spec *least.Spec
+		key  string
+		err  error
+	}
+	plans := make([]plan, len(specs))
+	for i, ts := range specs {
+		if ts.Err != nil {
+			plans[i].err = ts.Err
+			continue
+		}
+		sp, key, err := prepareSubmission(ts.Dataset, ts.Center, ts.Spec)
+		plans[i] = plan{spec: sp, key: key, err: err}
+	}
+
+	bm.mu.Lock()
+	bm.nextID++
+	id := fmt.Sprintf("b%08d", bm.nextID)
+	bm.mu.Unlock()
+
+	now := time.Now()
+	b := &Batch{
+		id:      id,
+		created: now,
+		state:   BatchRunning,
+		refs:    make(map[*Job][]int),
+	}
+	b.cond = sync.NewCond(&b.mu)
+
+	m := bm.m
+	lane := &jobQueue{id: id}
+	mine := make(map[*Job]bool) // jobs this batch already references
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	for i, ts := range specs {
+		t := &batchTask{label: ts.Label, state: Queued}
+		b.tasks = append(b.tasks, t)
+		p := plans[i]
+		if p.err != nil {
+			t.state = Failed
+			t.code = TaskCodeValidation
+			t.err = p.err.Error()
+			continue
+		}
+		// In-flight first: identical work already queued or running —
+		// for this batch or a concurrent one — is joined, not resolved.
+		// A job whose batches all cancelled it (waiters 0) is doomed
+		// even if the learner has not observed the cancel yet; joining
+		// it would cancel this fresh task, so treat it as stale too.
+		if ij, ok := m.inflight[p.key]; ok {
+			ij.mu.Lock()
+			usable := !ij.state.Terminal() && ij.waiters > 0
+			if usable && !mine[ij] {
+				ij.waiters++ // a second batch now holds this job
+			}
+			ij.mu.Unlock()
+			if usable {
+				t.jobID = ij.id
+				t.deduped = true
+				mine[ij] = true
+				b.refs[ij] = append(b.refs[ij], i)
+				continue
+			}
+			delete(m.inflight, p.key) // stale or doomed; fall through
+		}
+		j := m.makeJobLocked(ts.Dataset, p.spec, ts.Center, p.key, now)
+		if j.cached {
+			t.state = Done
+			t.cached = true
+			t.jobID = j.id
+			// Hold even the born-done job until the batch finishes, so
+			// history pressure cannot 404 the task's graph link while
+			// the client is still paging the table.
+			j.waiters = 1
+			b.refs[j] = append(b.refs[j], i)
+			m.recordLocked(j)
+			continue
+		}
+		if m.nbatchq >= m.cfg.BatchBacklog {
+			t.state = Failed
+			t.code = TaskCodeShed
+			t.err = ErrQueueFull.Error()
+			continue
+		}
+		j.waiters = 1
+		mine[j] = true
+		m.inflight[p.key] = j
+		m.recordLocked(j)
+		m.enqueueLocked(lane, j)
+		t.jobID = j.id
+		b.refs[j] = append(b.refs[j], i)
+	}
+	// One history-eviction pass for the whole manifest: per-insert
+	// passes would make large-batch admission quadratic under m.mu.
+	m.evictHistoryLocked()
+	m.mu.Unlock()
+
+	for _, t := range b.tasks {
+		b.admitTaskLocked(t)
+		if !t.state.Terminal() {
+			b.open++
+		}
+	}
+	if b.open == 0 {
+		// Every task resolved at admission (validation failures, shed
+		// tasks, cache hits): the batch is born done with its table.
+		b.finishLocked(BatchDone)
+	}
+	// Attach one observer per distinct job. observe delivers the
+	// current snapshot immediately, so a job that raced to completion
+	// between enqueue and here still resolves its tasks.
+	for j := range b.refs {
+		j := j
+		j.observe(func(st Status) { b.onJob(j, st) })
+	}
+	bm.register(b)
+	return b, nil
+}
+
+// register records a batch and evicts the oldest terminal batches past
+// the history bound.
+func (bm *BatchManager) register(b *Batch) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	bm.batches[b.id] = b
+	bm.order = append(bm.order, b.id)
+	if len(bm.batches) <= bm.m.cfg.MaxBatches {
+		return
+	}
+	kept := bm.order[:0]
+	excess := len(bm.batches) - bm.m.cfg.MaxBatches
+	for _, id := range bm.order {
+		old := bm.batches[id]
+		if excess > 0 && old.Status().State.Terminal() {
+			delete(bm.batches, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	bm.order = kept
+}
+
+// Get looks a batch up by id.
+func (bm *BatchManager) Get(id string) (*Batch, error) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	b, ok := bm.batches[id]
+	if !ok {
+		return nil, ErrUnknownBatch
+	}
+	return b, nil
+}
+
+// List snapshots every known batch in submission order.
+func (bm *BatchManager) List() []BatchStatus {
+	bm.mu.Lock()
+	ids := append([]string(nil), bm.order...)
+	bs := bm.batches
+	out := make([]BatchStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, bs[id].Status())
+	}
+	bm.mu.Unlock()
+	return out
+}
+
+// Len returns the number of batches the manager currently knows about.
+func (bm *BatchManager) Len() int {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	return len(bm.batches)
+}
+
+// Cancel stops a batch: every non-terminal task is marked cancelled in
+// the table immediately, and each underlying queued or running job is
+// cancelled unless another live batch still holds it (deduplicated
+// jobs are shared; cancelling one manifest must not sabotage another).
+// Cancel on a done batch returns ErrBatchFinished; on an
+// already-cancelled batch it is a no-op.
+func (bm *BatchManager) Cancel(id string) (BatchStatus, error) {
+	b, err := bm.Get(id)
+	if err != nil {
+		return BatchStatus{}, err
+	}
+	b.mu.Lock()
+	switch b.state {
+	case BatchDone:
+		b.mu.Unlock()
+		return b.Status(), ErrBatchFinished
+	case BatchCancelled:
+		b.mu.Unlock()
+		return b.Status(), nil
+	}
+	jobs := make([]*Job, 0, len(b.refs))
+	for j := range b.refs {
+		jobs = append(jobs, j)
+	}
+	for _, t := range b.tasks {
+		if !t.state.Terminal() {
+			b.moveLocked(t, Cancelled)
+			t.code = TaskCodeCancelled
+			t.err = "batch cancelled"
+			b.open--
+		}
+	}
+	b.finishLocked(BatchCancelled) // releases this batch's job holds
+	b.bumpLocked()
+	b.mu.Unlock()
+
+	// Cancel whichever of the batch's jobs no live batch still holds.
+	for _, j := range jobs {
+		j.mu.Lock()
+		drop := j.waiters <= 0 && !j.state.Terminal()
+		j.mu.Unlock()
+		if drop {
+			_, _ = bm.m.Cancel(j.id) // a finish racing the cancel is fine
+		}
+	}
+	return b.Status(), nil
+}

@@ -1,0 +1,509 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// tinyTask builds one quick-solve batch task. Distinct seeds produce
+// distinct datasets and specs, so neither dedup path can collapse
+// different tasks; equal seeds produce byte-identical tasks.
+func tinyTask(seed int64) BatchTaskSpec {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 6, 2)
+	x := least.SampleLSEM(seed+1, truth, 40, least.GaussianNoise)
+	sp, err := least.New(
+		least.WithLambda(0.2),
+		least.WithEpsilon(1e-3),
+		least.WithMaxOuter(2),
+		least.WithMaxInner(10),
+		least.WithParallelism(1),
+		least.WithSeed(seed),
+	)
+	return BatchTaskSpec{
+		Label:   fmt.Sprintf("t%d", seed),
+		Dataset: least.FromMatrix(x, nil),
+		Spec:    sp,
+		Err:     err, // least.New cannot fail on these values
+	}
+}
+
+// moderateTask runs for a few hundred inner iterations — long enough
+// that a cancel issued right after submission reliably lands while the
+// job is still queued or running.
+func moderateTask(seed int64) BatchTaskSpec {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 10, 2)
+	x := least.SampleLSEM(seed+1, truth, 100, least.GaussianNoise)
+	sp, _ := least.New(
+		least.WithLambda(0.1),
+		least.WithEpsilon(1e-6),
+		least.WithMaxOuter(4),
+		least.WithMaxInner(150),
+		least.WithParallelism(1),
+		least.WithSeed(seed),
+	)
+	return BatchTaskSpec{
+		Label:   fmt.Sprintf("m%d", seed),
+		Dataset: least.FromMatrix(x, nil),
+		Spec:    sp,
+	}
+}
+
+func waitBatch(t *testing.T, b *Batch, want BatchState, timeout time.Duration) BatchStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := b.Status()
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("batch %s reached terminal state %s, want %s (%+v)", b.ID(), st.State, want, st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch %s stuck in %s after %v, want %s (%+v)", b.ID(), st.State, timeout, want, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// allTasks pages through the whole task table, verifying the paging
+// contract (total stable, indices contiguous) along the way.
+func allTasks(t *testing.T, b *Batch, page int) []TaskStatus {
+	t.Helper()
+	var rows []TaskStatus
+	for off := 0; ; off += page {
+		pageRows, total := b.Tasks(off, page, "")
+		rows = append(rows, pageRows...)
+		if off+len(pageRows) >= total || len(pageRows) == 0 {
+			if len(rows) != total {
+				t.Fatalf("paged %d rows, table reports %d", len(rows), total)
+			}
+			return rows
+		}
+	}
+}
+
+// TestBatchDedupeThousandTasks is the acceptance workload: a
+// 1,000-task manifest with 100 unique tasks completes with exactly 100
+// cache-miss solves — repeats join the in-flight job of their first
+// occurrence — and an identical follow-up batch is answered entirely
+// from the result cache.
+func TestBatchDedupeThousandTasks(t *testing.T) {
+	const unique, repeats = 100, 10
+	m := NewManager(Config{MaxConcurrent: 2, CacheSize: 2 * unique, MaxHistory: 4096, BatchBacklog: 4096})
+	defer shutdown(t, m)
+
+	specs := make([]BatchTaskSpec, 0, unique*repeats)
+	for r := 0; r < repeats; r++ {
+		for u := 0; u < unique; u++ {
+			ts := tinyTask(int64(1000 + 10*u))
+			ts.Label = fmt.Sprintf("r%02du%03d", r, u)
+			specs = append(specs, ts)
+		}
+	}
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitBatch(t, b, BatchDone, 120*time.Second)
+	if st.Total != unique*repeats || st.Done != unique*repeats || st.Failed != 0 || st.Cancelled != 0 {
+		t.Fatalf("batch counters: %+v", st)
+	}
+	if st.Deduped != unique*(repeats-1) {
+		t.Errorf("deduped = %d, want %d", st.Deduped, unique*(repeats-1))
+	}
+	hits, misses, entries := m.CacheStats()
+	if misses != unique || entries != unique || hits != 0 {
+		t.Errorf("cache stats = (%d hits, %d misses, %d entries), want (0, %d, %d): repeats must not consult the cache, they join in-flight jobs",
+			hits, misses, entries, unique, unique)
+	}
+	jobs := map[string]bool{}
+	for _, row := range allTasks(t, b, 256) {
+		if row.State != Done {
+			t.Fatalf("task %d (%s) state %s: %+v", row.Index, row.Label, row.State, row)
+		}
+		if row.Job == "" {
+			t.Fatalf("done task %d has no job id", row.Index)
+		}
+		jobs[row.Job] = true
+	}
+	if len(jobs) != unique {
+		t.Errorf("tasks ran %d distinct jobs, want exactly %d solves", len(jobs), unique)
+	}
+
+	// The same manifest again: every task is a cache hit, the batch is
+	// born done, and no new solve happens.
+	b2, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := b2.Status()
+	if st2.State != BatchDone || st2.Cached != unique*repeats || st2.Done != unique*repeats {
+		t.Fatalf("second batch not fully cached: %+v", st2)
+	}
+	if _, misses2, _ := m.CacheStats(); misses2 != unique {
+		t.Errorf("second batch caused %d extra cache misses", misses2-unique)
+	}
+}
+
+// TestBatchFairnessInterleaving: with a single pool slot, a 2-task
+// batch submitted right after a 10-task batch must complete within a
+// few pops — the round-robin lane schedule serves it every other pop
+// instead of queueing it behind the large batch's whole backlog. The
+// assertion is on completion order (job finish timestamps), not
+// wall-clock state, so task speed cannot flake it: at most a couple of
+// large-batch tasks may finish before the small batch's admission, and
+// at most ⌈small⌉ more may interleave after it.
+func TestBatchFairnessInterleaving(t *testing.T) {
+	const big, small = 10, 2
+	m := NewManager(Config{MaxConcurrent: 1, Procs: 1})
+	defer shutdown(t, m)
+
+	bigSpecs := make([]BatchTaskSpec, big)
+	for i := range bigSpecs {
+		bigSpecs[i] = tinyTask(int64(2000 + 10*i))
+	}
+	smallSpecs := make([]BatchTaskSpec, small)
+	for i := range smallSpecs {
+		smallSpecs[i] = tinyTask(int64(3000 + 10*i))
+	}
+
+	bA, err := m.Batches().Submit(bigSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bB, err := m.Batches().Submit(smallSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, bB, BatchDone, 120*time.Second)
+	waitBatch(t, bA, BatchDone, 120*time.Second)
+
+	finish := func(rows []TaskStatus) []time.Time {
+		var ts []time.Time
+		for _, row := range rows {
+			j, err := m.Get(row.Job)
+			if err != nil {
+				t.Fatalf("job %s: %v", row.Job, err)
+			}
+			ts = append(ts, j.Status().Finished)
+		}
+		return ts
+	}
+	aFinish := finish(allTasks(t, bA, 20))
+	bLast := time.Time{}
+	for _, ft := range finish(allTasks(t, bB, 20)) {
+		if ft.After(bLast) {
+			bLast = ft
+		}
+	}
+	aBefore := 0
+	for _, ft := range aFinish {
+		if !ft.After(bLast) {
+			aBefore++
+		}
+	}
+	// Strict FIFO across batches would put all 10 large-batch tasks
+	// before the small batch's last; fair round-robin bounds it by the
+	// tasks popped before the small batch was admitted (≲2, the
+	// admission gap is microseconds against millisecond solves) plus
+	// one interleaved task per small-batch pop.
+	if aBefore > big/2 {
+		t.Fatalf("%d of %d large-batch tasks finished before the small batch — scheduling is not fair", aBefore, big)
+	}
+}
+
+// TestBatchPartialFailureTable: broken tasks land in the table with
+// typed codes — resolution and validation failures as "validation", a
+// learner blow-up as "internal" — while good tasks complete; the batch
+// itself is done, never all-or-nothing.
+func TestBatchPartialFailureTable(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	defer shutdown(t, m)
+
+	nan := least.NewMatrix(4, 2)
+	nan.Set(1, 1, math.NaN())
+	specs := []BatchTaskSpec{
+		tinyTask(5000),
+		{Label: "bad-resolve", Err: errors.New("csv: ragged row")},
+		{Label: "one-var", Dataset: least.FromMatrix(least.NewMatrix(3, 1), nil)},
+		{Label: "nan-data", Dataset: least.FromMatrix(nan, nil)},
+	}
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitBatch(t, b, BatchDone, 60*time.Second)
+	if st.Done != 1 || st.Failed != 3 {
+		t.Fatalf("counters: %+v", st)
+	}
+	rows := allTasks(t, b, 10)
+	if rows[0].State != Done || rows[0].Code != "" {
+		t.Errorf("good task: %+v", rows[0])
+	}
+	for i, wantCode := range map[int]TaskCode{1: TaskCodeValidation, 2: TaskCodeValidation, 3: TaskCodeInternal} {
+		if rows[i].State != Failed || rows[i].Code != wantCode || rows[i].Error == "" {
+			t.Errorf("task %d = %+v, want failed/%s with an error message", i, rows[i], wantCode)
+		}
+	}
+	// The error table alone, via the state filter; paging applies to
+	// the filtered sequence.
+	failedRows, total := b.Tasks(0, 10, Failed)
+	if total != 3 || len(failedRows) != 3 {
+		t.Fatalf("failed filter: %d rows, total %d", len(failedRows), total)
+	}
+	pageRows, total := b.Tasks(1, 1, Failed)
+	if total != 3 || len(pageRows) != 1 || pageRows[0].Index != failedRows[1].Index {
+		t.Errorf("failed-filter paging: rows %+v, total %d", pageRows, total)
+	}
+}
+
+// TestBatchShedPastBacklog: tasks past the batch backlog bound are
+// shed individually with code "shed" — distinguishable from
+// validation failures — and the admitted remainder still completes.
+func TestBatchShedPastBacklog(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, BatchBacklog: 2, Procs: 1})
+	defer shutdown(t, m)
+
+	xs, os := slowDataset(6000)
+	blocker, err := m.Submit(xs, nil, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running, 10*time.Second)
+
+	specs := make([]BatchTaskSpec, 5)
+	for i := range specs {
+		specs[i] = tinyTask(int64(6100 + 10*i))
+	}
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Status()
+	if st.Queued != 2 || st.Failed != 3 {
+		t.Fatalf("backlog=2 admission: %+v", st)
+	}
+	shed := 0
+	for _, row := range allTasks(t, b, 10) {
+		if row.Code == TaskCodeShed {
+			shed++
+			if row.State != Failed {
+				t.Errorf("shed task in state %s", row.State)
+			}
+		}
+	}
+	if shed != 3 {
+		t.Errorf("%d tasks shed, want 3", shed)
+	}
+	if _, err := m.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitBatch(t, b, BatchDone, 120*time.Second); st.Done != 2 {
+		t.Fatalf("admitted remainder: %+v", st)
+	}
+}
+
+// TestBatchCancelMidFlight: cancel-batch resolves every non-terminal
+// task as cancelled (code "cancelled"), cancels the underlying queued
+// and running jobs, and is idempotent; cancelling a finished batch is
+// a conflict.
+func TestBatchCancelMidFlight(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, Procs: 1})
+	defer shutdown(t, m)
+
+	specs := make([]BatchTaskSpec, 4)
+	for i := range specs {
+		xs, os := slowDataset(int64(7000 + 10*i))
+		specs[i] = BatchTaskSpec{Label: fmt.Sprintf("slow%d", i), Dataset: least.FromMatrix(xs, nil), Spec: os.Spec()}
+	}
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for b.Status().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no task started: %+v", b.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, err := m.Batches().Cancel(b.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != BatchCancelled || st.Cancelled != 4 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("after cancel: %+v", st)
+	}
+	for _, row := range allTasks(t, b, 10) {
+		if row.State != Cancelled || row.Code != TaskCodeCancelled {
+			t.Errorf("task %d after batch cancel: %+v", row.Index, row)
+		}
+	}
+	// The underlying jobs observe the cancellation (running within one
+	// inner iteration, queued immediately).
+	for _, row := range allTasks(t, b, 10) {
+		if row.Job == "" {
+			continue
+		}
+		j, err := m.Get(row.Job)
+		if err != nil {
+			continue // evicted history is fine
+		}
+		waitState(t, j, Cancelled, 30*time.Second)
+	}
+	if _, err := m.Batches().Cancel(b.ID()); err != nil {
+		t.Fatalf("re-cancel not idempotent: %v", err)
+	}
+
+	b2, err := m.Batches().Submit([]BatchTaskSpec{tinyTask(7500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, b2, BatchDone, 60*time.Second)
+	if _, err := m.Batches().Cancel(b2.ID()); !errors.Is(err, ErrBatchFinished) {
+		t.Errorf("cancel done batch: %v, want ErrBatchFinished", err)
+	}
+	if _, err := m.Batches().Cancel("nope"); !errors.Is(err, ErrUnknownBatch) {
+		t.Errorf("cancel unknown batch: %v, want ErrUnknownBatch", err)
+	}
+}
+
+// TestBatchSharedJobSurvivesOtherCancel: two batches deduplicate onto
+// one in-flight job; cancelling the first batch must not cancel the
+// job out from under the second.
+func TestBatchSharedJobSurvivesOtherCancel(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, Procs: 1})
+	defer shutdown(t, m)
+
+	bA, err := m.Batches().Submit([]BatchTaskSpec{moderateTask(8000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bB, err := m.Batches().Submit([]BatchTaskSpec{moderateTask(8000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsB := allTasks(t, bB, 10)
+	if !rowsB[0].Deduped {
+		t.Fatalf("identical cross-batch task not deduplicated: %+v", rowsB[0])
+	}
+	rowsA := allTasks(t, bA, 10)
+	if rowsA[0].Job != rowsB[0].Job {
+		t.Fatalf("batches did not share the job: %q vs %q", rowsA[0].Job, rowsB[0].Job)
+	}
+	// A direct job cancel (DELETE /v2/jobs/{id}) must refuse while any
+	// live batch still holds the job — same invariant, different door.
+	if _, err := m.Cancel(rowsA[0].Job); !errors.Is(err, ErrBatchOwned) {
+		t.Fatalf("direct cancel of batch-shared job: %v, want ErrBatchOwned", err)
+	}
+	if _, err := m.Batches().Cancel(bA.ID()); err != nil {
+		t.Fatal(err)
+	}
+	stB := waitBatch(t, bB, BatchDone, 120*time.Second)
+	if stB.Done != 1 {
+		t.Fatalf("surviving batch: %+v", stB)
+	}
+}
+
+// TestBatchJobsSurviveHistoryPressure: the Manager's bounded job
+// history must not strand a batch's task-to-graph links while the
+// batch lives — even born-done cache-hit jobs are held until the batch
+// finishes, then released for normal eviction.
+func TestBatchJobsSurviveHistoryPressure(t *testing.T) {
+	const n = 6
+	m := NewManager(Config{MaxConcurrent: 2, MaxHistory: 2, CacheSize: 64})
+	defer shutdown(t, m)
+
+	specs := make([]BatchTaskSpec, n)
+	for i := range specs {
+		specs[i] = tinyTask(int64(9000 + 10*i))
+	}
+	bA, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, bA, BatchDone, 60*time.Second)
+
+	// The identical manifest: every task is a born-done cache hit,
+	// minted (and history-evicted, were it not held) inside one Submit.
+	bB, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := bB.Status(); st.State != BatchDone || st.Cached != n {
+		t.Fatalf("second batch: %+v", st)
+	}
+	for _, row := range allTasks(t, bB, 10) {
+		j, err := m.Get(row.Job)
+		if err != nil {
+			t.Fatalf("task %d job %s evicted under a live batch: %v", row.Index, row.Job, err)
+		}
+		if _, _, err := j.Result(); err != nil {
+			t.Fatalf("task %d result: %v", row.Index, err)
+		}
+	}
+	// With both batches terminal the holds are gone: fresh submissions
+	// shrink the table back toward the bound.
+	x, o := fastDataset(9900)
+	j, err := m.Submit(x, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, Done, 60*time.Second)
+	if got := m.Len(); got > n+2 {
+		t.Fatalf("history not shrinking after batch release: %d jobs", got)
+	}
+}
+
+// TestBatchDoomedJobNotJoined: after its only batch is cancelled, an
+// in-flight job is doomed even while the learner has not yet observed
+// the cancel — a later identical task must start fresh, not join it
+// and inherit the cancellation.
+func TestBatchDoomedJobNotJoined(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, Procs: 2})
+	defer shutdown(t, m)
+
+	bA, err := m.Batches().Submit([]BatchTaskSpec{moderateTask(8100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for bA.Status().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("task never started: %+v", bA.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := m.Batches().Cancel(bA.ID()); err != nil {
+		t.Fatal(err)
+	}
+	bB, err := m.Batches().Submit([]BatchTaskSpec{moderateTask(8100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := allTasks(t, bB, 10); rows[0].Deduped {
+		t.Fatalf("fresh task joined a doomed job: %+v", rows[0])
+	}
+	if st := waitBatch(t, bB, BatchDone, 120*time.Second); st.Done != 1 {
+		t.Fatalf("fresh task did not complete: %+v", st)
+	}
+}
+
+// TestBatchSubmitValidation: empty manifests and draining managers are
+// whole-batch errors — the only two.
+func TestBatchSubmitValidation(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	if _, err := m.Batches().Submit(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Errorf("empty manifest: %v, want ErrEmptyBatch", err)
+	}
+	shutdown(t, m)
+	if _, err := m.Batches().Submit([]BatchTaskSpec{tinyTask(1)}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("submit after shutdown: %v, want ErrShuttingDown", err)
+	}
+}

@@ -44,6 +44,19 @@ import (
 //	GET    /v2/datasets         list registered datasets (MRU first)
 //	GET    /v2/datasets/{id}    dataset metadata
 //	DELETE /v2/datasets/{id}    unregister
+//
+// and the batch fleet surface (see DESIGN.md §7 for the batch model,
+// the fairness policy and the partial-failure contract):
+//
+//	POST   /v2/batches              submit a manifest: {"tasks": [{...}]},
+//	                                each task inline data or dataset_ref
+//	                                plus a spec; bad tasks land in the
+//	                                error table, never a whole-batch 400
+//	GET    /v2/batches              list batch progress counters
+//	GET    /v2/batches/{id}         one batch's counters
+//	GET    /v2/batches/{id}/tasks   per-task table, ?offset=&limit=&state=
+//	GET    /v2/batches/{id}/events  live progress counters over SSE
+//	DELETE /v2/batches/{id}         cancel queued + running tasks
 type API struct {
 	m *Manager
 }
@@ -70,6 +83,12 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/jobs/{id}/graph", a.graph)
 	mux.HandleFunc("GET /v2/jobs/{id}/events", a.events)
 	mux.HandleFunc("DELETE /v2/jobs/{id}", a.cancelV2)
+	mux.HandleFunc("POST /v2/batches", a.batchCreate)
+	mux.HandleFunc("GET /v2/batches", a.batchList)
+	mux.HandleFunc("GET /v2/batches/{id}", a.batchStatus)
+	mux.HandleFunc("GET /v2/batches/{id}/tasks", a.batchTasks)
+	mux.HandleFunc("GET /v2/batches/{id}/events", a.batchEvents)
+	mux.HandleFunc("DELETE /v2/batches/{id}", a.batchCancel)
 	mux.HandleFunc("POST /v2/datasets", a.datasetCreate)
 	mux.HandleFunc("GET /v2/datasets", a.datasetList)
 	mux.HandleFunc("GET /v2/datasets/{id}", a.datasetGet)
@@ -538,7 +557,9 @@ func (a *API) cancel(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrUnknownJob):
 		httpError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, ErrFinished):
+	case errors.Is(err, ErrFinished), errors.Is(err, ErrBatchOwned):
+		// Batch-owned is additive: v1 never minted batch jobs, so no
+		// historical v1 flow could reach it.
 		httpError(w, http.StatusConflict, "%v", err)
 	default:
 		writeJSON(w, http.StatusOK, st)
@@ -572,6 +593,7 @@ func (a *API) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"jobs":          a.m.Len(),
+		"batches":       a.m.Batches().Len(),
 		"cache_hits":    hits,
 		"cache_misses":  misses,
 		"cache_entries": entries,

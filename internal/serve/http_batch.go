@@ -1,0 +1,219 @@
+package serve
+
+// HTTP face of the batch subsystem (DESIGN.md §7). The manifest wire
+// form is least.ManifestTask — the same JSONL schema leastcli -batch
+// reads offline — restricted over HTTP to inline data and
+// dataset_ref sources (a daemon never opens client-named local files).
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro"
+)
+
+// BatchRequest is the POST /v2/batches body: the manifest, as a JSON
+// array of tasks (the JSONL manifest with lines turned into array
+// elements).
+type BatchRequest struct {
+	Tasks []least.ManifestTask `json:"tasks"`
+}
+
+// TaskPage is the GET /v2/batches/{id}/tasks payload: one page of the
+// per-task table. Total counts the rows matching the state filter, so
+// a client pages with offset += len(tasks) until offset >= total.
+type TaskPage struct {
+	Batch  string       `json:"batch"`
+	Total  int          `json:"total"`
+	Offset int          `json:"offset"`
+	Limit  int          `json:"limit"`
+	Tasks  []TaskStatus `json:"tasks"`
+}
+
+// resolveBatchTask turns one manifest entry into the admission form,
+// carrying resolution failures in Err so they become "validation" rows
+// of the batch error table instead of failing the POST.
+func (a *API) resolveBatchTask(t least.ManifestTask) BatchTaskSpec {
+	ts := BatchTaskSpec{Label: t.ID, Center: t.Center, Spec: t.Spec}
+	if err := t.Validate(); err != nil {
+		ts.Err = err
+		return ts
+	}
+	switch {
+	case len(t.In) > 0:
+		ts.Err = errors.New("in: local file sources are not accepted over HTTP; inline the data or use dataset_ref")
+	case t.DatasetRef != "":
+		ds, _, err := a.m.Dataset(t.DatasetRef)
+		if err != nil {
+			ts.Err = err
+		} else {
+			ts.Dataset = ds
+		}
+	default:
+		// The inline envelope resolves through the same ManifestTask.Data
+		// as leastcli -batch, so a given task line draws the same typed
+		// error code on both surfaces (NaN inline data included:
+		// "validation", at resolution, never "internal" at learn time).
+		ds, err := t.Data(least.DatasetOptions{})
+		if err != nil {
+			ts.Err = err
+		} else {
+			ts.Dataset = ds
+		}
+	}
+	return ts
+}
+
+func (a *API) batchCreate(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	specs := make([]BatchTaskSpec, len(req.Tasks))
+	for i, t := range req.Tasks {
+		specs[i] = a.resolveBatchTask(t)
+	}
+	b, err := a.m.Batches().Submit(specs)
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil: // empty manifest
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := b.Status()
+	code := http.StatusAccepted
+	if st.State.Terminal() { // every task resolved at admission
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (a *API) batchList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.Batches().List())
+}
+
+func (a *API) batchStatus(w http.ResponseWriter, r *http.Request) {
+	b, err := a.m.Batches().Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, b.Status())
+}
+
+// batchTasks serves one page of the per-task result/error table.
+// Defaults: offset 0, limit 100 (capped at 1000 — a 5,000-task batch
+// is paged, never one response); ?state=failed pages just the error
+// table.
+func (a *API) batchTasks(w http.ResponseWriter, r *http.Request) {
+	b, err := a.m.Batches().Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	q := r.URL.Query()
+	offset, ok := queryInt(q.Get("offset"), 0)
+	if !ok || offset < 0 {
+		httpError(w, http.StatusBadRequest, "bad offset %q", q.Get("offset"))
+		return
+	}
+	limit, ok := queryInt(q.Get("limit"), 100)
+	if !ok || limit < 1 {
+		httpError(w, http.StatusBadRequest, "bad limit %q", q.Get("limit"))
+		return
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	state := State(q.Get("state"))
+	switch state {
+	case "", Queued, Running, Done, Failed, Cancelled:
+	default:
+		httpError(w, http.StatusBadRequest, "bad state %q", q.Get("state"))
+		return
+	}
+	rows, total := b.Tasks(offset, limit, state)
+	writeJSON(w, http.StatusOK, TaskPage{
+		Batch:  b.ID(),
+		Total:  total,
+		Offset: offset,
+		Limit:  limit,
+		Tasks:  rows,
+	})
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(s string, def int) (int, bool) {
+	if s == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// batchEvents streams the batch's progress counters over Server-Sent
+// Events, reusing the coalescing-frame machinery of the per-job
+// stream: one "progress" event per observable change (slow consumers
+// coalesce to the latest snapshot), then a single terminal event named
+// after the final state ("done" / "cancelled") and EOF. Data payloads
+// are BatchStatus JSON; event ids are the batch's change sequence.
+func (a *API) batchEvents(w http.ResponseWriter, r *http.Request) {
+	b, err := a.m.Batches().Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by transport")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	ctx := r.Context()
+	seen := -1
+	for {
+		st, seq, terminal := b.Watch(ctx, seen)
+		if ctx.Err() != nil {
+			return // client went away
+		}
+		name := "progress"
+		if terminal {
+			name = string(st.State)
+		}
+		if err := writeSSE(w, name, seq, st); err != nil {
+			return
+		}
+		fl.Flush()
+		if terminal {
+			return
+		}
+		seen = seq
+	}
+}
+
+func (a *API) batchCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := a.m.Batches().Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownBatch):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrBatchFinished):
+		httpError(w, http.StatusConflict, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}

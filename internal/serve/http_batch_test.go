@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// samplesFor generates a small ER-2 sample matrix as wire rows.
+func samplesFor(seed int64, d, n int) [][]float64 {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, d, 2)
+	x := least.SampleLSEM(seed+1, truth, n, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = append([]float64(nil), x.Row(i)...)
+	}
+	return rows
+}
+
+// quickSpec is a fast-solving spec in wire form.
+const quickSpec = `{"lambda": 0.2, "epsilon": 0.001, "max_outer": 2, "max_inner": 10, "parallelism": 1, "seed": 9}`
+
+// batchTaskJSON builds one inline manifest task.
+func batchTaskJSON(id string, seed int64) map[string]any {
+	return map[string]any{
+		"id":      id,
+		"samples": samplesFor(seed, 6, 40),
+		"spec":    json.RawMessage(quickSpec),
+	}
+}
+
+func decodeBatchStatus(t *testing.T, b []byte) BatchStatus {
+	t.Helper()
+	var st BatchStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("batch status decode: %v\n%s", err, b)
+	}
+	return st
+}
+
+// pollBatch polls GET /v2/batches/{id} until the batch reaches want.
+func pollBatch(t *testing.T, base, id string, want BatchState, timeout time.Duration) BatchStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, b := doJSON(t, http.MethodGet, base+"/v2/batches/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("poll batch %s: HTTP %d\n%s", id, code, b)
+		}
+		st := decodeBatchStatus(t, b)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("batch %s terminal in %s, want %s: %+v", id, st.State, want, st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch %s stuck in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHTTPBatchLifecycle drives the acceptance path over the wire:
+// submit a manifest with repeats and broken tasks → 202, watch
+// progress, page the per-task table, read the error table through the
+// state filter, and fetch a learned graph through the shared job id.
+func TestHTTPBatchLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	tasks := []map[string]any{
+		batchTaskJSON("u0-a", 900), // unique task, repeated twice below
+		batchTaskJSON("u1", 910),
+		batchTaskJSON("u0-b", 900), // identical to u0-a: must dedupe
+		{"id": "no-source"},
+		{"id": "local-file", "in": []string{"/etc/passwd"}},
+		{"id": "bad-ref", "dataset_ref": "d-nope", "samples": nil},
+		// NaN inline data is a *validation* failure at resolution, the
+		// same code leastcli -batch draws for the same manifest line —
+		// never an "internal" learner error.
+		{"id": "nan-inline", "csv": "1,nan\n2,3\n3,4\n"},
+	}
+	code, body := doJSON(t, http.MethodPost, base+"/v2/batches", map[string]any{"tasks": tasks})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, body)
+	}
+	st := decodeBatchStatus(t, body)
+	if st.ID == "" || st.Total != 7 || st.Failed != 4 {
+		t.Fatalf("admission snapshot: %+v", st)
+	}
+
+	st = pollBatch(t, base, st.ID, BatchDone, 60*time.Second)
+	if st.Done != 3 || st.Failed != 4 || st.Deduped != 1 {
+		t.Fatalf("final counters: %+v", st)
+	}
+
+	// The batch shows up in the listing.
+	code, body = doJSON(t, http.MethodGet, base+"/v2/batches", nil)
+	var listed []BatchStatus
+	if code != http.StatusOK || json.Unmarshal(body, &listed) != nil || len(listed) != 1 || listed[0].ID != st.ID {
+		t.Fatalf("list: HTTP %d\n%s", code, body)
+	}
+
+	// Page the task table two rows at a time.
+	var rows []TaskStatus
+	for offset := 0; ; {
+		code, body = doJSON(t, http.MethodGet,
+			fmt.Sprintf("%s/v2/batches/%s/tasks?offset=%d&limit=2", base, st.ID, offset), nil)
+		if code != http.StatusOK {
+			t.Fatalf("tasks page: HTTP %d\n%s", code, body)
+		}
+		var page TaskPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != 7 || page.Limit != 2 {
+			t.Fatalf("page envelope: %+v", page)
+		}
+		rows = append(rows, page.Tasks...)
+		offset += len(page.Tasks)
+		if offset >= page.Total {
+			break
+		}
+	}
+	if len(rows) != 7 {
+		t.Fatalf("paged %d rows, want 7", len(rows))
+	}
+	if !rows[2].Deduped || rows[2].Job == "" || rows[2].Job != rows[0].Job {
+		t.Errorf("repeat task did not share its twin's job: %+v vs %+v", rows[2], rows[0])
+	}
+	for i := 3; i < 7; i++ {
+		if rows[i].State != Failed || rows[i].Code != TaskCodeValidation || rows[i].Error == "" {
+			t.Errorf("broken task %d: %+v", i, rows[i])
+		}
+	}
+
+	// The error table alone.
+	code, body = doJSON(t, http.MethodGet, base+"/v2/batches/"+st.ID+"/tasks?state=failed", nil)
+	var failedPage TaskPage
+	if code != http.StatusOK || json.Unmarshal(body, &failedPage) != nil || failedPage.Total != 4 || len(failedPage.Tasks) != 4 {
+		t.Fatalf("failed filter: HTTP %d\n%s", code, body)
+	}
+
+	// A finished task's network is one GET away via its job id.
+	code, body = doJSON(t, http.MethodGet, base+"/v2/jobs/"+rows[0].Job+"/graph?tau=0.3", nil)
+	var g wireGraph
+	if code != http.StatusOK || json.Unmarshal(body, &g) != nil || len(g.Nodes) != 6 {
+		t.Fatalf("graph of batch task: HTTP %d\n%s", code, body)
+	}
+
+	// A late SSE subscriber gets exactly the terminal snapshot.
+	resp, err := http.Get(base + "/v2/batches/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	events := readSSE(t, bufio.NewReader(resp.Body), 10)
+	if len(events) != 1 || events[0].name != string(BatchDone) {
+		t.Fatalf("late subscriber events: %+v", events)
+	}
+	var final BatchStatus
+	if err := json.Unmarshal([]byte(events[0].data), &final); err != nil || final.Done != 3 {
+		t.Fatalf("terminal payload: %v\n%s", err, events[0].data)
+	}
+}
+
+// TestHTTPBatchThousandTasks is the acceptance criterion verbatim: a
+// 1,000-task POST with 100 unique tasks completes with exactly 100
+// cache-miss solves, per-task results pageable over the wire, and a
+// working follow-up cancel path (already terminal → 409).
+func TestHTTPBatchThousandTasks(t *testing.T) {
+	srv, m := newTestServer(t)
+	base := srv.URL
+	const unique, repeats = 100, 10
+
+	uniqueTasks := make([]map[string]any, unique)
+	for u := range uniqueTasks {
+		uniqueTasks[u] = batchTaskJSON("", int64(10000+10*u))
+	}
+	tasks := make([]map[string]any, 0, unique*repeats)
+	for r := 0; r < repeats; r++ {
+		for u, task := range uniqueTasks {
+			clone := map[string]any{"id": fmt.Sprintf("r%02du%03d", r, u)}
+			for k, v := range task {
+				if k != "id" {
+					clone[k] = v
+				}
+			}
+			tasks = append(tasks, clone)
+		}
+	}
+	code, body := doJSON(t, http.MethodPost, base+"/v2/batches", map[string]any{"tasks": tasks})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, body)
+	}
+	st := pollBatch(t, base, decodeBatchStatus(t, body).ID, BatchDone, 300*time.Second)
+	if st.Total != unique*repeats || st.Done != st.Total || st.Failed != 0 {
+		t.Fatalf("final counters: %+v", st)
+	}
+	if st.Deduped != unique*(repeats-1) {
+		t.Errorf("deduped = %d, want %d", st.Deduped, unique*(repeats-1))
+	}
+	jobs := map[string]bool{}
+	seen := 0
+	for offset := 0; ; {
+		code, body := doJSON(t, http.MethodGet,
+			fmt.Sprintf("%s/v2/batches/%s/tasks?offset=%d&limit=250", base, st.ID, offset), nil)
+		if code != http.StatusOK {
+			t.Fatalf("tasks page: HTTP %d\n%s", code, body)
+		}
+		var page TaskPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range page.Tasks {
+			if row.State != Done || row.Job == "" {
+				t.Fatalf("task %d: %+v", row.Index, row)
+			}
+			jobs[row.Job] = true
+		}
+		seen += len(page.Tasks)
+		offset += len(page.Tasks)
+		if offset >= page.Total {
+			break
+		}
+	}
+	if seen != unique*repeats || len(jobs) != unique {
+		t.Fatalf("paged %d rows over %d distinct jobs, want %d rows / exactly %d solves",
+			seen, len(jobs), unique*repeats, unique)
+	}
+	if _, misses, _ := m.CacheStats(); misses != unique {
+		t.Errorf("cache misses = %d, want exactly %d", misses, unique)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, base+"/v2/batches/"+st.ID, nil); code != http.StatusConflict {
+		t.Errorf("cancel of completed fleet: HTTP %d, want 409", code)
+	}
+}
+
+// TestHTTPBatchCancelMidFlight: a live SSE subscriber observes the
+// cancellation of a running batch, DELETE is idempotent, and a done
+// batch refuses cancellation with 409.
+func TestHTTPBatchCancelMidFlight(t *testing.T) {
+	srv, m := newTestServer(t)
+	base := srv.URL
+
+	// Park the single pool slot so the batch stays queued while the
+	// subscriber attaches.
+	xs, os := slowDataset(920)
+	blocker, err := m.Submit(xs, nil, os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Running, 10*time.Second)
+
+	tasks := []map[string]any{batchTaskJSON("c0", 930), batchTaskJSON("c1", 940)}
+	code, body := doJSON(t, http.MethodPost, base+"/v2/batches", map[string]any{"tasks": tasks})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, body)
+	}
+	st := decodeBatchStatus(t, body)
+
+	resp, err := http.Get(base + "/v2/batches/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+	first := readSSE(t, r, 1)
+	if len(first) != 1 || first[0].name != "progress" {
+		t.Fatalf("first frame: %+v", first)
+	}
+
+	code, body = doJSON(t, http.MethodDelete, base+"/v2/batches/"+st.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d\n%s", code, body)
+	}
+	if got := decodeBatchStatus(t, body); got.State != BatchCancelled || got.Cancelled != 2 {
+		t.Fatalf("cancel snapshot: %+v", got)
+	}
+	events := readSSE(t, r, 10)
+	if len(events) == 0 || events[len(events)-1].name != string(BatchCancelled) {
+		t.Fatalf("subscriber missed the cancellation: %+v", events)
+	}
+	// Idempotent re-cancel.
+	if code, body = doJSON(t, http.MethodDelete, base+"/v2/batches/"+st.ID, nil); code != http.StatusOK {
+		t.Fatalf("re-cancel: HTTP %d\n%s", code, body)
+	}
+	if _, err := m.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A completed batch refuses cancellation.
+	code, body = doJSON(t, http.MethodPost, base+"/v2/batches",
+		map[string]any{"tasks": []map[string]any{batchTaskJSON("d0", 950)}})
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit: HTTP %d\n%s", code, body)
+	}
+	done := decodeBatchStatus(t, body)
+	pollBatch(t, base, done.ID, BatchDone, 60*time.Second)
+	if code, body = doJSON(t, http.MethodDelete, base+"/v2/batches/"+done.ID, nil); code != http.StatusConflict {
+		t.Fatalf("cancel done batch: HTTP %d\n%s", code, body)
+	}
+}
+
+// TestHTTPBatchBadRequests covers the whole-request failure modes —
+// everything else must degrade to per-task error rows.
+func TestHTTPBatchBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"empty manifest", map[string]any{"tasks": []map[string]any{}}},
+		{"missing tasks key", map[string]any{}},
+		{"unknown top-level key", map[string]any{"task": []map[string]any{}}},
+	}
+	for _, c := range cases {
+		if code, body := doJSON(t, http.MethodPost, base+"/v2/batches", c.body); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d\n%s", c.name, code, body)
+		}
+	}
+	if code, _ := doJSON(t, http.MethodGet, base+"/v2/batches/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown batch status: HTTP %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, base+"/v2/batches/nope/tasks", nil); code != http.StatusNotFound {
+		t.Errorf("unknown batch tasks: HTTP %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, base+"/v2/batches/nope", nil); code != http.StatusNotFound {
+		t.Errorf("unknown batch cancel: HTTP %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, base+"/v2/batches/nope/events", nil); code != http.StatusNotFound {
+		t.Errorf("unknown batch events: HTTP %d", code)
+	}
+
+	// Parameter validation on a real batch.
+	code, body := doJSON(t, http.MethodPost, base+"/v2/batches",
+		map[string]any{"tasks": []map[string]any{batchTaskJSON("p0", 960)}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, body)
+	}
+	id := decodeBatchStatus(t, body).ID
+	for _, q := range []string{"offset=-1", "offset=x", "limit=0", "limit=x", "state=bogus"} {
+		if code, body := doJSON(t, http.MethodGet, base+"/v2/batches/"+id+"/tasks?"+q, nil); code != http.StatusBadRequest {
+			t.Errorf("?%s: HTTP %d\n%s", q, code, body)
+		}
+	}
+}

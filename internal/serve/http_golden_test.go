@@ -147,7 +147,12 @@ const goldenOutOfRangeOption = `{
 }
 `
 
+// healthz is a liveness endpoint, not part of the frozen v1 job
+// surface: keys are additive ("batches" arrived with the PR 5 fleet
+// subsystem). The golden still pins the exact shape so additions stay
+// deliberate.
 const goldenHealth = `{
+  "batches": 0,
   "cache_entries": 1,
   "cache_hits": 1,
   "cache_misses": 2,

@@ -54,6 +54,11 @@ var (
 	ErrQueueFull = errors.New("serve: job queue full")
 	// ErrShuttingDown is returned by Submit after Shutdown started.
 	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrBatchOwned is returned by Cancel for a job still held by one
+	// or more live batches: deduplicated jobs are shared, so a direct
+	// DELETE /v2/jobs/{id} must not sabotage another batch's tasks —
+	// cancel the batch instead (DELETE /v2/batches/{id}).
+	ErrBatchOwned = errors.New("serve: job belongs to a live batch; cancel the batch instead")
 	// ErrNotDone is returned by Result for a job without a result yet.
 	ErrNotDone = errors.New("serve: job not done")
 )
@@ -80,6 +85,17 @@ type Config struct {
 	// by-reference submissions (POST /v2/datasets): 0 picks the default
 	// (32), negative disables the store.
 	DatasetCapacity int
+	// BatchBacklog bounds the queued-but-not-started jobs across all
+	// admitted batches (default 16384). QueueDepth does not apply to
+	// batch tasks — a batch is admitted as a whole and holds its own
+	// lane — but past this bound further tasks of a manifest are shed
+	// individually with a typed "shed" entry in the batch error table
+	// instead of a whole-batch 503 (DESIGN.md §7).
+	BatchBacklog int
+	// MaxBatches bounds the finished-batch metadata kept for status
+	// queries (default 64); the oldest terminal batches are evicted
+	// first, never in-progress ones.
+	MaxBatches int
 	// Procs overrides the detected core count used for per-job
 	// parallelism capping (tests only; default runtime.GOMAXPROCS).
 	Procs int
@@ -100,6 +116,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DatasetCapacity == 0 {
 		c.DatasetCapacity = 32
+	}
+	if c.BatchBacklog <= 0 {
+		c.BatchBacklog = 16384
+	}
+	if c.MaxBatches <= 0 {
+		c.MaxBatches = 64
 	}
 	if c.Procs <= 0 {
 		c.Procs = runtime.GOMAXPROCS(0)
@@ -131,6 +153,53 @@ type Job struct {
 	result   *least.Result
 	err      error
 	cancel   context.CancelFunc
+
+	// observers fire on state transitions (queued→running and →any
+	// terminal state), outside j.mu on the transitioning goroutine —
+	// the primitive batches use to aggregate per-task progress without
+	// one watcher goroutine per job (DESIGN.md §7).
+	observers []func(Status)
+	// waiters counts the live batches holding this job: batch-created
+	// jobs are shared through the in-flight dedup table, and a
+	// cancelled batch only cancels a job nobody else still wants.
+	// Always 0 for interactive (v1/v2 single-job) submissions.
+	waiters int
+}
+
+// observe registers fn to run after every subsequent state transition
+// of the job, and invokes it once immediately with the current
+// snapshot (so subscribing to an already-terminal job still delivers
+// exactly one final state). Deliveries can race a concurrent
+// transition, so consumers must treat updates as monotonic — ignore
+// anything after a terminal state.
+func (j *Job) observe(fn func(Status)) {
+	j.mu.Lock()
+	j.observers = append(j.observers, fn)
+	st := j.statusLocked()
+	j.mu.Unlock()
+	fn(st)
+}
+
+// evictable reports whether history eviction may drop the job:
+// terminal and not held by any live batch.
+func (j *Job) evictable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && j.waiters == 0
+}
+
+// transitionObserversLocked snapshots the observer list and status for
+// invocation after j.mu is released.
+func (j *Job) transitionObserversLocked() ([]func(Status), Status) {
+	return j.observers, j.statusLocked()
+}
+
+// notifyTransition invokes a snapshot taken by
+// transitionObserversLocked. Must be called without j.mu held.
+func notifyTransition(obs []func(Status), st Status) {
+	for _, fn := range obs {
+		fn(st)
+	}
 }
 
 // ID returns the job's identifier.
@@ -237,21 +306,38 @@ func (j *Job) Result() (*least.Result, []string, error) {
 	return j.result, j.names, nil
 }
 
-// Manager owns the job table, the admission queue, the worker pool and
-// the result cache. It is safe for concurrent use by HTTP handlers.
+// jobQueue is one FIFO lane of the round-robin scheduler: the
+// interactive lane (id "") shared by every v1/v2 single-job
+// submission, or one lane per admitted batch. Workers pop lanes in
+// round-robin order, one job per visit, so a 5,000-task batch cannot
+// starve a 3-task batch or an interactive submission (DESIGN.md §7).
+type jobQueue struct {
+	id   string // "" = interactive; otherwise the owning batch id
+	jobs []*Job
+}
+
+// Manager owns the job table, the admission queues, the worker pool
+// and the result cache. It is safe for concurrent use by HTTP
+// handlers.
 type Manager struct {
 	cfg      Config
 	cache    *resultCache
 	datasets *datasetStore
+	batches  *BatchManager
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
-	cond     *sync.Cond // signaled on pending-queue pushes and on drain
+	cond     *sync.Cond // signaled on queue pushes and on drain
 	jobs     map[string]*Job
-	order    []string // submission order, for listing + history eviction
-	pending  []*Job   // FIFO admission queue; Cancel removes in place
+	order    []string        // submission order, for listing + history eviction
+	iq       jobQueue        // the interactive lane (QueueDepth applies here)
+	runq     []*jobQueue     // active (non-empty) lanes, in round-robin order
+	rr       int             // next lane to serve
+	nqueued  int             // queued jobs across all lanes
+	nbatchq  int             // queued jobs across batch lanes (BatchBacklog)
+	inflight map[string]*Job // cache key → queued/running batch job (dedup)
 	nextID   int
 	draining bool
 
@@ -269,14 +355,72 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
 	}
 	m.datasets = newDatasetStore(cfg.DatasetCapacity)
+	m.batches = newBatchManager(m)
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+// Batches returns the manager's batch subsystem (POST /v2/batches).
+func (m *Manager) Batches() *BatchManager { return m.batches }
+
+// enqueueLocked appends j to lane q, activating the lane in the
+// round-robin ring if it was idle. Caller holds m.mu.
+func (m *Manager) enqueueLocked(q *jobQueue, j *Job) {
+	if len(q.jobs) == 0 {
+		m.runq = append(m.runq, q)
+	}
+	q.jobs = append(q.jobs, j)
+	m.nqueued++
+	if q.id != "" {
+		m.nbatchq++
+	}
+	m.cond.Signal()
+}
+
+// popLocked removes and returns the next queued job, serving lanes
+// round-robin (nil when every lane is idle). Caller holds m.mu.
+func (m *Manager) popLocked() *Job {
+	if len(m.runq) == 0 {
+		return nil
+	}
+	if m.rr >= len(m.runq) {
+		m.rr = 0
+	}
+	i := m.rr
+	q := m.runq[i]
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	m.nqueued--
+	if q.id != "" {
+		m.nbatchq--
+	}
+	if len(q.jobs) == 0 {
+		m.removeLaneLocked(i) // rr now points at the shifted next lane
+	} else {
+		m.rr = (i + 1) % len(m.runq)
+	}
+	return j
+}
+
+// removeLaneLocked drops the emptied lane at ring index i, keeping the
+// round-robin cursor on the lane that followed it. Caller holds m.mu.
+func (m *Manager) removeLaneLocked(i int) {
+	m.runq = append(m.runq[:i], m.runq[i+1:]...)
+	if i < m.rr {
+		m.rr--
+	}
+	if len(m.runq) == 0 {
+		m.rr = 0
+	} else {
+		m.rr %= len(m.runq)
+	}
 }
 
 // Submit admits a learn task configured by legacy least.Options.
@@ -342,29 +486,7 @@ func (m *Manager) submitMatrix(x *least.Matrix, names []string, spec *least.Spec
 // (dataset fingerprint, center, canonical spec), so the same data
 // submitted inline and by reference lands on the same entry.
 func (m *Manager) SubmitDataset(ds least.Dataset, spec *least.Spec, center bool) (*Job, error) {
-	if spec == nil {
-		spec = &least.Spec{}
-	}
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	if ds == nil {
-		return nil, errors.New("serve: nil dataset")
-	}
-	n, d := ds.Dims()
-	if n == 0 || d == 0 {
-		return nil, errors.New("serve: empty sample matrix")
-	}
-	if d < 2 {
-		return nil, fmt.Errorf("serve: need at least 2 variables, got %d", d)
-	}
-	if names := ds.Names(); names != nil && len(names) != d {
-		return nil, fmt.Errorf("serve: %d names for %d variables", len(names), d)
-	}
-	if err := spec.ValidateFor(d); err != nil {
-		return nil, err // doomed submission: reject now, not as a failed job
-	}
-	key, err := CacheKeyDataset(ds, center, spec)
+	spec, key, err := prepareSubmission(ds, center, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -375,6 +497,57 @@ func (m *Manager) SubmitDataset(ds least.Dataset, spec *least.Spec, center bool)
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
+	j := m.makeJobLocked(ds, spec, center, key, now)
+	if !j.cached && len(m.iq.jobs) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	m.insertLocked(j)
+	if !j.cached {
+		m.enqueueLocked(&m.iq, j)
+	}
+	m.mu.Unlock()
+	return j, nil
+}
+
+// prepareSubmission applies the spec- and dataset-level admission
+// checks shared by single-job and batch submissions, resolving a nil
+// spec to the all-defaults one and computing the result-cache key.
+func prepareSubmission(ds least.Dataset, center bool, spec *least.Spec) (*least.Spec, string, error) {
+	if spec == nil {
+		spec = &least.Spec{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, "", err
+	}
+	if ds == nil {
+		return nil, "", errors.New("serve: nil dataset")
+	}
+	n, d := ds.Dims()
+	if n == 0 || d == 0 {
+		return nil, "", errors.New("serve: empty sample matrix")
+	}
+	if d < 2 {
+		return nil, "", fmt.Errorf("serve: need at least 2 variables, got %d", d)
+	}
+	if names := ds.Names(); names != nil && len(names) != d {
+		return nil, "", fmt.Errorf("serve: %d names for %d variables", len(names), d)
+	}
+	if err := spec.ValidateFor(d); err != nil {
+		return nil, "", err // doomed submission: reject now, not as a failed job
+	}
+	key, err := CacheKeyDataset(ds, center, spec)
+	if err != nil {
+		return nil, "", err
+	}
+	return spec, key, nil
+}
+
+// makeJobLocked allocates a job in the queued state — or born done
+// when the result cache already holds the answer. The caller decides
+// whether to insert and enqueue it. Caller holds m.mu.
+func (m *Manager) makeJobLocked(ds least.Dataset, spec *least.Spec, center bool, key string, now time.Time) *Job {
+	n, d := ds.Dims()
 	m.nextID++
 	j := &Job{
 		id:      fmt.Sprintf("j%08d", m.nextID),
@@ -397,17 +570,7 @@ func (m *Manager) SubmitDataset(ds least.Dataset, spec *least.Spec, center bool)
 		j.started, j.finished = now, now
 		j.data = nil
 	}
-	if !j.cached && len(m.pending) >= m.cfg.QueueDepth {
-		m.mu.Unlock()
-		return nil, ErrQueueFull
-	}
-	m.insertLocked(j)
-	if !j.cached {
-		m.pending = append(m.pending, j)
-		m.cond.Signal()
-	}
-	m.mu.Unlock()
-	return j, nil
+	return j
 }
 
 // Get looks a job up by id.
@@ -454,6 +617,10 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		return Status{}, err
 	}
 	j.mu.Lock()
+	if j.waiters > 0 && (j.state == Queued || j.state == Running) {
+		j.mu.Unlock()
+		return j.Status(), ErrBatchOwned
+	}
 	switch j.state {
 	case Queued:
 		j.state = Cancelled
@@ -461,12 +628,15 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.err = context.Canceled
 		j.data = nil
 		j.notifyLocked()
+		obs, st := j.transitionObserversLocked()
 		j.mu.Unlock()
 		// Free the admission slot right away so the cancelled job
 		// cannot keep load-shedding new submissions.
 		m.mu.Lock()
 		m.dropPendingLocked(j)
+		m.dropInflightLocked(j)
 		m.mu.Unlock()
+		notifyTransition(obs, st)
 		return j.Status(), nil
 	case Running:
 		if j.cancel != nil {
@@ -505,8 +675,13 @@ func (m *Manager) Shutdown(ctx context.Context) {
 		return
 	}
 	m.draining = true
-	queued := m.pending
-	m.pending = nil
+	var queued []*Job
+	for _, q := range m.runq {
+		queued = append(queued, q.jobs...)
+		q.jobs = nil
+	}
+	m.runq, m.rr, m.nqueued, m.nbatchq = nil, 0, 0, 0
+	clear(m.inflight)  // no submissions can join an in-flight job now
 	m.cond.Broadcast() // wake every idle worker so it can exit
 	m.mu.Unlock()
 
@@ -518,6 +693,10 @@ func (m *Manager) Shutdown(ctx context.Context) {
 			j.err = ErrShuttingDown
 			j.data = nil
 			j.notifyLocked()
+			obs, st := j.transitionObserversLocked()
+			j.mu.Unlock()
+			notifyTransition(obs, st)
+			continue
 		}
 		j.mu.Unlock()
 	}
@@ -541,22 +720,22 @@ func (m *Manager) awaitDrain(ctx context.Context) {
 	m.baseCancel()
 }
 
-// worker is one pool slot: it pops admitted jobs until shutdown. The
-// queued → running transition happens under m.mu, so it serializes
-// against Shutdown — once draining is set no new job can start.
+// worker is one pool slot: it pops admitted jobs, round-robin across
+// lanes, until shutdown. The queued → running transition happens under
+// m.mu, so it serializes against Shutdown — once draining is set no
+// new job can start.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.pending) == 0 && !m.draining {
+		for m.nqueued == 0 && !m.draining {
 			m.cond.Wait()
 		}
 		if m.draining {
 			m.mu.Unlock()
 			return
 		}
-		j := m.pending[0]
-		m.pending = m.pending[1:]
+		j := m.popLocked()
 		j.mu.Lock()
 		if j.state != Queued { // raced with a cancel
 			j.mu.Unlock()
@@ -568,10 +747,12 @@ func (m *Manager) worker() {
 		j.state = Running
 		j.started = time.Now()
 		j.notifyLocked()
+		obs, st := j.transitionObserversLocked()
 		data := j.data
 		spec := j.spec
 		j.mu.Unlock()
 		m.mu.Unlock()
+		notifyTransition(obs, st)
 
 		m.runJob(j, ctx, cancel, data, spec)
 	}
@@ -616,25 +797,69 @@ func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc,
 		j.err = err
 	}
 	j.notifyLocked()
+	obs, st := j.transitionObserversLocked()
 	j.mu.Unlock()
+	// The result (if any) is cached before the in-flight entry drops,
+	// so a racing batch admission finds the work either in flight or
+	// in the cache — never neither.
+	m.mu.Lock()
+	m.dropInflightLocked(j)
+	m.mu.Unlock()
+	notifyTransition(obs, st)
 }
 
-// dropPendingLocked removes a job from the admission queue (caller
+// dropInflightLocked removes j from the in-flight dedup table if it is
+// still the registered holder of its key. Caller holds m.mu.
+func (m *Manager) dropInflightLocked(j *Job) {
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+}
+
+// dropPendingLocked removes a job from whichever lane holds it (caller
 // holds m.mu; no-op when a worker already popped it).
 func (m *Manager) dropPendingLocked(j *Job) {
-	for i, p := range m.pending {
-		if p == j {
-			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+	for qi, q := range m.runq {
+		for i, p := range q.jobs {
+			if p != j {
+				continue
+			}
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			m.nqueued--
+			if q.id != "" {
+				m.nbatchq--
+			}
+			if len(q.jobs) == 0 {
+				m.removeLaneLocked(qi)
+			}
 			return
 		}
 	}
 }
 
 // insertLocked records a job and evicts the oldest terminal jobs past
-// the history bound. Caller holds m.mu.
+// the history bound. Caller holds m.mu. Bulk admission (batches)
+// records with recordLocked instead and runs one evictHistoryLocked
+// pass at the end — the per-insert scan is O(len(jobs)) and would make
+// a 5,000-task admission quadratic under m.mu.
 func (m *Manager) insertLocked(j *Job) {
+	m.recordLocked(j)
+	m.evictHistoryLocked()
+}
+
+// recordLocked adds a job to the table without the eviction pass.
+// Caller holds m.mu.
+func (m *Manager) recordLocked(j *Job) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+}
+
+// evictHistoryLocked drops the oldest evictable jobs past the history
+// bound. Caller holds m.mu. Jobs a live batch still holds are never
+// evicted, even terminal ones: the batch's task table names them
+// (graph fetches resolve through /v2/jobs/{id}), and the batch
+// releases its holds the moment it reaches a terminal state.
+func (m *Manager) evictHistoryLocked() {
 	if len(m.jobs) <= m.cfg.MaxHistory {
 		return
 	}
@@ -642,7 +867,7 @@ func (m *Manager) insertLocked(j *Job) {
 	excess := len(m.jobs) - m.cfg.MaxHistory
 	for _, id := range m.order {
 		old := m.jobs[id]
-		if excess > 0 && old.Status().State.Terminal() {
+		if excess > 0 && old.evictable() {
 			delete(m.jobs, id)
 			excess--
 			continue

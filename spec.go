@@ -871,3 +871,68 @@ func (o Options) BaselineSpec() *Spec {
 		parallelism: &n.Parallelism,
 	}
 }
+
+// ManifestTask is one entry of a fleet manifest — the unit of batch
+// fleet learning (DESIGN.md §7). A manifest is JSONL: one task per
+// line, each naming a data source plus the Spec to learn with.
+// Exactly one data source must be set:
+//
+//   - In: local CSV/JSONL shard paths (offline fleets, leastcli -batch)
+//   - CSV / Samples: inline data (POST /v2/batches)
+//   - DatasetRef: a dataset registered with POST /v2/datasets
+//
+// A missing "spec" key learns MethodLEAST with all defaults.
+type ManifestTask struct {
+	// ID labels the task in reports and the batch task table; it does
+	// not affect learning or the dedupe identity.
+	ID string `json:"id,omitempty"`
+	// In lists local sample files forming one logical dataset (CSV, or
+	// .jsonl/.ndjson by extension), as in leastcli -in.
+	In []string `json:"in,omitempty"`
+	// Header marks a leading CSV name row (In and CSV sources).
+	Header bool `json:"header,omitempty"`
+	// CSV is a complete inline CSV document.
+	CSV string `json:"csv,omitempty"`
+	// Samples is the dense inline alternative: row-major observations.
+	Samples [][]float64 `json:"samples,omitempty"`
+	// Names labels the variables (optional; explicit names win over a
+	// header row).
+	Names []string `json:"names,omitempty"`
+	// DatasetRef names a dataset registered on the serving daemon.
+	DatasetRef string `json:"dataset_ref,omitempty"`
+	// Center subtracts column means before learning.
+	Center bool `json:"center,omitempty"`
+	// Spec configures the learn; nil means MethodLEAST with defaults.
+	Spec *Spec `json:"spec,omitempty"`
+}
+
+// Validate checks that the task names exactly one data source and that
+// an explicit spec validates. It does not open files or resolve
+// dataset references — that is the consumer's admission step, so a
+// broken task fails inside its batch's error table instead of sinking
+// the whole manifest.
+func (t *ManifestTask) Validate() error {
+	sources := 0
+	if len(t.In) > 0 {
+		sources++
+	}
+	if t.CSV != "" {
+		sources++
+	}
+	if t.Samples != nil {
+		sources++
+	}
+	if t.DatasetRef != "" {
+		sources++
+	}
+	switch {
+	case sources == 0:
+		return errors.New("least: manifest task: missing data source (in, csv, samples or dataset_ref)")
+	case sources > 1:
+		return errors.New("least: manifest task: in, csv, samples and dataset_ref are mutually exclusive")
+	}
+	if t.Spec != nil {
+		return t.Spec.Validate()
+	}
+	return nil
+}
