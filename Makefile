@@ -60,22 +60,25 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'SpectralGradSparse|SparseLossGrad|SparseTranspose' -benchmem .
 
-# The PR-4 dataset benchmarks — streaming-ingest throughput and the
-# Gram-vs-dense per-iteration loss cost — as machine-readable JSON:
-# the start of the repo's perf trajectory (one BENCH_PR<N>.json per
-# perf-relevant PR; compare them across checkouts).
+# The perf-trajectory benchmarks — streaming-ingest throughput, the
+# Gram-vs-dense per-iteration loss cost (now through the allocation-
+# free evaluator) and the PR-6 GEMM trio (tiled vs reference kernel,
+# batched small-d fleets) — as machine-readable JSON: one
+# BENCH_PR<N>.json per perf-relevant PR; compare them across checkouts
+# (BENCH_PR4.json stays committed as the pre-tiling trajectory point).
 bench-json:
-	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram' -benchmem . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
+	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram|GEMM' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"
 
-# Nightly perf gate: re-run the Gram-loss benchmarks and fail on a >2x
-# ns/op regression against the committed BENCH_PR4.json trajectory
-# point. Deliberately not part of `ci` — shared-runner timing noise
-# would flake the PR gate, so the nightly workflow owns this check.
+# Nightly perf gate: re-run the Gram-loss and GEMM benchmarks and fail
+# on a >2x ns/op regression against the committed BENCH_PR6.json
+# trajectory point. Deliberately not part of `ci` — shared-runner
+# timing noise would flake the PR gate, so the nightly workflow owns
+# this check.
 bench-check:
-	$(GO) test -run xxx -bench 'LossGram' -benchmem . \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -filter 'LossGram' -max-ratio 2
+	$(GO) test -run xxx -bench 'LossGram|GEMM' -benchmem . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_PR6.json -filter 'LossGram|GEMM' -max-ratio 2
 
 # Worker-count sweep on this machine (pick Options.Parallelism).
 sweep:

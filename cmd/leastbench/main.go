@@ -22,6 +22,7 @@
 //	movielens-edges Table IV top learned edges (E8)
 //	movielens-graph Fig 8 neighbourhood + degree analysis (E9)
 //	par-sweep       parallel sparse backend: kernel time vs workers
+//	gemm-sweep      dense GEMM: tiled vs reference kernel, batched small-d fleets
 //	fleet-sweep     batch fleet learning: networks/sec vs batch size × workers
 //	all             everything above in order
 package main
@@ -92,12 +93,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"movielens-edges": func() { experiments.MovielensEdges(scale, *seed, stdout) },
 		"movielens-graph": func() { experiments.MovielensGraph(scale, *seed, stdout) },
 		"par-sweep":       func() { experiments.ParSweep(scale, *seed, workers, *sweepD, stdout) },
+		"gemm-sweep":      func() { experiments.GemmSweep(scale, *seed, workers, stdout) },
 		"fleet-sweep":     func() { fleet.Sweep(scale, *seed, workers, batchSizes, stdout) },
 	}
 	order := []string{
 		"fig4-accuracy", "fig4-time", "fig5", "genes",
 		"booking-cases", "booking-pie", "movielens-edges", "movielens-graph",
-		"par-sweep", "fleet-sweep",
+		"par-sweep", "gemm-sweep", "fleet-sweep",
 	}
 
 	if *exp == "all" {

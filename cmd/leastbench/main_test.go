@@ -55,6 +55,20 @@ func TestParseCounts(t *testing.T) {
 	}
 }
 
+func TestRunGemmSweep(t *testing.T) {
+	// ci scale keeps the largest product at d=256; the flag path and
+	// table shape, not the speedups, are what this smoke test pins.
+	code, out, errb := capture("-exp", "gemm-sweep", "-scale", "ci", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"== gemm-sweep", "instance:", "square d=", "speedup=", "fleet", "tasks/s=", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunFleetSweep(t *testing.T) {
 	// A 2-task fleet on one worker: the flag path and table shape, not
 	// the throughput numbers, are what this smoke test pins.

@@ -90,6 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cache := fs.Int("cache", 64, "result-cache capacity in entries (-1 disables)")
 	datasets := fs.Int("datasets", 32, "registered-dataset store capacity in entries (-1 disables)")
 	backlog := fs.Int("batch-backlog", 16384, "queued-task bound across all batches before per-task shedding")
+	fleetDim := fs.Int("fleet-dim", 64, "gang-schedule batch tasks with at most this many variables (-1 disables)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for running jobs")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -108,6 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		CacheSize:       *cache,
 		DatasetCapacity: *datasets,
 		BatchBacklog:    *backlog,
+		FleetDim:        *fleetDim,
 	})
 	srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
 

@@ -77,7 +77,11 @@ func BenchmarkLossDenseRows(b *testing.B) {
 
 // BenchmarkLossGram is the sufficient-statistics evaluation of the
 // same loss: O(d³) however many rows were ingested, so the n=2k and
-// n=16k series should time identically.
+// n=16k series should time identically. It runs through the reusable
+// evaluator the learners use (loss.GramEval): after the warm-up call
+// the steady state must be 0 allocs/op — the G·W product lands in the
+// evaluator's workspace and the tiled kernel's packing buffer comes
+// from a pool (DESIGN.md §9).
 func BenchmarkLossGram(b *testing.B) {
 	for _, n := range []int{2_048, 16_384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -89,9 +93,11 @@ func BenchmarkLossGram(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			ev := loss.NewGramEval(ls, st)
+			ev.ValueGrad(w) // warm the workspace before the timer
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ls.ValueGradGram(w, st)
+				ev.ValueGrad(w)
 			}
 		})
 	}

@@ -1,0 +1,74 @@
+package least
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// The PR-6 GEMM benchmark trio behind `make bench-json`: the
+// register-blocked tiled kernel against the pre-tiling reference at
+// the d=512 acceptance size, and the batched small-d fleet shape that
+// internal/serve's gang lanes feed through mat.BatchMul. Operands are
+// unit normals — denormal inputs trip microcode assists and would
+// swamp the kernel timing (DESIGN.md §9).
+
+func benchDense(rng *randx.RNG, d int) *mat.Dense {
+	m := mat.NewDense(d, d)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.Normal(0, 1)
+	}
+	return m
+}
+
+// BenchmarkGEMM is the tiled kernel, serial, writing into a reused
+// destination: steady state must be allocation-free (the packed-B
+// workspace comes from the pool).
+func BenchmarkGEMM(b *testing.B) {
+	for _, d := range []int{128, 512} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			rng := randx.New(int64(d))
+			x, y := benchDense(rng, d), benchDense(rng, d)
+			dst := mat.NewDense(d, d)
+			x.MulInto(dst, y, 1) // warm the pack pool before the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.MulInto(dst, y, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkGEMMRef is the pre-tiling i-k-j reference kernel on the
+// same operands — the denominator of the PR's speedup claim.
+func BenchmarkGEMMRef(b *testing.B) {
+	for _, d := range []int{128, 512} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			rng := randx.New(int64(d))
+			x, y := benchDense(rng, d), benchDense(rng, d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mat.MulRef(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkGEMMBatch is the fleet shape: 64 products at d=32, fused
+// into one parallel region over whole tasks rather than one undersized
+// goroutine pool per product.
+func BenchmarkGEMMBatch(b *testing.B) {
+	const tasks, d = 64, 32
+	rng := randx.New(7)
+	ts := make([]mat.MulTask, tasks)
+	for i := range ts {
+		ts[i] = mat.MulTask{A: benchDense(rng, d), B: benchDense(rng, d), Dst: mat.NewDense(d, d)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.BatchMul(ts, 0)
+	}
+}

@@ -1,18 +1,34 @@
 package constraint
 
-import "repro/internal/mat"
+import (
+	"math"
+
+	"repro/internal/mat"
+)
 
 // NotearsH evaluates the original NOTEARS acyclicity function
 // h(W) = tr(e^{W∘W}) − d (Eq. 2). O(d³) time, O(d²) space — the cost
 // the paper's spectral bound removes.
+//
+// A non-finite W returns NaN: mat.Expm refuses non-finite input, and a
+// NaN h lets a diverging learner break out through its NaN guard
+// instead of crashing the serving daemon mid-job.
 func NotearsH(w *mat.Dense) float64 {
+	if w.HasNaN() {
+		return math.NaN()
+	}
 	s := w.Square()
 	return mat.Expm(s).Trace() - float64(w.Rows())
 }
 
-// NotearsHGrad returns h(W) and ∇_W h = (e^{W∘W})ᵀ ∘ 2W.
+// NotearsHGrad returns h(W) and ∇_W h = (e^{W∘W})ᵀ ∘ 2W. Like
+// NotearsH, a non-finite W yields h = NaN (with a zero gradient)
+// rather than a panic from the matrix exponential.
 func NotearsHGrad(w *mat.Dense) (float64, *mat.Dense) {
 	d := w.Rows()
+	if w.HasNaN() {
+		return math.NaN(), mat.NewDense(d, d)
+	}
 	s := w.Square()
 	e := mat.Expm(s)
 	h := e.Trace() - float64(d)

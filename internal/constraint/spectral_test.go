@@ -278,3 +278,27 @@ func TestLemma2Consistency(t *testing.T) {
 		prevH = h
 	}
 }
+
+// TestNotearsHNonFiniteW: a diverging iterate (NaN/Inf entries) must
+// surface as h = NaN — not a panic from the matrix exponential — so
+// learners break out through their NaN guards and a serving daemon
+// survives the job.
+func TestNotearsHNonFiniteW(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		w := mat.NewDense(4, 4)
+		w.Set(0, 1, 0.5)
+		w.Set(2, 3, bad)
+		if h := NotearsH(w); !math.IsNaN(h) {
+			t.Fatalf("NotearsH with entry %g = %g, want NaN", bad, h)
+		}
+		h, grad := NotearsHGrad(w)
+		if !math.IsNaN(h) {
+			t.Fatalf("NotearsHGrad h with entry %g = %g, want NaN", bad, h)
+		}
+		for i, v := range grad.Data() {
+			if v != 0 {
+				t.Fatalf("NotearsHGrad grad[%d] = %g, want 0", i, v)
+			}
+		}
+	}
+}

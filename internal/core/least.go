@@ -224,8 +224,14 @@ func DenseStats(st *loss.SuffStats, o Options) *Result {
 // cancellation and progress contract.
 func DenseStatsCtx(ctx context.Context, st *loss.SuffStats, o Options) *Result {
 	return denseRunCtx(ctx, st.D(), o, func(_ *randx.RNG, ls loss.LeastSquares) denseEval {
+		// One evaluator per learn: its reused G·W workspace (plus the
+		// kernel's pooled pack buffers) makes the per-iteration loss
+		// allocation-free, bit-identical to ls.ValueGradGram. The inner
+		// loop consumes the aliased gradient within the same iteration,
+		// which is exactly the lifetime GramEval grants.
+		ev := loss.NewGramEval(ls, st)
 		return func(w *mat.Dense) (float64, *mat.Dense) {
-			return ls.ValueGradGram(w, st)
+			return ev.ValueGrad(w)
 		}
 	})
 }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// GemmSweepRow is one timing from the dense-GEMM sweep: either a
+// square tiled-vs-reference product or a batched small-d fleet.
+type GemmSweepRow struct {
+	// Kind is "square" for one d×d·d×d product, "fleet" for a batch of
+	// small products fused through mat.BatchMul.
+	Kind string
+	// D is the matrix dimension (per task for fleet rows).
+	D int
+	// Tasks is the fleet size (1 for square rows).
+	Tasks int
+	// Ref is the pre-tiling reference kernel's time, Tiled the
+	// register-blocked kernel's (serial); Par is the tiled kernel at
+	// the sweep's worker bound (== Tiled on a single-core host).
+	Ref, Tiled, Par time.Duration
+	// Speedup is Ref / Tiled — the pure kernel win, independent of
+	// parallelism.
+	Speedup float64
+}
+
+// gemmDense fills a d×d matrix with unit normals: a realistic operand
+// (no denormals, whose microcode assists would swamp the timing).
+func gemmDense(rng *randx.RNG, d int) *mat.Dense {
+	m := mat.NewDense(d, d)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.Normal(0, 1)
+	}
+	return m
+}
+
+// bestOf3 reports the fastest of three runs of f, the same reduction
+// ParSweep uses: min absorbs one-off scheduling noise better than a
+// mean on a shared box.
+func bestOf3(f func()) time.Duration {
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		f()
+		if el := time.Since(t0); best == 0 || el < best {
+			best = el
+		}
+	}
+	return best
+}
+
+// GemmSweep times the dense-GEMM layer the learners sit on (DESIGN.md
+// §9): the register-blocked tiled kernel against the pre-tiling
+// reference at square sizes, and a fleet of small-d products run
+// through mat.BatchMul — one parallel region over whole tasks, the
+// execution shape internal/serve's gang lanes feed — against solving
+// the same tasks one after another. workers bounds the parallel rows
+// (0 or nil grid entries never occur here; the first entry is used,
+// defaulting to GOMAXPROCS). All kernels are bit-identical by
+// contract, so the sweep checks nothing and only times.
+func GemmSweep(scale Scale, seed int64, workers []int, out io.Writer) []GemmSweepRow {
+	dims := []int{64, 128, 256}
+	fleetD, fleetN := 32, 64
+	if scale == Full {
+		dims = []int{128, 512, 1024}
+		fleetD, fleetN = 64, 256
+	}
+	wk := runtime.GOMAXPROCS(0)
+	if len(workers) > 0 && workers[0] > 0 {
+		wk = workers[0]
+	}
+	rng := randx.New(seed)
+	if out != nil {
+		fmt.Fprintf(out, "instance: dims=%v fleet=%d×d=%d workers=%d cores=%d\n",
+			dims, fleetN, fleetD, wk, runtime.GOMAXPROCS(0))
+	}
+	var rows []GemmSweepRow
+	for _, d := range dims {
+		a, b := gemmDense(rng, d), gemmDense(rng, d)
+		row := GemmSweepRow{Kind: "square", D: d, Tasks: 1}
+		row.Ref = bestOf3(func() { mat.MulRef(a, b) })
+		row.Tiled = bestOf3(func() { a.MulWorkers(b, 1) })
+		row.Par = bestOf3(func() { a.MulWorkers(b, wk) })
+		if row.Tiled > 0 {
+			row.Speedup = float64(row.Ref) / float64(row.Tiled)
+		}
+		rows = append(rows, row)
+		if out != nil {
+			fmt.Fprintf(out, "square d=%4d  ref=%-12v tiled=%-12v par=%-12v speedup=%.2f\n",
+				d, row.Ref, row.Tiled, row.Par, row.Speedup)
+		}
+	}
+	// The fleet shape: many small products, where per-task goroutine
+	// pools are undersized and the win comes from one parallel region
+	// spanning whole tasks.
+	tasks := make([]mat.MulTask, fleetN)
+	for i := range tasks {
+		tasks[i] = mat.MulTask{A: gemmDense(rng, fleetD), B: gemmDense(rng, fleetD)}
+	}
+	frow := GemmSweepRow{Kind: "fleet", D: fleetD, Tasks: fleetN}
+	frow.Ref = bestOf3(func() {
+		for i := range tasks {
+			mat.MulRef(tasks[i].A, tasks[i].B)
+		}
+	})
+	frow.Tiled = bestOf3(func() {
+		for i := range tasks {
+			tasks[i].A.MulWorkers(tasks[i].B, 1)
+		}
+	})
+	frow.Par = bestOf3(func() {
+		for i := range tasks {
+			tasks[i].Dst = nil
+		}
+		mat.BatchMul(tasks, wk)
+	})
+	if frow.Tiled > 0 {
+		frow.Speedup = float64(frow.Ref) / float64(frow.Tiled)
+	}
+	rows = append(rows, frow)
+	if out != nil {
+		perSec := func(el time.Duration) float64 {
+			if el <= 0 {
+				return 0
+			}
+			return float64(fleetN) / el.Seconds()
+		}
+		fmt.Fprintf(out, "fleet  %d×d=%d  seq-ref=%-12v seq-tiled=%-12v batchmul=%-12v tasks/s=%.0f\n",
+			fleetN, fleetD, frow.Ref, frow.Tiled, frow.Par, perSec(frow.Par))
+	}
+	return rows
+}

@@ -88,9 +88,21 @@ func (ls LeastSquares) ValueGradGram(w *mat.Dense, st *SuffStats) (float64, *mat
 }
 
 func (ls LeastSquares) gram(w *mat.Dense, st *SuffStats, wantGrad bool) (float64, *mat.Dense) {
+	return ls.gramInto(w, st, wantGrad, nil)
+}
+
+// gramInto is gram with an optional caller-owned destination for the
+// G·W product (nil allocates one). Both paths run the same GEMM
+// kernel, so results are bit-identical either way.
+func (ls LeastSquares) gramInto(w *mat.Dense, st *SuffStats, wantGrad bool, dst *mat.Dense) (float64, *mat.Dense) {
 	n := float64(st.N)
 	g := st.Gram
-	m := g.MulWorkers(w, ls.Workers) // G·W
+	var m *mat.Dense
+	if dst == nil {
+		m = g.MulWorkers(w, ls.Workers) // G·W
+	} else {
+		m = g.MulInto(dst, w, ls.Workers) // G·W, allocation-free
+	}
 	sq := g.Trace() - 2*w.Dot(g) + w.Dot(m)
 	if sq < 0 {
 		// The expanded form can cancel slightly below zero when the
@@ -109,6 +121,48 @@ func (ls LeastSquares) gram(w *mat.Dense, st *SuffStats, wantGrad bool) (float64
 		gd[i] += ls.Lambda * sign(wd[i])
 	}
 	return val, grad
+}
+
+// GramEval is a reusable evaluator of the sufficient-statistics loss.
+// It owns the d×d workspace that receives the per-iteration G·W
+// product, so steady-state evaluations allocate nothing — the learner
+// inner loops call it thousands of times per learn, and with the
+// tiled kernel's pooled pack buffers the whole evaluation runs at
+// 0 allocs/op.
+//
+// The gradient returned by ValueGrad aliases the workspace and is
+// valid only until the next Value/ValueGrad call; that is exactly the
+// lifetime the learners need (the gradient is folded into the
+// optimizer within the same iteration). A GramEval is not safe for
+// concurrent use; concurrent jobs each build their own.
+type GramEval struct {
+	ls LeastSquares
+	st *SuffStats
+	gw *mat.Dense
+}
+
+// NewGramEval returns an evaluator of ls over the statistics st.
+// Results are bit-identical to ls.ValueGradGram(w, st) at every worker
+// bound.
+func NewGramEval(ls LeastSquares, st *SuffStats) *GramEval {
+	d := st.D()
+	return &GramEval{ls: ls, st: st, gw: mat.NewDense(d, d)}
+}
+
+// Stats returns the statistics the evaluator was built over.
+func (e *GramEval) Stats() *SuffStats { return e.st }
+
+// Value returns L(W) — see LeastSquares.ValueGram.
+func (e *GramEval) Value(w *mat.Dense) float64 {
+	v, _ := e.ls.gramInto(w, e.st, false, e.gw)
+	return v
+}
+
+// ValueGrad returns L(W) and ∇L — see LeastSquares.ValueGradGram. The
+// gradient aliases the evaluator's workspace and is overwritten by the
+// next call.
+func (e *GramEval) ValueGrad(w *mat.Dense) (float64, *mat.Dense) {
+	return e.ls.gramInto(w, e.st, true, e.gw)
 }
 
 // GramChunkRows is the row-chunk granularity of the sufficient-
@@ -132,6 +186,7 @@ type GramAccumulator struct {
 	sums       [][]float64
 	next       int
 	n          int
+	done       bool
 }
 
 // NewGramAccumulator returns an accumulator for d-column rows.
@@ -170,8 +225,14 @@ func NewGramAccumulator(d, workers int) *GramAccumulator {
 // Add folds a chunk of rows into the statistics. The accumulator
 // borrows the chunk until Finish returns: callers must not mutate it
 // (hand over a fresh buffer or an immutable view). Add is not safe for
-// concurrent use — it is the single producer of the pipeline.
+// concurrent use — it is the single producer of the pipeline. Adding
+// after Finish or Abort panics: the worker pool is gone by then, so
+// the chunk would silently fold into a partial that was already
+// reduced (or discarded), corrupting the statistics.
 func (a *GramAccumulator) Add(chunk *mat.Dense) {
+	if a.done {
+		panic("loss: GramAccumulator.Add after Finish or Abort")
+	}
 	if chunk.Rows() == 0 {
 		return
 	}
@@ -184,8 +245,10 @@ func (a *GramAccumulator) Add(chunk *mat.Dense) {
 	a.next = (a.next + 1) % a.workers
 }
 
-// drain closes the worker channels and joins the pool.
+// drain closes the worker channels and joins the pool, sealing the
+// accumulator against further Adds.
 func (a *GramAccumulator) drain() {
+	a.done = true
 	if a.in != nil {
 		for _, c := range a.in {
 			close(c)

@@ -1,0 +1,126 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// TestGramEvalMatchesValueGradGram: the reusable evaluator must be
+// bit-identical to the allocating entry point on every call, including
+// repeated calls through the same (dirty) workspace.
+func TestGramEvalMatchesValueGradGram(t *testing.T) {
+	for _, d := range []int{3, 12, 33, 64} {
+		rng := randx.New(int64(d))
+		x := randMat(rng, 200, d)
+		st := StatsOf(x, 1)
+		ls := LeastSquares{Lambda: 0.1, Workers: 1}
+		ev := NewGramEval(ls, st)
+		if ev.Stats() != st {
+			t.Fatal("Stats() does not return the underlying statistics")
+		}
+		w := randMat(rng, d, d)
+		w.ZeroDiagonal()
+		for call := 0; call < 3; call++ {
+			wantV, wantG := ls.ValueGradGram(w, st)
+			gotV, gotG := ev.ValueGrad(w)
+			if math.Float64bits(gotV) != math.Float64bits(wantV) {
+				t.Fatalf("d=%d call %d: value %g != %g", d, call, gotV, wantV)
+			}
+			gd, wd := gotG.Data(), wantG.Data()
+			for i := range gd {
+				if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+					t.Fatalf("d=%d call %d: grad[%d] %g != %g", d, call, i, gd[i], wd[i])
+				}
+			}
+			if v := ev.Value(w); math.Float64bits(v) != math.Float64bits(wantV) {
+				t.Fatalf("d=%d call %d: Value %g != %g", d, call, v, wantV)
+			}
+			// Perturb W so the next round exercises workspace reuse with
+			// different contents.
+			w.Data()[1] += 0.25
+		}
+	}
+}
+
+// TestGramEvalZeroAlloc pins the PR's headline allocation contract:
+// once the evaluator and the kernel's pooled workspaces are warm, a
+// loss+gradient evaluation performs zero heap allocations.
+func TestGramEvalZeroAlloc(t *testing.T) {
+	d := 64
+	rng := randx.New(9)
+	x := randMat(rng, 256, d)
+	st := StatsOf(x, 1)
+	ev := NewGramEval(LeastSquares{Lambda: 0.1, Workers: 1}, st)
+	w := randMat(rng, d, d)
+	w.ZeroDiagonal()
+	ev.ValueGrad(w) // warm the workspace and the pack pool
+	allocs := testing.AllocsPerRun(50, func() {
+		ev.ValueGrad(w)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ValueGrad allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestGramAccumulatorAddAfterDrainPanics is the regression test for
+// the silent-corruption bug: Add after Finish used to fold the chunk
+// into the already-reduced grams[0] (with no pool running) and bump n,
+// yielding wrong statistics with no error. It must panic instead.
+func TestGramAccumulatorAddAfterDrainPanics(t *testing.T) {
+	chunk := randMat(randx.New(1), 4, 3)
+	for _, workers := range []int{1, 3} {
+		a := NewGramAccumulator(3, workers)
+		a.Add(chunk)
+		st := a.Finish()
+		if st.N != 4 {
+			t.Fatalf("workers=%d: N=%d, want 4", workers, st.N)
+		}
+		assertPanics(t, "Add after Finish", func() { a.Add(chunk) })
+
+		b := NewGramAccumulator(3, workers)
+		b.Add(chunk)
+		b.Abort()
+		assertPanics(t, "Add after Abort", func() { b.Add(chunk) })
+		// Abort stays idempotent and Finish after Abort still reduces.
+		b.Abort()
+	}
+}
+
+func assertPanics(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", label)
+		}
+	}()
+	f()
+}
+
+// TestMulIntoGramPath exercises the evaluator with a parallel worker
+// bound so the stats path hits the same kernels the learners use under
+// Spec parallelism, and cross-checks against an independent reference
+// product.
+func TestMulIntoGramPath(t *testing.T) {
+	d := 96
+	rng := randx.New(3)
+	x := randMat(rng, 300, d)
+	st := StatsOf(x, 1)
+	w := randMat(rng, d, d)
+	ev := NewGramEval(LeastSquares{Lambda: 0.05, Workers: 4}, st)
+	_, grad := ev.ValueGrad(w)
+	// Rebuild the gradient from first principles: 2/n (G·W − G) + λ·sign.
+	n := float64(st.N)
+	want := mat.MulRef(st.Gram, w)
+	want.AxpyInPlace(-1, st.Gram)
+	want.ScaleInPlace(2 / n)
+	wd, gd, ww := want.Data(), grad.Data(), w.Data()
+	for i := range wd {
+		wd[i] += 0.05 * sign(ww[i])
+		if math.Float64bits(wd[i]) != math.Float64bits(gd[i]) {
+			t.Fatalf("grad[%d] = %g, want %g", i, gd[i], wd[i])
+		}
+	}
+}

@@ -13,8 +13,6 @@ package mat
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Dense is a row-major dense matrix.
@@ -24,17 +22,28 @@ type Dense struct {
 }
 
 // NewDense returns a zeroed rows×cols matrix. It panics if either
-// dimension is negative.
+// dimension is negative or if rows*cols overflows int.
 func NewDense(rows, cols int) *Dense {
+	return &Dense{rows: rows, cols: cols, data: make([]float64, checkedSize(rows, cols))}
+}
+
+// checkedSize validates matrix dimensions and returns rows*cols,
+// panicking on negative dimensions or int overflow — rows*cols wraps
+// silently for shapes past ~3e9×3e9, which would otherwise turn an
+// impossible allocation into a tiny matrix with out-of-bounds math.
+func checkedSize(rows, cols int) int {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
 	}
-	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+	if cols > 0 && rows > math.MaxInt/cols {
+		panic(fmt.Sprintf("mat: dimensions %dx%d overflow int", rows, cols))
+	}
+	return rows * cols
 }
 
 // NewDenseData wraps data (length rows*cols, row-major) without copying.
 func NewDenseData(rows, cols int, data []float64) *Dense {
-	if len(data) != rows*cols {
+	if len(data) != checkedSize(rows, cols) {
 		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), rows, cols))
 	}
 	return &Dense{rows: rows, cols: cols, data: data}
@@ -374,78 +383,6 @@ func (m *Dense) String() string {
 		s += "]"
 	}
 	return s
-}
-
-// gemmParallelThreshold is the flop count above which Mul fans out
-// across goroutines.
-const gemmParallelThreshold = 1 << 20
-
-// Mul returns m·o. Large products are computed with one goroutine per
-// row stripe; the i-k-j loop order keeps the inner loop streaming over
-// contiguous rows of o.
-func (m *Dense) Mul(o *Dense) *Dense { return m.MulWorkers(o, 0) }
-
-// MulWorkers is Mul with a bounded goroutine fan-out: maxWorkers <= 0
-// selects runtime.GOMAXPROCS, 1 forces the serial path, n > 1 caps the
-// stripe count at n. Stripes partition output rows, and every output
-// element is accumulated by exactly one worker in the serial loop
-// order, so the product is bit-identical at every worker bound.
-func (m *Dense) MulWorkers(o *Dense, maxWorkers int) *Dense {
-	if m.cols != o.rows {
-		panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
-	}
-	r := NewDense(m.rows, o.cols)
-	flops := m.rows * m.cols * o.cols
-	workers := 1
-	if flops > gemmParallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
-		if maxWorkers > 0 && workers > maxWorkers {
-			workers = maxWorkers
-		}
-		if workers > m.rows {
-			workers = m.rows
-		}
-	}
-	if workers <= 1 {
-		mulStripe(r, m, o, 0, m.rows)
-		return r
-	}
-	var wg sync.WaitGroup
-	chunk := (m.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m.rows {
-			hi = m.rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulStripe(r, m, o, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return r
-}
-
-func mulStripe(r, m, o *Dense, lo, hi int) {
-	n := o.cols
-	for i := lo; i < hi; i++ {
-		mrow := m.Row(i)
-		rrow := r.Row(i)
-		for k, mv := range mrow {
-			if mv == 0 {
-				continue
-			}
-			orow := o.data[k*n : (k+1)*n]
-			for j, ov := range orow {
-				rrow[j] += mv * ov
-			}
-		}
-	}
 }
 
 // MulVec returns m·v for a column vector v of length m.Cols().

@@ -13,6 +13,16 @@ func Expm(a *Dense) *Dense {
 	if n == 0 {
 		return NewDense(0, 0)
 	}
+	if a.HasNaN() {
+		// Fail fast: non-finite entries make every threshold comparison
+		// below misfire (NaN column sums even vanish inside Norm1's
+		// max, reading as norm 0), so the algorithm would silently
+		// evaluate a mis-chosen Padé approximant and at best fall into
+		// the Taylor guard rail — garbage with no error. Callers that
+		// can see NaN (a diverging learner iterate) must screen before
+		// calling.
+		panic("mat: Expm of a matrix with non-finite entries")
+	}
 	norm := a.Norm1()
 	// Degree thresholds from Higham's table: below each theta the
 	// corresponding lower-degree Padé approximant is accurate to

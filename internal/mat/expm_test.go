@@ -118,3 +118,22 @@ func TestExpmEmpty(t *testing.T) {
 		t.Fatal("expm(empty) should be empty")
 	}
 }
+
+// TestExpmNonFinitePanics is the regression test for the NaN/Inf bug:
+// a non-finite 1-norm used to fall through every Padé threshold and
+// the scaling test, silently returning taylorExp garbage. Expm must
+// refuse such input up front.
+func TestExpmNonFinitePanics(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		a := NewDense(3, 3)
+		a.Set(1, 2, bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Expm with entry %g: expected panic", bad)
+				}
+			}()
+			Expm(a)
+		}()
+	}
+}

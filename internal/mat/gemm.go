@@ -1,0 +1,520 @@
+// This file implements the matrix-multiply engine behind Dense.Mul: a
+// cache-blocked, register-tiled GEMM with packed B panels, pooled
+// workspaces, and a machine-wide execution region shared by every
+// concurrent multiply in the process (DESIGN.md §9).
+//
+// The engine keeps the package's bit-determinism contract: every output
+// element is accumulated by exactly one goroutine, in strictly ascending
+// k order, with the same per-(i,k) zero skip and the same scalar
+// expression c += v·b as the reference kernel (MulRef). The Go compiler
+// does not contract v*b + c into a fused multiply-add on amd64, so the
+// tiled product is bit-identical to the reference at every worker bound.
+
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Tiling geometry (DESIGN.md §9). The micro-kernel computes an MR×NR
+// block of C with MR·NR scalar accumulators held in registers — 2×4
+// keeps the working set (8 accumulators + 4 packed B values + an A
+// value) inside the 16 XMM registers; 4×4 measurably spills. B is
+// repacked into NR-wide column strips so the inner loop streams both
+// operands contiguously; KC bounds the k-panel so one strip (KC×NR×8
+// bytes = 8 KiB) stays L1-resident while a row block sweeps it; MC
+// bounds the row block so the A panel it re-reads per strip (MC×KC×8
+// bytes = 128 KiB) stays L2-resident.
+const (
+	gemmMR = 2   // micro-tile rows
+	gemmNR = 4   // micro-tile cols == packed strip width
+	gemmKC = 256 // k-panel length per blocking step
+	gemmMC = 64  // row-block height per blocking step
+)
+
+// gemmParallelThreshold is the flop count above which a multiply fans
+// out across goroutines.
+const gemmParallelThreshold = 1 << 20
+
+// gemmTileThreshold is the flop count above which the packed tiled
+// kernel beats the streaming reference kernel: packing B costs O(k·n)
+// extra writes, which the tiny products of small-d fleet tasks never
+// amortize.
+const gemmTileThreshold = 1 << 15
+
+// gemmSlots is the machine-wide GEMM execution region: one slot per
+// CPU, shared by every concurrent multiply in the process. Helper
+// goroutines are spawned only while a slot is free — a multiply always
+// makes progress on its caller's goroutine, so many concurrent small
+// jobs cannot oversubscribe the machine the way per-job worker pools
+// would, and slot exhaustion degrades to serial execution, never to
+// blocking.
+var gemmSlots = make(chan struct{}, runtime.NumCPU())
+
+// packPool recycles packed-B workspaces across multiplies so the hot
+// G·W of the Gram loss allocates no pack buffer at steady state. packB
+// overwrites every slot (including edge padding) before use, so stale
+// contents are never observable.
+var packPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getPack(n int) *[]float64 {
+	p := packPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPack(p *[]float64) { packPool.Put(p) }
+
+// Mul returns m·o. Large products run the tiled kernel and fan out
+// across row stripes; see MulWorkers for the determinism contract.
+func (m *Dense) Mul(o *Dense) *Dense { return m.MulWorkers(o, 0) }
+
+// MulWorkers is Mul with a bounded goroutine fan-out: maxWorkers <= 0
+// selects runtime.GOMAXPROCS, 1 forces the serial path, n > 1 caps the
+// stripe count at n. Stripes partition output rows, and every output
+// element is accumulated by exactly one worker in the serial loop
+// order, so the product is bit-identical at every worker bound — and
+// bit-identical to the streaming reference kernel MulRef.
+func (m *Dense) MulWorkers(o *Dense, maxWorkers int) *Dense {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	r := NewDense(m.rows, o.cols)
+	gemmInto(r, m, o, maxWorkers)
+	return r
+}
+
+// MulInto computes m·o into dst, which must be m.Rows()×o.Cols() and
+// must not share backing storage with m or o. dst is zeroed first and
+// returned. Reusing one destination across calls is what makes the
+// per-iteration G·W of the Gram loss allocation-free at steady state.
+func (m *Dense) MulInto(dst, o *Dense, maxWorkers int) *Dense {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	if dst.rows != m.rows || dst.cols != o.cols {
+		panic(fmt.Sprintf("mat: MulInto dst is %dx%d, need %dx%d", dst.rows, dst.cols, m.rows, o.cols))
+	}
+	if len(dst.data) > 0 {
+		if len(m.data) > 0 && &dst.data[0] == &m.data[0] {
+			panic("mat: MulInto dst aliases the left operand")
+		}
+		if len(o.data) > 0 && &dst.data[0] == &o.data[0] {
+			panic("mat: MulInto dst aliases the right operand")
+		}
+	}
+	dst.Zero()
+	gemmInto(dst, m, o, maxWorkers)
+	return dst
+}
+
+// MulRef is the streaming i-k-j reference kernel the tiled engine is
+// pinned against: serial, unblocked, allocating its result. Property
+// tests and the gemm-sweep experiment use it to certify that tiling,
+// packing, and worker fan-out never change a single bit.
+func MulRef(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	r := NewDense(a.rows, b.cols)
+	refStripe(r, a, b, 0, a.rows)
+	return r
+}
+
+// MulTask is one product in a BatchMul batch.
+type MulTask struct {
+	A, B *Dense
+	// Dst, when non-nil, receives the product and must be
+	// A.Rows()×B.Cols(); when nil, BatchMul allocates it. Either way
+	// the destination is stored back into the task.
+	Dst *Dense
+}
+
+// BatchMul computes every task's product inside one shared parallel
+// region instead of giving each product its own undersized fan-out:
+// whole tasks are the unit of work, pulled off a shared counter by up
+// to maxWorkers goroutines (<= 0 selects runtime.GOMAXPROCS), each
+// task computed by the serial kernel. Per-task results are therefore
+// bit-identical to task.A.Mul(task.B) regardless of batch composition,
+// worker count, or completion order. This is the kernel shape that
+// makes a manifest of many small-d structure learns saturate cores:
+// the d³ work of the whole fleet becomes one dense work queue.
+func BatchMul(tasks []MulTask, maxWorkers int) {
+	for t := range tasks {
+		a, b := tasks[t].A, tasks[t].B
+		if a == nil || b == nil {
+			panic("mat: BatchMul task with nil operand")
+		}
+		if a.cols != b.rows {
+			panic(fmt.Sprintf("mat: cannot multiply %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+		}
+		if d := tasks[t].Dst; d == nil {
+			tasks[t].Dst = NewDense(a.rows, b.cols)
+		} else {
+			if d.rows != a.rows || d.cols != b.cols {
+				panic(fmt.Sprintf("mat: BatchMul dst is %dx%d, need %dx%d", d.rows, d.cols, a.rows, b.cols))
+			}
+			d.Zero()
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if maxWorkers > 0 && workers > maxWorkers {
+		workers = maxWorkers
+	}
+	runUnits(len(tasks), workers, func(t int) {
+		gemmInto(tasks[t].Dst, tasks[t].A, tasks[t].B, 1)
+	})
+}
+
+// gemmInto accumulates a·b into dst, which the caller guarantees is
+// zeroed and correctly shaped. It picks the kernel (streaming vs
+// tiled) and the fan-out; both paths produce identical bits.
+func gemmInto(dst, a, b *Dense, maxWorkers int) {
+	rows, k, n := a.rows, a.cols, b.cols
+	if rows == 0 || n == 0 || k == 0 {
+		return
+	}
+	flops := float64(rows) * float64(k) * float64(n)
+	workers := 1
+	if flops > gemmParallelThreshold {
+		workers = runtime.GOMAXPROCS(0)
+		if maxWorkers > 0 && workers > maxWorkers {
+			workers = maxWorkers
+		}
+		if workers > rows {
+			workers = rows
+		}
+	}
+	if flops < gemmTileThreshold {
+		if workers <= 1 {
+			refStripe(dst, a, b, 0, rows)
+			return
+		}
+		runRowStripes(rows, workers, func(lo, hi int) { refStripe(dst, a, b, lo, hi) })
+		return
+	}
+	strips := (n + gemmNR - 1) / gemmNR
+	pp := getPack(strips * k * gemmNR)
+	pack := *pp
+	packB(b, pack)
+	if workers <= 1 {
+		// Direct call on the serial path: routing through runRowStripes
+		// would heap-allocate the stripe closure (it escapes into the
+		// helper goroutines), breaking the 0 allocs/op contract of the
+		// steady-state loss evaluation.
+		tileStripe(dst, a, pack, k, 0, rows)
+	} else {
+		runRowStripes(rows, workers, func(lo, hi int) { tileStripe(dst, a, pack, k, lo, hi) })
+	}
+	putPack(pp)
+}
+
+// runRowStripes partitions [0, rows) into worker-count stripes and
+// runs body over them inside the shared execution region. Stripes own
+// disjoint output rows and each stripe is computed serially, so
+// scheduling order cannot affect bits.
+func runRowStripes(rows, workers int, body func(lo, hi int)) {
+	if workers <= 1 || rows <= 1 {
+		body(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	nblk := (rows + chunk - 1) / chunk
+	runUnits(nblk, workers, func(u int) {
+		lo := u * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		body(lo, hi)
+	})
+}
+
+// runUnits executes body(0..n-1) across up to `workers` goroutines.
+// The caller's goroutine always participates; helpers are added only
+// while the machine-wide region has free slots, acquired without
+// blocking — so nested or concurrent multiplies degrade to serial
+// execution instead of piling goroutines onto saturated cores. Units
+// are claimed from an atomic counter; callers must make units
+// independent (here: row-disjoint stripes or whole batch tasks).
+func runUnits(n, workers int, body func(u int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			body(u)
+		}
+		return
+	}
+	var next int64
+	run := func() {
+		for {
+			u := atomic.AddInt64(&next, 1) - 1
+			if u >= int64(n) {
+				return
+			}
+			body(int(u))
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for h := 0; h < workers-1; h++ {
+		select {
+		case gemmSlots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-gemmSlots }()
+				run()
+			}()
+		default:
+			break spawn
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// refStripe is the streaming i-k-j kernel over output rows [lo, hi):
+// the inner loop runs over contiguous rows of b, terms accumulate in
+// ascending k, and a zero left-operand skips the whole row of b.
+func refStripe(r, m, o *Dense, lo, hi int) {
+	n := o.cols
+	for i := lo; i < hi; i++ {
+		mrow := m.Row(i)
+		rrow := r.Row(i)
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			orow := o.data[k*n : (k+1)*n]
+			for j, ov := range orow {
+				rrow[j] += mv * ov
+			}
+		}
+	}
+}
+
+// packB copies b (k×n) into strip-major panels: strip s holds columns
+// [s·NR, s·NR+NR), k-major within the strip, zero-padded past the
+// right edge — pack[(s·k+kk)·NR+j] == b[kk, s·NR+j]. Packing copies
+// values exactly, so it cannot perturb bits.
+func packB(b *Dense, pack []float64) {
+	k, n := b.rows, b.cols
+	strips := (n + gemmNR - 1) / gemmNR
+	for s := 0; s < strips; s++ {
+		j0 := s * gemmNR
+		w := n - j0
+		if w > gemmNR {
+			w = gemmNR
+		}
+		dst := pack[s*k*gemmNR : (s+1)*k*gemmNR]
+		for kk := 0; kk < k; kk++ {
+			src := b.data[kk*n+j0 : kk*n+j0+w]
+			d := dst[kk*gemmNR : kk*gemmNR+gemmNR]
+			for j := 0; j < w; j++ {
+				d[j] = src[j]
+			}
+			for j := w; j < gemmNR; j++ {
+				d[j] = 0
+			}
+		}
+	}
+}
+
+// tileStripe runs the blocked kernel over output rows [lo, hi). Loop
+// nest: k-blocks outermost (partial sums parked in C between blocks —
+// exact, since storing a float64 loses nothing), then MC row blocks
+// (bounding the A panel each strip pass re-reads), then B strips (one
+// KC×NR panel stays L1-resident while a row block sweeps it), then
+// 2-row blocks into the register micro-kernel. Every element still
+// sees its k terms in strictly ascending order.
+func tileStripe(dst, a *Dense, pack []float64, k, lo, hi int) {
+	n := dst.cols
+	strips := (n + gemmNR - 1) / gemmNR
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		k1 := k0 + gemmKC
+		if k1 > k {
+			k1 = k
+		}
+		for i0 := lo; i0 < hi; i0 += gemmMC {
+			i1 := i0 + gemmMC
+			if i1 > hi {
+				i1 = hi
+			}
+			for s := 0; s < strips; s++ {
+				j0 := s * gemmNR
+				w := n - j0
+				if w > gemmNR {
+					w = gemmNR
+				}
+				panel := pack[(s*k+k0)*gemmNR : (s*k+k1)*gemmNR]
+				i := i0
+				if w == gemmNR {
+					for ; i+gemmMR <= i1; i += gemmMR {
+						micro2x4(dst, a, panel, i, j0, k0, k1)
+					}
+				}
+				for ; i < i1; i++ {
+					microRow(dst, a, panel, i, j0, w, k0, k1)
+				}
+			}
+		}
+	}
+}
+
+// micro2x4 accumulates the 2×4 C tile at (i, j0) over k ∈ [k0, k1)
+// with 8 scalar accumulators, the k loop unrolled four times. Terms are
+// added in ascending k with the per-(row,k) zero skip, each term the
+// same c += v·b expression as the reference kernel, so bits match
+// exactly. The descending panel loads and the [:kc] reslice of the
+// second A row are bounds-check-elimination hints.
+func micro2x4(dst, a *Dense, panel []float64, i, j0, k0, k1 int) {
+	ka := a.cols
+	kc := k1 - k0
+	a0 := a.data[i*ka+k0 : i*ka+k1]
+	a1 := a.data[(i+1)*ka+k0 : (i+1)*ka+k1][:kc]
+	n := dst.cols
+	r0 := dst.data[i*n+j0 : i*n+j0+4]
+	r1 := dst.data[(i+1)*n+j0 : (i+1)*n+j0+4]
+	c00, c01, c02, c03 := r0[0], r0[1], r0[2], r0[3]
+	c10, c11, c12, c13 := r1[0], r1[1], r1[2], r1[3]
+	p := panel
+	kk := 0
+	for ; kk+4 <= kc; kk += 4 {
+		b3 := p[3]
+		b2 := p[2]
+		b1 := p[1]
+		b0 := p[0]
+		if v := a0[kk]; v != 0 {
+			c00 += v * b0
+			c01 += v * b1
+			c02 += v * b2
+			c03 += v * b3
+		}
+		if v := a1[kk]; v != 0 {
+			c10 += v * b0
+			c11 += v * b1
+			c12 += v * b2
+			c13 += v * b3
+		}
+		e3 := p[7]
+		e2 := p[6]
+		e1 := p[5]
+		e0 := p[4]
+		if v := a0[kk+1]; v != 0 {
+			c00 += v * e0
+			c01 += v * e1
+			c02 += v * e2
+			c03 += v * e3
+		}
+		if v := a1[kk+1]; v != 0 {
+			c10 += v * e0
+			c11 += v * e1
+			c12 += v * e2
+			c13 += v * e3
+		}
+		f3 := p[11]
+		f2 := p[10]
+		f1 := p[9]
+		f0 := p[8]
+		if v := a0[kk+2]; v != 0 {
+			c00 += v * f0
+			c01 += v * f1
+			c02 += v * f2
+			c03 += v * f3
+		}
+		if v := a1[kk+2]; v != 0 {
+			c10 += v * f0
+			c11 += v * f1
+			c12 += v * f2
+			c13 += v * f3
+		}
+		g3 := p[15]
+		g2 := p[14]
+		g1 := p[13]
+		g0 := p[12]
+		if v := a0[kk+3]; v != 0 {
+			c00 += v * g0
+			c01 += v * g1
+			c02 += v * g2
+			c03 += v * g3
+		}
+		if v := a1[kk+3]; v != 0 {
+			c10 += v * g0
+			c11 += v * g1
+			c12 += v * g2
+			c13 += v * g3
+		}
+		p = p[16:]
+	}
+	for ; kk < kc; kk++ {
+		b3 := p[3]
+		b2 := p[2]
+		b1 := p[1]
+		b0 := p[0]
+		if v := a0[kk]; v != 0 {
+			c00 += v * b0
+			c01 += v * b1
+			c02 += v * b2
+			c03 += v * b3
+		}
+		if v := a1[kk]; v != 0 {
+			c10 += v * b0
+			c11 += v * b1
+			c12 += v * b2
+			c13 += v * b3
+		}
+		p = p[4:]
+	}
+	r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+}
+
+// microRow handles the row and column edges: one output row, strip
+// width w <= NR, same ascending-k accumulation and zero skip.
+func microRow(dst, a *Dense, panel []float64, i, j0, w, k0, k1 int) {
+	ka := a.cols
+	arow := a.data[i*ka+k0 : i*ka+k1]
+	n := dst.cols
+	crow := dst.data[i*n+j0 : i*n+j0+w]
+	if w == gemmNR {
+		c0, c1, c2, c3 := crow[0], crow[1], crow[2], crow[3]
+		p := panel
+		for _, v := range arow {
+			b3 := p[3]
+			b2 := p[2]
+			b1 := p[1]
+			b0 := p[0]
+			p = p[4:]
+			if v == 0 {
+				continue
+			}
+			c0 += v * b0
+			c1 += v * b1
+			c2 += v * b2
+			c3 += v * b3
+		}
+		crow[0], crow[1], crow[2], crow[3] = c0, c1, c2, c3
+		return
+	}
+	for kk, v := range arow {
+		if v == 0 {
+			continue
+		}
+		b := panel[kk*gemmNR : kk*gemmNR+w]
+		for j, bv := range b {
+			crow[j] += v * bv
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package mat
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fillBench fills m with ordinary-magnitude values: benchmark operands
+// must not contain the denormals the correctness tests sprinkle —
+// denormal arithmetic runs through microcode assists and would swamp
+// the kernel timing (DESIGN.md §9).
+func fillBench(m *Dense, seed uint64) {
+	r := &gemmRand{s: seed}
+	d := m.Data()
+	for i := range d {
+		d[i] = (float64(r.next()%2000) - 1000.5) / 128
+	}
+}
+
+// BenchmarkMulTiled/BenchmarkMulRef time the register-blocked kernel
+// against the pre-tiling reference at the sizes used while tuning the
+// MR/NR/KC/MC geometry; the root-package GEMM benchmarks gate the
+// trajectory, these are for iterating on the kernel in-package.
+func BenchmarkMulTiled(b *testing.B) {
+	for _, d := range []int{48, 128, 512} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			x, y := NewDense(d, d), NewDense(d, d)
+			fillBench(x, 1)
+			fillBench(y, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.MulWorkers(y, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkMulRef(b *testing.B) {
+	for _, d := range []int{48, 128, 512} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			x, y := NewDense(d, d), NewDense(d, d)
+			fillBench(x, 1)
+			fillBench(y, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulRef(x, y)
+			}
+		})
+	}
+}

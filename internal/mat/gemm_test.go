@@ -1,0 +1,280 @@
+package mat
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// gemmRand is a tiny deterministic generator for kernel tests; it
+// sprinkles exact zeros (to exercise the zero-skip path), negative
+// zeros, and denormal-scale values among ordinary magnitudes.
+type gemmRand struct{ s uint64 }
+
+func (r *gemmRand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *gemmRand) val() float64 {
+	u := r.next()
+	switch u % 16 {
+	case 0:
+		return 0
+	case 1:
+		return math.Copysign(0, -1)
+	case 2:
+		return 5e-324 * float64(1+u%7)
+	default:
+		return (float64(u%2000) - 1000.5) / 128
+	}
+}
+
+func fillRand(m *Dense, r *gemmRand) {
+	d := m.Data()
+	for i := range d {
+		d[i] = r.val()
+	}
+}
+
+func bitsEqual(t *testing.T, got, want *Dense, label string) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	g, w := got.Data(), want.Data()
+	for i := range g {
+		if math.Float64bits(g[i]) != math.Float64bits(w[i]) {
+			t.Fatalf("%s: element %d = %x (%g), want %x (%g)",
+				label, i, math.Float64bits(g[i]), g[i], math.Float64bits(w[i]), w[i])
+		}
+	}
+}
+
+// TestTiledKernelMatchesRef drives the packed tiled kernel directly
+// (bypassing the flop-count dispatch) across adversarial shapes —
+// single rows and columns, every alignment around the 4-wide tile
+// boundary, empty extents — and checks bit-for-bit equality with the
+// streaming reference kernel.
+func TestTiledKernelMatchesRef(t *testing.T) {
+	dims := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 32, 33}
+	r := &gemmRand{s: 0x9e3779b97f4a7c15}
+	for _, m := range dims {
+		for _, k := range dims {
+			for _, n := range dims {
+				a := NewDense(m, k)
+				b := NewDense(k, n)
+				fillRand(a, r)
+				fillRand(b, r)
+				got := NewDense(m, n)
+				if k > 0 && n > 0 {
+					strips := (n + gemmNR - 1) / gemmNR
+					pack := make([]float64, strips*k*gemmNR)
+					packB(b, pack)
+					tileStripe(got, a, pack, k, 0, m)
+				}
+				bitsEqual(t, got, MulRef(a, b), "tiled")
+			}
+		}
+	}
+}
+
+// TestTiledKernelMatchesRefSpanningKC exercises k extents around the
+// KC blocking boundary so partial sums get parked in C between
+// k-blocks at least once.
+func TestTiledKernelMatchesRefSpanningKC(t *testing.T) {
+	r := &gemmRand{s: 42}
+	for _, k := range []int{gemmKC - 1, gemmKC, gemmKC + 1, 2*gemmKC + 3} {
+		a := NewDense(9, k)
+		b := NewDense(k, 6)
+		fillRand(a, r)
+		fillRand(b, r)
+		got := NewDense(9, 6)
+		strips := (6 + gemmNR - 1) / gemmNR
+		pack := make([]float64, strips*k*gemmNR)
+		packB(b, pack)
+		tileStripe(got, a, pack, k, 0, 9)
+		bitsEqual(t, got, MulRef(a, b), "tiled/kc")
+	}
+}
+
+// TestMulAllZeroA pins the zero-skip semantics: with A all zeros the
+// product must be exactly +0 everywhere even when B carries NaN and
+// Inf (the skip never multiplies them in) — same contract as the
+// reference kernel.
+func TestMulAllZeroA(t *testing.T) {
+	a := NewDense(40, 40) // big enough for the tiled path
+	b := NewDense(40, 40)
+	bd := b.Data()
+	for i := range bd {
+		bd[i] = math.NaN()
+	}
+	bd[0] = math.Inf(1)
+	got := a.Mul(b)
+	for i, v := range got.Data() {
+		if math.Float64bits(v) != 0 {
+			t.Fatalf("element %d = %g, want +0", i, v)
+		}
+	}
+	bitsEqual(t, got, MulRef(a, b), "all-zero A")
+}
+
+// TestMulWorkersBitDeterminism is the worker-bound property test: the
+// product must be bit-identical at every worker bound, and identical
+// to the reference kernel. d=160 puts the multiply past the parallel
+// threshold (160³ ≈ 4.1M flops) with stripe splits that don't divide
+// the rows evenly.
+func TestMulWorkersBitDeterminism(t *testing.T) {
+	r := &gemmRand{s: 7}
+	a := NewDense(160, 160)
+	b := NewDense(160, 160)
+	fillRand(a, r)
+	fillRand(b, r)
+	want := MulRef(a, b)
+	for _, w := range []int{0, 1, 2, 3, 4, 5, 7, 8, 16, 160} {
+		bitsEqual(t, a.MulWorkers(b, w), want, "workers")
+	}
+}
+
+// TestMulRectangularMatchesRef covers tall/wide shapes through the
+// public dispatch (both kernels, both fan-outs).
+func TestMulRectangularMatchesRef(t *testing.T) {
+	r := &gemmRand{s: 99}
+	shapes := [][3]int{{1, 500, 1}, {500, 1, 500}, {3, 700, 200}, {200, 700, 3}, {129, 65, 33}}
+	for _, sh := range shapes {
+		a := NewDense(sh[0], sh[1])
+		b := NewDense(sh[1], sh[2])
+		fillRand(a, r)
+		fillRand(b, r)
+		want := MulRef(a, b)
+		for _, w := range []int{0, 1, 3} {
+			bitsEqual(t, a.MulWorkers(b, w), want, "rect")
+		}
+	}
+}
+
+func TestMulInto(t *testing.T) {
+	r := &gemmRand{s: 5}
+	a := NewDense(50, 60)
+	b := NewDense(60, 40)
+	fillRand(a, r)
+	fillRand(b, r)
+	dst := NewDense(50, 40)
+	// Pre-soil the destination: MulInto must zero it, not accumulate.
+	for i := range dst.Data() {
+		dst.Data()[i] = math.NaN()
+	}
+	got := a.MulInto(dst, b, 0)
+	if got != dst {
+		t.Fatal("MulInto did not return dst")
+	}
+	bitsEqual(t, dst, MulRef(a, b), "into")
+	// Second use of the same destination must match too.
+	fillRand(a, r)
+	bitsEqual(t, a.MulInto(dst, b, 1), MulRef(a, b), "into/reuse")
+}
+
+func TestMulIntoPanics(t *testing.T) {
+	a := NewDense(4, 4)
+	b := NewDense(4, 4)
+	mustPanic(t, "shape", func() { a.MulInto(NewDense(3, 4), b, 0) })
+	mustPanic(t, "alias-left", func() { a.MulInto(a, b, 0) })
+	mustPanic(t, "alias-right", func() { a.MulInto(b, b, 0) })
+}
+
+func TestBatchMulMatchesIndividual(t *testing.T) {
+	r := &gemmRand{s: 11}
+	var tasks []MulTask
+	var want []*Dense
+	for _, d := range []int{1, 6, 12, 20, 33, 64} {
+		a := NewDense(d, d)
+		b := NewDense(d, d)
+		fillRand(a, r)
+		fillRand(b, r)
+		tasks = append(tasks, MulTask{A: a, B: b})
+		want = append(want, MulRef(a, b))
+	}
+	// One task with a pre-soiled caller-owned destination.
+	dst := NewDense(20, 20)
+	for i := range dst.Data() {
+		dst.Data()[i] = 1e300
+	}
+	tasks = append(tasks, MulTask{A: tasks[3].A, B: tasks[3].B, Dst: dst})
+	want = append(want, want[3])
+
+	for _, workers := range []int{0, 1, 2, 5} {
+		run := make([]MulTask, len(tasks))
+		copy(run, tasks)
+		for i := range run {
+			if run[i].Dst == dst {
+				continue
+			}
+			run[i].Dst = nil // force fresh allocation per run
+		}
+		BatchMul(run, workers)
+		for i := range run {
+			bitsEqual(t, run[i].Dst, want[i], "batch")
+		}
+	}
+}
+
+func TestBatchMulPanics(t *testing.T) {
+	mustPanic(t, "nil", func() { BatchMul([]MulTask{{A: nil, B: NewDense(2, 2)}}, 1) })
+	mustPanic(t, "dims", func() { BatchMul([]MulTask{{A: NewDense(2, 3), B: NewDense(2, 2)}}, 1) })
+	mustPanic(t, "dst", func() {
+		BatchMul([]MulTask{{A: NewDense(2, 2), B: NewDense(2, 2), Dst: NewDense(3, 2)}}, 1)
+	})
+}
+
+// TestConcurrentMulPooledWorkspaces hammers the pooled-pack path from
+// many goroutines at once — the -race pass for workspace recycling and
+// the shared execution region.
+func TestConcurrentMulPooledWorkspaces(t *testing.T) {
+	r := &gemmRand{s: 1234}
+	a := NewDense(96, 96)
+	b := NewDense(96, 96)
+	fillRand(a, r)
+	fillRand(b, r)
+	want := MulRef(a, b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				got := a.MulWorkers(b, 4)
+				gd, wd := got.Data(), want.Data()
+				for i := range gd {
+					if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+						t.Errorf("concurrent Mul diverged at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewDenseOverflowGuards(t *testing.T) {
+	mustPanic(t, "negative rows", func() { NewDense(-1, 3) })
+	mustPanic(t, "negative cols", func() { NewDense(3, -1) })
+	mustPanic(t, "overflow", func() { NewDense(math.MaxInt/2, 3) })
+	mustPanic(t, "data overflow", func() { NewDenseData(math.MaxInt/2, 4, nil) })
+	// Degenerate-but-valid shapes must still work.
+	if m := NewDense(0, 5); m.Rows() != 0 || m.Cols() != 5 {
+		t.Fatal("NewDense(0,5) mangled shape")
+	}
+}
+
+func mustPanic(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", label)
+		}
+	}()
+	f()
+}

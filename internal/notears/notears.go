@@ -156,8 +156,13 @@ func RunStats(st *loss.SuffStats, o Options) *Result {
 // RunStatsCtx is RunStats under a context — same contract as RunCtx.
 func RunStatsCtx(ctx context.Context, st *loss.SuffStats, o Options) *Result {
 	return runCtx(ctx, st.D(), o, func(_ *randx.RNG, ls loss.LeastSquares) lossEval {
+		// One evaluator per learn: reusing its G·W workspace keeps the
+		// per-iteration loss allocation-free (bit-identical to
+		// ls.ValueGradGram); the inner loop folds the aliased gradient
+		// into Adam before the next evaluation.
+		ev := loss.NewGramEval(ls, st)
 		return func(w *mat.Dense) (float64, *mat.Dense) {
-			return ls.ValueGradGram(w, st)
+			return ev.ValueGrad(w)
 		}
 	})
 }

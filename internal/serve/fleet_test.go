@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// gangJobStatuses waits the batch out and returns the per-job statuses
+// in task order.
+func gangJobStatuses(t *testing.T, m *Manager, b *Batch) []Status {
+	t.Helper()
+	waitBatch(t, b, BatchDone, 120*time.Second)
+	var sts []Status
+	for _, row := range allTasks(t, b, 20) {
+		j, err := m.Get(row.Job)
+		if err != nil {
+			t.Fatalf("job %s: %v", row.Job, err)
+		}
+		sts = append(sts, j.Status())
+	}
+	return sts
+}
+
+// TestGangRunsSmallBatchConcurrently: with one pool slot whose core
+// share covers the whole manifest (Procs 4, MaxConcurrent 1), a 4-task
+// small-d batch forms one gang — every member is transitioned to
+// Running in the same scheduler critical section, so all start
+// timestamps precede every finish timestamp. Without gangs the single
+// slot runs the tasks strictly one after another.
+func TestGangRunsSmallBatchConcurrently(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, Procs: 4})
+	defer shutdown(t, m)
+
+	specs := make([]BatchTaskSpec, 4)
+	for i := range specs {
+		specs[i] = tinyTask(int64(11000 + 10*i))
+	}
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := gangJobStatuses(t, m, b)
+	maxStart, minFinish := time.Time{}, sts[0].Finished
+	for _, st := range sts {
+		if st.Started.After(maxStart) {
+			maxStart = st.Started
+		}
+		if st.Finished.Before(minFinish) {
+			minFinish = st.Finished
+		}
+	}
+	if maxStart.After(minFinish) {
+		t.Fatalf("gang did not run concurrently: last start %v is after first finish %v", maxStart, minFinish)
+	}
+}
+
+// assertSequential checks that the job runs never overlapped: with a
+// single pool slot and gangs out of play, job i+1 is popped only after
+// job i's runJob returns.
+func assertSequential(t *testing.T, sts []Status, label string) {
+	t.Helper()
+	sort.Slice(sts, func(i, k int) bool { return sts[i].Started.Before(sts[k].Started) })
+	for i := 1; i < len(sts); i++ {
+		if sts[i].Started.Before(sts[i-1].Finished) {
+			t.Fatalf("%s: job %d started %v before job %d finished %v — a gang formed where none should",
+				label, i, sts[i].Started, i-1, sts[i-1].Finished)
+		}
+	}
+}
+
+// TestGangFleetDimCutoff: tasks above the FleetDim cutoff never gang,
+// and a negative FleetDim disables gang formation entirely — both
+// configurations run a small batch strictly sequentially on one slot.
+func TestGangFleetDimCutoff(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		fleetDim int
+	}{
+		{"d-above-cutoff", 4}, // tinyTask has d=6
+		{"disabled", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewManager(Config{MaxConcurrent: 1, Procs: 4, FleetDim: tc.fleetDim})
+			defer shutdown(t, m)
+			specs := make([]BatchTaskSpec, 3)
+			for i := range specs {
+				specs[i] = tinyTask(int64(12000 + 100*int64(tc.fleetDim&0xff) + 10*int64(i)))
+			}
+			b, err := m.Batches().Submit(specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSequential(t, gangJobStatuses(t, m, b), tc.name)
+		})
+	}
+}
+
+// TestGangInteractiveJobsExcluded: interactive (non-batch-lane)
+// submissions never gang, whatever their size — the slot runs them one
+// at a time even when its core share could fuse several.
+func TestGangInteractiveJobsExcluded(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, Procs: 4})
+	defer shutdown(t, m)
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		x, o := fastDataset(int64(13000 + 10*i))
+		j, err := m.Submit(x, nil, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	var sts []Status
+	for _, j := range jobs {
+		sts = append(sts, waitState(t, j, Done, 60*time.Second))
+	}
+	assertSequential(t, sts, "interactive")
+}
+
+// TestGangResultsBitIdentical is the tentpole's determinism gate at
+// the serving layer: the same manifest learned through a gang-forming
+// manager (Procs 4: members run concurrently with split parallelism)
+// and through a gang-free one (Procs 1) must produce bit-identical
+// weight matrices — fusing small-d fleets changes the schedule, never
+// the numbers.
+func TestGangResultsBitIdentical(t *testing.T) {
+	specs := func() []BatchTaskSpec {
+		out := make([]BatchTaskSpec, 6)
+		for i := range out {
+			out[i] = tinyTask(int64(14000 + 10*i))
+		}
+		return out
+	}
+
+	weights := func(procs int) []*least.Matrix {
+		m := NewManager(Config{MaxConcurrent: 1, Procs: procs})
+		defer shutdown(t, m)
+		b, err := m.Batches().Submit(specs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitBatch(t, b, BatchDone, 120*time.Second)
+		var ws []*least.Matrix
+		for _, row := range allTasks(t, b, 20) {
+			j, err := m.Get(row.Job)
+			if err != nil {
+				t.Fatalf("job %s: %v", row.Job, err)
+			}
+			res, _, err := j.Result()
+			if err != nil {
+				t.Fatalf("job %s result: %v", row.Job, err)
+			}
+			ws = append(ws, res.Weights)
+		}
+		return ws
+	}
+
+	gang, solo := weights(4), weights(1)
+	for ti := range gang {
+		g, s := gang[ti], solo[ti]
+		if g.Rows() != s.Rows() || g.Cols() != s.Cols() {
+			t.Fatalf("task %d: shape mismatch", ti)
+		}
+		for i := 0; i < g.Rows(); i++ {
+			for k := 0; k < g.Cols(); k++ {
+				gv, sv := g.At(i, k), s.At(i, k)
+				if math.Float64bits(gv) != math.Float64bits(sv) {
+					t.Fatalf("task %d: W[%d,%d] gang=%v solo=%v (bits %x vs %x)",
+						ti, i, k, gv, sv, math.Float64bits(gv), math.Float64bits(sv))
+				}
+			}
+		}
+	}
+}
+
+// TestGangMixedManifestThroughput exercises gang formation on a larger
+// mixed manifest (the many-small-d fleet shape from the paper's
+// deployment scenario) just for liveness: everything completes, and
+// the per-task results are all present.
+func TestGangMixedManifestThroughput(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, Procs: 8, BatchBacklog: 256})
+	defer shutdown(t, m)
+	specs := make([]BatchTaskSpec, 24)
+	for i := range specs {
+		specs[i] = tinyTask(int64(15000 + 10*i))
+		specs[i].Label = fmt.Sprintf("fleet%02d", i)
+	}
+	b, err := m.Batches().Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitBatch(t, b, BatchDone, 120*time.Second)
+	if st.Done != len(specs) || st.Failed != 0 {
+		t.Fatalf("fleet manifest: %+v", st)
+	}
+	for _, row := range allTasks(t, b, 50) {
+		if row.State != Done || row.Job == "" {
+			t.Fatalf("task %d (%s): %+v", row.Index, row.Label, row)
+		}
+	}
+}

@@ -96,6 +96,18 @@ type Config struct {
 	// queries (default 64); the oldest terminal batches are evicted
 	// first, never in-progress ones.
 	MaxBatches int
+	// FleetDim is the gang-scheduling cutoff for batch tasks. When a
+	// worker slot's core share (Procs / MaxConcurrent) is at least 2, a
+	// popped batch-lane job with d ≤ FleetDim pulls the scheduler's
+	// next batch-lane jobs under the same cutoff along with it and runs
+	// them as one concurrent gang, each member's GEMM fan-out capped to
+	// an equal split of the slot's share — so a manifest of many
+	// small-d tasks saturates the cores that one undersized job cannot
+	// (DESIGN.md §9). Gangs never reorder the round-robin schedule;
+	// they run a prefix of it concurrently, and row-striped kernels
+	// keep every result bit-identical to a solo run. 0 picks the
+	// default (64); negative disables gang formation.
+	FleetDim int
 	// Procs overrides the detected core count used for per-job
 	// parallelism capping (tests only; default runtime.GOMAXPROCS).
 	Procs int
@@ -123,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatches <= 0 {
 		c.MaxBatches = 64
 	}
+	if c.FleetDim == 0 {
+		c.FleetDim = 64
+	}
 	if c.Procs <= 0 {
 		c.Procs = runtime.GOMAXPROCS(0)
 	}
@@ -138,6 +153,7 @@ type Job struct {
 	n, d   int
 	fp     string // dataset fingerprint (content identity of the input)
 	center bool   // column-center the data before learning
+	batch  bool   // queued on a batch lane (gang-eligible); set under m.mu
 
 	mu       sync.Mutex
 	cond     *sync.Cond    // broadcast on every seq bump (progress/state)
@@ -376,6 +392,7 @@ func (m *Manager) enqueueLocked(q *jobQueue, j *Job) {
 	if len(q.jobs) == 0 {
 		m.runq = append(m.runq, q)
 	}
+	j.batch = q.id != ""
 	q.jobs = append(q.jobs, j)
 	m.nqueued++
 	if q.id != "" {
@@ -720,12 +737,68 @@ func (m *Manager) awaitDrain(ctx context.Context) {
 	m.baseCancel()
 }
 
+// started carries everything a worker needs to execute a job it has
+// already transitioned to Running.
+type started struct {
+	j      *Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	data   least.Dataset
+	spec   *least.Spec
+	obs    []func(Status)
+	st     Status
+}
+
+// startLocked transitions a freshly popped job to Running. ok is false
+// when the job raced with a cancel and is no longer queued. Caller
+// holds m.mu, so the transition serializes against Shutdown — once
+// draining is set no new job can start.
+func (m *Manager) startLocked(j *Job) (started, bool) {
+	j.mu.Lock()
+	if j.state != Queued { // raced with a cancel
+		j.mu.Unlock()
+		return started{}, false
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.cancel = cancel
+	j.state = Running
+	j.started = time.Now()
+	j.notifyLocked()
+	obs, st := j.transitionObserversLocked()
+	r := started{j: j, ctx: ctx, cancel: cancel, data: j.data, spec: j.spec, obs: obs, st: st}
+	j.mu.Unlock()
+	return r, true
+}
+
+// peekFleetLocked returns the job popLocked would hand out next iff it
+// qualifies for the current gang: a batch-lane task with d ≤ FleetDim.
+// Anything else — an interactive job, a task too big to fuse, an empty
+// ring — returns nil and ends gang formation, so a gang never reorders
+// the round-robin schedule; it only runs a prefix of it concurrently.
+// Caller holds m.mu.
+func (m *Manager) peekFleetLocked() *Job {
+	if len(m.runq) == 0 {
+		return nil
+	}
+	if m.rr >= len(m.runq) {
+		m.rr = 0
+	}
+	q := m.runq[m.rr]
+	if q.id == "" || q.jobs[0].d > m.cfg.FleetDim {
+		return nil
+	}
+	return q.jobs[0]
+}
+
 // worker is one pool slot: it pops admitted jobs, round-robin across
-// lanes, until shutdown. The queued → running transition happens under
-// m.mu, so it serializes against Shutdown — once draining is set no
-// new job can start.
+// lanes, until shutdown. When the popped job is a small-d batch task
+// and this slot's core share covers more than one of them, the slot
+// runs a gang — the scheduler's next few qualifying jobs, concurrently
+// — instead of leaving share−1 cores idle under one undersized
+// goroutine pool (DESIGN.md §9).
 func (m *Manager) worker() {
 	defer m.wg.Done()
+	share := m.cfg.Procs / m.cfg.MaxConcurrent
 	for {
 		m.mu.Lock()
 		for m.nqueued == 0 && !m.draining {
@@ -735,34 +808,57 @@ func (m *Manager) worker() {
 			m.mu.Unlock()
 			return
 		}
-		j := m.popLocked()
-		j.mu.Lock()
-		if j.state != Queued { // raced with a cancel
-			j.mu.Unlock()
+		lead, ok := m.startLocked(m.popLocked())
+		if !ok {
 			m.mu.Unlock()
 			continue
 		}
-		ctx, cancel := context.WithCancel(m.baseCtx)
-		j.cancel = cancel
-		j.state = Running
-		j.started = time.Now()
-		j.notifyLocked()
-		obs, st := j.transitionObserversLocked()
-		data := j.data
-		spec := j.spec
-		j.mu.Unlock()
+		gang := []started{lead}
+		if share > 1 && m.cfg.FleetDim > 0 && lead.j.batch && lead.j.d <= m.cfg.FleetDim {
+			for len(gang) < share {
+				nj := m.peekFleetLocked()
+				if nj == nil {
+					break
+				}
+				m.popLocked() // pops exactly nj
+				if r, ok := m.startLocked(nj); ok {
+					gang = append(gang, r)
+				}
+			}
+		}
 		m.mu.Unlock()
-		notifyTransition(obs, st)
-
-		m.runJob(j, ctx, cancel, data, spec)
+		for _, r := range gang {
+			notifyTransition(r.obs, r.st)
+		}
+		if len(gang) == 1 {
+			capped := CapParallelism(lead.spec.Parallelism(), m.cfg.Procs, m.cfg.MaxConcurrent)
+			m.runJob(lead.j, lead.ctx, lead.cancel, lead.data, lead.spec, capped)
+			continue
+		}
+		// The gang splits this slot's core share evenly: members run
+		// concurrently, each one's kernel fan-out capped to its slice.
+		// Row-striped GEMM keeps every result bit-identical to a solo
+		// run at any of these bounds.
+		var wg sync.WaitGroup
+		for _, r := range gang {
+			r := r
+			capped := CapParallelism(r.spec.Parallelism(), share, len(gang))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m.runJob(r.j, r.ctx, r.cancel, r.data, r.spec, capped)
+			}()
+		}
+		wg.Wait()
 	}
 }
 
 // runJob executes one already-started job under its context,
-// publishing progress snapshots as the learner iterates.
-func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, data least.Dataset, spec *least.Spec) {
+// publishing progress snapshots as the learner iterates. capped is the
+// parallelism bound the scheduler granted this job — a full core share
+// for a solo run, a split of one share for a gang member.
+func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, data least.Dataset, spec *least.Spec, capped int) {
 	defer cancel()
-	capped := CapParallelism(spec.Parallelism(), m.cfg.Procs, m.cfg.MaxConcurrent)
 	runSpec, err := spec.With(
 		least.WithParallelism(capped),
 		least.WithProgress(func(p least.Progress) {
