@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short bench bench-parallel bench-json bench-check sweep serve clean
+.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short test-query bench bench-parallel bench-json bench-check load-smoke sweep serve clean
 
-ci: api-check fmt-check build docs-check test-short
+ci: api-check fmt-check build docs-check test-short test-query
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,12 @@ test:
 test-short:
 	$(GO) test -race -short ./...
 
+# The read-side suite that -short skips: the d-separation fuzz oracle
+# and the leastload end-to-end smoke (a ~1s self-hosted run with the
+# /metrics ledger cross-check), both under the race detector.
+test-query:
+	$(GO) test -race -count=1 ./internal/query ./cmd/leastload
+
 # All paper-artifact and kernel micro-benchmarks.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -79,6 +85,17 @@ bench-json:
 bench-check:
 	$(GO) test -run xxx -bench 'LossGram|GEMM' -benchmem . \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_PR6.json -filter 'LossGram|GEMM' -max-ratio 2
+
+# Nightly saturation proof: 30s of mixed query + fleet-batch traffic
+# against a self-hosted daemon, with the exact /metrics ledger check
+# and a sustained-QPS floor. Writes the benchjson-schema LOAD.json
+# the workflow uploads as the load-trajectory artifact. Like
+# bench-check, this is nightly-owned, never PR-blocking.
+load-smoke:
+	$(GO) run ./cmd/leastload -duration 30s -query-workers 512 \
+		-interactive 0 -batch-d 6 -batch-n 32 -batch-tasks 16 \
+		-check -min-qps 10000 -out LOAD.json
+	@echo "wrote LOAD.json"
 
 # Worker-count sweep on this machine (pick Options.Parallelism).
 sweep:

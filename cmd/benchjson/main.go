@@ -55,6 +55,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "output path (default: stdout unless -baseline is set)")
+	in := fs.String("in", "", "read an existing bench JSON document instead of parsing go test output on stdin (leastload reports, prior -out files)")
 	baseline := fs.String("baseline", "", "compare against this committed bench JSON instead of emitting a document")
 	filterStr := fs.String("filter", "", "regexp restricting which benchmarks the -baseline comparison covers (default: all)")
 	maxRatio := fs.Float64("max-ratio", 2, "fail when fresh ns/op exceeds this multiple of the baseline")
@@ -71,32 +72,47 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	}
 
 	rep := Report{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(stdin)
-	sc.Buffer(make([]byte, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Fprintln(stderr, line) // tee: keep the human-readable stream
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			rep.GOOS = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "pkg: "):
-			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseBench(line); ok {
-				rep.Benchmarks = append(rep.Benchmarks, b)
+	if *in != "" {
+		// Documents from a prior -out run or from `leastload -out` skip
+		// the text parse — this is how the load-test gate reuses the
+		// baseline machinery below.
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %s: %v\n", *in, err)
+			return 1
+		}
+	} else {
+		sc := bufio.NewScanner(stdin)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(stderr, line) // tee: keep the human-readable stream
+			switch {
+			case strings.HasPrefix(line, "goos: "):
+				rep.GOOS = strings.TrimPrefix(line, "goos: ")
+			case strings.HasPrefix(line, "goarch: "):
+				rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			case strings.HasPrefix(line, "pkg: "):
+				rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			case strings.HasPrefix(line, "cpu: "):
+				rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			case strings.HasPrefix(line, "Benchmark"):
+				if b, ok := parseBench(line); ok {
+					rep.Benchmarks = append(rep.Benchmarks, b)
+				}
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(stderr, "benchjson:", err)
-		return 1
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
 	}
 	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		fmt.Fprintln(stderr, "benchjson: no benchmark results to process")
 		return 1
 	}
 

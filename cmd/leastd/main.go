@@ -46,12 +46,24 @@
 //	GET    /v2/batches/{id}/events  batch progress counters over SSE
 //	DELETE /v2/batches/{id}     cancel every queued + running task
 //
+//	GET    /v2/jobs/{id}/query/summary    compiled-network shape + acyclicity
+//	GET    /v2/jobs/{id}/query/parents    ?node= weighted parent set
+//	GET    /v2/jobs/{id}/query/children   ?node= weighted child set
+//	GET    /v2/jobs/{id}/query/blanket    ?node= Markov blanket
+//	GET    /v2/jobs/{id}/query/dsep       ?x=&y=&z=a,b d-separation verdict
+//	GET    /v2/batches/{id}/edges         cross-task edge confidence
+//
 //	POST   /v1/jobs             submit with {"options": {"sparse": true, ...}}
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        status + iteration progress
 //	GET    /v1/jobs/{id}/graph  learned network
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness + cache counters
+//	GET    /metrics             Prometheus text exposition (DESIGN.md §10)
+//
+// -debug-addr serves net/http/pprof on a second listener (off by
+// default; never on the API address), so a saturated daemon can be
+// profiled live without exposing profiles to API clients.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight HTTP requests and running
 // jobs get a grace period before being cancelled.
@@ -64,6 +76,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -88,10 +101,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", 2, "concurrent learn jobs (each job's parallelism is capped at cores/jobs)")
 	queue := fs.Int("queue", 64, "admission queue depth before load shedding")
 	cache := fs.Int("cache", 64, "result-cache capacity in entries (-1 disables)")
+	queryCache := fs.Int("query-cache", 128, "compiled-form query cache capacity in entries (-1 disables)")
 	datasets := fs.Int("datasets", 32, "registered-dataset store capacity in entries (-1 disables)")
 	backlog := fs.Int("batch-backlog", 16384, "queued-task bound across all batches before per-task shedding")
 	fleetDim := fs.Int("fleet-dim", 64, "gang-schedule batch tasks with at most this many variables (-1 disables)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for running jobs")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -107,11 +122,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxConcurrent:   *jobs,
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
+		QueryCacheSize:  *queryCache,
 		DatasetCapacity: *datasets,
 		BatchBacklog:    *backlog,
 		FleetDim:        *fleetDim,
 	})
 	srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
+
+	// The pprof surface lives on its own listener, registered on its
+	// own mux (never the DefaultServeMux, never the API handler): the
+	// API port stays profile-free, and leaving -debug-addr empty keeps
+	// the whole surface off.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "leastd: debug listener:", err)
+			return 1
+		}
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Handler: dm}
+		defer dsrv.Close()
+		go func() { _ = dsrv.Serve(dln) }()
+		fmt.Fprintf(stderr, "leastd debug (pprof) on %s\n", dln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,598 @@
+// Command leastload is the saturation load generator for leastd — the
+// proof that the read side (DESIGN.md §10) serves structural queries
+// at four-digit-to-five-digit QPS while the write side is busy
+// learning. It drives three mixed workloads against one daemon:
+//
+//   - query hammer: N workers cycling summary / parents / children /
+//     blanket / dsep over a set of seeded finished jobs, plus batch
+//     edge-confidence reads — the latency- and QPS-measured stream;
+//   - fleet batches: back-to-back POST /v2/batches manifests of small
+//     unique learn tasks, keeping the worker pool and the GEMM slot
+//     region saturated underneath the queries;
+//   - interactive solves: submit-and-wait single jobs, the latency a
+//     dashboard user sees while everything else is happening.
+//
+// With -addr empty (the default) it self-hosts: an in-process manager
+// and HTTP server on a loopback listener, so the run needs no running
+// daemon and, with -check, can cross-check the daemon's /metrics
+// counters against the generator's own tallies — every query the
+// generator got an answer to must appear in
+// least_query_requests_total, exactly.
+//
+// The report is benchjson-compatible JSON (-out), so the nightly gate
+// can feed it back through `benchjson -in load.json -baseline ...`:
+//
+//	leastload -duration 30s -out load.json -check -min-qps 10000
+//
+// LoadQuery/throughput encodes sustained QPS as ns/op (QPS = 1e9 /
+// ns_per_op); LoadQuery/latency-{mean,p50,p90,p99} are per-request
+// wall times.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Benchmark / Report mirror cmd/benchjson's document schema (one
+// parsed result per line); leastload emits them directly instead of
+// round-tripping through `go test -bench` text.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// tallies is the generator's own ledger, kept so -check can hold the
+// daemon's /metrics counters to account. Every field counts completed
+// round-trips (a response was read), which is exactly what the
+// daemon's middleware counted on its side; transport errors make the
+// ledgers incomparable and are tracked separately.
+type tallies struct {
+	httpResponses   atomic.Int64 // every response read, all routes
+	queryResponses  atomic.Int64 // /query/* and /edges responses
+	queryErrors     atomic.Int64 // non-200 answers on the query stream
+	transportErrors atomic.Int64
+	jobsSubmitted   atomic.Int64 // seed + interactive single jobs
+	batchesOK       atomic.Int64
+	batchTasksSent  atomic.Int64
+	batchTasksDone  atomic.Int64
+	interactiveDone atomic.Int64
+}
+
+type client struct {
+	base string
+	hc   *http.Client
+	t    *tallies
+
+	// base0 is a raw /metrics scrape taken before the run's first
+	// tallied request; -check compares counter *deltas* against it, so
+	// a daemon that served traffic before this run stays checkable.
+	base0 map[string]float64
+}
+
+// req does one JSON round-trip, decoding 2xx bodies into out.
+func (c *client) req(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	httpReq, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		httpReq.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		c.t.transportErrors.Add(1)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	c.t.httpResponses.Add(1)
+	if out != nil && resp.StatusCode < 300 {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// queryGet is the hot-path fetch: drain and discard, count, return the
+// status. No JSON decode — the measured cost is the server's.
+func (c *client) queryGet(path string) (int, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		c.t.transportErrors.Add(1)
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.t.httpResponses.Add(1)
+	c.t.queryResponses.Add(1)
+	return resp.StatusCode, nil
+}
+
+// chainSamples draws n observations of the d-variable linear chain
+// X0 → X1 → ... → X(d−1) — data whose learned structure is a known
+// DAG, so seeded jobs answer every query verb including dsep.
+func chainSamples(rng *rand.Rand, n, d int) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		row[0] = rng.NormFloat64()
+		for j := 1; j < d; j++ {
+			row[j] = 0.8*row[j-1] + 0.5*rng.NormFloat64()
+		}
+		x[i] = row
+	}
+	return x
+}
+
+func main() { os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leastload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "base URL of a running leastd (e.g. http://127.0.0.1:8080); empty self-hosts an in-process daemon")
+	duration := fs.Duration("duration", 15*time.Second, "measured load window")
+	workers := fs.Int("query-workers", 4, "concurrent query-stream goroutines")
+	seedJobs := fs.Int("seed-jobs", 3, "finished jobs to seed as query targets")
+	dim := fs.Int("d", 24, "variables per seeded job")
+	samples := fs.Int("n", 160, "observations per seeded job")
+	tau := fs.Float64("tau", 0.3, "edge threshold for every query")
+	interactive := fs.Int("interactive", 1, "concurrent submit-and-wait job loops (0 disables)")
+	batchTasks := fs.Int("batch-tasks", 24, "tasks per fleet batch manifest (0 disables the batch loop)")
+	batchDim := fs.Int("batch-d", 8, "variables per fleet batch task")
+	batchSamples := fs.Int("batch-n", 48, "observations per fleet batch task")
+	pool := fs.Int("pool", 2, "self-host worker pool size (ignored with -addr)")
+	seed := fs.Int64("seed", 1, "RNG seed for synthetic data")
+	out := fs.String("out", "", "write the benchjson-compatible report here (default: stdout)")
+	check := fs.Bool("check", false, "after quiescing, cross-check /metrics counters against the generator's tallies")
+	minQPS := fs.Float64("min-qps", 0, "fail the run when sustained query QPS lands below this")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *workers < 1 || *seedJobs < 1 {
+		fmt.Fprintln(stderr, "leastload: -query-workers and -seed-jobs must be at least 1")
+		return 2
+	}
+
+	// A bare host:port is the natural thing to paste from `leastd
+	// listening on ...`; default the scheme rather than erroring on
+	// the colon.
+	if *addr != "" && !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+	t := &tallies{}
+	c := &client{
+		base: strings.TrimRight(*addr, "/"),
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        *workers * 4,
+			MaxIdleConnsPerHost: *workers * 4,
+		}},
+		t: t,
+	}
+
+	// Self-host: the full daemon stack — manager, API handler,
+	// loopback TCP — in-process. Going through real HTTP keeps the
+	// measurement honest; going through a private listener keeps the
+	// -check ledgers exact (nobody else can touch the counters).
+	if *addr == "" {
+		// MaxHistory must outlast the run's own fleet churn: every batch
+		// task mints a job, and history eviction past the bound would
+		// (correctly) 404 the seeded query targets mid-run.
+		mgr := serve.NewManager(serve.Config{MaxConcurrent: *pool, QueueDepth: 1024, MaxHistory: 1 << 20})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, "leastload:", err)
+			return 1
+		}
+		srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			mgr.Shutdown(sctx)
+			_ = srv.Close()
+		}()
+		c.base = "http://" + ln.Addr().String()
+		fmt.Fprintf(stderr, "leastload: self-hosting on %s (pool=%d)\n", c.base, *pool)
+	} else if *check {
+		fmt.Fprintln(stderr, "leastload: -check against an external daemon assumes no concurrent traffic during the run")
+	}
+
+	// The baseline scrape is deliberately NOT tallied: the daemon
+	// counts it inside the baseline value itself (the middleware
+	// increments before the handler renders), so every tallied request
+	// after this point is exactly the counter delta.
+	if *check {
+		resp, err := c.hc.Get(c.base + "/metrics")
+		if err != nil {
+			fmt.Fprintln(stderr, "leastload: baseline metrics scrape:", err)
+			return 1
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != 200 {
+			fmt.Fprintf(stderr, "leastload: baseline metrics scrape: code %d err %v\n", resp.StatusCode, err)
+			return 1
+		}
+		c.base0 = parseMetrics(string(body))
+	}
+
+	// Seed phase: learn the query targets to completion.
+	rng := rand.New(rand.NewSource(*seed))
+	jobIDs, dsepOK := make([]string, 0, *seedJobs), make([]bool, 0, *seedJobs)
+	for i := 0; i < *seedJobs; i++ {
+		id, err := c.submitAndWait(chainSamples(rng, *samples, *dim), map[string]any{"max_outer": 5}, 2*time.Minute)
+		if err != nil {
+			fmt.Fprintln(stderr, "leastload: seeding:", err)
+			return 1
+		}
+		var sum struct {
+			D     int  `json:"d"`
+			Edges int  `json:"edges"`
+			IsDAG bool `json:"is_dag"`
+		}
+		code, err := c.req("GET", fmt.Sprintf("/v2/jobs/%s/query/summary?tau=%g", id, *tau), nil, &sum)
+		t.queryResponses.Add(1) // the probe hits a query route; keep the ledger exact
+		if err != nil || code != 200 {
+			fmt.Fprintf(stderr, "leastload: probing %s: code %d err %v\n", id, code, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "leastload: seeded %s (d=%d edges=%d dag=%v)\n", id, sum.D, sum.Edges, sum.IsDAG)
+		jobIDs = append(jobIDs, id)
+		dsepOK = append(dsepOK, sum.IsDAG)
+	}
+	t.jobsSubmitted.Add(int64(*seedJobs))
+
+	urls := queryURLs(jobIDs, dsepOK, *dim, *tau)
+
+	// Load phase.
+	loadStart := time.Now()
+	stopAt := loadStart.Add(*duration)
+	lats := make([][]int64, *workers)
+	var queryWG sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		w := w
+		queryWG.Add(1)
+		go func() {
+			defer queryWG.Done()
+			lat := make([]int64, 0, 1<<16)
+			for i := w; time.Now().Before(stopAt); i++ {
+				u := urls[i%len(urls)]
+				t0 := time.Now()
+				code, err := c.queryGet(u)
+				if err != nil || code != 200 {
+					t.queryErrors.Add(1)
+					continue
+				}
+				lat = append(lat, int64(time.Since(t0)))
+			}
+			lats[w] = lat
+		}()
+	}
+
+	var bgWG sync.WaitGroup
+	if *batchTasks > 0 {
+		bgWG.Add(1)
+		brng := rand.New(rand.NewSource(*seed + 1000))
+		go func() {
+			defer bgWG.Done()
+			c.batchLoop(stderr, brng, stopAt, *batchTasks, *batchSamples, *batchDim, *tau)
+		}()
+	}
+	for k := 0; k < *interactive; k++ {
+		bgWG.Add(1)
+		irng := rand.New(rand.NewSource(*seed + 2000 + int64(k)))
+		go func() {
+			defer bgWG.Done()
+			c.interactiveLoop(irng, stopAt, *samples, *dim)
+		}()
+	}
+
+	queryWG.Wait()
+	elapsed := time.Since(loadStart)
+	bgWG.Wait() // quiesce: outstanding batches and solves run to terminal
+
+	// Fold the latency series.
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	queries := int64(len(all))
+	if queries == 0 {
+		fmt.Fprintln(stderr, "leastload: no successful queries — nothing to report")
+		return 1
+	}
+	var sum int64
+	for _, v := range all {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i])
+	}
+	qps := float64(queries) / elapsed.Seconds()
+	fmt.Fprintf(stderr, "leastload: %d queries in %.1fs = %.0f q/s (mean %.2fms p50 %.2fms p90 %.2fms p99 %.2fms), %d errors\n",
+		queries, elapsed.Seconds(), qps,
+		float64(sum)/float64(queries)/1e6, pct(0.50)/1e6, pct(0.90)/1e6, pct(0.99)/1e6,
+		t.queryErrors.Load())
+	fmt.Fprintf(stderr, "leastload: background: %d batches (%d/%d tasks done), %d interactive solves\n",
+		t.batchesOK.Load(), t.batchTasksDone.Load(), t.batchTasksSent.Load(), t.interactiveDone.Load())
+
+	rep := Report{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Pkg: "repro/cmd/leastload", CPU: fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)),
+		Benchmarks: []Benchmark{
+			{Name: "LoadQuery/throughput", Iterations: queries, NsPerOp: float64(elapsed.Nanoseconds()) / float64(queries)},
+			{Name: "LoadQuery/latency-mean", Iterations: queries, NsPerOp: float64(sum) / float64(queries)},
+			{Name: "LoadQuery/latency-p50", Iterations: queries, NsPerOp: pct(0.50)},
+			{Name: "LoadQuery/latency-p90", Iterations: queries, NsPerOp: pct(0.90)},
+			{Name: "LoadQuery/latency-p99", Iterations: queries, NsPerOp: pct(0.99)},
+		},
+	}
+	if done := t.batchTasksDone.Load(); done > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name: "LoadBatch/tasks", Iterations: done,
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(done),
+		})
+	}
+	if done := t.interactiveDone.Load(); done > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name: "LoadSolve/interactive", Iterations: done,
+			NsPerOp: float64(elapsed.Nanoseconds()) / float64(done),
+		})
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "leastload:", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(doc)
+	} else {
+		err = os.WriteFile(*out, doc, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "leastload:", err)
+		return 1
+	}
+
+	rc := 0
+	if *check && !c.checkMetrics(stderr) {
+		rc = 1
+	}
+	if t.queryErrors.Load() > 0 {
+		fmt.Fprintf(stderr, "leastload: FAIL: %d query errors\n", t.queryErrors.Load())
+		rc = 1
+	}
+	if *minQPS > 0 && qps < *minQPS {
+		fmt.Fprintf(stderr, "leastload: FAIL: %.0f q/s below the -min-qps %.0f floor\n", qps, *minQPS)
+		rc = 1
+	}
+	return rc
+}
+
+// queryURLs pre-renders the rotation of query requests so the hot loop
+// never formats strings. Every verb appears for every seeded job;
+// dsep only where the compiled graph is a DAG at this tau.
+func queryURLs(jobIDs []string, dsepOK []bool, d int, tau float64) []string {
+	var urls []string
+	taus := fmt.Sprintf("?tau=%g", tau)
+	for k, id := range jobIDs {
+		base := "/v2/jobs/" + id
+		urls = append(urls, base+"/query/summary"+taus)
+		for _, node := range []int{0, d / 2, d - 1} {
+			ns := strconv.Itoa(node)
+			urls = append(urls,
+				base+"/query/parents"+taus+"&node="+ns,
+				base+"/query/children"+taus+"&node="+ns,
+				base+"/query/blanket"+taus+"&node="+ns)
+		}
+		if dsepOK[k] {
+			urls = append(urls,
+				fmt.Sprintf("%s/query/dsep%s&x=0&y=%d", base, taus, d-1),
+				fmt.Sprintf("%s/query/dsep%s&x=0&y=%d&z=%d", base, taus, d-1, d/2))
+		}
+	}
+	return urls
+}
+
+// submitAndWait posts one inline job and polls it to done.
+func (c *client) submitAndWait(samples [][]float64, spec map[string]any, timeout time.Duration) (string, error) {
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	code, err := c.req("POST", "/v2/jobs", map[string]any{"samples": samples, "spec": spec}, &st)
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK && code != http.StatusAccepted {
+		return "", fmt.Errorf("submit: HTTP %d", code)
+	}
+	deadline := time.Now().Add(timeout)
+	for st.State != "done" {
+		if st.State == "failed" || st.State == "cancelled" {
+			return "", fmt.Errorf("job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("job %s: still %s after %s", st.ID, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if _, err := c.req("GET", "/v2/jobs/"+st.ID, nil, &st); err != nil {
+			return "", err
+		}
+	}
+	return st.ID, nil
+}
+
+// batchLoop submits fleet manifests back to back until the window
+// closes, each a set of unique small-d learns, waiting each batch to a
+// terminal state (the last one past the window — quiesce before
+// -check). After each batch it reads the cross-task edge-confidence
+// view, exercising the aggregation path under load.
+func (c *client) batchLoop(stderr io.Writer, rng *rand.Rand, stopAt time.Time, tasks, n, d int, tau float64) {
+	for time.Now().Before(stopAt) {
+		manifest := make([]map[string]any, tasks)
+		for i := range manifest {
+			manifest[i] = map[string]any{
+				"id":      fmt.Sprintf("t%d", i),
+				"samples": chainSamples(rng, n, d),
+				"spec":    map[string]any{"max_outer": 2, "max_inner": 8},
+			}
+		}
+		var bst struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Done  int    `json:"done"`
+		}
+		code, err := c.req("POST", "/v2/batches", map[string]any{"tasks": manifest}, &bst)
+		if err != nil || code != http.StatusAccepted && code != http.StatusOK {
+			fmt.Fprintf(stderr, "leastload: batch submit: code %d err %v\n", code, err)
+			return
+		}
+		c.t.batchTasksSent.Add(int64(tasks))
+		for bst.State == string(serve.BatchRunning) {
+			time.Sleep(20 * time.Millisecond)
+			if _, err := c.req("GET", "/v2/batches/"+bst.ID, nil, &bst); err != nil {
+				return
+			}
+		}
+		c.t.batchesOK.Add(1)
+		c.t.batchTasksDone.Add(int64(bst.Done))
+		if code, err := c.queryGet(fmt.Sprintf("/v2/batches/%s/edges?tau=%g&limit=10", bst.ID, tau)); err != nil || code != 200 {
+			c.t.queryErrors.Add(1)
+		}
+	}
+}
+
+// interactiveLoop is one simulated dashboard user: submit, wait, loop.
+func (c *client) interactiveLoop(rng *rand.Rand, stopAt time.Time, n, d int) {
+	for time.Now().Before(stopAt) {
+		if _, err := c.submitAndWait(chainSamples(rng, n, d), map[string]any{"max_outer": 3}, 2*time.Minute); err != nil {
+			return
+		}
+		c.t.jobsSubmitted.Add(1)
+		c.t.interactiveDone.Add(1)
+	}
+}
+
+// checkMetrics scrapes /metrics and holds the daemon's ledgers to the
+// generator's: every counted round-trip must appear, exactly, and the
+// quiesced daemon must show nothing queued or running. The scrape
+// itself is counted by the daemon's middleware before rendering, and
+// by the generator when the response lands — both sides include it.
+func (c *client) checkMetrics(stderr io.Writer) bool {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		fmt.Fprintln(stderr, "leastload: metrics scrape:", err)
+		return false
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	c.t.httpResponses.Add(1)
+	if err != nil || resp.StatusCode != 200 {
+		fmt.Fprintf(stderr, "leastload: metrics scrape: code %d err %v\n", resp.StatusCode, err)
+		return false
+	}
+	if n := c.t.transportErrors.Load(); n > 0 {
+		fmt.Fprintf(stderr, "leastload: %d transport errors — counter cross-check skipped (ledgers incomparable)\n", n)
+		return true
+	}
+	m := parseMetrics(string(body))
+	ok := true
+	// Every comparison is a delta against the pre-run baseline scrape,
+	// so counters accumulated before this run cancel out.
+	delta := func(name string) (int64, bool) {
+		got, present := m[name]
+		return int64(got - c.base0[name]), present
+	}
+	expect := func(name string, want int64) {
+		got, present := delta(name)
+		if !present || got != want {
+			fmt.Fprintf(stderr, "leastload: FAIL: %s moved by %d, generator tallied %d\n", name, got, want)
+			ok = false
+		}
+	}
+	expect("least_http_requests_total", c.t.httpResponses.Load())
+	expect("least_query_requests_total", c.t.queryResponses.Load())
+	expect("least_batches_submitted_total", c.t.batchesOK.Load())
+	expect("least_batch_tasks_admitted_total", c.t.batchTasksSent.Load())
+	// Jobs minted = single submissions + batch tasks that neither
+	// joined an in-flight twin nor were shed (cache-answered tasks DO
+	// mint a born-done job). The daemon's own counters supply the
+	// dedup/shed terms, so this is a cross-ledger identity, not a
+	// tautology.
+	deduped, _ := delta("least_batch_tasks_deduped_total")
+	shed, _ := delta("least_batch_tasks_shed_total")
+	expect("least_jobs_submitted_total",
+		c.t.jobsSubmitted.Load()+c.t.batchTasksSent.Load()-deduped-shed)
+	expect("least_jobs_running", 0)
+	expect("least_jobs_queued", 0)
+	if ok {
+		fmt.Fprintln(stderr, "leastload: /metrics counters consistent with generator tallies")
+	}
+	return ok
+}
+
+// parseMetrics reads the Prometheus text exposition into name → value.
+func parseMetrics(body string) map[string]float64 {
+	m := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+			m[fields[0]] = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestLoadSmoke runs the generator end-to-end against a self-hosted
+// daemon for a short burst with the metrics cross-check on: the run
+// must finish cleanly, the /metrics ledger must match the generator's
+// own tallies, and the report must carry a positive throughput row in
+// the benchjson schema the CI gate consumes.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke is a second of wall clock; skipped in -short")
+	}
+	dir := t.TempDir()
+	out := dir + "/load.json"
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-duration", "1s",
+		"-query-workers", "4",
+		"-seed-jobs", "2",
+		"-d", "8", "-n", "60",
+		"-batch-tasks", "4", "-batch-d", "5", "-batch-n", "30",
+		"-interactive", "0",
+		"-check",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("leastload exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "consistent with generator tallies") {
+		t.Fatalf("metrics cross-check did not report consistency:\n%s", stderr.String())
+	}
+
+	var rep Report
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report decode: %v\n%s", err, raw)
+	}
+	var throughput *Benchmark
+	for i := range rep.Benchmarks {
+		if rep.Benchmarks[i].Name == "LoadQuery/throughput" {
+			throughput = &rep.Benchmarks[i]
+		}
+	}
+	if throughput == nil {
+		t.Fatalf("no LoadQuery/throughput row in report:\n%s", raw)
+	}
+	if throughput.Iterations <= 0 || throughput.NsPerOp <= 0 {
+		t.Fatalf("degenerate throughput row: %+v", throughput)
+	}
+}

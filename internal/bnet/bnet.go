@@ -54,6 +54,19 @@ func FromCSR(w *sparse.CSR, tau float64, names []string) *Network {
 	return n
 }
 
+// FromEdges builds a Network from an explicit weighted edge list —
+// the constructor for callers that already hold a thresholded form
+// (internal/query renders its compiled graphs back into the stable
+// bnet wire shape through this). Self-loops and out-of-range endpoints
+// panic, matching AddEdge.
+func FromEdges(d int, names []string, edges []WeightedEdge) *Network {
+	n := newNetwork(d, names)
+	for _, e := range edges {
+		n.addEdge(e.From, e.To, e.Weight)
+	}
+	return n
+}
+
 func newNetwork(d int, names []string) *Network {
 	if names == nil {
 		names = make([]string, d)

@@ -54,6 +54,20 @@ const gemmTileThreshold = 1 << 15
 // blocking.
 var gemmSlots = make(chan struct{}, runtime.NumCPU())
 
+// gemmSlotSpawns / gemmSlotDenials count helper-goroutine spawn
+// attempts against the slot region: a spawn means a free slot was
+// claimed, a denial means the region was saturated and the caller
+// stayed serial. The ratio is the one number that says whether the
+// fleet is GEMM-bound (denials climb) or scheduler-bound (slots sit
+// idle) — exported to the daemon's /metrics via GEMMSlotStats.
+var gemmSlotSpawns, gemmSlotDenials atomic.Int64
+
+// GEMMSlotStats reports the cumulative helper-goroutine spawns and
+// slot-saturation denials of the process-wide GEMM execution region.
+func GEMMSlotStats() (spawns, denials int64) {
+	return gemmSlotSpawns.Load(), gemmSlotDenials.Load()
+}
+
 // packPool recycles packed-B workspaces across multiplies so the hot
 // G·W of the Gram loss allocates no pack buffer at steady state. packB
 // overwrites every slot (including edge padding) before use, so stale
@@ -271,6 +285,7 @@ spawn:
 	for h := 0; h < workers-1; h++ {
 		select {
 		case gemmSlots <- struct{}{}:
+			gemmSlotSpawns.Add(1)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -278,6 +293,7 @@ spawn:
 				run()
 			}()
 		default:
+			gemmSlotDenials.Add(1)
 			break spawn
 		}
 	}

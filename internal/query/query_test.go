@@ -1,0 +1,406 @@
+package query
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/bnet"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// randDAG fills a d×d weight matrix with edges u→v only for u < v
+// under a random node relabelling, so the graph is acyclic by
+// construction. Edge weights are ±[0.6, 1.4]; tau 0.5 keeps them all.
+func randDAG(rng *rand.Rand, d int, p float64) *mat.Dense {
+	order := rng.Perm(d)
+	w := mat.NewDense(d, d)
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			if rng.Float64() < p {
+				v := 0.6 + 0.8*rng.Float64()
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				w.Set(order[a], order[b], v)
+			}
+		}
+	}
+	return w
+}
+
+const tau = 0.5
+
+// adj materializes the thresholded adjacency as bool matrices for the
+// oracle implementations — a representation deliberately different
+// from the CSR the compiled form uses.
+func adj(w *mat.Dense) [][]bool {
+	d := w.Rows()
+	a := make([][]bool, d)
+	for i := range a {
+		a[i] = make([]bool, d)
+		for j := 0; j < d; j++ {
+			if i != j && abs(w.At(i, j)) > tau {
+				a[i][j] = true
+			}
+		}
+	}
+	return a
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// oracleDescendants returns the descendant set of v (v excluded) by
+// plain BFS over the adjacency matrix.
+func oracleDescendants(a [][]bool, v int) map[int]bool {
+	seen := map[int]bool{}
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for w := range a {
+			if a[u][w] && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	delete(seen, v)
+	return seen
+}
+
+// oracleDSeparated enumerates every simple undirected path between x
+// and y and checks each against the textbook blocking definition: a
+// path is blocked iff some interior node is a non-collider in the
+// observed set, or a collider with neither itself nor any descendant
+// observed. d-separation holds iff every path is blocked.
+func oracleDSeparated(a [][]bool, x, y int, z map[int]bool) bool {
+	d := len(a)
+	onPath := make([]bool, d)
+	path := []int{x}
+	onPath[x] = true
+	active := false
+
+	var pathActive func() bool
+	pathActive = func() bool {
+		for i := 1; i+1 < len(path); i++ {
+			prev, v, next := path[i-1], path[i], path[i+1]
+			collider := a[prev][v] && a[next][v] // both edges point into v
+			if collider {
+				ok := z[v]
+				if !ok {
+					for dn := range oracleDescendants(a, v) {
+						if z[dn] {
+							ok = true
+							break
+						}
+					}
+				}
+				if !ok {
+					return false // closed collider blocks
+				}
+			} else if z[v] {
+				return false // observed non-collider blocks
+			}
+		}
+		return true
+	}
+
+	var walk func(v int)
+	walk = func(v int) {
+		if active {
+			return
+		}
+		if v == y {
+			if pathActive() {
+				active = true
+			}
+			return
+		}
+		for u := 0; u < d; u++ {
+			if (a[v][u] || a[u][v]) && !onPath[u] {
+				onPath[u] = true
+				path = append(path, u)
+				walk(u)
+				path = path[:len(path)-1]
+				onPath[u] = false
+			}
+		}
+	}
+	walk(x)
+	return !active
+}
+
+// TestDSeparatedOracleFuzz cross-checks the reachability-based
+// DSeparated against the brute-force path-enumeration oracle on random
+// DAGs: exhaustively over all observed-set subsets for small d, and on
+// random subsets up to d=12. Well over 1,000 cases run even with
+// -short.
+func TestDSeparatedOracleFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := 0
+
+	// Small graphs, all subsets of V\{x,y} for a few random pairs.
+	for g := 0; g < 80; g++ {
+		d := 3 + rng.Intn(5) // 3..7
+		w := randDAG(rng, d, 0.25+0.35*rng.Float64())
+		c := CompileDense(w, tau, nil)
+		a := adj(w)
+		for pair := 0; pair < 3; pair++ {
+			x := rng.Intn(d)
+			y := rng.Intn(d)
+			if x == y {
+				continue
+			}
+			rest := make([]int, 0, d-2)
+			for v := 0; v < d; v++ {
+				if v != x && v != y {
+					rest = append(rest, v)
+				}
+			}
+			for mask := 0; mask < 1<<len(rest); mask++ {
+				var zs []int
+				zm := map[int]bool{}
+				for i, v := range rest {
+					if mask&(1<<i) != 0 {
+						zs = append(zs, v)
+						zm[v] = true
+					}
+				}
+				got, err := c.DSeparated(x, y, zs)
+				if err != nil {
+					t.Fatalf("d=%d x=%d y=%d z=%v: %v", d, x, y, zs, err)
+				}
+				want := oracleDSeparated(a, x, y, zm)
+				if got != want {
+					t.Fatalf("d=%d x=%d y=%d z=%v: DSeparated=%v oracle=%v\n%v",
+						d, x, y, zs, got, want, w)
+				}
+				// d-separation is symmetric in (x, y).
+				sym, _ := c.DSeparated(y, x, zs)
+				if sym != got {
+					t.Fatalf("d=%d x=%d y=%d z=%v: asymmetric (%v vs %v)", d, x, y, zs, got, sym)
+				}
+				cases++
+			}
+		}
+	}
+
+	// Larger graphs, random subsets.
+	for g := 0; g < 60; g++ {
+		d := 8 + rng.Intn(5) // 8..12
+		w := randDAG(rng, d, 0.2+0.2*rng.Float64())
+		c := CompileDense(w, tau, nil)
+		a := adj(w)
+		for trial := 0; trial < 8; trial++ {
+			x := rng.Intn(d)
+			y := rng.Intn(d)
+			if x == y {
+				continue
+			}
+			var zs []int
+			zm := map[int]bool{}
+			for v := 0; v < d; v++ {
+				if v != x && v != y && rng.Float64() < 0.3 {
+					zs = append(zs, v)
+					zm[v] = true
+				}
+			}
+			got, err := c.DSeparated(x, y, zs)
+			if err != nil {
+				t.Fatalf("d=%d x=%d y=%d z=%v: %v", d, x, y, zs, err)
+			}
+			if want := oracleDSeparated(a, x, y, zm); got != want {
+				t.Fatalf("d=%d x=%d y=%d z=%v: DSeparated=%v oracle=%v", d, x, y, zs, got, want)
+			}
+			cases++
+		}
+	}
+	if cases < 1000 {
+		t.Fatalf("only %d oracle cases ran; want >= 1000", cases)
+	}
+	t.Logf("%d d-separation oracle cases passed", cases)
+}
+
+// TestMarkovBlanketIdentity checks blanket = parents ∪ children ∪
+// co-parents on random graphs, with the oracle reading the raw weight
+// matrix rather than the compiled CSR.
+func TestMarkovBlanketIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for g := 0; g < 200; g++ {
+		d := 2 + rng.Intn(11)
+		w := randDAG(rng, d, 0.4)
+		c := CompileDense(w, tau, nil)
+		for v := 0; v < d; v++ {
+			want := map[int]bool{}
+			for u := 0; u < d; u++ {
+				if u == v {
+					continue
+				}
+				if abs(w.At(u, v)) > tau || abs(w.At(v, u)) > tau {
+					want[u] = true // parent or child
+				}
+				for ch := 0; ch < d; ch++ {
+					if ch != v && abs(w.At(v, ch)) > tau && abs(w.At(u, ch)) > tau {
+						want[u] = true // co-parent via child ch
+					}
+				}
+			}
+			wantIdx := make([]int, 0, len(want))
+			for u := range want {
+				wantIdx = append(wantIdx, u)
+			}
+			sort.Ints(wantIdx)
+			got := c.MarkovBlanket(v)
+			gotIdx := make([]int, len(got))
+			for i, r := range got {
+				gotIdx[i] = r.Index
+			}
+			if !reflect.DeepEqual(gotIdx, wantIdx) {
+				t.Fatalf("d=%d v=%d: blanket %v want %v", d, v, gotIdx, wantIdx)
+			}
+		}
+	}
+}
+
+// TestCompiledAccessors pins the basic shape on a handcrafted graph:
+//
+//	0 → 1 → 3,  2 → 3  (so MB(0)={1}, MB(1)={0,2,3}, topo valid)
+func TestCompiledAccessors(t *testing.T) {
+	w := mat.NewDense(4, 4)
+	w.Set(0, 1, 0.9)
+	w.Set(1, 3, -0.8)
+	w.Set(2, 3, 0.7)
+	c := CompileDense(w, 0.5, []string{"A", "B", "C", "D"})
+
+	if c.D() != 4 || c.NumEdges() != 3 || !c.IsDAG() || c.Tau() != 0.5 {
+		t.Fatalf("shape: d=%d edges=%d dag=%v tau=%v", c.D(), c.NumEdges(), c.IsDAG(), c.Tau())
+	}
+	if got := c.Parents(3); len(got) != 2 || got[0].Name != "B" || got[1].Name != "C" || got[0].Weight != -0.8 {
+		t.Fatalf("Parents(3) = %+v", got)
+	}
+	if got := c.Children(0); len(got) != 1 || got[0].Index != 1 || got[0].Weight != 0.9 {
+		t.Fatalf("Children(0) = %+v", got)
+	}
+	mb := c.MarkovBlanket(1)
+	mbIdx := make([]int, len(mb))
+	for i, r := range mb {
+		mbIdx[i] = r.Index
+	}
+	if !reflect.DeepEqual(mbIdx, []int{0, 2, 3}) {
+		t.Fatalf("MarkovBlanket(1) = %v", mbIdx)
+	}
+
+	// Node resolution: by name, by index string, unknown.
+	if v, err := c.Node("C"); err != nil || v != 2 {
+		t.Fatalf("Node(C) = %d, %v", v, err)
+	}
+	if v, err := c.Node("3"); err != nil || v != 3 {
+		t.Fatalf("Node(3) = %d, %v", v, err)
+	}
+	if _, err := c.Node("nope"); err == nil {
+		t.Fatal("Node(nope) succeeded")
+	}
+
+	// Topological order respects all three edges.
+	pos := map[int]int{}
+	for i, v := range c.TopoOrder() {
+		pos[v] = i
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 3}, {2, 3}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("topo order %v violates %v", c.TopoOrder(), e)
+		}
+	}
+
+	// 0 ⊥ 2 | ∅ (closed collider at 3), but observing D opens it.
+	if sep, err := c.DSeparated(0, 2, nil); err != nil || !sep {
+		t.Fatalf("DSeparated(0,2|∅) = %v, %v", sep, err)
+	}
+	if sep, err := c.DSeparated(0, 2, []int{3}); err != nil || sep {
+		t.Fatalf("DSeparated(0,2|{3}) = %v, %v", sep, err)
+	}
+
+	// Error contracts.
+	if _, err := c.DSeparated(0, 0, nil); err == nil {
+		t.Fatal("DSeparated(x,x) succeeded")
+	}
+	if _, err := c.DSeparated(0, 1, []int{1}); err == nil {
+		t.Fatal("observed query node succeeded")
+	}
+	if _, err := c.DSeparated(0, 9, nil); err == nil {
+		t.Fatal("out-of-range node succeeded")
+	}
+}
+
+// TestCyclicGraph: a cycle at low tau must fail d-separation with
+// ErrCyclic while ancestors and blankets stay well-defined.
+func TestCyclicGraph(t *testing.T) {
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 1)
+	w.Set(1, 2, 1)
+	w.Set(2, 0, 1)
+	c := CompileDense(w, 0.5, nil)
+	if c.IsDAG() {
+		t.Fatal("cycle not detected")
+	}
+	if c.TopoOrder() != nil {
+		t.Fatal("topo order on cyclic graph")
+	}
+	if _, err := c.DSeparated(0, 1, nil); err != ErrCyclic {
+		t.Fatalf("DSeparated on cycle: %v", err)
+	}
+	if got := c.MarkovBlanket(0); len(got) != 2 {
+		t.Fatalf("MarkovBlanket(0) on cycle = %+v", got)
+	}
+}
+
+// TestCompileCSRMatchesDense: both input forms must compile to the
+// same structure and render identical JSON.
+func TestCompileCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for g := 0; g < 20; g++ {
+		d := 2 + rng.Intn(10)
+		w := randDAG(rng, d, 0.4)
+		cd := CompileDense(w, tau, nil)
+		cs := CompileCSR(sparse.FromDense(w, 0), tau, nil)
+		if !bytes.Equal(cd.NetworkJSON(), cs.NetworkJSON()) {
+			t.Fatalf("d=%d: dense and CSR compile diverge:\n%s\nvs\n%s", d, cd.NetworkJSON(), cs.NetworkJSON())
+		}
+	}
+}
+
+// TestNetworkJSONMatchesBnet: the cached render must stay
+// byte-identical to the historical FromDense → WriteJSON path the
+// /graph endpoint used before the compiled-form cache.
+func TestNetworkJSONMatchesBnet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for g := 0; g < 20; g++ {
+		d := 2 + rng.Intn(10)
+		w := randDAG(rng, d, 0.5)
+		names := make([]string, d)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		c := CompileDense(w, tau, names)
+		var want bytes.Buffer
+		if err := bnet.FromDense(w, tau, names).WriteJSON(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c.NetworkJSON(), want.Bytes()) {
+			t.Fatalf("d=%d: NetworkJSON diverges from bnet render:\n%s\nvs\n%s", d, c.NetworkJSON(), want.Bytes())
+		}
+		// Second call returns the same shared bytes, not a re-render.
+		if &c.NetworkJSON()[0] != &c.NetworkJSON()[0] {
+			t.Fatal("NetworkJSON re-rendered")
+		}
+	}
+}

@@ -451,6 +451,7 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 				t.deduped = true
 				mine[ij] = true
 				b.refs[ij] = append(b.refs[ij], i)
+				m.met.BatchTasksDeduped.Add(1)
 				continue
 			}
 			delete(m.inflight, p.key) // stale or doomed; fall through
@@ -466,12 +467,14 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 			j.waiters = 1
 			b.refs[j] = append(b.refs[j], i)
 			m.recordLocked(j)
+			m.met.BatchTasksCached.Add(1)
 			continue
 		}
 		if m.nbatchq >= m.cfg.BatchBacklog {
 			t.state = Failed
 			t.code = TaskCodeShed
 			t.err = ErrQueueFull.Error()
+			m.met.BatchTasksShed.Add(1)
 			continue
 		}
 		j.waiters = 1
@@ -486,6 +489,8 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 	// passes would make large-batch admission quadratic under m.mu.
 	m.evictHistoryLocked()
 	m.mu.Unlock()
+	m.met.BatchesSubmitted.Add(1)
+	m.met.BatchTasksAdmitted.Add(int64(len(specs)))
 
 	for _, t := range b.tasks {
 		b.admitTaskLocked(t)

@@ -133,6 +133,16 @@ func (s *datasetStore) delete(id string) error {
 	return nil
 }
 
+// len returns the number of stored datasets (0 when disabled).
+func (s *datasetStore) len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
 // list snapshots the store, most recently used first.
 func (s *datasetStore) list() []DatasetInfo {
 	if s == nil {

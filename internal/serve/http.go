@@ -11,7 +11,6 @@ import (
 	"strings"
 
 	"repro"
-	"repro/internal/bnet"
 	"repro/internal/csvio"
 )
 
@@ -57,6 +56,18 @@ import (
 //	GET    /v2/batches/{id}/tasks   per-task table, ?offset=&limit=&state=
 //	GET    /v2/batches/{id}/events  live progress counters over SSE
 //	DELETE /v2/batches/{id}         cancel queued + running tasks
+//
+// and the read side over compiled networks (DESIGN.md §10 — every
+// answer is served lock-free from the (job, tau) compiled-form cache):
+//
+//	GET /v2/jobs/{id}/query/summary   node/edge counts, acyclicity, names
+//	GET /v2/jobs/{id}/query/parents   ?node= weighted parent set
+//	GET /v2/jobs/{id}/query/children  ?node= weighted child set
+//	GET /v2/jobs/{id}/query/blanket   ?node= Markov blanket
+//	GET /v2/jobs/{id}/query/dsep      ?x=&y=&z=a,b d-separation verdict
+//	GET /v2/batches/{id}/edges        cross-task edge confidence,
+//	                                  ?tau=&min_support=&limit=
+//	GET /metrics                      Prometheus text exposition
 type API struct {
 	m *Manager
 }
@@ -93,8 +104,17 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/datasets", a.datasetList)
 	mux.HandleFunc("GET /v2/datasets/{id}", a.datasetGet)
 	mux.HandleFunc("DELETE /v2/datasets/{id}", a.datasetDelete)
+	mux.HandleFunc("GET /v2/jobs/{id}/query/{verb}", a.query)
+	mux.HandleFunc("GET /v2/batches/{id}/edges", a.batchEdges)
+	mux.HandleFunc("GET /metrics", a.metrics)
 	mux.HandleFunc("GET /healthz", a.health)
-	return mux
+	// One wrapper counts every routed request (including 404s from the
+	// mux itself) so least_http_requests_total is the true arrival rate,
+	// not a sum over the routes we remembered to instrument.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a.m.met.HTTPRequests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // SubmitRequest is the POST /v1/jobs body. Exactly one of CSV or
@@ -519,37 +539,46 @@ func (a *API) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// parseTau reads the ?tau= threshold shared by the graph, query and
+// batch-edges routes (default 0.3, the library's Threshold default).
+// ok=false means the handler already wrote a 400.
+func parseTau(w http.ResponseWriter, r *http.Request) (float64, bool) {
+	tau := 0.3
+	if s := r.URL.Query().Get("tau"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad tau %q", s)
+			return 0, false
+		}
+		tau = v
+	}
+	return tau, true
+}
+
 func (a *API) graph(w http.ResponseWriter, r *http.Request) {
 	j, err := a.m.Get(r.PathValue("id"))
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	tau := 0.3
-	if s := r.URL.Query().Get("tau"); s != "" {
-		tau, err = strconv.ParseFloat(s, 64)
-		if err != nil || math.IsNaN(tau) || math.IsInf(tau, 0) || tau < 0 {
-			httpError(w, http.StatusBadRequest, "bad tau %q", s)
-			return
-		}
+	tau, ok := parseTau(w, r)
+	if !ok {
+		return
 	}
-	res, names, err := j.Result()
+	// Serve the compiled form's cached render: repeat fetches of the
+	// same (job, tau) — dashboards refreshing, batch clients walking a
+	// task table — cost a cache hit and a buffer copy instead of a full
+	// threshold + bnet rebuild + marshal per request (DESIGN.md §10).
+	// The bytes are identical to the historical FromDense/FromCSR +
+	// WriteJSON path.
+	c, err := a.m.Compiled(j, tau)
 	if err != nil {
 		httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	var net *bnet.Network
-	if res.Weights != nil {
-		net = bnet.FromDense(res.Weights, tau, names)
-	} else {
-		net = bnet.FromCSR(res.SparseWeights, tau, names)
-	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	if err := net.WriteJSON(w); err != nil {
-		// headers are gone; nothing better to do than log-level silence
-		return
-	}
+	_, _ = w.Write(c.NetworkJSON())
 }
 
 func (a *API) cancel(w http.ResponseWriter, r *http.Request) {

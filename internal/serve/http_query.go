@@ -1,0 +1,315 @@
+package serve
+
+// The read side of the API (DESIGN.md §10): structural queries over
+// finished jobs' learned networks, served lock-free from the (job,
+// tau) compiled-form cache, plus the cross-task edge-confidence view
+// over a batch — "which edges does this fleet of scenario learns
+// agree on". Status mapping: 404 for unknown jobs/batches/verbs, 400
+// for bad parameters (including unknown node names), 409 for a job
+// without a result yet and for d-separation on a graph that is cyclic
+// at the requested threshold.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// querySummary is the GET /v2/jobs/{id}/query/summary payload.
+type querySummary struct {
+	Job   string   `json:"job"`
+	Tau   float64  `json:"tau"`
+	D     int      `json:"d"`
+	Edges int      `json:"edges"`
+	IsDAG bool     `json:"is_dag"`
+	Names []string `json:"names"`
+}
+
+// queryNeighbors answers the parents / children verbs.
+type queryNeighbors struct {
+	Job      string           `json:"job"`
+	Tau      float64          `json:"tau"`
+	Node     query.NodeRef    `json:"node"`
+	Parents  []query.Neighbor `json:"parents,omitempty"`
+	Children []query.Neighbor `json:"children,omitempty"`
+}
+
+// queryBlanket answers the blanket verb.
+type queryBlanket struct {
+	Job     string          `json:"job"`
+	Tau     float64         `json:"tau"`
+	Node    query.NodeRef   `json:"node"`
+	Blanket []query.NodeRef `json:"blanket"`
+}
+
+// queryDSep answers the dsep verb.
+type queryDSep struct {
+	Job        string          `json:"job"`
+	Tau        float64         `json:"tau"`
+	X          query.NodeRef   `json:"x"`
+	Y          query.NodeRef   `json:"y"`
+	Given      []query.NodeRef `json:"given"`
+	DSeparated bool            `json:"d_separated"`
+}
+
+func (a *API) query(w http.ResponseWriter, r *http.Request) {
+	a.m.met.QueryRequests.Add(1)
+	j, err := a.m.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	tau, ok := parseTau(w, r)
+	if !ok {
+		return
+	}
+	c, err := a.m.Compiled(j, tau)
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	switch verb := r.PathValue("verb"); verb {
+	case "summary":
+		writeJSON(w, http.StatusOK, querySummary{
+			Job: j.ID(), Tau: tau, D: c.D(), Edges: c.NumEdges(),
+			IsDAG: c.IsDAG(), Names: c.Names(),
+		})
+	case "parents", "children":
+		v, ok := resolveNode(w, c, r.URL.Query().Get("node"))
+		if !ok {
+			return
+		}
+		out := queryNeighbors{Job: j.ID(), Tau: tau, Node: nodeRef(c, v)}
+		if verb == "parents" {
+			out.Parents = c.Parents(v)
+		} else {
+			out.Children = c.Children(v)
+		}
+		writeJSON(w, http.StatusOK, out)
+	case "blanket":
+		v, ok := resolveNode(w, c, r.URL.Query().Get("node"))
+		if !ok {
+			return
+		}
+		mb := c.MarkovBlanket(v)
+		if mb == nil {
+			mb = []query.NodeRef{}
+		}
+		writeJSON(w, http.StatusOK, queryBlanket{Job: j.ID(), Tau: tau, Node: nodeRef(c, v), Blanket: mb})
+	case "dsep":
+		a.queryDSep(w, r, j, c, tau)
+	default:
+		httpError(w, http.StatusNotFound, "unknown query verb %q", verb)
+	}
+}
+
+func (a *API) queryDSep(w http.ResponseWriter, r *http.Request, j *Job, c *query.Compiled, tau float64) {
+	q := r.URL.Query()
+	x, ok := resolveParam(w, c, "x", q.Get("x"))
+	if !ok {
+		return
+	}
+	y, ok := resolveParam(w, c, "y", q.Get("y"))
+	if !ok {
+		return
+	}
+	var z []int
+	given := []query.NodeRef{}
+	if zs := q.Get("z"); zs != "" {
+		for _, s := range strings.Split(zs, ",") {
+			v, ok := resolveParam(w, c, "z", strings.TrimSpace(s))
+			if !ok {
+				return
+			}
+			z = append(z, v)
+			given = append(given, nodeRef(c, v))
+		}
+	}
+	sep, err := c.DSeparated(x, y, z)
+	switch {
+	case errors.Is(err, query.ErrCyclic):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryDSep{
+		Job: j.ID(), Tau: tau, X: nodeRef(c, x), Y: nodeRef(c, y),
+		Given: given, DSeparated: sep,
+	})
+}
+
+func nodeRef(c *query.Compiled, v int) query.NodeRef {
+	return query.NodeRef{Index: v, Name: c.Name(v)}
+}
+
+// resolveNode maps the ?node= parameter (name or decimal index) to a
+// node id, writing the 400 itself on failure.
+func resolveNode(w http.ResponseWriter, c *query.Compiled, s string) (int, bool) {
+	return resolveParam(w, c, "node", s)
+}
+
+func resolveParam(w http.ResponseWriter, c *query.Compiled, param, s string) (int, bool) {
+	if s == "" {
+		httpError(w, http.StatusBadRequest, "missing %s parameter", param)
+		return 0, false
+	}
+	v, err := c.Node(s)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%s: %v", param, err)
+		return 0, false
+	}
+	return v, true
+}
+
+// EdgeConfidence is one row of the GET /v2/batches/{id}/edges answer:
+// an edge (by node names) with the number of finished task graphs it
+// appears in, that count as a fraction of all finished graphs, and the
+// mean learned weight across its appearances.
+type EdgeConfidence struct {
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	Count      int     `json:"count"`
+	Support    float64 `json:"support"`
+	MeanWeight float64 `json:"mean_weight"`
+}
+
+// batchEdgesResponse is the GET /v2/batches/{id}/edges payload.
+// Graphs counts the distinct finished jobs aggregated (deduplicated
+// tasks share a job and contribute once); Missing counts done tasks
+// whose job the manager has already evicted from history. TotalEdges
+// is the distinct-edge count before min_support and limit trimming.
+type batchEdgesResponse struct {
+	Batch      string           `json:"batch"`
+	Tau        float64          `json:"tau"`
+	Graphs     int              `json:"graphs"`
+	Missing    int              `json:"missing"`
+	TotalEdges int              `json:"total_edges"`
+	Edges      []EdgeConfidence `json:"edges"`
+}
+
+func (a *API) batchEdges(w http.ResponseWriter, r *http.Request) {
+	a.m.met.QueryRequests.Add(1)
+	b, err := a.m.Batches().Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	tau, ok := parseTau(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	minSupport := 0.0
+	if s := q.Get("min_support"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(v) || v < 0 || v > 1 {
+			httpError(w, http.StatusBadRequest, "bad min_support %q (want [0,1])", s)
+			return
+		}
+		minSupport = v
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", s)
+			return
+		}
+		limit = v
+	}
+
+	// Aggregate over the distinct finished jobs behind the batch's done
+	// tasks. Keying by node names (not indices) lets a manifest mix
+	// shapes; a job evicted by history pressure is reported, not an
+	// error — the view degrades gracefully under churn.
+	rows, _ := b.Tasks(0, 0, Done)
+	type acc struct {
+		count int
+		wsum  float64
+	}
+	agg := make(map[[2]string]*acc)
+	seen := make(map[string]bool)
+	graphs, missing := 0, 0
+	for _, row := range rows {
+		if row.Job == "" || seen[row.Job] {
+			continue
+		}
+		seen[row.Job] = true
+		j, err := a.m.Get(row.Job)
+		if err != nil {
+			missing++
+			continue
+		}
+		c, err := a.m.Compiled(j, tau)
+		if err != nil {
+			missing++ // task table races a terminal transition; skip
+			continue
+		}
+		graphs++
+		c.Edges(func(from, to int, wgt float64) {
+			k := [2]string{c.Name(from), c.Name(to)}
+			e := agg[k]
+			if e == nil {
+				e = &acc{}
+				agg[k] = e
+			}
+			e.count++
+			e.wsum += wgt
+		})
+	}
+
+	edges := make([]EdgeConfidence, 0, len(agg))
+	for k, e := range agg {
+		ec := EdgeConfidence{
+			From:       k[0],
+			To:         k[1],
+			Count:      e.count,
+			Support:    float64(e.count) / float64(graphs),
+			MeanWeight: e.wsum / float64(e.count),
+		}
+		if ec.Support < minSupport {
+			continue
+		}
+		edges = append(edges, ec)
+	}
+	sort.Slice(edges, func(i, k int) bool {
+		if edges[i].Count != edges[k].Count {
+			return edges[i].Count > edges[k].Count
+		}
+		wi, wk := math.Abs(edges[i].MeanWeight), math.Abs(edges[k].MeanWeight)
+		if wi != wk {
+			return wi > wk
+		}
+		if edges[i].From != edges[k].From {
+			return edges[i].From < edges[k].From
+		}
+		return edges[i].To < edges[k].To
+	})
+	total := len(edges)
+	if limit > 0 && len(edges) > limit {
+		edges = edges[:limit]
+	}
+	writeJSON(w, http.StatusOK, batchEdgesResponse{
+		Batch: b.ID(), Tau: tau, Graphs: graphs, Missing: missing,
+		TotalEdges: total, Edges: edges,
+	})
+}
+
+// metrics serves the Prometheus text exposition (content type
+// version=0.0.4). Rendered into a buffer first so a slow scraper
+// cannot hold manager-internal mutexes open mid-write.
+func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	a.m.WriteMetrics(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,392 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bnet"
+)
+
+// submitChainJob submits the deterministic A→B→C chain and waits for
+// it to finish; the learned graph has exactly the edges A→B and B→C at
+// the default threshold (pinned by the v1 goldens).
+func submitChainJob(t *testing.T, base string) string {
+	t.Helper()
+	code, b := doJSON(t, http.MethodPost, base+"/v2/jobs", map[string]any{
+		"csv": chainCSV(), "header": true, "center": true,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit chain: HTTP %d\n%s", code, b)
+	}
+	st := decodeStatus(t, b)
+	pollUntil(t, base, st.ID, Done, 30*time.Second)
+	return st.ID
+}
+
+func TestHTTPQueryRoutes(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+	id := submitChainJob(t, base)
+
+	// Summary: shape, acyclicity, names.
+	code, b := doJSON(t, http.MethodGet, base+"/v2/jobs/"+id+"/query/summary", nil)
+	if code != http.StatusOK {
+		t.Fatalf("summary: HTTP %d\n%s", code, b)
+	}
+	var sum querySummary
+	if err := json.Unmarshal(b, &sum); err != nil {
+		t.Fatalf("summary decode: %v\n%s", err, b)
+	}
+	if sum.Job != id || sum.Tau != 0.3 || sum.D != 3 || sum.Edges != 2 || !sum.IsDAG {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if len(sum.Names) != 3 || sum.Names[0] != "A" || sum.Names[2] != "C" {
+		t.Fatalf("summary names: %v", sum.Names)
+	}
+
+	// Parents and children of the middle node, addressed by name and by
+	// decimal index — both spellings must resolve to the same node.
+	for _, node := range []string{"B", "1"} {
+		code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+id+"/query/parents?node="+node, nil)
+		var nb queryNeighbors
+		if code != http.StatusOK || json.Unmarshal(b, &nb) != nil {
+			t.Fatalf("parents(%s): HTTP %d\n%s", node, code, b)
+		}
+		if nb.Node.Index != 1 || nb.Node.Name != "B" || len(nb.Parents) != 1 || nb.Parents[0].Name != "A" {
+			t.Fatalf("parents(%s): %+v", node, nb)
+		}
+	}
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+id+"/query/children?node=B", nil)
+	var nb queryNeighbors
+	if code != http.StatusOK || json.Unmarshal(b, &nb) != nil {
+		t.Fatalf("children: HTTP %d\n%s", code, b)
+	}
+	if len(nb.Children) != 1 || nb.Children[0].Name != "C" || nb.Children[0].Weight == 0 {
+		t.Fatalf("children: %+v", nb)
+	}
+
+	// Markov blanket of B in a chain: its parent A and its child C.
+	code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+id+"/query/blanket?node=B", nil)
+	var mb queryBlanket
+	if code != http.StatusOK || json.Unmarshal(b, &mb) != nil {
+		t.Fatalf("blanket: HTTP %d\n%s", code, b)
+	}
+	if len(mb.Blanket) != 2 || mb.Blanket[0].Name != "A" || mb.Blanket[1].Name != "C" {
+		t.Fatalf("blanket: %+v", mb)
+	}
+
+	// d-separation: the chain connects A and C, and conditioning on B
+	// blocks it.
+	for _, c := range []struct {
+		q    string
+		want bool
+	}{
+		{"x=A&y=C", false},
+		{"x=A&y=C&z=B", true},
+		{"x=0&y=2&z=1", true},
+	} {
+		code, b = doJSON(t, http.MethodGet, base+"/v2/jobs/"+id+"/query/dsep?"+c.q, nil)
+		var ds queryDSep
+		if code != http.StatusOK || json.Unmarshal(b, &ds) != nil {
+			t.Fatalf("dsep?%s: HTTP %d\n%s", c.q, code, b)
+		}
+		if ds.DSeparated != c.want {
+			t.Fatalf("dsep?%s = %v, want %v", c.q, ds.DSeparated, c.want)
+		}
+	}
+
+	// Status-code contracts.
+	for _, c := range []struct {
+		path string
+		want int
+	}{
+		{"/v2/jobs/nope/query/summary", http.StatusNotFound},
+		{"/v2/jobs/" + id + "/query/frobnicate", http.StatusNotFound},
+		{"/v2/jobs/" + id + "/query/summary?tau=bogus", http.StatusBadRequest},
+		{"/v2/jobs/" + id + "/query/summary?tau=-1", http.StatusBadRequest},
+		{"/v2/jobs/" + id + "/query/parents", http.StatusBadRequest},        // missing node
+		{"/v2/jobs/" + id + "/query/parents?node=Z", http.StatusBadRequest}, // unknown node
+		{"/v2/jobs/" + id + "/query/dsep?y=C", http.StatusBadRequest},       // missing x
+		{"/v2/jobs/" + id + "/query/dsep?x=A&y=C&z=A,Z", http.StatusBadRequest},
+	} {
+		if code, b := doJSON(t, http.MethodGet, base+c.path, nil); code != c.want {
+			t.Errorf("GET %s: HTTP %d, want %d\n%s", c.path, code, c.want, b)
+		}
+	}
+}
+
+// TestHTTPQueryNotDone pins the 409 contract: querying a job that has
+// no result yet is a conflict, not an error or an empty answer.
+func TestHTTPQueryNotDone(t *testing.T) {
+	srv, _ := newTestServer(t) // MaxConcurrent 1: the second job queues
+	base := srv.URL
+
+	code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", erSubmission(77))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit slow: HTTP %d\n%s", code, b)
+	}
+	code, b = doJSON(t, http.MethodPost, base+"/v1/jobs", erSubmission(78))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit queued: HTTP %d\n%s", code, b)
+	}
+	queued := decodeStatus(t, b)
+	for _, path := range []string{"/query/summary", "/query/dsep?x=0&y=1", "/graph"} {
+		if code, b := doJSON(t, http.MethodGet, base+"/v2/jobs/"+queued.ID+path, nil); code != http.StatusConflict {
+			t.Errorf("GET %s on queued job: HTTP %d, want 409\n%s", path, code, b)
+		}
+	}
+}
+
+func TestHTTPBatchEdges(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	// Two distinct tasks plus one duplicate: the duplicate dedupes (or
+	// lands a born-done cache hit) and must contribute one graph, not
+	// two, to the aggregation.
+	tasks := []map[string]any{
+		batchTaskJSON("a", 900),
+		batchTaskJSON("b", 910),
+		batchTaskJSON("a-dup", 900),
+	}
+	code, body := doJSON(t, http.MethodPost, base+"/v2/batches", map[string]any{"tasks": tasks})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit batch: HTTP %d\n%s", code, body)
+	}
+	st := pollBatch(t, base, decodeBatchStatus(t, body).ID, BatchDone, 60*time.Second)
+
+	code, body = doJSON(t, http.MethodGet, base+"/v2/batches/"+st.ID+"/edges", nil)
+	if code != http.StatusOK {
+		t.Fatalf("edges: HTTP %d\n%s", code, body)
+	}
+	var er batchEdgesResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("edges decode: %v\n%s", err, body)
+	}
+	// A born-done duplicate mints its own job over the same result, so
+	// the distinct-job count can be 2 (deduped) or 3 (cached); either
+	// way every support value must be consistent with it.
+	if er.Batch != st.ID || er.Tau != 0.3 || er.Graphs < 2 || er.Graphs > 3 || er.Missing != 0 {
+		t.Fatalf("edges header: %+v", er)
+	}
+	if er.TotalEdges != len(er.Edges) || len(er.Edges) == 0 {
+		t.Fatalf("edge count: total %d, rows %d", er.TotalEdges, len(er.Edges))
+	}
+	for i, e := range er.Edges {
+		if e.Count < 1 || e.Count > er.Graphs || e.Support != float64(e.Count)/float64(er.Graphs) {
+			t.Fatalf("edge %d support: %+v (graphs %d)", i, e, er.Graphs)
+		}
+		if e.From == "" || e.To == "" || e.MeanWeight == 0 {
+			t.Fatalf("edge %d fields: %+v", i, e)
+		}
+		if i > 0 && e.Count > er.Edges[i-1].Count {
+			t.Fatalf("edges not sorted by count: row %d", i)
+		}
+	}
+
+	// min_support drops every edge below the bar; limit truncates rows
+	// but reports the pre-trim total.
+	code, body = doJSON(t, http.MethodGet, base+"/v2/batches/"+st.ID+"/edges?min_support=1", nil)
+	var full batchEdgesResponse
+	if code != http.StatusOK || json.Unmarshal(body, &full) != nil {
+		t.Fatalf("edges min_support=1: HTTP %d\n%s", code, body)
+	}
+	for _, e := range full.Edges {
+		if e.Support != 1 {
+			t.Fatalf("min_support=1 kept support %v", e.Support)
+		}
+	}
+	code, body = doJSON(t, http.MethodGet, base+"/v2/batches/"+st.ID+"/edges?limit=1", nil)
+	var lim batchEdgesResponse
+	if code != http.StatusOK || json.Unmarshal(body, &lim) != nil {
+		t.Fatalf("edges limit=1: HTTP %d\n%s", code, body)
+	}
+	if len(lim.Edges) != 1 || lim.TotalEdges != er.TotalEdges {
+		t.Fatalf("limit=1: rows %d, total %d (want total %d)", len(lim.Edges), lim.TotalEdges, er.TotalEdges)
+	}
+
+	// Parameter and identity contracts.
+	for _, c := range []struct {
+		path string
+		want int
+	}{
+		{"/v2/batches/nope/edges", http.StatusNotFound},
+		{"/v2/batches/" + st.ID + "/edges?min_support=1.5", http.StatusBadRequest},
+		{"/v2/batches/" + st.ID + "/edges?min_support=-0.1", http.StatusBadRequest},
+		{"/v2/batches/" + st.ID + "/edges?limit=-1", http.StatusBadRequest},
+		{"/v2/batches/" + st.ID + "/edges?tau=NaN", http.StatusBadRequest},
+	} {
+		if code, b := doJSON(t, http.MethodGet, base+c.path, nil); code != c.want {
+			t.Errorf("GET %s: HTTP %d, want %d\n%s", c.path, code, c.want, b)
+		}
+	}
+}
+
+// TestHTTPGraphThroughQueryCache is the regression test for routing
+// GET /graph through the compiled-form cache: repeat fetches must cost
+// one compile total, return bytes identical to the historical
+// FromDense + WriteJSON path, and the hit path must not allocate
+// per-request compile work.
+func TestHTTPGraphThroughQueryCache(t *testing.T) {
+	srv, m := newTestServer(t)
+	base := srv.URL
+
+	code, b := doJSON(t, http.MethodPost, base+"/v1/jobs", erSubmission(41))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d\n%s", code, b)
+	}
+	id := decodeStatus(t, b).ID
+	pollUntil(t, base, id, Done, 60*time.Second)
+
+	_, misses0, _ := m.QueryCacheStats()
+	var first []byte
+	for i := 0; i < 10; i++ {
+		code, b := doJSON(t, http.MethodGet, base+"/v2/jobs/"+id+"/graph", nil)
+		if code != http.StatusOK {
+			t.Fatalf("graph fetch %d: HTTP %d\n%s", i, code, b)
+		}
+		if i == 0 {
+			first = b
+		} else if !bytes.Equal(b, first) {
+			t.Fatalf("graph fetch %d differs from first:\n%s\nvs\n%s", i, b, first)
+		}
+	}
+	hits, misses, _ := m.QueryCacheStats()
+	if misses-misses0 != 1 {
+		t.Fatalf("10 graph fetches compiled %d times, want 1 (hits %d)", misses-misses0, hits)
+	}
+
+	// Byte compatibility with the pre-cache render path.
+	j, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, names, err := j.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := bnet.FromDense(res.Weights, 0.3, names).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, want.Bytes()) {
+		t.Fatalf("graph bytes drifted from FromDense+WriteJSON:\n%s\nvs\n%s", first, want.Bytes())
+	}
+
+	// The d=15 compile builds CSR arrays, ancestor bitsets and a JSON
+	// render — dozens of allocations. The hit path is a map lookup plus
+	// the build closure m.Compiled hands the cache, so a handful of
+	// allocs per call proves no recompile happened.
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.Compiled(j, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("cache-hit Compiled allocates %.0f/op — recompiling?", allocs)
+	}
+}
+
+// TestHTTPQueryChaosUnderEvictionAndCancel hammers the read side while
+// the write side churns: batches mint jobs past a tiny MaxHistory (so
+// history eviction keeps deleting terminal jobs, including the hammer
+// target) and half the batches are cancelled mid-flight. The contract
+// under churn is graceful degradation — every response is 200, 404 or
+// 409, never a 5xx, and the server survives to answer /metrics. Run
+// under -race this doubles as the lock-free-reads proof.
+func TestHTTPQueryChaosUnderEvictionAndCancel(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2, QueueDepth: 512, MaxHistory: 8, BatchBacklog: 4096})
+	srv := httptest.NewServer(NewAPI(m).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		shutdown(t, m)
+	})
+	base := srv.URL
+	id := submitChainJob(t, base)
+
+	paths := []string{
+		"/v2/jobs/" + id + "/query/summary",
+		"/v2/jobs/" + id + "/query/parents?node=B",
+		"/v2/jobs/" + id + "/query/blanket?node=1",
+		"/v2/jobs/" + id + "/query/dsep?x=A&y=C&z=B",
+		"/v2/jobs/" + id + "/graph?tau=0.4",
+	}
+	stop := make(chan struct{})
+	var requests atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(base + paths[(w+i)%len(paths)])
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusNotFound, http.StatusConflict:
+				default:
+					t.Errorf("worker %d: GET %s → HTTP %d", w, paths[(w+i)%len(paths)], resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for round := 0; round < 4; round++ {
+		tasks := make([]map[string]any, 5)
+		for i := range tasks {
+			tasks[i] = batchTaskJSON(fmt.Sprintf("r%dt%d", round, i), int64(2000+round*10+i))
+		}
+		code, body := doJSON(t, http.MethodPost, base+"/v2/batches", map[string]any{"tasks": tasks})
+		if code != http.StatusAccepted {
+			t.Fatalf("round %d submit: HTTP %d\n%s", round, code, body)
+		}
+		bid := decodeBatchStatus(t, body).ID
+		if round%2 == 0 {
+			// Cancel mid-flight; 409 means it already finished, which is
+			// fine — the point is racing cancellation against readers.
+			if code, body := doJSON(t, http.MethodDelete, base+"/v2/batches/"+bid, nil); code != http.StatusOK && code != http.StatusConflict {
+				t.Fatalf("round %d cancel: HTTP %d\n%s", round, code, body)
+			}
+		} else {
+			pollBatch(t, base, bid, BatchDone, 60*time.Second)
+		}
+		// Race the edge-confidence aggregation against the churn too.
+		if code, body := doJSON(t, http.MethodGet, base+"/v2/batches/"+bid+"/edges?limit=5", nil); code != http.StatusOK {
+			t.Fatalf("round %d edges: HTTP %d\n%s", round, code, body)
+		}
+	}
+	// Let the hammers keep racing the post-cancel teardown until the
+	// sample is big enough to mean something.
+	deadline := time.Now().Add(10 * time.Second)
+	for requests.Load() < 200 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := requests.Load(); n < 200 {
+		t.Fatalf("hammer made only %d requests — churn loop too short to prove anything", n)
+	}
+	if code, body := doJSON(t, http.MethodGet, base+"/metrics", nil); code != http.StatusOK {
+		t.Fatalf("post-chaos metrics: HTTP %d\n%s", code, body)
+	}
+}

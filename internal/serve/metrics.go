@@ -1,0 +1,120 @@
+package serve
+
+// Observability for the serving daemon (DESIGN.md §10): a dependency-
+// free Prometheus-text exposition of the Manager's counters. Hot paths
+// touch only lock-free atomic adds; the gauges are read at scrape time
+// from the subsystems that already track them (queue depths under
+// m.mu, cache sizes under their own mutexes), so a scrape costs a few
+// mutex acquisitions and no allocation-heavy folds. Names and types
+// are frozen by TestMetricsExpositionGolden the way api/least.txt
+// freezes the library surface — additions are deliberate, renames are
+// breakage.
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/mat"
+)
+
+// Metrics is the daemon's counter block. Every field is an atomic
+// monotonic counter except JobsRunning, which is a gauge (incremented
+// when a learn starts, decremented when it finishes). The Manager owns
+// one; handlers and workers thread through it without locks.
+type Metrics struct {
+	// HTTP surface.
+	HTTPRequests  atomic.Int64 // every routed request, all versions
+	QueryRequests atomic.Int64 // /v2/jobs/{id}/query/* and /v2/batches/{id}/edges
+
+	// Job lifecycle (interactive and batch tasks alike; born-done
+	// cache hits count as submitted and done).
+	JobsSubmitted atomic.Int64
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobsShed      atomic.Int64 // interactive admissions refused with 503
+	JobsRunning   atomic.Int64 // gauge: learns executing right now
+
+	// Batch fleet.
+	BatchesSubmitted   atomic.Int64
+	BatchTasksAdmitted atomic.Int64 // manifest entries accepted into batches
+	BatchTasksShed     atomic.Int64 // typed "shed" rows past BatchBacklog
+	BatchTasksDeduped  atomic.Int64 // joined an identical in-flight job
+	BatchTasksCached   atomic.Int64 // answered from the result cache at admission
+
+	// Gang scheduling (DESIGN.md §9).
+	Gangs    atomic.Int64 // gangs formed (runs of >1 fused small-d jobs)
+	GangJobs atomic.Int64 // jobs executed as gang members
+}
+
+// Metrics returns the manager's counter block — the same instance the
+// daemon's /metrics endpoint renders, for tests and load generators
+// that cross-check their own tallies.
+func (m *Manager) Metrics() *Metrics { return &m.met }
+
+// metricsGauges is the point-in-time half of the exposition, read at
+// scrape time.
+type metricsGauges struct {
+	jobs, queued, batchQueued, lanes int
+	batches                          int
+	datasets                         int
+}
+
+func (m *Manager) gauges() metricsGauges {
+	m.mu.Lock()
+	g := metricsGauges{
+		jobs:        len(m.jobs),
+		queued:      m.nqueued,
+		batchQueued: m.nbatchq,
+		lanes:       len(m.runq),
+	}
+	m.mu.Unlock()
+	g.batches = m.batches.Len()
+	g.datasets = m.datasets.len()
+	return g
+}
+
+// WriteMetrics renders the counter block in the Prometheus text
+// exposition format (version 0.0.4). The metric set, names, types and
+// emission order are frozen by golden test; values are live.
+func (m *Manager) WriteMetrics(w io.Writer) {
+	g := m.gauges()
+	rcHits, rcMisses, rcEntries := m.cache.stats()
+	qcHits, qcMisses, qcEntries := m.qcache.stats()
+	slotSpawns, slotDenials := mat.GEMMSlotStats()
+
+	c := &m.met
+	emit := func(name, typ, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	emit("least_http_requests_total", "counter", "HTTP requests routed, all API versions.", c.HTTPRequests.Load())
+	emit("least_query_requests_total", "counter", "Read-side query requests (/v2/jobs/{id}/query/* and /v2/batches/{id}/edges).", c.QueryRequests.Load())
+	emit("least_jobs_submitted_total", "counter", "Jobs admitted: interactive submissions plus batch tasks that minted a job.", c.JobsSubmitted.Load())
+	emit("least_jobs_done_total", "counter", "Jobs finished in state done, including born-done result-cache hits.", c.JobsDone.Load())
+	emit("least_jobs_failed_total", "counter", "Jobs finished in state failed.", c.JobsFailed.Load())
+	emit("least_jobs_cancelled_total", "counter", "Jobs finished in state cancelled (client cancels, batch cancels, shutdown).", c.JobsCancelled.Load())
+	emit("least_jobs_shed_total", "counter", "Interactive submissions refused with 503 at the admission queue bound.", c.JobsShed.Load())
+	emit("least_batches_submitted_total", "counter", "Batch manifests admitted.", c.BatchesSubmitted.Load())
+	emit("least_batch_tasks_admitted_total", "counter", "Manifest entries accepted into batches (validation failures included).", c.BatchTasksAdmitted.Load())
+	emit("least_batch_tasks_shed_total", "counter", "Batch tasks shed past the batch backlog bound.", c.BatchTasksShed.Load())
+	emit("least_batch_tasks_deduped_total", "counter", "Batch tasks that joined an identical in-flight job.", c.BatchTasksDeduped.Load())
+	emit("least_batch_tasks_cached_total", "counter", "Batch tasks answered from the result cache at admission.", c.BatchTasksCached.Load())
+	emit("least_gangs_total", "counter", "Gangs of small-d batch tasks fused into one worker slot.", c.Gangs.Load())
+	emit("least_gang_jobs_total", "counter", "Jobs executed as gang members.", c.GangJobs.Load())
+	emit("least_result_cache_hits_total", "counter", "Result-cache hits.", int64(rcHits))
+	emit("least_result_cache_misses_total", "counter", "Result-cache misses.", int64(rcMisses))
+	emit("least_query_cache_hits_total", "counter", "Compiled-form cache hits (GET /graph and query routes).", qcHits)
+	emit("least_query_cache_misses_total", "counter", "Compiled-form cache misses (a compile ran).", qcMisses)
+	emit("least_gemm_slot_spawns_total", "counter", "GEMM helper goroutines spawned into the machine-wide slot region.", slotSpawns)
+	emit("least_gemm_slot_denials_total", "counter", "GEMM helper spawns denied at slot saturation (work stayed serial).", slotDenials)
+	emit("least_jobs", "gauge", "Jobs currently in the manager's table (all states).", int64(g.jobs))
+	emit("least_jobs_queued", "gauge", "Jobs admitted but not yet started, all lanes.", int64(g.queued))
+	emit("least_jobs_running", "gauge", "Learns executing right now.", c.JobsRunning.Load())
+	emit("least_batch_queue_depth", "gauge", "Queued jobs across batch lanes (BatchBacklog applies here).", int64(g.batchQueued))
+	emit("least_lanes", "gauge", "Active scheduler lanes (interactive plus one per batch with queued work).", int64(g.lanes))
+	emit("least_batches", "gauge", "Batches currently in the batch table.", int64(g.batches))
+	emit("least_datasets", "gauge", "Registered datasets in the store.", int64(g.datasets))
+	emit("least_result_cache_entries", "gauge", "Results held by the LRU result cache.", int64(rcEntries))
+	emit("least_query_cache_entries", "gauge", "Compiled forms held by the (job, tau) LRU.", int64(qcEntries))
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bufio"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wantMetrics freezes the /metrics surface — names, types and emission
+// order — the way api/least.txt freezes the library API. Adding a
+// metric means extending this list in emission position; renaming or
+// reordering one is breakage (dashboards and the leastload -check
+// ledger key on these names).
+var wantMetrics = []struct{ name, typ string }{
+	{"least_http_requests_total", "counter"},
+	{"least_query_requests_total", "counter"},
+	{"least_jobs_submitted_total", "counter"},
+	{"least_jobs_done_total", "counter"},
+	{"least_jobs_failed_total", "counter"},
+	{"least_jobs_cancelled_total", "counter"},
+	{"least_jobs_shed_total", "counter"},
+	{"least_batches_submitted_total", "counter"},
+	{"least_batch_tasks_admitted_total", "counter"},
+	{"least_batch_tasks_shed_total", "counter"},
+	{"least_batch_tasks_deduped_total", "counter"},
+	{"least_batch_tasks_cached_total", "counter"},
+	{"least_gangs_total", "counter"},
+	{"least_gang_jobs_total", "counter"},
+	{"least_result_cache_hits_total", "counter"},
+	{"least_result_cache_misses_total", "counter"},
+	{"least_query_cache_hits_total", "counter"},
+	{"least_query_cache_misses_total", "counter"},
+	{"least_gemm_slot_spawns_total", "counter"},
+	{"least_gemm_slot_denials_total", "counter"},
+	{"least_jobs", "gauge"},
+	{"least_jobs_queued", "gauge"},
+	{"least_jobs_running", "gauge"},
+	{"least_batch_queue_depth", "gauge"},
+	{"least_lanes", "gauge"},
+	{"least_batches", "gauge"},
+	{"least_datasets", "gauge"},
+	{"least_result_cache_entries", "gauge"},
+	{"least_query_cache_entries", "gauge"},
+}
+
+var metricValueRE = regexp.MustCompile(`^\d+$`)
+
+// TestMetricsExpositionGolden pins the exposition's structure: every
+// metric appears as a HELP/TYPE/value triple, in the frozen order,
+// with a non-negative integer value and nothing else in the body.
+// Values are live (the GEMM slot counters are process-wide, so other
+// tests move them), which is why the golden freezes shape, not bytes.
+func TestMetricsExpositionGolden(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3*len(wantMetrics) {
+		t.Fatalf("exposition has %d lines, want %d (3 per metric):\n%s",
+			len(lines), 3*len(wantMetrics), strings.Join(lines, "\n"))
+	}
+	for i, wantM := range wantMetrics {
+		help, typ, val := lines[3*i], lines[3*i+1], lines[3*i+2]
+		if !strings.HasPrefix(help, "# HELP "+wantM.name+" ") || len(help) <= len("# HELP "+wantM.name+" ") {
+			t.Errorf("metric %d: bad HELP line %q (want %s)", i, help, wantM.name)
+		}
+		if typ != "# TYPE "+wantM.name+" "+wantM.typ {
+			t.Errorf("metric %d: bad TYPE line %q (want %s %s)", i, typ, wantM.name, wantM.typ)
+		}
+		name, value, ok := strings.Cut(val, " ")
+		if !ok || name != wantM.name || !metricValueRE.MatchString(value) {
+			t.Errorf("metric %d: bad value line %q (want %q <uint>)", i, val, wantM.name)
+		}
+	}
+}
+
+// TestHealthzByteCompat pins the /healthz answer on a fresh daemon
+// byte-for-byte: the liveness surface predates /metrics and external
+// probes parse it, so the read-side PR must not move it at all.
+func TestHealthzByteCompat(t *testing.T) {
+	srv, _ := newTestServer(t)
+	const want = `{
+  "batches": 0,
+  "cache_entries": 0,
+  "cache_hits": 0,
+  "cache_misses": 0,
+  "jobs": 0,
+  "status": "ok"
+}
+`
+	code, b := doJSON(t, http.MethodGet, srv.URL+"/healthz", nil)
+	if code != http.StatusOK || string(b) != want {
+		t.Fatalf("healthz drifted: HTTP %d\n got: %swant: %s", code, b, want)
+	}
+}
+
+// scrapeMetrics parses the exposition into name → value.
+func scrapeMetrics(t *testing.T, base string) map[string]int64 {
+	t.Helper()
+	code, b := doJSON(t, http.MethodGet, base+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics scrape: HTTP %d\n%s", code, b)
+	}
+	out := make(map[string]int64)
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad exposition line %q", line)
+		}
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// waitCounter polls a counter until it reaches want — terminal-state
+// transitions and their metric increments are not atomic with each
+// other, so assertions on lifecycle counters poll briefly first.
+func waitCounter(t *testing.T, name string, want int64, get func() int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for get() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", name, get(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMetricsCountersConsistent runs a known workload — one
+// interactive solve, one batch with a duplicate task, a burst of read
+// queries — and cross-checks the /metrics exposition against the
+// generator-side tally, the same ledger leastload -check enforces
+// against a live daemon:
+//
+//	jobs_submitted = interactive + batch_tasks_admitted − deduped − shed
+func TestMetricsCountersConsistent(t *testing.T) {
+	srv, m := newTestServer(t)
+	base := srv.URL
+
+	id := submitChainJob(t, base)
+	tasks := []map[string]any{
+		batchTaskJSON("a", 600),
+		batchTaskJSON("b", 610),
+		batchTaskJSON("a-dup", 600),
+	}
+	code, body := doJSON(t, http.MethodPost, base+"/v2/batches", map[string]any{"tasks": tasks})
+	if code != http.StatusAccepted {
+		t.Fatalf("batch submit: HTTP %d\n%s", code, body)
+	}
+	bid := decodeBatchStatus(t, body).ID
+	pollBatch(t, base, bid, BatchDone, 60*time.Second)
+
+	// The duplicate either joined the in-flight job (deduped) or hit
+	// the result cache after it finished (cached, minting a born-done
+	// job); the ledger below holds either way.
+	met := m.Metrics()
+	deduped, cached := met.BatchTasksDeduped.Load(), met.BatchTasksCached.Load()
+	if deduped+cached != 1 {
+		t.Fatalf("duplicate task: deduped %d, cached %d, want exactly one of them", deduped, cached)
+	}
+	wantJobs := 1 + 3 - deduped
+	waitCounter(t, "jobs_done", wantJobs, met.JobsDone.Load)
+
+	before := scrapeMetrics(t, base)
+	if before["least_jobs_submitted_total"] != wantJobs ||
+		before["least_jobs_done_total"] != wantJobs ||
+		before["least_jobs_failed_total"] != 0 ||
+		before["least_jobs_cancelled_total"] != 0 ||
+		before["least_jobs_shed_total"] != 0 {
+		t.Fatalf("job lifecycle ledger off (want %d submitted=done): %v", wantJobs, before)
+	}
+	if before["least_batches_submitted_total"] != 1 ||
+		before["least_batch_tasks_admitted_total"] != 3 ||
+		before["least_batch_tasks_shed_total"] != 0 ||
+		before["least_batch_tasks_deduped_total"] != deduped ||
+		before["least_batch_tasks_cached_total"] != cached {
+		t.Fatalf("batch ledger off: %v", before)
+	}
+	if before["least_jobs_running"] != 0 || before["least_jobs_queued"] != 0 {
+		t.Fatalf("idle daemon reports work in flight: %v", before)
+	}
+	if before["least_jobs"] != wantJobs || before["least_batches"] != 1 {
+		t.Fatalf("table gauges off: %v", before)
+	}
+
+	// A burst of five read queries and one graph fetch: query_requests
+	// counts exactly the query/* and /edges routes; http_requests counts
+	// everything including the closing scrape itself (the middleware
+	// increments before the handler renders).
+	for _, p := range []string{
+		"/v2/jobs/" + id + "/query/summary",
+		"/v2/jobs/" + id + "/query/parents?node=A",
+		"/v2/jobs/" + id + "/query/blanket?node=B",
+		"/v2/jobs/" + id + "/query/dsep?x=A&y=C&z=B",
+		"/v2/batches/" + bid + "/edges",
+	} {
+		if code, b := doJSON(t, http.MethodGet, base+p, nil); code != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d\n%s", p, code, b)
+		}
+	}
+	if code, b := doJSON(t, http.MethodGet, base+"/v2/jobs/"+id+"/graph", nil); code != http.StatusOK {
+		t.Fatalf("graph: HTTP %d\n%s", code, b)
+	}
+	after := scrapeMetrics(t, base)
+	if got := after["least_query_requests_total"] - before["least_query_requests_total"]; got != 5 {
+		t.Fatalf("query_requests moved by %d, want 5", got)
+	}
+	if got := after["least_http_requests_total"] - before["least_http_requests_total"]; got != 7 {
+		t.Fatalf("http_requests moved by %d, want 7 (5 queries + graph + this scrape)", got)
+	}
+
+	// Compile accounting: the chain job compiles once and is shared by
+	// summary/parents/blanket/dsep/graph; the edge aggregation compiles
+	// each distinct batch job once.
+	wantMisses := int64(1) + 2 + cached
+	if got := after["least_query_cache_misses_total"] - before["least_query_cache_misses_total"]; got != wantMisses {
+		t.Fatalf("query cache compiled %d times, want %d", got, wantMisses)
+	}
+	if got := after["least_query_cache_hits_total"] - before["least_query_cache_hits_total"]; got != 4 {
+		t.Fatalf("query cache hit %d times, want 4", got)
+	}
+}
+
+// TestMetricsUnknownRoutesCounted pins that http_requests counts every
+// routed request — including 404s — so saturation dashboards see the
+// full inbound rate, not just the well-formed slice.
+func TestMetricsUnknownRoutesCounted(t *testing.T) {
+	srv, m := newTestServer(t)
+	before := m.Metrics().HTTPRequests.Load()
+	if code, _ := doJSON(t, http.MethodGet, srv.URL+"/no/such/route", nil); code != http.StatusNotFound {
+		t.Fatalf("expected 404, got %d", code)
+	}
+	if got := m.Metrics().HTTPRequests.Load() - before; got != 1 {
+		t.Fatalf("404 moved http_requests by %d, want 1", got)
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+// The compiled-form cache (DESIGN.md §10): a fixed-capacity LRU of
+// query.Compiled values keyed by (job id, tau). Compiling a learned
+// network — thresholding, CSR layout, topological order, ancestor
+// bitsets — is O(d² + d·E/64) work that GET /graph historically redid
+// on every request; queries amortize it here once per (job, tau) and
+// then read the immutable compiled form lock-free. Entries carry a
+// sync.Once so concurrent first requests for the same key compile
+// exactly once (singleflight) without holding the cache mutex through
+// the compile. Job ids are never reused (the manager's id counter is
+// monotonic) and a job's result is immutable once done, so a stale
+// entry for an evicted job is merely dead weight the LRU will shed —
+// never a wrong answer.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/query"
+)
+
+type qkey struct {
+	job string
+	tau float64
+}
+
+type qentry struct {
+	key   qkey
+	once  sync.Once
+	build func() *query.Compiled // nil after once fires
+	c     *query.Compiled
+}
+
+func (e *qentry) compiled() *query.Compiled {
+	e.once.Do(func() {
+		e.c = e.build()
+		e.build = nil
+	})
+	return e.c
+}
+
+type queryCache struct {
+	capacity int
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[qkey]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+// newQueryCache returns a cache holding at most capacity compiled
+// forms; capacity <= 0 disables caching (every lookup compiles).
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{capacity: capacity, ll: list.New(), items: make(map[qkey]*list.Element)}
+}
+
+// get returns the compiled form for (job, tau), running build at most
+// once per cached key. The mutex covers only the LRU bookkeeping; the
+// compile itself runs on the requesting goroutine with concurrent
+// requests for the same key parked on the entry's sync.Once.
+func (qc *queryCache) get(job string, tau float64, build func() *query.Compiled) *query.Compiled {
+	if qc.capacity <= 0 {
+		qc.misses.Add(1)
+		return build()
+	}
+	k := qkey{job: job, tau: tau}
+	qc.mu.Lock()
+	if el, ok := qc.items[k]; ok {
+		qc.ll.MoveToFront(el)
+		e := el.Value.(*qentry)
+		qc.mu.Unlock()
+		qc.hits.Add(1)
+		return e.compiled()
+	}
+	e := &qentry{key: k, build: build}
+	qc.items[k] = qc.ll.PushFront(e)
+	for qc.ll.Len() > qc.capacity {
+		oldest := qc.ll.Back()
+		qc.ll.Remove(oldest)
+		delete(qc.items, oldest.Value.(*qentry).key)
+	}
+	qc.mu.Unlock()
+	qc.misses.Add(1)
+	return e.compiled()
+}
+
+// stats returns (hits, misses, size).
+func (qc *queryCache) stats() (int64, int64, int) {
+	qc.mu.Lock()
+	n := qc.ll.Len()
+	qc.mu.Unlock()
+	return qc.hits.Load(), qc.misses.Load(), n
+}
+
+// QueryCacheStats returns (hits, misses, entries) of the compiled-form
+// cache — the counters behind least_query_cache_*.
+func (m *Manager) QueryCacheStats() (int64, int64, int) { return m.qcache.stats() }
+
+// Compiled returns the job's learned network compiled for reads at
+// threshold tau, through the (job, tau) LRU. ErrNotDone when the job
+// has no result yet; the returned form is immutable and safe for
+// unbounded concurrent use.
+func (m *Manager) Compiled(j *Job, tau float64) (*query.Compiled, error) {
+	res, names, err := j.Result()
+	if err != nil {
+		return nil, err
+	}
+	c := m.qcache.get(j.id, tau, func() *query.Compiled {
+		if res.Weights != nil {
+			return query.CompileDense(res.Weights, tau, names)
+		}
+		return query.CompileCSR(res.SparseWeights, tau, names)
+	})
+	return c, nil
+}

@@ -77,6 +77,11 @@ type Config struct {
 	// CacheSize is the LRU result-cache capacity in entries: 0 picks
 	// the default (64), negative disables caching.
 	CacheSize int
+	// QueryCacheSize is the compiled-form LRU capacity in entries,
+	// keyed (job, tau) — the read-side cache behind GET /graph and the
+	// /v2 query routes (DESIGN.md §10): 0 picks the default (128),
+	// negative disables caching (every read recompiles).
+	QueryCacheSize int
 	// MaxHistory bounds the finished-job metadata kept for status
 	// queries (default 1024); the oldest terminal jobs are evicted
 	// first, never queued or running ones.
@@ -122,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 64
+	}
+	if c.QueryCacheSize == 0 {
+		c.QueryCacheSize = 128
 	}
 	if c.MaxHistory <= 0 {
 		c.MaxHistory = 1024
@@ -338,8 +346,10 @@ type jobQueue struct {
 type Manager struct {
 	cfg      Config
 	cache    *resultCache
+	qcache   *queryCache
 	datasets *datasetStore
 	batches  *BatchManager
+	met      Metrics
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -368,6 +378,7 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:        cfg,
 		cache:      newResultCache(cfg.CacheSize),
+		qcache:     newQueryCache(cfg.QueryCacheSize),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -517,6 +528,7 @@ func (m *Manager) SubmitDataset(ds least.Dataset, spec *least.Spec, center bool)
 	j := m.makeJobLocked(ds, spec, center, key, now)
 	if !j.cached && len(m.iq.jobs) >= m.cfg.QueueDepth {
 		m.mu.Unlock()
+		m.met.JobsShed.Add(1)
 		return nil, ErrQueueFull
 	}
 	m.insertLocked(j)
@@ -644,6 +656,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.finished = time.Now()
 		j.err = context.Canceled
 		j.data = nil
+		m.met.JobsCancelled.Add(1)
 		j.notifyLocked()
 		obs, st := j.transitionObserversLocked()
 		j.mu.Unlock()
@@ -709,6 +722,7 @@ func (m *Manager) Shutdown(ctx context.Context) {
 			j.finished = time.Now()
 			j.err = ErrShuttingDown
 			j.data = nil
+			m.met.JobsCancelled.Add(1)
 			j.notifyLocked()
 			obs, st := j.transitionObserversLocked()
 			j.mu.Unlock()
@@ -827,6 +841,10 @@ func (m *Manager) worker() {
 			}
 		}
 		m.mu.Unlock()
+		if len(gang) > 1 {
+			m.met.Gangs.Add(1)
+			m.met.GangJobs.Add(int64(len(gang)))
+		}
 		for _, r := range gang {
 			notifyTransition(r.obs, r.st)
 		}
@@ -859,6 +877,8 @@ func (m *Manager) worker() {
 // for a solo run, a split of one share for a gang member.
 func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc, data least.Dataset, spec *least.Spec, capped int) {
 	defer cancel()
+	m.met.JobsRunning.Add(1)
+	defer m.met.JobsRunning.Add(-1)
 	runSpec, err := spec.With(
 		least.WithParallelism(capped),
 		least.WithProgress(func(p least.Progress) {
@@ -885,12 +905,15 @@ func (m *Manager) runJob(j *Job, ctx context.Context, cancel context.CancelFunc,
 		j.state = Done
 		j.result = res
 		m.cache.put(j.key, res)
+		m.met.JobsDone.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = Cancelled
 		j.err = context.Canceled
+		m.met.JobsCancelled.Add(1)
 	default:
 		j.state = Failed
 		j.err = err
+		m.met.JobsFailed.Add(1)
 	}
 	j.notifyLocked()
 	obs, st := j.transitionObserversLocked()
@@ -944,10 +967,17 @@ func (m *Manager) insertLocked(j *Job) {
 }
 
 // recordLocked adds a job to the table without the eviction pass.
-// Caller holds m.mu.
+// Caller holds m.mu. This is the one admission point every accepted
+// job passes through (interactive and batch alike), so the submission
+// counter lives here; a born-done cache hit also counts as done —
+// it will never reach runJob's terminal accounting.
 func (m *Manager) recordLocked(j *Job) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
+	m.met.JobsSubmitted.Add(1)
+	if j.cached {
+		m.met.JobsDone.Add(1)
+	}
 }
 
 // evictHistoryLocked drops the oldest evictable jobs past the history
