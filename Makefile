@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short test-query bench bench-parallel bench-json bench-check load-smoke sweep serve clean
+.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short test-query test-recovery bench bench-parallel bench-json bench-check load-smoke sweep serve clean
 
-ci: api-check fmt-check build docs-check test-short test-query
+ci: api-check fmt-check build docs-check test-short test-query test-recovery
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,15 @@ test-short:
 test-query:
 	$(GO) test -race -count=1 ./internal/query ./cmd/leastload
 
+# The durability suite (DESIGN.md §11), race-enabled: the WAL unit
+# tests (CRC framing, rotation, compaction, torn-tail replay) plus the
+# serve-layer crash drills — the multi-hundred-task batch hard-stopped
+# at randomized points, recovered, and held to bit-identical,
+# exactly-once results — and the daemon-level restart round trip.
+test-recovery:
+	$(GO) test -race -count=1 ./internal/journal
+	$(GO) test -race -count=1 -timeout 30m -run 'TestJournal|TestDatasetHold|TestBatchRef|TestDaemonJournal' ./internal/serve ./cmd/leastd
+
 # All paper-artifact and kernel micro-benchmarks.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -68,23 +77,25 @@ bench-parallel:
 
 # The perf-trajectory benchmarks — streaming-ingest throughput, the
 # Gram-vs-dense per-iteration loss cost (now through the allocation-
-# free evaluator) and the PR-6 GEMM trio (tiled vs reference kernel,
-# batched small-d fleets) — as machine-readable JSON: one
+# free evaluator), the PR-6 GEMM trio (tiled vs reference kernel,
+# batched small-d fleets) and the PR-8 journal append path (group
+# commit vs per-append fsync) — as machine-readable JSON: one
 # BENCH_PR<N>.json per perf-relevant PR; compare them across checkouts
-# (BENCH_PR4.json stays committed as the pre-tiling trajectory point).
+# (BENCH_PR4.json and BENCH_PR6.json stay committed as earlier
+# trajectory points).
 bench-json:
-	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram|GEMM' -benchmem . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR6.json
-	@echo "wrote BENCH_PR6.json"
+	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram|GEMM|JournalAppend' -benchmem . ./internal/journal \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	@echo "wrote BENCH_PR8.json"
 
-# Nightly perf gate: re-run the Gram-loss and GEMM benchmarks and fail
-# on a >2x ns/op regression against the committed BENCH_PR6.json
-# trajectory point. Deliberately not part of `ci` — shared-runner
-# timing noise would flake the PR gate, so the nightly workflow owns
-# this check.
+# Nightly perf gate: re-run the Gram-loss, GEMM and journal-append
+# benchmarks and fail on a >2x ns/op regression against the committed
+# BENCH_PR8.json trajectory point. Deliberately not part of `ci` —
+# shared-runner timing noise would flake the PR gate, so the nightly
+# workflow owns this check.
 bench-check:
-	$(GO) test -run xxx -bench 'LossGram|GEMM' -benchmem . \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_PR6.json -filter 'LossGram|GEMM' -max-ratio 2
+	$(GO) test -run xxx -bench 'LossGram|GEMM|JournalAppend' -benchmem . ./internal/journal \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_PR8.json -filter 'LossGram|GEMM|JournalAppend' -max-ratio 2
 
 # Nightly saturation proof: 30s of mixed query + fleet-batch traffic
 # against a self-hosted daemon, with the exact /metrics ledger check

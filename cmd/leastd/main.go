@@ -65,6 +65,17 @@
 // default; never on the API address), so a saturated daemon can be
 // profiled live without exposing profiles to API clients.
 //
+// -journal-dir enables durable fleet state (DESIGN.md §11): every
+// admission and terminal transition is appended to a write-ahead
+// journal in that directory, and a restarted daemon replays it —
+// datasets, finished results and the result cache come back, queued
+// batch tasks resume on the pool, and interrupted interactive jobs
+// fail with the typed "restart" code. -journal-fsync sets the
+// group-commit interval (0 = fsync every append) and
+// -journal-compact-every the snapshot compaction threshold (-1
+// disables). Empty -journal-dir (the default) keeps the daemon purely
+// in-memory, byte-identical to previous releases.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight HTTP requests and running
 // jobs get a grace period before being cancelled.
 package main
@@ -107,6 +118,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fleetDim := fs.Int("fleet-dim", 64, "gang-schedule batch tasks with at most this many variables (-1 disables)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for running jobs")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+	journalDir := fs.String("journal-dir", "", "write-ahead journal directory for crash recovery (empty disables durability)")
+	journalFsync := fs.Duration("journal-fsync", 25*time.Millisecond, "journal group-commit fsync interval (0 fsyncs every append)")
+	journalCompact := fs.Int("journal-compact-every", 4096, "journal records between snapshot compactions (-1 disables)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -118,15 +132,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	mgr := serve.NewManager(serve.Config{
-		MaxConcurrent:   *jobs,
-		QueueDepth:      *queue,
-		CacheSize:       *cache,
-		QueryCacheSize:  *queryCache,
-		DatasetCapacity: *datasets,
-		BatchBacklog:    *backlog,
-		FleetDim:        *fleetDim,
+	// Config treats zero as "pick the default", so the flag values that
+	// mean "most aggressive" map to the Config's negative sentinels.
+	fsync := *journalFsync
+	if fsync == 0 {
+		fsync = -1 // fsync on every append
+	}
+	compact := *journalCompact
+	if compact == 0 {
+		compact = -1
+	}
+	mgr, err := serve.OpenManager(serve.Config{
+		MaxConcurrent:       *jobs,
+		QueueDepth:          *queue,
+		CacheSize:           *cache,
+		QueryCacheSize:      *queryCache,
+		DatasetCapacity:     *datasets,
+		BatchBacklog:        *backlog,
+		FleetDim:            *fleetDim,
+		JournalDir:          *journalDir,
+		JournalFsync:        fsync,
+		JournalCompactEvery: compact,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "leastd:", err)
+		return 1
+	}
+	if *journalDir != "" {
+		replayed := mgr.Metrics().JournalReplayed.Load()
+		restarts := mgr.Metrics().JournalRestarts.Load()
+		resumed := mgr.Metrics().JournalResumed.Load()
+		fmt.Fprintf(stderr, "leastd: journal %s: replayed %d records (%d tasks resumed, %d restart failures)\n",
+			*journalDir, replayed, resumed, restarts)
+	}
 	srv := &http.Server{Handler: serve.NewAPI(mgr).Handler()}
 
 	// The pprof surface lives on its own listener, registered on its

@@ -212,6 +212,121 @@ func TestDaemonEndToEndJobOverHTTP(t *testing.T) {
 	}
 }
 
+// startDaemon launches run() in-process and waits for the bound
+// address.
+func startDaemon(t *testing.T, ctx context.Context, args []string) (string, *syncBuffer, chan int) {
+	t.Helper()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, &out, &errb) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(errb.String()); m != nil {
+			return m[1], &errb, done
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stderr:\n%s", errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
+
+// TestDaemonJournalRestartRecovers is the daemon-level restart round
+// trip: a journaled leastd finishes a job, restarts on the same
+// directory, and serves the recovered job's id and the byte-identical
+// learned graph — the README "Durability" walkthrough as a test.
+func TestDaemonJournalRestartRecovers(t *testing.T) {
+	dir := t.TempDir()
+	args := func() []string {
+		return []string{"-addr", "127.0.0.1:0", "-jobs", "1", "-journal-dir", dir}
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	addr, _, done := startDaemon(t, ctx1, args())
+	base := "http://" + addr
+
+	submit := `{"samples": [[1,2],[2,4],[3,5],[0.5,1.2],[1.5,2.9],[2.5,5.2],[0.2,0.3],[1.8,3.7]],
+	            "options": {"lambda": 0.1, "max_outer": 4}}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(submit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	idm := regexp.MustCompile(`"id": "([^"]+)"`).FindStringSubmatch(string(body))
+	if idm == nil {
+		t.Fatalf("no job id in %s", body)
+	}
+	id := idm[1]
+	pollDeadline := time.Now().Add(60 * time.Second)
+	for {
+		_, st := getBody(t, base+"/v1/jobs/"+id)
+		if strings.Contains(st, `"done"`) {
+			break
+		}
+		if strings.Contains(st, `"failed"`) || time.Now().After(pollDeadline) {
+			t.Fatalf("job did not finish: %s", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, hz := getBody(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(hz, `"journal"`) {
+		t.Fatalf("journaled daemon /healthz lacks the journal block: %d %s", code, hz)
+	}
+	_, wantGraph := getBody(t, base+"/v1/jobs/"+id+"/graph?tau=0.3")
+	cancel1()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("first daemon exit %d", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("first daemon did not shut down")
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	addr2, errb2, done2 := startDaemon(t, ctx2, args())
+	base2 := "http://" + addr2
+	if !strings.Contains(errb2.String(), "replayed") {
+		t.Fatalf("restarted daemon did not report replay; stderr:\n%s", errb2.String())
+	}
+	code, st := getBody(t, base2+"/v1/jobs/"+id)
+	if code != http.StatusOK || !strings.Contains(st, `"done"`) {
+		t.Fatalf("recovered daemon lost job %s: %d %s", id, code, st)
+	}
+	code, gotGraph := getBody(t, base2+"/v1/jobs/"+id+"/graph?tau=0.3")
+	if code != http.StatusOK || gotGraph != wantGraph {
+		t.Fatalf("recovered graph differs:\n got: %swant: %s", gotGraph, wantGraph)
+	}
+	code, metrics := getBody(t, base2+"/metrics")
+	if code != http.StatusOK || strings.Contains(metrics, "least_journal_replayed_records_total 0\n") {
+		t.Fatalf("restarted daemon reports zero replayed records:\n%s", metrics)
+	}
+	cancel2()
+	select {
+	case code := <-done2:
+		if code != 0 {
+			t.Fatalf("second daemon exit %d", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second daemon did not shut down")
+	}
+}
+
 // TestDaemonDrainsWithOpenEventStream pins the shutdown ordering: the
 // job drain must overlap the HTTP drain, because a v2 SSE stream only
 // ends when its job goes terminal. With the drains sequenced the other

@@ -179,6 +179,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	batchDim := fs.Int("batch-d", 8, "variables per fleet batch task")
 	batchSamples := fs.Int("batch-n", 48, "observations per fleet batch task")
 	pool := fs.Int("pool", 2, "self-host worker pool size (ignored with -addr)")
+	journalDir := fs.String("journal-dir", "", "self-host with a write-ahead journal in this directory, reporting its overhead (ignored with -addr)")
 	seed := fs.Int64("seed", 1, "RNG seed for synthetic data")
 	out := fs.String("out", "", "write the benchjson-compatible report here (default: stdout)")
 	check := fs.Bool("check", false, "after quiescing, cross-check /metrics counters against the generator's tallies")
@@ -214,11 +215,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// loopback TCP — in-process. Going through real HTTP keeps the
 	// measurement honest; going through a private listener keeps the
 	// -check ledgers exact (nobody else can touch the counters).
+	var mgr *serve.Manager
 	if *addr == "" {
 		// MaxHistory must outlast the run's own fleet churn: every batch
 		// task mints a job, and history eviction past the bound would
 		// (correctly) 404 the seeded query targets mid-run.
-		mgr := serve.NewManager(serve.Config{MaxConcurrent: *pool, QueueDepth: 1024, MaxHistory: 1 << 20})
+		var err error
+		mgr, err = serve.OpenManager(serve.Config{
+			MaxConcurrent: *pool, QueueDepth: 1024, MaxHistory: 1 << 20,
+			JournalDir: *journalDir,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "leastload:", err)
+			return 1
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(stderr, "leastload:", err)
@@ -234,8 +244,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}()
 		c.base = "http://" + ln.Addr().String()
 		fmt.Fprintf(stderr, "leastload: self-hosting on %s (pool=%d)\n", c.base, *pool)
-	} else if *check {
-		fmt.Fprintln(stderr, "leastload: -check against an external daemon assumes no concurrent traffic during the run")
+		if *journalDir != "" {
+			fmt.Fprintf(stderr, "leastload: journaling to %s\n", *journalDir)
+		}
+	} else {
+		if *check {
+			fmt.Fprintln(stderr, "leastload: -check against an external daemon assumes no concurrent traffic during the run")
+		}
+		if *journalDir != "" {
+			fmt.Fprintln(stderr, "leastload: -journal-dir is ignored with -addr (configure the daemon's own -journal-dir instead)")
+		}
 	}
 
 	// The baseline scrape is deliberately NOT tallied: the daemon
@@ -381,6 +399,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Name: "LoadSolve/interactive", Iterations: done,
 			NsPerOp: float64(elapsed.Nanoseconds()) / float64(done),
 		})
+	}
+	// Journal overhead, self-host only: the write amplification the WAL
+	// added to this run. Compare LoadQuery/* against a run without
+	// -journal-dir to hold the durability tax to its budget (the ISSUE
+	// acceptance allows ≤10% on the -check workload).
+	if mgr != nil {
+		if js, ok := mgr.JournalStats(); ok && js.Records > 0 {
+			fmt.Fprintf(stderr, "leastload: journal overhead: %d records, %d bytes (%.0f B/record), %d fsyncs\n",
+				js.Records, js.Bytes, float64(js.Bytes)/float64(js.Records), js.Fsyncs)
+			rep.Benchmarks = append(rep.Benchmarks,
+				Benchmark{Name: "LoadJournal/appends", Iterations: js.Records,
+					NsPerOp: float64(elapsed.Nanoseconds()) / float64(js.Records)},
+				Benchmark{Name: "LoadJournal/bytes-per-record", Iterations: js.Records,
+					NsPerOp: float64(js.Bytes) / float64(js.Records)})
+		}
 	}
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

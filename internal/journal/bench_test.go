@@ -1,0 +1,42 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkJournalAppend measures the append hot path under the three
+// durability modes the daemon exposes: group-commit (the -journal-fsync
+// default, where appends only buffer), per-append fsync (the paranoid
+// FsyncEvery<=0 mode), and a long interval that never fires during the
+// run (pure framing + buffered-write cost). The nightly bench-check
+// gate pins the group-commit number: an accidental fsync on the append
+// path shows up as a >100x regression here long before it shows up as
+// lost daemon throughput.
+func BenchmarkJournalAppend(b *testing.B) {
+	payload := fmt.Appendf(nil, `{"id":"j00000001","key":"%064d","state":"done"}`, 0)
+	for _, bc := range []struct {
+		name  string
+		every time.Duration
+	}{
+		{"group25ms", 25 * time.Millisecond},
+		{"noflush", time.Hour},
+		{"syncEvery", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w, err := Open(b.TempDir(), Options{FsyncEvery: bc.every})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append("task", payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,496 @@
+// Package journal is an append-only write-ahead log for the serving
+// daemon's fleet state (DESIGN.md §11). Records are JSONL — one typed
+// record per line, CRC-framed — written to numbered segment files with
+// group-commit fsync batching: appends land in an in-process buffer
+// and a background flusher syncs the file once per interval, so the
+// admission hot path never blocks on the disk. Segments rotate at a
+// byte bound, and Compact re-serializes the owner's live state into a
+// snapshot file that replaces every earlier segment, bounding disk
+// growth for a long-lived daemon. Replay reads the newest snapshot
+// plus the segments after it and stops cleanly at the first corrupt or
+// truncated line — the expected shape of a crash mid-write.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record is one journal line: a monotonic sequence number, a type tag
+// the owner dispatches on, and the typed payload.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Options configures a Writer. The zero value is the safest (and
+// slowest) configuration: fsync on every append.
+type Options struct {
+	// FsyncEvery is the group-commit interval: appends buffer in memory
+	// and a background flusher syncs once per interval, so a crash
+	// loses at most the last interval's records — never corrupts
+	// earlier ones. <= 0 syncs synchronously on every append.
+	FsyncEvery time.Duration
+	// SegmentBytes rotates the active segment past this size
+	// (default 8 MiB).
+	SegmentBytes int64
+}
+
+// DefaultSegmentBytes is the rotation bound when Options leaves it 0.
+const DefaultSegmentBytes = 8 << 20
+
+// Stats is a point-in-time counter snapshot of a Writer.
+type Stats struct {
+	Records int64 // records appended (snapshot records excluded)
+	Bytes   int64 // framed bytes appended
+	Fsyncs  int64 // fsync calls issued (group commits + rotations)
+}
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on
+// every platform the daemon targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer appends CRC-framed records to the journal directory.
+// Safe for concurrent use.
+type Writer struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	seg      int   // index of the active segment
+	segBytes int64 // framed bytes in the active segment
+	seq      uint64
+	dirty    bool // buffered or written bytes not yet fsynced
+	closed   bool
+	err      error // sticky I/O error; all later appends fail with it
+
+	records atomic.Int64
+	bytes   atomic.Int64
+	fsyncs  atomic.Int64
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+func segPath(dir string, i int) string  { return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", i)) }
+func snapPath(dir string, i int) string { return filepath.Join(dir, fmt.Sprintf("snap-%08d.log", i)) }
+
+// scanDir lists the segment and snapshot indices present in dir, each
+// sorted ascending.
+func scanDir(dir string) (segs, snaps []int, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	parse := func(name, prefix string) (int, bool) {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".log") {
+			return 0, false
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".log"))
+		if err != nil || n < 0 {
+			return 0, false
+		}
+		return n, true
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := parse(e.Name(), "wal-"); ok {
+			segs = append(segs, n)
+		} else if n, ok := parse(e.Name(), "snap-"); ok {
+			snaps = append(snaps, n)
+		}
+	}
+	sort.Ints(segs)
+	sort.Ints(snaps)
+	return segs, snaps, nil
+}
+
+// Open creates (or reuses) the journal directory and starts a fresh
+// segment after every file already present — an opener never appends
+// to a file a previous process may have torn mid-record. Callers
+// replay existing state with Replay before accepting new work.
+func Open(dir string, opt Options) (*Writer, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	next := 1
+	if n := len(segs); n > 0 && segs[n-1] >= next {
+		next = segs[n-1] + 1
+	}
+	if n := len(snaps); n > 0 && snaps[n-1] >= next {
+		next = snaps[n-1] + 1
+	}
+	w := &Writer{dir: dir, opt: opt, seg: next}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if opt.FsyncEvery > 0 {
+		w.stopFlush = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// openSegmentLocked opens the active segment file for w.seg. Caller
+// holds w.mu (or owns w exclusively).
+func (w *Writer) openSegmentLocked() error {
+	f, err := os.OpenFile(segPath(w.dir, w.seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.segBytes = 0
+	return nil
+}
+
+// frame writes one CRC-framed record line to bw and returns the framed
+// byte count.
+func frame(bw *bufio.Writer, payload []byte) (int, error) {
+	n, err := fmt.Fprintf(bw, "%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+	return n, err
+}
+
+// Append journals one typed record. With a positive FsyncEvery the
+// write is buffered and the background flusher makes it durable within
+// one interval; otherwise it is fsynced before Append returns.
+func (w *Writer) Append(typ string, data []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("journal: writer closed")
+	}
+	if w.segBytes >= w.opt.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	w.seq++
+	payload, err := json.Marshal(Record{Seq: w.seq, Type: typ, Data: data})
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	n, err := frame(w.bw, payload)
+	if err != nil {
+		w.err = fmt.Errorf("journal: append: %w", err)
+		return w.err
+	}
+	w.segBytes += int64(n)
+	w.records.Add(1)
+	w.bytes.Add(int64(n))
+	if w.opt.FsyncEvery <= 0 {
+		return w.syncLocked()
+	}
+	w.dirty = true
+	return nil
+}
+
+// syncLocked flushes the buffer and fsyncs the active segment. Caller
+// holds w.mu.
+func (w *Writer) syncLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("journal: flush: %w", err)
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("journal: fsync: %w", err)
+		return w.err
+	}
+	w.fsyncs.Add(1)
+	w.dirty = false
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + fsync + close) and
+// opens the next one. Caller holds w.mu.
+func (w *Writer) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.err = fmt.Errorf("journal: close segment: %w", err)
+		return w.err
+	}
+	w.seg++
+	if err := w.openSegmentLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// flushLoop is the group-commit flusher: one fsync per interval while
+// appends are landing, none while the journal is idle.
+func (w *Writer) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.opt.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopFlush:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.dirty && w.err == nil && !w.closed {
+				_ = w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Sync forces buffered records to disk immediately — the drain path's
+// barrier before reporting shutdown complete.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed || !w.dirty {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// Compact re-serializes the owner's live state into a snapshot that
+// supersedes every earlier file: the active segment is sealed, a fresh
+// segment K opens for subsequent appends, the snapshot callback writes
+// the live state into snap-K (tmp file, fsync, atomic rename), and
+// segments and snapshots before K are deleted. Replay then reads
+// snap-K followed by wal-K — the snapshot plus the tail written after
+// it. A crash anywhere inside Compact is safe: until the rename lands,
+// the old files still replay; after it, they are dead weight the next
+// Compact removes.
+func (w *Writer) Compact(snapshot func(add func(typ string, data []byte) error) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("journal: writer closed")
+	}
+	if err := w.rotateLocked(); err != nil {
+		return err
+	}
+	k := w.seg
+	tmp := snapPath(w.dir, k) + ".tmp"
+	sf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	sb := bufio.NewWriterSize(sf, 1<<16)
+	var snapSeq uint64
+	add := func(typ string, data []byte) error {
+		snapSeq++
+		payload, err := json.Marshal(Record{Seq: snapSeq, Type: typ, Data: data})
+		if err != nil {
+			return fmt.Errorf("journal: snapshot marshal: %w", err)
+		}
+		_, err = frame(sb, payload)
+		return err
+	}
+	err = snapshot(add)
+	if err == nil {
+		err = sb.Flush()
+	}
+	if err == nil {
+		err = sf.Sync()
+	}
+	if cerr := sf.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, snapPath(w.dir, k))
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	w.fsyncs.Add(1)
+	// The snapshot is durable; everything before it is superseded.
+	segs, snaps, err := scanDir(w.dir)
+	if err != nil {
+		return nil // compaction succeeded; stale files are harmless
+	}
+	for _, s := range segs {
+		if s < k {
+			_ = os.Remove(segPath(w.dir, s))
+		}
+	}
+	for _, s := range snaps {
+		if s < k {
+			_ = os.Remove(snapPath(w.dir, s))
+		}
+	}
+	return nil
+}
+
+// Close stops the flusher, syncs outstanding records and closes the
+// active segment. The Writer is unusable afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.stopFlush != nil {
+		close(w.stopFlush)
+		<-w.flushDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.err == nil && w.dirty {
+		if ferr := w.bw.Flush(); ferr != nil {
+			err = ferr
+		} else if serr := w.f.Sync(); serr != nil {
+			err = serr
+		} else {
+			w.fsyncs.Add(1)
+		}
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats snapshots the writer's counters.
+func (w *Writer) Stats() Stats {
+	return Stats{
+		Records: w.records.Load(),
+		Bytes:   w.bytes.Load(),
+		Fsyncs:  w.fsyncs.Load(),
+	}
+}
+
+// Corruption describes where replay stopped: the file, 1-based line,
+// and why. A truncated or CRC-broken tail is the normal signature of a
+// crash mid-write, so replay treats it as end-of-journal rather than
+// an error; the owner decides whether a corruption anywhere else is
+// tolerable.
+type Corruption struct {
+	File   string
+	Line   int
+	Reason string
+}
+
+func (c *Corruption) String() string {
+	return fmt.Sprintf("%s:%d: %s", c.File, c.Line, c.Reason)
+}
+
+// Replay streams the journal's records — the newest snapshot (if any)
+// followed by every segment at or after it, oldest first — into fn. It
+// returns the number of records delivered and, when the journal ends
+// in a torn or corrupt line, a Corruption describing where replay
+// stopped (records before the corruption are delivered; nothing after
+// it is). A non-nil error from fn aborts replay and is returned as-is.
+func Replay(dir string, fn func(Record) error) (int, *Corruption, error) {
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, nil
+		}
+		return 0, nil, fmt.Errorf("journal: %w", err)
+	}
+	var files []string
+	from := 0
+	if n := len(snaps); n > 0 {
+		from = snaps[n-1]
+		files = append(files, snapPath(dir, from))
+	}
+	for _, s := range segs {
+		if s >= from {
+			files = append(files, segPath(dir, s))
+		}
+	}
+	n := 0
+	for _, path := range files {
+		corrupt, err := replayFile(path, fn, &n)
+		if err != nil {
+			return n, nil, err
+		}
+		if corrupt != nil {
+			return n, corrupt, nil
+		}
+	}
+	return n, nil, nil
+}
+
+// replayFile delivers one file's records, returning a Corruption at
+// the first bad line.
+func replayFile(path string, fn func(Record) error, n *int) (*Corruption, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	base := filepath.Base(path)
+	for line := 1; ; line++ {
+		raw, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			if len(raw) == 0 {
+				return nil, nil
+			}
+			return &Corruption{File: base, Line: line, Reason: "truncated record (no newline)"}, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("journal: read %s: %w", base, err)
+		}
+		raw = raw[:len(raw)-1] // strip '\n'
+		if len(raw) < 10 || raw[8] != ' ' {
+			return &Corruption{File: base, Line: line, Reason: "malformed frame"}, nil
+		}
+		want, err := strconv.ParseUint(string(raw[:8]), 16, 32)
+		if err != nil {
+			return &Corruption{File: base, Line: line, Reason: "malformed CRC"}, nil
+		}
+		payload := raw[9:]
+		if crc32.Checksum(payload, crcTable) != uint32(want) {
+			return &Corruption{File: base, Line: line, Reason: "CRC mismatch"}, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return &Corruption{File: base, Line: line, Reason: "bad record JSON: " + err.Error()}, nil
+		}
+		if err := fn(rec); err != nil {
+			return nil, err
+		}
+		*n++
+	}
+}

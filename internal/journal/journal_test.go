@@ -1,0 +1,333 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collect replays dir into a slice of (type, data) pairs.
+func collect(t *testing.T, dir string) ([]Record, *Corruption) {
+	t.Helper()
+	var recs []Record
+	n, corrupt, err := Replay(dir, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != len(recs) {
+		t.Fatalf("replay count %d, delivered %d", n, len(recs))
+	}
+	return recs, corrupt
+}
+
+func appendN(t *testing.T, w *Writer, typ string, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := w.Append(typ, fmt.Appendf(nil, `{"i":%d}`, i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 0, 100)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, corrupt := collect(t, dir)
+	if corrupt != nil {
+		t.Fatalf("unexpected corruption: %v", corrupt)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(recs))
+	}
+	for i, r := range recs {
+		if r.Type != "task" || r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: type %q seq %d", i, r.Type, r.Seq)
+		}
+		var v struct{ I int }
+		if err := json.Unmarshal(r.Data, &v); err != nil || v.I != i {
+			t.Fatalf("record %d payload %s (%v)", i, r.Data, err)
+		}
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	n, corrupt, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error { return nil })
+	if n != 0 || corrupt != nil || err != nil {
+		t.Fatalf("missing dir: n=%d corrupt=%v err=%v", n, corrupt, err)
+	}
+	n, corrupt, err = Replay(t.TempDir(), func(Record) error { return nil })
+	if n != 0 || corrupt != nil || err != nil {
+		t.Fatalf("empty dir: n=%d corrupt=%v err=%v", n, corrupt, err)
+	}
+}
+
+// TestGroupCommitFlush pins the group-commit contract: with a long
+// interval the record is buffered (not yet on disk), and Sync makes it
+// durable without waiting for the ticker.
+func TestGroupCommitFlush(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{FsyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 0, 3)
+	if recs, _ := collect(t, dir); len(recs) != 0 {
+		t.Fatalf("buffered records already on disk: %d", len(recs))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, corrupt := collect(t, dir); len(recs) != 3 || corrupt != nil {
+		t.Fatalf("after Sync: %d records, corrupt %v", len(recs), corrupt)
+	}
+	st := w.Stats()
+	if st.Records != 3 || st.Fsyncs == 0 || st.Bytes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSegmentRotation forces rotation with a tiny bound and checks
+// replay stitches segments back in order, and that a reopened writer
+// never appends to an old file.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 0, 50)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", len(segs))
+	}
+
+	// Reopen: a fresh segment, never an append to a possibly-torn one.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.seg != segs[len(segs)-1]+1 {
+		t.Fatalf("reopened into segment %d, want %d", w2.seg, segs[len(segs)-1]+1)
+	}
+	appendN(t, w2, "task", 50, 60)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, corrupt := collect(t, dir)
+	if corrupt != nil {
+		t.Fatalf("corruption: %v", corrupt)
+	}
+	if len(recs) != 60 {
+		t.Fatalf("replayed %d records across segments, want 60", len(recs))
+	}
+	for i, r := range recs {
+		var v struct{ I int }
+		if err := json.Unmarshal(r.Data, &v); err != nil || v.I != i {
+			t.Fatalf("record %d out of order: %s", i, r.Data)
+		}
+	}
+}
+
+// TestCompaction: the snapshot supersedes old segments, replay sees
+// snapshot records then the tail, and earlier files are deleted.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 0, 40)
+	err = w.Compact(func(add func(string, []byte) error) error {
+		// The owner re-serializes live state: pretend records 30..39
+		// are all that is still live.
+		for i := 30; i < 40; i++ {
+			if err := add("snap", fmt.Appendf(nil, `{"i":%d}`, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 40, 45)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, got %v", snaps)
+	}
+	for _, s := range segs {
+		if s < snaps[0] {
+			t.Fatalf("stale segment %d survived compaction (snapshot %d)", s, snaps[0])
+		}
+	}
+	recs, corrupt := collect(t, dir)
+	if corrupt != nil {
+		t.Fatalf("corruption: %v", corrupt)
+	}
+	if len(recs) != 15 {
+		t.Fatalf("replayed %d records, want 10 snapshot + 5 tail", len(recs))
+	}
+	for i := 0; i < 10; i++ {
+		if recs[i].Type != "snap" {
+			t.Fatalf("record %d: type %q, want snapshot first", i, recs[i].Type)
+		}
+	}
+	for i := 10; i < 15; i++ {
+		if recs[i].Type != "task" {
+			t.Fatalf("record %d: type %q, want tail records after snapshot", i, recs[i].Type)
+		}
+	}
+}
+
+// TestCompactionFailureKeepsOldFiles: a snapshot callback error must
+// leave the previous journal fully replayable.
+func TestCompactionFailureKeepsOldFiles(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 0, 10)
+	boom := fmt.Errorf("snapshot failed")
+	if err := w.Compact(func(add func(string, []byte) error) error { return boom }); err == nil {
+		t.Fatal("compaction with failing snapshot succeeded")
+	}
+	appendN(t, w, "task", 10, 12)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, corrupt := collect(t, dir)
+	if corrupt != nil {
+		t.Fatalf("corruption: %v", corrupt)
+	}
+	if len(recs) != 12 {
+		t.Fatalf("replayed %d records, want all 12", len(recs))
+	}
+}
+
+// lastSegment returns the path of the newest segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, _, err := scanDir(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments (%v)", err)
+	}
+	return segPath(dir, segs[len(segs)-1])
+}
+
+// TestReplayTruncatedTail: a torn final line — the signature of a
+// crash mid-write — stops replay cleanly after the intact prefix.
+func TestReplayTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 0, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := lastSegment(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 7, len(b) / 2} {
+		if err := os.WriteFile(path, b[:len(b)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, corrupt := collect(t, dir)
+		if corrupt == nil {
+			t.Fatalf("cut %d: truncation not detected", cut)
+		}
+		if len(recs) >= 10 {
+			t.Fatalf("cut %d: replayed %d records past the tear", cut, len(recs))
+		}
+		for i, r := range recs {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("cut %d: prefix out of order at %d", cut, i)
+			}
+		}
+	}
+}
+
+// TestReplayCorruptCRC: a flipped byte mid-file stops replay at that
+// line; the prefix is delivered, nothing after it is.
+func TestReplayCorruptCRC(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, "task", 0, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := lastSegment(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	// Flip a payload byte of line 5 (0-based 4), after the CRC prefix.
+	l := []byte(lines[4])
+	l[12] ^= 0xff
+	lines[4] = string(l)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, corrupt := collect(t, dir)
+	if corrupt == nil {
+		t.Fatal("corrupt CRC not detected")
+	}
+	if corrupt.Line != 5 {
+		t.Fatalf("corruption at line %d, want 5 (%v)", corrupt.Line, corrupt)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want the 4 before the corruption", len(recs))
+	}
+}
+
+// TestAppendAfterClose: the writer refuses work once closed.
+func TestAppendAfterClose(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("task", []byte(`{}`)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

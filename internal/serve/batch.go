@@ -63,6 +63,10 @@ const (
 	TaskCodeShed       TaskCode = "shed"
 	TaskCodeCancelled  TaskCode = "cancelled"
 	TaskCodeInternal   TaskCode = "internal"
+	// TaskCodeRestart marks work interrupted by a daemon restart that
+	// recovery could not resume (DESIGN.md §11) — distinct from
+	// "internal" so clients know a clean resubmission will succeed.
+	TaskCodeRestart TaskCode = "restart"
 )
 
 // BatchTaskSpec is one resolved manifest entry handed to
@@ -82,6 +86,16 @@ type BatchTaskSpec struct {
 	// dataset_ref, unsupported source). The task lands in the error
 	// table with code "validation" and the rest of the batch proceeds.
 	Err error
+	// Manifest is the task's original wire form, kept alongside the
+	// resolved fields so the journal can record a replayable manifest —
+	// after a restart, recovery re-resolves pending tasks from it.
+	// Optional; programmatic submissions without it simply restart-fail
+	// instead of resuming.
+	Manifest *least.ManifestTask
+	// DatasetID names the registered dataset a dataset_ref task
+	// resolved through; the minted job holds it pinned in the store
+	// until the task is terminal.
+	DatasetID string
 }
 
 // TaskStatus is one row of the batch task table (GET
@@ -142,6 +156,13 @@ type batchTask struct {
 type Batch struct {
 	id      string
 	created time.Time
+	m       *Manager // for journal emission at the terminal transition
+
+	// manifests is the journaled wire form of the task list (index-
+	// aligned with tasks), kept only while journaling is enabled and
+	// the batch is live; finishLocked drops it — a terminal batch
+	// recovers from its row table alone.
+	manifests []least.ManifestTask
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast on every seq bump
@@ -297,6 +318,19 @@ func (b *Batch) finishLocked(s BatchState) {
 		j.mu.Unlock()
 	}
 	b.refs = nil
+	if b.m != nil && b.m.jnl != nil {
+		// Seal the batch with its final row table — rows can diverge
+		// from the admission record (cancels mark rows directly, and
+		// shared jobs may have completed other batches' rows) — and
+		// drop the manifests: a terminal batch replays from rows alone.
+		b.m.jnl.emit(recBatchTerminal, batchTerminalRecord{
+			ID:       b.id,
+			State:    s,
+			Finished: b.finished,
+			Rows:     b.rowRecordsLocked(),
+		})
+	}
+	b.manifests = nil
 }
 
 // stateRank orders job states along the lifecycle so observer
@@ -334,7 +368,13 @@ func (b *Batch) onJob(j *Job, st Status) {
 				b.nCached++
 			}
 		case Failed:
+			// A typed code on the status (today only "restart", from a
+			// recovered job shared across batches) is more specific than
+			// the generic internal verdict.
 			t.code = TaskCodeInternal
+			if st.Code != "" {
+				t.code = st.Code
+			}
 			t.err = st.Error
 		case Cancelled:
 			t.code = TaskCodeCancelled
@@ -407,17 +447,29 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 	bm.mu.Unlock()
 
 	now := time.Now()
+	m := bm.m
 	b := &Batch{
 		id:      id,
 		created: now,
+		m:       m,
 		state:   BatchRunning,
 		refs:    make(map[*Job][]int),
 	}
 	b.cond = sync.NewCond(&b.mu)
+	if m.jnl != nil {
+		// Journal the wire-form manifest (index-aligned with tasks):
+		// recovery re-resolves pending rows from it after a restart.
+		b.manifests = make([]least.ManifestTask, len(specs))
+		for i, ts := range specs {
+			if ts.Manifest != nil {
+				b.manifests[i] = *ts.Manifest
+			}
+		}
+	}
 
-	m := bm.m
 	lane := &jobQueue{id: id}
 	mine := make(map[*Job]bool) // jobs this batch already references
+	var minted []*Job           // jobs this admission created (journaled with the batch)
 
 	m.mu.Lock()
 	if m.draining {
@@ -467,6 +519,7 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 			j.waiters = 1
 			b.refs[j] = append(b.refs[j], i)
 			m.recordLocked(j)
+			minted = append(minted, j)
 			m.met.BatchTasksCached.Add(1)
 			continue
 		}
@@ -479,8 +532,15 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 		}
 		j.waiters = 1
 		mine[j] = true
+		if ts.DatasetID != "" {
+			// Pin the registered dataset until the job's terminal
+			// transition releases it (the jobTerminal observer).
+			j.dsID = ts.DatasetID
+			m.datasets.acquire(ts.DatasetID)
+		}
 		m.inflight[p.key] = j
 		m.recordLocked(j)
+		minted = append(minted, j)
 		m.enqueueLocked(lane, j)
 		t.jobID = j.id
 		b.refs[j] = append(b.refs[j], i)
@@ -511,6 +571,7 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 		j.observe(func(st Status) { b.onJob(j, st) })
 	}
 	bm.register(b)
+	m.journalBatchAdmission(b, minted)
 	return b, nil
 }
 

@@ -23,6 +23,10 @@ type resultCache struct {
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
+	// onEvict, when set, observes every LRU eviction (under c.mu; keep
+	// it cheap and lock-free) — the journal's cache_evict record hook.
+	onEvict func(key string)
+
 	hits, misses int
 }
 
@@ -65,8 +69,48 @@ func (c *resultCache) put(key string, res *least.Result) {
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		k := oldest.Value.(*cacheEntry).key
+		delete(c.items, k)
+		if c.onEvict != nil {
+			c.onEvict(k)
+		}
 	}
+}
+
+// peek resolves a key without touching the LRU order or the hit/miss
+// accounting — recovery consults the rebuilt cache without polluting
+// the fresh process's counters.
+func (c *resultCache) peek(key string) (*least.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*cacheEntry).res, true
+	}
+	return nil, false
+}
+
+// remove deletes an entry without treating it as an eviction (recovery
+// replaying a journaled cache_evict record).
+func (c *resultCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// entries snapshots the cache oldest-first, so replaying the snapshot
+// with put() reproduces the LRU order exactly.
+func (c *resultCache) entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, cacheEntry{key: e.key, res: e.res})
+	}
+	return out
 }
 
 // stats returns (hits, misses, size).

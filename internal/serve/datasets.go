@@ -48,6 +48,12 @@ type datasetStore struct {
 type datasetEntry struct {
 	info DatasetInfo
 	ds   least.Dataset
+	// holds counts queued/running by-ref jobs and batch tasks still
+	// referencing this id. LRU pressure skips held entries: evicting one
+	// would fail those tasks "internal" on re-resolution (and, after a
+	// restart, lose the data a journaled pending task needs). An explicit
+	// DELETE still wins — clients own their ids.
+	holds int
 }
 
 func newDatasetStore(capacity int) *datasetStore {
@@ -63,11 +69,14 @@ func newDatasetStore(capacity int) *datasetStore {
 }
 
 // register stores a dataset (or dedups onto the existing entry with
-// the same fingerprint) and returns its metadata plus whether a new
-// entry was created.
-func (s *datasetStore) register(ds least.Dataset) (DatasetInfo, bool, error) {
+// the same fingerprint) and returns its metadata, whether a new entry
+// was created, and the ids LRU pressure evicted to make room. Entries
+// with live holds are skipped by the eviction scan — the store may
+// transiently exceed its capacity rather than drop data a queued
+// by-ref task still needs.
+func (s *datasetStore) register(ds least.Dataset) (DatasetInfo, bool, []string, error) {
 	if s == nil {
-		return DatasetInfo{}, false, ErrDatasetsDisabled
+		return DatasetInfo{}, false, nil, ErrDatasetsDisabled
 	}
 	fp := ds.Fingerprint()
 	s.mu.Lock()
@@ -75,7 +84,7 @@ func (s *datasetStore) register(ds least.Dataset) (DatasetInfo, bool, error) {
 	if id, ok := s.byFP[fp]; ok {
 		el := s.byID[id]
 		s.ll.MoveToFront(el)
-		return el.Value.(*datasetEntry).info, false, nil
+		return el.Value.(*datasetEntry).info, false, nil, nil
 	}
 	n, d := ds.Dims()
 	s.nextID++
@@ -89,10 +98,17 @@ func (s *datasetStore) register(ds least.Dataset) (DatasetInfo, bool, error) {
 	}
 	s.byID[info.ID] = s.ll.PushFront(&datasetEntry{info: info, ds: ds})
 	s.byFP[fp] = info.ID
-	for s.ll.Len() > s.cap {
-		s.evictLocked(s.ll.Back())
+	var evicted []string
+	for el := s.ll.Back(); el != nil && s.ll.Len() > s.cap; {
+		prev := el.Prev()
+		e := el.Value.(*datasetEntry)
+		if e.holds == 0 {
+			s.evictLocked(el)
+			evicted = append(evicted, e.info.ID)
+		}
+		el = prev
 	}
-	return info, true, nil
+	return info, true, evicted, nil
 }
 
 func (s *datasetStore) evictLocked(el *list.Element) {
@@ -117,6 +133,87 @@ func (s *datasetStore) get(id string) (least.Dataset, DatasetInfo, error) {
 	s.ll.MoveToFront(el)
 	e := el.Value.(*datasetEntry)
 	return e.ds, e.info, nil
+}
+
+// acquire takes a hold on id, pinning it against LRU eviction until
+// the matching release. No-op for unknown ids (the entry may already
+// be gone) or a disabled store.
+func (s *datasetStore) acquire(id string) {
+	if s == nil || id == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		el.Value.(*datasetEntry).holds++
+	}
+}
+
+// release drops a hold taken by acquire.
+func (s *datasetStore) release(id string) {
+	if s == nil || id == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		if e := el.Value.(*datasetEntry); e.holds > 0 {
+			e.holds--
+		}
+	}
+}
+
+// restore re-inserts a journaled registration with its original id and
+// metadata (recovery only; ids are never reissued). Insertion order is
+// the replay order — oldest first — so PushFront reproduces the LRU
+// ranking the snapshot recorded.
+func (s *datasetStore) restore(info DatasetInfo, ds least.Dataset) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[info.ID]; ok {
+		return // duplicate record in the journal; first wins
+	}
+	s.byID[info.ID] = s.ll.PushFront(&datasetEntry{info: info, ds: ds})
+	s.byFP[info.Fingerprint] = info.ID
+	var n int
+	if _, err := fmt.Sscanf(info.ID, "d%08d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// seedID advances the id counter past a journaled id without restoring
+// it — a dropped dataset's id must stay burned after a restart, or a
+// recovered daemon would reissue it to unrelated data.
+func (s *datasetStore) seedID(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	if _, err := fmt.Sscanf(id, "d%08d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// snapshotEntries copies the store oldest-first for journal
+// compaction, so replaying the snapshot with restore() reproduces the
+// LRU order.
+func (s *datasetStore) snapshotEntries() []datasetEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]datasetEntry, 0, s.ll.Len())
+	for el := s.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*datasetEntry)
+		out = append(out, datasetEntry{info: e.info, ds: e.ds})
+	}
+	return out
 }
 
 func (s *datasetStore) delete(id string) error {
@@ -162,7 +259,21 @@ func (s *datasetStore) list() []DatasetInfo {
 // dataset whose fingerprint is already stored returns the existing
 // metadata with created=false.
 func (m *Manager) RegisterDataset(ds least.Dataset) (DatasetInfo, bool, error) {
-	return m.datasets.register(ds)
+	info, created, evicted, err := m.datasets.register(ds)
+	if err != nil {
+		return info, created, err
+	}
+	if m.jnl != nil {
+		if created {
+			if rec, ok := datasetRecordOf(info, ds); ok {
+				m.jnl.emit(recDataset, rec)
+			}
+		}
+		for _, id := range evicted {
+			m.jnl.emit(recDatasetDrop, datasetDropRecord{ID: id})
+		}
+	}
+	return info, created, nil
 }
 
 // Dataset resolves a registered dataset id.
@@ -172,7 +283,15 @@ func (m *Manager) Dataset(id string) (least.Dataset, DatasetInfo, error) {
 
 // DeleteDataset removes a registered dataset. Jobs already submitted
 // against it are unaffected — they hold their own reference.
-func (m *Manager) DeleteDataset(id string) error { return m.datasets.delete(id) }
+func (m *Manager) DeleteDataset(id string) error {
+	if err := m.datasets.delete(id); err != nil {
+		return err
+	}
+	if m.jnl != nil {
+		m.jnl.emit(recDatasetDrop, datasetDropRecord{ID: id})
+	}
+	return nil
+}
 
 // Datasets lists the registered datasets, most recently used first.
 func (m *Manager) Datasets() []DatasetInfo { return m.datasets.list() }

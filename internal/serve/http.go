@@ -354,8 +354,8 @@ func (a *API) submitV2(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "provide dataset_ref or inline samples, not both")
 			return
 		}
-		ds, _, err := a.m.Dataset(req.DatasetRef)
-		if err != nil {
+		j, err := a.m.SubmitDatasetRef(req.DatasetRef, req.Spec, req.Center)
+		if err != nil && (errors.Is(err, ErrUnknownDataset) || errors.Is(err, ErrDatasetsDisabled)) {
 			code := http.StatusNotFound
 			if errors.Is(err, ErrDatasetsDisabled) {
 				code = http.StatusServiceUnavailable
@@ -363,7 +363,6 @@ func (a *API) submitV2(w http.ResponseWriter, r *http.Request) {
 			httpError(w, code, "%v", err)
 			return
 		}
-		j, err := a.m.SubmitDataset(ds, req.Spec, req.Center)
 		a.finishSubmit(w, j, err, render)
 		return
 	}
@@ -619,14 +618,25 @@ func (a *API) cancelV2(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) health(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := a.m.CacheStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":        "ok",
 		"jobs":          a.m.Len(),
 		"batches":       a.m.Batches().Len(),
 		"cache_hits":    hits,
 		"cache_misses":  misses,
 		"cache_entries": entries,
-	})
+	}
+	// The journal key appears only when durability is enabled, so the
+	// default daemon's /healthz bytes are unchanged.
+	if st, ok := a.m.JournalStats(); ok {
+		body["journal"] = map[string]any{
+			"records":  st.Records,
+			"bytes":    st.Bytes,
+			"fsyncs":   st.Fsyncs,
+			"replayed": a.m.met.JournalReplayed.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -36,7 +36,7 @@ type TaskPage struct {
 // carrying resolution failures in Err so they become "validation" rows
 // of the batch error table instead of failing the POST.
 func (a *API) resolveBatchTask(t least.ManifestTask) BatchTaskSpec {
-	ts := BatchTaskSpec{Label: t.ID, Center: t.Center, Spec: t.Spec}
+	ts := BatchTaskSpec{Label: t.ID, Center: t.Center, Spec: t.Spec, Manifest: &t}
 	if err := t.Validate(); err != nil {
 		ts.Err = err
 		return ts
@@ -50,6 +50,7 @@ func (a *API) resolveBatchTask(t least.ManifestTask) BatchTaskSpec {
 			ts.Err = err
 		} else {
 			ts.Dataset = ds
+			ts.DatasetID = t.DatasetRef
 		}
 	default:
 		// The inline envelope resolves through the same ManifestTask.Data

@@ -1,0 +1,573 @@
+package serve
+
+// Durable fleet state (DESIGN.md §11): the Manager journals every
+// admission and terminal transition to an internal/journal write-ahead
+// log so a restarted daemon recovers its datasets, job table, batches
+// and result cache instead of losing the fleet. Record payloads reuse
+// the wire schemas that are already golden-pinned on the HTTP surface:
+// batch rows carry least.ManifestTask manifests, job records carry the
+// canonical Spec JSON the result cache keys on, and dataset records
+// carry the /v2/datasets metadata shape. Emission is asynchronous —
+// state transitions enqueue onto a single ordered emitter goroutine
+// that marshals and appends off the hot path — and Shutdown drains the
+// emitter and fsyncs before returning, so "drained" means "durable".
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/journal"
+	"repro/internal/sparse"
+)
+
+// Journal record types.
+const (
+	recDataset       = "dataset"        // a dataset registration (metadata + samples)
+	recDatasetDrop   = "dataset_drop"   // a dataset left the store (eviction or DELETE)
+	recJob           = "job"            // a job admission
+	recJobTerminal   = "job_terminal"   // a job reached done/failed/cancelled
+	recBatch         = "batch"          // a batch admission (manifest + row table + minted jobs)
+	recBatchTerminal = "batch_terminal" // a batch sealed (final row table)
+	recCacheEntry    = "cache_entry"    // snapshot only: one live result-cache entry
+	recCacheEvict    = "cache_evict"    // a result left the cache under LRU pressure
+)
+
+// datasetRecord journals one registration: the /v2/datasets metadata
+// plus the row-major samples needed to rebuild the store entry.
+type datasetRecord struct {
+	Info    DatasetInfo `json:"info"`
+	Samples [][]float64 `json:"samples"`
+}
+
+type datasetDropRecord struct {
+	ID string `json:"id"`
+}
+
+// jobRecord journals one admission. Spec is the canonical
+// (defaults-resolved) Spec JSON — the exact bytes the result-cache key
+// hashes — so a recovered job recomputes the same key.
+type jobRecord struct {
+	ID          string          `json:"id"`
+	Key         string          `json:"key"`
+	Fingerprint string          `json:"fingerprint"`
+	N           int             `json:"n"`
+	D           int             `json:"d"`
+	Names       []string        `json:"names,omitempty"`
+	Center      bool            `json:"center,omitempty"`
+	Batch       bool            `json:"batch,omitempty"`
+	DatasetID   string          `json:"dataset_id,omitempty"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	Created     time.Time       `json:"created"`
+}
+
+// sparseRecord is the JSON form of a CSR weight matrix.
+type sparseRecord struct {
+	Rows   int       `json:"rows"`
+	Cols   int       `json:"cols"`
+	RowPtr []int     `json:"row_ptr"`
+	ColIdx []int     `json:"col_idx"`
+	Val    []float64 `json:"val"`
+}
+
+// resultRecord is the JSON form of a least.Result. Go's encoding/json
+// round-trips float64 exactly, so a recovered result is bit-identical
+// to the journaled one.
+type resultRecord struct {
+	D          int           `json:"d"`
+	Weights    [][]float64   `json:"weights,omitempty"`
+	Sparse     *sparseRecord `json:"sparse,omitempty"`
+	Delta      float64       `json:"delta"`
+	H          float64       `json:"h,omitempty"`
+	Converged  bool          `json:"converged,omitempty"`
+	OuterIters int           `json:"outer_iters,omitempty"`
+	InnerIters int           `json:"inner_iters,omitempty"`
+}
+
+// jobTerminalRecord journals a job's final state; done jobs carry the
+// result so recovery can repopulate the cache and serve /graph.
+type jobTerminalRecord struct {
+	ID       string        `json:"id"`
+	Key      string        `json:"key"`
+	State    State         `json:"state"`
+	Code     TaskCode      `json:"code,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Cached   bool          `json:"cached,omitempty"`
+	Finished time.Time     `json:"finished"`
+	Result   *resultRecord `json:"result,omitempty"`
+}
+
+// batchRowRecord is one row of the journaled batch task table — the
+// TaskStatus shape minus the index (implied by position).
+type batchRowRecord struct {
+	Label   string   `json:"label,omitempty"`
+	State   State    `json:"state"`
+	Cached  bool     `json:"cached,omitempty"`
+	Deduped bool     `json:"deduped,omitempty"`
+	Job     string   `json:"job,omitempty"`
+	Code    TaskCode `json:"code,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// batchRecord journals a batch admission: the manifest (so pending
+// tasks can re-resolve their data after a restart), the row table at
+// admission, and the jobs this admission minted. Tasks[i] pairs with
+// Rows[i]; deduplicated rows reference jobs minted elsewhere.
+type batchRecord struct {
+	ID      string               `json:"id"`
+	Created time.Time            `json:"created"`
+	Tasks   []least.ManifestTask `json:"tasks,omitempty"`
+	Rows    []batchRowRecord     `json:"rows"`
+	Jobs    []jobRecord          `json:"jobs,omitempty"`
+}
+
+// batchTerminalRecord seals a batch with its final row table (rows may
+// have diverged from the admission record — cancels mark rows directly).
+type batchTerminalRecord struct {
+	ID       string           `json:"id"`
+	State    BatchState       `json:"state"`
+	Finished time.Time        `json:"finished"`
+	Rows     []batchRowRecord `json:"rows,omitempty"`
+}
+
+type cacheEntryRecord struct {
+	Key    string        `json:"key"`
+	Result *resultRecord `json:"result"`
+}
+
+type cacheEvictRecord struct {
+	Key string `json:"key"`
+}
+
+// resultRecordOf converts a learned result for journaling. The
+// [][]float64 rows alias the immutable weight matrix — no copy on the
+// emission path; marshaling reads them once.
+func resultRecordOf(res *least.Result) *resultRecord {
+	if res == nil {
+		return nil
+	}
+	r := &resultRecord{
+		Delta:      res.Delta,
+		H:          res.H,
+		Converged:  res.Converged,
+		OuterIters: res.OuterIters,
+		InnerIters: res.InnerIters,
+	}
+	if res.Weights != nil {
+		rows := res.Weights.Rows()
+		r.D = res.Weights.Cols()
+		r.Weights = make([][]float64, rows)
+		for i := 0; i < rows; i++ {
+			r.Weights[i] = res.Weights.Row(i)
+		}
+	}
+	if res.SparseWeights != nil {
+		sw := res.SparseWeights
+		r.D = sw.Cols()
+		r.Sparse = &sparseRecord{
+			Rows:   sw.Rows(),
+			Cols:   sw.Cols(),
+			RowPtr: sw.RowPtr,
+			ColIdx: sw.ColIdx,
+			Val:    sw.Val,
+		}
+	}
+	return r
+}
+
+// result rebuilds the least.Result a resultRecord journaled.
+func (r *resultRecord) result() (*least.Result, error) {
+	if r == nil {
+		return nil, fmt.Errorf("serve: journal: missing result")
+	}
+	res := &least.Result{
+		Delta:      r.Delta,
+		H:          r.H,
+		Converged:  r.Converged,
+		OuterIters: r.OuterIters,
+		InnerIters: r.InnerIters,
+	}
+	if r.Weights != nil {
+		rows := len(r.Weights)
+		cols := r.D
+		if cols == 0 && rows > 0 {
+			cols = len(r.Weights[0])
+		}
+		w := least.NewMatrix(rows, cols)
+		for i, row := range r.Weights {
+			if len(row) != cols {
+				return nil, fmt.Errorf("serve: journal: weights row %d has %d values, want %d", i, len(row), cols)
+			}
+			copy(w.Row(i), row)
+		}
+		res.Weights = w
+	}
+	if r.Sparse != nil {
+		sw, err := sparse.NewCSRRaw(r.Sparse.Rows, r.Sparse.Cols, r.Sparse.RowPtr, r.Sparse.ColIdx, r.Sparse.Val)
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal: %w", err)
+		}
+		res.SparseWeights = sw
+	}
+	return res, nil
+}
+
+// datasetRecordOf serializes a registered dataset. ok is false when
+// the dataset cannot materialize rows (a statistics-only Dataset
+// registered programmatically) — such registrations are not journaled
+// and simply do not survive a restart.
+func datasetRecordOf(info DatasetInfo, ds least.Dataset) (*datasetRecord, bool) {
+	rs, ok := ds.(least.RowSource)
+	if !ok {
+		return nil, false
+	}
+	x, err := rs.Matrix(context.Background())
+	if err != nil || x == nil {
+		return nil, false
+	}
+	rows := x.Rows()
+	samples := make([][]float64, rows)
+	for i := 0; i < rows; i++ {
+		samples[i] = x.Row(i)
+	}
+	return &datasetRecord{Info: info, Samples: samples}, true
+}
+
+// datasetOf rebuilds the store entry a datasetRecord journaled.
+func (r *datasetRecord) dataset() (least.Dataset, error) {
+	d := r.Info.D
+	x := least.NewMatrix(len(r.Samples), d)
+	for i, row := range r.Samples {
+		if len(row) != d {
+			return nil, fmt.Errorf("serve: journal: dataset %s row %d has %d values, want %d", r.Info.ID, i, len(row), d)
+		}
+		copy(x.Row(i), row)
+	}
+	return least.FromMatrix(x, r.Info.Names), nil
+}
+
+// canonicalSpecJSON marshals the defaults-resolved spec — the form the
+// cache key hashes (DESIGN.md §6).
+func canonicalSpecJSON(spec *least.Spec) json.RawMessage {
+	if spec == nil {
+		spec = &least.Spec{}
+	}
+	b, err := json.Marshal(spec.Canonical())
+	if err != nil {
+		return nil // validated at admission; cannot fail
+	}
+	return b
+}
+
+// jobRecordOf builds the admission record for a minted job. Immutable
+// job fields only — safe without j.mu.
+func jobRecordOf(j *Job, batch bool, dsID string) jobRecord {
+	return jobRecord{
+		ID:          j.id,
+		Key:         j.key,
+		Fingerprint: j.fp,
+		N:           j.n,
+		D:           j.d,
+		Names:       j.names,
+		Center:      j.center,
+		Batch:       batch,
+		DatasetID:   dsID,
+		Spec:        canonicalSpecJSON(j.spec),
+		Created:     j.created,
+	}
+}
+
+// jobTerminalRecordOf snapshots a terminal job's final state.
+func jobTerminalRecordOf(j *Job) jobTerminalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := jobTerminalRecord{
+		ID:       j.id,
+		Key:      j.key,
+		State:    j.state,
+		Code:     j.code,
+		Cached:   j.cached,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	if j.state == Done {
+		rec.Result = resultRecordOf(j.result)
+	}
+	return rec
+}
+
+// journalEvent is one queued emission: the payload is marshaled by the
+// emitter goroutine, off the transitioning goroutine's hot path.
+// Payloads must be immutable once enqueued.
+type journalEvent struct {
+	typ     string
+	payload any
+}
+
+// journalEmitter serializes all journal writes through one goroutine,
+// preserving emission order (a dataset record lands before the jobs
+// referencing it) and keeping Append/Compact latency off admission and
+// terminal paths. emit may be called under any Manager lock — it only
+// touches the emitter's own mutex.
+type journalEmitter struct {
+	w            *journal.Writer
+	compactEvery int
+	snapshot     func(add func(typ string, payload any) error) error
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []journalEvent
+	closed bool
+	done   chan struct{}
+}
+
+func newJournalEmitter(w *journal.Writer, compactEvery int, snapshot func(add func(typ string, payload any) error) error) *journalEmitter {
+	e := &journalEmitter{w: w, compactEvery: compactEvery, snapshot: snapshot, done: make(chan struct{})}
+	e.cond = sync.NewCond(&e.mu)
+	go e.run()
+	return e
+}
+
+func (e *journalEmitter) emit(typ string, payload any) {
+	e.mu.Lock()
+	if !e.closed {
+		e.queue = append(e.queue, journalEvent{typ: typ, payload: payload})
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+func (e *journalEmitter) run() {
+	defer close(e.done)
+	since := 0
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		batch := e.queue
+		e.queue = nil
+		e.mu.Unlock()
+		for _, ev := range batch {
+			b, err := json.Marshal(ev.payload)
+			if err != nil {
+				continue // payloads are plain structs; cannot fail
+			}
+			_ = e.w.Append(ev.typ, b)
+		}
+		since += len(batch)
+		if e.compactEvery > 0 && since >= e.compactEvery {
+			since = 0
+			_ = e.w.Compact(func(add func(string, []byte) error) error {
+				return e.snapshot(func(typ string, payload any) error {
+					b, err := json.Marshal(payload)
+					if err != nil {
+						return err
+					}
+					return add(typ, b)
+				})
+			})
+		}
+	}
+}
+
+// close drains every queued emission, fsyncs and closes the journal —
+// the Shutdown barrier that makes a completed drain durable. Safe to
+// call more than once.
+func (e *journalEmitter) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	<-e.done
+	_ = e.w.Sync()
+	_ = e.w.Close()
+}
+
+// kill abandons queued emissions and closes the writer without
+// draining — the crash-simulation hook recovery tests use to model
+// SIGKILL (records handed to the emitter but not yet appended are
+// lost, exactly like a real crash).
+func (e *journalEmitter) kill() {
+	e.mu.Lock()
+	e.closed = true
+	e.queue = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	<-e.done
+	_ = e.w.Close()
+}
+
+// JournalStats reports the journal writer's counters; ok is false when
+// journaling is disabled.
+func (m *Manager) JournalStats() (journal.Stats, bool) {
+	if m.jnl == nil {
+		return journal.Stats{}, false
+	}
+	return m.jnl.w.Stats(), true
+}
+
+// journalJobAdmission emits the admission record (and, for a born-done
+// cache hit that will never transition, the terminal record) for an
+// interactively submitted job.
+func (m *Manager) journalJobAdmission(j *Job, dsID string) {
+	if m.jnl == nil {
+		return
+	}
+	m.jnl.emit(recJob, jobRecordOf(j, false, dsID))
+	if j.cached {
+		m.jnl.emit(recJobTerminal, jobTerminalRecordOf(j))
+	}
+}
+
+// jobTerminal is the mint-time observer every job carries: on the
+// terminal transition it releases the job's dataset hold and journals
+// the terminal record. Runs outside j.mu on the transitioning
+// goroutine, exactly once per job (transitions are monotonic).
+func (m *Manager) jobTerminal(j *Job, st Status) {
+	if !st.State.Terminal() {
+		return
+	}
+	j.mu.Lock()
+	dsID := j.dsID
+	j.dsID = ""
+	j.mu.Unlock()
+	if dsID != "" {
+		m.datasets.release(dsID)
+	}
+	if m.jnl != nil {
+		m.jnl.emit(recJobTerminal, jobTerminalRecordOf(j))
+	}
+}
+
+// rowRecordsLocked snapshots the batch's task table. Caller holds b.mu.
+func (b *Batch) rowRecordsLocked() []batchRowRecord {
+	rows := make([]batchRowRecord, len(b.tasks))
+	for i, t := range b.tasks {
+		rows[i] = batchRowRecord{
+			Label:   t.label,
+			State:   t.state,
+			Cached:  t.cached,
+			Deduped: t.deduped,
+			Job:     t.jobID,
+			Code:    t.code,
+			Error:   t.err,
+		}
+	}
+	return rows
+}
+
+// journalBatchAdmission emits the batch record plus terminal records
+// for born-done minted jobs (they will never transition).
+func (m *Manager) journalBatchAdmission(b *Batch, minted []*Job) {
+	if m.jnl == nil {
+		return
+	}
+	b.mu.Lock()
+	rec := batchRecord{
+		ID:      b.id,
+		Created: b.created,
+		Tasks:   b.manifests,
+		Rows:    b.rowRecordsLocked(),
+	}
+	b.mu.Unlock()
+	for _, j := range minted {
+		j.mu.Lock()
+		dsID := j.dsID
+		j.mu.Unlock()
+		rec.Jobs = append(rec.Jobs, jobRecordOf(j, true, dsID))
+	}
+	m.jnl.emit(recBatch, rec)
+	for _, j := range minted {
+		if j.Status().State == Done { // born-done cache hit
+			m.jnl.emit(recJobTerminal, jobTerminalRecordOf(j))
+		}
+	}
+}
+
+// snapshotJournal re-serializes the live fleet state for compaction:
+// datasets and cache entries oldest-first (replay reproduces the LRU
+// order), then jobs and batches in submission order. Invoked on the
+// emitter goroutine, which holds no Manager locks.
+func (m *Manager) snapshotJournal(add func(typ string, payload any) error) error {
+	for _, e := range m.datasets.snapshotEntries() {
+		rec, ok := datasetRecordOf(e.info, e.ds)
+		if !ok {
+			continue
+		}
+		if err := add(recDataset, rec); err != nil {
+			return err
+		}
+	}
+	for _, e := range m.cache.entries() {
+		if err := add(recCacheEntry, cacheEntryRecord{Key: e.key, Result: resultRecordOf(e.res)}); err != nil {
+			return err
+		}
+	}
+	type jobSnap struct {
+		j     *Job
+		batch bool
+	}
+	m.mu.Lock()
+	jobs := make([]jobSnap, 0, len(m.order))
+	for _, id := range m.order {
+		j := m.jobs[id]
+		jobs = append(jobs, jobSnap{j: j, batch: j.batch})
+	}
+	m.mu.Unlock()
+	for _, js := range jobs {
+		j := js.j
+		j.mu.Lock()
+		dsID := j.dsID
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if err := add(recJob, jobRecordOf(j, js.batch, dsID)); err != nil {
+			return err
+		}
+		if terminal {
+			if err := add(recJobTerminal, jobTerminalRecordOf(j)); err != nil {
+				return err
+			}
+		}
+	}
+	bm := m.batches
+	bm.mu.Lock()
+	ids := append([]string(nil), bm.order...)
+	batches := make([]*Batch, 0, len(ids))
+	for _, id := range ids {
+		batches = append(batches, bm.batches[id])
+	}
+	bm.mu.Unlock()
+	for _, b := range batches {
+		b.mu.Lock()
+		rec := batchRecord{
+			ID:      b.id,
+			Created: b.created,
+			Tasks:   b.manifests,
+			Rows:    b.rowRecordsLocked(),
+		}
+		var term *batchTerminalRecord
+		if b.state.Terminal() {
+			term = &batchTerminalRecord{ID: b.id, State: b.state, Finished: b.finished, Rows: rec.Rows}
+		}
+		b.mu.Unlock()
+		if err := add(recBatch, rec); err != nil {
+			return err
+		}
+		if term != nil {
+			if err := add(recBatchTerminal, term); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

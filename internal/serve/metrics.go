@@ -46,6 +46,12 @@ type Metrics struct {
 	// Gang scheduling (DESIGN.md §9).
 	Gangs    atomic.Int64 // gangs formed (runs of >1 fused small-d jobs)
 	GangJobs atomic.Int64 // jobs executed as gang members
+
+	// Durability (DESIGN.md §11). Append/byte/fsync counts live on the
+	// journal writer; these count the recovery outcomes.
+	JournalReplayed atomic.Int64 // records replayed at startup
+	JournalResumed  atomic.Int64 // batch tasks re-enqueued after a restart
+	JournalRestarts atomic.Int64 // jobs failed with the typed "restart" code
 }
 
 // Metrics returns the manager's counter block — the same instance the
@@ -108,6 +114,13 @@ func (m *Manager) WriteMetrics(w io.Writer) {
 	emit("least_query_cache_misses_total", "counter", "Compiled-form cache misses (a compile ran).", qcMisses)
 	emit("least_gemm_slot_spawns_total", "counter", "GEMM helper goroutines spawned into the machine-wide slot region.", slotSpawns)
 	emit("least_gemm_slot_denials_total", "counter", "GEMM helper spawns denied at slot saturation (work stayed serial).", slotDenials)
+	js, _ := m.JournalStats()
+	emit("least_journal_records_total", "counter", "Journal records appended (zero when journaling is disabled).", js.Records)
+	emit("least_journal_bytes_total", "counter", "Framed journal bytes appended.", js.Bytes)
+	emit("least_journal_fsyncs_total", "counter", "Journal fsyncs issued (group commits, rotations, compactions).", js.Fsyncs)
+	emit("least_journal_replayed_records_total", "counter", "Journal records replayed at the last startup.", c.JournalReplayed.Load())
+	emit("least_journal_tasks_resumed_total", "counter", "Batch tasks re-enqueued from the journal after a restart.", c.JournalResumed.Load())
+	emit("least_journal_restart_failures_total", "counter", "Jobs failed with the typed restart code at recovery.", c.JournalRestarts.Load())
 	emit("least_jobs", "gauge", "Jobs currently in the manager's table (all states).", int64(g.jobs))
 	emit("least_jobs_queued", "gauge", "Jobs admitted but not yet started, all lanes.", int64(g.queued))
 	emit("least_jobs_running", "gauge", "Learns executing right now.", c.JobsRunning.Load())

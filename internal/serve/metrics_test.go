@@ -36,6 +36,12 @@ var wantMetrics = []struct{ name, typ string }{
 	{"least_query_cache_misses_total", "counter"},
 	{"least_gemm_slot_spawns_total", "counter"},
 	{"least_gemm_slot_denials_total", "counter"},
+	{"least_journal_records_total", "counter"},
+	{"least_journal_bytes_total", "counter"},
+	{"least_journal_fsyncs_total", "counter"},
+	{"least_journal_replayed_records_total", "counter"},
+	{"least_journal_tasks_resumed_total", "counter"},
+	{"least_journal_restart_failures_total", "counter"},
 	{"least_jobs", "gauge"},
 	{"least_jobs_queued", "gauge"},
 	{"least_jobs_running", "gauge"},

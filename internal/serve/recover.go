@@ -1,0 +1,498 @@
+package serve
+
+// Journal recovery (DESIGN.md §11): OpenManager replays the snapshot +
+// tail written by the previous incarnation and rebuilds the fleet —
+// dataset store, result cache, job table, batches — before the worker
+// pool starts. The fold is deliberately order- and duplicate-tolerant:
+// the async emitter can enqueue records in an order that differs from
+// the in-memory transition order, and a compaction snapshot can overlap
+// the tail records written around it, so every record type is folded
+// first-wins by id (terminals included) and only then materialized.
+//
+// Recovery policy per object:
+//   - datasets: live registrations are restored with their original ids
+//     (drops subtracted; ids are never reissued).
+//   - result cache: journaled entries and Done-job results are re-put
+//     in stream order, reproducing the LRU ranking.
+//   - terminal jobs/batches: restored as metadata (results included for
+//     Done jobs), so status and graph queries keep answering.
+//   - pending batch tasks: re-resolved from the journaled manifest and
+//     re-enqueued on per-batch lanes in original admission order — the
+//     round-robin schedule resumes where the crash cut it.
+//   - pending interactive jobs: failed with the typed "restart" code —
+//     the submitting client is gone, and silently re-running a learn
+//     nobody will collect wastes pool time.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/journal"
+)
+
+// recoveredState is the first-pass fold of the replayed records.
+type recoveredState struct {
+	datasets []datasetRecord
+	dsSeen   map[string]bool
+	dsDrop   map[string]bool
+
+	jobs    []jobRecord
+	jobSeen map[string]bool
+	terms   map[string]jobTerminalRecord
+
+	batches   []batchRecord
+	batchSeen map[string]bool
+	bterms    map[string]batchTerminalRecord
+
+	cacheOps []cacheOp
+}
+
+// cacheOp is one replayed result-cache mutation; res == nil is an
+// eviction.
+type cacheOp struct {
+	key string
+	res *resultRecord
+}
+
+func newRecoveredState() *recoveredState {
+	return &recoveredState{
+		dsSeen:    make(map[string]bool),
+		dsDrop:    make(map[string]bool),
+		jobSeen:   make(map[string]bool),
+		terms:     make(map[string]jobTerminalRecord),
+		batchSeen: make(map[string]bool),
+		bterms:    make(map[string]batchTerminalRecord),
+	}
+}
+
+func (rs *recoveredState) addJob(jr jobRecord) {
+	if jr.ID == "" || rs.jobSeen[jr.ID] {
+		return
+	}
+	rs.jobSeen[jr.ID] = true
+	rs.jobs = append(rs.jobs, jr)
+}
+
+// apply folds one record. A payload that fails to parse is skipped —
+// it passed its CRC, so this is schema drift, and losing one record
+// beats refusing to start the daemon.
+func (rs *recoveredState) apply(rec journal.Record) {
+	switch rec.Type {
+	case recDataset:
+		var r datasetRecord
+		if json.Unmarshal(rec.Data, &r) != nil || r.Info.ID == "" || rs.dsSeen[r.Info.ID] {
+			return
+		}
+		rs.dsSeen[r.Info.ID] = true
+		rs.datasets = append(rs.datasets, r)
+	case recDatasetDrop:
+		var r datasetDropRecord
+		if json.Unmarshal(rec.Data, &r) == nil {
+			rs.dsDrop[r.ID] = true
+		}
+	case recJob:
+		var r jobRecord
+		if json.Unmarshal(rec.Data, &r) == nil {
+			rs.addJob(r)
+		}
+	case recJobTerminal:
+		var r jobTerminalRecord
+		if json.Unmarshal(rec.Data, &r) != nil || r.ID == "" {
+			return
+		}
+		if _, ok := rs.terms[r.ID]; !ok {
+			rs.terms[r.ID] = r
+		}
+		if r.State == Done && r.Result != nil && r.Key != "" {
+			rs.cacheOps = append(rs.cacheOps, cacheOp{key: r.Key, res: r.Result})
+		}
+	case recBatch:
+		var r batchRecord
+		if json.Unmarshal(rec.Data, &r) != nil {
+			return
+		}
+		for _, jr := range r.Jobs {
+			rs.addJob(jr)
+		}
+		if r.ID == "" || rs.batchSeen[r.ID] {
+			return
+		}
+		rs.batchSeen[r.ID] = true
+		rs.batches = append(rs.batches, r)
+	case recBatchTerminal:
+		var r batchTerminalRecord
+		if json.Unmarshal(rec.Data, &r) != nil || r.ID == "" {
+			return
+		}
+		if _, ok := rs.bterms[r.ID]; !ok {
+			rs.bterms[r.ID] = r
+		}
+	case recCacheEntry:
+		var r cacheEntryRecord
+		if json.Unmarshal(rec.Data, &r) == nil && r.Key != "" && r.Result != nil {
+			rs.cacheOps = append(rs.cacheOps, cacheOp{key: r.Key, res: r.Result})
+		}
+	case recCacheEvict:
+		var r cacheEvictRecord
+		if json.Unmarshal(rec.Data, &r) == nil && r.Key != "" {
+			rs.cacheOps = append(rs.cacheOps, cacheOp{key: r.Key})
+		}
+	}
+	// Unknown record types are tolerated: a newer daemon's journal must
+	// not brick an older one.
+}
+
+// recovery carries the rebuild context. Recovery runs single-threaded
+// before the worker pool starts, so direct field writes are safe; the
+// manager locks are still taken where shared helpers expect them.
+type recovery struct {
+	m        *Manager
+	rs       *recoveredState
+	now      time.Time
+	enqueued map[string]bool // job id → re-enqueued by an earlier batch
+}
+
+// recoverJournal replays dir and rebuilds the manager's state. Called
+// from OpenManager before the journal writer opens and before any
+// worker starts. A torn or CRC-broken tail is the normal crash
+// signature — the intact prefix is recovered and replay stops there.
+func (m *Manager) recoverJournal(dir string) error {
+	rs := newRecoveredState()
+	count, _, err := journal.Replay(dir, func(rec journal.Record) error {
+		rs.apply(rec)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("serve: journal replay: %w", err)
+	}
+	if count == 0 {
+		return nil
+	}
+	m.met.JournalReplayed.Store(int64(count))
+	rc := &recovery{m: m, rs: rs, now: time.Now(), enqueued: make(map[string]bool)}
+
+	// Datasets first: pending batch tasks re-resolve through the store.
+	for _, dr := range rs.datasets {
+		m.datasets.seedID(dr.Info.ID) // even dropped ids stay burned
+		if rs.dsDrop[dr.Info.ID] {
+			continue
+		}
+		if ds, err := dr.dataset(); err == nil {
+			m.datasets.restore(dr.Info, ds)
+		}
+	}
+	// Result cache in stream order (put order reproduces the LRU
+	// ranking; the evict hook is not attached yet, so replayed
+	// evictions are not re-journaled).
+	for _, op := range rs.cacheOps {
+		if op.res == nil {
+			m.cache.remove(op.key)
+			continue
+		}
+		if res, err := op.res.result(); err == nil {
+			m.cache.put(op.key, res)
+		}
+	}
+	// Jobs, in admission order.
+	maxJob := 0
+	for _, jr := range rs.jobs {
+		j := rc.restoreJob(jr)
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		var n int
+		if _, err := fmt.Sscanf(jr.ID, "j%d", &n); err == nil && n > maxJob {
+			maxJob = n
+		}
+	}
+	m.nextID = maxJob
+	// Batches, in admission order — lane creation order is batch order,
+	// so the round-robin schedule resumes in the original lane order.
+	bm := m.batches
+	maxBatch := 0
+	for _, br := range rs.batches {
+		b := rc.restoreBatch(br)
+		bm.batches[b.id] = b
+		bm.order = append(bm.order, b.id)
+		var n int
+		if _, err := fmt.Sscanf(br.ID, "b%d", &n); err == nil && n > maxBatch {
+			maxBatch = n
+		}
+	}
+	bm.nextID = maxBatch
+	// Any batch job left queued but re-enqueued by no batch (its batch
+	// record was lost past the history bound or to the torn tail) is
+	// interrupted work nobody can resume: typed restart failure.
+	for _, jr := range rs.jobs {
+		j := m.jobs[jr.ID]
+		if j != nil && !j.state.Terminal() && !rc.enqueued[j.id] {
+			rc.restartFail(j)
+		}
+	}
+	m.evictHistoryLocked()
+	return nil
+}
+
+// restartFail marks a recovered job failed with the typed "restart"
+// code. Recovery is single-threaded, so no locking.
+func (rc *recovery) restartFail(j *Job) {
+	j.state = Failed
+	j.code = TaskCodeRestart
+	j.err = ErrRestart
+	j.finished = rc.now
+	j.data = nil
+	rc.m.met.JournalRestarts.Add(1)
+}
+
+// restoreJob rebuilds one job from its admission record, applying its
+// terminal record when one was journaled. Non-terminal batch jobs are
+// left queued for restoreBatch to resume; non-terminal interactive
+// jobs fail with the typed restart code.
+func (rc *recovery) restoreJob(jr jobRecord) *Job {
+	m := rc.m
+	j := &Job{
+		id:      jr.ID,
+		key:     jr.Key,
+		names:   jr.Names,
+		n:       jr.N,
+		d:       jr.D,
+		fp:      jr.Fingerprint,
+		center:  jr.Center,
+		batch:   jr.Batch,
+		state:   Queued,
+		created: jr.Created,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.observers = append(j.observers, func(st Status) { m.jobTerminal(j, st) })
+	j.spec = &least.Spec{}
+	if len(jr.Spec) > 0 {
+		if err := json.Unmarshal(jr.Spec, j.spec); err != nil {
+			j.spec = &least.Spec{}
+		}
+	}
+	term, ok := rc.rs.terms[jr.ID]
+	if !ok {
+		if !jr.Batch {
+			rc.restartFail(j)
+		}
+		return j
+	}
+	j.state = term.State
+	j.cached = term.Cached
+	j.code = term.Code
+	j.finished = term.Finished
+	if term.Error != "" {
+		j.err = errors.New(term.Error)
+	}
+	if term.State == Done {
+		if term.Result != nil {
+			if res, err := term.Result.result(); err == nil {
+				j.result = res
+			}
+		}
+		if j.result == nil {
+			// Duplicate-terminal fold may have kept a record without the
+			// payload; the replayed cache is the fallback.
+			if res, ok := m.cache.peek(j.key); ok {
+				j.result = res
+			}
+		}
+		if j.result == nil {
+			j.state = Queued
+			rc.restartFail(j) // done without a recoverable result
+		}
+	}
+	return j
+}
+
+// resolveTask re-materializes the data for one pending batch row from
+// the journaled manifest entry.
+func (rc *recovery) resolveTask(br batchRecord, i int) (least.Dataset, string, error) {
+	if i >= len(br.Tasks) {
+		return nil, "", errors.New("serve: journal: no manifest for pending task")
+	}
+	t := br.Tasks[i]
+	if t.DatasetRef != "" {
+		ds, _, err := rc.m.datasets.get(t.DatasetRef)
+		if err != nil {
+			return nil, "", err
+		}
+		return ds, t.DatasetRef, nil
+	}
+	ds, err := t.Data(least.DatasetOptions{})
+	if err != nil {
+		return nil, "", err
+	}
+	return ds, "", nil
+}
+
+// restoreBatch rebuilds one batch: terminal batches from their sealed
+// row table, live batches by folding job terminals into the admission
+// rows and resuming the pending remainder on a fresh per-batch lane.
+func (rc *recovery) restoreBatch(br batchRecord) *Batch {
+	m := rc.m
+	b := &Batch{
+		id:      br.ID,
+		created: br.Created,
+		m:       m,
+		state:   BatchRunning,
+		refs:    make(map[*Job][]int),
+	}
+	b.cond = sync.NewCond(&b.mu)
+
+	rows := br.Rows
+	bt, sealed := rc.rs.bterms[br.ID]
+	if sealed && len(bt.Rows) == len(rows) {
+		rows = bt.Rows // the sealed table carries the final verdicts
+	}
+	for _, rr := range rows {
+		b.tasks = append(b.tasks, &batchTask{
+			label:   rr.Label,
+			state:   rr.State,
+			cached:  rr.Cached,
+			deduped: rr.Deduped,
+			jobID:   rr.Job,
+			code:    rr.Code,
+			err:     rr.Error,
+		})
+	}
+
+	if sealed {
+		for _, t := range b.tasks {
+			if !t.state.Terminal() {
+				// A sealed batch's rows are all terminal in a consistent
+				// journal; degrade a torn row to a typed restart failure.
+				t.state = Failed
+				t.code = TaskCodeRestart
+				t.err = ErrRestart.Error()
+			}
+			b.admitTaskLocked(t)
+		}
+		b.state = bt.State
+		b.finished = bt.Finished
+		b.refs = nil
+		return b
+	}
+
+	// Live batch: settle every row a journaled terminal decides, then
+	// group what remains by job for resumption.
+	type group struct {
+		jobID string
+		rows  []int
+	}
+	var groups []group
+	byJob := make(map[string]int)
+	for i, t := range b.tasks {
+		if t.state.Terminal() {
+			continue
+		}
+		if term, ok := rc.rs.terms[t.jobID]; ok {
+			t.state = term.State
+			switch term.State {
+			case Done:
+				if term.Cached {
+					t.cached = true
+				}
+			case Failed:
+				t.code = term.Code
+				if t.code == "" {
+					t.code = TaskCodeInternal
+				}
+				t.err = term.Error
+			case Cancelled:
+				t.code = TaskCodeCancelled
+				t.err = term.Error
+			}
+			continue
+		}
+		// Pending: a running row restarts as queued — its solve died
+		// with the old process.
+		t.state = Queued
+		gi, ok := byJob[t.jobID]
+		if !ok {
+			gi = len(groups)
+			byJob[t.jobID] = gi
+			groups = append(groups, group{jobID: t.jobID})
+		}
+		groups[gi].rows = append(groups[gi].rows, i)
+	}
+
+	lane := &jobQueue{id: b.id}
+	failRows := func(idxs []int) {
+		for _, i := range idxs {
+			t := b.tasks[i]
+			t.state = Failed
+			t.code = TaskCodeRestart
+			t.err = ErrRestart.Error()
+		}
+	}
+	hold := func(j *Job, idxs []int) {
+		j.waiters++
+		b.refs[j] = append(b.refs[j], idxs...)
+	}
+	for _, g := range groups {
+		j := m.jobs[g.jobID]
+		if j == nil {
+			failRows(g.rows) // admission record lost; nothing to resume
+			continue
+		}
+		if j.state.Terminal() || rc.enqueued[j.id] {
+			// Resolved or resumed by an earlier batch — join it; the
+			// observer attach below delivers its current state.
+			hold(j, g.rows)
+			continue
+		}
+		if res, ok := m.cache.peek(j.key); ok {
+			// Another incarnation (or an earlier recovered batch) solved
+			// this exact task: born-done, no re-solve. The observer
+			// attach resolves the rows.
+			j.state = Done
+			j.cached = true
+			j.result = res
+			j.started, j.finished = rc.now, rc.now
+			hold(j, g.rows)
+			continue
+		}
+		ds, dsID, err := rc.resolveTask(br, g.rows[0])
+		if err != nil {
+			rc.restartFail(j)
+			failRows(g.rows)
+			hold(j, g.rows) // keep the table's job links resolvable
+			continue
+		}
+		j.data = ds
+		if dsID != "" {
+			j.dsID = dsID
+			m.datasets.acquire(dsID)
+		}
+		hold(j, g.rows)
+		rc.enqueued[j.id] = true
+		m.mu.Lock()
+		m.inflight[j.key] = j
+		m.enqueueLocked(lane, j)
+		m.mu.Unlock()
+		m.met.JournalResumed.Add(int64(len(g.rows)))
+	}
+
+	for _, t := range b.tasks {
+		b.admitTaskLocked(t)
+		if !t.state.Terminal() {
+			b.open++
+		}
+	}
+	if b.open == 0 {
+		// Every task settled terminal during replay (the batch finished
+		// but its seal record was lost): close it now. The emitter is
+		// not attached yet, so nothing is re-journaled — the next
+		// compaction snapshot records the sealed state.
+		b.finishLocked(BatchDone)
+	}
+	for j := range b.refs {
+		j := j
+		j.observe(func(st Status) { b.onJob(j, st) })
+	}
+	return b
+}

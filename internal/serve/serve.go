@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/journal"
 )
 
 // State is the lifecycle phase of a Job:
@@ -61,6 +62,11 @@ var (
 	ErrBatchOwned = errors.New("serve: job belongs to a live batch; cancel the batch instead")
 	// ErrNotDone is returned by Result for a job without a result yet.
 	ErrNotDone = errors.New("serve: job not done")
+	// ErrRestart marks a job interrupted by a daemon restart: recovery
+	// found it admitted but not terminal in the journal and — for
+	// interactive submissions, whose client connection is gone — fails
+	// it with the typed "restart" code instead of silently re-running.
+	ErrRestart = errors.New("serve: interrupted by daemon restart")
 )
 
 // Config sizes a Manager. The zero value picks the defaults noted on
@@ -116,6 +122,22 @@ type Config struct {
 	// Procs overrides the detected core count used for per-job
 	// parallelism capping (tests only; default runtime.GOMAXPROCS).
 	Procs int
+	// JournalDir enables the durability subsystem (DESIGN.md §11):
+	// every admission and terminal transition is appended to a
+	// write-ahead journal under this directory, and OpenManager replays
+	// it on startup to recover datasets, jobs, batches and the result
+	// cache. Empty (the default) keeps today's purely in-memory
+	// behavior.
+	JournalDir string
+	// JournalFsync is the group-commit interval: appends only buffer,
+	// and a background flusher fsyncs every interval so the admission
+	// and terminal paths never block on the disk (default 25ms, the
+	// bounded-loss window). Negative fsyncs on every append.
+	JournalFsync time.Duration
+	// JournalCompactEvery triggers snapshot compaction after that many
+	// appended records — live state is re-serialized and older segments
+	// deleted (default 4096). Negative disables compaction.
+	JournalCompactEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +171,12 @@ func (c Config) withDefaults() Config {
 	if c.Procs <= 0 {
 		c.Procs = runtime.GOMAXPROCS(0)
 	}
+	if c.JournalFsync == 0 {
+		c.JournalFsync = 25 * time.Millisecond
+	}
+	if c.JournalCompactEvery == 0 {
+		c.JournalCompactEvery = 4096
+	}
 	return c
 }
 
@@ -170,6 +198,8 @@ type Job struct {
 	spec     *least.Spec
 	state    State
 	cached   bool
+	dsID     string   // registered-dataset hold, released at the terminal transition
+	code     TaskCode // typed failure class ("restart" after recovery)
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -283,6 +313,9 @@ type Status struct {
 	ElapsedMS  int64   `json:"elapsed_ms"`
 	Converged  bool    `json:"converged,omitempty"`
 	Error      string  `json:"error,omitempty"`
+	// Code classifies a failure the way batch task tables do — today
+	// only "restart", marking a job interrupted by a daemon restart.
+	Code TaskCode `json:"code,omitempty"`
 }
 
 // Status snapshots the job.
@@ -315,6 +348,7 @@ func (j *Job) statusLocked() Status {
 	if j.err != nil {
 		s.Error = j.err.Error()
 	}
+	s.Code = j.code
 	return s
 }
 
@@ -350,6 +384,7 @@ type Manager struct {
 	datasets *datasetStore
 	batches  *BatchManager
 	met      Metrics
+	jnl      *journalEmitter // nil when journaling is disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -371,8 +406,25 @@ type Manager struct {
 }
 
 // NewManager starts a manager with cfg's pool and cache sizes. Call
-// Shutdown to stop it.
+// Shutdown to stop it. With JournalDir unset this cannot fail; a
+// journaling configuration that cannot open its directory panics —
+// use OpenManager to handle the error.
 func NewManager(cfg Config) *Manager {
+	m, err := OpenManager(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// OpenManager starts a manager, first recovering any durable state
+// JournalDir holds: the journal (snapshot + tail segments) is replayed
+// before the worker pool starts, rebuilding the dataset store and
+// result cache, re-enqueueing non-terminal batch tasks in their
+// original round-robin lane order, and failing interrupted interactive
+// jobs with the typed "restart" code (DESIGN.md §11). With JournalDir
+// unset this is NewManager with an always-nil error.
+func OpenManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
@@ -387,11 +439,36 @@ func NewManager(cfg Config) *Manager {
 	m.datasets = newDatasetStore(cfg.DatasetCapacity)
 	m.batches = newBatchManager(m)
 	m.cond = sync.NewCond(&m.mu)
+	if cfg.JournalDir != "" {
+		// Replay the prior incarnation before a fresh segment opens and
+		// before any worker can race the rebuild.
+		if err := m.recoverJournal(cfg.JournalDir); err != nil {
+			cancel()
+			return nil, err
+		}
+		fsync := cfg.JournalFsync
+		if fsync < 0 {
+			fsync = 0 // journal.Options: <=0 means fsync every append
+		}
+		w, err := journal.Open(cfg.JournalDir, journal.Options{FsyncEvery: fsync})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		compactEvery := cfg.JournalCompactEvery
+		if compactEvery < 0 {
+			compactEvery = 0
+		}
+		m.jnl = newJournalEmitter(w, compactEvery, m.snapshotJournal)
+		m.cache.onEvict = func(key string) {
+			m.jnl.emit(recCacheEvict, cacheEvictRecord{Key: key})
+		}
+	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
 // Batches returns the manager's batch subsystem (POST /v2/batches).
@@ -514,6 +591,24 @@ func (m *Manager) submitMatrix(x *least.Matrix, names []string, spec *least.Spec
 // (dataset fingerprint, center, canonical spec), so the same data
 // submitted inline and by reference lands on the same entry.
 func (m *Manager) SubmitDataset(ds least.Dataset, spec *least.Spec, center bool) (*Job, error) {
+	return m.submitDataset(ds, spec, center, "")
+}
+
+// SubmitDatasetRef admits a learn task over a registered dataset id —
+// the by-reference (dataset_ref) admission path behind POST /v2/jobs.
+// The admitted job holds the dataset pinned in the store until it
+// reaches a terminal state, so LRU registration pressure cannot evict
+// data a queued job still needs (it would otherwise fail "internal"
+// on recovery re-resolution instead of never failing at all).
+func (m *Manager) SubmitDatasetRef(id string, spec *least.Spec, center bool) (*Job, error) {
+	ds, _, err := m.Dataset(id)
+	if err != nil {
+		return nil, err
+	}
+	return m.submitDataset(ds, spec, center, id)
+}
+
+func (m *Manager) submitDataset(ds least.Dataset, spec *least.Spec, center bool, dsID string) (*Job, error) {
 	spec, key, err := prepareSubmission(ds, center, spec)
 	if err != nil {
 		return nil, err
@@ -531,11 +626,18 @@ func (m *Manager) SubmitDataset(ds least.Dataset, spec *least.Spec, center bool)
 		m.met.JobsShed.Add(1)
 		return nil, ErrQueueFull
 	}
+	if dsID != "" && !j.cached {
+		// Pin the registered dataset until the job's terminal
+		// transition releases it (the jobTerminal observer).
+		j.dsID = dsID
+		m.datasets.acquire(dsID)
+	}
 	m.insertLocked(j)
 	if !j.cached {
 		m.enqueueLocked(&m.iq, j)
 	}
 	m.mu.Unlock()
+	m.journalJobAdmission(j, dsID)
 	return j, nil
 }
 
@@ -592,6 +694,11 @@ func (m *Manager) makeJobLocked(ds least.Dataset, spec *least.Spec, center bool,
 		created: now,
 	}
 	j.cond = sync.NewCond(&j.mu)
+	// Every job carries the manager's terminal observer from birth: it
+	// releases the job's dataset hold and journals the terminal record.
+	// Attached directly (not via observe) so it does not fire here —
+	// born-done jobs never transition and are journaled at admission.
+	j.observers = append(j.observers, func(st Status) { m.jobTerminal(j, st) })
 	if res, ok := m.cache.get(key); ok {
 		j.state = Done
 		j.cached = true
@@ -702,6 +809,7 @@ func (m *Manager) Shutdown(ctx context.Context) {
 	if m.draining {
 		m.mu.Unlock()
 		m.awaitDrain(ctx) // a concurrent caller's deadline still counts
+		m.closeJournal()
 		return
 	}
 	m.draining = true
@@ -732,6 +840,35 @@ func (m *Manager) Shutdown(ctx context.Context) {
 		j.mu.Unlock()
 	}
 	m.awaitDrain(ctx)
+	// The pool is idle and every terminal observer has run on a worker
+	// or on this goroutine — drain the journal emitter and fsync, so a
+	// returned Shutdown means every delivered notification is durable.
+	m.closeJournal()
+}
+
+// closeJournal drains, fsyncs and closes the journal emitter (no-op
+// when journaling is disabled; idempotent otherwise).
+func (m *Manager) closeJournal() {
+	if m.jnl != nil {
+		m.jnl.close()
+	}
+}
+
+// crash simulates SIGKILL for the recovery tests: the journal emitter
+// is killed first — records enqueued but not yet appended are lost,
+// exactly like a real crash — then the workers are torn down with no
+// drain protocol, so dying in-flight jobs produce no journaled
+// cancel/terminal records and queued jobs stay queued in the journal.
+func (m *Manager) crash() {
+	if m.jnl != nil {
+		m.jnl.kill()
+	}
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
 }
 
 // awaitDrain waits for the worker pool to go idle, hard-cancelling

@@ -75,6 +75,38 @@ func NewCSR(rows, cols int, coords []Coord) *CSR {
 	return m
 }
 
+// NewCSRRaw wraps pre-assembled CSR arrays without copying — the
+// deserialization path (a journaled result's sparse weights round-trip
+// through JSON as the raw arrays). The arrays must satisfy the CSR
+// invariants the validation here checks: len(RowPtr) == rows+1,
+// RowPtr[0] == 0, non-decreasing RowPtr ending at len(Val), ColIdx
+// aligned with Val and each index within [0, cols).
+func NewCSRRaw(rows, cols int, rowPtr, colIdx []int, val []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative shape %dx%d", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("sparse: RowPtr has %d entries for %d rows", len(rowPtr), rows)
+	}
+	if len(colIdx) != len(val) {
+		return nil, fmt.Errorf("sparse: %d column indices for %d values", len(colIdx), len(val))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(val) {
+		return nil, fmt.Errorf("sparse: RowPtr spans [%d,%d], want [0,%d]", rowPtr[0], rowPtr[rows], len(val))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("sparse: RowPtr decreases at row %d", i)
+		}
+	}
+	for _, c := range colIdx {
+		if c < 0 || c >= cols {
+			return nil, fmt.Errorf("sparse: column index %d out of %d columns", c, cols)
+		}
+	}
+	return &CSR{rows: rows, cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
 // FromDense converts a dense matrix to CSR keeping entries with
 // |v| > tol.
 func FromDense(d *mat.Dense, tol float64) *CSR {
