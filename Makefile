@@ -1,13 +1,13 @@
 # Tier-1 verification and developer workflow for the LEAST
 # reproduction. `make ci` is the one-command gate: api-check (vet +
-# public-surface guard) + build + docs-check + the race-enabled short
-# test suite.
+# public-surface guard) + lint (the leastvet invariant suite) + build
+# + docs-check + the race-enabled short test suite.
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build api-check api-baseline docs-check test test-short test-query test-recovery bench bench-parallel bench-json bench-check load-smoke sweep serve clean
+.PHONY: ci vet fmt-check lint wire-baseline build api-check api-baseline docs-check test test-short test-query test-recovery bench bench-parallel bench-json bench-check load-smoke sweep serve clean
 
-ci: api-check fmt-check build docs-check test-short test-query test-recovery
+ci: api-check fmt-check lint build docs-check test-short test-query test-recovery
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,17 @@ api-check: vet
 # Refresh the API baseline after intentionally extending the surface.
 api-baseline:
 	$(GO) run ./cmd/apidiff -dir . -baseline api/least.txt -write
+
+# The project-invariant analyzer suite (cmd/leastvet): kernel
+# bit-determinism, atomic counter discipline, typed task error codes,
+# ctx-threading on serving paths, pooled-workspace hygiene, frozen
+# wire shapes. DESIGN.md §12 catalogues the contracts.
+lint:
+	$(GO) run ./cmd/leastvet -dir .
+
+# Refresh the frozen-wire manifest after an intentional wire change.
+wire-baseline:
+	$(GO) run ./cmd/leastvet -dir . -write-wire
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,407 @@
+// Command leastvet runs the project-invariant analyzer suite
+// (internal/analysis) over the whole module: the mechanical
+// enforcement of the DESIGN.md contracts — kernel bit-determinism,
+// atomic counter discipline, typed task error codes, ctx-threading on
+// serving paths, pooled-workspace hygiene and the frozen wire shapes.
+// DESIGN.md §12 catalogues the invariants; CONTRIBUTING.md explains
+// how to add an analyzer.
+//
+// Like cmd/apidiff it is dependency-free: packages are parsed with
+// go/parser and type-checked with go/types against the source
+// importer, so the only requirement is a GOROOT with stdlib sources.
+//
+// Usage:
+//
+//	leastvet -dir .                       # analyze the module (CI: make lint)
+//	leastvet -dir . -write-wire           # regenerate api/wireshape.json
+//	leastvet -dir . -only ctxflow,typederr
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leastvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to analyze")
+	wire := fs.String("wire", "", "wire-shape manifest path (default <dir>/api/wireshape.json)")
+	writeWire := fs.Bool("write-wire", false, "regenerate the wire-shape manifest instead of checking")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	verbose := fs.Bool("v", false, "log each package as it is analyzed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *wire == "" {
+		*wire = filepath.Join(*dir, "api", "wireshape.json")
+	}
+
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastvet:", err)
+		return 2
+	}
+
+	mod, err := loadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastvet:", err)
+		return 2
+	}
+
+	manifest, manifestErr := readWireManifest(*wire)
+	if *writeWire {
+		manifest = nil // regeneration: compute without comparing
+	}
+
+	computed := make(map[string]string)
+	var diags []analysis.Diagnostic
+	for _, path := range mod.paths {
+		applicable := applicableAnalyzers(suite, path)
+		if len(applicable) == 0 {
+			continue
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "leastvet: %s (%s)\n", path, analyzerNames(applicable))
+		}
+		pkg, info, files, err := mod.checkForAnalysis(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "leastvet: %s: %v\n", path, err)
+			return 2
+		}
+		pass := &analysis.Pass{
+			Fset:         mod.fset,
+			Files:        files,
+			Pkg:          pkg,
+			Info:         info,
+			Deprecated:   mod.deprecated,
+			WireManifest: manifest,
+			WireComputed: computed,
+		}
+		for _, a := range applicable {
+			diags = append(diags, analysis.RunAnalyzer(a, pass)...)
+		}
+	}
+
+	if *writeWire {
+		if err := writeWireManifest(*wire, computed); err != nil {
+			fmt.Fprintln(stderr, "leastvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "leastvet: wrote %d wire signatures to %s\n", len(computed), *wire)
+		return 0
+	}
+	if manifestErr != nil && len(computed) > 0 {
+		// Wire types exist but no golden manifest to hold them to.
+		fmt.Fprintf(stderr, "leastvet: %v\nleastvet: regenerate with -write-wire (make wire-baseline)\n", manifestErr)
+		return 2
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		fmt.Fprintln(stdout, relativize(d, *dir))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "leastvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	fmt.Fprintf(stdout, "leastvet: OK — %d packages clean\n", len(mod.paths))
+	return 0
+}
+
+// selectAnalyzers resolves the -only list against the full suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, analyzerNames(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func applicableAnalyzers(suite []*analysis.Analyzer, pkgPath string) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if a.Applies == nil || a.Applies(pkgPath) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func analyzerNames(as []*analysis.Analyzer) string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// pkgSources is the parsed source of one module package directory,
+// split into the package proper and its in-package test files.
+type pkgSources struct {
+	name      string // package name (non-test)
+	files     []*ast.File
+	testFiles []*ast.File // same-package _test.go files; external foo_test packages are out of scope
+}
+
+// module holds the whole parsed module plus the type-checking
+// machinery. It is itself the types.Importer for "repro/..." paths, so
+// intra-module imports resolve to the same checked packages; stdlib
+// imports delegate to the shared source importer.
+type module struct {
+	fset       *token.FileSet
+	dir        string
+	path       string   // module path from go.mod
+	paths      []string // sorted import paths of all packages
+	srcs       map[string]*pkgSources
+	deprecated map[string]bool
+
+	std   types.Importer            // stdlib source importer
+	cache map[string]*types.Package // pure packages (no test files), for imports
+}
+
+// loadModule parses every package under dir and pre-scans the ASTs for
+// "Deprecated:" markers. Nothing is type-checked yet.
+func loadModule(dir string) (*module, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer type-checks stdlib from GOROOT sources; with
+	// cgo enabled packages like net would need C. Pure-Go variants exist
+	// for everything this module touches.
+	build.Default.CgoEnabled = false
+
+	m := &module{
+		fset:       token.NewFileSet(),
+		dir:        dir,
+		path:       modPath,
+		srcs:       make(map[string]*pkgSources),
+		deprecated: make(map[string]bool),
+		cache:      make(map[string]*types.Package),
+	}
+	m.std = importer.ForCompiler(m.fset, "source", nil)
+
+	err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		return m.parseDir(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(m.paths)
+
+	for path, src := range m.srcs {
+		for _, f := range append(append([]*ast.File(nil), src.files...), src.testFiles...) {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && analysis.IsDeprecated(fd.Doc) {
+					m.deprecated[analysis.DeclKey(path, fd)] = true
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}
+
+// parseDir parses the .go files directly in p (non-recursive; the walk
+// handles recursion) into m.srcs under the dir's import path.
+func (m *module) parseDir(p string) error {
+	entries, err := os.ReadDir(p)
+	if err != nil {
+		return err
+	}
+	src := &pkgSources{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, filepath.Join(p, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pkgName := f.Name.Name
+		if strings.HasSuffix(name, "_test.go") {
+			if strings.HasSuffix(pkgName, "_test") {
+				continue // external test package: not part of the wire/serving surface
+			}
+			src.testFiles = append(src.testFiles, f)
+			continue
+		}
+		if src.name == "" {
+			src.name = pkgName
+		} else if src.name != pkgName {
+			return fmt.Errorf("%s: mixed package names %s and %s", p, src.name, pkgName)
+		}
+		src.files = append(src.files, f)
+	}
+	if src.name == "" {
+		return nil // no Go package here
+	}
+	rel, err := filepath.Rel(m.dir, p)
+	if err != nil {
+		return err
+	}
+	path := m.path
+	if rel != "." {
+		path = m.path + "/" + filepath.ToSlash(rel)
+	}
+	m.srcs[path] = src
+	m.paths = append(m.paths, path)
+	return nil
+}
+
+// Import implements types.Importer: module paths type-check from the
+// parsed sources (pure package only — no test files — so importers see
+// exactly what the compiler would), everything else comes from the
+// stdlib source importer.
+func (m *module) Import(path string) (*types.Package, error) {
+	src, ok := m.srcs[path]
+	if !ok {
+		return m.std.Import(path)
+	}
+	if pkg, ok := m.cache[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := m.check(path, src.files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("import %s: %w", path, err)
+	}
+	m.cache[path] = pkg
+	return pkg, nil
+}
+
+// checkForAnalysis type-checks path with its in-package test files
+// merged — analyzers see the same package the `go test` build does —
+// and returns the package, the filled Info and the file list.
+func (m *module) checkForAnalysis(path string) (*types.Package, *types.Info, []*ast.File, error) {
+	src := m.srcs[path]
+	files := append(append([]*ast.File(nil), src.files...), src.testFiles...)
+	info := analysis.NewInfo()
+	pkg, err := m.check(path, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, info, files, nil
+}
+
+func (m *module) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	cfg := types.Config{
+		Importer: m,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := cfg.Check(path, m.fset, files, info)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// relativize renders one diagnostic with the filename relative to the
+// module root, matching compiler output.
+func relativize(d analysis.Diagnostic, dir string) string {
+	if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+func readWireManifest(path string) (map[string]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func writeWireManifest(path string, sigs map[string]string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(sigs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

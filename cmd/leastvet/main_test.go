@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The smoke tests drive run() in-process over miniature fixture
+// modules: a clean one must exit 0, a seeded defect must exit 1 with a
+// compiler-style diagnostic.
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", filepath.Join("testdata", "cleanmod")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d on clean module\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("no OK summary:\n%s", out.String())
+	}
+}
+
+func TestSeededDefectExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-dir", filepath.Join("testdata", "dirtymod")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on dirty module, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	diag := out.String()
+	if !strings.Contains(diag, "[determinism]") || !strings.Contains(diag, "time.Now") {
+		t.Fatalf("missing determinism diagnostic:\n%s", diag)
+	}
+	if !strings.Contains(diag, filepath.Join("internal", "mat", "kernel.go")+":") {
+		t.Fatalf("diagnostic path not relative to the module root:\n%s", diag)
+	}
+}
+
+func TestOnlyFlagRejectsUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Fatalf("unhelpful error:\n%s", errb.String())
+	}
+}

@@ -1,0 +1,9 @@
+// Package cleanmod is a known-clean module the leastvet smoke test
+// runs the full suite over: every analyzer applies its gate, none may
+// report.
+package cleanmod
+
+import "cleanmod/internal/mat"
+
+// Sum is deliberately boring serving-surface code.
+func Sum(xs []float64) float64 { return mat.Sum(xs) }

@@ -1,0 +1,28 @@
+// Package mat is a miniature kernel package that obeys the
+// determinism contract: no clocks, no randomness, slot-indexed
+// goroutine destinations.
+package mat
+
+import "sync"
+
+// Sum accumulates in slice order — reproducible by construction.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Scale writes each output slot from the goroutine that owns it.
+func Scale(out, in []float64, a float64) {
+	var wg sync.WaitGroup
+	for i := range in {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = a * in[i]
+		}(i)
+	}
+	wg.Wait()
+}

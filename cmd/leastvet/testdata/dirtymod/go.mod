@@ -1,0 +1,3 @@
+module dirtymod
+
+go 1.24

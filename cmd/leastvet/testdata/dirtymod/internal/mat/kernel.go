@@ -1,0 +1,8 @@
+// Package mat seeds one determinism violation so the smoke test can
+// pin leastvet's exit status and diagnostic format.
+package mat
+
+import "time"
+
+// Stamp breaks the kernel contract on purpose.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/booking"
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := randx.New(2024)
 	world := booking.DefaultWorld(rng)
 	fmt.Printf("booking world: %d airlines, %d fare sources, %d agents, %d cities, %d intermediaries → %d BN variables\n",
@@ -27,9 +29,12 @@ func main() {
 	for _, incident := range booking.TableIIScripts(world) {
 		fmt.Printf("=== period with incident %q (%s, step %d) ===\n",
 			incident.Name, incident.Category, incident.Step+1)
-		alerts, net, cur := booking.MonitorPeriod(
-			rng, world, []*booking.Incident{incident}, prev, 4000,
+		alerts, net, cur, err := booking.MonitorPeriod(
+			ctx, rng, world, []*booking.Incident{incident}, prev, 4000,
 			booking.DefaultLearnOptions(), 1e-3)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("learned BN: %d edges; step-%d error rate %.2f%% (was %.2f%%)\n",
 			net.NumEdges(), incident.Step+1,
 			100*cur.ErrorRate(incident.Step), 100*prev.ErrorRate(incident.Step))

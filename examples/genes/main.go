@@ -45,7 +45,7 @@ func main() {
 	}
 
 	t0 := time.Now()
-	lres, err := lspec.Learn(ctx, sachs.Samples)
+	lres, err := lspec.LearnDataset(ctx, least.FromMatrix(sachs.Samples, nil))
 	if err != nil {
 		panic(err)
 	}
@@ -53,7 +53,7 @@ func main() {
 	lAcc, _ := metrics.BestOverThresholds(sachs.Truth, lres.Weights, nil2grid())
 
 	t0 = time.Now()
-	nres, err := nspec.Learn(ctx, sachs.Samples)
+	nres, err := nspec.LearnDataset(ctx, least.FromMatrix(sachs.Samples, nil))
 	if err != nil {
 		panic(err)
 	}
@@ -83,7 +83,7 @@ func main() {
 		panic(err)
 	}
 	t0 = time.Now()
-	eres, err := espec.Learn(ctx, ecoli.Samples)
+	eres, err := espec.LearnDataset(ctx, least.FromMatrix(ecoli.Samples, nil))
 	if err != nil {
 		panic(err)
 	}

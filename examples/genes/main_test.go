@@ -1,0 +1,37 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	least "repro"
+	"repro/internal/gene"
+	"repro/internal/randx"
+)
+
+// Regression for the leastvet ctxflow finding: the example's learns
+// must route through the canonical LearnDataset entry point (not the
+// deprecated Spec.Learn wrapper), so a cancelled context aborts within
+// one inner iteration.
+func TestExampleLearnsAreCancellable(t *testing.T) {
+	sachs := gene.Sachs(randx.New(11).Split(), 200)
+	spec, err := least.New(least.WithLambda(0.1), least.WithEpsilon(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := spec.LearnDataset(ctx, least.FromMatrix(sachs.Samples, nil)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled learn returned %v, want context.Canceled", err)
+	}
+
+	res, err := spec.LearnDataset(context.Background(), least.FromMatrix(sachs.Samples, nil))
+	if err != nil {
+		t.Fatalf("learn failed: %v", err)
+	}
+	if res.Weights == nil {
+		t.Fatal("learn returned no weights")
+	}
+}

@@ -1,0 +1,265 @@
+// Package analysis houses leastvet's project-specific analyzers: the
+// mechanical enforcement of the contracts DESIGN.md states in prose.
+// Each analyzer inspects one type-checked package and reports
+// diagnostics; cmd/leastvet drives the suite over the whole module and
+// DESIGN.md §12 catalogues what each one guards (and what it cannot
+// see). The package is dependency-free by design — stdlib go/ast and
+// go/types only, in the mold of cmd/apidiff.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one finding: a position and a human-readable message,
+// tagged with the analyzer that raised it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer run. The
+// driver fills the shared cross-package context (the deprecated-symbol
+// table, the frozen-wire allowlist and manifest); the fixture harness
+// fills the same fields from its miniature module trees, so analyzers
+// never reach outside the Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Deprecated maps qualified function keys (see FuncKey) to true for
+	// every function or method in the module whose doc comment carries a
+	// "Deprecated:" marker. Filled by the driver's pre-scan; consumed by
+	// ctxflow.
+	Deprecated map[string]bool
+
+	// WireTypes is the frozen-wire allowlist: package import path →
+	// struct type names whose shape is pinned. WireManifest holds the
+	// committed shape signatures keyed "pkgpath.TypeName"; WireComputed,
+	// when non-nil, receives the signatures this pass computes (the
+	// driver aggregates it to regenerate the manifest).
+	WireTypes    map[string][]string
+	WireManifest map[string]string
+	WireComputed map[string]string
+
+	report func(Diagnostic)
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. Applies gates it by import path (nil
+// means every package); Run inspects one package.
+type Analyzer struct {
+	Name    string
+	Doc     string
+	Applies func(pkgPath string) bool
+	Run     func(*Pass)
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		AtomicCounter,
+		TypedErr,
+		CtxFlow,
+		PoolAlias,
+		WireShape,
+	}
+}
+
+// RunAnalyzer applies one analyzer to one package and returns its
+// diagnostics. The Applies gate is the caller's job (the driver skips
+// out-of-scope packages; the fixture harness runs Run directly).
+func RunAnalyzer(a *Analyzer, pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	pass.Analyzer = a
+	pass.report = func(d Diagnostic) { out = append(out, d) }
+	a.Run(pass)
+	return out
+}
+
+// NewInfo returns a types.Info with every map an analyzer consumes.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// FuncKey qualifies a function object for the Deprecated table:
+// "pkgpath.Name" for package functions, "pkgpath.(Recv).Name" for
+// methods (pointer receivers are normalized away).
+func FuncKey(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s).%s", fn.Pkg().Path(), n.Obj().Name(), fn.Name())
+		}
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// DeclKey is FuncKey computed from a declaration before type-checking
+// finishes — used by the driver's deprecation pre-scan.
+func DeclKey(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		t := d.Recv.List[0].Type
+		if s, ok := t.(*ast.StarExpr); ok {
+			t = s.X
+		}
+		// Generic receivers ([T any]) do not occur in this module; the
+		// plain-ident case is the whole surface.
+		if id, ok := t.(*ast.Ident); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkgPath, id.Name, d.Name.Name)
+		}
+	}
+	return pkgPath + "." + d.Name.Name
+}
+
+// IsDeprecated reports whether a doc comment carries the conventional
+// "Deprecated:" marker (same rule as cmd/apidiff).
+func IsDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		line := strings.TrimSpace(strings.TrimLeft(c.Text, "/ \t"))
+		if strings.HasPrefix(line, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pathEndsWith reports whether import path p is exactly suffix or ends
+// with "/"+suffix — so "repro/internal/mat" and a fixture's
+// "internal/mat" both match suffix "internal/mat".
+func pathEndsWith(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}
+
+// pathContainsSegment reports whether the "/"-separated path contains
+// seg as a whole segment.
+func pathContainsSegment(p, seg string) bool {
+	for _, s := range strings.Split(p, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or
+// nil for calls through function values, conversions and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// enclosingFuncDecl returns the FuncDecl whose body spans pos, if any.
+func enclosingFuncDecl(files []*ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// rootIdentObj walks selector/index chains to the left-most identifier
+// and resolves its object: m.met.HTTPRequests → object of m;
+// buf[i] → object of buf. Returns nil when the root is not a plain
+// identifier (calls, literals, ...).
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi].
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() != token.NoPos && lo <= obj.Pos() && obj.Pos() <= hi
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isFloatSlice reports whether t is a []float32/[]float64.
+func isFloatSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isFloat(s.Elem())
+}

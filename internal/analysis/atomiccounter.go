@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCounter enforces the DESIGN.md §10 lock-free counter
+// contract: a struct whose fields are all sync/atomic types (the
+// serve.Metrics exposition struct, leastload's tallies ledger) is a
+// counter struct, and its fields may only be touched through the
+// atomic method set. A plain read or write — easy to introduce in a
+// test helper or a scrape path — is a torn access the race detector
+// only catches when the schedule cooperates.
+//
+// Detection is structural (every field an atomic type, at least two
+// fields), so new counter structs are covered the moment they are
+// declared, with no annotation to forget. Mixed structs like
+// journal.Writer (atomic stats plus mutex-guarded fields) are
+// deliberately out of scope: their plain fields are lock-protected.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "atomic counter struct fields may only be touched via sync/atomic calls (DESIGN.md §10)",
+	Run:  runAtomicCounter,
+}
+
+// atomicMethods is the sync/atomic value-type method set.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+func runAtomicCounter(pass *Pass) {
+	// Pass 1: find counter structs declared in this package and index
+	// their field objects.
+	counterField := make(map[*types.Var]string) // field → struct name
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok || st.NumFields() < 2 {
+			continue
+		}
+		all := true
+		for i := 0; i < st.NumFields(); i++ {
+			if !isAtomicType(st.Field(i).Type()) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			counterField[st.Field(i)] = name
+		}
+	}
+	if len(counterField) == 0 {
+		return
+	}
+
+	// Pass 2: every selector resolving to a counter field must be the
+	// receiver of an atomic method call (or have its address taken,
+	// which is how a field is handed to a helper expecting *atomic.T).
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			structName, isCounter := counterField[fv]
+			if !isCounter {
+				return true
+			}
+			if atomicUseOK(parents, sel) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s.%s accessed without a sync/atomic call; counters are lock-free and must never be read or written plainly (DESIGN.md §10)",
+				structName, fv.Name())
+			return true
+		})
+	}
+}
+
+// isAtomicType reports whether t is one of sync/atomic's value types.
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		// atomic.Pointer[T] instantiates to *types.Named too; anything
+		// else (basic ints, pointers, embedded structs) is not atomic.
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicUseOK reports whether the counter-field selector appears in an
+// allowed position: selecting an atomic method off the field (called
+// directly, or bound as a method value like `met.JobsDone.Load`), or
+// operand of an address-of (handing the field to a helper as *atomic.T).
+func atomicUseOK(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		return p.X == sel && atomicMethods[p.Sel.Name]
+	case *ast.UnaryExpr:
+		return p.Op.String() == "&"
+	}
+	return false
+}
+
+// buildParents maps every node in f to its parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

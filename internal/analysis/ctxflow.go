@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow enforces the DESIGN.md §4–§5 cancellation contract: serving
+// and monitoring paths must call the context-threading learner
+// variants, so a drain, a client disconnect or a monitoring-cycle
+// timeout lands within one inner iteration instead of waiting out the
+// full augmented-Lagrangian schedule.
+//
+// Two rules:
+//
+//  1. everywhere (except internal/experiments, the offline paper
+//     artifacts): no calls to functions whose doc comment carries a
+//     "Deprecated:" marker — the module's deprecated surface is
+//     exactly its non-ctx wrapper set (Spec.Learn, least.Learn,
+//     least.Baseline, Manager.Submit, serve.CacheKey, ...). A
+//     deprecated function may call another deprecated function (the
+//     wrappers delegate to each other), and _test files keep the
+//     wrappers' historical behavior pinned, so both are exempt.
+//
+//  2. in the serving and monitoring scopes (internal/serve,
+//     internal/booking, cmd/..., examples/...): no calls to the
+//     non-ctx core/notears entry points (core.Dense, core.Sparse,
+//     core.DenseStats, core.SparseWithSupport, notears.Run,
+//     notears.RunStats) — those are offline conveniences whose Ctx
+//     variants carry the cancellation and progress contract.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "serving paths must call the Ctx learner variants, never deprecated non-ctx wrappers (DESIGN.md §4)",
+	Applies: func(pkgPath string) bool {
+		return !pathContainsSegment(pkgPath, "experiments")
+	},
+	Run: runCtxFlow,
+}
+
+// nonCtxEntry maps the defining package path suffix to the entry-point
+// function names rule 2 bans in serving scopes.
+var nonCtxEntry = map[string]map[string]bool{
+	"internal/core": {
+		"Dense": true, "Sparse": true,
+		"DenseStats": true, "SparseWithSupport": true,
+	},
+	"internal/notears": {
+		"Run": true, "RunStats": true,
+	},
+}
+
+// servingScope reports whether pkgPath is a serving or monitoring
+// package, where rule 2 applies.
+func servingScope(pkgPath string) bool {
+	return pathEndsWith(pkgPath, "internal/serve") ||
+		pathEndsWith(pkgPath, "internal/booking") ||
+		pathContainsSegment(pkgPath, "cmd") ||
+		pathContainsSegment(pkgPath, "examples")
+}
+
+func runCtxFlow(pass *Pass) {
+	serving := servingScope(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			key := FuncKey(fn)
+			if pass.Deprecated[key] && !inDeprecatedFunc(pass, call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"call to deprecated %s; use the ctx-threading replacement named in its doc comment (DESIGN.md §4)",
+					shortKey(key))
+			}
+			if serving && fn.Pkg().Path() != pass.Pkg.Path() {
+				for suffix, names := range nonCtxEntry {
+					if pathEndsWith(fn.Pkg().Path(), suffix) && names[fn.Name()] {
+						pass.Reportf(call.Pos(),
+							"serving path calls non-ctx %s.%s; call %sCtx so the learn stays cancellable (DESIGN.md §4)",
+							fn.Pkg().Name(), fn.Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inDeprecatedFunc reports whether pos lies inside a function that is
+// itself deprecated — the wrappers delegate to one another.
+func inDeprecatedFunc(pass *Pass, pos token.Pos) bool {
+	fd := enclosingFuncDecl(pass.Files, pos)
+	return fd != nil && IsDeprecated(fd.Doc)
+}
+
+// shortKey trims the package path of a FuncKey down to its base
+// segment for readable messages.
+func shortKey(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '/' {
+			return key[i+1:]
+		}
+	}
+	return key
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolAlias enforces the DESIGN.md §9 pooled-workspace discipline: a
+// sync.Pool Get must have a matching Put somewhere in the same
+// function (directly or through the package's get/put wrapper pair,
+// like mat's getPack/putPack), and a pooled buffer must not escape the
+// function through a return value — returning it hands a caller
+// memory the pool will concurrently recycle.
+//
+// Matching is function-local and any-path: a Put on one branch
+// satisfies a Get on another (per-return-path flow analysis is a known
+// blind spot, catalogued in DESIGN.md §12). Functions that exist to
+// wrap pool access — a body that returns the Get result, or takes the
+// buffer to Put as a parameter — are the exempt accessor pattern, and
+// the rule applies transitively to their callers instead.
+var PoolAlias = &Analyzer{
+	Name: "poolalias",
+	Doc:  "every sync.Pool Get needs a matching Put, and pooled buffers must not escape via return (DESIGN.md §9)",
+	Run:  runPoolAlias,
+}
+
+func runPoolAlias(pass *Pass) {
+	// Pre-pass: classify in-package get/put wrappers.
+	getWrappers := make(map[*types.Func]types.Object) // wrapper → pool object
+	putWrappers := make(map[*types.Func]types.Object)
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	for _, fd := range decls {
+		fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		gets, puts := poolCalls(pass, fd.Body)
+		// A getter hands the pooled value to its caller: it returns the
+		// Get result (directly or via a binding) and never Puts — the
+		// matching release is the caller's job, through the putter.
+		if len(gets) > 0 && len(puts) == 0 &&
+			returnsAcquired(pass, fd.Body, getCallSet(gets)) {
+			getWrappers[fn] = gets[0].pool
+		}
+		if len(puts) > 0 && len(gets) == 0 && fd.Type.Params != nil && len(fd.Type.Params.List) > 0 {
+			putWrappers[fn] = puts[0].pool
+		}
+	}
+
+	for _, fd := range decls {
+		fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil || getWrappers[fn] != nil || putWrappers[fn] != nil {
+			continue // the accessor pair itself is the exempt pattern
+		}
+		checkPoolUse(pass, fd, getWrappers, putWrappers)
+	}
+}
+
+// poolCall is one (*sync.Pool).Get or Put call with the pool variable
+// it targets (nil when the receiver is not a resolvable variable).
+type poolCall struct {
+	call *ast.CallExpr
+	pool types.Object
+}
+
+// poolCalls finds direct sync.Pool Get/Put calls under n.
+func poolCalls(pass *Pass, n ast.Node) (gets, puts []poolCall) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Get" && name != "Put" {
+			return true
+		}
+		if !isSyncPool(pass.Info.TypeOf(sel.X)) {
+			return true
+		}
+		pc := poolCall{call: call, pool: rootIdentObj(pass.Info, sel.X)}
+		if name == "Get" {
+			gets = append(gets, pc)
+		} else {
+			puts = append(puts, pc)
+		}
+		return true
+	})
+	return gets, puts
+}
+
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+// checkPoolUse applies the two rules to one ordinary function.
+func checkPoolUse(pass *Pass, fd *ast.FuncDecl, getWrappers, putWrappers map[*types.Func]types.Object) {
+	gets, puts := poolCalls(pass, fd.Body)
+
+	// Wrapper calls participate in the ledger: a getPack call acquires
+	// from packPool, a putPack call releases to it.
+	type acquisition struct {
+		call *ast.CallExpr
+		pool types.Object
+	}
+	var acquired []acquisition
+	released := make(map[types.Object]bool)
+	anyPut := len(puts) > 0
+	for _, g := range gets {
+		acquired = append(acquired, acquisition{g.call, g.pool})
+	}
+	for _, p := range puts {
+		released[p.pool] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		if pool, ok := getWrappers[fn]; ok {
+			acquired = append(acquired, acquisition{call, pool})
+		}
+		if pool, ok := putWrappers[fn]; ok {
+			released[pool] = true
+			anyPut = true
+		}
+		return true
+	})
+
+	for _, a := range acquired {
+		ok := anyPut
+		if a.pool != nil {
+			ok = released[a.pool]
+		}
+		if !ok {
+			pass.Reportf(a.call.Pos(),
+				"sync.Pool Get without a matching Put in %s; every return path must recycle the workspace (DESIGN.md §9)",
+				fd.Name.Name)
+		}
+	}
+
+	// Escape rule: a variable bound to an acquisition must not appear
+	// in a return statement. (A function that returns the buffer
+	// WITHOUT putting it was classified as a getter above; reaching
+	// here with a pooled return means the buffer was also released —
+	// a use-after-put for the caller.)
+	acquiredCalls := make(map[*ast.CallExpr]bool)
+	for _, a := range acquired {
+		acquiredCalls[a.call] = true
+	}
+	pooled := boundAcquisitions(pass, fd.Body, acquiredCalls)
+	if len(pooled) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if obj := rootIdentObj(pass.Info, res); obj != nil && pooled[obj] {
+				pass.Reportf(res.Pos(),
+					"pooled buffer escapes %s via return; the pool will recycle it under the caller (DESIGN.md §9)",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// getCallSet indexes the Get-call expressions of a poolCall list.
+func getCallSet(gets []poolCall) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool, len(gets))
+	for _, g := range gets {
+		out[g.call] = true
+	}
+	return out
+}
+
+// boundAcquisitions collects the objects of variables assigned from an
+// acquisition call, unwrapping the usual type assertion
+// (b := pool.Get().([]byte)).
+func boundAcquisitions(pass *Pass, body ast.Node, calls map[*ast.CallExpr]bool) map[types.Object]bool {
+	pooled := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			e := ast.Unparen(rhs)
+			if ta, ok := e.(*ast.TypeAssertExpr); ok {
+				e = ast.Unparen(ta.X)
+			}
+			if call, ok := e.(*ast.CallExpr); ok && calls[call] {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						pooled[obj] = true
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						pooled[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pooled
+}
+
+// returnsAcquired reports whether some return statement hands out an
+// acquisition — the Get expression itself or a variable bound to one.
+func returnsAcquired(pass *Pass, body ast.Node, calls map[*ast.CallExpr]bool) bool {
+	pooled := boundAcquisitions(pass, body, calls)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			e := ast.Unparen(res)
+			if ta, ok := e.(*ast.TypeAssertExpr); ok {
+				e = ast.Unparen(ta.X)
+			}
+			if call, ok := e.(*ast.CallExpr); ok && calls[call] {
+				found = true
+			}
+			if obj := rootIdentObj(pass.Info, res); obj != nil && pooled[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

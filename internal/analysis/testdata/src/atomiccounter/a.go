@@ -1,0 +1,47 @@
+// Fixture for the atomiccounter analyzer: Metrics is a counter struct
+// (every field a sync/atomic type), mixed is not.
+package atomiccounter
+
+import "sync/atomic"
+
+type Metrics struct {
+	Jobs  atomic.Int64
+	Fails atomic.Int64
+}
+
+type mixed struct {
+	n  atomic.Int64
+	mu int
+}
+
+func good(m *Metrics) int64 {
+	m.Jobs.Add(1)
+	m.Fails.Store(0)
+	return m.Jobs.Load()
+}
+
+// methodValue binds Load without calling it — still an atomic access.
+func methodValue(m *Metrics) func() int64 {
+	return m.Jobs.Load
+}
+
+func helper(c *atomic.Int64) int64 { return c.Load() }
+
+// addr hands the field to a helper as *atomic.Int64 — allowed.
+func addr(m *Metrics) int64 { return helper(&m.Fails) }
+
+// mixedUse touches mixed's plain field: mixed is not a counter struct
+// (its plain field is lock-protected elsewhere), so nothing fires.
+func mixedUse(s *mixed) int64 {
+	s.mu = 3
+	return s.n.Load()
+}
+
+func badCopy(m *Metrics) {
+	x := m.Jobs // want `field Metrics\.Jobs accessed without a sync/atomic call`
+	_ = x
+}
+
+func badAssign(m *Metrics, o *Metrics) {
+	m.Fails = o.Fails // want `field Metrics\.Fails accessed without a sync/atomic call` `field Metrics\.Fails accessed without a sync/atomic call`
+}

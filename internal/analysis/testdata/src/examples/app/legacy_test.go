@@ -1,0 +1,10 @@
+// In-package _test files may pin the deprecated wrappers' historical
+// behavior — ctxflow exempts them, so no diagnostics here.
+package main
+
+import "lib"
+
+func pinLegacyBehavior() int {
+	var s lib.Spec
+	return s.Learn([]float64{1})
+}

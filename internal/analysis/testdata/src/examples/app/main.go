@@ -1,0 +1,27 @@
+// Fixture for the ctxflow analyzer: a serving-scope package (examples/
+// segment) calling both deprecated wrappers and non-ctx entry points.
+package main
+
+import (
+	"context"
+
+	"internal/core"
+	"lib"
+)
+
+func main() {
+	var s lib.Spec
+	x := []float64{1, 2}
+
+	_ = s.Learn(x) // want `call to deprecated lib\.\(Spec\)\.Learn`
+	_ = s.LearnCtx(context.Background(), x)
+
+	_ = core.Dense(x, core.Options{}) // want `serving path calls non-ctx core\.Dense; call DenseCtx`
+	_ = core.DenseCtx(context.Background(), x, core.Options{})
+}
+
+// legacy is itself deprecated, so its delegation to the deprecated
+// wrapper is exempt — that is how wrappers chain.
+//
+// Deprecated: use the ctx path.
+func legacy(s *lib.Spec, x []float64) int { return s.Learn(x) }

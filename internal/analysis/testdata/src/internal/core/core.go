@@ -1,0 +1,15 @@
+// Fixture dependency for the ctxflow analyzer: a miniature core with
+// the non-ctx entry point and its Ctx variant.
+package core
+
+import "context"
+
+type Options struct{ Lambda float64 }
+
+type Result struct{ Cancelled bool }
+
+func Dense(x []float64, o Options) *Result { return &Result{} }
+
+func DenseCtx(ctx context.Context, x []float64, o Options) *Result {
+	return &Result{Cancelled: ctx.Err() != nil}
+}

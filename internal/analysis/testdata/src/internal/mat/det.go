@@ -1,0 +1,93 @@
+// Fixture for the determinism analyzer: a miniature kernel package
+// exercising each rule's true positive and true negative.
+package mat
+
+import (
+	"math/rand" // want `kernel package imports "math/rand"`
+	"sort"
+	"sync"
+	"time"
+)
+
+func jitter() float64 { return rand.Float64() }
+
+func now() int64 { return time.Now().UnixNano() } // want `time\.Now in a kernel package`
+
+func mapAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation over map iteration order`
+	}
+	return sum
+}
+
+// mapAccumSorted is the sanctioned shape: iteration order pinned by a
+// sorted key slice, so the float sum is reproducible.
+func mapAccumSorted(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// mapLocalAccum is fine: the accumulator lives inside the loop body,
+// so no cross-iteration float order exists.
+func mapLocalAccum(m map[int]float64) int {
+	n := 0
+	for _, v := range m {
+		x := v
+		x *= 2
+		if x > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func fanOutBad(out, vals []float64) {
+	var wg sync.WaitGroup
+	for w := range vals {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[w] = vals[w] * 2 // want `goroutine writes shared float slice out through a captured index`
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutGood is the slot-indexed contract: the destination slot
+// arrives as a goroutine parameter.
+func fanOutGood(out, vals []float64) {
+	var wg sync.WaitGroup
+	for w := range vals {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = vals[w] * 2
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fanOutChannel is the gemm shape: the work index is received inside
+// the goroutine, so the slot is goroutine-owned.
+func fanOutChannel(out []float64, work chan int) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				out[u] = float64(u)
+			}
+		}()
+	}
+	wg.Wait()
+}

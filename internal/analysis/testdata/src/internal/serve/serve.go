@@ -1,0 +1,31 @@
+// Fixture for the typederr analyzer: a miniature serve package with
+// the TaskCode verdict type and its constants.
+package serve
+
+type TaskCode string
+
+const (
+	CodeValidation TaskCode = "validation"
+	CodeShed       TaskCode = "shed"
+)
+
+type task struct{ code TaskCode }
+
+func good(t *task) { t.code = CodeShed }
+
+// zero resets the verdict — the zero value means "no verdict yet".
+func zero(t *task) { t.code = "" }
+
+func describe(c TaskCode) string { return string(c) }
+
+func bad(t *task) {
+	t.code = "time out" // want `raw string literal "time out" used as TaskCode`
+}
+
+func badConvLit(t *task) {
+	t.code = TaskCode("oops") // want `raw string literal "oops" used as TaskCode`
+}
+
+func badConvVar(t *task, s string) {
+	t.code = TaskCode(s) // want `arbitrary string converted to TaskCode`
+}

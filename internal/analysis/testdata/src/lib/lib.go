@@ -1,0 +1,16 @@
+// Fixture dependency for the ctxflow analyzer: a spec type with a
+// deprecated non-ctx wrapper delegating to the ctx entry point.
+package lib
+
+import "context"
+
+type Spec struct{}
+
+// Learn is the historical entry point.
+//
+// Deprecated: use LearnCtx, which observes ctx within one iteration.
+func (s *Spec) Learn(x []float64) int {
+	return s.LearnCtx(context.Background(), x)
+}
+
+func (s *Spec) LearnCtx(ctx context.Context, x []float64) int { return len(x) }

@@ -1,0 +1,53 @@
+// Fixture for the poolalias analyzer: direct pool use, the sanctioned
+// get/put wrapper pair, leaks and a returned buffer.
+package poolalias
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return b }}
+
+// getBuf/putBuf are the accessor pair (mat's getPack/putPack shape):
+// exempt themselves, tracked at their call sites.
+func getBuf() []byte { return bufPool.Get().([]byte) }
+
+func putBuf(b []byte) { bufPool.Put(b) }
+
+func good() int {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	return len(b)
+}
+
+func goodWrapped() int {
+	b := getBuf()
+	defer putBuf(b)
+	return len(b)
+}
+
+// goodBranchy puts on one branch only — any-path matching accepts it
+// (per-path flow is a documented blind spot).
+func goodBranchy(n int) int {
+	b := getBuf()
+	if n > 0 {
+		putBuf(b)
+		return n
+	}
+	putBuf(b)
+	return len(b)
+}
+
+func leak() int {
+	b := bufPool.Get().([]byte) // want `sync\.Pool Get without a matching Put in leak`
+	return len(b)
+}
+
+func leakWrapped() int {
+	b := getBuf() // want `sync\.Pool Get without a matching Put in leakWrapped`
+	return len(b)
+}
+
+func escape() []byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	return b // want `pooled buffer escapes escape via return`
+}

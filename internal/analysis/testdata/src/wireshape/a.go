@@ -1,0 +1,21 @@
+// Fixture for the wireshape analyzer. The golden manifest lives in
+// wireshape.json next to this file; the harness injects it plus an
+// allowlist of {Status, Stable, Fresh, Gone}.
+package wireshape // want `wire struct Gone is in the frozen allowlist but no longer declared`
+
+// Status drifted: the manifest has only ID and State.
+type Status struct { // want `wire struct Status drifted from the golden manifest`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Extra int    `json:"extra"`
+}
+
+// Stable matches the manifest exactly.
+type Stable struct {
+	Name string `json:"name"`
+}
+
+// Fresh is allowlisted but was never added to the manifest.
+type Fresh struct { // want `wire struct Fresh missing from the golden manifest`
+	N int `json:"n"`
+}

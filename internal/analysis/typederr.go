@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TypedErr enforces the DESIGN.md §7 per-task verdict contract in
+// internal/serve: every failure that surfaces into the batch error
+// table carries one of the typed TaskCode constants
+// (validation | shed | cancelled | internal | restart), so clients and
+// the journal can dispatch on the code instead of parsing error prose.
+// The analyzer flags raw string literals and variable conversions in
+// TaskCode positions — a `t.code = "time out"` typo would otherwise
+// mint a code no client switch recognizes.
+//
+// The declared constants themselves and the empty string (the zero
+// value, meaning "no verdict yet") are the only allowed sources.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "task error codes must come from the typed TaskCode constants (DESIGN.md §7)",
+	Applies: func(pkgPath string) bool {
+		return pathEndsWith(pkgPath, "internal/serve")
+	},
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	tn, ok := scope.Lookup("TaskCode").(*types.TypeName)
+	if !ok {
+		return
+	}
+	codeType := tn.Type()
+	if b, ok := codeType.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		constLits := constDeclLiterals(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if constLits[n] {
+					return true // the constant declarations themselves
+				}
+				tv, ok := pass.Info.Types[n]
+				if !ok || !types.Identical(tv.Type, codeType) {
+					return true
+				}
+				if tv.Value != nil && tv.Value.String() == `""` {
+					return true // zero value: "no verdict yet"
+				}
+				pass.Reportf(n.Pos(),
+					"raw string literal %s used as TaskCode; use the declared TaskCode constants (DESIGN.md §7)",
+					n.Value)
+			case *ast.CallExpr:
+				// Conversion TaskCode(expr) from a non-constant: an
+				// arbitrary runtime string becomes a verdict code.
+				if len(n.Args) != 1 {
+					return true
+				}
+				var obj types.Object
+				switch fun := ast.Unparen(n.Fun).(type) {
+				case *ast.Ident:
+					obj = pass.Info.Uses[fun]
+				case *ast.SelectorExpr:
+					obj = pass.Info.Uses[fun.Sel]
+				}
+				if obj != tn {
+					return true
+				}
+				if tv, ok := pass.Info.Types[n.Args[0]]; ok && tv.Value == nil {
+					pass.Reportf(n.Pos(),
+						"arbitrary string converted to TaskCode; failure paths must pick a declared constant (DESIGN.md §7)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constDeclLiterals collects the BasicLits appearing inside const
+// declarations — the TaskCode constants' own definitions are exempt.
+func constDeclLiterals(f *ast.File) map[*ast.BasicLit]bool {
+	out := make(map[*ast.BasicLit]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok.String() != "const" {
+			return true
+		}
+		ast.Inspect(gd, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.BasicLit); ok {
+				out[lit] = true
+			}
+			return true
+		})
+		return false
+	})
+	return out
+}

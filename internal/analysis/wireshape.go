@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireShape freezes the serialized surface of the wire structs: the
+// HTTP response bodies in internal/serve and the journal record in
+// internal/journal. Recovery replays journals written by an older
+// binary and clients pin themselves to response shapes, so a renamed
+// json tag or a dropped field is a silent wire break. The analyzer
+// computes a canonical signature for each allowlisted struct (field
+// name, json tag, type) and compares it against the checked-in golden
+// manifest (api/wireshape.json); any drift fails the build until the
+// manifest is regenerated with `leastvet -write-wire` — making the
+// wire change an explicit, reviewable diff.
+var WireShape = &Analyzer{
+	Name: "wireshape",
+	Doc:  "frozen wire structs must match the golden manifest in api/wireshape.json (DESIGN.md §7)",
+	Applies: func(pkgPath string) bool {
+		for suffix := range DefaultWireTypes {
+			if pathEndsWith(pkgPath, suffix) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runWireShape,
+}
+
+// DefaultWireTypes is the frozen-wire allowlist: package path suffix →
+// struct names whose serialized shape is pinned by the manifest.
+var DefaultWireTypes = map[string][]string{
+	"internal/serve": {
+		// HTTP response/request bodies (DESIGN.md §7).
+		"Status", "TaskStatus", "BatchStatus", "DatasetInfo",
+		"SubmitRequest", "JobOptions", "StatusV2", "EdgeConfidence",
+		// Journal payloads recovery replays (DESIGN.md §11).
+		"jobRecord", "resultRecord", "batchRecord", "batchRowRecord",
+		"jobTerminalRecord", "batchTerminalRecord", "datasetRecord",
+		"datasetDropRecord", "cacheEntryRecord", "cacheEvictRecord",
+	},
+	"internal/journal": {
+		"Record",
+	},
+}
+
+func runWireShape(pass *Pass) {
+	wireTypes := pass.WireTypes
+	if wireTypes == nil {
+		wireTypes = DefaultWireTypes
+	}
+	var names []string
+	for suffix, ns := range wireTypes {
+		if pathEndsWith(pass.Pkg.Path(), suffix) {
+			names = ns
+		}
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			pass.Reportf(pass.Files[0].Package,
+				"wire struct %s is in the frozen allowlist but no longer declared in %s; removing a wire type needs a manifest change too",
+				name, pass.Pkg.Path())
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(tn.Pos(), "wire type %s is not a struct; the frozen-wire contract covers serialized structs only", name)
+			continue
+		}
+		key := pass.Pkg.Path() + "." + name
+		sig := WireSignature(st)
+		if pass.WireComputed != nil {
+			pass.WireComputed[key] = sig
+		}
+		if pass.WireManifest == nil {
+			continue // no manifest loaded (fixture runs): record only
+		}
+		want, ok := pass.WireManifest[key]
+		if !ok {
+			pass.Reportf(tn.Pos(),
+				"wire struct %s missing from the golden manifest; run `leastvet -write-wire` and review the diff", name)
+			continue
+		}
+		if want != sig {
+			pass.Reportf(tn.Pos(),
+				"wire struct %s drifted from the golden manifest (old clients and journals break); review the change and run `leastvet -write-wire`:\n%s",
+				name, diffSignatures(want, sig))
+		}
+	}
+}
+
+// WireSignature renders a struct's serialized surface as one canonical
+// string: one `name json:"tag" type` line per field, in declaration
+// order (order matters — recovery decodes positional test fixtures and
+// humans diff the manifest).
+func WireSignature(st *types.Struct) string {
+	var b strings.Builder
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		fmt.Fprintf(&b, "%s json:%q %s\n", f.Name(), tag,
+			types.TypeString(f.Type(), nil))
+	}
+	return b.String()
+}
+
+// diffSignatures renders a small line diff between the manifest
+// signature and the computed one for the failure message.
+func diffSignatures(want, got string) string {
+	wl := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gl := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wset := make(map[string]bool, len(wl))
+	for _, l := range wl {
+		wset[l] = true
+	}
+	gset := make(map[string]bool, len(gl))
+	for _, l := range gl {
+		gset[l] = true
+	}
+	var out []string
+	for _, l := range wl {
+		if !gset[l] {
+			out = append(out, "  - "+l)
+		}
+	}
+	for _, l := range gl {
+		if !wset[l] {
+			out = append(out, "  + "+l)
+		}
+	}
+	if len(out) == 0 {
+		return "  (field order changed)"
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}

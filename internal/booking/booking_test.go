@@ -1,6 +1,7 @@
 package booking
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -158,7 +159,10 @@ func TestLearnProducesSinkErrorNodes(t *testing.T) {
 	w := DefaultWorld(rng)
 	inc := TableIIScripts(w)[0]
 	win := GenerateWindow(rng, w, []*Incident{inc}, 3000)
-	net := Learn(win, DefaultLearnOptions())
+	net, err := Learn(context.Background(), win, DefaultLearnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for s := 0; s < NumSteps; s++ {
 		if len(net.Children(w.ErrorVar(s))) != 0 {
 			t.Fatalf("error node %d has outgoing edges", s)
@@ -180,7 +184,10 @@ func TestDetectFindsInjectedIncident(t *testing.T) {
 	w := DefaultWorld(rng)
 	inc := TableIIScripts(w)[3] // WUH lock-down: strong city-scoped signal
 	prev := GenerateWindow(rng, w, nil, 4000)
-	alerts, _, _ := MonitorPeriod(rng, w, []*Incident{inc}, prev, 4000, DefaultLearnOptions(), 1e-3)
+	alerts, _, _, err := MonitorPeriod(context.Background(), rng, w, []*Incident{inc}, prev, 4000, DefaultLearnOptions(), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(alerts) == 0 {
 		t.Fatal("no alerts for injected incident")
 	}
@@ -202,7 +209,10 @@ func TestDetectQuietOnCalmWindows(t *testing.T) {
 	rng := randx.New(10)
 	w := DefaultWorld(rng)
 	prev := GenerateWindow(rng, w, nil, 4000)
-	alerts, _, _ := MonitorPeriod(rng, w, nil, prev, 4000, DefaultLearnOptions(), 1e-4)
+	alerts, _, _, err := MonitorPeriod(context.Background(), rng, w, nil, prev, 4000, DefaultLearnOptions(), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(alerts) > 1 {
 		t.Fatalf("%d alerts on calm windows (want ≈0)", len(alerts))
 	}

@@ -1,6 +1,7 @@
 package booking
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -107,7 +108,10 @@ func DefaultLearnOptions() LearnOptions {
 }
 
 // Learn runs LEAST on the window's centered indicator matrix and
-// returns the learned Bayesian network.
+// returns the learned Bayesian network. The learn observes ctx within
+// one inner iteration: when the monitoring cycle is cancelled (drain,
+// deadline before the next half-hourly window) Learn returns ctx's
+// error instead of finishing the full augmented-Lagrangian schedule.
 //
 // Two pieces of §VI-A domain knowledge shape the materialized BN:
 // error indicators are pure effects (their rows are pinned during
@@ -116,7 +120,7 @@ func DefaultLearnOptions() LearnOptions {
 // are dropped — exactly-one-of-k indicators are strongly negatively
 // correlated by construction, and those artifact edges carry no causal
 // reading (Fig 6 shows only cross-entity links).
-func Learn(win *Window, lo LearnOptions) *bnet.Network {
+func Learn(ctx context.Context, win *Window, lo LearnOptions) (*bnet.Network, error) {
 	x := win.X.Clone()
 	loss.Standardize(x)
 	o := core.DefaultOptions()
@@ -129,7 +133,10 @@ func Learn(win *Window, lo LearnOptions) *bnet.Network {
 	for s := 0; s < NumSteps; s++ {
 		o.SinkNodes = append(o.SinkNodes, win.World.ErrorVar(s))
 	}
-	res := core.Dense(x, o)
+	res := core.DenseCtx(ctx, x, o)
+	if res.Cancelled {
+		return nil, ctx.Err()
+	}
 	w := win.World
 	for i := 0; i < res.W.Rows(); i++ {
 		for j := 0; j < res.W.Cols(); j++ {
@@ -138,7 +145,7 @@ func Learn(win *Window, lo LearnOptions) *bnet.Network {
 			}
 		}
 	}
-	return bnet.FromDense(res.W, lo.EdgeTau, w.VarNames())
+	return bnet.FromDense(res.W, lo.EdgeTau, w.VarNames()), nil
 }
 
 // Alert is one reported anomaly: a root-cause candidate path into an
@@ -241,11 +248,16 @@ func Classify(w *World, a Alert, active []*Incident) Category {
 // MonitorPeriod runs one full monitoring cycle — generate the current
 // window under the active incidents, learn the BN, detect against the
 // previous window — and returns the alerts plus the learned network.
-func MonitorPeriod(rng *randx.RNG, w *World, active []*Incident, prev *Window, n int, lo LearnOptions, pThresh float64) ([]Alert, *bnet.Network, *Window) {
+// Cancelling ctx aborts the learn mid-iteration; the generated window
+// is still returned so a resumed cycle can reuse it.
+func MonitorPeriod(ctx context.Context, rng *randx.RNG, w *World, active []*Incident, prev *Window, n int, lo LearnOptions, pThresh float64) ([]Alert, *bnet.Network, *Window, error) {
 	cur := GenerateWindow(rng, w, active, n)
-	net := Learn(cur, lo)
+	net, err := Learn(ctx, cur, lo)
+	if err != nil {
+		return nil, nil, cur, err
+	}
 	alerts := Detect(net, cur, prev, pThresh)
-	return alerts, net, cur
+	return alerts, net, cur, nil
 }
 
 // PieSlice is one Fig 7 category share.

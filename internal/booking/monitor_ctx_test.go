@@ -1,0 +1,36 @@
+package booking
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// Regression for the leastvet ctxflow finding: the monitoring loop's
+// learn used the non-ctx core.Dense entry point, so a drain or a
+// monitoring-cycle deadline could not interrupt a running learn. Learn
+// and MonitorPeriod now thread a context down to core.DenseCtx and
+// must surface its cancellation as ctx's error.
+func TestLearnObservesCancellation(t *testing.T) {
+	rng := randx.New(12)
+	w := DefaultWorld(rng)
+	win := GenerateWindow(rng, w, nil, 300)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net, err := Learn(ctx, win, DefaultLearnOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Learn returned err %v, want context.Canceled", err)
+	}
+	if net != nil {
+		t.Fatal("cancelled Learn returned a network")
+	}
+
+	if _, _, cur, err := MonitorPeriod(ctx, rng, w, nil, win, 300, DefaultLearnOptions(), 1e-3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MonitorPeriod returned err %v, want context.Canceled", err)
+	} else if cur == nil {
+		t.Fatal("MonitorPeriod dropped the generated window on cancellation")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,7 +37,7 @@ func BookingCases(scale Scale, seed int64, w io.Writer) []BookingCase {
 	prev := booking.GenerateWindow(rng, world, nil, n)
 	var cases []BookingCase
 	for _, inc := range scripts {
-		alerts, _, _ := booking.MonitorPeriod(rng, world, []*booking.Incident{inc}, prev, n, booking.DefaultLearnOptions(), 1e-3)
+		alerts, _, _, _ := booking.MonitorPeriod(context.Background(), rng, world, []*booking.Incident{inc}, prev, n, booking.DefaultLearnOptions(), 1e-3)
 		c := BookingCase{Incident: inc.Name, Category: inc.Category, Step: inc.Step}
 		for _, a := range alerts {
 			if booking.Classify(world, a, []*booking.Incident{inc}) == inc.Category {
@@ -91,7 +92,7 @@ func BookingPie(scale Scale, seed int64, w io.Writer) ([]booking.PieSlice, float
 		}
 		lo := booking.DefaultLearnOptions()
 		lo.Seed = int64(p + 1)
-		alerts, _, cur := booking.MonitorPeriod(rng, world, active, prev, n, lo, 1e-3)
+		alerts, _, cur, _ := booking.MonitorPeriod(context.Background(), rng, world, active, prev, n, lo, 1e-3)
 		for _, a := range alerts {
 			cats = append(cats, booking.Classify(world, a, active))
 		}

@@ -146,6 +146,7 @@ func TestHTTPQueryNotDone(t *testing.T) {
 }
 
 func TestHTTPBatchEdges(t *testing.T) {
+	leakCheck(t)
 	srv, _ := newTestServer(t)
 	base := srv.URL
 

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakCheck registers a cleanup that fails the test if goroutines
+// running this package's code outlive the test. Call it first thing:
+// t.Cleanup callbacks run after the test body's defers (and LIFO among
+// themselves), so the check observes the world after shutdown() and
+// httptest teardown have done their job.
+//
+// Dependency-free goroutine accounting: snapshot all stacks with
+// runtime.Stack and keep those with a repro/internal/serve frame —
+// Manager workers, batch fan-out, journal pumps. Drained goroutines
+// take a moment to unwind after Shutdown returns, so the check retries
+// briefly before declaring a leak.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = serveGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("%d goroutine(s) running internal/serve code leaked past shutdown:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// serveGoroutines returns the stacks of live goroutines executing this
+// package's code, excluding the test goroutines themselves.
+func serveGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, "repro/internal/serve") {
+			continue
+		}
+		// Test goroutines (and this snapshot call) carry tRunner frames.
+		if strings.Contains(g, "testing.tRunner") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -222,6 +222,7 @@ func TestCancelQueuedJob(t *testing.T) {
 }
 
 func TestCancelRunningJobMidIteration(t *testing.T) {
+	leakCheck(t)
 	m := NewManager(Config{MaxConcurrent: 1})
 	defer shutdown(t, m)
 	x, o := slowDataset(7)
@@ -265,6 +266,7 @@ func TestCancelRunningJobMidIteration(t *testing.T) {
 }
 
 func TestQueueFullShedsLoad(t *testing.T) {
+	leakCheck(t)
 	m := NewManager(Config{MaxConcurrent: 1, QueueDepth: 1})
 	defer shutdown(t, m)
 	xs, os := slowDataset(9)
@@ -294,6 +296,7 @@ func TestQueueFullShedsLoad(t *testing.T) {
 }
 
 func TestShutdownCancelsRunningAndRejectsNew(t *testing.T) {
+	leakCheck(t)
 	m := NewManager(Config{MaxConcurrent: 1})
 	x, o := slowDataset(12)
 	j, err := m.Submit(x, nil, o)
@@ -314,6 +317,7 @@ func TestShutdownCancelsRunningAndRejectsNew(t *testing.T) {
 }
 
 func TestHistoryEviction(t *testing.T) {
+	leakCheck(t)
 	m := NewManager(Config{MaxConcurrent: 1, MaxHistory: 2, CacheSize: -1})
 	defer shutdown(t, m)
 	var last *Job
