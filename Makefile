@@ -1,13 +1,20 @@
 # Tier-1 verification and developer workflow for the LEAST
-# reproduction. `make ci` is the one-command gate: api-check (vet +
-# public-surface guard) + lint (the leastvet invariant suite) + build
-# + docs-check + the race-enabled short test suite.
+# reproduction. `make ci` is the one-command gate; CI runs its two
+# halves as parallel jobs: `make checks` (api-check + fmt-check +
+# lint + docs-check — no test binaries) and `make tests` (build + the
+# race-enabled short, query, recovery and cluster suites).
 
 GO ?= go
 
-.PHONY: ci vet fmt-check lint wire-baseline build api-check api-baseline docs-check test test-short test-query test-recovery bench bench-parallel bench-json bench-check load-smoke sweep serve clean
+.PHONY: ci checks tests vet fmt-check lint wire-baseline build api-check api-baseline docs-check test test-short test-query test-recovery test-cluster bench bench-parallel bench-json bench-check load-smoke sweep serve clean
 
-ci: api-check fmt-check lint build docs-check test-short test-query test-recovery
+ci: checks tests
+
+# The static half: everything that gates without running a test.
+checks: api-check fmt-check lint docs-check
+
+# The dynamic half: build plus every PR-blocking test suite.
+tests: build test-short test-query test-recovery test-cluster
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +85,15 @@ test-recovery:
 	$(GO) test -race -count=1 ./internal/journal
 	$(GO) test -race -count=1 -timeout 30m -run 'TestJournal|TestDatasetHold|TestBatchRef|TestDaemonJournal' ./internal/serve ./cmd/leastd
 
+# The cluster suite (DESIGN.md §13), race-enabled: three in-process
+# leastd stacks behind a coordinator — the 1,000-task/100-unique
+# cross-node dedupe pin, the kill-a-node failover drill (bit-identical
+# results + typed restart), steal-under-skew, gossip affinity after
+# membership churn, the membership-journal re-adopt, and the
+# leastcoord binary smoke.
+test-cluster:
+	$(GO) test -race -count=1 -timeout 30m ./internal/coord ./cmd/leastcoord
+
 # All paper-artifact and kernel micro-benchmarks.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
@@ -89,24 +105,27 @@ bench-parallel:
 # The perf-trajectory benchmarks — streaming-ingest throughput, the
 # Gram-vs-dense per-iteration loss cost (now through the allocation-
 # free evaluator), the PR-6 GEMM trio (tiled vs reference kernel,
-# batched small-d fleets) and the PR-8 journal append path (group
-# commit vs per-append fsync) — as machine-readable JSON: one
-# BENCH_PR<N>.json per perf-relevant PR; compare them across checkouts
-# (BENCH_PR4.json and BENCH_PR6.json stay committed as earlier
-# trajectory points).
+# batched small-d fleets), the PR-8 journal append path (group commit
+# vs per-append fsync) and the PR-10 coordinator routing hop (direct
+# node GET vs the proxied path vs the raw rendezvous ring) — as
+# machine-readable JSON. Each perf-relevant PR writes its own
+# BENCH_PR<N>.json and earlier points stay committed (BENCH_PR4/6/8)
+# so the trajectory can be compared across checkouts; this target
+# always writes the newest point, never the historical ones.
 bench-json:
-	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram|GEMM|JournalAppend' -benchmem . ./internal/journal \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR8.json
-	@echo "wrote BENCH_PR8.json"
+	$(GO) test -run xxx -bench 'DatasetIngestCSV|LossDenseRows|LossGram|GEMM|JournalAppend|CoordRoute' -benchmem . ./internal/journal ./internal/coord \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json"
 
-# Nightly perf gate: re-run the Gram-loss, GEMM and journal-append
-# benchmarks and fail on a >2x ns/op regression against the committed
-# BENCH_PR8.json trajectory point. Deliberately not part of `ci` —
-# shared-runner timing noise would flake the PR gate, so the nightly
-# workflow owns this check.
+# Nightly perf gate: re-run the Gram-loss, GEMM, journal-append
+# (group-commit fsync path) and coordinator-routing benchmarks and
+# fail on a >2x ns/op regression against the committed BENCH_PR10.json
+# trajectory point. Deliberately not part of `ci` — shared-runner
+# timing noise would flake the PR gate, so the nightly workflow owns
+# this check.
 bench-check:
-	$(GO) test -run xxx -bench 'LossGram|GEMM|JournalAppend' -benchmem . ./internal/journal \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_PR8.json -filter 'LossGram|GEMM|JournalAppend' -max-ratio 2
+	$(GO) test -run xxx -bench 'LossGram|GEMM|JournalAppend|CoordRoute' -benchmem . ./internal/journal ./internal/coord \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_PR10.json -filter 'LossGram|GEMM|JournalAppend|CoordRoute' -max-ratio 2
 
 # Nightly saturation proof: 30s of mixed query + fleet-batch traffic
 # against a self-hosted daemon, with the exact /metrics ledger check

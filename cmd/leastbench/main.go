@@ -24,6 +24,7 @@
 //	par-sweep       parallel sparse backend: kernel time vs workers
 //	gemm-sweep      dense GEMM: tiled vs reference kernel, batched small-d fleets
 //	fleet-sweep     batch fleet learning: networks/sec vs batch size × workers
+//	coord-sweep     multi-node fleet: networks/sec vs node count + routing overhead
 //	all             everything above in order
 package main
 
@@ -53,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workersStr := fs.String("workers", "", "comma-separated worker counts for par-sweep and fleet-sweep (default 1,2,4,…,GOMAXPROCS)")
 	sweepD := fs.Int("d", 0, "par-sweep instance size override (0 = scale default)")
 	batchesStr := fs.String("batch-sizes", "", "comma-separated fleet-sweep batch sizes (default by -scale: ci 8,32; full 64,256,1024)")
+	nodesStr := fs.String("nodes", "", "comma-separated coord-sweep node counts (default 1,2,4)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -71,6 +73,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	batchSizes, err := parseCounts("-batch-sizes", *batchesStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastbench:", err)
+		return 2
+	}
+	nodeCounts, err := parseCounts("-nodes", *nodesStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "leastbench:", err)
 		return 2
@@ -95,11 +102,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"par-sweep":       func() { experiments.ParSweep(scale, *seed, workers, *sweepD, stdout) },
 		"gemm-sweep":      func() { experiments.GemmSweep(scale, *seed, workers, stdout) },
 		"fleet-sweep":     func() { fleet.Sweep(scale, *seed, workers, batchSizes, stdout) },
+		"coord-sweep":     func() { fleet.CoordSweep(scale, *seed, nodeCounts, stdout) },
 	}
 	order := []string{
 		"fig4-accuracy", "fig4-time", "fig5", "genes",
 		"booking-cases", "booking-pie", "movielens-edges", "movielens-graph",
-		"par-sweep", "gemm-sweep", "fleet-sweep",
+		"par-sweep", "gemm-sweep", "fleet-sweep", "coord-sweep",
 	}
 
 	if *exp == "all" {

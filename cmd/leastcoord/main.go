@@ -1,0 +1,173 @@
+// Command leastcoord fronts N leastd nodes as one fleet (DESIGN.md
+// §13) — the multi-node half of the paper's §VI deployment scale,
+// where tens of thousands of structure learns a day outgrow a single
+// box. It speaks the same v2 wire surface as one leastd, so clients
+// cannot tell a node from a cluster:
+//
+//   - interactive jobs route by rendezvous hashing on the dataset
+//     fingerprint (cache + dataset affinity), with a gossiped
+//     cache-index redirect when another node already holds the answer
+//     and a coordinator-side singleflight that joins identical
+//     concurrent submissions onto one in-flight solve;
+//   - batch manifests split into per-node sub-manifests by task
+//     fingerprint (identical tasks colocate, so in-node dedupe is
+//     cluster-wide dedupe), idle nodes steal pending lane tails from
+//     loaded peers, and the coordinator folds the per-node task tables
+//     back into one row table under the original manifest indices;
+//   - membership is health-checked with typed degradation: a dead
+//     node's keyspace reassigns, its interactive jobs fail with the
+//     typed "restart" code, its batch rows redispatch to survivors
+//     (bit-identical by determinism), and /healthz + /metrics
+//     aggregate the per-node blocks.
+//
+// Usage:
+//
+//	leastcoord -addr :9090 \
+//	  -node a=http://127.0.0.1:8081 \
+//	  -node b=http://127.0.0.1:8082 \
+//	  -node c=http://127.0.0.1:8083
+//
+// Cluster-wide identifiers are composite "<node>.<localid>" — job,
+// dataset and sub-resource routes parse them back to the owning node.
+// Node names must not contain "." or "/".
+//
+// -journal-dir makes membership durable: member adds/drops and
+// routing-epoch bumps are journaled (fsync per append — membership
+// changes are rare and must survive an immediate crash), and a
+// restarted coordinator re-adopts the last known fleet. Work is
+// deliberately not journaled here: jobs and batches live on the nodes,
+// which have their own journals (DESIGN.md §11).
+//
+// Extra routes beyond the v2 surface:
+//
+//	GET    /cluster/nodes         membership + per-node health blocks
+//	POST   /cluster/nodes         admit {"Name": "...", "URL": "..."}
+//	DELETE /cluster/nodes/{name}  retire a member (keyspace reassigns)
+//	GET    /healthz               aggregated fleet health
+//	GET    /metrics               least_coord_* exposition
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+)
+
+// nodeFlags collects repeated -node name=url flags.
+type nodeFlags []coord.NodeConfig
+
+func (nf *nodeFlags) String() string {
+	parts := make([]string, len(*nf))
+	for i, n := range *nf {
+		parts[i] = n.Name + "=" + n.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (nf *nodeFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*nf = append(*nf, coord.NodeConfig{Name: name, URL: url})
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run drives one leastcoord invocation; split from main so the smoke
+// tests can exercise the coordinator in-process.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leastcoord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var nodes nodeFlags
+	fs.Var(&nodes, "node", "cluster member as name=url (repeatable)")
+	addr := fs.String("addr", ":9090", "listen address")
+	healthEvery := fs.Duration("health-every", 500*time.Millisecond, "health-check cadence")
+	failAfter := fs.Int("fail-after", 2, "consecutive health failures before a node is declared dead")
+	gossipEvery := fs.Duration("gossip-every", 500*time.Millisecond, "cache-digest gossip cadence")
+	stealEvery := fs.Duration("steal-every", 250*time.Millisecond, "work-steal skew scan cadence")
+	stealMin := fs.Int("steal-min", 4, "minimum pending rows on the loaded node before stealing")
+	pollEvery := fs.Duration("poll-every", 25*time.Millisecond, "sub-batch progress poll cadence")
+	journalDir := fs.String("journal-dir", "", "membership journal directory (empty disables; see DESIGN.md §13)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if len(nodes) == 0 && *journalDir == "" {
+		fmt.Fprintln(stderr, "leastcoord: at least one -node name=url is required (or -journal-dir with prior membership)")
+		return 2
+	}
+
+	c, err := coord.New(coord.Config{
+		Nodes:       nodes,
+		HealthEvery: *healthEvery,
+		FailAfter:   *failAfter,
+		GossipEvery: *gossipEvery,
+		StealEvery:  *stealEvery,
+		StealMin:    *stealMin,
+		PollEvery:   *pollEvery,
+		JournalDir:  *journalDir,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "leastcoord:", err)
+		return 1
+	}
+
+	// Verify the fleet once before serving, so the first routed request
+	// does not eat the first health sweep's latency.
+	c.CheckHealth()
+	c.SyncGossip()
+
+	srv := &http.Server{Handler: c.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "leastcoord:", err)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		c.Shutdown(shutCtx)
+		return 1
+	}
+	fmt.Fprintf(stderr, "leastcoord listening on %s (%d nodes)\n", ln.Addr(), len(nodes))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stderr, "leastcoord: shutting down")
+		httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *grace)
+		defer cancelHTTP()
+		if err := srv.Shutdown(httpCtx); err != nil {
+			fmt.Fprintln(stderr, "leastcoord: http shutdown:", err)
+		}
+		<-errc
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		c.Shutdown(shutCtx)
+		return 0
+	case err := <-errc:
+		fmt.Fprintln(stderr, "leastcoord:", err)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		c.Shutdown(shutCtx)
+		return 1
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// syncBuffer is a concurrency-safe writer the coordinator logs into
+// while the test polls it for the bound address.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	var out, errb syncBuffer
+	if code := run(ctx, []string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run(ctx, nil, &out, &errb); code != 2 {
+		t.Errorf("no nodes and no journal: exit %d, want 2", code)
+	}
+	if code := run(ctx, []string{"-node", "missing-equals"}, &out, &errb); code != 2 {
+		t.Errorf("malformed -node: exit %d, want 2", code)
+	}
+	if code := run(ctx, []string{"-node", "a=http://127.0.0.1:1", "-addr", "256.256.256.256:1"}, &out, &errb); code != 1 {
+		t.Errorf("unlistenable addr: exit %d, want 1", code)
+	}
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^ ]+)`)
+
+// TestCoordinatorSmoke boots two real node stacks, runs the
+// coordinator binary's run() against them, routes one interactive job
+// end to end through the public surface, checks the cluster routes,
+// and shuts down gracefully.
+func TestCoordinatorSmoke(t *testing.T) {
+	var nodes []*httptest.Server
+	for i := 0; i < 2; i++ {
+		mgr := serve.NewManager(serve.Config{MaxConcurrent: 1, QueueDepth: 64, MaxHistory: 1 << 10})
+		srv := httptest.NewServer(serve.NewAPI(mgr).Handler())
+		nodes = append(nodes, srv)
+		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			mgr.Shutdown(ctx)
+			cancel()
+		}()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-node", "a=" + nodes[0].URL,
+			"-node", "b=" + nodes[1].URL,
+			"-grace", "5s",
+		}, &out, &errb)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never listened; stderr:\n%s", errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	// Aggregated health: both nodes alive.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Nodes  []struct {
+			Name  string `json:"name"`
+			Alive bool   `json:"alive"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "ok" || len(hz.Nodes) != 2 {
+		t.Fatalf("healthz: %+v", hz)
+	}
+
+	// One interactive job end to end: composite ID, terminal done.
+	body := []byte(`{"samples": [[0.1, 1.2, -0.3], [1.1, 0.2, 0.4], [-0.7, 0.9, 1.3], [0.5, -1.1, 0.8], [1.4, 0.3, -0.6], [-0.2, 0.7, 1.0]]}`)
+	r2, err := http.Post(base+"/v2/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if !strings.Contains(st.ID, ".") {
+		t.Fatalf("job id %q is not composite", st.ID)
+	}
+	for st.State != "done" {
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("job: %+v", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r3, err := http.Get(base + "/v2/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r3.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r3.Body.Close()
+	}
+
+	// /metrics speaks the least_coord_* exposition.
+	r4, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(r4.Body)
+	r4.Body.Close()
+	if !strings.Contains(string(mb), "least_coord_jobs_routed_total") {
+		t.Fatalf("metrics exposition missing coordinator counters:\n%.400s", mb)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d; stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("coordinator did not shut down; stderr:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "shutting down") {
+		t.Errorf("no graceful-shutdown log; stderr:\n%s", errb.String())
+	}
+}

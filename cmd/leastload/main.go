@@ -19,6 +19,16 @@
 // generator got an answer to must appear in
 // least_query_requests_total, exactly.
 //
+// With -coord N (self-host only) the same workloads drive a fleet
+// instead: N full node stacks behind an in-process leastcoord
+// (DESIGN.md §13), every request entering through the coordinator's
+// proxy. -check then sums the per-node /metrics ledgers and holds
+// them to the generator's tallies plus the coordinator's own routing
+// counters — queries forward 1:1, node-admitted batch tasks must
+// equal the coordinator's dispatch count (steals included), and jobs
+// minted across the fleet must equal routed submissions plus
+// dispatched tasks minus node-side dedupe and shedding.
+//
 // The report is benchjson-compatible JSON (-out), so the nightly gate
 // can feed it back through `benchjson -in load.json -baseline ...`:
 //
@@ -49,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/serve"
 )
 
@@ -178,7 +189,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	batchTasks := fs.Int("batch-tasks", 24, "tasks per fleet batch manifest (0 disables the batch loop)")
 	batchDim := fs.Int("batch-d", 8, "variables per fleet batch task")
 	batchSamples := fs.Int("batch-n", 48, "observations per fleet batch task")
-	pool := fs.Int("pool", 2, "self-host worker pool size (ignored with -addr)")
+	pool := fs.Int("pool", 2, "self-host worker pool size, per node with -coord (ignored with -addr)")
+	coordN := fs.Int("coord", 0, "self-host this many leastd nodes behind an in-process coordinator (0 = single daemon; ignored with -addr)")
 	journalDir := fs.String("journal-dir", "", "self-host with a write-ahead journal in this directory, reporting its overhead (ignored with -addr)")
 	seed := fs.Int64("seed", 1, "RNG seed for synthetic data")
 	out := fs.String("out", "", "write the benchjson-compatible report here (default: stdout)")
@@ -216,7 +228,72 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// measurement honest; going through a private listener keeps the
 	// -check ledgers exact (nobody else can touch the counters).
 	var mgr *serve.Manager
-	if *addr == "" {
+	var coordC *coord.Coordinator
+	var nodeBases []string
+	if *addr == "" && *coordN > 0 {
+		// Fleet self-host: N full node stacks behind one in-process
+		// coordinator; every request enters through the proxy, so the
+		// measured latencies include the routing hop.
+		if *journalDir != "" {
+			fmt.Fprintln(stderr, "leastload: -journal-dir is ignored with -coord (fleet nodes run unjournaled)")
+		}
+		var members []coord.NodeConfig
+		for i := 0; i < *coordN; i++ {
+			m, err := serve.OpenManager(serve.Config{
+				MaxConcurrent: *pool, QueueDepth: 1024, MaxHistory: 1 << 20,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "leastload:", err)
+				return 1
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(stderr, "leastload:", err)
+				return 1
+			}
+			srv := &http.Server{Handler: serve.NewAPI(m).Handler()}
+			go func() { _ = srv.Serve(ln) }()
+			defer func() {
+				sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				m.Shutdown(sctx)
+				_ = srv.Close()
+			}()
+			base := "http://" + ln.Addr().String()
+			nodeBases = append(nodeBases, base)
+			members = append(members, coord.NodeConfig{Name: fmt.Sprintf("n%d", i), URL: base})
+		}
+		var err error
+		coordC, err = coord.New(coord.Config{
+			Nodes:       members,
+			HealthEvery: 250 * time.Millisecond,
+			GossipEvery: 250 * time.Millisecond,
+			StealEvery:  100 * time.Millisecond,
+			PollEvery:   10 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "leastload:", err)
+			return 1
+		}
+		coordC.CheckHealth()
+		coordC.SyncGossip()
+		cln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(stderr, "leastload:", err)
+			return 1
+		}
+		csrv := &http.Server{Handler: coordC.Handler()}
+		go func() { _ = csrv.Serve(cln) }()
+		defer func() {
+			_ = csrv.Close()
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			coordC.Shutdown(sctx)
+		}()
+		c.base = "http://" + cln.Addr().String()
+		fmt.Fprintf(stderr, "leastload: self-hosting a %d-node fleet behind %s (pool=%d per node)\n",
+			*coordN, c.base, *pool)
+	} else if *addr == "" {
 		// MaxHistory must outlast the run's own fleet churn: every batch
 		// task mints a job, and history eviction past the bound would
 		// (correctly) 404 the seeded query targets mid-run.
@@ -254,13 +331,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if *journalDir != "" {
 			fmt.Fprintln(stderr, "leastload: -journal-dir is ignored with -addr (configure the daemon's own -journal-dir instead)")
 		}
+		if *coordN > 0 {
+			fmt.Fprintln(stderr, "leastload: -coord is ignored with -addr (point -addr at a running leastcoord instead)")
+		}
 	}
 
 	// The baseline scrape is deliberately NOT tallied: the daemon
 	// counts it inside the baseline value itself (the middleware
 	// increments before the handler renders), so every tallied request
-	// after this point is exactly the counter delta.
-	if *check {
+	// after this point is exactly the counter delta. The fleet check
+	// needs no baseline — its nodes are freshly minted in-process, so
+	// their counters start from zero.
+	if *check && coordC == nil {
 		resp, err := c.hc.Get(c.base + "/metrics")
 		if err != nil {
 			fmt.Fprintln(stderr, "leastload: baseline metrics scrape:", err)
@@ -334,7 +416,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		brng := rand.New(rand.NewSource(*seed + 1000))
 		go func() {
 			defer bgWG.Done()
-			c.batchLoop(stderr, brng, stopAt, *batchTasks, *batchSamples, *batchDim, *tau)
+			// The cross-task edge view is a node-local aggregation the
+			// coordinator deliberately does not replicate (DESIGN.md §13),
+			// so the fleet run skips that probe.
+			c.batchLoop(stderr, brng, stopAt, *batchTasks, *batchSamples, *batchDim, *tau, coordC == nil)
 		}()
 	}
 	for k := 0; k < *interactive; k++ {
@@ -432,8 +517,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	rc := 0
-	if *check && !c.checkMetrics(stderr) {
-		rc = 1
+	if *check {
+		ok := false
+		if coordC != nil {
+			ok = c.checkClusterMetrics(stderr, nodeBases, coordC.Metrics())
+		} else {
+			ok = c.checkMetrics(stderr)
+		}
+		if !ok {
+			rc = 1
+		}
 	}
 	if t.queryErrors.Load() > 0 {
 		fmt.Fprintf(stderr, "leastload: FAIL: %d query errors\n", t.queryErrors.Load())
@@ -506,7 +599,7 @@ func (c *client) submitAndWait(samples [][]float64, spec map[string]any, timeout
 // terminal state (the last one past the window — quiesce before
 // -check). After each batch it reads the cross-task edge-confidence
 // view, exercising the aggregation path under load.
-func (c *client) batchLoop(stderr io.Writer, rng *rand.Rand, stopAt time.Time, tasks, n, d int, tau float64) {
+func (c *client) batchLoop(stderr io.Writer, rng *rand.Rand, stopAt time.Time, tasks, n, d int, tau float64, edges bool) {
 	for time.Now().Before(stopAt) {
 		manifest := make([]map[string]any, tasks)
 		for i := range manifest {
@@ -535,8 +628,10 @@ func (c *client) batchLoop(stderr io.Writer, rng *rand.Rand, stopAt time.Time, t
 		}
 		c.t.batchesOK.Add(1)
 		c.t.batchTasksDone.Add(int64(bst.Done))
-		if code, err := c.queryGet(fmt.Sprintf("/v2/batches/%s/edges?tau=%g&limit=10", bst.ID, tau)); err != nil || code != 200 {
-			c.t.queryErrors.Add(1)
+		if edges {
+			if code, err := c.queryGet(fmt.Sprintf("/v2/batches/%s/edges?tau=%g&limit=10", bst.ID, tau)); err != nil || code != 200 {
+				c.t.queryErrors.Add(1)
+			}
 		}
 	}
 }
@@ -606,6 +701,74 @@ func (c *client) checkMetrics(stderr io.Writer) bool {
 	expect("least_jobs_queued", 0)
 	if ok {
 		fmt.Fprintln(stderr, "leastload: /metrics counters consistent with generator tallies")
+	}
+	return ok
+}
+
+// checkClusterMetrics is the fleet-mode ledger check: it scrapes every
+// node's /metrics directly (bypassing the coordinator — these scrapes
+// must not enter the ledgers), sums them, and holds the fleet to the
+// generator's tallies plus the coordinator's routing counters:
+//
+//   - queries forward 1:1, so the summed query counter equals the
+//     generator's query tally exactly;
+//   - node-admitted batch tasks equal the coordinator's dispatch
+//     count (steals and redispatches are re-admissions on both sides);
+//   - jobs minted fleet-wide equal routed interactive submissions plus
+//     dispatched tasks minus the nodes' own dedupe and shedding;
+//   - routed + singleflight-joined submissions equal the generator's
+//     submissions, and split manifests equal its completed batches;
+//   - the quiesced fleet shows nothing queued or running anywhere.
+//
+// Summed node HTTP totals are deliberately unchecked: the coordinator
+// generates its own traffic (health probes, gossip, sub-batch polls)
+// that the generator cannot see.
+func (c *client) checkClusterMetrics(stderr io.Writer, nodes []string, cm *coord.Metrics) bool {
+	if n := c.t.transportErrors.Load(); n > 0 {
+		fmt.Fprintf(stderr, "leastload: %d transport errors — counter cross-check skipped (ledgers incomparable)\n", n)
+		return true
+	}
+	sum := make(map[string]float64)
+	for _, base := range nodes {
+		resp, err := c.hc.Get(base + "/metrics")
+		if err != nil {
+			fmt.Fprintln(stderr, "leastload: node metrics scrape:", err)
+			return false
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != 200 {
+			fmt.Fprintf(stderr, "leastload: node metrics scrape: code %d err %v\n", resp.StatusCode, err)
+			return false
+		}
+		for k, v := range parseMetrics(string(body)) {
+			sum[k] += v
+		}
+	}
+	ok := true
+	expect := func(name string, want int64) {
+		if got := int64(sum[name]); got != want {
+			fmt.Fprintf(stderr, "leastload: FAIL: fleet Σ %s = %d, want %d\n", name, got, want)
+			ok = false
+		}
+	}
+	expect("least_query_requests_total", c.t.queryResponses.Load())
+	expect("least_batch_tasks_admitted_total", cm.TasksDispatched.Load())
+	expect("least_jobs_submitted_total",
+		cm.JobsRouted.Load()+cm.TasksDispatched.Load()-
+			int64(sum["least_batch_tasks_deduped_total"])-int64(sum["least_batch_tasks_shed_total"]))
+	expect("least_jobs_running", 0)
+	expect("least_jobs_queued", 0)
+	if got, want := cm.JobsRouted.Load()+cm.SingleflightJoins.Load(), c.t.jobsSubmitted.Load(); got != want {
+		fmt.Fprintf(stderr, "leastload: FAIL: coordinator routed+joined %d submissions, generator sent %d\n", got, want)
+		ok = false
+	}
+	if got, want := cm.BatchesSplit.Load(), c.t.batchesOK.Load(); got != want {
+		fmt.Fprintf(stderr, "leastload: FAIL: coordinator split %d manifests, generator completed %d\n", got, want)
+		ok = false
+	}
+	if ok {
+		fmt.Fprintf(stderr, "leastload: fleet /metrics ledgers (%d nodes + coordinator) consistent with generator tallies\n", len(nodes))
 	}
 	return ok
 }

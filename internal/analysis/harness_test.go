@@ -249,12 +249,14 @@ func TestAppliesGates(t *testing.T) {
 		{Determinism, "repro/internal/serve", false},
 		{Determinism, "repro", false},
 		{TypedErr, "repro/internal/serve", true},
+		{TypedErr, "repro/internal/coord", true},
 		{TypedErr, "repro/internal/core", false},
 		{CtxFlow, "repro/internal/experiments", false},
 		{CtxFlow, "repro/cmd/leastd", true},
 		{CtxFlow, "repro/internal/serve", true},
 		{WireShape, "repro/internal/serve", true},
 		{WireShape, "repro/internal/journal", true},
+		{WireShape, "repro/internal/coord", true},
 		{WireShape, "repro/internal/mat", false},
 	}
 	for _, c := range cases {

@@ -6,13 +6,15 @@ import (
 )
 
 // TypedErr enforces the DESIGN.md §7 per-task verdict contract in
-// internal/serve: every failure that surfaces into the batch error
-// table carries one of the typed TaskCode constants
-// (validation | shed | cancelled | internal | restart), so clients and
-// the journal can dispatch on the code instead of parsing error prose.
-// The analyzer flags raw string literals and variable conversions in
-// TaskCode positions — a `t.code = "time out"` typo would otherwise
-// mint a code no client switch recognizes.
+// internal/serve and internal/coord: every failure that surfaces into
+// the batch error table carries one of the typed TaskCode constants
+// (validation | shed | cancelled | internal | restart | stolen |
+// node_down), so clients and the journal can dispatch on the code
+// instead of parsing error prose. The analyzer flags raw string
+// literals and variable conversions in TaskCode positions — a
+// `t.code = "time out"` typo would otherwise mint a code no client
+// switch recognizes. The coordinator aliases serve.TaskCode, so its
+// fold and failover paths are held to the same constants.
 //
 // The declared constants themselves and the empty string (the zero
 // value, meaning "no verdict yet") are the only allowed sources.
@@ -20,7 +22,8 @@ var TypedErr = &Analyzer{
 	Name: "typederr",
 	Doc:  "task error codes must come from the typed TaskCode constants (DESIGN.md §7)",
 	Applies: func(pkgPath string) bool {
-		return pathEndsWith(pkgPath, "internal/serve")
+		return pathEndsWith(pkgPath, "internal/serve") ||
+			pathEndsWith(pkgPath, "internal/coord")
 	},
 	Run: runTypedErr,
 }

@@ -39,6 +39,8 @@ var DefaultWireTypes = map[string][]string{
 		// HTTP response/request bodies (DESIGN.md §7).
 		"Status", "TaskStatus", "BatchStatus", "DatasetInfo",
 		"SubmitRequest", "JobOptions", "StatusV2", "EdgeConfidence",
+		// The trusted peer surface the coordinator drives (DESIGN.md §13).
+		"CacheDigest", "StolenTask", "StealRequest", "StealResponse",
 		// Journal payloads recovery replays (DESIGN.md §11).
 		"jobRecord", "resultRecord", "batchRecord", "batchRowRecord",
 		"jobTerminalRecord", "batchTerminalRecord", "datasetRecord",
@@ -46,6 +48,12 @@ var DefaultWireTypes = map[string][]string{
 	},
 	"internal/journal": {
 		"Record",
+	},
+	"internal/coord": {
+		// Cluster status bodies (DESIGN.md §13).
+		"NodeStatus", "ClusterStatus",
+		// Membership journal payloads a restarted coordinator replays.
+		"MemberRecord", "EpochRecord",
 	},
 }
 

@@ -1,0 +1,733 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// Cluster batches (DESIGN.md §13): a manifest POSTed to the
+// coordinator is split into per-node sub-manifests by task fingerprint
+// (identical tasks colocate, so in-node dedupe becomes cluster-wide
+// dedupe), each sub-manifest is admitted on its node through
+// POST /v2/peer/subbatch, and a per-batch poller folds the nodes' task
+// tables back into one coordinator-level row table with the original
+// manifest indices. Rows move between nodes only through two typed
+// events — a steal (donor rows turn "stolen", the thief's sub-batch
+// continues them) and a node death (pending and done inline rows
+// redispatch to the survivors; by-ref rows fail with the typed
+// "restart" code) — and the fold ignores verdicts from a sub-batch
+// that no longer owns the row, so a stale donor table cannot overwrite
+// the thief's answer.
+
+// crow is one cluster-batch row's live state, behind clusterBatch.mu.
+type crow struct {
+	manifest least.ManifestTask
+	byref    bool   // dataset_ref source: pinned to refNode, never stolen/redispatched
+	refNode  string // node owning the referenced dataset
+	fp       string // dataset fingerprint (inline rows; routing key)
+	key      string // result-cache key ("" when not computable)
+
+	sub      string           // key of the sub-batch currently owning the row; "" = resolved at admission
+	last     serve.TaskStatus // latest folded verdict (Job already composite)
+	terminal bool
+}
+
+// subBatch is one node-local batch carrying a slice of the cluster
+// batch's rows, behind clusterBatch.mu.
+type subBatch struct {
+	key  string // node + "/" + local id
+	node string
+	id   string // node-local batch id
+	rows []int  // cluster row indices, in sub-manifest order
+	dead bool   // node lost or rows moved; fold ignores it
+}
+
+// clusterBatch aggregates one manifest across the fleet.
+type clusterBatch struct {
+	c       *Coordinator
+	id      string
+	created time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	seq      int
+	state    serve.BatchState
+	finished time.Time
+	rows     []*crow
+	subs     map[string]*subBatch
+	open     int // rows not yet terminal
+}
+
+func (cb *clusterBatch) bumpLocked() {
+	cb.seq++
+	cb.cond.Broadcast()
+}
+
+func (cb *clusterBatch) finishLocked(s serve.BatchState) {
+	cb.state = s
+	cb.finished = time.Now()
+}
+
+// SubmitBatch admits a manifest cluster-wide. Tasks that fail
+// validation resolve at admission exactly as on a single node; the
+// rest split by fingerprint and dispatch.
+func (c *Coordinator) SubmitBatch(tasks []least.ManifestTask) (*clusterBatch, error) {
+	if len(tasks) == 0 {
+		return nil, serve.ErrEmptyBatch
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return nil, serve.ErrShuttingDown
+	}
+	c.nextBatch++
+	id := fmt.Sprintf("cb%08d", c.nextBatch)
+	c.mu.Unlock()
+
+	cb := &clusterBatch{
+		c:       c,
+		id:      id,
+		created: time.Now(),
+		state:   serve.BatchRunning,
+		subs:    make(map[string]*subBatch),
+	}
+	cb.cond = sync.NewCond(&cb.mu)
+
+	// Resolve every row outside any lock: fingerprinting materializes
+	// inline data (the same ManifestTask.Data path the nodes use, so a
+	// given task line draws the same typed validation verdict here as
+	// it would there).
+	for i, t := range tasks {
+		r := &crow{manifest: t, last: serve.TaskStatus{Index: i, Label: t.ID, State: serve.Queued}}
+		cb.rows = append(cb.rows, r)
+		fail := func(err error) {
+			r.last.State = serve.Failed
+			r.last.Code = serve.TaskCodeValidation
+			r.last.Error = err.Error()
+			r.terminal = true
+		}
+		if err := t.Validate(); err != nil {
+			fail(err)
+			continue
+		}
+		switch {
+		case len(t.In) > 0:
+			fail(fmt.Errorf("in: local file sources are not accepted over HTTP; inline the data or use dataset_ref"))
+		case t.DatasetRef != "":
+			node, local, ok := splitID(t.DatasetRef)
+			if !ok {
+				fail(fmt.Errorf("dataset_ref %q is not a cluster id (want node.id)", t.DatasetRef))
+				continue
+			}
+			r.byref = true
+			r.refNode = node
+			r.manifest.DatasetRef = local
+		default:
+			ds, err := t.Data(least.DatasetOptions{})
+			if err != nil {
+				fail(err)
+				continue
+			}
+			r.fp = ds.Fingerprint()
+			spec := t.Spec
+			if spec == nil {
+				spec = &least.Spec{} // the node resolves nil the same way; keys must agree
+			}
+			if key, err := serve.CacheKeyDataset(ds, t.Center, spec); err == nil {
+				r.key = key
+			}
+		}
+	}
+
+	// Split by node: by-ref rows go where their dataset lives; inline
+	// rows to the cache-index owner of their key when one is alive
+	// (affinity), else the rendezvous owner of their fingerprint.
+	groups := make(map[string][]int)
+	var order []string
+	assign := func(node string, idx int) {
+		if _, ok := groups[node]; !ok {
+			order = append(order, node)
+		}
+		groups[node] = append(groups[node], idx)
+	}
+	for i, r := range cb.rows {
+		if r.terminal {
+			continue
+		}
+		if r.byref {
+			assign(r.refNode, i)
+			continue
+		}
+		node, ok := c.routeKey(r.key, r.fp)
+		if !ok {
+			r.last.State = serve.Failed
+			r.last.Code = TaskCodeNodeDown
+			r.last.Error = ErrNoNodes.Error()
+			r.terminal = true
+			continue
+		}
+		assign(node, i)
+	}
+
+	for _, node := range order {
+		cb.dispatch(node, groups[node], false)
+	}
+	c.met.BatchesSplit.Add(1)
+
+	cb.mu.Lock()
+	for _, r := range cb.rows {
+		if !r.terminal {
+			cb.open++
+		}
+	}
+	if cb.open == 0 {
+		cb.finishLocked(serve.BatchDone)
+	}
+	cb.mu.Unlock()
+
+	c.mu.Lock()
+	c.batches[id] = cb
+	c.batchOrder = append(c.batchOrder, id)
+	c.mu.Unlock()
+	c.evictBatches()
+
+	if !cb.Status().State.Terminal() {
+		c.wg.Add(1)
+		go cb.poll()
+	}
+	return cb, nil
+}
+
+// evictBatches drops the oldest terminal cluster batches past the
+// history bound. Terminal-ness is read outside c.mu — cb.mu and c.mu
+// are never nested, in either order (nodeLost and dispatch interleave
+// them sequentially), so this two-step keeps the ordering trivial.
+func (c *Coordinator) evictBatches() {
+	const maxBatches = 64
+	c.mu.Lock()
+	ids := append([]string(nil), c.batchOrder...)
+	over := len(c.batches) - maxBatches
+	bs := make([]*clusterBatch, len(ids))
+	for i, id := range ids {
+		bs[i] = c.batches[id]
+	}
+	c.mu.Unlock()
+	if over <= 0 {
+		return
+	}
+	evict := make(map[string]bool)
+	for i, cb := range bs {
+		if over <= 0 {
+			break
+		}
+		if cb != nil && cb.Status().State.Terminal() {
+			evict[ids[i]] = true
+			over--
+		}
+	}
+	if len(evict) == 0 {
+		return
+	}
+	c.mu.Lock()
+	kept := c.batchOrder[:0]
+	for _, id := range c.batchOrder {
+		if evict[id] {
+			delete(c.batches, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	c.batchOrder = kept
+	c.mu.Unlock()
+}
+
+// batch resolves a cluster batch by id.
+func (c *Coordinator) batch(id string) (*clusterBatch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cb, ok := c.batches[id]
+	return cb, ok
+}
+
+// Batches snapshots every known cluster batch in submission order.
+func (c *Coordinator) Batches() []serve.BatchStatus {
+	c.mu.Lock()
+	ids := append([]string(nil), c.batchOrder...)
+	bs := make([]*clusterBatch, 0, len(ids))
+	for _, id := range ids {
+		bs = append(bs, c.batches[id])
+	}
+	c.mu.Unlock()
+	out := make([]serve.BatchStatus, 0, len(bs))
+	for _, cb := range bs {
+		out = append(out, cb.Status())
+	}
+	return out
+}
+
+// dispatch admits rows on node as one fresh sub-batch. On failure it
+// walks the fingerprint's rendezvous failover order across the
+// remaining live nodes (redispatch true marks the rows as moved off a
+// dead node for the metrics). Rows that no node will take fail typed.
+func (cb *clusterBatch) dispatch(node string, rowIdxs []int, redispatch bool) {
+	c := cb.c
+	tried := map[string]bool{}
+	target := node
+	for {
+		if target != "" && !tried[target] {
+			tried[target] = true
+			if cb.dispatchTo(target, rowIdxs, redispatch) {
+				return
+			}
+		}
+		// Next candidate: the highest-ranked untried live node for the
+		// first row's fingerprint (all rows in a group share a routing
+		// outcome closely enough; correctness does not depend on the
+		// choice, only dedupe locality does).
+		c.mu.Lock()
+		alive := c.aliveNamesLocked()
+		c.mu.Unlock()
+		target = ""
+		cb.mu.Lock()
+		fp := cb.rows[rowIdxs[0]].fp
+		cb.mu.Unlock()
+		for _, cand := range Ranked(fp, alive) {
+			if !tried[cand] {
+				target = cand
+				break
+			}
+		}
+		if target == "" {
+			break
+		}
+	}
+	// Nobody took the work.
+	cb.mu.Lock()
+	code := TaskCodeNodeDown
+	msg := ErrNoNodes.Error()
+	if redispatch {
+		code = serve.TaskCodeRestart
+		msg = serve.ErrRestart.Error()
+	}
+	for _, i := range rowIdxs {
+		r := cb.rows[i]
+		if r.terminal {
+			continue
+		}
+		r.last.State = serve.Failed
+		r.last.Code = code
+		r.last.Error = msg
+		r.terminal = true
+		cb.open--
+		c.met.TasksRestartFail.Add(1)
+	}
+	if cb.open == 0 && !cb.state.Terminal() {
+		cb.finishLocked(serve.BatchDone)
+	}
+	cb.bumpLocked()
+	cb.mu.Unlock()
+}
+
+// dispatchTo tries one node; reports whether the sub-batch was
+// admitted.
+func (cb *clusterBatch) dispatchTo(node string, rowIdxs []int, redispatch bool) bool {
+	c := cb.c
+	base, ok := c.nodeURL(node)
+	if !ok {
+		return false
+	}
+	cb.mu.Lock()
+	req := serve.BatchRequest{Tasks: make([]least.ManifestTask, 0, len(rowIdxs))}
+	for _, i := range rowIdxs {
+		req.Tasks = append(req.Tasks, cb.rows[i].manifest)
+	}
+	cb.mu.Unlock()
+
+	var st serve.BatchStatus
+	if err := c.postJSON(base+"/v2/peer/subbatch", req, &st); err != nil {
+		return false
+	}
+	sub := &subBatch{
+		key:  node + "/" + st.ID,
+		node: node,
+		id:   st.ID,
+		rows: append([]int(nil), rowIdxs...),
+	}
+	cb.mu.Lock()
+	cb.subs[sub.key] = sub
+	for _, i := range rowIdxs {
+		r := cb.rows[i]
+		r.sub = sub.key
+		if !r.terminal {
+			// A redispatched done row reopens: determinism makes the
+			// re-solve reproduce the same graph on the survivor.
+			r.last.State = serve.Queued
+			r.last.Cached = false
+			r.last.Deduped = false
+			r.last.Job = ""
+			r.last.Code = ""
+			r.last.Error = ""
+		}
+	}
+	cb.bumpLocked()
+	cb.mu.Unlock()
+	c.met.SubBatchesDispatched.Add(1)
+	c.met.TasksDispatched.Add(int64(len(rowIdxs)))
+	if redispatch {
+		c.met.TasksRedispatched.Add(int64(len(rowIdxs)))
+	}
+	return true
+}
+
+// poll drives the batch to completion: every PollEvery it folds each
+// live sub-batch's task table into the cluster row table.
+func (cb *clusterBatch) poll() {
+	defer cb.c.wg.Done()
+	t := time.NewTicker(cb.c.cfg.PollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-cb.c.baseCtx.Done():
+			return
+		case <-t.C:
+			cb.PollOnce()
+			if cb.Status().State.Terminal() {
+				return
+			}
+		}
+	}
+}
+
+// PollOnce folds one round of node task tables. Exported through the
+// Coordinator for tests that step the cluster deterministically.
+func (cb *clusterBatch) PollOnce() {
+	cb.mu.Lock()
+	subs := make([]*subBatch, 0, len(cb.subs))
+	for _, s := range cb.subs {
+		if !s.dead {
+			subs = append(subs, s)
+		}
+	}
+	cb.mu.Unlock()
+
+	for _, s := range subs {
+		base, ok := cb.c.nodeURL(s.node)
+		if !ok {
+			continue
+		}
+		var rows []serve.TaskStatus
+		offset := 0
+		for {
+			var page serve.TaskPage
+			u := fmt.Sprintf("%s/v2/batches/%s/tasks?offset=%d&limit=1000", base, url.PathEscape(s.id), offset)
+			if err := cb.c.getJSON(u, &page); err != nil {
+				rows = nil
+				break
+			}
+			rows = append(rows, page.Tasks...)
+			offset += len(page.Tasks)
+			if offset >= page.Total || len(page.Tasks) == 0 {
+				break
+			}
+		}
+		if rows == nil {
+			continue // unreachable or unknown this round; health/death handling owns it
+		}
+		cb.fold(s, rows)
+	}
+}
+
+// fold applies one sub-batch's task table. Verdicts only land on rows
+// the sub still owns; "stolen" rows are in transit to a thief and stay
+// open here.
+func (cb *clusterBatch) fold(s *subBatch, table []serve.TaskStatus) {
+	cb.mu.Lock()
+	changed := false
+	for _, ts := range table {
+		if ts.Index < 0 || ts.Index >= len(s.rows) {
+			continue
+		}
+		r := cb.rows[s.rows[ts.Index]]
+		if r.sub != s.key || r.terminal {
+			continue
+		}
+		if ts.Code == serve.TaskCodeStolen {
+			continue
+		}
+		job := ts.Job
+		if job != "" {
+			job = joinID(s.node, job)
+		}
+		idx := r.last.Index
+		label := r.last.Label
+		r.last = ts
+		r.last.Index = idx
+		r.last.Label = label
+		r.last.Job = job
+		if ts.State.Terminal() {
+			r.terminal = true
+			cb.open--
+		}
+		changed = true
+	}
+	if changed {
+		if cb.open == 0 && !cb.state.Terminal() {
+			cb.finishLocked(serve.BatchDone)
+		}
+		cb.bumpLocked()
+	}
+	cb.mu.Unlock()
+}
+
+// nodeLost reacts to a member death or removal: every sub-batch on the
+// node is abandoned, its open and done inline rows redispatch to the
+// survivors (bit-identical by determinism), and its by-ref rows fail
+// with the typed restart code — the dataset they reference died with
+// the node.
+func (cb *clusterBatch) nodeLost(node string) {
+	c := cb.c
+	cb.mu.Lock()
+	if cb.state.Terminal() {
+		cb.mu.Unlock()
+		return
+	}
+	var moved []int
+	for _, s := range cb.subs {
+		if s.node != node || s.dead {
+			continue
+		}
+		s.dead = true
+		for _, i := range s.rows {
+			r := cb.rows[i]
+			if r.sub != s.key {
+				continue
+			}
+			if r.byref {
+				if !r.terminal {
+					r.last.State = serve.Failed
+					r.last.Code = serve.TaskCodeRestart
+					r.last.Error = serve.ErrRestart.Error()
+					r.terminal = true
+					cb.open--
+					c.met.TasksRestartFail.Add(1)
+				}
+				continue
+			}
+			// Inline rows redispatch — including done ones: their graphs
+			// lived on the dead node, and a deterministic re-solve on a
+			// survivor reproduces them bit-for-bit.
+			if r.terminal && r.last.State != serve.Done {
+				continue // failed/cancelled verdicts carry no graph; keep them
+			}
+			if r.terminal {
+				r.terminal = false
+				cb.open++
+			}
+			r.sub = ""
+			moved = append(moved, i)
+		}
+	}
+	if cb.open == 0 && !cb.state.Terminal() && len(moved) == 0 {
+		cb.finishLocked(serve.BatchDone)
+	}
+	cb.bumpLocked()
+	fps := make([]string, len(moved))
+	for k, i := range moved {
+		fps[k] = cb.rows[i].fp
+	}
+	cb.mu.Unlock()
+
+	if len(moved) == 0 {
+		return
+	}
+	// Re-split the moved rows by their fingerprints' new owners
+	// (c.mu and cb.mu strictly sequential, never nested).
+	c.mu.Lock()
+	alive := c.aliveNamesLocked()
+	c.mu.Unlock()
+	groups := make(map[string][]int)
+	var order []string
+	for k, i := range moved {
+		owner, ok := Owner(fps[k], alive)
+		if !ok {
+			owner = ""
+		}
+		if _, seen := groups[owner]; !seen {
+			order = append(order, owner)
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+	for _, n := range order {
+		cb.dispatch(n, groups[n], true)
+	}
+}
+
+// Status folds the row table into the aggregate progress counters.
+func (cb *clusterBatch) Status() serve.BatchStatus {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return cb.statusLocked()
+}
+
+func (cb *clusterBatch) statusLocked() serve.BatchStatus {
+	st := serve.BatchStatus{
+		ID:       cb.id,
+		State:    cb.state,
+		Total:    len(cb.rows),
+		Created:  cb.created,
+		Finished: cb.finished,
+	}
+	for _, r := range cb.rows {
+		switch r.last.State {
+		case serve.Queued:
+			st.Queued++
+		case serve.Running:
+			st.Running++
+		case serve.Done:
+			st.Done++
+		case serve.Failed:
+			st.Failed++
+		case serve.Cancelled:
+			st.Cancelled++
+		}
+		if r.last.Cached {
+			st.Cached++
+		}
+		if r.last.Deduped {
+			st.Deduped++
+		}
+	}
+	return st
+}
+
+// Watch blocks until the batch's observable state advances past seen
+// (pass -1 for an immediate snapshot), the batch is terminal, or ctx
+// ends — same contract as serve.Batch.Watch, feeding the SSE stream.
+func (cb *clusterBatch) Watch(ctx context.Context, seen int) (serve.BatchStatus, int, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		cb.mu.Lock()
+		cb.cond.Broadcast()
+		cb.mu.Unlock()
+	})
+	defer stop()
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for cb.seq == seen && !cb.state.Terminal() && ctx.Err() == nil {
+		cb.cond.Wait()
+	}
+	return cb.statusLocked(), cb.seq, cb.state.Terminal()
+}
+
+// Tasks pages the cluster row table, mirroring serve.Batch.Tasks.
+func (cb *clusterBatch) Tasks(offset, limit int, state serve.State) ([]serve.TaskStatus, int) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	rows := []serve.TaskStatus{}
+	matched := 0
+	for _, r := range cb.rows {
+		if state != "" && r.last.State != state {
+			continue
+		}
+		if matched >= offset && (limit <= 0 || len(rows) < limit) {
+			rows = append(rows, r.last)
+		}
+		matched++
+	}
+	return rows, matched
+}
+
+// Cancel stops the cluster batch: rows are marked immediately, then
+// each live sub-batch is cancelled on its node best-effort.
+func (cb *clusterBatch) Cancel() (serve.BatchStatus, error) {
+	cb.mu.Lock()
+	switch cb.state {
+	case serve.BatchDone:
+		cb.mu.Unlock()
+		return cb.Status(), serve.ErrBatchFinished
+	case serve.BatchCancelled:
+		cb.mu.Unlock()
+		return cb.Status(), nil
+	}
+	type target struct{ node, id string }
+	var targets []target
+	for _, s := range cb.subs {
+		if !s.dead {
+			targets = append(targets, target{s.node, s.id})
+		}
+	}
+	for _, r := range cb.rows {
+		if !r.terminal {
+			r.last.State = serve.Cancelled
+			r.last.Code = serve.TaskCodeCancelled
+			r.last.Error = "batch cancelled"
+			r.terminal = true
+			cb.open--
+		}
+	}
+	cb.finishLocked(serve.BatchCancelled)
+	cb.bumpLocked()
+	cb.mu.Unlock()
+
+	for _, t := range targets {
+		if base, ok := cb.c.nodeURL(t.node); ok {
+			_ = cb.c.doJSON(cb.c.baseCtx, "DELETE", base+"/v2/batches/"+url.PathEscape(t.id), nil, nil)
+		}
+	}
+	return cb.Status(), nil
+}
+
+// pendingByNode counts queued rows per node across this batch (for the
+// steal loop's skew scan). Dead subs contribute nothing.
+func (cb *clusterBatch) pendingByNode(into map[string]int) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for _, s := range cb.subs {
+		if s.dead {
+			continue
+		}
+		for _, i := range s.rows {
+			r := cb.rows[i]
+			if r.sub == s.key && !r.terminal && r.last.State == serve.Queued {
+				into[s.node]++
+			}
+		}
+	}
+}
+
+// biggestPendingSub returns the live sub-batch on node with the most
+// queued rows (and that count).
+func (cb *clusterBatch) biggestPendingSub(node string) (*subBatch, int) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	var best *subBatch
+	bestN := 0
+	keys := make([]string, 0, len(cb.subs))
+	for k := range cb.subs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic choice under equal counts
+	for _, k := range keys {
+		s := cb.subs[k]
+		if s.dead || s.node != node {
+			continue
+		}
+		n := 0
+		for _, i := range s.rows {
+			r := cb.rows[i]
+			if r.sub == s.key && !r.terminal && r.last.State == serve.Queued {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = s, n
+		}
+	}
+	return best, bestN
+}

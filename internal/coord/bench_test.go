@@ -1,0 +1,137 @@
+package coord
+
+// The coordinator routing benchmarks behind the nightly CoordRoute
+// perf gate (BENCH_PR10.json): what one proxy hop costs a status read
+// versus hitting the node directly, and what the pure rendezvous
+// decision costs per key. Regressions here tax every request the
+// fleet serves, so bench-check holds them to the committed trajectory.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func contextTimeout() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+// benchFleet boots one node with a solved job plus a coordinator, and
+// returns the two base URLs and the job's local and composite IDs.
+func benchFleet(b *testing.B) (nodeURL, coordURL, localID, compositeID string) {
+	b.Helper()
+	mgr := serve.NewManager(serve.Config{MaxConcurrent: 1, QueueDepth: 64, MaxHistory: 1 << 10})
+	nsrv := httptest.NewServer(serve.NewAPI(mgr).Handler())
+	c, err := New(Config{
+		Nodes:       []NodeConfig{{Name: "n0", URL: nsrv.URL}},
+		HealthEvery: time.Hour,
+		GossipEvery: time.Hour,
+		StealEvery:  time.Hour,
+		PollEvery:   5 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatalf("coord.New: %v", err)
+	}
+	c.CheckHealth()
+	csrv := httptest.NewServer(c.Handler())
+	b.Cleanup(func() {
+		csrv.Close()
+		ctx, cancel := contextTimeout()
+		c.Shutdown(ctx)
+		cancel()
+		nsrv.Close()
+		ctx, cancel = contextTimeout()
+		mgr.Shutdown(ctx)
+		cancel()
+	})
+
+	truth := least.GenerateDAG(1, least.ErdosRenyi, 6, 2)
+	x := least.SampleLSEM(2, truth, 32, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	body, _ := json.Marshal(serve.SubmitRequestV2{Samples: rows})
+	resp, err := http.Post(csrv.URL+"/v2/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatalf("submit: %v", err)
+	}
+	var st serve.StatusV2
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(time.Minute)
+	for st.State != serve.Done {
+		if st.State.Terminal() || time.Now().After(deadline) {
+			b.Fatalf("bench job never finished: %+v", st.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(csrv.URL + "/v2/jobs/" + st.ID)
+		if err != nil {
+			b.Fatalf("poll: %v", err)
+		}
+		_ = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+	}
+	_, local, _ := splitID(st.ID)
+	return nsrv.URL, csrv.URL, local, st.ID
+}
+
+func getDiscard(b *testing.B, url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatalf("GET %s: %v", url, err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// BenchmarkCoordRoute measures the per-request routing cost: "direct"
+// is the node's own status read (the floor), "proxy" the same read
+// through the coordinator (floor + one hop + ID rewrite), "ring" the
+// bare rendezvous decision across an 8-node membership.
+func BenchmarkCoordRoute(b *testing.B) {
+	nodeURL, coordURL, localID, compositeID := benchFleet(b)
+
+	b.Run("direct", func(b *testing.B) {
+		url := nodeURL + "/v2/jobs/" + localID
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			getDiscard(b, url)
+		}
+	})
+	b.Run("proxy", func(b *testing.B) {
+		url := coordURL + "/v2/jobs/" + compositeID
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			getDiscard(b, url)
+		}
+	})
+	b.Run("ring", func(b *testing.B) {
+		nodes := make([]string, 8)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%02d", i)
+		}
+		keys := make([]string, 512)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("sha256:%032x", i*2654435761)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := Owner(keys[i%len(keys)], nodes); !ok {
+				b.Fatal("no owner")
+			}
+		}
+	})
+}

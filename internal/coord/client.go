@@ -1,0 +1,72 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Node-facing HTTP helpers. Every call is bounded by the coordinator's
+// base context so Shutdown interrupts in-flight proxying.
+
+// httpStatusError carries a node's non-2xx answer so proxy handlers
+// can relay the original status and body verbatim.
+type httpStatusError struct {
+	code int
+	body []byte
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("coord: node answered HTTP %d: %s", e.code, e.body)
+}
+
+// doJSON issues one JSON request against a node and decodes a 2xx
+// answer into out (out nil discards the body). Non-2xx answers come
+// back as *httpStatusError.
+func (c *Coordinator) doJSON(ctx context.Context, method, url string, in, out any) error {
+	if ctx == nil {
+		ctx = c.baseCtx
+	}
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 512<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return &httpStatusError{code: resp.StatusCode, body: raw}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func (c *Coordinator) postJSON(url string, in, out any) error {
+	return c.doJSON(c.baseCtx, http.MethodPost, url, in, out)
+}
+
+func (c *Coordinator) getJSON(url string, out any) error {
+	return c.doJSON(c.baseCtx, http.MethodGet, url, nil, out)
+}

@@ -1,0 +1,640 @@
+package coord
+
+// The in-process cluster drills (DESIGN.md §13): three real leastd
+// stacks — manager, API handler, HTTP listener — behind one
+// coordinator, driven through the coordinator's public surface under
+// the race detector. Background cadences are set to an hour so every
+// sweep (health, gossip, steal) runs only when a test invokes it;
+// only the sub-batch poller runs on its own clock. `make test-cluster`
+// owns this file.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+type testNode struct {
+	name string
+	mgr  *serve.Manager
+	srv  *httptest.Server
+}
+
+type testCluster struct {
+	t     *testing.T
+	nodes []*testNode
+	c     *Coordinator
+	srv   *httptest.Server // the coordinator's public surface
+}
+
+// newTestCluster boots n node stacks and a coordinator fronting them,
+// health-checked once so every node starts alive. Background loops are
+// parked on hour-long cadences; tests drive CheckHealth / SyncGossip /
+// StealOnce explicitly for determinism.
+func newTestCluster(t *testing.T, n, pool int, journalDir string) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t}
+	var members []NodeConfig
+	for i := 0; i < n; i++ {
+		mgr := serve.NewManager(serve.Config{
+			MaxConcurrent: pool, QueueDepth: 4096, MaxHistory: 1 << 16, BatchBacklog: 4096,
+		})
+		srv := httptest.NewServer(serve.NewAPI(mgr).Handler())
+		node := &testNode{name: fmt.Sprintf("n%d", i), mgr: mgr, srv: srv}
+		tc.nodes = append(tc.nodes, node)
+		members = append(members, NodeConfig{Name: node.name, URL: srv.URL})
+	}
+	c, err := New(Config{
+		Nodes:       members,
+		HealthEvery: time.Hour,
+		GossipEvery: time.Hour,
+		StealEvery:  time.Hour,
+		PollEvery:   5 * time.Millisecond,
+		FailAfter:   2,
+		JournalDir:  journalDir,
+	})
+	if err != nil {
+		t.Fatalf("coord.New: %v", err)
+	}
+	tc.c = c
+	c.CheckHealth()
+	tc.srv = httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		tc.srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		c.Shutdown(ctx)
+		cancel()
+		for _, n := range tc.nodes {
+			n.srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			n.mgr.Shutdown(ctx)
+			cancel()
+		}
+	})
+	return tc
+}
+
+func (tc *testCluster) node(name string) *testNode {
+	for _, n := range tc.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	tc.t.Fatalf("unknown node %q", name)
+	return nil
+}
+
+func (tc *testCluster) names() []string {
+	out := make([]string, len(tc.nodes))
+	for i, n := range tc.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// post / get are JSON round-trips against the coordinator surface.
+func (tc *testCluster) post(path string, body, out any) int {
+	tc.t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		tc.t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(tc.srv.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		tc.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			tc.t.Fatalf("POST %s: decode: %v", path, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+func (tc *testCluster) get(path string, out any) int {
+	tc.t.Helper()
+	resp, err := http.Get(tc.srv.URL + path)
+	if err != nil {
+		tc.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			tc.t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// getRaw fetches raw bytes (graph comparisons need exact bytes).
+func (tc *testCluster) getRaw(path string) (int, []byte) {
+	tc.t.Helper()
+	resp, err := http.Get(tc.srv.URL + path)
+	if err != nil {
+		tc.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tc.t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, b
+}
+
+// clusterTask builds one inline learn task from a seed: unique seeds
+// give unique datasets (and fingerprints), equal seeds identical ones.
+func clusterTask(id string, seed int64, d, n int) least.ManifestTask {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, d, 2)
+	x := least.SampleLSEM(seed+1, truth, n, least.GaussianNoise)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	sp, _ := least.New(
+		least.WithLambda(0.2),
+		least.WithEpsilon(1e-3),
+		least.WithSeed(seed),
+		least.WithParallelism(1),
+	)
+	return least.ManifestTask{ID: id, Samples: rows, Spec: sp}
+}
+
+// taskFingerprint resolves the dataset fingerprint a task routes by.
+func taskFingerprint(t *testing.T, mt least.ManifestTask) string {
+	t.Helper()
+	ds, err := mt.Data(least.DatasetOptions{})
+	if err != nil {
+		t.Fatalf("task data: %v", err)
+	}
+	return ds.Fingerprint()
+}
+
+type batchWire struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Total     int    `json:"total"`
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
+	Cancelled int    `json:"cancelled"`
+	Cached    int    `json:"cached"`
+	Deduped   int    `json:"deduped"`
+}
+
+// waitBatch polls the coordinator until the batch leaves running.
+func (tc *testCluster) waitBatch(id string, timeout time.Duration) batchWire {
+	tc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	var st batchWire
+	for {
+		if code := tc.get("/v2/batches/"+id, &st); code != 200 {
+			tc.t.Fatalf("GET batch %s: HTTP %d", id, code)
+		}
+		if st.State != string(serve.BatchRunning) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			tc.t.Fatalf("batch %s still running after %v: %+v", id, timeout, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// batchTasks pages the full cluster task table.
+func (tc *testCluster) batchTasks(id string) []serve.TaskStatus {
+	tc.t.Helper()
+	var out []serve.TaskStatus
+	for {
+		var page struct {
+			Total int                `json:"total"`
+			Tasks []serve.TaskStatus `json:"tasks"`
+		}
+		if code := tc.get(fmt.Sprintf("/v2/batches/%s/tasks?offset=%d&limit=1000", id, len(out)), &page); code != 200 {
+			tc.t.Fatalf("GET batch tasks: HTTP %d", code)
+		}
+		out = append(out, page.Tasks...)
+		if len(out) >= page.Total || len(page.Tasks) == 0 {
+			return out
+		}
+	}
+}
+
+// solveCount sums real solves across the fleet: every done job minus
+// the born-done cache answers (deduped tasks never mint a job at all).
+func (tc *testCluster) solveCount() int64 {
+	var solves int64
+	for _, n := range tc.nodes {
+		m := n.mgr.Metrics()
+		solves += m.JobsDone.Load() - m.BatchTasksCached.Load()
+	}
+	return solves
+}
+
+// TestClusterCrossNodeDedupe is the acceptance pin: a 1,000-task
+// manifest with 100 unique datasets (10 copies each) costs exactly 100
+// solves cluster-wide. Fingerprint sharding colocates the copies, so
+// in-node dedupe (in-flight joins + result cache) is cluster-wide
+// dedupe — no node ever re-solves another node's dataset.
+func TestClusterCrossNodeDedupe(t *testing.T) {
+	tc := newTestCluster(t, 3, 2, "")
+	const unique, copies = 100, 10
+	req := serve.BatchRequest{}
+	for i := 0; i < unique*copies; i++ {
+		req.Tasks = append(req.Tasks, clusterTask(fmt.Sprintf("t%04d", i), int64(1000+i%unique), 6, 40))
+	}
+
+	var st batchWire
+	if code := tc.post("/v2/batches", req, &st); code != 200 && code != 202 {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st = tc.waitBatch(st.ID, 3*time.Minute)
+
+	if st.Done != unique*copies || st.Failed != 0 || st.Cancelled != 0 {
+		t.Fatalf("batch terminal state: %+v", st)
+	}
+	if st.Cached+st.Deduped != unique*(copies-1) {
+		t.Errorf("cached+deduped = %d+%d, want %d", st.Cached, st.Deduped, unique*(copies-1))
+	}
+	if got := tc.solveCount(); got != unique {
+		t.Errorf("cluster-wide solves = %d, want exactly %d", got, unique)
+	}
+	for _, n := range tc.nodes {
+		if f := n.mgr.Metrics().JobsFailed.Load(); f != 0 {
+			t.Errorf("node %s: %d failed jobs", n.name, f)
+		}
+	}
+}
+
+// TestClusterKillNodeFailover kills one node mid-batch and checks the
+// typed-degradation contract: the batch still completes with every row
+// done, the learned graphs are bit-identical to an unkilled reference
+// cluster's (redispatched rows re-solve deterministically), and the
+// dead node's in-flight interactive job surfaces the typed "restart"
+// code instead of hanging or vanishing.
+func TestClusterKillNodeFailover(t *testing.T) {
+	const tasks = 30
+	manifest := serve.BatchRequest{}
+	for i := 0; i < tasks; i++ {
+		manifest.Tasks = append(manifest.Tasks, clusterTask(fmt.Sprintf("t%04d", i), int64(5000+i), 8, 48))
+	}
+
+	// Reference: same manifest, nobody dies.
+	ref := newTestCluster(t, 3, 1, "")
+	var rst batchWire
+	if code := ref.post("/v2/batches", manifest, &rst); code != 200 && code != 202 {
+		t.Fatalf("reference submit: HTTP %d", code)
+	}
+	rst = ref.waitBatch(rst.ID, 3*time.Minute)
+	if rst.Done != tasks {
+		t.Fatalf("reference batch: %+v", rst)
+	}
+	refGraphs := make(map[int][]byte)
+	for _, ts := range ref.batchTasks(rst.ID) {
+		code, body := ref.getRaw("/v2/jobs/" + ts.Job + "/graph")
+		if code != 200 {
+			t.Fatalf("reference graph %s: HTTP %d", ts.Job, code)
+		}
+		refGraphs[ts.Index] = body
+	}
+
+	// Victim cluster: pick the node owning the most rows, so the kill
+	// strands real work.
+	tc := newTestCluster(t, 3, 1, "")
+	owned := make(map[string]int)
+	for _, mt := range manifest.Tasks {
+		o, _ := Owner(taskFingerprint(t, mt), tc.names())
+		owned[o]++
+	}
+	victim := tc.names()[0]
+	for n, k := range owned {
+		if k > owned[victim] {
+			victim = n
+		}
+	}
+
+	// One slow interactive job routed to the victim: scan seeds until
+	// the ring places one there.
+	var interactiveID string
+	for seed := int64(9000); ; seed++ {
+		mt := clusterTask("", seed, 16, 120)
+		if o, _ := Owner(taskFingerprint(t, mt), tc.names()); o != victim {
+			continue
+		}
+		sp, _ := least.New(least.WithLambda(0.05), least.WithEpsilon(1e-8), least.WithSeed(seed))
+		var st serve.StatusV2
+		code := tc.post("/v2/jobs", serve.SubmitRequestV2{Samples: mt.Samples, Spec: sp}, &st)
+		if code != 200 && code != 202 {
+			t.Fatalf("interactive submit: HTTP %d", code)
+		}
+		interactiveID = st.ID
+		break
+	}
+
+	var st batchWire
+	if code := tc.post("/v2/batches", manifest, &st); code != 200 && code != 202 {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	// Let the fleet make some progress, then kill the victim's
+	// listener and declare it dead (two failed health sweeps).
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var cur batchWire
+		tc.get("/v2/batches/"+st.ID, &cur)
+		if cur.Done >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch made no progress before the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tc.node(victim).srv.Close()
+	tc.c.CheckHealth()
+	tc.c.CheckHealth()
+
+	st = tc.waitBatch(st.ID, 4*time.Minute)
+	if st.Done != tasks || st.Failed != 0 {
+		t.Fatalf("post-kill batch: %+v", st)
+	}
+	if tc.c.Metrics().NodeDeaths.Load() == 0 {
+		t.Error("no node death recorded")
+	}
+
+	// Bit-identical result set: every row's graph matches the
+	// reference bytes, whichever node re-solved it.
+	for _, ts := range tc.batchTasks(st.ID) {
+		if ts.State != serve.Done {
+			t.Fatalf("row %d: state %s (code %s, err %q)", ts.Index, ts.State, ts.Code, ts.Error)
+		}
+		code, body := tc.getRaw("/v2/jobs/" + ts.Job + "/graph")
+		if code != 200 {
+			t.Fatalf("graph for row %d (%s): HTTP %d", ts.Index, ts.Job, code)
+		}
+		if !bytes.Equal(body, refGraphs[ts.Index]) {
+			t.Fatalf("row %d: graph differs from unkilled reference", ts.Index)
+		}
+	}
+
+	// The stranded interactive job fails typed, not silently.
+	var ist serve.StatusV2
+	if code := tc.get("/v2/jobs/"+interactiveID, &ist); code != 200 {
+		t.Fatalf("interactive status: HTTP %d", code)
+	}
+	if ist.State != serve.Failed || ist.Code != serve.TaskCodeRestart {
+		t.Errorf("interactive job after node death: state %s code %q, want failed/restart", ist.State, ist.Code)
+	}
+}
+
+// TestClusterStealUnderSkew pins the work-stealing path: a manifest
+// whose fingerprints all hash to one node leaves the other two idle,
+// the steal sweep moves pending lane tails to them, and every row
+// still lands done with a fetchable graph.
+func TestClusterStealUnderSkew(t *testing.T) {
+	tc := newTestCluster(t, 3, 1, "")
+
+	// All tasks owned by whichever node owns the first generated one.
+	var donor string
+	req := serve.BatchRequest{}
+	for seed := int64(20000); len(req.Tasks) < 16; seed++ {
+		mt := clusterTask(fmt.Sprintf("t%04d", len(req.Tasks)), seed, 10, 60)
+		o, _ := Owner(taskFingerprint(t, mt), tc.names())
+		if donor == "" {
+			donor = o
+		}
+		if o != donor {
+			continue
+		}
+		req.Tasks = append(req.Tasks, mt)
+	}
+
+	var st batchWire
+	if code := tc.post("/v2/batches", req, &st); code != 200 && code != 202 {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+
+	// Force steal sweeps while the donor grinds its lane.
+	stolen := 0
+	deadline := time.Now().Add(time.Minute)
+	for stolen == 0 && time.Now().Before(deadline) {
+		stolen = tc.c.StealOnce()
+		if stolen == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("no steal happened against a fully skewed manifest")
+	}
+
+	st = tc.waitBatch(st.ID, 3*time.Minute)
+	if st.Done != len(req.Tasks) || st.Failed != 0 {
+		t.Fatalf("post-steal batch: %+v", st)
+	}
+	if got := tc.c.Metrics().TasksStolen.Load(); got == 0 {
+		t.Error("TasksStolen counter did not move")
+	}
+	// The thief really ran work: jobs finished off the donor node.
+	var offDonor int64
+	for _, n := range tc.nodes {
+		if n.name != donor {
+			offDonor += n.mgr.Metrics().JobsDone.Load()
+		}
+	}
+	if offDonor == 0 {
+		t.Error("stolen rows never executed off the donor")
+	}
+	for _, ts := range tc.batchTasks(st.ID) {
+		if ts.State != serve.Done || ts.Job == "" {
+			t.Fatalf("row %d: state %s job %q", ts.Index, ts.State, ts.Job)
+		}
+		if code, _ := tc.getRaw("/v2/jobs/" + ts.Job + "/graph"); code != 200 {
+			t.Fatalf("row %d: graph fetch HTTP %d", ts.Index, code)
+		}
+	}
+}
+
+// TestClusterGossipAffinity pins the cross-node dedupe redirect after
+// membership churn: a dataset solved (and cached) on its original
+// owner keeps routing there — via the gossiped cache index — even
+// after a newly admitted node becomes its rendezvous owner.
+func TestClusterGossipAffinity(t *testing.T) {
+	tc := newTestCluster(t, 2, 1, "")
+
+	// A dataset whose ring owner moves when n2 joins: owned by one of
+	// {n0, n1} now, by "n2" in the 3-node ring.
+	var mt least.ManifestTask
+	var origOwner string
+	for seed := int64(30000); ; seed++ {
+		mt = clusterTask("", seed, 8, 50)
+		fp := taskFingerprint(t, mt)
+		o2, _ := Owner(fp, []string{"n0", "n1"})
+		o3, _ := Owner(fp, []string{"n0", "n1", "n2"})
+		if o3 == "n2" {
+			origOwner = o2
+			break
+		}
+	}
+
+	var st serve.StatusV2
+	if code := tc.post("/v2/jobs", serve.SubmitRequestV2{Samples: mt.Samples}, &st); code != 200 && code != 202 {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	first := st.ID
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != serve.Done {
+		if st.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("first solve: %+v", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+		tc.get("/v2/jobs/"+first, &st)
+	}
+	tc.c.SyncGossip() // the owner's digest now announces the key
+
+	// Admit a third node that rendezvous-wins the fingerprint.
+	mgr := serve.NewManager(serve.Config{MaxConcurrent: 1, QueueDepth: 64, MaxHistory: 1 << 10})
+	srv := httptest.NewServer(serve.NewAPI(mgr).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		mgr.Shutdown(ctx)
+		cancel()
+	})
+	if err := tc.c.AddNode("n2", srv.URL); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	tc.c.CheckHealth()
+
+	before := tc.c.Metrics().AffinityForwards.Load()
+	var st2 serve.StatusV2
+	if code := tc.post("/v2/jobs", serve.SubmitRequestV2{Samples: mt.Samples}, &st2); code != 200 && code != 202 {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	node, _, ok := splitID(st2.ID)
+	if !ok || node != origOwner {
+		t.Errorf("resubmission routed to %q, want cached owner %q (id %s)", node, origOwner, st2.ID)
+	}
+	if got := tc.c.Metrics().AffinityForwards.Load(); got != before+1 {
+		t.Errorf("AffinityForwards = %d, want %d", got, before+1)
+	}
+	if !st2.Cached && st2.State != serve.Done {
+		// The redirect's whole point: the answer comes from the cache,
+		// not a re-solve. Born-done jobs report done immediately.
+		t.Errorf("resubmission was not a cache answer: %+v", st2.Status)
+	}
+	if n2jobs := mgr.Metrics().JobsSubmitted.Load(); n2jobs != 0 {
+		t.Errorf("new ring owner minted %d jobs; affinity should have kept the work away", n2jobs)
+	}
+}
+
+// TestCoordJournalReadopt pins membership durability: a coordinator
+// restarted on its journal re-adopts the last known fleet — including
+// a retirement — without any -node flags, and resumes at a higher
+// routing epoch.
+func TestCoordJournalReadopt(t *testing.T) {
+	dir := t.TempDir()
+	tc := newTestCluster(t, 3, 1, dir)
+
+	if err := tc.c.RemoveNode("n2"); err != nil {
+		t.Fatalf("RemoveNode: %v", err)
+	}
+	var before struct {
+		Epoch int64 `json:"epoch"`
+		Nodes []struct {
+			Name string `json:"name"`
+			URL  string `json:"url"`
+		} `json:"nodes"`
+	}
+	if code := tc.get("/healthz", &before); code != 200 {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if len(before.Nodes) != 2 {
+		t.Fatalf("after retirement: %d members, want 2", len(before.Nodes))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	tc.c.Shutdown(ctx)
+	cancel()
+	tc.srv.Close()
+
+	// Restart from the journal alone: no Nodes in the config.
+	c2, err := New(Config{
+		HealthEvery: time.Hour,
+		GossipEvery: time.Hour,
+		StealEvery:  time.Hour,
+		PollEvery:   5 * time.Millisecond,
+		JournalDir:  dir,
+	})
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		c2.Shutdown(ctx)
+		cancel()
+	}()
+	c2.CheckHealth()
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+
+	resp, err := http.Get(srv2.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after restart: %v", err)
+	}
+	var after struct {
+		Status string `json:"status"`
+		Epoch  int64  `json:"epoch"`
+		Nodes  []struct {
+			Name  string `json:"name"`
+			URL   string `json:"url"`
+			Alive bool   `json:"alive"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	if len(after.Nodes) != 2 {
+		t.Fatalf("re-adopted %d members, want 2 (n2 stayed retired)", len(after.Nodes))
+	}
+	want := map[string]string{}
+	for _, n := range before.Nodes {
+		want[n.Name] = n.URL
+	}
+	for _, n := range after.Nodes {
+		if want[n.Name] != n.URL {
+			t.Errorf("member %s re-adopted with URL %q, want %q", n.Name, n.URL, want[n.Name])
+		}
+		if !n.Alive {
+			t.Errorf("member %s not alive after restart health check", n.Name)
+		}
+	}
+	if after.Epoch <= before.Epoch {
+		t.Errorf("epoch after restart %d, want > %d", after.Epoch, before.Epoch)
+	}
+
+	// The re-adopted fleet routes work.
+	mt := clusterTask("", 40000, 8, 50)
+	b, _ := json.Marshal(serve.SubmitRequestV2{Samples: mt.Samples})
+	r2, err := http.Post(srv2.URL+"/v2/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("submit via restarted coordinator: %v", err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != 200 && r2.StatusCode != 202 {
+		t.Fatalf("submit via restarted coordinator: HTTP %d", r2.StatusCode)
+	}
+}

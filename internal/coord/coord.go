@@ -1,0 +1,616 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/serve"
+)
+
+// TaskCode aliases the serve-layer typed verdict codes: every failure
+// the coordinator synthesizes into a status or task row must carry one
+// of the declared constants (the typederr analyzer enforces this here
+// exactly as it does in internal/serve, DESIGN.md §7).
+type TaskCode = serve.TaskCode
+
+// Coordinator-specific verdict codes, alongside the serve-layer set
+// (serve.TaskCodeRestart marks work lost to a node death — the same
+// "a clean resubmission will succeed" contract as a daemon restart).
+const (
+	// TaskCodeNodeDown marks an operation addressed to a cluster member
+	// that is currently failing health checks.
+	TaskCodeNodeDown TaskCode = "node_down"
+)
+
+// Sentinel errors of the coordinator API.
+var (
+	// ErrNoNodes is returned when no cluster member is alive to take
+	// the work.
+	ErrNoNodes = errors.New("coord: no live nodes")
+	// ErrUnknownNode is returned for membership operations naming a
+	// node the coordinator has never adopted.
+	ErrUnknownNode = errors.New("coord: unknown node")
+	// ErrNodeExists is returned when adding a member whose name is
+	// already taken.
+	ErrNodeExists = errors.New("coord: node already registered")
+	// ErrBadNodeName rejects member names that cannot be embedded in
+	// the coordinator's "<node>.<id>" composite identifiers.
+	ErrBadNodeName = errors.New(`coord: node name must be non-empty and contain no "." or "/"`)
+)
+
+// NodeConfig names one cluster member at construction time.
+type NodeConfig struct {
+	Name string
+	URL  string
+}
+
+// Config parameterizes a Coordinator. Zero values pick the defaults.
+type Config struct {
+	// Nodes is the initial membership (journal replay, when enabled,
+	// is folded in first; flag-listed nodes then upsert by name).
+	Nodes []NodeConfig
+	// HealthEvery is the health-check cadence (default 500ms).
+	HealthEvery time.Duration
+	// FailAfter is how many consecutive health-check failures declare
+	// a node dead (default 2).
+	FailAfter int
+	// GossipEvery is the cache-digest collection cadence (default
+	// 500ms).
+	GossipEvery time.Duration
+	// StealEvery is the skew-scan cadence (default 250ms).
+	StealEvery time.Duration
+	// StealMin is the minimum pending-row count on the most-loaded
+	// node before stealing kicks in (default 4).
+	StealMin int
+	// PollEvery is the sub-batch progress poll cadence (default 25ms).
+	PollEvery time.Duration
+	// JournalDir, when set, makes membership durable: member adds and
+	// drops and routing-epoch bumps are journaled, and a restarted
+	// coordinator re-adopts the last known fleet (DESIGN.md §13).
+	JournalDir string
+	// Client issues every node-facing request (default: a dedicated
+	// client with sane timeouts on everything except streaming).
+	Client *http.Client
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = 500 * time.Millisecond
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	if cfg.GossipEvery <= 0 {
+		cfg.GossipEvery = 500 * time.Millisecond
+	}
+	if cfg.StealEvery <= 0 {
+		cfg.StealEvery = 250 * time.Millisecond
+	}
+	if cfg.StealMin <= 0 {
+		cfg.StealMin = 4
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 25 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 0} // streaming (SSE) must not time out
+	}
+	return cfg
+}
+
+// node is one cluster member's live state, behind Coordinator.mu.
+type node struct {
+	name, url string
+	alive     bool
+	fails     int // consecutive health-check failures
+	lastSeen  time.Time
+	healthz   json.RawMessage // last successful /healthz body, for aggregation
+}
+
+// coordJob is the coordinator's record of one interactive job it
+// forwarded: enough to answer status requests after the owning node
+// dies. Behind Coordinator.mu.
+type coordJob struct {
+	id          string // composite "<node>.<local>"
+	node, local string
+	key         string         // result-cache key ("" when not computable)
+	last        serve.StatusV2 // last proxied status (composite id)
+	orphaned    bool           // owning node died before a terminal status was seen
+}
+
+// Journal record types and payloads (DESIGN.md §13). The coordinator
+// journals membership, not work: jobs and batches are deliberately not
+// replicated — a restarted coordinator re-adopts the fleet and fresh
+// routing state, and in-flight cluster batches die with it (their
+// tasks are still journaled on the nodes, per DESIGN.md §11).
+const (
+	recMember     = "member"
+	recMemberDrop = "member_drop"
+	recEpoch      = "epoch"
+)
+
+// MemberRecord is the journaled wire form of one membership change.
+type MemberRecord struct {
+	Name string `json:"name"`
+	URL  string `json:"url,omitempty"`
+}
+
+// EpochRecord journals a routing-epoch bump and its cause, so a
+// restarted coordinator resumes from a strictly larger epoch.
+type EpochRecord struct {
+	Epoch  int64  `json:"epoch"`
+	Reason string `json:"reason,omitempty"`
+	Node   string `json:"node,omitempty"`
+}
+
+// Coordinator fronts N leastd nodes behind the v2 wire surface. It is
+// safe for concurrent use by HTTP handlers; construct with New and
+// stop with Shutdown.
+type Coordinator struct {
+	cfg    Config
+	met    Metrics
+	client *http.Client
+	jnl    *journal.Writer // nil when membership journaling is disabled
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu         sync.Mutex
+	nodes      map[string]*node
+	epoch      int64
+	index      *cacheIndex
+	jobs       map[string]*coordJob // composite id → record
+	inflight   map[string]string    // cache key → composite id (coordinator singleflight)
+	batches    map[string]*clusterBatch
+	batchOrder []string
+	nextBatch  int
+	draining   bool
+}
+
+// New starts a coordinator: journal replay (when configured) rebuilds
+// the last known membership, cfg.Nodes upserts on top, and the health,
+// gossip and steal loops start. Every configured node starts alive and
+// is verified by the first health sweep.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		client:     cfg.Client,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		nodes:      make(map[string]*node),
+		index:      newCacheIndex(),
+		jobs:       make(map[string]*coordJob),
+		inflight:   make(map[string]string),
+		batches:    make(map[string]*clusterBatch),
+	}
+	if cfg.JournalDir != "" {
+		if err := c.replayJournal(cfg.JournalDir); err != nil {
+			cancel()
+			return nil, err
+		}
+		// Membership changes are rare and must survive a crash that
+		// follows them immediately: fsync every append.
+		w, err := journal.Open(cfg.JournalDir, journal.Options{})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		c.jnl = w
+		// Re-journal the adopted membership once so a fresh segment
+		// after compaction is self-contained.
+		for _, n := range c.nodes {
+			c.emit(recMember, MemberRecord{Name: n.name, URL: n.url})
+		}
+		c.emit(recEpoch, EpochRecord{Epoch: c.epoch, Reason: "restart"})
+	}
+	for _, nc := range cfg.Nodes {
+		if err := c.addNodeLocked(nc.Name, nc.URL); err != nil && !errors.Is(err, ErrNodeExists) {
+			cancel()
+			if c.jnl != nil {
+				c.jnl.Close()
+			}
+			return nil, err
+		}
+	}
+	c.wg.Add(3)
+	go c.loop(cfg.HealthEvery, c.CheckHealth)
+	go c.loop(cfg.GossipEvery, c.SyncGossip)
+	go c.loop(cfg.StealEvery, func() { c.StealOnce() })
+	return c, nil
+}
+
+// loop ticks fn every interval until shutdown.
+func (c *Coordinator) loop(every time.Duration, fn func()) {
+	defer c.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+// Shutdown stops the loops, waits for the batch pollers to exit, and
+// closes the membership journal. In-flight cluster batches are
+// abandoned (deliberately not replicated; see DESIGN.md §13).
+func (c *Coordinator) Shutdown(ctx context.Context) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.draining = true
+	c.mu.Unlock()
+	c.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	if c.jnl != nil {
+		_ = c.jnl.Close()
+	}
+}
+
+// replayJournal folds the membership journal: member / member_drop
+// records apply in order (last write per name wins — the natural fold
+// for a membership log) and the epoch resumes from the largest value
+// seen, bumped once for the restart itself.
+func (c *Coordinator) replayJournal(dir string) error {
+	count, corrupt, err := journal.Replay(dir, func(r journal.Record) error {
+		switch r.Type {
+		case recMember:
+			var mr MemberRecord
+			if err := json.Unmarshal(r.Data, &mr); err != nil {
+				return err
+			}
+			if validNodeName(mr.Name) == nil {
+				c.nodes[mr.Name] = &node{name: mr.Name, url: mr.URL, alive: true}
+			}
+		case recMemberDrop:
+			var mr MemberRecord
+			if err := json.Unmarshal(r.Data, &mr); err != nil {
+				return err
+			}
+			delete(c.nodes, mr.Name)
+		case recEpoch:
+			var er EpochRecord
+			if err := json.Unmarshal(r.Data, &er); err != nil {
+				return err
+			}
+			if er.Epoch > c.epoch {
+				c.epoch = er.Epoch
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("coord: journal replay: %w", err)
+	}
+	if corrupt != nil {
+		// Same torn-tail tolerance as the daemon (DESIGN.md §11): a
+		// truncated record marks the crash point; everything before it
+		// replayed.
+		_ = corrupt
+	}
+	if count > 0 {
+		c.epoch++
+	}
+	return nil
+}
+
+// emit journals one membership record (no-op when journaling is
+// disabled). Journal failures are deliberately non-fatal at runtime:
+// losing durability degrades restart re-adoption, not routing.
+func (c *Coordinator) emit(typ string, payload any) {
+	if c.jnl == nil {
+		return
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	_ = c.jnl.Append(typ, b)
+}
+
+func validNodeName(name string) error {
+	if name == "" || strings.ContainsAny(name, "./") {
+		return ErrBadNodeName
+	}
+	return nil
+}
+
+// AddNode admits a member (idempotent on identical name+URL). The node
+// starts alive and the next health sweep verifies it.
+func (c *Coordinator) AddNode(name, url string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addNodeLocked(name, url)
+}
+
+func (c *Coordinator) addNodeLocked(name, url string) error {
+	if err := validNodeName(name); err != nil {
+		return err
+	}
+	if ex, ok := c.nodes[name]; ok {
+		if ex.url == url {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNodeExists, name)
+	}
+	c.nodes[name] = &node{name: name, url: strings.TrimRight(url, "/"), alive: true}
+	c.bumpEpochLocked("member_added", name)
+	c.emit(recMember, MemberRecord{Name: name, URL: strings.TrimRight(url, "/")})
+	return nil
+}
+
+// RemoveNode retires a member: its keyspace reassigns (epoch bump) and
+// its in-flight work is handled exactly like a death.
+func (c *Coordinator) RemoveNode(name string) error {
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	delete(c.nodes, name)
+	c.index.drop(name)
+	c.orphanJobsLocked(name)
+	c.bumpEpochLocked("member_removed", name)
+	c.emit(recMemberDrop, MemberRecord{Name: name})
+	batches := c.liveBatchesLocked()
+	c.mu.Unlock()
+	_ = n
+	for _, cb := range batches {
+		cb.nodeLost(name)
+	}
+	return nil
+}
+
+// bumpEpochLocked advances the routing epoch and journals the bump.
+// Caller holds c.mu.
+func (c *Coordinator) bumpEpochLocked(reason, nodeName string) {
+	c.epoch++
+	c.emit(recEpoch, EpochRecord{Epoch: c.epoch, Reason: reason, Node: nodeName})
+}
+
+// aliveNamesLocked returns the live member names. Caller holds c.mu.
+func (c *Coordinator) aliveNamesLocked() []string {
+	out := make([]string, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.alive {
+			out = append(out, n.name)
+		}
+	}
+	return out
+}
+
+// isAliveLocked reports liveness for one member. Caller holds c.mu.
+func (c *Coordinator) isAliveLocked(name string) bool {
+	n, ok := c.nodes[name]
+	return ok && n.alive
+}
+
+// nodeURL resolves a member's base URL (alive or not).
+func (c *Coordinator) nodeURL(name string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[name]
+	if !ok {
+		return "", false
+	}
+	return n.url, true
+}
+
+// routeKey picks the node for a routing key: the gossiped cache index
+// first (affinity beats placement — the owning node answers from its
+// result cache), then the rendezvous owner among live nodes.
+func (c *Coordinator) routeKey(cacheKey, fingerprint string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cacheKey != "" {
+		if owner, ok := c.index.owner(cacheKey, c.isAliveLocked); ok {
+			c.met.AffinityForwards.Add(1)
+			return owner, true
+		}
+	}
+	return Owner(fingerprint, c.aliveNamesLocked())
+}
+
+// liveBatchesLocked snapshots the non-terminal cluster batches. Caller
+// holds c.mu.
+func (c *Coordinator) liveBatchesLocked() []*clusterBatch {
+	out := make([]*clusterBatch, 0, len(c.batches))
+	for _, cb := range c.batches {
+		out = append(out, cb)
+	}
+	return out
+}
+
+// CheckHealth runs one health sweep: every member's /healthz is
+// probed; FailAfter consecutive failures declare a node dead (typed
+// degradation — its keyspace reassigns, its interactive jobs fail with
+// the typed restart code, its pending batch rows redispatch), and a
+// dead node that answers again is readmitted with a fresh epoch.
+// Exported so tests and cmd/leastcoord can force a sweep.
+func (c *Coordinator) CheckHealth() {
+	c.mu.Lock()
+	targets := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		targets = append(targets, n)
+	}
+	c.mu.Unlock()
+
+	type verdict struct {
+		n    *node
+		body json.RawMessage
+		err  error
+	}
+	verdicts := make([]verdict, len(targets))
+	var wg sync.WaitGroup
+	for i, n := range targets {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			body, err := c.probe(n.url + "/healthz")
+			verdicts[i] = verdict{n: n, body: body, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+
+	var died, revived []string
+	c.mu.Lock()
+	for _, v := range verdicts {
+		if cur, ok := c.nodes[v.n.name]; !ok || cur != v.n {
+			continue // removed or replaced mid-probe
+		}
+		if v.err == nil {
+			v.n.fails = 0
+			v.n.lastSeen = time.Now()
+			v.n.healthz = v.body
+			if !v.n.alive {
+				v.n.alive = true
+				revived = append(revived, v.n.name)
+				c.met.NodeRevivals.Add(1)
+				c.bumpEpochLocked("revived", v.n.name)
+			}
+			continue
+		}
+		v.n.fails++
+		if v.n.alive && v.n.fails >= c.cfg.FailAfter {
+			v.n.alive = false
+			v.n.healthz = nil
+			died = append(died, v.n.name)
+			c.met.NodeDeaths.Add(1)
+			c.index.drop(v.n.name)
+			c.orphanJobsLocked(v.n.name)
+			c.bumpEpochLocked("died", v.n.name)
+		}
+	}
+	var batches []*clusterBatch
+	if len(died) > 0 {
+		batches = c.liveBatchesLocked()
+	}
+	c.mu.Unlock()
+
+	for _, name := range died {
+		for _, cb := range batches {
+			cb.nodeLost(name)
+		}
+	}
+	_ = revived
+}
+
+// probe GETs one node endpoint with a bounded deadline, returning the
+// body on 200.
+func (c *Coordinator) probe(url string) (json.RawMessage, error) {
+	timeout := c.cfg.HealthEvery
+	if timeout > time.Second {
+		timeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("coord: %s: HTTP %d", url, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// orphanJobsLocked fails every non-terminal interactive job routed to
+// a now-dead node with the existing typed restart code — the same
+// verdict a daemon restart gives interrupted work (DESIGN.md §11).
+// Caller holds c.mu.
+func (c *Coordinator) orphanJobsLocked(nodeName string) {
+	for _, cj := range c.jobs {
+		if cj.node != nodeName || cj.orphaned || cj.last.State.Terminal() {
+			continue
+		}
+		cj.orphaned = true
+		cj.last.State = serve.Failed
+		cj.last.Code = serve.TaskCodeRestart
+		cj.last.Error = serve.ErrRestart.Error()
+		if c.inflight[cj.key] == cj.id {
+			delete(c.inflight, cj.key)
+		}
+	}
+}
+
+// SyncGossip runs one digest sweep: every live node's cache digest is
+// collected and replaces that node's slice of the index. Exported so
+// tests can force convergence without waiting out the ticker.
+func (c *Coordinator) SyncGossip() {
+	c.mu.Lock()
+	type target struct{ name, url string }
+	targets := make([]target, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.alive {
+			targets = append(targets, target{n.name, n.url})
+		}
+	}
+	c.mu.Unlock()
+
+	digests := make([][]string, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t target) {
+			defer wg.Done()
+			body, err := c.probe(t.url + "/v2/peer/cache-digest")
+			if err != nil {
+				return
+			}
+			var d serve.CacheDigest
+			if json.Unmarshal(body, &d) == nil {
+				digests[i] = d.Keys
+				if digests[i] == nil {
+					digests[i] = []string{}
+				}
+			}
+		}(i, t)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	for i, t := range targets {
+		if digests[i] == nil {
+			continue // unreachable this round; health sweep owns the verdict
+		}
+		if c.isAliveLocked(t.name) {
+			c.index.replace(t.name, digests[i])
+		}
+	}
+	c.mu.Unlock()
+	c.met.GossipSweeps.Add(1)
+}

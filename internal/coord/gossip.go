@@ -1,0 +1,100 @@
+package coord
+
+import "sort"
+
+// The gossiped cache index (DESIGN.md §13): every node periodically
+// announces the result-cache keys it holds (GET /v2/peer/cache-digest;
+// a key already encodes dataset fingerprint + centering + canonical
+// spec, see serve.CacheKeyDataset), and the coordinator folds the
+// announcements into one index so an identical task submitted anywhere
+// in the fleet forwards to the node that already solved it — the
+// cross-node form of the in-flight dedupe table.
+//
+// The merge is a set fold with the same discipline as recover.go's
+// first-wins replay: announcements are idempotent and commutative
+// (adding (node, key) twice, or in any order relative to other
+// announcements, produces the same index), and conflicting owners —
+// two nodes both holding a key — resolve to the lexicographically
+// smallest alive announcer, never to whichever message happened to
+// arrive first. The convergence property test pins this. Staleness is
+// handled by replace (drop + merge) on every gossip sweep: a key the
+// node evicted disappears from its announcement, and a forward that
+// races an eviction just costs the owning node one re-solve.
+
+// cacheIndex maps result-cache keys to the set of nodes announcing
+// them. Not safe for concurrent use; the Coordinator guards it with
+// its own mutex.
+type cacheIndex struct {
+	byNode map[string]map[string]struct{} // node → announced keys
+	byKey  map[string]map[string]struct{} // key → announcing nodes
+}
+
+func newCacheIndex() *cacheIndex {
+	return &cacheIndex{
+		byNode: make(map[string]map[string]struct{}),
+		byKey:  make(map[string]map[string]struct{}),
+	}
+}
+
+// merge folds one announcement in: node holds keys (idempotent,
+// order-independent).
+func (ix *cacheIndex) merge(node string, keys []string) {
+	held := ix.byNode[node]
+	if held == nil {
+		held = make(map[string]struct{})
+		ix.byNode[node] = held
+	}
+	for _, k := range keys {
+		held[k] = struct{}{}
+		owners := ix.byKey[k]
+		if owners == nil {
+			owners = make(map[string]struct{})
+			ix.byKey[k] = owners
+		}
+		owners[node] = struct{}{}
+	}
+}
+
+// drop forgets every announcement node made — on death, and as the
+// first half of a replace when a fresh digest arrives.
+func (ix *cacheIndex) drop(node string) {
+	for k := range ix.byNode[node] {
+		owners := ix.byKey[k]
+		delete(owners, node)
+		if len(owners) == 0 {
+			delete(ix.byKey, k)
+		}
+	}
+	delete(ix.byNode, node)
+}
+
+// replace swaps node's announcement for a fresh full digest.
+func (ix *cacheIndex) replace(node string, keys []string) {
+	ix.drop(node)
+	ix.merge(node, keys)
+}
+
+// owner resolves a key to its canonical announcing node: the smallest
+// (lexicographically) announcer that alive() accepts. The deterministic
+// tie-break is what makes lookups a pure function of the announcement
+// set rather than of arrival order.
+func (ix *cacheIndex) owner(key string, alive func(string) bool) (string, bool) {
+	owners := ix.byKey[key]
+	if len(owners) == 0 {
+		return "", false
+	}
+	names := make([]string, 0, len(owners))
+	for n := range owners {
+		if alive == nil || alive(n) {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	sort.Strings(names)
+	return names[0], true
+}
+
+// size returns the number of distinct keys announced fleet-wide.
+func (ix *cacheIndex) size() int { return len(ix.byKey) }

@@ -1,0 +1,170 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// snapshot renders an index as a canonical map for equality checks.
+func (ix *cacheIndex) snapshot() map[string][]string {
+	out := make(map[string][]string, len(ix.byKey))
+	for k, owners := range ix.byKey {
+		names := make([]string, 0, len(owners))
+		for n := range owners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out[k] = names
+	}
+	return out
+}
+
+// TestGossipMergeIdempotentAndCommutative pins the fold discipline:
+// merging the same announcement twice is a no-op, and any order of a
+// fixed announcement set converges to the same index — so digest
+// arrival order (which the gossip sweep cannot control) never changes
+// routing.
+func TestGossipMergeIdempotentAndCommutative(t *testing.T) {
+	type ann struct {
+		node string
+		keys []string
+	}
+	anns := []ann{
+		{"a", []string{"k1", "k2"}},
+		{"b", []string{"k2", "k3"}},
+		{"c", []string{"k1", "k3", "k4"}},
+		{"a", []string{"k1", "k2"}}, // exact duplicate
+		{"b", []string{"k2"}},       // subset duplicate
+	}
+
+	ref := newCacheIndex()
+	for _, a := range anns {
+		ref.merge(a.node, a.keys)
+	}
+	want := ref.snapshot()
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		ix := newCacheIndex()
+		for _, i := range rng.Perm(len(anns)) {
+			ix.merge(anns[i].node, anns[i].keys)
+		}
+		if got := ix.snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge order changed the index:\n got %v\nwant %v", got, want)
+		}
+	}
+
+	// Idempotence directly: re-merging everything leaves it unchanged.
+	for _, a := range anns {
+		ref.merge(a.node, a.keys)
+	}
+	if got := ref.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("re-merge changed the index:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestGossipOwnerDeterministic pins that lookup resolves conflicting
+// announcers to the lexicographically smallest alive one — a pure
+// function of the announcement set, not of arrival order — and that
+// liveness filtering falls through to the next announcer.
+func TestGossipOwnerDeterministic(t *testing.T) {
+	ix := newCacheIndex()
+	ix.merge("zeta", []string{"k"})
+	ix.merge("alpha", []string{"k"})
+	ix.merge("mid", []string{"k"})
+
+	if o, ok := ix.owner("k", nil); !ok || o != "alpha" {
+		t.Fatalf("owner = %q, want smallest announcer %q", o, "alpha")
+	}
+	alive := func(n string) bool { return n != "alpha" }
+	if o, ok := ix.owner("k", alive); !ok || o != "mid" {
+		t.Fatalf("owner with alpha dead = %q, want %q", o, "mid")
+	}
+	if _, ok := ix.owner("k", func(string) bool { return false }); ok {
+		t.Fatal("owner with nobody alive still resolved")
+	}
+	if _, ok := ix.owner("unknown", nil); ok {
+		t.Fatal("owner of an unannounced key resolved")
+	}
+}
+
+// TestGossipReplaceAndDrop pins staleness handling: replace swaps a
+// node's announcement wholesale (evicted keys vanish), drop forgets a
+// dead node entirely, and neither disturbs other nodes' announcements.
+func TestGossipReplaceAndDrop(t *testing.T) {
+	ix := newCacheIndex()
+	ix.merge("a", []string{"k1", "k2"})
+	ix.merge("b", []string{"k2", "k3"})
+
+	ix.replace("a", []string{"k2", "k9"}) // k1 evicted, k9 new
+	want := map[string][]string{
+		"k2": {"a", "b"},
+		"k3": {"b"},
+		"k9": {"a"},
+	}
+	if got := ix.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after replace:\n got %v\nwant %v", got, want)
+	}
+
+	ix.drop("a")
+	want = map[string][]string{
+		"k2": {"b"},
+		"k3": {"b"},
+	}
+	if got := ix.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after drop:\n got %v\nwant %v", got, want)
+	}
+	if ix.size() != 2 {
+		t.Fatalf("size = %d, want 2", ix.size())
+	}
+	ix.drop("a") // dropping an unknown node is a no-op
+	if got := ix.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("double drop changed the index: %v", got)
+	}
+}
+
+// TestGossipConvergenceProperty drives random announcement/replace/
+// drop traffic through two indexes in different orders per round and
+// checks both converge once the same final digest set has been applied
+// — the replace-per-sweep model's convergence guarantee.
+func TestGossipConvergenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nodes := []string{"a", "b", "c", "d"}
+	for round := 0; round < 40; round++ {
+		// The final digest per node (what the last sweep observed).
+		final := make(map[string][]string, len(nodes))
+		for _, n := range nodes {
+			keys := make([]string, rng.Intn(6))
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%d", rng.Intn(8))
+			}
+			final[n] = keys
+		}
+
+		ix1, ix2 := newCacheIndex(), newCacheIndex()
+		for _, ix := range []*cacheIndex{ix1, ix2} {
+			// Arbitrary stale prefix traffic, different per index.
+			for i := 0; i < rng.Intn(10); i++ {
+				n := nodes[rng.Intn(len(nodes))]
+				switch rng.Intn(3) {
+				case 0:
+					ix.merge(n, []string{fmt.Sprintf("k%d", rng.Intn(8))})
+				case 1:
+					ix.replace(n, []string{fmt.Sprintf("k%d", rng.Intn(8))})
+				case 2:
+					ix.drop(n)
+				}
+			}
+			// One full sweep: every node's final digest, random order.
+			for _, i := range rng.Perm(len(nodes)) {
+				ix.replace(nodes[i], final[nodes[i]])
+			}
+		}
+		if g1, g2 := ix1.snapshot(), ix2.snapshot(); !reflect.DeepEqual(g1, g2) {
+			t.Fatalf("round %d: indexes diverged after identical final sweep:\n ix1 %v\n ix2 %v", round, g1, g2)
+		}
+	}
+}

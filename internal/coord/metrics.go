@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics is the coordinator's counter block — all lock-free atomic
+// counters (the atomiccounter analyzer enforces atomic-only access),
+// rendered by GET /metrics under the least_coord_* prefix alongside
+// the per-node liveness gauges. Node-level job counters stay on the
+// nodes' own /metrics; the coordinator exposes what only it can see:
+// routing, cross-node dedupe, stealing and membership churn.
+type Metrics struct {
+	// HTTP surface.
+	HTTPRequests atomic.Int64 // every routed request
+
+	// Interactive routing.
+	JobsRouted        atomic.Int64 // submissions forwarded to a node
+	AffinityForwards  atomic.Int64 // forwards redirected by the gossiped cache index
+	SingleflightJoins atomic.Int64 // submissions joined onto an identical in-flight job
+
+	// Batch fan-out.
+	BatchesSplit         atomic.Int64 // manifests split into per-node sub-manifests
+	SubBatchesDispatched atomic.Int64 // sub-batches admitted on nodes (redispatches included)
+	TasksDispatched      atomic.Int64 // manifest rows dispatched (redispatches included)
+
+	// Work stealing (skew) and failure handling.
+	Steals            atomic.Int64 // successful steal operations
+	TasksStolen       atomic.Int64 // rows moved from a loaded node to an idle one
+	TasksRedispatched atomic.Int64 // rows re-dispatched off a dead node
+	TasksRestartFail  atomic.Int64 // rows failed with the typed restart code (no re-dispatch possible)
+
+	// Membership.
+	NodeDeaths   atomic.Int64 // nodes declared dead after consecutive health failures
+	NodeRevivals atomic.Int64 // dead nodes readmitted after passing health checks
+	GossipSweeps atomic.Int64 // digest collection rounds completed
+}
+
+// Metrics returns the coordinator's counter block, for tests and load
+// generators that cross-check their own tallies.
+func (c *Coordinator) Metrics() *Metrics { return &c.met }
+
+// WriteMetrics renders the Prometheus text exposition: the counter
+// block, the cluster gauges, and one least_coord_node_up line per
+// member so dashboards see per-node liveness without scraping N
+// daemons.
+func (c *Coordinator) WriteMetrics(w io.Writer) {
+	m := &c.met
+	emit := func(name, typ, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+	}
+	emit("least_coord_http_requests_total", "counter", "HTTP requests routed through the coordinator.", m.HTTPRequests.Load())
+	emit("least_coord_jobs_routed_total", "counter", "Interactive submissions forwarded to a node.", m.JobsRouted.Load())
+	emit("least_coord_affinity_forwards_total", "counter", "Forwards redirected to a node by the gossiped cache index.", m.AffinityForwards.Load())
+	emit("least_coord_singleflight_joins_total", "counter", "Submissions that joined an identical in-flight job instead of re-solving.", m.SingleflightJoins.Load())
+	emit("least_coord_batches_split_total", "counter", "Batch manifests split into per-node sub-manifests.", m.BatchesSplit.Load())
+	emit("least_coord_sub_batches_total", "counter", "Sub-batches admitted on nodes, redispatches included.", m.SubBatchesDispatched.Load())
+	emit("least_coord_tasks_dispatched_total", "counter", "Manifest rows dispatched to nodes, redispatches included.", m.TasksDispatched.Load())
+	emit("least_coord_steals_total", "counter", "Successful lane-steal operations against loaded nodes.", m.Steals.Load())
+	emit("least_coord_tasks_stolen_total", "counter", "Rows moved from a loaded node to an idle one.", m.TasksStolen.Load())
+	emit("least_coord_tasks_redispatched_total", "counter", "Rows re-dispatched off a dead node.", m.TasksRedispatched.Load())
+	emit("least_coord_tasks_restart_failed_total", "counter", "Rows failed with the typed restart code after a node death.", m.TasksRestartFail.Load())
+	emit("least_coord_node_deaths_total", "counter", "Nodes declared dead after consecutive health-check failures.", m.NodeDeaths.Load())
+	emit("least_coord_node_revivals_total", "counter", "Dead nodes readmitted after passing health checks again.", m.NodeRevivals.Load())
+	emit("least_coord_gossip_sweeps_total", "counter", "Cache-digest collection rounds completed.", m.GossipSweeps.Load())
+
+	c.mu.Lock()
+	epoch := c.epoch
+	indexKeys := c.index.size()
+	batches := len(c.batches)
+	type up struct {
+		name  string
+		alive bool
+	}
+	ups := make([]up, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		ups = append(ups, up{n.name, n.alive})
+	}
+	c.mu.Unlock()
+
+	emit("least_coord_epoch", "gauge", "Routing epoch: bumps on every membership or liveness change.", epoch)
+	emit("least_coord_index_keys", "gauge", "Distinct result-cache keys in the gossiped index.", int64(indexKeys))
+	emit("least_coord_batches", "gauge", "Cluster batches in the coordinator's table.", int64(batches))
+	fmt.Fprintf(w, "# HELP least_coord_node_up Per-node liveness (1 alive, 0 dead).\n# TYPE least_coord_node_up gauge\n")
+	sort.Slice(ups, func(i, j int) bool { return ups[i].name < ups[j].name })
+	alive := 0
+	for _, u := range ups {
+		v := 0
+		if u.alive {
+			v = 1
+			alive++
+		}
+		fmt.Fprintf(w, "least_coord_node_up{node=%q} %d\n", u.name, v)
+	}
+	emit("least_coord_nodes", "gauge", "Cluster members, dead or alive.", int64(len(ups)))
+	emit("least_coord_nodes_alive", "gauge", "Cluster members currently passing health checks.", int64(alive))
+}

@@ -1,0 +1,798 @@
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// HTTP face of the coordinator (DESIGN.md §13): the same v2 wire
+// surface a single leastd serves, so clients cannot tell one node from
+// a fleet. Cluster-wide identifiers are composite — "<node>.<localid>"
+// — and every proxied payload has its ids rewritten to the composite
+// form on the way out (and back to the local form on the way in).
+// Deliberately not replicated (documented, pinned by tests):
+// /v2/batches/{id}/edges answers 501 (cross-task edge folding needs
+// every graph on one node), and the v1 surface is not served at all —
+// the fleet is a v2-era deployment.
+
+const maxRequestBytes = 512 << 20
+
+// splitID parses a composite "<node>.<local>" id.
+func splitID(id string) (node, local string, ok bool) {
+	i := strings.IndexByte(id, '.')
+	if i <= 0 || i == len(id)-1 {
+		return "", "", false
+	}
+	return id[:i], id[i+1:], true
+}
+
+// joinID builds a composite id.
+func joinID(node, local string) string { return node + "." + local }
+
+// Handler returns the coordinator's routed HTTP handler.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/jobs", c.submitJob)
+	mux.HandleFunc("GET /v2/jobs", c.listJobs)
+	mux.HandleFunc("GET /v2/jobs/{id}", c.jobStatus)
+	mux.HandleFunc("GET /v2/jobs/{id}/graph", c.jobProxy("/graph"))
+	mux.HandleFunc("GET /v2/jobs/{id}/events", c.jobEvents)
+	mux.HandleFunc("GET /v2/jobs/{id}/query/{verb}", c.jobQuery)
+	mux.HandleFunc("DELETE /v2/jobs/{id}", c.jobCancel)
+	mux.HandleFunc("POST /v2/datasets", c.datasetCreate)
+	mux.HandleFunc("GET /v2/datasets", c.datasetList)
+	mux.HandleFunc("GET /v2/datasets/{id}", c.datasetGet)
+	mux.HandleFunc("DELETE /v2/datasets/{id}", c.datasetDelete)
+	mux.HandleFunc("POST /v2/batches", c.batchCreate)
+	mux.HandleFunc("GET /v2/batches", c.batchList)
+	mux.HandleFunc("GET /v2/batches/{id}", c.batchStatus)
+	mux.HandleFunc("GET /v2/batches/{id}/tasks", c.batchTasks)
+	mux.HandleFunc("GET /v2/batches/{id}/events", c.batchEvents)
+	mux.HandleFunc("DELETE /v2/batches/{id}", c.batchCancel)
+	mux.HandleFunc("GET /v2/batches/{id}/edges", c.batchEdges)
+	mux.HandleFunc("GET /cluster/nodes", c.clusterNodes)
+	mux.HandleFunc("POST /cluster/nodes", c.clusterAddNode)
+	mux.HandleFunc("DELETE /cluster/nodes/{name}", c.clusterRemoveNode)
+	mux.HandleFunc("GET /metrics", c.metricsHandler)
+	mux.HandleFunc("GET /healthz", c.healthz)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.met.HTTPRequests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// nodeDown writes the typed 502 for an operation addressed to a dead
+// member.
+func nodeDown(w http.ResponseWriter, node string) {
+	writeJSON(w, http.StatusBadGateway, map[string]any{
+		"error": fmt.Sprintf("coord: node %q is not passing health checks", node),
+		"code":  TaskCodeNodeDown,
+	})
+}
+
+// relay forwards a node's error answer (or a generic 502 for transport
+// failures) to the client.
+func relay(w http.ResponseWriter, err error) {
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(he.code)
+		_, _ = w.Write(he.body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "coord: %v", err)
+}
+
+// resolveNode maps a composite id to (node, local, baseURL), writing
+// the error response itself when resolution fails.
+func (c *Coordinator) resolveNode(w http.ResponseWriter, id string) (node, local, base string, ok bool) {
+	node, local, ok = splitID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "coord: %q is not a cluster id (want node.id)", id)
+		return "", "", "", false
+	}
+	c.mu.Lock()
+	n, known := c.nodes[node]
+	alive := known && n.alive
+	c.mu.Unlock()
+	if !known {
+		httpError(w, http.StatusNotFound, "%v: %s", ErrUnknownNode, node)
+		return "", "", "", false
+	}
+	if !alive {
+		nodeDown(w, node)
+		return "", "", "", false
+	}
+	base, _ = c.nodeURL(node)
+	return node, local, base, true
+}
+
+// ---- interactive jobs -------------------------------------------------
+
+// submitJob routes a POST /v2/jobs: the body is decoded just enough to
+// compute the routing key (dataset fingerprint + cache key), then the
+// raw bytes forward to the chosen node — re-marshalling a Spec would
+// lose its set-vs-unset distinction, so the original body is what the
+// node sees. Identical concurrent submissions join the in-flight job
+// on the owning node (coordinator-side singleflight).
+func (c *Coordinator) submitJob(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var req serve.SubmitRequestV2
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	var node, key string
+	if req.DatasetRef != "" {
+		// By-ref: the dataset lives on exactly one node; the job must
+		// run there. The composite ref is rewritten to the local id.
+		refNode, local, ok := splitID(req.DatasetRef)
+		if !ok {
+			httpError(w, http.StatusNotFound, "coord: dataset_ref %q is not a cluster id (want node.id)", req.DatasetRef)
+			return
+		}
+		node = refNode
+		req.DatasetRef = local
+		rewritten, err := json.Marshal(req)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		raw = rewritten
+	} else {
+		mt := least.ManifestTask{CSV: req.CSV, Header: req.Header, Samples: req.Samples, Names: req.Names}
+		ds, err := mt.Data(least.DatasetOptions{})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		spec := req.Spec
+		if spec == nil {
+			spec = &least.Spec{} // the node resolves nil the same way; keys must agree
+		}
+		if k, err := serve.CacheKeyDataset(ds, req.Center, spec); err == nil {
+			key = k
+		}
+		// Singleflight: an identical submission already in flight
+		// anywhere in the fleet is joined, not re-solved.
+		if key != "" {
+			if st, ok := c.joinInflight(key); ok {
+				c.met.SingleflightJoins.Add(1)
+				writeJSON(w, http.StatusAccepted, st)
+				return
+			}
+		}
+		var ok bool
+		node, ok = c.routeKey(key, ds.Fingerprint())
+		if !ok {
+			httpError(w, http.StatusServiceUnavailable, "%v", ErrNoNodes)
+			return
+		}
+	}
+
+	base, ok := c.nodeURL(node)
+	if !ok {
+		httpError(w, http.StatusNotFound, "%v: %s", ErrUnknownNode, node)
+		return
+	}
+	c.met.JobsRouted.Add(1)
+	var st serve.StatusV2
+	if err := c.doJSON(r.Context(), http.MethodPost, base+"/v2/jobs", json.RawMessage(raw), &st); err != nil {
+		relay(w, err)
+		return
+	}
+	local := st.ID
+	st.ID = joinID(node, local)
+
+	c.mu.Lock()
+	cj := &coordJob{id: st.ID, node: node, local: local, key: key, last: st}
+	c.jobs[st.ID] = cj
+	if key != "" && !st.State.Terminal() {
+		c.inflight[key] = st.ID
+	}
+	c.mu.Unlock()
+
+	code := http.StatusAccepted
+	if st.State == serve.Done {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// joinInflight resolves a cache key to a live identical job's current
+// status (fetched fresh from the owning node). Misses clean the table
+// lazily.
+func (c *Coordinator) joinInflight(key string) (serve.StatusV2, bool) {
+	c.mu.Lock()
+	id, ok := c.inflight[key]
+	var cj *coordJob
+	if ok {
+		cj = c.jobs[id]
+	}
+	if cj == nil || cj.orphaned || cj.last.State.Terminal() {
+		if ok {
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
+		return serve.StatusV2{}, false
+	}
+	node, local := cj.node, cj.local
+	c.mu.Unlock()
+
+	base, ok := c.nodeURL(node)
+	if !ok {
+		return serve.StatusV2{}, false
+	}
+	var st serve.StatusV2
+	if err := c.getJSON(base+"/v2/jobs/"+url.PathEscape(local), &st); err != nil {
+		return serve.StatusV2{}, false
+	}
+	st.ID = joinID(node, st.ID)
+	c.mu.Lock()
+	if cur := c.jobs[st.ID]; cur != nil && !cur.orphaned {
+		cur.last = st
+		if st.State.Terminal() && c.inflight[key] == st.ID {
+			delete(c.inflight, key)
+		}
+	}
+	c.mu.Unlock()
+	return st, true
+}
+
+func (c *Coordinator) listJobs(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	alive := c.aliveNamesLocked()
+	c.mu.Unlock()
+	sort.Strings(alive)
+	out := []serve.StatusV2{}
+	for _, node := range alive {
+		base, ok := c.nodeURL(node)
+		if !ok {
+			continue
+		}
+		var jobs []serve.StatusV2
+		if err := c.getJSON(base+"/v2/jobs", &jobs); err != nil {
+			continue
+		}
+		for i := range jobs {
+			jobs[i].ID = joinID(node, jobs[i].ID)
+		}
+		out = append(out, jobs...)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) jobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// A job orphaned by a node death answers from the coordinator's
+	// record with the typed restart verdict — the client sees the same
+	// failure a daemon restart produces (DESIGN.md §11).
+	c.mu.Lock()
+	if cj, ok := c.jobs[id]; ok && cj.orphaned {
+		st := cj.last
+		c.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	c.mu.Unlock()
+
+	node, local, base, ok := c.resolveNode(w, id)
+	if !ok {
+		return
+	}
+	var st serve.StatusV2
+	if err := c.doJSON(r.Context(), http.MethodGet, base+"/v2/jobs/"+url.PathEscape(local), nil, &st); err != nil {
+		relay(w, err)
+		return
+	}
+	st.ID = joinID(node, st.ID)
+	c.mu.Lock()
+	if cj, ok := c.jobs[id]; ok && !cj.orphaned {
+		cj.last = st
+		if st.State.Terminal() && c.inflight[cj.key] == id {
+			delete(c.inflight, cj.key)
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// jobProxy forwards a job sub-resource verbatim (graph bytes carry no
+// job ids, so no rewriting is needed).
+func (c *Coordinator) jobProxy(suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_, local, base, ok := c.resolveNode(w, r.PathValue("id"))
+		if !ok {
+			return
+		}
+		u := base + "/v2/jobs/" + url.PathEscape(local) + suffix
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		c.proxyRaw(w, r, u)
+	}
+}
+
+func (c *Coordinator) jobQuery(w http.ResponseWriter, r *http.Request) {
+	_, local, base, ok := c.resolveNode(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	u := base + "/v2/jobs/" + url.PathEscape(local) + "/query/" + url.PathEscape(r.PathValue("verb"))
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	c.proxyRaw(w, r, u)
+}
+
+// proxyRaw streams one node answer through unchanged (status, content
+// type and body).
+func (c *Coordinator) proxyRaw(w http.ResponseWriter, r *http.Request, u string) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "coord: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// jobEvents passes the node's SSE stream through, rewriting the job id
+// inside each data line to its composite form. Only data lines are
+// touched — event names, ids and framing forward byte-for-byte (the
+// §13 deliberately-not-replicated list: the payload schema is the
+// node's, not re-synthesized).
+func (c *Coordinator) jobEvents(w http.ResponseWriter, r *http.Request) {
+	node, local, base, ok := c.resolveNode(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by transport")
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/v2/jobs/"+url.PathEscape(local)+"/events", nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "coord: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(body)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	needle := []byte(`"id":"` + local + `"`)
+	repl := []byte(`"id":"` + joinID(node, local) + `"`)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(line, []byte("data:")) {
+			line = bytes.Replace(line, needle, repl, 1)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+		if len(line) == 0 { // frame boundary: deliver it now
+			fl.Flush()
+		}
+	}
+}
+
+func (c *Coordinator) jobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node, local, base, ok := c.resolveNode(w, id)
+	if !ok {
+		return
+	}
+	var st serve.StatusV2
+	if err := c.doJSON(r.Context(), http.MethodDelete, base+"/v2/jobs/"+url.PathEscape(local), nil, &st); err != nil {
+		relay(w, err)
+		return
+	}
+	st.ID = joinID(node, st.ID)
+	c.mu.Lock()
+	if cj, ok := c.jobs[id]; ok && !cj.orphaned {
+		cj.last = st
+		if c.inflight[cj.key] == id {
+			delete(c.inflight, cj.key)
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ---- datasets ---------------------------------------------------------
+
+func (c *Coordinator) datasetCreate(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var req serve.DatasetRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	mt := least.ManifestTask{CSV: req.CSV, Header: req.Header, Samples: req.Samples, Names: req.Names}
+	ds, err := mt.Data(least.DatasetOptions{})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Datasets shard by fingerprint alone: the node that owns the
+	// fingerprint's keyspace hosts the registration, so every by-ref
+	// job for it lands where the data (and its Gram stats) live.
+	c.mu.Lock()
+	alive := c.aliveNamesLocked()
+	c.mu.Unlock()
+	node, ok := Owner(ds.Fingerprint(), alive)
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "%v", ErrNoNodes)
+		return
+	}
+	base, _ := c.nodeURL(node)
+	var info serve.DatasetInfo
+	if err := c.doJSON(r.Context(), http.MethodPost, base+"/v2/datasets", json.RawMessage(raw), &info); err != nil {
+		relay(w, err)
+		return
+	}
+	info.ID = joinID(node, info.ID)
+	// 201 vs 200 (created vs deduplicated) is the node's call; the
+	// coordinator cannot see it from the decoded body alone, so a
+	// registration through the coordinator always answers 200 with the
+	// composite id.
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (c *Coordinator) datasetList(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	alive := c.aliveNamesLocked()
+	c.mu.Unlock()
+	sort.Strings(alive)
+	out := []serve.DatasetInfo{}
+	for _, node := range alive {
+		base, ok := c.nodeURL(node)
+		if !ok {
+			continue
+		}
+		var infos []serve.DatasetInfo
+		if err := c.getJSON(base+"/v2/datasets", &infos); err != nil {
+			continue
+		}
+		for i := range infos {
+			infos[i].ID = joinID(node, infos[i].ID)
+		}
+		out = append(out, infos...)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) datasetGet(w http.ResponseWriter, r *http.Request) {
+	node, local, base, ok := c.resolveNode(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	var info serve.DatasetInfo
+	if err := c.doJSON(r.Context(), http.MethodGet, base+"/v2/datasets/"+url.PathEscape(local), nil, &info); err != nil {
+		relay(w, err)
+		return
+	}
+	info.ID = joinID(node, info.ID)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (c *Coordinator) datasetDelete(w http.ResponseWriter, r *http.Request) {
+	_, local, base, ok := c.resolveNode(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	if err := c.doJSON(r.Context(), http.MethodDelete, base+"/v2/datasets/"+url.PathEscape(local), nil, nil); err != nil {
+		relay(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- batches ----------------------------------------------------------
+
+func (c *Coordinator) batchCreate(w http.ResponseWriter, r *http.Request) {
+	var req serve.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	cb, err := c.SubmitBatch(req.Tasks)
+	switch {
+	case errors.Is(err, serve.ErrShuttingDown):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := cb.Status()
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (c *Coordinator) batchList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Batches())
+}
+
+func (c *Coordinator) batchStatus(w http.ResponseWriter, r *http.Request) {
+	cb, ok := c.batch(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "%v", serve.ErrUnknownBatch)
+		return
+	}
+	writeJSON(w, http.StatusOK, cb.Status())
+}
+
+func (c *Coordinator) batchTasks(w http.ResponseWriter, r *http.Request) {
+	cb, ok := c.batch(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "%v", serve.ErrUnknownBatch)
+		return
+	}
+	q := r.URL.Query()
+	offset, ok := queryInt(q.Get("offset"), 0)
+	if !ok || offset < 0 {
+		httpError(w, http.StatusBadRequest, "bad offset %q", q.Get("offset"))
+		return
+	}
+	limit, ok := queryInt(q.Get("limit"), 100)
+	if !ok || limit < 1 {
+		httpError(w, http.StatusBadRequest, "bad limit %q", q.Get("limit"))
+		return
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	state := serve.State(q.Get("state"))
+	switch state {
+	case "", serve.Queued, serve.Running, serve.Done, serve.Failed, serve.Cancelled:
+	default:
+		httpError(w, http.StatusBadRequest, "bad state %q", q.Get("state"))
+		return
+	}
+	rows, total := cb.Tasks(offset, limit, state)
+	writeJSON(w, http.StatusOK, serve.TaskPage{
+		Batch:  cb.id,
+		Total:  total,
+		Offset: offset,
+		Limit:  limit,
+		Tasks:  rows,
+	})
+}
+
+func queryInt(s string, def int) (int, bool) {
+	if s == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (c *Coordinator) batchEvents(w http.ResponseWriter, r *http.Request) {
+	cb, ok := c.batch(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "%v", serve.ErrUnknownBatch)
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by transport")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	ctx := r.Context()
+	seen := -1
+	for {
+		st, seq, terminal := cb.Watch(ctx, seen)
+		if ctx.Err() != nil {
+			return
+		}
+		name := "progress"
+		if terminal {
+			name = string(st.State)
+		}
+		if err := writeSSE(w, name, seq, st); err != nil {
+			return
+		}
+		fl.Flush()
+		if terminal {
+			return
+		}
+		seen = seq
+	}
+}
+
+func writeSSE(w io.Writer, event string, id int, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, b)
+	return err
+}
+
+func (c *Coordinator) batchCancel(w http.ResponseWriter, r *http.Request) {
+	cb, ok := c.batch(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "%v", serve.ErrUnknownBatch)
+		return
+	}
+	st, err := cb.Cancel()
+	if errors.Is(err, serve.ErrBatchFinished) {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// batchEdges is deliberately not replicated (DESIGN.md §13): folding
+// edge confidence across tasks needs every learned graph on one node,
+// and shipping weight matrices through the coordinator would defeat
+// the sharding. Query the per-node batches directly when needed.
+func (c *Coordinator) batchEdges(w http.ResponseWriter, r *http.Request) {
+	httpError(w, http.StatusNotImplemented,
+		"coord: cross-task edge aggregation is not replicated cluster-wide; query the owning nodes directly (DESIGN.md §13)")
+}
+
+// ---- cluster membership + observability -------------------------------
+
+// NodeStatus is one member's row in GET /cluster/nodes and the
+// aggregated /healthz.
+type NodeStatus struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	// Healthz is the node's last successful /healthz body, verbatim.
+	Healthz json.RawMessage `json:"healthz,omitempty"`
+}
+
+// ClusterStatus is the GET /cluster/nodes (and /healthz) payload.
+type ClusterStatus struct {
+	Status string       `json:"status"` // "ok" when every member is alive, else "degraded"
+	Epoch  int64        `json:"epoch"`
+	Nodes  []NodeStatus `json:"nodes"`
+}
+
+func (c *Coordinator) clusterStatus() ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ClusterStatus{Status: "ok", Epoch: c.epoch, Nodes: []NodeStatus{}}
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := c.nodes[name]
+		st.Nodes = append(st.Nodes, NodeStatus{Name: n.name, URL: n.url, Alive: n.alive, Healthz: n.healthz})
+		if !n.alive {
+			st.Status = "degraded"
+		}
+	}
+	if len(st.Nodes) == 0 {
+		st.Status = "degraded"
+	}
+	return st
+}
+
+func (c *Coordinator) clusterNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.clusterStatus())
+}
+
+func (c *Coordinator) clusterAddNode(w http.ResponseWriter, r *http.Request) {
+	var req NodeConfig
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	switch err := c.AddNode(req.Name, req.URL); {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, c.clusterStatus())
+	case errors.Is(err, ErrBadNodeName):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, ErrNodeExists):
+		httpError(w, http.StatusConflict, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (c *Coordinator) clusterRemoveNode(w http.ResponseWriter, r *http.Request) {
+	switch err := c.RemoveNode(r.PathValue("name")); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, c.clusterStatus())
+	case errors.Is(err, ErrUnknownNode):
+		httpError(w, http.StatusNotFound, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (c *Coordinator) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.WriteMetrics(w)
+}
+
+// healthz aggregates the fleet: the coordinator's own liveness plus
+// every member's last health block.
+func (c *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.clusterStatus())
+}

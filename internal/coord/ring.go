@@ -1,0 +1,67 @@
+// Package coord is the fleet coordinator (DESIGN.md §13): an HTTP
+// front that shards work across N leastd nodes by dataset fingerprint
+// — rendezvous hashing for cache and dataset affinity, a gossiped
+// cache index for cross-node dedupe, tail-stealing of pending batch
+// lanes for skew, and health-checked membership with typed
+// degradation. cmd/leastcoord serves it; everything it speaks is the
+// existing v2 wire surface, so clients cannot tell one node from a
+// fleet.
+package coord
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing: every (key, node) pair
+// gets an independent pseudo-random score and the key belongs to the
+// highest-scoring live node. Removing a node reassigns only the keys
+// it owned (they fall to their second-ranked choice) and adding a node
+// moves only the keys it now wins — the churn-stability property the
+// routing tests pin. No virtual-node ring state to maintain: the score
+// is a pure function, so every coordinator incarnation routes
+// identically from the membership list alone.
+
+// score hashes one (node, key) pair. FNV-1a over node\x00key: cheap,
+// stateless, stable across processes.
+func score(node, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the rendezvous owner of key among nodes (highest
+// score; ties break toward the lexicographically smaller name so the
+// choice is deterministic). ok is false when nodes is empty.
+func Owner(key string, nodes []string) (string, bool) {
+	var (
+		best  string
+		bestS uint64
+		found bool
+	)
+	for _, n := range nodes {
+		s := score(n, key)
+		if !found || s > bestS || (s == bestS && n < best) {
+			best, bestS, found = n, s, true
+		}
+	}
+	return best, found
+}
+
+// Ranked returns nodes ordered by descending rendezvous score for key
+// — the failover order: when the owner dies, the key's work reassigns
+// to the next-ranked live node, and no key owned by a surviving node
+// moves at all.
+func Ranked(key string, nodes []string) []string {
+	out := append([]string(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(out[i], key), score(out[j], key)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,132 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestOwnerDeterministic pins that ownership is a pure function of the
+// membership list: any permutation of the same nodes routes every key
+// identically.
+func TestOwnerDeterministic(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	perm := []string{"d", "b", "e", "a", "c"}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		o1, ok1 := Owner(key, nodes)
+		o2, ok2 := Owner(key, perm)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("Owner(%q) depends on list order: %q vs %q", key, o1, o2)
+		}
+	}
+	if _, ok := Owner("anything", nil); ok {
+		t.Fatal("Owner with no nodes reported an owner")
+	}
+}
+
+// TestRankedIsFailoverOrder pins that Ranked's head is Owner and the
+// tail is the ownership order after successively removing the head —
+// the exact order dispatch walks when nodes die.
+func TestRankedIsFailoverOrder(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("fp-%04d", i)
+		ranked := Ranked(key, nodes)
+		if len(ranked) != len(nodes) {
+			t.Fatalf("Ranked returned %d of %d nodes", len(ranked), len(nodes))
+		}
+		remaining := append([]string(nil), nodes...)
+		for _, want := range ranked {
+			got, ok := Owner(key, remaining)
+			if !ok || got != want {
+				t.Fatalf("key %q: ranked order %v disagrees with iterated Owner at %q (got %q)", key, ranked, want, got)
+			}
+			kept := remaining[:0]
+			for _, n := range remaining {
+				if n != want {
+					kept = append(kept, n)
+				}
+			}
+			remaining = kept
+		}
+	}
+}
+
+// TestRendezvousChurnStability is the churn property the steal and
+// failover machinery relies on (DESIGN.md §13): removing one node
+// moves ONLY the keys that node owned — every key owned by a survivor
+// keeps its owner — and adding a node back moves only the keys the
+// newcomer wins, with everything else staying put.
+func TestRendezvousChurnStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nodes := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	keys := make([]string, 2000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%016x", rng.Uint64())
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, _ := Owner(k, nodes)
+		before[k] = o
+	}
+
+	for _, dead := range nodes {
+		survivors := make([]string, 0, len(nodes)-1)
+		for _, n := range nodes {
+			if n != dead {
+				survivors = append(survivors, n)
+			}
+		}
+		moved := 0
+		for _, k := range keys {
+			after, _ := Owner(k, survivors)
+			if before[k] == dead {
+				moved++
+				continue // this key HAD to move; any survivor is legal
+			}
+			if after != before[k] {
+				t.Fatalf("removing %q moved key %s from survivor %q to %q", dead, k, before[k], after)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("node %q owned no keys out of %d — degenerate hash", dead, len(keys))
+		}
+
+		// Re-adding the dead node restores the original assignment
+		// exactly (ownership is stateless), and relative to the
+		// survivor view it moves only the keys the newcomer wins.
+		for _, k := range keys {
+			restored, _ := Owner(k, nodes)
+			if restored != before[k] {
+				t.Fatalf("re-adding %q did not restore key %s to %q (got %q)", dead, k, before[k], restored)
+			}
+		}
+	}
+}
+
+// TestRankedSurvivorStability extends churn stability to the full
+// failover chain: a dead node disappearing from the membership list
+// deletes it from every key's ranking without reordering the
+// survivors.
+func TestRankedSurvivorStability(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	dead := "n2"
+	survivors := []string{"n0", "n1", "n3", "n4"}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		full := Ranked(key, nodes)
+		kept := full[:0]
+		for _, n := range full {
+			if n != dead {
+				kept = append(kept, n)
+			}
+		}
+		after := Ranked(key, survivors)
+		for j := range after {
+			if after[j] != kept[j] {
+				t.Fatalf("key %q: survivor ranking %v != filtered full ranking %v", key, after, kept)
+			}
+		}
+	}
+}

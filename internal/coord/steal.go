@@ -1,0 +1,122 @@
+package coord
+
+import (
+	"sort"
+
+	"repro/internal/serve"
+)
+
+// Work stealing for skew (DESIGN.md §13). Fingerprint sharding places
+// work where caches live, but a skewed manifest — one node owning the
+// popular fingerprints — leaves the rest of the fleet idle. The steal
+// loop repairs that without giving up colocation for the common case:
+// when a node is idle (no queued cluster-batch rows anywhere on it)
+// and another holds at least StealMin pending rows, the coordinator
+// asks the loaded node's biggest sub-batch to give up the TAIL half of
+// its pending lane (POST /v2/peer/steal — the donor keeps its lane
+// head, so round-robin order within the remaining sub-batch is exactly
+// what it was) and re-admits the stolen manifests on the idle node as
+// a fresh sub-batch. Deduplicated rows ride one job on the donor and
+// are stolen as one unit, so a steal never splits a dedupe group —
+// cluster-wide solve counts are steal-invariant.
+
+// StealOnce runs one skew scan; the background loop calls it every
+// StealEvery. Exported so tests can force a steal deterministically.
+// It returns the number of rows moved.
+func (c *Coordinator) StealOnce() int { return c.stealOnce() }
+
+func (c *Coordinator) stealOnce() int {
+	c.mu.Lock()
+	alive := c.aliveNamesLocked()
+	batches := c.liveBatchesLocked()
+	c.mu.Unlock()
+	if len(alive) < 2 {
+		return 0
+	}
+
+	// Cluster-wide pending per node, folded over every live batch.
+	pending := make(map[string]int)
+	for _, n := range alive {
+		pending[n] = 0
+	}
+	for _, cb := range batches {
+		if cb.Status().State.Terminal() {
+			continue
+		}
+		cb.pendingByNode(pending)
+	}
+
+	var idle []string
+	loaded, loadedN := "", 0
+	names := make([]string, 0, len(pending))
+	for n := range pending {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic idle/loaded choice
+	for _, n := range names {
+		switch p := pending[n]; {
+		case p == 0:
+			idle = append(idle, n)
+		case p > loadedN:
+			loaded, loadedN = n, p
+		}
+	}
+	if len(idle) == 0 || loaded == "" || loadedN < c.cfg.StealMin {
+		return 0
+	}
+	thief := idle[0]
+
+	// The donor's biggest pending sub-batch across batches.
+	var victim *clusterBatch
+	var sub *subBatch
+	subN := 0
+	for _, cb := range batches {
+		if s, n := cb.biggestPendingSub(loaded); n > subN {
+			victim, sub, subN = cb, s, n
+		}
+	}
+	if sub == nil || subN < c.cfg.StealMin {
+		return 0
+	}
+
+	base, ok := c.nodeURL(loaded)
+	if !ok {
+		return 0
+	}
+	var resp serve.StealResponse
+	err := c.postJSON(base+"/v2/peer/steal", serve.StealRequest{Batch: sub.id, Max: subN / 2}, &resp)
+	if err != nil || len(resp.Stolen) == 0 {
+		return 0
+	}
+
+	// Map donor sub-manifest indices back to cluster rows and detach
+	// them from the donor sub (the fold already ignores their "stolen"
+	// verdicts, but clearing sub makes the handoff explicit).
+	var moved []int
+	victim.mu.Lock()
+	for _, st := range resp.Stolen {
+		for _, di := range st.Indices {
+			if di < 0 || di >= len(sub.rows) {
+				continue
+			}
+			i := sub.rows[di]
+			r := victim.rows[i]
+			if r.sub != sub.key || r.terminal {
+				continue
+			}
+			r.sub = ""
+			moved = append(moved, i)
+		}
+	}
+	victim.mu.Unlock()
+	if len(moved) == 0 {
+		return 0
+	}
+
+	// Re-admit on the thief; dispatch falls back to the rendezvous
+	// failover order if the thief died in the window.
+	victim.dispatch(thief, moved, false)
+	c.met.Steals.Add(1)
+	c.met.TasksStolen.Add(int64(len(moved)))
+	return len(moved)
+}

@@ -1,0 +1,332 @@
+// Coordinator throughput sweep (DESIGN.md §13): the fleet-learning
+// benchmark rerun through leastcoord. Where Sweep measures one node's
+// batch engine in-process, CoordSweep stands up N real leastd nodes on
+// loopback listeners, fronts them with a coordinator, and pushes one
+// manifest of unique learn tasks through the full wire path — split,
+// dispatch, poll, fold. Two numbers per cell: networks/sec (does
+// sharding scale?) and the coordinator's routing overhead per request
+// (what one proxy hop costs a status read).
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/coord"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+// CoordRow is one node-count cell of the coordinator sweep.
+type CoordRow struct {
+	Nodes      int
+	Batch      int
+	Done       int
+	Failed     int
+	Elapsed    time.Duration
+	NetsPerSec float64
+	// RouteOverhead is the coordinator's added latency on a status
+	// read: mean(GET via coordinator) − mean(GET direct to the node).
+	RouteOverhead time.Duration
+}
+
+// DefaultNodeCounts returns the sweep's node-count grid. The grid is
+// scale-independent — the point is the 1 → 2 → 4 trend line, and four
+// in-process nodes fit any runner.
+func DefaultNodeCounts() []int { return []int{1, 2, 4} }
+
+// CoordSweep runs the node-count sweep: for every cell it boots that
+// many leastd stacks (manager + HTTP listener) plus a coordinator,
+// splits GOMAXPROCS worker slots evenly across the nodes (total
+// compute is held constant, so the trend isolates coordination cost),
+// submits one batch of unique inline tasks through POST /v2/batches on
+// the coordinator, and times submission → batch-terminal over the
+// wire. nil nodeCounts picks DefaultNodeCounts.
+func CoordSweep(scale experiments.Scale, seed int64, nodeCounts []int, out io.Writer) []CoordRow {
+	if nodeCounts == nil {
+		nodeCounts = DefaultNodeCounts()
+	}
+	bsize, d, n := 32, 8, 48
+	if scale == experiments.Full {
+		bsize, d, n = 256, 12, 120
+	}
+	if out != nil {
+		fmt.Fprintf(out, "instance: %d unique tasks, d=%d n=%d each, %d worker slots total\n",
+			bsize, d, n, runtime.GOMAXPROCS(0))
+		fmt.Fprintf(out, "%-8s %-8s %-8s %-8s %10s %14s %14s\n",
+			"nodes", "batch", "done", "failed", "elapsed", "networks/s", "route-ov/req")
+	}
+	var rows []CoordRow
+	for _, nc := range nodeCounts {
+		r := runCoordCell(seed, nc, bsize, d, n)
+		rows = append(rows, r)
+		if out != nil {
+			fmt.Fprintf(out, "%-8d %-8d %-8d %-8d %10v %14.1f %14v\n",
+				r.Nodes, r.Batch, r.Done, r.Failed, r.Elapsed.Round(time.Millisecond),
+				r.NetsPerSec, r.RouteOverhead.Round(time.Microsecond))
+		}
+	}
+	return rows
+}
+
+// coordManifest builds bsize unique inline manifest rows (distinct
+// seeds, so dedupe and caching cannot hide solves), parallelism pinned
+// to 1 as in makeTasks.
+func coordManifest(seed int64, bsize, d, n int) []least.ManifestTask {
+	tasks := make([]least.ManifestTask, bsize)
+	for i := range tasks {
+		s := seed + int64(i)
+		truth := least.GenerateDAG(s, least.ErdosRenyi, d, 2)
+		x := least.SampleLSEM(s+1, truth, n, least.GaussianNoise)
+		sp, _ := least.New(
+			least.WithLambda(0.2),
+			least.WithEpsilon(1e-3),
+			least.WithSeed(s),
+			least.WithParallelism(1),
+		)
+		tasks[i] = least.ManifestTask{
+			ID:      fmt.Sprintf("task%05d", i),
+			Samples: matrixRows(x),
+			Spec:    sp,
+		}
+	}
+	return tasks
+}
+
+// coordCluster is one booted cell: N node stacks plus the coordinator,
+// all on loopback listeners.
+type coordCluster struct {
+	base     string   // coordinator base URL
+	nodeURLs []string // per-node base URLs, for direct reads
+	mgrs     []*serve.Manager
+	servers  []*http.Server
+	c        *coord.Coordinator
+	csrv     *http.Server
+}
+
+func bootCoordCluster(nc, slotsPerNode, backlog int) (*coordCluster, error) {
+	cl := &coordCluster{}
+	var members []coord.NodeConfig
+	for i := 0; i < nc; i++ {
+		m := serve.NewManager(serve.Config{
+			MaxConcurrent: slotsPerNode,
+			QueueDepth:    backlog,
+			MaxHistory:    backlog,
+			BatchBacklog:  backlog,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cl.shutdown()
+			return nil, err
+		}
+		srv := &http.Server{Handler: serve.NewAPI(m).Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		url := "http://" + ln.Addr().String()
+		cl.mgrs = append(cl.mgrs, m)
+		cl.servers = append(cl.servers, srv)
+		cl.nodeURLs = append(cl.nodeURLs, url)
+		members = append(members, coord.NodeConfig{Name: fmt.Sprintf("n%d", i), URL: url})
+	}
+	c, err := coord.New(coord.Config{
+		Nodes:       members,
+		HealthEvery: 200 * time.Millisecond,
+		GossipEvery: 200 * time.Millisecond,
+		StealEvery:  50 * time.Millisecond,
+		PollEvery:   5 * time.Millisecond,
+	})
+	if err != nil {
+		cl.shutdown()
+		return nil, err
+	}
+	cl.c = c
+	c.CheckHealth()
+	c.SyncGossip()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cl.shutdown()
+		return nil, err
+	}
+	cl.csrv = &http.Server{Handler: c.Handler()}
+	go func() { _ = cl.csrv.Serve(ln) }()
+	cl.base = "http://" + ln.Addr().String()
+	return cl, nil
+}
+
+func (cl *coordCluster) shutdown() {
+	if cl.csrv != nil {
+		_ = cl.csrv.Close()
+	}
+	if cl.c != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		cl.c.Shutdown(ctx)
+		cancel()
+	}
+	for _, srv := range cl.servers {
+		_ = srv.Close()
+	}
+	for _, m := range cl.mgrs {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		m.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// runCoordCell times one manifest through one cluster size.
+func runCoordCell(seed int64, nc, bsize, d, n int) CoordRow {
+	slots := runtime.GOMAXPROCS(0) / nc
+	if slots < 1 {
+		slots = 1
+	}
+	cl, err := bootCoordCluster(nc, slots, bsize+64)
+	if err != nil {
+		return CoordRow{Nodes: nc, Batch: bsize, Failed: bsize}
+	}
+	defer cl.shutdown()
+
+	body, _ := json.Marshal(serve.BatchRequest{Tasks: coordManifest(seed, bsize, d, n)})
+	var st struct {
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Done   int    `json:"done"`
+		Failed int    `json:"failed"`
+		Total  int    `json:"total"`
+	}
+	start := time.Now()
+	if err := postDecode(cl.base+"/v2/batches", body, &st); err != nil {
+		return CoordRow{Nodes: nc, Batch: bsize, Failed: bsize}
+	}
+	for st.State == string(serve.BatchRunning) {
+		time.Sleep(2 * time.Millisecond)
+		if err := getDecode(cl.base+"/v2/batches/"+st.ID, &st); err != nil {
+			return CoordRow{Nodes: nc, Batch: bsize, Failed: bsize}
+		}
+	}
+	elapsed := time.Since(start)
+
+	return CoordRow{
+		Nodes:         nc,
+		Batch:         st.Total,
+		Done:          st.Done,
+		Failed:        st.Failed,
+		Elapsed:       elapsed,
+		NetsPerSec:    float64(st.Done) / elapsed.Seconds(),
+		RouteOverhead: routeOverhead(cl, seed),
+	}
+}
+
+// routeOverhead measures what the coordinator hop adds to a status
+// read: one tiny job is solved through the coordinator, then its
+// status is read K times via the coordinator (composite ID) and K
+// times directly against the owning node (local ID); the overhead is
+// the difference of the means. Negative differences (pure timing
+// noise on a fast loopback) clamp to zero.
+func routeOverhead(cl *coordCluster, seed int64) time.Duration {
+	truth := least.GenerateDAG(seed, least.ErdosRenyi, 6, 2)
+	x := least.SampleLSEM(seed+1, truth, 32, least.GaussianNoise)
+	body, _ := json.Marshal(map[string]any{"samples": matrixRows(x)})
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := postDecode(cl.base+"/v2/jobs", body, &st); err != nil {
+		return 0
+	}
+	deadline := time.Now().Add(time.Minute)
+	for st.State != "done" {
+		if st.State == "failed" || st.State == "cancelled" || time.Now().After(deadline) {
+			return 0
+		}
+		time.Sleep(2 * time.Millisecond)
+		if err := getDecode(cl.base+"/v2/jobs/"+st.ID, &st); err != nil {
+			return 0
+		}
+	}
+	node, local, ok := splitComposite(st.ID)
+	if !ok {
+		return 0
+	}
+	var direct string
+	for i, u := range cl.nodeURLs {
+		if fmt.Sprintf("n%d", i) == node {
+			direct = u
+		}
+	}
+	if direct == "" {
+		return 0
+	}
+	const k = 256
+	viaCoord := timeGets(cl.base+"/v2/jobs/"+st.ID, k)
+	viaNode := timeGets(direct+"/v2/jobs/"+local, k)
+	if viaCoord <= viaNode {
+		return 0
+	}
+	return (viaCoord - viaNode) / k
+}
+
+// matrixRows copies a sample matrix into the row-major [][]float64
+// shape the inline wire manifest carries.
+func matrixRows(x *least.Matrix) [][]float64 {
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	return rows
+}
+
+// splitComposite parses a cluster-wide "<node>.<localid>" identifier.
+func splitComposite(id string) (node, local string, ok bool) {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '.' {
+			return id[:i], id[i+1:], id[:i] != "" && id[i+1:] != ""
+		}
+	}
+	return "", "", false
+}
+
+// timeGets performs k sequential GETs and returns the total wall time.
+func timeGets(url string, k int) time.Duration {
+	t0 := time.Now()
+	for i := 0; i < k; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			return time.Since(t0)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return time.Since(t0)
+}
+
+func postDecode(url string, body []byte, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("POST %s: HTTP %d: %s", url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getDecode(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -67,6 +67,10 @@ const (
 	// recovery could not resume (DESIGN.md §11) — distinct from
 	// "internal" so clients know a clean resubmission will succeed.
 	TaskCodeRestart TaskCode = "restart"
+	// TaskCodeStolen marks a row whose pending work a cluster peer took
+	// over (DESIGN.md §13): terminal here, but the task itself lives on
+	// in the thief's sub-batch — the coordinator folds the verdicts.
+	TaskCodeStolen TaskCode = "stolen"
 )
 
 // BatchTaskSpec is one resolved manifest entry handed to
@@ -158,10 +162,11 @@ type Batch struct {
 	created time.Time
 	m       *Manager // for journal emission at the terminal transition
 
-	// manifests is the journaled wire form of the task list (index-
-	// aligned with tasks), kept only while journaling is enabled and
-	// the batch is live; finishLocked drops it — a terminal batch
-	// recovers from its row table alone.
+	// manifests is the wire form of the task list (index-aligned with
+	// tasks), kept while the batch is live: the journal records it for
+	// replay, and lane stealing (DESIGN.md §13) exports entries to the
+	// thieving peer. finishLocked drops it — a terminal batch recovers
+	// from its row table alone and has nothing left to steal.
 	manifests []least.ManifestTask
 
 	mu       sync.Mutex
@@ -456,14 +461,13 @@ func (bm *BatchManager) Submit(specs []BatchTaskSpec) (*Batch, error) {
 		refs:    make(map[*Job][]int),
 	}
 	b.cond = sync.NewCond(&b.mu)
-	if m.jnl != nil {
-		// Journal the wire-form manifest (index-aligned with tasks):
-		// recovery re-resolves pending rows from it after a restart.
-		b.manifests = make([]least.ManifestTask, len(specs))
-		for i, ts := range specs {
-			if ts.Manifest != nil {
-				b.manifests[i] = *ts.Manifest
-			}
+	// Keep the wire-form manifest (index-aligned with tasks) while the
+	// batch is live: recovery re-resolves pending rows from it after a
+	// restart, and lane stealing exports rows from it to a peer.
+	b.manifests = make([]least.ManifestTask, len(specs))
+	for i, ts := range specs {
+		if ts.Manifest != nil {
+			b.manifests[i] = *ts.Manifest
 		}
 	}
 

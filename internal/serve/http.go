@@ -68,6 +68,14 @@ import (
 //	GET /v2/batches/{id}/edges        cross-task edge confidence,
 //	                                  ?tau=&min_support=&limit=
 //	GET /metrics                      Prometheus text exposition
+//
+// and the peer surface consumed by the cluster coordinator (DESIGN.md
+// §13 — cluster-internal; clients talk to the coordinator's v2 face):
+//
+//	GET  /v2/peer/cache-digest  result-cache key digest (gossip payload)
+//	POST /v2/peer/steal         take pending rows off a batch lane tail
+//	POST /v2/peer/subbatch      admit a per-node sub-manifest (alias of
+//	                            POST /v2/batches)
 type API struct {
 	m *Manager
 }
@@ -106,6 +114,9 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v2/datasets/{id}", a.datasetDelete)
 	mux.HandleFunc("GET /v2/jobs/{id}/query/{verb}", a.query)
 	mux.HandleFunc("GET /v2/batches/{id}/edges", a.batchEdges)
+	mux.HandleFunc("GET /v2/peer/cache-digest", a.peerCacheDigest)
+	mux.HandleFunc("POST /v2/peer/steal", a.peerSteal)
+	mux.HandleFunc("POST /v2/peer/subbatch", a.batchCreate)
 	mux.HandleFunc("GET /metrics", a.metrics)
 	mux.HandleFunc("GET /healthz", a.health)
 	// One wrapper counts every routed request (including 404s from the

@@ -1,0 +1,231 @@
+package serve
+
+// Peer-facing endpoints (DESIGN.md §13): the narrow extra surface a
+// coordinator needs beyond the public v2 API — the node's result-cache
+// digest (the gossip payload behind cross-node dedupe), lane stealing
+// (skew rebalancing: a peer takes pending rows off this node's batch
+// lanes), and sub-batch admission (an alias of POST /v2/batches; the
+// coordinator admits per-node sub-manifests through it). These routes
+// are trusted-cluster-internal: they carry no more authority than the
+// public surface (stealing is cancellation plus manifest export), but
+// they are versioned separately so the public v2 contract stays frozen.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// ErrStolen is the terminal error of a job whose pending work a peer
+// took over; the donor's task rows carry TaskCodeStolen.
+var ErrStolen = errors.New("serve: stolen by peer")
+
+// CacheDigest is the GET /v2/peer/cache-digest payload: every result-
+// cache key this node currently holds. Keys are CacheKeyDataset
+// outputs — dataset fingerprint + centering + canonical spec — so two
+// nodes agree on a key exactly when they solved the same task.
+type CacheDigest struct {
+	Keys []string `json:"keys"`
+}
+
+// StolenTask is one unit of stolen work: the original manifest entry
+// and the donor-side row indices it covered (deduplicated rows ride
+// one job and are stolen together, so the thief re-deduplicates them
+// for free).
+type StolenTask struct {
+	Indices []int              `json:"indices"`
+	Task    least.ManifestTask `json:"task"`
+}
+
+// StealRequest is the POST /v2/peer/steal body: take up to Max pending
+// rows from batch Batch's lane tail.
+type StealRequest struct {
+	Batch string `json:"batch"`
+	Max   int    `json:"max"`
+}
+
+// StealResponse returns the stolen manifest entries in their original
+// lane order.
+type StealResponse struct {
+	Batch  string       `json:"batch"`
+	Stolen []StolenTask `json:"stolen"`
+}
+
+// keys snapshots the cache's key set (no LRU side effects).
+func (c *resultCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.items))
+	for k := range c.items {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CacheDigest returns the node's current result-cache key set — the
+// gossip announcement the coordinator folds into its cross-node dedupe
+// index.
+func (m *Manager) CacheDigest() CacheDigest {
+	ks := m.cache.keys()
+	if ks == nil {
+		ks = []string{}
+	}
+	return CacheDigest{Keys: ks}
+}
+
+// StealBatch removes up to max pending rows from the tail of a batch's
+// scheduler lane and returns their manifests for re-admission on
+// another node. The lane head is never taken — round-robin order
+// within the remaining sub-batch is preserved exactly (the next job to
+// run is still the next job to run); victims come off the tail, the
+// work a single node would have reached last anyway.
+//
+// A job is stealable only when it is still queued, only this batch
+// holds it (a job deduplicated across live batches stays — stealing it
+// would sabotage the other manifest), and its manifest row carries
+// inline data (dataset_ref rows are pinned to the node holding the
+// registered dataset; see the §13 deliberately-not-replicated list).
+// Stolen rows land in the donor's task table as cancelled with the
+// typed "stolen" code, and the donor's underlying jobs cancel with
+// ErrStolen — the thief's sub-batch is the continuation.
+func (bm *BatchManager) StealBatch(id string, max int) (StealResponse, error) {
+	resp := StealResponse{Batch: id, Stolen: []StolenTask{}}
+	b, err := bm.Get(id)
+	if err != nil {
+		return resp, err
+	}
+	m := bm.m
+
+	type theft struct {
+		j    *Job
+		rows []int
+		task least.ManifestTask
+		obs  []func(Status)
+		st   Status
+	}
+	var thefts []theft
+
+	// Lock order: b.mu → m.mu → j.mu (the orderings m.mu→j.mu and
+	// b.mu→j.mu already exist; nothing takes m.mu→b.mu, so stacking
+	// b.mu outside m.mu is safe). Selection and lane removal happen in
+	// one critical section — a worker pops jobs under m.mu, so holding
+	// it is what keeps a promised row from starting to solve here.
+	b.mu.Lock()
+	if b.state.Terminal() || max <= 0 {
+		b.mu.Unlock()
+		return resp, nil
+	}
+	m.mu.Lock()
+	var lane *jobQueue
+	laneIdx := -1
+	for i, q := range m.runq {
+		if q.id == b.id {
+			lane, laneIdx = q, i
+			break
+		}
+	}
+	if lane != nil {
+		taken := 0
+		// Tail-first, never index 0: the head stays so the donor keeps
+		// making progress and the round-robin cursor is undisturbed.
+		for k := len(lane.jobs) - 1; k >= 1 && taken < max; k-- {
+			j := lane.jobs[k]
+			rows := b.refs[j]
+			if len(rows) == 0 || len(b.manifests) == 0 {
+				continue
+			}
+			mt := b.manifests[rows[0]]
+			inline := mt.DatasetRef == "" && len(mt.In) == 0 &&
+				(mt.CSV != "" || mt.Samples != nil)
+			if !inline {
+				continue
+			}
+			j.mu.Lock()
+			if j.state != Queued || j.waiters != 1 {
+				j.mu.Unlock()
+				continue
+			}
+			// Cancel the donor's job in place (the Shutdown-style queued
+			// transition), typed so ledgers can tell a steal from a user
+			// cancel.
+			j.waiters = 0
+			j.state = Cancelled
+			j.code = TaskCodeStolen
+			j.err = ErrStolen
+			j.finished = time.Now()
+			j.data = nil
+			j.notifyLocked()
+			obs, st := j.transitionObserversLocked()
+			j.mu.Unlock()
+
+			lane.jobs = append(lane.jobs[:k], lane.jobs[k+1:]...)
+			m.nqueued--
+			m.nbatchq--
+			m.dropInflightLocked(j)
+			m.met.JobsCancelled.Add(1)
+
+			for _, i := range rows {
+				t := b.tasks[i]
+				if t.state.Terminal() {
+					continue
+				}
+				b.moveLocked(t, Cancelled)
+				t.code = TaskCodeStolen
+				t.err = ErrStolen.Error()
+				b.open--
+			}
+			delete(b.refs, j)
+			taken += len(rows)
+			thefts = append(thefts, theft{j: j, rows: rows, task: mt, obs: obs, st: st})
+		}
+		if len(lane.jobs) == 0 {
+			m.removeLaneLocked(laneIdx)
+		}
+	}
+	m.mu.Unlock()
+	if len(thefts) > 0 {
+		if b.open == 0 && !b.state.Terminal() {
+			b.finishLocked(BatchDone)
+		}
+		b.bumpLocked()
+	}
+	b.mu.Unlock()
+
+	// Observer delivery outside every lock (notifyTransition→onJob takes
+	// b.mu; the rows are already terminal, so these are no-ops for this
+	// batch and correct monotonic deliveries for any SSE watcher).
+	for _, th := range thefts {
+		notifyTransition(th.obs, th.st)
+	}
+
+	// thefts collected tail-first; return them in manifest order.
+	for i := len(thefts) - 1; i >= 0; i-- {
+		resp.Stolen = append(resp.Stolen, StolenTask{Indices: thefts[i].rows, Task: thefts[i].task})
+	}
+	return resp, nil
+}
+
+// peerCacheDigest serves GET /v2/peer/cache-digest.
+func (a *API) peerCacheDigest(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.m.CacheDigest())
+}
+
+// peerSteal serves POST /v2/peer/steal.
+func (a *API) peerSteal(w http.ResponseWriter, r *http.Request) {
+	var req StealRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	resp, err := a.m.Batches().StealBatch(req.Batch, req.Max)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
